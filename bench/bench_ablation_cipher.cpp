@@ -1,0 +1,120 @@
+// Cipher ablation: ERIC's XOR decrypt-at-load vs (a) AES-CTR
+// decrypt-at-load and (b) an XOM/AEGIS-style AES-per-memory-line scheme.
+//
+// This reproduces the paper's Sec. V argument against full-memory AES
+// ("high memory latency... programs with poor cache performance experience
+// an extra delay each time when trying to access the main memory", citing
+// ~30 % IPC loss in AEGIS-class systems): per-line decryption charges the
+// AES latency on *every* L1 miss, while ERIC pays once at load time.
+#include <cstdio>
+
+#include "core/software_source.h"
+#include "core/trusted_execution.h"
+#include "workloads/workloads.h"
+
+using namespace eric;
+
+int main() {
+  crypto::KeyConfig config;
+
+  std::printf("Cipher ablation: load-path and per-line schemes, overhead "
+              "vs plain execution\n");
+  std::printf("%-14s %14s %14s %16s\n", "workload", "XOR@load",
+              "AES-CTR@load", "AES-per-line");
+
+  double sum_xor = 0.0, sum_aes = 0.0, sum_line = 0.0;
+  int count = 0;
+  for (const auto& w : workloads::AllWorkloads()) {
+    // XOR (ERIC prototype).
+    core::TrustedDevice xor_device(0xAB1, config, core::CipherKind::kXor);
+    core::SoftwareSource xor_source(xor_device.Enroll(), config,
+                                    core::CipherKind::kXor);
+    auto xor_built = xor_source.CompileAndPackage(
+        w.source, core::EncryptionPolicy::Full());
+    if (!xor_built.ok()) return 1;
+    const auto plain =
+        xor_device.RunPlaintext(xor_built->compile.program.image);
+    auto xor_run = xor_device.ReceiveAndRun(
+        pkg::Serialize(xor_built->packaging.package));
+    if (!xor_run.ok()) return 1;
+
+    // AES-CTR on the same load path.
+    core::TrustedDevice aes_device(0xAB1, config, core::CipherKind::kAesCtr);
+    core::SoftwareSource aes_source(aes_device.Enroll(), config,
+                                    core::CipherKind::kAesCtr);
+    auto aes_built = aes_source.CompileAndPackage(
+        w.source, core::EncryptionPolicy::Full());
+    if (!aes_built.ok()) return 1;
+    auto aes_run = aes_device.ReceiveAndRun(
+        pkg::Serialize(aes_built->packaging.package));
+    if (!aes_run.ok()) return 1;
+
+    // AES-per-line model (XOM/AEGIS-class): every L1 miss pays an AES
+    // block pipeline latency on the fill path.
+    const core::HdeCycleParams params;  // defaults
+    const uint64_t misses =
+        plain.exec.icache.misses + plain.exec.dcache.misses;
+    const uint64_t per_line_cycles =
+        misses * (64 / 16) * params.aes_cycles_per_block;  // 64B line
+
+    const double base = static_cast<double>(plain.exec.cycles);
+    const double xor_pct = 100.0 * xor_run->hde_cycles.total() / base;
+    const double aes_pct = 100.0 * aes_run->hde_cycles.total() / base;
+    const double line_pct = 100.0 * static_cast<double>(per_line_cycles) / base;
+    std::printf("%-14s %+13.2f%% %+13.2f%% %+15.2f%%\n", w.name.c_str(),
+                xor_pct, aes_pct, line_pct);
+    sum_xor += xor_pct;
+    sum_aes += aes_pct;
+    sum_line += line_pct;
+    ++count;
+  }
+  std::printf("%-14s %+13.2f%% %+13.2f%% %+15.2f%%\n", "average",
+              sum_xor / count, sum_aes / count, sum_line / count);
+
+  // The MiBench-style kernels are cache-friendly (working sets fit the
+  // 16 KiB L1), which flatters per-line schemes. The paper's Sec. V
+  // argument is about *cache-poor* programs — reproduce it with a
+  // streaming workload whose 96 KiB working set thrashes the L1D.
+  const char* cache_hostile = R"(
+    var big[12288];   // 96 KiB, 6x the L1D
+    fn main() {
+      var pass = 0;
+      var sum = 0;
+      while (pass < 4) {
+        var i = 0;
+        while (i < 12288) {
+          sum = sum + big[i];
+          big[i] = sum & 0xFFFF;
+          i = i + 8;   // one access per 64-byte line
+        }
+        pass = pass + 1;
+      }
+      return sum & 0xFFFF;
+    }
+  )";
+  {
+    core::TrustedDevice device(0xAB3, config, core::CipherKind::kXor);
+    core::SoftwareSource source(device.Enroll(), config);
+    auto built =
+        source.CompileAndPackage(cache_hostile, core::EncryptionPolicy::Full());
+    if (!built.ok()) return 1;
+    const auto plain = device.RunPlaintext(built->compile.program.image);
+    auto run = device.ReceiveAndRun(pkg::Serialize(built->packaging.package));
+    if (!run.ok()) return 1;
+    const core::HdeCycleParams params;
+    const uint64_t misses =
+        plain.exec.icache.misses + plain.exec.dcache.misses;
+    const uint64_t per_line_cycles =
+        misses * (64 / 16) * params.aes_cycles_per_block;
+    const double base = static_cast<double>(plain.exec.cycles);
+    std::printf("%-14s %+13.2f%% %13s %+15.2f%%   <-- the crossover\n",
+                "stream96k", 100.0 * run->hde_cycles.total() / base, "-",
+                100.0 * static_cast<double>(per_line_cycles) / base);
+  }
+  std::printf("\nERIC's decrypt-at-load pays once; per-line schemes pay on "
+              "every miss.\nOn the cache-poor streaming workload the "
+              "per-line scheme's overhead explodes\n(related work reports "
+              "~30%% slowdown for AEGIS-class designs), while ERIC's\n"
+              "stays bounded by package size.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Partial-encryption ablation: sweep the encrypted-instruction fraction
+// and chart the security/size/latency trade-off the paper's partial mode
+// exposes (Sec. III.1: "the programmer can protect the critical parts of
+// the program").
+#include <cstdio>
+
+#include "analysis/attack_harness.h"
+#include "core/software_source.h"
+#include "core/trusted_execution.h"
+#include "workloads/workloads.h"
+
+using namespace eric;
+
+int main() {
+  crypto::KeyConfig config;
+  core::TrustedDevice device(0xAB2, config);
+  core::SoftwareSource source(device.Enroll(), config);
+  const auto* w = workloads::FindWorkload("dijkstra");
+
+  std::printf("Partial-encryption sweep on '%s'\n", w->name.c_str());
+  std::printf("%9s %11s %12s %13s %13s\n", "fraction", "size(+%)",
+              "hde(cyc)", "disasm-ok(%)", "trace-leak(%)");
+
+  for (const double fraction :
+       {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const auto policy =
+        fraction == 0.0
+            ? core::EncryptionPolicy::None()
+            : (fraction == 1.0 ? core::EncryptionPolicy::Full()
+                               : core::EncryptionPolicy::PartialRandom(fraction));
+    auto built = source.CompileAndPackage(w->source, policy);
+    if (!built.ok()) return 1;
+    auto run = device.ReceiveAndRun(pkg::Serialize(built->packaging.package));
+    if (!run.ok()) return 1;
+
+    const double plain_size =
+        static_cast<double>(built->compile.program.image.size());
+    const double pkg_size =
+        static_cast<double>(built->packaging.package.WireSize());
+    const auto report = analysis::RunAttackPlaybook(
+        built->compile.program, built->packaging.package);
+
+    std::printf("%9.2f %+10.2f%% %12llu %13.1f %13.1f\n", fraction,
+                100.0 * (pkg_size - plain_size) / plain_size,
+                static_cast<unsigned long long>(run->hde_cycles.total()),
+                100.0 * report.disasm_valid_fraction,
+                100.0 * report.memory_trace_agreement);
+  }
+  std::printf("\nSecurity rises with the encrypted fraction; package size "
+              "overhead is\nflat (map is 1 bit/instruction regardless of "
+              "fraction) and HDE cycles\ngrow with the bytes actually "
+              "decrypted.\n");
+  return 0;
+}

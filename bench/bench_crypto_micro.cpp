@@ -1,0 +1,87 @@
+// Microbenchmarks of the crypto substrate (google-benchmark): SHA-256,
+// XOR-cipher keystream, AES-128 CTR, and the KDF — the primitives whose
+// cost shapes Figs 6/7.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "crypto/aes128.h"
+#include "crypto/kdf.h"
+#include "crypto/sha256.h"
+#include "crypto/xor_cipher.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace eric;
+using namespace eric::crypto;
+
+std::vector<uint8_t> MakeData(size_t size) {
+  Xoshiro256 rng(7);
+  std::vector<uint8_t> data(size);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  return data;
+}
+
+Key256 MakeKey() {
+  Key256 key;
+  for (size_t i = 0; i < key.size(); ++i) key[i] = static_cast<uint8_t>(i);
+  return key;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const auto data = MakeData(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_XorCipher(benchmark::State& state) {
+  const XorCipher cipher(MakeKey());
+  auto data = MakeData(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    cipher.Apply(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_XorCipher)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_Aes128Ctr(benchmark::State& state) {
+  const Aes128 aes(TruncateToKey128(MakeKey()));
+  auto data = MakeData(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    aes.ApplyCtr(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Aes128Ctr)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_DeriveKey(benchmark::State& state) {
+  const Key256 key = MakeKey();
+  uint64_t context = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeriveKey(key, "bench", context++));
+  }
+}
+BENCHMARK(BM_DeriveKey);
+
+void BM_PufBasedKeyDerivation(benchmark::State& state) {
+  const Key256 puf_key = MakeKey();
+  KeyConfig config;
+  for (auto _ : state) {
+    config.epoch++;
+    benchmark::DoNotOptimize(DerivePufBasedKey(puf_key, config));
+  }
+}
+BENCHMARK(BM_PufBasedKeyDerivation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

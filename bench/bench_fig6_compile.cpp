@@ -1,0 +1,66 @@
+// Fig 6: compile time of ERIC's pipeline (compile + sign + encrypt +
+// package) normalized to plain compilation, per workload.
+//
+// Paper (Clang 11.1 + LLVM-tool signing/encryption): avg +15.22 %,
+// worst +33.20 %. Each workload is measured over repeated runs; the
+// median of per-run ratios is reported.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/software_source.h"
+#include "core/trusted_execution.h"
+#include "workloads/workloads.h"
+
+using namespace eric;
+
+namespace {
+
+double MedianRatio(const core::SoftwareSource& source,
+                   const workloads::Workload& w, int repetitions) {
+  std::vector<double> ratios;
+  ratios.reserve(static_cast<size_t>(repetitions));
+  for (int rep = 0; rep < repetitions; ++rep) {
+    auto built = source.CompileAndPackage(
+        w.source, core::EncryptionPolicy::PartialRandom(0.5));
+    if (!built.ok()) return -1.0;
+    const double compile_us = built->compile.TotalMicroseconds();
+    const double eric_us = compile_us + built->packaging.timings.total();
+    ratios.push_back(eric_us / compile_us);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  return ratios[ratios.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  crypto::KeyConfig config;
+  core::TrustedDevice device(0xF166, config);
+  core::SoftwareSource source(device.Enroll(), config);
+
+  constexpr int kRepetitions = 21;
+  std::printf("FIG 6: Compile time, normalized to plain compilation "
+              "(median of %d runs)\n",
+              kRepetitions);
+  std::printf("%-14s %18s\n", "workload", "eric/baseline");
+
+  double sum = 0.0, worst = 0.0;
+  int count = 0;
+  for (const auto& w : workloads::AllWorkloads()) {
+    const double ratio = MedianRatio(source, w, kRepetitions);
+    if (ratio < 0) {
+      std::printf("%-14s FAILED\n", w.name.c_str());
+      return 1;
+    }
+    std::printf("%-14s %17.4fx  (+%.2f %%)\n", w.name.c_str(), ratio,
+                100.0 * (ratio - 1.0));
+    sum += 100.0 * (ratio - 1.0);
+    worst = std::max(worst, 100.0 * (ratio - 1.0));
+    ++count;
+  }
+  std::printf("%-14s average +%.2f %%, worst +%.2f %%\n", "summary",
+              sum / count, worst);
+  std::printf("paper:         average +15.22 %%, worst +33.20 %%\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table I: test environment. Prints the reproduced configuration next to
+// the paper's, so every experiment binary's context is explicit.
+#include <cstdio>
+
+#include "core/hde.h"
+#include "puf/puf_key_generator.h"
+#include "sim/soc.h"
+#include "workloads/workloads.h"
+
+int main() {
+  const eric::puf::PkgConfig pkg_config;
+  const eric::sim::CpuTiming timing;
+
+  std::printf("TABLE I: Test Environment (paper -> this reproduction)\n");
+  std::printf("%-22s %-34s %s\n", "Parameter", "Paper", "Reproduction");
+  std::printf("%-22s %-34s %s\n", "Platform", "Xilinx Zedboard FPGA",
+              "cycle-approximate C++ SoC model");
+  std::printf("%-22s %-34s 32x %d-bit challenge, 1-bit response\n",
+              "PUF", "Arbiter, 32x 8-bit chal / 1-bit resp",
+              pkg_config.challenge_bits);
+  std::printf("%-22s %-34s %s\n", "Signature Function", "SHA-256",
+              "SHA-256 (from scratch, FIPS 180-2)");
+  std::printf("%-22s %-34s %s\n", "Encryption Function", "XOR Cipher",
+              "XOR cipher, SHA-256 counter keystream");
+  std::printf("%-22s %-34s %s\n", "SoC", "Rocket Chip (in-order 6-stage)",
+              "in-order RV64IMAC timing model");
+  std::printf("%-22s %-34s %.0f MHz (modeled)\n", "Test Frequency", "25 MHz",
+              eric::sim::kClockHz / 1e6);
+  std::printf("%-22s %-34s %s\n", "Target ISA", "RV64GC",
+              "RV64IMAC (integer+atomics subset of GC)");
+  std::printf("%-22s %-34s %u KiB, %u-way, set-associative\n",
+              "L1 Data Cache", "16KiB, 4-way, set-associative",
+              timing.dcache.size_bytes / 1024, timing.dcache.ways);
+  std::printf("%-22s %-34s %u KiB, %u-way, set-associative\n",
+              "L1 Instruction Cache", "16KiB, 4-way, set-associative",
+              timing.icache.size_bytes / 1024, timing.icache.ways);
+  std::printf("%-22s %-34s %s\n", "Register File", "31 entries, 64-bit",
+              "31 entries, 64-bit (x1..x31)");
+  std::printf("%-22s %-34s %zu MiBench-style kernels\n", "Benchmarks",
+              "MiBench (LLVM/RISC-V subset)",
+              eric::workloads::AllWorkloads().size());
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Table II: FPGA area of Rocket Chip vs Rocket Chip + HDE, from the
+// structural resource model (see src/hw/resource_model.h).
+#include <cstdio>
+
+#include "hw/resource_model.h"
+
+int main() {
+  std::printf("%s", eric::hw::FormatTable2().c_str());
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Scenario: fleet deployment with group keys + RSA handshake.
+//
+// Combines the paper's two scaling stories: (i) Sec. III.1's group keys —
+// "programs can be created to run on multiple hardware of their own with a
+// single compile step" — and (ii) the future-work RSA key exchange, so the
+// vendor never needs a pre-shared secret channel to the fab.
+//
+// Flow: fab provisions an 8-device group onto one PUF-based key; the fab's
+// enrollment station wraps that group key under the vendor's RSA public
+// key; the vendor unwraps it, compiles ONCE, and every device in the fleet
+// runs the same package — while a 9th device (grey-market clone) rejects it.
+#include <cstdio>
+
+#include "core/encryption_policy.h"
+#include "core/group_key.h"
+#include "core/handshake.h"
+#include "core/software_source.h"
+
+int main() {
+  using namespace eric;
+
+  crypto::KeyConfig key_config;
+  key_config.domain = "acme.fleet.v1";
+  Xoshiro256 rng(0xF1EE7D);
+
+  // Vendor publishes an RSA public key.
+  auto vendor_handshake = core::HandshakeInitiator::Create(512, rng);
+  if (!vendor_handshake.ok()) {
+    std::printf("handshake setup failed\n");
+    return 1;
+  }
+
+  // Fab provisions the group.
+  std::vector<uint64_t> fleet_seeds;
+  for (uint64_t i = 0; i < 8; ++i) fleet_seeds.push_back(0xFAB000 + i);
+  auto group = core::DeviceGroup::Provision(fleet_seeds, key_config);
+  if (!group.ok()) {
+    std::printf("provisioning failed: %s\n",
+                group.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("fab: provisioned %zu devices onto one group key\n",
+              group->size());
+
+  // Fab wraps the group key for the vendor (RSA key exchange).
+  auto wrapped = crypto::RsaWrapKey(vendor_handshake->public_key(),
+                                    group->group_key(), rng);
+  if (!wrapped.ok()) {
+    std::printf("wrap failed\n");
+    return 1;
+  }
+  auto vendor_key = vendor_handshake->CompleteHandshake(*wrapped);
+  if (!vendor_key.ok() || !(*vendor_key == group->group_key())) {
+    std::printf("handshake failed\n");
+    return 1;
+  }
+  std::printf("vendor: group key received via %zu-byte RSA blob\n",
+              wrapped->size());
+
+  // Vendor compiles ONCE for the whole fleet.
+  core::SoftwareSource vendor(*vendor_key, key_config);
+  const char* app = R"(
+    fn main() {
+      var check = 0;
+      var i = 1;
+      while (i <= 64) { check = (check * 31 + i) % 1000003; i = i + 1; }
+      return check;
+    }
+  )";
+  auto built = vendor.CompileAndPackage(
+      app, core::EncryptionPolicy::PartialRandom(0.5));
+  if (!built.ok()) {
+    std::printf("compile failed\n");
+    return 1;
+  }
+  const auto wire = pkg::Serialize(built->packaging.package);
+  std::printf("vendor: one %zu-byte package for %zu devices\n\n",
+              wire.size(), group->size());
+
+  // Every member runs the same bytes.
+  int succeeded = 0;
+  int64_t expected = -1;
+  for (size_t i = 0; i < group->size(); ++i) {
+    auto run = group->RunOnMember(i, wire);
+    if (run.ok()) {
+      if (expected < 0) expected = run->exec.exit_code;
+      if (run->exec.exit_code == expected) ++succeeded;
+      std::printf("device %zu: ok (exit %lld)\n", i,
+                  static_cast<long long>(run->exec.exit_code));
+    } else {
+      std::printf("device %zu: REJECTED (%s)\n", i,
+                  run.status().ToString().c_str());
+    }
+  }
+
+  // A clone outside the group.
+  core::TrustedDevice clone(0xC107E, key_config);
+  clone.Enroll();
+  auto pirate_run = clone.ReceiveAndRun(wire);
+  std::printf("clone device: %s\n",
+              pirate_run.ok() ? "RAN (bug!)" : "rejected");
+
+  std::printf("\nfleet result: %d/%zu members ran one package; clone "
+              "locked out\n",
+              succeeded, group->size());
+  return (succeeded == static_cast<int>(group->size()) && !pirate_run.ok())
+             ? 0
+             : 1;
+}

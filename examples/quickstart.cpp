@@ -1,0 +1,72 @@
+// Quickstart: the whole ERIC flow in one page.
+//
+//   1. enroll a device (fab time)            -> PUF-based key handshake
+//   2. compile + sign + encrypt a program    -> program package
+//   3. ship the package over the wire
+//   4. device HDE decrypts, validates, runs  -> trusted execution
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/encryption_policy.h"
+#include "core/software_source.h"
+#include "core/trusted_execution.h"
+
+int main() {
+  using namespace eric;
+
+  // --- Fab time: enroll the device's PUF and hand the PUF-based key to
+  // the software source (the paper's out-of-band handshake).
+  crypto::KeyConfig key_config;                 // epoch 0, default domain
+  core::TrustedDevice device(/*device_seed=*/0xC0FFEE, key_config);
+  const crypto::Key256 handshake_key = device.Enroll();
+
+  // --- Software source: compile and package a program for that device.
+  core::SoftwareSource source(handshake_key, key_config);
+  const char* program = R"(
+    fn greet() {
+      putc(72); putc(101); putc(108); putc(108); putc(111);   // "Hello"
+      putc(33); putc(10);                                     // "!\n"
+      return 0;
+    }
+    fn main() {
+      greet();
+      var sum = 0;
+      var i = 1;
+      while (i <= 10) { sum = sum + i; i = i + 1; }
+      return sum;   // 55
+    }
+  )";
+  auto built =
+      source.CompileAndPackage(program, core::EncryptionPolicy::Full());
+  if (!built.ok()) {
+    std::printf("build failed: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<uint8_t> wire = pkg::Serialize(built->packaging.package);
+  std::printf("package: %zu bytes (plaintext program was %zu bytes)\n",
+              wire.size(), built->compile.program.image.size());
+
+  // --- Target device: HDE decrypts + validates, then the SoC runs it.
+  auto run = device.ReceiveAndRun(wire);
+  if (!run.ok()) {
+    std::printf("device rejected package: %s\n",
+                run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("device console: %s", run->console_output.c_str());
+  std::printf("exit code: %lld (expected 55)\n",
+              static_cast<long long>(run->exec.exit_code));
+  std::printf("HDE load-path cycles: %llu, execution cycles: %llu\n",
+              static_cast<unsigned long long>(run->hde_cycles.total()),
+              static_cast<unsigned long long>(run->exec.cycles));
+
+  // --- And the security property: a different physical device cannot run
+  // the same package.
+  core::TrustedDevice other_device(/*device_seed=*/0xBAD, key_config);
+  other_device.Enroll();
+  auto stolen = other_device.ReceiveAndRun(wire);
+  std::printf("other device: %s\n",
+              stolen.ok() ? "RAN (bug!)" : stolen.status().ToString().c_str());
+  return run->exec.exit_code == 55 && !stolen.ok() ? 0 : 1;
+}

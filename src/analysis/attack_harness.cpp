@@ -1,0 +1,54 @@
+#include "analysis/attack_harness.h"
+
+#include <cstdio>
+
+#include "core/trusted_execution.h"
+
+namespace eric::analysis {
+
+std::string AttackReport::Format() const {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "  byte entropy            %5.2f bits/byte\n"
+      "  disassembly decodes     %5.1f %%\n"
+      "  opclass-mix distance    %5.3f (0 = looks like real code)\n"
+      "  memory trace recovered  %5.1f %%\n"
+      "  ran on attacker board   %s\n",
+      byte_entropy, 100.0 * disasm_valid_fraction, histogram_distance,
+      100.0 * memory_trace_agreement,
+      foreign_device_executed ? "YES (insecure!)" : "no");
+  return buffer;
+}
+
+AttackReport RunAttackPlaybook(
+    const compiler::CompiledProgram& plaintext_program,
+    const pkg::Package& package, uint64_t attacker_device_seed) {
+  AttackReport report;
+
+  // The attacker sees the package text (instructions as transported).
+  const std::span<const uint8_t> wire_text(package.text.data(),
+                                           plaintext_program.text_bytes);
+  const std::span<const uint8_t> true_text(plaintext_program.image.data(),
+                                           plaintext_program.text_bytes);
+
+  report.byte_entropy = ByteEntropy(wire_text);
+  report.disasm_valid_fraction = SweepDisassemble(wire_text).valid_fraction();
+  report.histogram_distance =
+      HistogramDistance(ClassHistogram(true_text), ClassHistogram(wire_text));
+  report.memory_trace_agreement = MemoryTraceAgreement(
+      ExtractMemoryAccesses(true_text), ExtractMemoryAccesses(wire_text));
+
+  // Dynamic analysis: attacker loads the package on their own device.
+  {
+    crypto::KeyConfig config;
+    config.epoch = package.key_epoch;
+    core::TrustedDevice attacker_board(attacker_device_seed, config);
+    attacker_board.Enroll();
+    auto run = attacker_board.ReceiveAndRun(pkg::Serialize(package));
+    report.foreign_device_executed = run.ok();
+  }
+  return report;
+}
+
+}  // namespace eric::analysis

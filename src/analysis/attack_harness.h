@@ -1,0 +1,40 @@
+// Attack harness: runs the full attacker playbook against a package and
+// scores what leaked.
+//
+// Static attacker: disassembles the wire bytes. Dynamic attacker: tries to
+// execute the package on hardware it controls (a device with different
+// silicon) and observes architectural state. The harness condenses both
+// into a report the security bench prints alongside the paper's claims.
+#pragma once
+
+#include <string>
+
+#include "analysis/static_analysis.h"
+#include "compiler/compiler.h"
+#include "core/software_source.h"
+#include "pkg/package.h"
+
+namespace eric::analysis {
+
+/// What the attacker playbook recovered.
+struct AttackReport {
+  // Static analysis of the in-flight text section.
+  double byte_entropy = 0.0;          ///< bits/byte (8 = random)
+  double disasm_valid_fraction = 0.0; ///< share of stream that decodes
+  double histogram_distance = 0.0;    ///< opclass mix vs true program (0..2)
+  double memory_trace_agreement = 0.0;///< recovered (base,offset) accuracy
+
+  // Dynamic analysis: execution on attacker-controlled hardware.
+  bool foreign_device_executed = false;  ///< did it even run?
+
+  std::string Format() const;
+};
+
+/// Runs the playbook. `plaintext_program` is the ground truth the attacker
+/// is trying to recover; `package` is what they captured on the wire.
+/// `attacker_device_seed` selects the silicon of the attacker's board.
+AttackReport RunAttackPlaybook(const compiler::CompiledProgram& plaintext_program,
+                               const pkg::Package& package,
+                               uint64_t attacker_device_seed = 0xA77AC4E6);
+
+}  // namespace eric::analysis

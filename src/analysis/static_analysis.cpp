@@ -1,0 +1,103 @@
+#include "analysis/static_analysis.h"
+
+#include <cmath>
+
+#include "isa/decoder.h"
+
+namespace eric::analysis {
+
+double ByteEntropy(std::span<const uint8_t> bytes) {
+  if (bytes.empty()) return 0.0;
+  std::array<uint64_t, 256> counts{};
+  for (uint8_t b : bytes) ++counts[b];
+  double entropy = 0.0;
+  const double n = static_cast<double>(bytes.size());
+  for (uint64_t count : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+DisassemblyReport SweepDisassemble(std::span<const uint8_t> bytes) {
+  DisassemblyReport report;
+  size_t offset = 0;
+  while (offset + 2 <= bytes.size()) {
+    const auto instr = isa::DecodeAt(bytes, offset);
+    if (!instr.ok()) break;
+    if (instr->op == isa::Op::kInvalid) {
+      ++report.invalid_encodings;
+      offset += 2;  // resynchronize on the next halfword
+      continue;
+    }
+    ++report.instructions_decoded;
+    if (isa::IsControlFlow(instr->op)) ++report.control_flow_instrs;
+    if (isa::IsMemoryAccess(instr->op)) ++report.memory_instrs;
+    offset += static_cast<size_t>(instr->SizeBytes());
+  }
+  return report;
+}
+
+OpClassHistogram ClassHistogram(std::span<const uint8_t> bytes) {
+  OpClassHistogram histogram{};
+  size_t offset = 0;
+  while (offset + 2 <= bytes.size()) {
+    const auto instr = isa::DecodeAt(bytes, offset);
+    if (!instr.ok()) break;
+    histogram[static_cast<size_t>(isa::ClassOf(instr->op))] += 1;
+    offset += instr->op == isa::Op::kInvalid
+                  ? 2
+                  : static_cast<size_t>(instr->SizeBytes());
+  }
+  return histogram;
+}
+
+double HistogramDistance(const OpClassHistogram& a,
+                         const OpClassHistogram& b) {
+  uint64_t total_a = 0, total_b = 0;
+  for (uint64_t v : a) total_a += v;
+  for (uint64_t v : b) total_b += v;
+  if (total_a == 0 || total_b == 0) return 2.0;
+  double distance = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    distance += std::abs(static_cast<double>(a[i]) / total_a -
+                         static_cast<double>(b[i]) / total_b);
+  }
+  return distance;
+}
+
+MemoryAccessLeak ExtractMemoryAccesses(std::span<const uint8_t> bytes) {
+  MemoryAccessLeak leak;
+  size_t offset = 0;
+  while (offset + 2 <= bytes.size()) {
+    const auto instr = isa::DecodeAt(bytes, offset);
+    if (!instr.ok()) break;
+    if (instr->op == isa::Op::kInvalid) {
+      offset += 2;
+      continue;
+    }
+    if (isa::IsMemoryAccess(instr->op)) {
+      leak.accesses.push_back(
+          MemoryAccessLeak::Access{instr->op, instr->rs1, instr->imm});
+    }
+    offset += static_cast<size_t>(instr->SizeBytes());
+  }
+  return leak;
+}
+
+double MemoryTraceAgreement(const MemoryAccessLeak& reference,
+                            const MemoryAccessLeak& observed) {
+  if (reference.accesses.empty()) return 1.0;
+  const size_t n =
+      std::min(reference.accesses.size(), observed.accesses.size());
+  size_t matches = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const auto& r = reference.accesses[i];
+    const auto& o = observed.accesses[i];
+    if (r.op == o.op && r.base == o.base && r.offset == o.offset) ++matches;
+  }
+  return static_cast<double>(matches) / reference.accesses.size();
+}
+
+}  // namespace eric::analysis

@@ -1,0 +1,92 @@
+// Abstract syntax tree for EricC.
+//
+// The language: 64-bit signed integers only; global scalars and arrays;
+// functions with by-value parameters; if/while/break/continue/return;
+// C-style expressions. Built-ins: putc(c) writes a console byte and
+// exit(code) halts the SoC — both lower to MMIO, so compiled programs run
+// bare-metal on the simulator with no runtime library.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eric::compiler {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLogicalAnd, kLogicalOr,
+};
+
+enum class UnOp : uint8_t { kNeg, kNot, kBitNot };
+
+struct Expr {
+  enum class Kind : uint8_t {
+    kInt,      ///< literal            (value)
+    kVar,      ///< scalar read        (name)
+    kIndex,    ///< array read         (name, index in lhs)
+    kBinary,   ///< lhs op rhs
+    kUnary,    ///< op lhs
+    kCall,     ///< name(args)
+  };
+  Kind kind;
+  int line = 0;
+  int64_t value = 0;
+  std::string name;
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  std::vector<ExprPtr> args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    kVarDecl,     ///< var name = init;
+    kAssign,      ///< name = value;
+    kIndexAssign, ///< name[index] = value;
+    kIf,          ///< if (cond) then_body else else_body
+    kWhile,       ///< while (cond) body
+    kReturn,      ///< return value?;
+    kBreak,
+    kContinue,
+    kExprStmt,    ///< expression for side effects (calls)
+  };
+  Kind kind;
+  int line = 0;
+  std::string name;
+  ExprPtr index;
+  ExprPtr value;   ///< init / assigned value / condition / return value
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+};
+
+struct Function {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct GlobalVar {
+  std::string name;
+  int64_t array_size = 0;  ///< 0 = scalar
+  std::vector<int64_t> init_values;  ///< empty = zero-init
+  int line = 0;
+};
+
+struct Module {
+  std::vector<GlobalVar> globals;
+  std::vector<Function> functions;
+};
+
+}  // namespace eric::compiler

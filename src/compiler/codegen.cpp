@@ -1,0 +1,660 @@
+#include "compiler/codegen.h"
+
+#include <cassert>
+
+#include "isa/encoder.h"
+
+namespace eric::compiler {
+namespace {
+
+using isa::Instr;
+using isa::MakeBranch;
+using isa::MakeI;
+using isa::MakeJal;
+using isa::MakeJalr;
+using isa::MakeLoad;
+using isa::MakeLui;
+using isa::MakeR;
+using isa::MakeStore;
+using isa::Op;
+
+// Scratch registers used by the slot machine.
+constexpr uint8_t kT0 = 5, kT1 = 6, kT2 = 7;
+constexpr uint8_t kSp = 2, kRa = 1, kZero = 0;
+constexpr uint8_t kA0 = 10;
+
+// MMIO device page (see sim/soc.h): 0x1000'0000 = lui 0x10000.
+constexpr int64_t kDevicePageHi = 0x10000;
+constexpr int64_t kConsoleOffset = 0;
+constexpr int64_t kExitOffset = 8;
+
+/// How an emitted instruction's immediate gets patched during layout.
+enum class FixupKind : uint8_t {
+  kNone,
+  kBranch,   ///< B-type to an instruction index
+  kJump,     ///< JAL to an instruction index
+  kCall,     ///< JAL to a function entry (resolved to kJump)
+  kAuipcHi,  ///< high part of a PC-relative global address
+  kAddiLo,   ///< low part; `pair` is the index of the matching auipc
+};
+
+struct MInstr {
+  Instr instr;
+  FixupKind fixup = FixupKind::kNone;
+  int target = -1;          ///< instruction index (branch/jump)
+  std::string callee;       ///< call target name
+  std::string symbol;       ///< global symbol (auipc/addi pairs)
+  int64_t addend = 0;       ///< byte offset within the symbol
+  int pair = -1;            ///< auipc index for kAddiLo
+};
+
+/// Emits code for one module.
+class ModuleEmitter {
+ public:
+  ModuleEmitter(const IrModule& module, const CodegenOptions& options)
+      : module_(module), options_(options) {}
+
+  Result<CompiledProgram> Run() {
+    LayoutGlobals();
+    EmitStartStub();
+    for (const IrFunction& fn : module_.functions) {
+      function_entries_[fn.name] = instrs_.size();
+      ERIC_RETURN_IF_ERROR(EmitFunction(fn));
+    }
+    ERIC_RETURN_IF_ERROR(ResolveCalls());
+    Peephole();
+    return Layout();
+  }
+
+ private:
+  // --- Emission helpers -------------------------------------------------
+
+  size_t Emit(const Instr& instr) {
+    MInstr m;
+    m.instr = instr;
+    instrs_.push_back(std::move(m));
+    return instrs_.size() - 1;
+  }
+
+  void EmitJumpToBlock(int block) {
+    MInstr m;
+    m.instr = MakeJal(kZero, 0);
+    m.fixup = FixupKind::kJump;
+    m.target = block;
+    block_fixups_.push_back(instrs_.size());
+    instrs_.push_back(std::move(m));
+  }
+
+  void EmitCall(const std::string& callee) {
+    MInstr m;
+    m.instr = MakeJal(kRa, 0);
+    m.fixup = FixupKind::kCall;
+    m.callee = callee;
+    instrs_.push_back(std::move(m));
+  }
+
+  /// Materializes an arbitrary 64-bit constant into `rd`.
+  void EmitLoadImm(uint8_t rd, int64_t value) {
+    if (value >= -2048 && value <= 2047) {
+      Emit(MakeI(Op::kAddi, rd, kZero, value));
+      return;
+    }
+    if (value >= INT32_MIN && value <= INT32_MAX) {
+      const int64_t hi = (value + 0x800) >> 12;
+      const int64_t lo = value - (hi << 12);
+      // hi may be 0x80000 for values near INT32_MAX; lui takes the low 20
+      // bits and sign-extends, which is exactly RV64 semantics.
+      Emit(MakeLui(rd, static_cast<int64_t>(static_cast<int32_t>(hi << 12)) >>
+                           12));
+      if (lo != 0) Emit(MakeI(Op::kAddiw, rd, rd, lo));
+      return;
+    }
+    // 64-bit: materialize the high 32 bits, then shift in the low 32 in
+    // 11/11/10-bit chunks (ori immediates are 12-bit signed, so chunks are
+    // kept positive).
+    EmitLoadImm(rd, value >> 32);
+    Emit(MakeI(Op::kSlli, rd, rd, 11));
+    Emit(MakeI(Op::kOri, rd, rd, (value >> 21) & 0x7FF));
+    Emit(MakeI(Op::kSlli, rd, rd, 11));
+    Emit(MakeI(Op::kOri, rd, rd, (value >> 10) & 0x7FF));
+    Emit(MakeI(Op::kSlli, rd, rd, 10));
+    Emit(MakeI(Op::kOri, rd, rd, value & 0x3FF));
+  }
+
+  // Stack slot of a vreg (bytes from sp). Slot 0 holds ra.
+  static int64_t SlotOf(VReg reg) { return 8 + int64_t{8} * (reg - 1); }
+
+  int64_t FrameBytes(const IrFunction& fn) const {
+    const int64_t raw = 8 + int64_t{8} * (fn.next_vreg - 1);
+    return (raw + 15) & ~int64_t{15};
+  }
+
+  /// ld rd, slot(sp) with large-offset fallback.
+  void EmitSlotLoad(uint8_t rd, VReg reg) {
+    const int64_t slot = SlotOf(reg);
+    if (slot <= 2047) {
+      Emit(MakeLoad(Op::kLd, rd, kSp, slot));
+    } else {
+      EmitLoadImm(kT2, slot);
+      Emit(MakeR(Op::kAdd, kT2, kSp, kT2));
+      Emit(MakeLoad(Op::kLd, rd, kT2, 0));
+    }
+  }
+
+  /// sd rs, slot(sp) with large-offset fallback (clobbers t2 when large).
+  void EmitSlotStore(uint8_t rs, VReg reg) {
+    const int64_t slot = SlotOf(reg);
+    if (slot <= 2047) {
+      Emit(MakeStore(Op::kSd, rs, kSp, slot));
+    } else {
+      EmitLoadImm(kT2, slot);
+      Emit(MakeR(Op::kAdd, kT2, kSp, kT2));
+      Emit(MakeStore(Op::kSd, rs, kT2, 0));
+    }
+  }
+
+  /// Loads the address of global `symbol` (+`addend` bytes) into `rd`.
+  void EmitGlobalAddress(uint8_t rd, const std::string& symbol,
+                         int64_t addend) {
+    MInstr hi;
+    hi.instr = isa::MakeAuipc(rd, 0);
+    hi.fixup = FixupKind::kAuipcHi;
+    hi.symbol = symbol;
+    hi.addend = addend;
+    const int hi_index = static_cast<int>(instrs_.size());
+    instrs_.push_back(std::move(hi));
+
+    MInstr lo;
+    lo.instr = MakeI(Op::kAddi, rd, rd, 0);
+    lo.fixup = FixupKind::kAddiLo;
+    lo.symbol = symbol;
+    lo.addend = addend;
+    lo.pair = hi_index;
+    instrs_.push_back(std::move(lo));
+  }
+
+  // --- Structure --------------------------------------------------------
+
+  void LayoutGlobals() {
+    // Initialized globals form the shipped .data section; zero-initialized
+    // ones live in .bss *after* it — addressable (the simulator's sparse
+    // memory reads unmapped bytes as zero) but never part of the image,
+    // exactly like a real toolchain. This matters to ERIC: the HDE signs
+    // and decrypts only shipped bytes.
+    int64_t offset = 0;
+    for (const IrGlobal& g : module_.globals) {
+      if (g.init_values.empty()) continue;
+      global_offsets_[g.name] = offset;
+      offset += g.size_elems * 8;
+    }
+    data_bytes_ = static_cast<size_t>(offset);
+    for (const IrGlobal& g : module_.globals) {
+      if (!g.init_values.empty()) continue;
+      global_offsets_[g.name] = offset;
+      offset += g.size_elems * 8;
+    }
+  }
+
+  void EmitStartStub() {
+    // _start: call main, write a0 to the exit device, spin.
+    EmitCall("main");
+    Emit(MakeLui(kT0, kDevicePageHi));
+    Emit(MakeStore(Op::kSd, kA0, kT0, kExitOffset));
+    const size_t spin = Emit(MakeJal(kZero, 0));
+    instrs_[spin].fixup = FixupKind::kJump;
+    instrs_[spin].target = static_cast<int>(spin);  // safety self-loop
+  }
+
+  Status EmitFunction(const IrFunction& fn) {
+    const int64_t frame = FrameBytes(fn);
+    // Prologue.
+    if (frame <= 2047) {
+      Emit(MakeI(Op::kAddi, kSp, kSp, -frame));
+    } else {
+      EmitLoadImm(kT2, frame);
+      Emit(MakeR(Op::kSub, kSp, kSp, kT2));
+    }
+    Emit(MakeStore(Op::kSd, kRa, kSp, 0));
+    for (int i = 0; i < fn.num_params; ++i) {
+      EmitSlotStore(static_cast<uint8_t>(kA0 + i), static_cast<VReg>(i + 1));
+    }
+
+    // Body: per-block emission; record module-level index of each block.
+    std::vector<size_t> block_starts(fn.blocks.size());
+    const size_t fixups_before = block_fixups_.size();
+    for (size_t b = 0; b < fn.blocks.size(); ++b) {
+      block_starts[b] = instrs_.size();
+      for (const IrInstr& instr : fn.blocks[b].instrs) {
+        ERIC_RETURN_IF_ERROR(EmitIrInstr(fn, instr, frame,
+                                         static_cast<int>(b),
+                                         static_cast<int>(fn.blocks.size())));
+      }
+      // Fallthrough: blocks without a terminator continue to the next
+      // block; layout keeps blocks in order so nothing to emit.
+    }
+
+    // Patch this function's block-targeted fixups from block id to
+    // instruction index.
+    for (size_t f = fixups_before; f < block_fixups_.size(); ++f) {
+      MInstr& m = instrs_[block_fixups_[f]];
+      const int block_id = m.target;
+      if (block_id < 0 || static_cast<size_t>(block_id) >= block_starts.size()) {
+        return Status(ErrorCode::kInternal, "bad block target");
+      }
+      size_t target_index = block_starts[static_cast<size_t>(block_id)];
+      // Branching to an empty trailing block: fall through to the next
+      // emitted instruction (the blocks were emitted in order, so the
+      // start index of an empty block is the next real instruction).
+      m.target = static_cast<int>(target_index);
+    }
+    block_fixups_.resize(fixups_before);
+    return Status::Ok();
+  }
+
+  /// Emits the inline epilogue + ret.
+  void EmitEpilogue(int64_t frame) {
+    Emit(MakeLoad(Op::kLd, kRa, kSp, 0));
+    if (frame <= 2047) {
+      Emit(MakeI(Op::kAddi, kSp, kSp, frame));
+    } else {
+      EmitLoadImm(kT2, frame);
+      Emit(MakeR(Op::kAdd, kSp, kSp, kT2));
+    }
+    Emit(MakeJalr(kZero, kRa, 0));
+  }
+
+  Status EmitIrInstr(const IrFunction& fn, const IrInstr& instr,
+                     int64_t frame, int block_id, int num_blocks) {
+    (void)block_id;
+    (void)num_blocks;
+    switch (instr.kind) {
+      case IrInstr::Kind::kConst:
+        EmitLoadImm(kT0, instr.imm);
+        EmitSlotStore(kT0, instr.dst);
+        return Status::Ok();
+      case IrInstr::Kind::kMove:
+        EmitSlotLoad(kT0, instr.lhs);
+        EmitSlotStore(kT0, instr.dst);
+        return Status::Ok();
+      case IrInstr::Kind::kNeg:
+        EmitSlotLoad(kT0, instr.lhs);
+        Emit(MakeR(Op::kSub, kT0, kZero, kT0));
+        EmitSlotStore(kT0, instr.dst);
+        return Status::Ok();
+      case IrInstr::Kind::kNot:
+        EmitSlotLoad(kT0, instr.lhs);
+        Emit(MakeI(Op::kSltiu, kT0, kT0, 1));
+        EmitSlotStore(kT0, instr.dst);
+        return Status::Ok();
+      case IrInstr::Kind::kBitNot:
+        EmitSlotLoad(kT0, instr.lhs);
+        Emit(MakeI(Op::kXori, kT0, kT0, -1));
+        EmitSlotStore(kT0, instr.dst);
+        return Status::Ok();
+      case IrInstr::Kind::kBinary:
+        EmitSlotLoad(kT0, instr.lhs);
+        EmitSlotLoad(kT1, instr.rhs);
+        EmitBinary(instr.bin_op);
+        EmitSlotStore(kT0, instr.dst);
+        return Status::Ok();
+      case IrInstr::Kind::kLoad: {
+        EmitGlobalAddress(kT0, instr.symbol, 0);
+        if (instr.index != kNoVReg) {
+          EmitSlotLoad(kT1, instr.index);
+          Emit(MakeI(Op::kSlli, kT1, kT1, 3));
+          Emit(MakeR(Op::kAdd, kT0, kT0, kT1));
+        }
+        Emit(MakeLoad(Op::kLd, kT0, kT0, 0));
+        EmitSlotStore(kT0, instr.dst);
+        return Status::Ok();
+      }
+      case IrInstr::Kind::kStore: {
+        EmitGlobalAddress(kT0, instr.symbol, 0);
+        if (instr.index != kNoVReg) {
+          EmitSlotLoad(kT1, instr.index);
+          Emit(MakeI(Op::kSlli, kT1, kT1, 3));
+          Emit(MakeR(Op::kAdd, kT0, kT0, kT1));
+        }
+        EmitSlotLoad(kT1, instr.lhs);
+        Emit(MakeStore(Op::kSd, kT1, kT0, 0));
+        return Status::Ok();
+      }
+      case IrInstr::Kind::kCall: {
+        if (instr.symbol == "putc") {
+          if (instr.args.size() != 1) {
+            return Status(ErrorCode::kInvalidArgument,
+                          "putc expects 1 argument");
+          }
+          EmitSlotLoad(kT0, instr.args[0]);
+          Emit(MakeLui(kT1, kDevicePageHi));
+          Emit(MakeStore(Op::kSb, kT0, kT1, kConsoleOffset));
+          if (instr.dst != kNoVReg) {
+            EmitLoadImm(kT0, 0);
+            EmitSlotStore(kT0, instr.dst);
+          }
+          return Status::Ok();
+        }
+        if (instr.symbol == "exit") {
+          if (instr.args.size() != 1) {
+            return Status(ErrorCode::kInvalidArgument,
+                          "exit expects 1 argument");
+          }
+          EmitSlotLoad(kT0, instr.args[0]);
+          Emit(MakeLui(kT1, kDevicePageHi));
+          Emit(MakeStore(Op::kSd, kT0, kT1, kExitOffset));
+          return Status::Ok();
+        }
+        // Regular call: args -> a0..a7, jal, a0 -> dst.
+        for (size_t i = 0; i < instr.args.size(); ++i) {
+          EmitSlotLoad(static_cast<uint8_t>(kA0 + i), instr.args[i]);
+        }
+        EmitCall(instr.symbol);
+        if (instr.dst != kNoVReg) EmitSlotStore(kA0, instr.dst);
+        return Status::Ok();
+      }
+      case IrInstr::Kind::kRet:
+        if (instr.lhs != kNoVReg) {
+          EmitSlotLoad(kA0, instr.lhs);
+        } else {
+          Emit(MakeI(Op::kAddi, kA0, kZero, 0));
+        }
+        EmitEpilogue(frame);
+        return Status::Ok();
+      case IrInstr::Kind::kBr:
+        EmitJumpToBlock(instr.target);
+        return Status::Ok();
+      case IrInstr::Kind::kCondBr: {
+        EmitSlotLoad(kT0, instr.lhs);
+        // Branch-over-jump: the conditional branch only ever skips one
+        // instruction, so its ±4 KiB range can never overflow; the block
+        // targets use JAL (±1 MiB).
+        MInstr skip;
+        skip.instr = MakeBranch(Op::kBeq, kT0, kZero, 0);
+        skip.fixup = FixupKind::kBranch;
+        skip.target = static_cast<int>(instrs_.size()) + 2;  // false jump
+        instrs_.push_back(std::move(skip));
+        EmitJumpToBlock(instr.target);
+        EmitJumpToBlock(instr.target2);
+        return Status::Ok();
+      }
+    }
+    (void)fn;
+    return Status(ErrorCode::kInternal, "unhandled IR instruction");
+  }
+
+  void EmitBinary(IrBinOp op) {
+    switch (op) {
+      case IrBinOp::kAdd: Emit(MakeR(Op::kAdd, kT0, kT0, kT1)); break;
+      case IrBinOp::kSub: Emit(MakeR(Op::kSub, kT0, kT0, kT1)); break;
+      case IrBinOp::kMul: Emit(MakeR(Op::kMul, kT0, kT0, kT1)); break;
+      case IrBinOp::kDiv: Emit(MakeR(Op::kDiv, kT0, kT0, kT1)); break;
+      case IrBinOp::kRem: Emit(MakeR(Op::kRem, kT0, kT0, kT1)); break;
+      case IrBinOp::kAnd: Emit(MakeR(Op::kAnd, kT0, kT0, kT1)); break;
+      case IrBinOp::kOr: Emit(MakeR(Op::kOr, kT0, kT0, kT1)); break;
+      case IrBinOp::kXor: Emit(MakeR(Op::kXor, kT0, kT0, kT1)); break;
+      case IrBinOp::kShl: Emit(MakeR(Op::kSll, kT0, kT0, kT1)); break;
+      case IrBinOp::kShr: Emit(MakeR(Op::kSra, kT0, kT0, kT1)); break;
+      case IrBinOp::kEq:
+        Emit(MakeR(Op::kSub, kT0, kT0, kT1));
+        Emit(MakeI(Op::kSltiu, kT0, kT0, 1));
+        break;
+      case IrBinOp::kNe:
+        Emit(MakeR(Op::kSub, kT0, kT0, kT1));
+        Emit(MakeR(Op::kSltu, kT0, kZero, kT0));
+        break;
+      case IrBinOp::kLt: Emit(MakeR(Op::kSlt, kT0, kT0, kT1)); break;
+      case IrBinOp::kGe:
+        Emit(MakeR(Op::kSlt, kT0, kT0, kT1));
+        Emit(MakeI(Op::kXori, kT0, kT0, 1));
+        break;
+      case IrBinOp::kGt: Emit(MakeR(Op::kSlt, kT0, kT1, kT0)); break;
+      case IrBinOp::kLe:
+        Emit(MakeR(Op::kSlt, kT0, kT1, kT0));
+        Emit(MakeI(Op::kXori, kT0, kT0, 1));
+        break;
+    }
+  }
+
+  Status ResolveCalls() {
+    for (MInstr& m : instrs_) {
+      if (m.fixup != FixupKind::kCall) continue;
+      const auto it = function_entries_.find(m.callee);
+      if (it == function_entries_.end()) {
+        return Status(ErrorCode::kNotFound,
+                      "undefined function '" + m.callee + "'");
+      }
+      m.fixup = FixupKind::kJump;
+      m.target = static_cast<int>(it->second);
+    }
+    return Status::Ok();
+  }
+
+  // --- Peephole ----------------------------------------------------------
+
+  /// Store-load forwarding over the slot machine's favourite pattern:
+  ///   sd tX, S(sp) ; ld tY, S(sp)   =>   sd tX, S(sp) ; [mv tY, tX]
+  /// The load disappears entirely when tX == tY. Control-flow targets are
+  /// never touched (a jumped-to load must stay a load), and deletions
+  /// remap every instruction-index fixup.
+  void Peephole() {
+    const size_t n = instrs_.size();
+    std::vector<bool> is_target(n, false);
+    for (const MInstr& m : instrs_) {
+      if ((m.fixup == FixupKind::kBranch || m.fixup == FixupKind::kJump) &&
+          m.target >= 0 && static_cast<size_t>(m.target) < n) {
+        is_target[static_cast<size_t>(m.target)] = true;
+      }
+    }
+    for (const auto& [name, index] : function_entries_) {
+      (void)name;
+      if (index < n) is_target[index] = true;
+    }
+
+    std::vector<bool> dead(n, false);
+    for (size_t i = 0; i + 1 < n; ++i) {
+      const MInstr& store = instrs_[i];
+      MInstr& load = instrs_[i + 1];
+      if (store.fixup != FixupKind::kNone ||
+          load.fixup != FixupKind::kNone || is_target[i + 1]) {
+        continue;
+      }
+      if (store.instr.op != Op::kSd || load.instr.op != Op::kLd) continue;
+      if (store.instr.rs1 != kSp || load.instr.rs1 != kSp) continue;
+      if (store.instr.imm != load.instr.imm) continue;
+      if (load.instr.rd == store.instr.rs2) {
+        dead[i + 1] = true;
+      } else {
+        load.instr = MakeI(Op::kAddi, load.instr.rd, store.instr.rs2, 0);
+      }
+    }
+
+    // Compact and remap.
+    std::vector<size_t> new_index(n, 0);
+    size_t next = 0;
+    for (size_t i = 0; i < n; ++i) {
+      new_index[i] = next;
+      if (!dead[i]) ++next;
+    }
+    if (next == n) return;  // nothing deleted
+    std::vector<MInstr> compacted;
+    compacted.reserve(next);
+    for (size_t i = 0; i < n; ++i) {
+      if (!dead[i]) compacted.push_back(std::move(instrs_[i]));
+    }
+    for (MInstr& m : compacted) {
+      if (m.fixup == FixupKind::kBranch || m.fixup == FixupKind::kJump) {
+        m.target = static_cast<int>(new_index[static_cast<size_t>(m.target)]);
+      }
+      if (m.fixup == FixupKind::kAddiLo) {
+        m.pair = static_cast<int>(new_index[static_cast<size_t>(m.pair)]);
+      }
+    }
+    for (auto& [name, index] : function_entries_) {
+      (void)name;
+      index = new_index[index];
+    }
+    instrs_ = std::move(compacted);
+  }
+
+  // --- Layout & encoding -------------------------------------------------
+
+  Result<CompiledProgram> Layout() {
+    const size_t n = instrs_.size();
+    std::vector<int> sizes(n, 4);
+    std::vector<bool> forced4(n, false);
+
+    // Initial optimistic sizing.
+    for (size_t i = 0; i < n; ++i) {
+      if (options_.compress &&
+          isa::TryEncodeCompressed(instrs_[i].instr).has_value()) {
+        sizes[i] = 2;
+      }
+    }
+
+    std::vector<int64_t> offsets(n + 1, 0);
+    for (int iteration = 0; iteration < 64; ++iteration) {
+      // Offsets from current sizes; data section follows text, 8-aligned.
+      for (size_t i = 0; i < n; ++i) {
+        offsets[i + 1] = offsets[i] + sizes[i];
+      }
+      const int64_t text_end = offsets[n];
+      const int64_t data_base = (text_end + 7) & ~int64_t{7};
+
+      // Patch immediates.
+      for (size_t i = 0; i < n; ++i) {
+        MInstr& m = instrs_[i];
+        switch (m.fixup) {
+          case FixupKind::kNone:
+            break;
+          case FixupKind::kBranch:
+          case FixupKind::kJump: {
+            const int64_t delta =
+                offsets[static_cast<size_t>(m.target)] - offsets[i];
+            m.instr.imm = delta;
+            break;
+          }
+          case FixupKind::kAuipcHi: {
+            const int64_t target =
+                data_base + global_offsets_.at(m.symbol) + m.addend;
+            const int64_t delta = target - offsets[i];
+            const int64_t hi = (delta + 0x800) >> 12;
+            m.instr.imm = hi;
+            break;
+          }
+          case FixupKind::kAddiLo: {
+            const int64_t target =
+                data_base + global_offsets_.at(m.symbol) + m.addend;
+            const int64_t delta =
+                target - offsets[static_cast<size_t>(m.pair)];
+            const int64_t hi = (delta + 0x800) >> 12;
+            m.instr.imm = delta - (hi << 12);
+            break;
+          }
+          case FixupKind::kCall:
+            return Status(ErrorCode::kInternal, "unresolved call in layout");
+        }
+      }
+
+      // Re-derive sizes monotonically.
+      bool changed = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (sizes[i] == 4) continue;
+        const bool compressible =
+            options_.compress &&
+            isa::TryEncodeCompressed(instrs_[i].instr).has_value();
+        if (!compressible) {
+          sizes[i] = 4;
+          forced4[i] = true;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+      if (iteration == 63) {
+        return Status(ErrorCode::kInternal, "layout did not converge");
+      }
+    }
+
+    // Final encode.
+    CompiledProgram out;
+    out.instructions.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Instr& instr = instrs_[i].instr;
+      if (sizes[i] == 2) {
+        const auto c16 = isa::TryEncodeCompressed(instr);
+        assert(c16.has_value());
+        out.image.push_back(static_cast<uint8_t>(*c16 & 0xFF));
+        out.image.push_back(static_cast<uint8_t>(*c16 >> 8));
+        Instr final_instr = instr;
+        final_instr.compressed = true;
+        final_instr.raw = *c16;
+        out.instructions.push_back(final_instr);
+        ++out.stats.compressed_instructions;
+      } else {
+        Result<uint32_t> word = isa::Encode32(instr);
+        if (!word.ok()) {
+          return Status(word.status().code(),
+                        "encoding instruction " + std::to_string(i) + " (" +
+                            std::string(isa::OpName(instr.op)) +
+                            "): " + word.status().message());
+        }
+        for (int b = 0; b < 4; ++b) {
+          out.image.push_back(static_cast<uint8_t>(*word >> (8 * b)));
+        }
+        Instr final_instr = instr;
+        final_instr.compressed = false;
+        final_instr.raw = *word;
+        out.instructions.push_back(final_instr);
+      }
+      ++out.stats.total_instructions;
+    }
+    out.text_bytes = out.image.size();
+
+    // Data section: zero padding to 8-byte alignment, then initializers.
+    while (out.image.size() % 8 != 0) out.image.push_back(0);
+    std::vector<uint8_t> data(data_bytes_, 0);
+    for (const IrGlobal& g : module_.globals) {
+      const int64_t base = global_offsets_.at(g.name);
+      for (size_t e = 0; e < g.init_values.size(); ++e) {
+        const uint64_t v = static_cast<uint64_t>(g.init_values[e]);
+        for (int b = 0; b < 8; ++b) {
+          data[static_cast<size_t>(base) + e * 8 + static_cast<size_t>(b)] =
+              static_cast<uint8_t>(v >> (8 * b));
+        }
+      }
+    }
+    out.image.insert(out.image.end(), data.begin(), data.end());
+    out.stats.text_bytes = out.text_bytes;
+    out.stats.data_bytes = data.size();
+
+    // Function offsets (byte offsets) for debuggers/tests.
+    {
+      std::vector<int64_t> final_offsets(n + 1, 0);
+      for (size_t i = 0; i < n; ++i) {
+        final_offsets[i + 1] = final_offsets[i] + sizes[i];
+      }
+      for (const auto& [name, index] : function_entries_) {
+        out.function_offsets[name] =
+            static_cast<size_t>(final_offsets[index]);
+      }
+    }
+    return out;
+  }
+
+  const IrModule& module_;
+  CodegenOptions options_;
+  std::vector<MInstr> instrs_;
+  std::map<std::string, size_t> function_entries_;
+  std::map<std::string, int64_t> global_offsets_;
+  std::vector<size_t> block_fixups_;  ///< indices with block-id targets
+  size_t data_bytes_ = 0;
+};
+
+}  // namespace
+
+Result<CompiledProgram> GenerateCode(const IrModule& module,
+                                     const CodegenOptions& options) {
+  ModuleEmitter emitter(module, options);
+  return emitter.Run();
+}
+
+}  // namespace eric::compiler

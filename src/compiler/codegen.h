@@ -1,0 +1,69 @@
+// IR -> RV64IMAC code generation, layout, and image building.
+//
+// The backend is a classic slot-machine: every virtual register lives in a
+// stack slot and each IR operation loads its operands into scratch
+// registers (t0/t1/t2), computes, and stores back. Code quality is
+// deliberately modest — what matters for the reproduction is that the
+// output is *real* RV64IMAC with a realistic compressed-instruction mix,
+// runs on the simulator, and flows through ERIC's encryption unchanged.
+//
+// Layout performs iterative relaxation: instructions start at their
+// compressed width where an RVC form exists and are monotonically widened
+// to 4 bytes when immediates stop fitting, guaranteeing termination.
+// Global data is placed after the text section and addressed PC-relatively
+// (auipc+addi), so images are position-independent within ±2 GiB.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/ir.h"
+#include "isa/instruction.h"
+#include "support/status.h"
+
+namespace eric::compiler {
+
+/// Backend statistics (feeds the Fig 5 size accounting and tests).
+struct CodegenStats {
+  uint32_t total_instructions = 0;
+  uint32_t compressed_instructions = 0;
+  size_t text_bytes = 0;
+  size_t data_bytes = 0;
+
+  double compressed_fraction() const {
+    return total_instructions == 0
+               ? 0.0
+               : static_cast<double>(compressed_instructions) /
+                     total_instructions;
+  }
+};
+
+/// A fully laid-out program.
+struct CompiledProgram {
+  /// Loadable image: text, padding, data. Load at any 8-byte-aligned base
+  /// (the simulator uses sim::kRamBase); entry is image offset 0.
+  std::vector<uint8_t> image;
+  size_t text_bytes = 0;
+
+  /// The final instruction stream (immediates patched), in address order.
+  /// This is what ERIC's software source signs and encrypts.
+  std::vector<isa::Instr> instructions;
+
+  /// Function name -> byte offset of its first instruction.
+  std::map<std::string, size_t> function_offsets;
+
+  CodegenStats stats;
+};
+
+/// Code generation options.
+struct CodegenOptions {
+  bool compress = true;  ///< emit RVC forms where possible (rv64gc-style)
+};
+
+/// Generates, lays out, and encodes the module.
+Result<CompiledProgram> GenerateCode(const IrModule& module,
+                                     const CodegenOptions& options = {});
+
+}  // namespace eric::compiler

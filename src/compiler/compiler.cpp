@@ -1,0 +1,79 @@
+#include "compiler/compiler.h"
+
+#include <chrono>
+
+#include "compiler/irgen.h"
+#include "compiler/parser.h"
+#include "compiler/passes.h"
+
+namespace eric::compiler {
+namespace {
+
+class StageClock {
+ public:
+  explicit StageClock(std::vector<StageTiming>& timings)
+      : timings_(timings) {}
+
+  template <typename Fn>
+  auto Time(const char* name, Fn&& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = fn();
+    const auto end = std::chrono::steady_clock::now();
+    timings_.push_back(StageTiming{
+        name,
+        std::chrono::duration<double, std::micro>(end - start).count()});
+    return result;
+  }
+
+ private:
+  std::vector<StageTiming>& timings_;
+};
+
+}  // namespace
+
+double CompileResult::TotalMicroseconds() const {
+  double total = 0.0;
+  for (const StageTiming& t : timings) total += t.microseconds;
+  return total;
+}
+
+Result<CompileResult> Compile(std::string_view source,
+                              const CompileOptions& options) {
+  CompileResult result;
+  StageClock clock(result.timings);
+
+  auto parsed = clock.Time("parse", [&] { return ParseModule(source); });
+  if (!parsed.ok()) return parsed.status();
+
+  auto ir = clock.Time("irgen", [&] { return GenerateIr(*parsed); });
+  if (!ir.ok()) return ir.status();
+
+  if (options.optimize) {
+    clock.Time("optimize", [&] {
+      for (int round = 0; round < options.opt_rounds; ++round) {
+        uint64_t changes = 0;
+        for (IrFunction& fn : ir->functions) {
+          changes += FoldConstants(fn).changes;
+          changes += PropagateCopies(fn).changes;
+          changes += EliminateCommonSubexpressions(fn).changes;
+          changes += ReduceStrength(fn).changes;
+          changes += EliminateDeadCode(fn).changes;
+          changes += SimplifyControlFlow(fn).changes;
+        }
+        if (changes == 0) break;
+      }
+      return 0;
+    });
+  }
+
+  CodegenOptions cg;
+  cg.compress = options.compress;
+  auto program =
+      clock.Time("codegen", [&] { return GenerateCode(*ir, cg); });
+  if (!program.ok()) return program.status();
+
+  result.program = *std::move(program);
+  return result;
+}
+
+}  // namespace eric::compiler

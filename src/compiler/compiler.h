@@ -1,0 +1,46 @@
+// Compiler driver: source text -> laid-out RV64IMAC program.
+//
+// Plays the role of the paper's Clang-derived driver. The pipeline is
+// front-end -> IR -> optimization passes -> code generation, each stage
+// individually timed so the Fig 6 experiment can report where ERIC's
+// added signing/encryption stages sit relative to real compilation work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compiler/codegen.h"
+#include "support/status.h"
+
+namespace eric::compiler {
+
+/// Wall-clock duration of one pipeline stage.
+struct StageTiming {
+  std::string name;
+  double microseconds = 0.0;
+};
+
+/// Driver options.
+struct CompileOptions {
+  bool optimize = true;   ///< run the IR pass pipeline
+  bool compress = true;   ///< emit RVC instructions (rv64gc-style)
+  int opt_rounds = 2;     ///< fold/reduce/dce repetitions
+};
+
+/// Compilation output: the program plus stage timings.
+struct CompileResult {
+  CompiledProgram program;
+  std::vector<StageTiming> timings;
+
+  /// Sum of all stage times (baseline compile time for Fig 6).
+  double TotalMicroseconds() const;
+};
+
+/// Compiles EricC source. All errors (lexical, syntactic, semantic,
+/// encoding) are reported through the returned status.
+Result<CompileResult> Compile(std::string_view source,
+                              const CompileOptions& options = {});
+
+}  // namespace eric::compiler

@@ -1,0 +1,104 @@
+// Intermediate representation: a CFG of basic blocks over mutable virtual
+// registers (LLVM-IR-like in role, deliberately simpler in form).
+//
+// Conventions:
+//  * VReg 0 is "none"; real registers start at 1.
+//  * Logical && / || are lowered to control flow by IR generation, so the
+//    IR has no short-circuit operators.
+//  * Loads/stores address a named global symbol plus an optional index
+//    vreg scaled by 8 (EricC values are all i64).
+//  * Built-ins `putc` and `exit` survive to code generation as calls and
+//    lower to MMIO there.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/ast.h"
+
+namespace eric::compiler {
+
+using VReg = uint32_t;
+inline constexpr VReg kNoVReg = 0;
+
+/// Arithmetic/comparison operators in IR (logical ops excluded by
+/// construction).
+enum class IrBinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+struct IrInstr {
+  enum class Kind : uint8_t {
+    kConst,    ///< dst = imm
+    kMove,     ///< dst = lhs
+    kBinary,   ///< dst = lhs <bin_op> rhs
+    kNeg,      ///< dst = -lhs
+    kNot,      ///< dst = (lhs == 0)
+    kBitNot,   ///< dst = ~lhs
+    kLoad,     ///< dst = [symbol + index*8]   (index may be kNoVReg)
+    kStore,    ///< [symbol + index*8] = lhs
+    kCall,     ///< dst = symbol(args...)      (dst may be kNoVReg)
+    kRet,      ///< return lhs (or void if kNoVReg)
+    kBr,       ///< goto target
+    kCondBr,   ///< if (lhs != 0) goto target else goto target2
+  };
+
+  Kind kind;
+  IrBinOp bin_op = IrBinOp::kAdd;
+  VReg dst = kNoVReg;
+  VReg lhs = kNoVReg;
+  VReg rhs = kNoVReg;
+  VReg index = kNoVReg;
+  int64_t imm = 0;
+  std::string symbol;
+  std::vector<VReg> args;
+  int target = -1;   ///< block id
+  int target2 = -1;  ///< block id (false edge)
+
+  bool IsTerminator() const {
+    return kind == Kind::kRet || kind == Kind::kBr || kind == Kind::kCondBr;
+  }
+  bool HasSideEffects() const {
+    return kind == Kind::kStore || kind == Kind::kCall || IsTerminator();
+  }
+};
+
+struct IrBlock {
+  std::vector<IrInstr> instrs;
+};
+
+struct IrFunction {
+  std::string name;
+  int num_params = 0;   ///< params occupy vregs 1..num_params
+  VReg next_vreg = 1;   ///< first unused vreg id
+  std::vector<IrBlock> blocks;  ///< block 0 is the entry
+
+  VReg NewVReg() { return next_vreg++; }
+};
+
+/// Global data symbol.
+struct IrGlobal {
+  std::string name;
+  int64_t size_elems = 1;
+  std::vector<int64_t> init_values;
+};
+
+struct IrModule {
+  std::vector<IrGlobal> globals;
+  std::vector<IrFunction> functions;
+
+  const IrGlobal* FindGlobal(const std::string& name) const {
+    for (const IrGlobal& g : globals) {
+      if (g.name == name) return &g;
+    }
+    return nullptr;
+  }
+};
+
+/// Human-readable dump for tests and debugging.
+std::string DumpIr(const IrModule& module);
+
+}  // namespace eric::compiler

@@ -1,0 +1,447 @@
+#include "compiler/irgen.h"
+
+#include <map>
+#include <set>
+
+namespace eric::compiler {
+namespace {
+
+IrBinOp ToIrBinOp(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return IrBinOp::kAdd;
+    case BinOp::kSub: return IrBinOp::kSub;
+    case BinOp::kMul: return IrBinOp::kMul;
+    case BinOp::kDiv: return IrBinOp::kDiv;
+    case BinOp::kRem: return IrBinOp::kRem;
+    case BinOp::kAnd: return IrBinOp::kAnd;
+    case BinOp::kOr: return IrBinOp::kOr;
+    case BinOp::kXor: return IrBinOp::kXor;
+    case BinOp::kShl: return IrBinOp::kShl;
+    case BinOp::kShr: return IrBinOp::kShr;
+    case BinOp::kEq: return IrBinOp::kEq;
+    case BinOp::kNe: return IrBinOp::kNe;
+    case BinOp::kLt: return IrBinOp::kLt;
+    case BinOp::kLe: return IrBinOp::kLe;
+    case BinOp::kGt: return IrBinOp::kGt;
+    case BinOp::kGe: return IrBinOp::kGe;
+    default: return IrBinOp::kAdd;  // logical ops never reach here
+  }
+}
+
+class FunctionLowerer {
+ public:
+  FunctionLowerer(const Module& module, const Function& fn,
+                  const std::set<std::string>& function_names)
+      : module_(module), fn_(fn), function_names_(function_names) {}
+
+  Result<IrFunction> Lower() {
+    ir_.name = fn_.name;
+    ir_.num_params = static_cast<int>(fn_.params.size());
+    NewBlock();  // entry = block 0
+    for (size_t i = 0; i < fn_.params.size(); ++i) {
+      const VReg reg = ir_.NewVReg();
+      locals_[fn_.params[i]] = reg;  // params land in vregs 1..N
+    }
+    ERIC_RETURN_IF_ERROR(LowerBlock(fn_.body));
+    // Implicit `return 0` if control can fall off the end.
+    if (!BlockTerminated()) {
+      IrInstr ret;
+      ret.kind = IrInstr::Kind::kConst;
+      ret.dst = ir_.NewVReg();
+      ret.imm = 0;
+      Emit(ret);
+      IrInstr r;
+      r.kind = IrInstr::Kind::kRet;
+      r.lhs = ret.dst;
+      Emit(r);
+    }
+    return std::move(ir_);
+  }
+
+ private:
+  int NewBlock() {
+    ir_.blocks.emplace_back();
+    return static_cast<int>(ir_.blocks.size()) - 1;
+  }
+
+  void Emit(IrInstr instr) {
+    ir_.blocks[static_cast<size_t>(current_)].instrs.push_back(
+        std::move(instr));
+  }
+
+  bool BlockTerminated() const {
+    const auto& instrs = ir_.blocks[static_cast<size_t>(current_)].instrs;
+    return !instrs.empty() && instrs.back().IsTerminator();
+  }
+
+  void SwitchTo(int block) { current_ = block; }
+
+  void Branch(int target) {
+    if (BlockTerminated()) return;
+    IrInstr br;
+    br.kind = IrInstr::Kind::kBr;
+    br.target = target;
+    Emit(br);
+  }
+
+  void CondBranch(VReg cond, int if_true, int if_false) {
+    IrInstr br;
+    br.kind = IrInstr::Kind::kCondBr;
+    br.lhs = cond;
+    br.target = if_true;
+    br.target2 = if_false;
+    Emit(br);
+  }
+
+  Status Error(int line, const std::string& what) const {
+    return Status(ErrorCode::kInvalidArgument,
+                  fn_.name + ": line " + std::to_string(line) + ": " + what);
+  }
+
+  Status LowerBlock(const std::vector<StmtPtr>& stmts) {
+    for (const StmtPtr& stmt : stmts) {
+      ERIC_RETURN_IF_ERROR(LowerStmt(*stmt));
+      if (BlockTerminated() && &stmt != &stmts.back()) {
+        // Dead statements after return/break: still type-check them? Match
+        // C compilers: silently skip (unreachable-code elimination).
+        break;
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status LowerStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kVarDecl: {
+        if (locals_.count(stmt.name) != 0) {
+          return Error(stmt.line, "redeclared variable '" + stmt.name + "'");
+        }
+        const VReg reg = ir_.NewVReg();
+        locals_[stmt.name] = reg;
+        if (stmt.value != nullptr) {
+          Result<VReg> value = LowerExpr(*stmt.value);
+          if (!value.ok()) return value.status();
+          IrInstr mv;
+          mv.kind = IrInstr::Kind::kMove;
+          mv.dst = reg;
+          mv.lhs = *value;
+          Emit(mv);
+        } else {
+          IrInstr zero;
+          zero.kind = IrInstr::Kind::kConst;
+          zero.dst = reg;
+          zero.imm = 0;
+          Emit(zero);
+        }
+        return Status::Ok();
+      }
+      case Stmt::Kind::kAssign: {
+        Result<VReg> value = LowerExpr(*stmt.value);
+        if (!value.ok()) return value.status();
+        const auto local = locals_.find(stmt.name);
+        if (local != locals_.end()) {
+          IrInstr mv;
+          mv.kind = IrInstr::Kind::kMove;
+          mv.dst = local->second;
+          mv.lhs = *value;
+          Emit(mv);
+          return Status::Ok();
+        }
+        const IrGlobal* global = FindGlobalAst(stmt.name);
+        if (global == nullptr) {
+          return Error(stmt.line, "undefined variable '" + stmt.name + "'");
+        }
+        IrInstr st;
+        st.kind = IrInstr::Kind::kStore;
+        st.symbol = stmt.name;
+        st.lhs = *value;
+        Emit(st);
+        return Status::Ok();
+      }
+      case Stmt::Kind::kIndexAssign: {
+        if (FindGlobalAst(stmt.name) == nullptr) {
+          return Error(stmt.line, "undefined array '" + stmt.name + "'");
+        }
+        Result<VReg> index = LowerExpr(*stmt.index);
+        if (!index.ok()) return index.status();
+        Result<VReg> value = LowerExpr(*stmt.value);
+        if (!value.ok()) return value.status();
+        IrInstr st;
+        st.kind = IrInstr::Kind::kStore;
+        st.symbol = stmt.name;
+        st.index = *index;
+        st.lhs = *value;
+        Emit(st);
+        return Status::Ok();
+      }
+      case Stmt::Kind::kIf: {
+        Result<VReg> cond = LowerExpr(*stmt.value);
+        if (!cond.ok()) return cond.status();
+        const int then_block = NewBlock();
+        const int join_block = NewBlock();
+        const int else_block =
+            stmt.else_body.empty() ? join_block : NewBlock();
+        CondBranch(*cond, then_block, else_block);
+        SwitchTo(then_block);
+        ERIC_RETURN_IF_ERROR(LowerBlock(stmt.body));
+        Branch(join_block);
+        if (!stmt.else_body.empty()) {
+          SwitchTo(else_block);
+          ERIC_RETURN_IF_ERROR(LowerBlock(stmt.else_body));
+          Branch(join_block);
+        }
+        SwitchTo(join_block);
+        return Status::Ok();
+      }
+      case Stmt::Kind::kWhile: {
+        const int head = NewBlock();
+        const int body = NewBlock();
+        const int exit = NewBlock();
+        Branch(head);
+        SwitchTo(head);
+        Result<VReg> cond = LowerExpr(*stmt.value);
+        if (!cond.ok()) return cond.status();
+        CondBranch(*cond, body, exit);
+        loop_stack_.push_back({head, exit});
+        SwitchTo(body);
+        ERIC_RETURN_IF_ERROR(LowerBlock(stmt.body));
+        Branch(head);
+        loop_stack_.pop_back();
+        SwitchTo(exit);
+        return Status::Ok();
+      }
+      case Stmt::Kind::kReturn: {
+        IrInstr ret;
+        ret.kind = IrInstr::Kind::kRet;
+        if (stmt.value != nullptr) {
+          Result<VReg> value = LowerExpr(*stmt.value);
+          if (!value.ok()) return value.status();
+          ret.lhs = *value;
+        }
+        Emit(ret);
+        return Status::Ok();
+      }
+      case Stmt::Kind::kBreak:
+        if (loop_stack_.empty()) return Error(stmt.line, "break outside loop");
+        Branch(loop_stack_.back().exit);
+        return Status::Ok();
+      case Stmt::Kind::kContinue:
+        if (loop_stack_.empty()) {
+          return Error(stmt.line, "continue outside loop");
+        }
+        Branch(loop_stack_.back().head);
+        return Status::Ok();
+      case Stmt::Kind::kExprStmt: {
+        Result<VReg> value = LowerExpr(*stmt.value);
+        if (!value.ok()) return value.status();
+        return Status::Ok();
+      }
+    }
+    return Status(ErrorCode::kInternal, "unhandled statement kind");
+  }
+
+  const IrGlobal* FindGlobalAst(const std::string& name) {
+    // Globals are known from the AST module; IR globals are built by the
+    // caller in the same order — resolve against the AST to avoid
+    // ordering coupling.
+    for (const GlobalVar& g : module_.globals) {
+      if (g.name == name) {
+        scratch_global_.name = g.name;
+        scratch_global_.size_elems = g.array_size == 0 ? 1 : g.array_size;
+        return &scratch_global_;
+      }
+    }
+    return nullptr;
+  }
+
+  Result<VReg> LowerExpr(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kInt: {
+        IrInstr c;
+        c.kind = IrInstr::Kind::kConst;
+        c.dst = ir_.NewVReg();
+        c.imm = expr.value;
+        Emit(c);
+        return c.dst;
+      }
+      case Expr::Kind::kVar: {
+        const auto local = locals_.find(expr.name);
+        if (local != locals_.end()) return local->second;
+        if (FindGlobalAst(expr.name) == nullptr) {
+          return Error(expr.line, "undefined variable '" + expr.name + "'");
+        }
+        IrInstr ld;
+        ld.kind = IrInstr::Kind::kLoad;
+        ld.dst = ir_.NewVReg();
+        ld.symbol = expr.name;
+        Emit(ld);
+        return ld.dst;
+      }
+      case Expr::Kind::kIndex: {
+        if (FindGlobalAst(expr.name) == nullptr) {
+          return Error(expr.line, "undefined array '" + expr.name + "'");
+        }
+        Result<VReg> index = LowerExpr(*expr.lhs);
+        if (!index.ok()) return index.status();
+        IrInstr ld;
+        ld.kind = IrInstr::Kind::kLoad;
+        ld.dst = ir_.NewVReg();
+        ld.symbol = expr.name;
+        ld.index = *index;
+        Emit(ld);
+        return ld.dst;
+      }
+      case Expr::Kind::kUnary: {
+        Result<VReg> operand = LowerExpr(*expr.lhs);
+        if (!operand.ok()) return operand.status();
+        IrInstr un;
+        un.dst = ir_.NewVReg();
+        un.lhs = *operand;
+        switch (expr.un_op) {
+          case UnOp::kNeg: un.kind = IrInstr::Kind::kNeg; break;
+          case UnOp::kNot: un.kind = IrInstr::Kind::kNot; break;
+          case UnOp::kBitNot: un.kind = IrInstr::Kind::kBitNot; break;
+        }
+        Emit(un);
+        return un.dst;
+      }
+      case Expr::Kind::kBinary: {
+        if (expr.bin_op == BinOp::kLogicalAnd ||
+            expr.bin_op == BinOp::kLogicalOr) {
+          return LowerShortCircuit(expr);
+        }
+        Result<VReg> lhs = LowerExpr(*expr.lhs);
+        if (!lhs.ok()) return lhs.status();
+        Result<VReg> rhs = LowerExpr(*expr.rhs);
+        if (!rhs.ok()) return rhs.status();
+        IrInstr bin;
+        bin.kind = IrInstr::Kind::kBinary;
+        bin.bin_op = ToIrBinOp(expr.bin_op);
+        bin.dst = ir_.NewVReg();
+        bin.lhs = *lhs;
+        bin.rhs = *rhs;
+        Emit(bin);
+        return bin.dst;
+      }
+      case Expr::Kind::kCall: {
+        const bool builtin = expr.name == "putc" || expr.name == "exit";
+        if (!builtin && function_names_.count(expr.name) == 0) {
+          return Error(expr.line, "undefined function '" + expr.name + "'");
+        }
+        if (expr.args.size() > 8) {
+          return Error(expr.line, "more than 8 arguments not supported");
+        }
+        IrInstr call;
+        call.kind = IrInstr::Kind::kCall;
+        call.symbol = expr.name;
+        for (const ExprPtr& arg : expr.args) {
+          Result<VReg> value = LowerExpr(*arg);
+          if (!value.ok()) return value.status();
+          call.args.push_back(*value);
+        }
+        call.dst = ir_.NewVReg();
+        Emit(call);
+        return call.dst;
+      }
+    }
+    return Status(ErrorCode::kInternal, "unhandled expression kind");
+  }
+
+  // a && b / a || b with short-circuit evaluation into a result vreg.
+  Result<VReg> LowerShortCircuit(const Expr& expr) {
+    const VReg result = ir_.NewVReg();
+    Result<VReg> lhs = LowerExpr(*expr.lhs);
+    if (!lhs.ok()) return lhs.status();
+    // Normalize lhs to 0/1 into result.
+    IrInstr norm;
+    norm.kind = IrInstr::Kind::kBinary;
+    norm.bin_op = IrBinOp::kNe;
+    norm.dst = result;
+    norm.lhs = *lhs;
+    norm.rhs = EmitConst(0);
+    Emit(norm);
+
+    const int rhs_block = NewBlock();
+    const int join_block = NewBlock();
+    if (expr.bin_op == BinOp::kLogicalAnd) {
+      CondBranch(result, rhs_block, join_block);
+    } else {
+      CondBranch(result, join_block, rhs_block);
+    }
+    SwitchTo(rhs_block);
+    Result<VReg> rhs = LowerExpr(*expr.rhs);
+    if (!rhs.ok()) return rhs.status();
+    IrInstr norm2;
+    norm2.kind = IrInstr::Kind::kBinary;
+    norm2.bin_op = IrBinOp::kNe;
+    norm2.dst = result;
+    norm2.lhs = *rhs;
+    norm2.rhs = EmitConst(0);
+    Emit(norm2);
+    Branch(join_block);
+    SwitchTo(join_block);
+    return result;
+  }
+
+  VReg EmitConst(int64_t value) {
+    IrInstr c;
+    c.kind = IrInstr::Kind::kConst;
+    c.dst = ir_.NewVReg();
+    c.imm = value;
+    Emit(c);
+    return c.dst;
+  }
+
+  struct LoopTargets {
+    int head;
+    int exit;
+  };
+
+  const Module& module_;
+  const Function& fn_;
+  const std::set<std::string>& function_names_;
+  IrFunction ir_;
+  int current_ = 0;
+  std::map<std::string, VReg> locals_;
+  std::vector<LoopTargets> loop_stack_;
+  IrGlobal scratch_global_;
+};
+
+}  // namespace
+
+Result<IrModule> GenerateIr(const Module& module) {
+  IrModule ir;
+  std::set<std::string> function_names;
+  for (const Function& fn : module.functions) {
+    if (!function_names.insert(fn.name).second) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "duplicate function '" + fn.name + "'");
+    }
+  }
+  if (function_names.count("main") == 0) {
+    return Status(ErrorCode::kInvalidArgument, "no 'main' function");
+  }
+
+  std::set<std::string> global_names;
+  for (const GlobalVar& g : module.globals) {
+    if (!global_names.insert(g.name).second) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "duplicate global '" + g.name + "'");
+    }
+    IrGlobal ig;
+    ig.name = g.name;
+    ig.size_elems = g.array_size == 0 ? 1 : g.array_size;
+    ig.init_values = g.init_values;
+    ir.globals.push_back(std::move(ig));
+  }
+
+  for (const Function& fn : module.functions) {
+    FunctionLowerer lowerer(module, fn, function_names);
+    Result<IrFunction> lowered = lowerer.Lower();
+    if (!lowered.ok()) return lowered.status();
+    ir.functions.push_back(*std::move(lowered));
+  }
+  return ir;
+}
+
+}  // namespace eric::compiler

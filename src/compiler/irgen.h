@@ -1,0 +1,15 @@
+// AST -> IR lowering.
+#pragma once
+
+#include "compiler/ast.h"
+#include "compiler/ir.h"
+#include "support/status.h"
+
+namespace eric::compiler {
+
+/// Lowers a parsed module to IR. Performs name resolution (locals shadow
+/// globals), short-circuit lowering, and loop construction. Fails on
+/// undefined names, arity mismatches, and assignments to array names.
+Result<IrModule> GenerateIr(const Module& module);
+
+}  // namespace eric::compiler

@@ -1,0 +1,152 @@
+#include "compiler/lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace eric::compiler {
+namespace {
+
+const std::map<std::string, TokenKind, std::less<>>& Keywords() {
+  static const std::map<std::string, TokenKind, std::less<>> kKeywords = {
+      {"fn", TokenKind::kFn},         {"var", TokenKind::kVar},
+      {"if", TokenKind::kIf},         {"else", TokenKind::kElse},
+      {"while", TokenKind::kWhile},   {"return", TokenKind::kReturn},
+      {"break", TokenKind::kBreak},   {"continue", TokenKind::kContinue},
+  };
+  return kKeywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+  int line = 1;
+
+  auto push = [&](TokenKind kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    tokens.push_back(std::move(t));
+  };
+
+  while (pos < source.size()) {
+    const char c = source[pos];
+    if (c == '\n') {
+      ++line;
+      ++pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    // Comments: // to end of line.
+    if (c == '/' && pos + 1 < source.size() && source[pos + 1] == '/') {
+      while (pos < source.size() && source[pos] != '\n') ++pos;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const size_t start = pos;
+      while (pos < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[pos])) ||
+              source[pos] == '_')) {
+        ++pos;
+      }
+      std::string word(source.substr(start, pos - start));
+      const auto it = Keywords().find(word);
+      Token t;
+      t.line = line;
+      if (it != Keywords().end()) {
+        t.kind = it->second;
+      } else {
+        t.kind = TokenKind::kIdent;
+        t.text = std::move(word);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const size_t start = pos;
+      int base = 10;
+      if (c == '0' && pos + 1 < source.size() &&
+          (source[pos + 1] == 'x' || source[pos + 1] == 'X')) {
+        base = 16;
+        pos += 2;
+      }
+      while (pos < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[pos])))) {
+        ++pos;
+      }
+      const std::string digits(source.substr(start, pos - start));
+      Token t;
+      t.kind = TokenKind::kInt;
+      t.line = line;
+      try {
+        t.value = std::stoll(digits, nullptr, base == 16 ? 16 : 10);
+      } catch (...) {
+        return Status(ErrorCode::kParseError,
+                      "line " + std::to_string(line) + ": bad integer '" +
+                          digits + "'");
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    auto two = [&](char second) {
+      return pos + 1 < source.size() && source[pos + 1] == second;
+    };
+    switch (c) {
+      case '(': push(TokenKind::kLParen); ++pos; break;
+      case ')': push(TokenKind::kRParen); ++pos; break;
+      case '{': push(TokenKind::kLBrace); ++pos; break;
+      case '}': push(TokenKind::kRBrace); ++pos; break;
+      case '[': push(TokenKind::kLBracket); ++pos; break;
+      case ']': push(TokenKind::kRBracket); ++pos; break;
+      case ',': push(TokenKind::kComma); ++pos; break;
+      case ';': push(TokenKind::kSemi); ++pos; break;
+      case '+': push(TokenKind::kPlus); ++pos; break;
+      case '-': push(TokenKind::kMinus); ++pos; break;
+      case '*': push(TokenKind::kStar); ++pos; break;
+      case '/': push(TokenKind::kSlash); ++pos; break;
+      case '%': push(TokenKind::kPercent); ++pos; break;
+      case '~': push(TokenKind::kTilde); ++pos; break;
+      case '^': push(TokenKind::kCaret); ++pos; break;
+      case '&':
+        if (two('&')) { push(TokenKind::kAndAnd); pos += 2; }
+        else { push(TokenKind::kAmp); ++pos; }
+        break;
+      case '|':
+        if (two('|')) { push(TokenKind::kOrOr); pos += 2; }
+        else { push(TokenKind::kPipe); ++pos; }
+        break;
+      case '=':
+        if (two('=')) { push(TokenKind::kEq); pos += 2; }
+        else { push(TokenKind::kAssign); ++pos; }
+        break;
+      case '!':
+        if (two('=')) { push(TokenKind::kNe); pos += 2; }
+        else { push(TokenKind::kBang); ++pos; }
+        break;
+      case '<':
+        if (two('=')) { push(TokenKind::kLe); pos += 2; }
+        else if (two('<')) { push(TokenKind::kShl); pos += 2; }
+        else { push(TokenKind::kLt); ++pos; }
+        break;
+      case '>':
+        if (two('=')) { push(TokenKind::kGe); pos += 2; }
+        else if (two('>')) { push(TokenKind::kShr); pos += 2; }
+        else { push(TokenKind::kGt); ++pos; }
+        break;
+      default:
+        return Status(ErrorCode::kParseError,
+                      "line " + std::to_string(line) +
+                          ": unexpected character '" + std::string(1, c) +
+                          "'");
+    }
+  }
+  push(TokenKind::kEof);
+  return tokens;
+}
+
+}  // namespace eric::compiler

@@ -1,0 +1,46 @@
+// Lexer for EricC, the mini language the workload suite is written in.
+//
+// The paper compiles MiBench C programs with a Clang-derived driver; our
+// substitute pipeline compiles EricC — a C-like integer language — through
+// a real multi-stage front-end so the compile-time experiment (Fig 6)
+// exercises lexing, parsing, IR construction, optimization, code
+// generation, and layout, just as Clang does at larger scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace eric::compiler {
+
+enum class TokenKind : uint8_t {
+  kEof,
+  kIdent,
+  kInt,
+  // Keywords
+  kFn, kVar, kIf, kElse, kWhile, kReturn, kBreak, kContinue,
+  // Punctuation
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemi,
+  // Operators
+  kAssign, kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAndAnd, kOrOr,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   ///< identifier spelling
+  int64_t value = 0;  ///< integer literal value
+  int line = 0;
+};
+
+/// Tokenizes `source`; the final token is always kEof.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace eric::compiler

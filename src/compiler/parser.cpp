@@ -1,0 +1,368 @@
+#include "compiler/parser.h"
+
+#include "compiler/lexer.h"
+
+namespace eric::compiler {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Module> Parse() {
+    Module module;
+    while (!At(TokenKind::kEof)) {
+      if (At(TokenKind::kVar)) {
+        Result<GlobalVar> global = ParseGlobal();
+        if (!global.ok()) return global.status();
+        module.globals.push_back(*std::move(global));
+      } else if (At(TokenKind::kFn)) {
+        Result<Function> fn = ParseFunction();
+        if (!fn.ok()) return fn.status();
+        module.functions.push_back(*std::move(fn));
+      } else {
+        return Error("expected 'fn' or 'var' at top level");
+      }
+    }
+    return module;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool At(TokenKind kind) const { return Peek().kind == kind; }
+  Token Advance() { return tokens_[pos_++]; }
+  bool Match(TokenKind kind) {
+    if (!At(kind)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status(ErrorCode::kParseError,
+                  "line " + std::to_string(Peek().line) + ": " + what);
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (!Match(kind)) return Error(std::string("expected ") + what);
+    return Status::Ok();
+  }
+
+  Result<GlobalVar> ParseGlobal() {
+    Advance();  // var
+    GlobalVar g;
+    g.line = Peek().line;
+    if (!At(TokenKind::kIdent)) return Error("expected global name");
+    g.name = Advance().text;
+    if (Match(TokenKind::kLBracket)) {
+      if (!At(TokenKind::kInt)) return Error("expected array size");
+      g.array_size = Advance().value;
+      if (g.array_size <= 0) return Error("array size must be positive");
+      ERIC_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+    }
+    if (Match(TokenKind::kAssign)) {
+      if (g.array_size > 0) {
+        ERIC_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{'"));
+        while (!At(TokenKind::kRBrace)) {
+          int64_t sign = 1;
+          if (Match(TokenKind::kMinus)) sign = -1;
+          if (!At(TokenKind::kInt)) return Error("expected initializer value");
+          g.init_values.push_back(sign * Advance().value);
+          if (!Match(TokenKind::kComma)) break;
+        }
+        ERIC_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "'}'"));
+        if (static_cast<int64_t>(g.init_values.size()) > g.array_size) {
+          return Error("too many initializers");
+        }
+      } else {
+        int64_t sign = 1;
+        if (Match(TokenKind::kMinus)) sign = -1;
+        if (!At(TokenKind::kInt)) return Error("expected initializer value");
+        g.init_values.push_back(sign * Advance().value);
+      }
+    }
+    ERIC_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'"));
+    return g;
+  }
+
+  Result<Function> ParseFunction() {
+    Advance();  // fn
+    Function fn;
+    fn.line = Peek().line;
+    if (!At(TokenKind::kIdent)) return Error("expected function name");
+    fn.name = Advance().text;
+    ERIC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    if (!At(TokenKind::kRParen)) {
+      do {
+        if (!At(TokenKind::kIdent)) return Error("expected parameter name");
+        fn.params.push_back(Advance().text);
+      } while (Match(TokenKind::kComma));
+    }
+    ERIC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    Result<std::vector<StmtPtr>> body = ParseBlock();
+    if (!body.ok()) return body.status();
+    fn.body = *std::move(body);
+    return fn;
+  }
+
+  Result<std::vector<StmtPtr>> ParseBlock() {
+    ERIC_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{'"));
+    std::vector<StmtPtr> stmts;
+    while (!At(TokenKind::kRBrace)) {
+      if (At(TokenKind::kEof)) return Error("unterminated block");
+      Result<StmtPtr> stmt = ParseStmt();
+      if (!stmt.ok()) return stmt.status();
+      stmts.push_back(*std::move(stmt));
+    }
+    Advance();  // }
+    return stmts;
+  }
+
+  Result<StmtPtr> ParseStmt() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = Peek().line;
+
+    if (Match(TokenKind::kVar)) {
+      stmt->kind = Stmt::Kind::kVarDecl;
+      if (!At(TokenKind::kIdent)) return Error("expected variable name");
+      stmt->name = Advance().text;
+      if (Match(TokenKind::kAssign)) {
+        Result<ExprPtr> init = ParseExpr();
+        if (!init.ok()) return init.status();
+        stmt->value = *std::move(init);
+      }
+      ERIC_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'"));
+      return stmt;
+    }
+    if (Match(TokenKind::kIf)) {
+      stmt->kind = Stmt::Kind::kIf;
+      ERIC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+      Result<ExprPtr> cond = ParseExpr();
+      if (!cond.ok()) return cond.status();
+      stmt->value = *std::move(cond);
+      ERIC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      Result<std::vector<StmtPtr>> body = ParseBlock();
+      if (!body.ok()) return body.status();
+      stmt->body = *std::move(body);
+      if (Match(TokenKind::kElse)) {
+        if (At(TokenKind::kIf)) {
+          Result<StmtPtr> nested = ParseStmt();
+          if (!nested.ok()) return nested.status();
+          stmt->else_body.push_back(*std::move(nested));
+        } else {
+          Result<std::vector<StmtPtr>> else_body = ParseBlock();
+          if (!else_body.ok()) return else_body.status();
+          stmt->else_body = *std::move(else_body);
+        }
+      }
+      return stmt;
+    }
+    if (Match(TokenKind::kWhile)) {
+      stmt->kind = Stmt::Kind::kWhile;
+      ERIC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+      Result<ExprPtr> cond = ParseExpr();
+      if (!cond.ok()) return cond.status();
+      stmt->value = *std::move(cond);
+      ERIC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      Result<std::vector<StmtPtr>> body = ParseBlock();
+      if (!body.ok()) return body.status();
+      stmt->body = *std::move(body);
+      return stmt;
+    }
+    if (Match(TokenKind::kReturn)) {
+      stmt->kind = Stmt::Kind::kReturn;
+      if (!At(TokenKind::kSemi)) {
+        Result<ExprPtr> value = ParseExpr();
+        if (!value.ok()) return value.status();
+        stmt->value = *std::move(value);
+      }
+      ERIC_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'"));
+      return stmt;
+    }
+    if (Match(TokenKind::kBreak)) {
+      stmt->kind = Stmt::Kind::kBreak;
+      ERIC_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'"));
+      return stmt;
+    }
+    if (Match(TokenKind::kContinue)) {
+      stmt->kind = Stmt::Kind::kContinue;
+      ERIC_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'"));
+      return stmt;
+    }
+
+    // Assignment or expression statement: need lookahead.
+    if (At(TokenKind::kIdent)) {
+      const size_t save = pos_;
+      const std::string name = Advance().text;
+      if (Match(TokenKind::kAssign)) {
+        stmt->kind = Stmt::Kind::kAssign;
+        stmt->name = name;
+        Result<ExprPtr> value = ParseExpr();
+        if (!value.ok()) return value.status();
+        stmt->value = *std::move(value);
+        ERIC_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'"));
+        return stmt;
+      }
+      if (Match(TokenKind::kLBracket)) {
+        Result<ExprPtr> index = ParseExpr();
+        if (!index.ok()) return index.status();
+        if (Match(TokenKind::kRBracket) && Match(TokenKind::kAssign)) {
+          stmt->kind = Stmt::Kind::kIndexAssign;
+          stmt->name = name;
+          stmt->index = *std::move(index);
+          Result<ExprPtr> value = ParseExpr();
+          if (!value.ok()) return value.status();
+          stmt->value = *std::move(value);
+          ERIC_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'"));
+          return stmt;
+        }
+      }
+      pos_ = save;  // not an assignment: re-parse as expression
+    }
+
+    stmt->kind = Stmt::Kind::kExprStmt;
+    Result<ExprPtr> expr = ParseExpr();
+    if (!expr.ok()) return expr.status();
+    stmt->value = *std::move(expr);
+    ERIC_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'"));
+    return stmt;
+  }
+
+  // Precedence climbing.
+  Result<ExprPtr> ParseExpr() { return ParseBinary(0); }
+
+  static int Precedence(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kOrOr: return 1;
+      case TokenKind::kAndAnd: return 2;
+      case TokenKind::kPipe: return 3;
+      case TokenKind::kCaret: return 4;
+      case TokenKind::kAmp: return 5;
+      case TokenKind::kEq: case TokenKind::kNe: return 6;
+      case TokenKind::kLt: case TokenKind::kLe:
+      case TokenKind::kGt: case TokenKind::kGe: return 7;
+      case TokenKind::kShl: case TokenKind::kShr: return 8;
+      case TokenKind::kPlus: case TokenKind::kMinus: return 9;
+      case TokenKind::kStar: case TokenKind::kSlash:
+      case TokenKind::kPercent: return 10;
+      default: return 0;
+    }
+  }
+
+  static BinOp ToBinOp(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kOrOr: return BinOp::kLogicalOr;
+      case TokenKind::kAndAnd: return BinOp::kLogicalAnd;
+      case TokenKind::kPipe: return BinOp::kOr;
+      case TokenKind::kCaret: return BinOp::kXor;
+      case TokenKind::kAmp: return BinOp::kAnd;
+      case TokenKind::kEq: return BinOp::kEq;
+      case TokenKind::kNe: return BinOp::kNe;
+      case TokenKind::kLt: return BinOp::kLt;
+      case TokenKind::kLe: return BinOp::kLe;
+      case TokenKind::kGt: return BinOp::kGt;
+      case TokenKind::kGe: return BinOp::kGe;
+      case TokenKind::kShl: return BinOp::kShl;
+      case TokenKind::kShr: return BinOp::kShr;
+      case TokenKind::kPlus: return BinOp::kAdd;
+      case TokenKind::kMinus: return BinOp::kSub;
+      case TokenKind::kStar: return BinOp::kMul;
+      case TokenKind::kSlash: return BinOp::kDiv;
+      default: return BinOp::kRem;
+    }
+  }
+
+  Result<ExprPtr> ParseBinary(int min_precedence) {
+    Result<ExprPtr> lhs = ParseUnary();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr left = *std::move(lhs);
+    for (;;) {
+      const int prec = Precedence(Peek().kind);
+      if (prec == 0 || prec < min_precedence) break;
+      const TokenKind op_token = Advance().kind;
+      Result<ExprPtr> rhs = ParseBinary(prec + 1);
+      if (!rhs.ok()) return rhs.status();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->line = left->line;
+      node->bin_op = ToBinOp(op_token);
+      node->lhs = std::move(left);
+      node->rhs = *std::move(rhs);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (At(TokenKind::kMinus) || At(TokenKind::kBang) ||
+        At(TokenKind::kTilde)) {
+      const TokenKind op = Advance().kind;
+      Result<ExprPtr> operand = ParseUnary();
+      if (!operand.ok()) return operand.status();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kUnary;
+      node->line = (*operand)->line;
+      node->un_op = op == TokenKind::kMinus  ? UnOp::kNeg
+                    : op == TokenKind::kBang ? UnOp::kNot
+                                             : UnOp::kBitNot;
+      node->lhs = *std::move(operand);
+      return node;
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    auto node = std::make_unique<Expr>();
+    node->line = Peek().line;
+    if (At(TokenKind::kInt)) {
+      node->kind = Expr::Kind::kInt;
+      node->value = Advance().value;
+      return node;
+    }
+    if (Match(TokenKind::kLParen)) {
+      Result<ExprPtr> inner = ParseExpr();
+      if (!inner.ok()) return inner.status();
+      ERIC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return *std::move(inner);
+    }
+    if (At(TokenKind::kIdent)) {
+      node->name = Advance().text;
+      if (Match(TokenKind::kLParen)) {
+        node->kind = Expr::Kind::kCall;
+        if (!At(TokenKind::kRParen)) {
+          do {
+            Result<ExprPtr> arg = ParseExpr();
+            if (!arg.ok()) return arg.status();
+            node->args.push_back(*std::move(arg));
+          } while (Match(TokenKind::kComma));
+        }
+        ERIC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return node;
+      }
+      if (Match(TokenKind::kLBracket)) {
+        node->kind = Expr::Kind::kIndex;
+        Result<ExprPtr> index = ParseExpr();
+        if (!index.ok()) return index.status();
+        node->lhs = *std::move(index);
+        ERIC_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+        return node;
+      }
+      node->kind = Expr::Kind::kVar;
+      return node;
+    }
+    return Error("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Module> ParseModule(std::string_view source) {
+  Result<std::vector<Token>> tokens = Lex(source);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(*std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace eric::compiler

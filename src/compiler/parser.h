@@ -1,0 +1,14 @@
+// Recursive-descent parser for EricC.
+#pragma once
+
+#include <string_view>
+
+#include "compiler/ast.h"
+#include "support/status.h"
+
+namespace eric::compiler {
+
+/// Parses a full translation unit.
+Result<Module> ParseModule(std::string_view source);
+
+}  // namespace eric::compiler

@@ -1,0 +1,364 @@
+#include "compiler/passes.h"
+
+#include <iterator>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace eric::compiler {
+namespace {
+
+bool EvalBinary(IrBinOp op, int64_t a, int64_t b, int64_t* out) {
+  switch (op) {
+    case IrBinOp::kAdd: *out = a + b; return true;
+    case IrBinOp::kSub: *out = a - b; return true;
+    case IrBinOp::kMul: *out = a * b; return true;
+    case IrBinOp::kDiv:
+      if (b == 0) return false;  // keep the trap semantics of hardware
+      if (a == INT64_MIN && b == -1) return false;
+      *out = a / b;
+      return true;
+    case IrBinOp::kRem:
+      if (b == 0) return false;
+      if (a == INT64_MIN && b == -1) return false;
+      *out = a % b;
+      return true;
+    case IrBinOp::kAnd: *out = a & b; return true;
+    case IrBinOp::kOr: *out = a | b; return true;
+    case IrBinOp::kXor: *out = a ^ b; return true;
+    case IrBinOp::kShl:
+      *out = static_cast<int64_t>(static_cast<uint64_t>(a) << (b & 63));
+      return true;
+    case IrBinOp::kShr: *out = a >> (b & 63); return true;
+    case IrBinOp::kEq: *out = a == b ? 1 : 0; return true;
+    case IrBinOp::kNe: *out = a != b ? 1 : 0; return true;
+    case IrBinOp::kLt: *out = a < b ? 1 : 0; return true;
+    case IrBinOp::kLe: *out = a <= b ? 1 : 0; return true;
+    case IrBinOp::kGt: *out = a > b ? 1 : 0; return true;
+    case IrBinOp::kGe: *out = a >= b ? 1 : 0; return true;
+  }
+  return false;
+}
+
+bool IsPowerOfTwo(int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int Log2(int64_t v) {
+  int n = 0;
+  while ((int64_t{1} << n) < v) ++n;
+  return n;
+}
+
+}  // namespace
+
+PassResult FoldConstants(IrFunction& fn) {
+  PassResult result;
+  for (IrBlock& block : fn.blocks) {
+    std::map<VReg, int64_t> known;
+    for (IrInstr& instr : block.instrs) {
+      switch (instr.kind) {
+        case IrInstr::Kind::kConst:
+          known[instr.dst] = instr.imm;
+          break;
+        case IrInstr::Kind::kMove: {
+          const auto it = known.find(instr.lhs);
+          if (it != known.end()) {
+            instr.kind = IrInstr::Kind::kConst;
+            instr.imm = it->second;
+            instr.lhs = kNoVReg;
+            known[instr.dst] = instr.imm;
+            ++result.changes;
+          } else {
+            known.erase(instr.dst);
+          }
+          break;
+        }
+        case IrInstr::Kind::kBinary: {
+          const auto lhs = known.find(instr.lhs);
+          const auto rhs = known.find(instr.rhs);
+          int64_t value = 0;
+          if (lhs != known.end() && rhs != known.end() &&
+              EvalBinary(instr.bin_op, lhs->second, rhs->second, &value)) {
+            instr.kind = IrInstr::Kind::kConst;
+            instr.imm = value;
+            instr.lhs = instr.rhs = kNoVReg;
+            known[instr.dst] = value;
+            ++result.changes;
+          } else {
+            known.erase(instr.dst);
+          }
+          break;
+        }
+        case IrInstr::Kind::kNeg:
+        case IrInstr::Kind::kNot:
+        case IrInstr::Kind::kBitNot: {
+          const auto it = known.find(instr.lhs);
+          if (it != known.end()) {
+            int64_t value = it->second;
+            if (instr.kind == IrInstr::Kind::kNeg) value = -value;
+            if (instr.kind == IrInstr::Kind::kNot) value = value == 0 ? 1 : 0;
+            if (instr.kind == IrInstr::Kind::kBitNot) value = ~value;
+            instr.kind = IrInstr::Kind::kConst;
+            instr.imm = value;
+            instr.lhs = kNoVReg;
+            known[instr.dst] = value;
+            ++result.changes;
+          } else {
+            known.erase(instr.dst);
+          }
+          break;
+        }
+        default:
+          if (instr.dst != kNoVReg) known.erase(instr.dst);
+          break;
+      }
+    }
+  }
+  return result;
+}
+
+PassResult ReduceStrength(IrFunction& fn) {
+  PassResult result;
+  for (IrBlock& block : fn.blocks) {
+    // Local const tracking for operand classification.
+    std::map<VReg, int64_t> known;
+    for (IrInstr& instr : block.instrs) {
+      if (instr.kind == IrInstr::Kind::kConst) {
+        known[instr.dst] = instr.imm;
+        continue;
+      }
+      if (instr.kind != IrInstr::Kind::kBinary) {
+        if (instr.dst != kNoVReg) known.erase(instr.dst);
+        continue;
+      }
+      const auto rhs = known.find(instr.rhs);
+      const bool rhs_known = rhs != known.end();
+      const int64_t rv = rhs_known ? rhs->second : 0;
+      bool changed = false;
+      if (instr.bin_op == IrBinOp::kMul && rhs_known && IsPowerOfTwo(rv)) {
+        // x * 2^k  ->  x << k  (exact for two's complement wraparound)
+        instr.bin_op = IrBinOp::kShl;
+        // rhs must become the shift amount constant; reuse by noting the
+        // existing rhs vreg already holds 2^k — rewrite requires a new
+        // const. Keep it simple: only rewrite when k fits the old value
+        // slot, i.e. patch the defining const if it is in this block and
+        // single-use. Conservative: skip unless we can patch.
+        // Find the defining const instr in this block.
+        for (IrInstr& def : block.instrs) {
+          if (&def == &instr) break;
+          if (def.kind == IrInstr::Kind::kConst && def.dst == instr.rhs) {
+            def.imm = Log2(rv);
+            known[def.dst] = def.imm;
+            changed = true;
+            break;
+          }
+        }
+        if (!changed) instr.bin_op = IrBinOp::kMul;  // revert
+      } else if (instr.bin_op == IrBinOp::kAdd && rhs_known && rv == 0) {
+        instr.kind = IrInstr::Kind::kMove;
+        instr.rhs = kNoVReg;
+        changed = true;
+      } else if (instr.bin_op == IrBinOp::kMul && rhs_known && rv == 1) {
+        instr.kind = IrInstr::Kind::kMove;
+        instr.rhs = kNoVReg;
+        changed = true;
+      } else if (instr.bin_op == IrBinOp::kOr && rhs_known && rv == 0) {
+        instr.kind = IrInstr::Kind::kMove;
+        instr.rhs = kNoVReg;
+        changed = true;
+      }
+      if (changed) ++result.changes;
+      known.erase(instr.dst);
+    }
+  }
+  return result;
+}
+
+PassResult EliminateDeadCode(IrFunction& fn) {
+  PassResult result;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Count uses across all blocks.
+    std::map<VReg, int> uses;
+    auto use = [&uses](VReg reg) {
+      if (reg != kNoVReg) ++uses[reg];
+    };
+    for (const IrBlock& block : fn.blocks) {
+      for (const IrInstr& instr : block.instrs) {
+        use(instr.lhs);
+        use(instr.rhs);
+        use(instr.index);
+        for (VReg arg : instr.args) use(arg);
+      }
+    }
+    // A def is dead if the vreg has no uses anywhere AND the instruction
+    // has no side effects. Mutable vregs make this conservative but sound:
+    // no use of the vreg at all means no redefinition matters either.
+    for (IrBlock& block : fn.blocks) {
+      auto& instrs = block.instrs;
+      for (size_t i = 0; i < instrs.size();) {
+        IrInstr& instr = instrs[i];
+        const bool pure = !instr.HasSideEffects();
+        if (pure && instr.dst != kNoVReg && uses.count(instr.dst) == 0) {
+          instrs.erase(instrs.begin() + static_cast<long>(i));
+          ++result.changes;
+          changed = true;
+        } else if (instr.kind == IrInstr::Kind::kCall &&
+                   instr.dst != kNoVReg && uses.count(instr.dst) == 0) {
+          // Calls stay (side effects) but drop the unused result.
+          instr.dst = kNoVReg;
+          ++i;
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+PassResult PropagateCopies(IrFunction& fn) {
+  PassResult result;
+  for (IrBlock& block : fn.blocks) {
+    // copy_of[v] = the register v currently mirrors.
+    std::map<VReg, VReg> copy_of;
+    auto kill = [&copy_of](VReg reg) {
+      if (reg == kNoVReg) return;
+      copy_of.erase(reg);
+      for (auto it = copy_of.begin(); it != copy_of.end();) {
+        it = (it->second == reg) ? copy_of.erase(it) : std::next(it);
+      }
+    };
+    auto resolve = [&copy_of, &result](VReg& reg) {
+      const auto it = copy_of.find(reg);
+      if (it != copy_of.end()) {
+        reg = it->second;
+        ++result.changes;
+      }
+    };
+    for (IrInstr& instr : block.instrs) {
+      resolve(instr.lhs);
+      resolve(instr.rhs);
+      resolve(instr.index);
+      for (VReg& arg : instr.args) resolve(arg);
+      if (instr.dst != kNoVReg) kill(instr.dst);
+      if (instr.kind == IrInstr::Kind::kMove && instr.dst != kNoVReg &&
+          instr.lhs != kNoVReg && instr.dst != instr.lhs) {
+        copy_of[instr.dst] = instr.lhs;
+      }
+    }
+  }
+  return result;
+}
+
+PassResult EliminateCommonSubexpressions(IrFunction& fn) {
+  PassResult result;
+  for (IrBlock& block : fn.blocks) {
+    struct Expr {
+      IrBinOp op;
+      VReg lhs, rhs;
+      bool operator<(const Expr& other) const {
+        return std::tie(op, lhs, rhs) <
+               std::tie(other.op, other.lhs, other.rhs);
+      }
+    };
+    std::map<Expr, VReg> available;
+    auto kill = [&available](VReg reg) {
+      if (reg == kNoVReg) return;
+      for (auto it = available.begin(); it != available.end();) {
+        const bool dead = it->first.lhs == reg || it->first.rhs == reg ||
+                          it->second == reg;
+        it = dead ? available.erase(it) : std::next(it);
+      }
+    };
+    for (IrInstr& instr : block.instrs) {
+      if (instr.kind == IrInstr::Kind::kBinary) {
+        const Expr key{instr.bin_op, instr.lhs, instr.rhs};
+        const auto it = available.find(key);
+        if (it != available.end()) {
+          instr.kind = IrInstr::Kind::kMove;
+          instr.lhs = it->second;
+          instr.rhs = kNoVReg;
+          kill(instr.dst);
+          ++result.changes;
+          continue;
+        }
+        const VReg dst = instr.dst;
+        kill(dst);
+        // Only memoize when the destination is distinct from the
+        // operands: `x = add x, y` invalidates its own key immediately.
+        if (dst != instr.lhs && dst != instr.rhs) available[key] = dst;
+        continue;
+      }
+      if (instr.dst != kNoVReg) kill(instr.dst);
+    }
+  }
+  return result;
+}
+
+PassResult SimplifyControlFlow(IrFunction& fn) {
+  PassResult result;
+  // Fold constant cond-branches. Constant-ness is local: look back within
+  // the same block for the defining const.
+  for (IrBlock& block : fn.blocks) {
+    if (block.instrs.empty()) continue;
+    IrInstr& last = block.instrs.back();
+    if (last.kind != IrInstr::Kind::kCondBr) continue;
+    // Find the *last* definition of the condition before the terminator;
+    // fold only if it is a constant.
+    const IrInstr* def = nullptr;
+    for (const IrInstr& instr : block.instrs) {
+      if (&instr != &last && instr.dst == last.lhs) def = &instr;
+    }
+    if (def != nullptr && def->kind == IrInstr::Kind::kConst) {
+      const int target = (def->imm != 0) ? last.target : last.target2;
+      last.kind = IrInstr::Kind::kBr;
+      last.lhs = kNoVReg;
+      last.target = target;
+      last.target2 = -1;
+      ++result.changes;
+    }
+  }
+
+  // Drop unreachable blocks (not the entry). Reachability via DFS.
+  std::vector<bool> reachable(fn.blocks.size(), false);
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    if (id < 0 || static_cast<size_t>(id) >= fn.blocks.size()) continue;
+    if (reachable[static_cast<size_t>(id)]) continue;
+    reachable[static_cast<size_t>(id)] = true;
+    const IrBlock& block = fn.blocks[static_cast<size_t>(id)];
+    // Fallthrough is not a thing: blocks end with a terminator or are
+    // empty stubs created by lowering — treat missing terminator as
+    // fallthrough to the next block id (layout does the same).
+    bool terminated = false;
+    for (const IrInstr& instr : block.instrs) {
+      if (instr.kind == IrInstr::Kind::kBr) {
+        stack.push_back(instr.target);
+        terminated = true;
+      } else if (instr.kind == IrInstr::Kind::kCondBr) {
+        stack.push_back(instr.target);
+        stack.push_back(instr.target2);
+        terminated = true;
+      } else if (instr.kind == IrInstr::Kind::kRet) {
+        terminated = true;
+      }
+    }
+    if (!terminated && static_cast<size_t>(id) + 1 < fn.blocks.size()) {
+      stack.push_back(id + 1);
+    }
+  }
+  for (size_t i = 0; i < fn.blocks.size(); ++i) {
+    if (!reachable[i] && !fn.blocks[i].instrs.empty()) {
+      fn.blocks[i].instrs.clear();
+      ++result.changes;
+    }
+  }
+  return result;
+}
+
+}  // namespace eric::compiler

@@ -1,0 +1,49 @@
+// IR optimization passes.
+//
+// Each pass is a standalone function over an IrFunction, mirroring LLVM's
+// pass structure at miniature scale. The pass manager in compiler.cpp
+// times each pass individually — that per-pass accounting is what makes
+// the Fig 6 compile-time experiment meaningful (encryption and signing
+// are simply two more passes appended by ERIC's software source).
+#pragma once
+
+#include <cstdint>
+
+#include "compiler/ir.h"
+
+namespace eric::compiler {
+
+/// Per-pass change counters (for tests and reporting).
+struct PassResult {
+  uint64_t changes = 0;
+};
+
+/// Local constant propagation + folding. Within each block, tracks
+/// vreg -> constant and folds binary/unary ops whose operands are known.
+PassResult FoldConstants(IrFunction& fn);
+
+/// Replaces mul/div/rem by powers of two with shifts/masks where exact
+/// (mul always; div/rem only when the other operand is provably
+/// non-negative is *not* tracked, so only unsigned-safe mul is rewritten
+/// plus algebraic identities x*1, x+0, x|0, x&-1, ...).
+PassResult ReduceStrength(IrFunction& fn);
+
+/// Removes side-effect-free instructions whose results are never used.
+/// Iterates to a fixed point.
+PassResult EliminateDeadCode(IrFunction& fn);
+
+/// Rewrites cond-branches with constant conditions into plain branches
+/// and drops unreachable blocks (empties them; layout skips empty blocks).
+PassResult SimplifyControlFlow(IrFunction& fn);
+
+/// Local copy propagation: within a block, uses of `dst` after
+/// `dst = move src` read `src` directly (until either register is
+/// redefined). Pairs with EliminateDeadCode to remove the moves.
+PassResult PropagateCopies(IrFunction& fn);
+
+/// Local common-subexpression elimination: within a block, a repeated
+/// `op lhs, rhs` whose operands are unchanged reuses the earlier result
+/// via a move.
+PassResult EliminateCommonSubexpressions(IrFunction& fn);
+
+}  // namespace eric::compiler

@@ -1,0 +1,103 @@
+#include "core/encryption_policy.h"
+
+namespace eric::core {
+
+EncryptionPolicy EncryptionPolicy::Full() {
+  EncryptionPolicy p;
+  p.mode = pkg::EncryptionMode::kFull;
+  return p;
+}
+
+EncryptionPolicy EncryptionPolicy::PartialRandom(double fraction,
+                                                 uint64_t seed) {
+  EncryptionPolicy p;
+  p.mode = pkg::EncryptionMode::kPartial;
+  p.strategy = SelectionStrategy::kRandom;
+  p.fraction = fraction;
+  p.selection_seed = seed;
+  return p;
+}
+
+EncryptionPolicy EncryptionPolicy::PartialMemoryAccesses() {
+  EncryptionPolicy p;
+  p.mode = pkg::EncryptionMode::kPartial;
+  p.strategy = SelectionStrategy::kMemoryAccess;
+  return p;
+}
+
+EncryptionPolicy EncryptionPolicy::FieldLevelPointers() {
+  EncryptionPolicy p;
+  p.mode = pkg::EncryptionMode::kField;
+  p.strategy = SelectionStrategy::kMemoryAccess;
+  return p;
+}
+
+EncryptionPolicy EncryptionPolicy::None() {
+  EncryptionPolicy p;
+  p.mode = pkg::EncryptionMode::kNone;
+  return p;
+}
+
+BitVector SelectInstructions(const EncryptionPolicy& policy,
+                             const std::vector<isa::Instr>& instructions) {
+  BitVector map(instructions.size());
+  switch (policy.mode) {
+    case pkg::EncryptionMode::kNone:
+      return map;
+    case pkg::EncryptionMode::kFull: {
+      BitVector all(instructions.size(), true);
+      return all;
+    }
+    case pkg::EncryptionMode::kPartial:
+    case pkg::EncryptionMode::kField:
+      break;
+  }
+  switch (policy.strategy) {
+    case SelectionStrategy::kRandom: {
+      Xoshiro256 rng(policy.selection_seed);
+      for (size_t i = 0; i < instructions.size(); ++i) {
+        map.Set(i, rng.NextDouble() < policy.fraction);
+      }
+      break;
+    }
+    case SelectionStrategy::kMemoryAccess:
+      for (size_t i = 0; i < instructions.size(); ++i) {
+        map.Set(i, isa::IsMemoryAccess(instructions[i].op));
+      }
+      break;
+    case SelectionStrategy::kControlFlow:
+      for (size_t i = 0; i < instructions.size(); ++i) {
+        map.Set(i, isa::IsControlFlow(instructions[i].op));
+      }
+      break;
+    case SelectionStrategy::kEveryNth: {
+      const uint32_t stride = policy.stride == 0 ? 1 : policy.stride;
+      for (size_t i = 0; i < instructions.size(); i += stride) {
+        map.Set(i, true);
+      }
+      break;
+    }
+  }
+  return map;
+}
+
+uint32_t FieldMask(uint8_t bit_lo, uint8_t bit_hi) {
+  if (bit_lo > bit_hi || bit_hi > 31) return 0;
+  const uint32_t width = static_cast<uint32_t>(bit_hi - bit_lo) + 1;
+  const uint32_t ones =
+      (width == 32) ? ~uint32_t{0} : ((uint32_t{1} << width) - 1);
+  return ones << bit_lo;
+}
+
+uint32_t FieldMaskFor(const std::vector<pkg::FieldSpec>& specs, isa::Op op) {
+  uint32_t mask = 0;
+  const auto op_class = static_cast<uint8_t>(isa::ClassOf(op));
+  for (const pkg::FieldSpec& spec : specs) {
+    if (spec.op_class == op_class) {
+      mask |= FieldMask(spec.bit_lo, spec.bit_hi);
+    }
+  }
+  return mask;
+}
+
+}  // namespace eric::core

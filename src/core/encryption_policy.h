@@ -1,0 +1,69 @@
+// Encryption policy: which parts of a program get encrypted, and how.
+//
+// Replaces the paper's graphical interface (Sec. III.1): "There are three
+// different encryption methods... complete encryption of the program,
+// partial encryption of the program, and the partial encryption of a
+// select few instructions of the program by specifying the target bits in
+// the instruction encoding."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "pkg/package.h"
+#include "support/bitvector.h"
+#include "support/rng.h"
+
+namespace eric::core {
+
+/// Instruction-selection strategy for partial encryption.
+enum class SelectionStrategy : uint8_t {
+  kRandom,         ///< uniform random fraction (the paper's evaluation setup)
+  kMemoryAccess,   ///< every load/store (protect the memory trace)
+  kControlFlow,    ///< every branch/jump (hide the CFG)
+  kEveryNth,       ///< deterministic stride
+};
+
+/// Full policy description.
+struct EncryptionPolicy {
+  pkg::EncryptionMode mode = pkg::EncryptionMode::kFull;
+
+  // kPartial parameters:
+  SelectionStrategy strategy = SelectionStrategy::kRandom;
+  double fraction = 0.5;     ///< kRandom: probability an instruction is picked
+  uint32_t stride = 2;       ///< kEveryNth
+  uint64_t selection_seed = 0xE51C;
+
+  // kField parameters (defaults: the paper's example — encrypt the
+  // immediate/pointer bits of memory accesses, leave opcodes visible):
+  std::vector<pkg::FieldSpec> field_specs = {
+      // Loads: I-type immediate occupies bits 20..31.
+      {static_cast<uint8_t>(isa::OpClass::kLoad), 20, 31},
+      // Stores: S-type immediate occupies bits 7..11 and 25..31; one rule
+      // per contiguous range.
+      {static_cast<uint8_t>(isa::OpClass::kStore), 7, 11},
+      {static_cast<uint8_t>(isa::OpClass::kStore), 25, 31},
+  };
+
+  /// Convenience factories.
+  static EncryptionPolicy Full();
+  static EncryptionPolicy PartialRandom(double fraction, uint64_t seed = 0xE51C);
+  static EncryptionPolicy PartialMemoryAccesses();
+  static EncryptionPolicy FieldLevelPointers();
+  static EncryptionPolicy None();
+};
+
+/// Computes the per-instruction encryption map for a policy.
+/// For kFull/kNone the map is conceptually all-ones/all-zeros; it is still
+/// materialized here for the units that want uniform handling.
+BitVector SelectInstructions(const EncryptionPolicy& policy,
+                             const std::vector<isa::Instr>& instructions);
+
+/// 32-bit mask with bits [lo, hi] set (inclusive).
+uint32_t FieldMask(uint8_t bit_lo, uint8_t bit_hi);
+
+/// Combined field mask of all specs matching `op` (zero if none match).
+uint32_t FieldMaskFor(const std::vector<pkg::FieldSpec>& specs, isa::Op op);
+
+}  // namespace eric::core

@@ -1,0 +1,58 @@
+#include "core/group_key.h"
+
+namespace eric::core {
+
+crypto::Key256 ApplyConversionMask(const crypto::Key256& device_key,
+                                   const crypto::Key256& mask) {
+  crypto::Key256 out;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<uint8_t>(device_key[i] ^ mask[i]);
+  }
+  return out;
+}
+
+Result<DeviceGroup> DeviceGroup::Provision(
+    const std::vector<uint64_t>& device_seeds,
+    const crypto::KeyConfig& key_config, CipherKind cipher) {
+  if (device_seeds.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty device group");
+  }
+  DeviceGroup group;
+  group.key_config_ = key_config;
+
+  // Enroll every member and collect its device-local PUF-based key.
+  std::vector<crypto::Key256> device_keys;
+  device_keys.reserve(device_seeds.size());
+  for (uint64_t seed : device_seeds) {
+    auto device = std::make_unique<TrustedDevice>(seed, key_config, cipher);
+    device_keys.push_back(device->Enroll());
+    group.devices_.push_back(std::move(device));
+  }
+
+  // Group key: a fresh derivation from the first member's identity (its
+  // own key never ships; the derivation is one-way).
+  group.group_key_ = crypto::DeriveKey(device_keys[0], "eric.group.key", 0);
+
+  // Mask each member's KMU onto the group key.
+  for (size_t i = 0; i < device_seeds.size(); ++i) {
+    GroupMemberRecord record;
+    record.device_seed = device_seeds[i];
+    record.conversion_mask =
+        ApplyConversionMask(device_keys[i], group.group_key_);
+    ERIC_RETURN_IF_ERROR(group.devices_[i]->hde().ProvisionConversionMask(
+        record.conversion_mask));
+    group.records_.push_back(record);
+  }
+  return group;
+}
+
+Result<TrustedRunResult> DeviceGroup::RunOnMember(
+    size_t index, std::span<const uint8_t> wire_bytes, uint64_t arg0,
+    uint64_t arg1) {
+  if (index >= devices_.size()) {
+    return Status(ErrorCode::kInvalidArgument, "no such group member");
+  }
+  return devices_[index]->ReceiveAndRun(wire_bytes, arg0, arg1);
+}
+
+}  // namespace eric::core

@@ -1,0 +1,74 @@
+// Group keys: one compile, many devices (Sec. III.1).
+//
+// "if the hardware manufacturer maps two or more different hardware to the
+//  same PUF-based key while performing the conversion function in the Key
+//  Management Unit, programs can be created to run on multiple hardware of
+//  their own with a single compile step."
+//
+// Mechanism: each device's KMU gains a provisioned *conversion mask*. The
+// device computes group_key = H(puf_key, config) XOR mask; the fab chooses
+// mask = H(puf_key, config) XOR group_key at enrollment. The mask is
+// device-public (it reveals nothing without the device's PUF key, which
+// never leaves the silicon), so fleet provisioning needs no secure storage
+// on the device beyond the PUF itself.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/hde.h"
+#include "core/trusted_execution.h"
+#include "crypto/kdf.h"
+#include "support/status.h"
+
+namespace eric::core {
+
+/// Per-device public provisioning record.
+struct GroupMemberRecord {
+  uint64_t device_seed = 0;      ///< which silicon (model handle)
+  crypto::Key256 conversion_mask{};  ///< public KMU mask
+};
+
+/// A provisioned fleet sharing one PUF-based key.
+class DeviceGroup {
+ public:
+  /// Creates a group over the given devices. The group key is derived
+  /// from the first device's identity (any fresh secret would do); each
+  /// member gets a conversion mask binding its own PUF key to that group
+  /// key. All devices use `key_config`.
+  static Result<DeviceGroup> Provision(const std::vector<uint64_t>& device_seeds,
+                                       const crypto::KeyConfig& key_config,
+                                       CipherKind cipher = CipherKind::kXor);
+
+  /// The shared PUF-based key for the software-source handshake.
+  const crypto::Key256& group_key() const { return group_key_; }
+
+  /// Number of member devices.
+  size_t size() const { return devices_.size(); }
+
+  /// Runs a wire package on member `index` (HDE validation + execution).
+  Result<TrustedRunResult> RunOnMember(size_t index,
+                                       std::span<const uint8_t> wire_bytes,
+                                       uint64_t arg0 = 0, uint64_t arg1 = 0);
+
+  /// Public provisioning records (what the fab's database would hold).
+  const std::vector<GroupMemberRecord>& records() const { return records_; }
+
+ private:
+  DeviceGroup() = default;
+
+  crypto::Key256 group_key_{};
+  crypto::KeyConfig key_config_;
+  std::vector<GroupMemberRecord> records_;
+  // Each member keeps its own HDE; group membership only changes the key
+  // the KMU hands to the decryption path.
+  std::vector<std::unique_ptr<TrustedDevice>> devices_;
+};
+
+/// Applies a conversion mask to a device-local PUF-based key.
+crypto::Key256 ApplyConversionMask(const crypto::Key256& device_key,
+                                   const crypto::Key256& mask);
+
+}  // namespace eric::core

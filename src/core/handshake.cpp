@@ -1,0 +1,27 @@
+#include "core/handshake.h"
+
+namespace eric::core {
+
+Result<HandshakeInitiator> HandshakeInitiator::Create(int modulus_bits,
+                                                      Xoshiro256& rng) {
+  Result<crypto::RsaKeyPair> keypair =
+      crypto::RsaKeyPair::Generate(modulus_bits, rng);
+  if (!keypair.ok()) return keypair.status();
+  return HandshakeInitiator(*std::move(keypair));
+}
+
+Result<crypto::Key256> HandshakeInitiator::CompleteHandshake(
+    std::span<const uint8_t> wrapped_key) const {
+  return crypto::RsaUnwrapKey(keypair_, wrapped_key);
+}
+
+Result<std::vector<uint8_t>> RespondToHandshake(
+    TrustedDevice& device, const crypto::RsaPublicKey& initiator_key,
+    Xoshiro256& rng) {
+  // Enrollment is idempotent in effect: the PUF-based key is a pure
+  // function of silicon + key config, so re-enrolling reproduces it.
+  const crypto::Key256 key = device.Enroll();
+  return crypto::RsaWrapKey(initiator_key, key, rng);
+}
+
+}  // namespace eric::core

@@ -1,0 +1,52 @@
+// RSA-based key handshake — implements the paper's future-work item so
+// the PUF-based key no longer needs a pre-shared out-of-band channel.
+//
+// Protocol:
+//   1. software source generates an RSA keypair, publishes the public key;
+//   2. the device (at its enrollment station) wraps its PUF-based key
+//      under that public key;
+//   3. the wrapped blob travels over the same untrusted network as the
+//      program packages — only the source can unwrap it;
+//   4. the source builds packages exactly as before.
+//
+// An eavesdropper holding the wrapped blob learns nothing; a tampered blob
+// yields a wrong key at the source, whose packages the device then simply
+// rejects (fail-safe, not fail-open).
+#pragma once
+
+#include "core/trusted_execution.h"
+#include "crypto/rsa.h"
+#include "support/status.h"
+
+namespace eric::core {
+
+/// Software-source side of the handshake.
+class HandshakeInitiator {
+ public:
+  /// Generates the keypair. `modulus_bits` >= 512 recommended; tests use
+  /// smaller moduli for speed.
+  static Result<HandshakeInitiator> Create(int modulus_bits, Xoshiro256& rng);
+
+  /// What the source publishes.
+  const crypto::RsaPublicKey& public_key() const {
+    return keypair_.public_key;
+  }
+
+  /// Unwraps a device's response into the PUF-based key.
+  Result<crypto::Key256> CompleteHandshake(
+      std::span<const uint8_t> wrapped_key) const;
+
+ private:
+  explicit HandshakeInitiator(crypto::RsaKeyPair keypair)
+      : keypair_(std::move(keypair)) {}
+
+  crypto::RsaKeyPair keypair_;
+};
+
+/// Device-side: enrolls the device (if needed) and wraps its PUF-based
+/// key under the initiator's public key.
+Result<std::vector<uint8_t>> RespondToHandshake(
+    TrustedDevice& device, const crypto::RsaPublicKey& initiator_key,
+    Xoshiro256& rng);
+
+}  // namespace eric::core

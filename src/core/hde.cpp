@@ -1,0 +1,246 @@
+#include "core/hde.h"
+
+#include <cstring>
+
+#include "crypto/aes128.h"
+#include "crypto/sha256.h"
+#include "crypto/xor_cipher.h"
+#include "isa/decoder.h"
+
+namespace eric::core {
+
+HardwareDecryptionEngine::HardwareDecryptionEngine(
+    uint64_t device_seed, const crypto::KeyConfig& key_config,
+    CipherKind cipher, const HdeCycleParams& params)
+    : pkg_(device_seed),
+      key_config_(key_config),
+      cipher_(cipher),
+      params_(params),
+      measurement_rng_(device_seed ^ 0x4EA54E11ull) {}
+
+crypto::Key256 HardwareDecryptionEngine::EnrollAndShareKey() {
+  const auto enrollment = pkg_.Enroll(measurement_rng_);
+  helper_ = enrollment.helper;
+  // KMU: PUF key -> PUF-based key. Only the latter leaves the chip.
+  puf_based_key_ = crypto::DerivePufBasedKey(enrollment.key, key_config_);
+  enrolled_ = true;
+  return puf_based_key_;
+}
+
+Status HardwareDecryptionEngine::ProvisionConversionMask(
+    const crypto::Key256& mask) {
+  if (!enrolled_) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "enroll before provisioning a conversion mask");
+  }
+  // Remove any previous mask, then apply the new one.
+  for (size_t i = 0; i < mask.size(); ++i) {
+    puf_based_key_[i] =
+        static_cast<uint8_t>(puf_based_key_[i] ^ conversion_mask_[i] ^ mask[i]);
+  }
+  conversion_mask_ = mask;
+  cached_stream_ = ~uint64_t{0};  // stream keys derive from the new key
+  return Status::Ok();
+}
+
+void HardwareDecryptionEngine::ApplyCipher(std::span<uint8_t> data,
+                                           uint64_t offset, uint64_t stream,
+                                           HdeCycles& cycles) {
+  if (stream != cached_stream_) {
+    const crypto::Key256 key =
+        crypto::DeriveCipherKey(puf_based_key_, stream);
+    cached_xor_.emplace(key);
+    cached_aes_.emplace(crypto::TruncateToKey128(key));
+    cached_stream_ = stream;
+  }
+  if (cipher_ == CipherKind::kXor) {
+    cached_xor_->Apply(data, offset);
+    cycles.decryption +=
+        ((data.size() + 7) / 8) * params_.decrypt_cycles_per_8_bytes;
+    // Keystream generation: one SHA-256 compression per *newly touched*
+    // 32-byte keystream block. The hardware shares the Signature
+    // Generator's hash core and keeps the current block latched, so
+    // consecutive fragments in one block pay once (keystream_block_cache_
+    // carries that latch across calls within one package).
+    if (!data.empty()) {
+      const uint64_t first_block = offset / 32;
+      const uint64_t last_block = (offset + data.size() - 1) / 32;
+      for (uint64_t b = first_block; b <= last_block; ++b) {
+        if (b != keystream_block_cache_) {
+          cycles.decryption += params_.sha_cycles_per_block;
+          keystream_block_cache_ = b;
+        }
+      }
+    }
+  } else {
+    cached_aes_->ApplyCtr(data, offset);
+    cycles.decryption += crypto::Aes128::CtrBlockCount(offset, data.size()) *
+                         params_.aes_cycles_per_block;
+  }
+}
+
+Result<HdeOutput> HardwareDecryptionEngine::DecryptAndValidate(
+    std::span<const uint8_t> wire_bytes) {
+  Result<pkg::Package> parsed = pkg::Parse(wire_bytes);
+  if (!parsed.ok()) return parsed.status();
+  return Process(*parsed);
+}
+
+Result<HdeOutput> HardwareDecryptionEngine::Process(
+    const pkg::Package& package) {
+  if (!enrolled_) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "device not enrolled: no PUF-based key");
+  }
+  if (package.key_epoch != key_config_.epoch) {
+    return Status(ErrorCode::kAuthenticationFailed,
+                  "package key epoch " + std::to_string(package.key_epoch) +
+                      " does not match device epoch " +
+                      std::to_string(key_config_.epoch));
+  }
+
+  HdeOutput out;
+  out.instr_count = package.instr_count;
+  keystream_block_cache_ = ~uint64_t{0};
+
+  // PKG + KMU: regenerate the key from silicon on every package — the
+  // paper's point is that the key is *not* stored in a register. The
+  // fuzzy extractor guarantees the regenerated key matches enrollment.
+  {
+    const crypto::Key256 puf_key =
+        pkg_.RegenerateKey(*helper_, measurement_rng_);
+    crypto::Key256 regenerated =
+        crypto::DerivePufBasedKey(puf_key, key_config_);
+    for (size_t i = 0; i < regenerated.size(); ++i) {
+      regenerated[i] ^= conversion_mask_[i];
+    }
+    if (regenerated != puf_based_key_) {
+      return Status(ErrorCode::kInternal,
+                    "PUF key regeneration diverged from enrollment");
+    }
+    out.cycles.key_regeneration = params_.key_regen_cycles;
+  }
+
+  // Decryption Unit: walk the stream. Instruction boundaries are derived
+  // on the fly — the first halfword of each instruction is decrypted (if
+  // flagged), inspected for the width marker, and the tail decrypted.
+  out.image.assign(package.text.begin(), package.text.end());
+  switch (package.mode) {
+    case pkg::EncryptionMode::kNone:
+      break;
+    case pkg::EncryptionMode::kFull:
+      ApplyCipher(out.image, 0, kTextStream, out.cycles);
+      break;
+    case pkg::EncryptionMode::kPartial: {
+      if (package.encryption_map.size() != package.instr_count) {
+        return Status(ErrorCode::kCorruptPackage, "map/instr count mismatch");
+      }
+      size_t offset = 0;
+      for (uint32_t i = 0; i < package.instr_count; ++i) {
+        if (offset + 2 > out.image.size()) {
+          return Status(ErrorCode::kCorruptPackage,
+                        "instruction stream overruns image");
+        }
+        const bool flagged = package.encryption_map.Get(i);
+        if (flagged) {
+          ApplyCipher(std::span<uint8_t>(out.image.data() + offset, 2),
+                      offset, kTextStream, out.cycles);
+        }
+        const uint16_t half = static_cast<uint16_t>(
+            out.image[offset] | (out.image[offset + 1] << 8));
+        const size_t size = isa::IsWide(half) ? 4 : 2;
+        if (offset + size > out.image.size()) {
+          return Status(ErrorCode::kCorruptPackage,
+                        "instruction stream overruns image");
+        }
+        if (flagged && size == 4) {
+          ApplyCipher(std::span<uint8_t>(out.image.data() + offset + 2, 2),
+                      offset + 2, kTextStream, out.cycles);
+        }
+        out.cycles.decryption += params_.map_walk_cycles_per_instr;
+        offset += size;
+      }
+      break;
+    }
+    case pkg::EncryptionMode::kField: {
+      if (package.encryption_map.size() != package.instr_count) {
+        return Status(ErrorCode::kCorruptPackage, "map/instr count mismatch");
+      }
+      const crypto::Key256 key =
+          crypto::DeriveCipherKey(puf_based_key_, kTextStream);
+      const crypto::XorCipher xor_cipher(key);
+      size_t offset = 0;
+      for (uint32_t i = 0; i < package.instr_count; ++i) {
+        if (offset + 2 > out.image.size()) {
+          return Status(ErrorCode::kCorruptPackage,
+                        "instruction stream overruns image");
+        }
+        const uint16_t half = static_cast<uint16_t>(
+            out.image[offset] | (out.image[offset + 1] << 8));
+        const size_t size = isa::IsWide(half) ? 4 : 2;
+        if (offset + size > out.image.size()) {
+          return Status(ErrorCode::kCorruptPackage,
+                        "instruction stream overruns image");
+        }
+        if (package.encryption_map.Get(i)) {
+          if (size != 4) {
+            return Status(ErrorCode::kCorruptPackage,
+                          "field-encrypted compressed instruction");
+          }
+          // Width/opcode bits are plaintext by construction, so the class
+          // is readable before decryption.
+          uint32_t word = 0;
+          std::memcpy(&word, out.image.data() + offset, 4);
+          const isa::Instr peek = isa::Decode32(word);
+          uint32_t mask = FieldMaskFor(package.field_specs, peek.op);
+          if (mask == 0) {
+            // Opcode decodes to a class with no spec: ciphertext damaged
+            // the plaintext bits or the map lies.
+            return Status(ErrorCode::kDecryptionFailed,
+                          "field map flags instruction with no matching spec");
+          }
+          uint8_t keystream[4] = {0, 0, 0, 0};
+          xor_cipher.Keystream(offset, keystream);
+          for (int b = 0; b < 4; ++b) {
+            out.image[offset + static_cast<size_t>(b)] ^=
+                keystream[b] & static_cast<uint8_t>(mask >> (8 * b));
+          }
+          out.cycles.decryption += params_.decrypt_cycles_per_8_bytes;
+        }
+        out.cycles.decryption += params_.map_walk_cycles_per_instr;
+        offset += size;
+      }
+      break;
+    }
+  }
+
+  // Signature Generator: streaming SHA-256 over the decrypted image.
+  crypto::Sha256 hasher;
+  hasher.Update(out.image);
+  const crypto::Sha256Digest recomputed = hasher.Finish();
+  out.cycles.signature +=
+      hasher.blocks_processed() * params_.sha_cycles_per_block;
+
+  // Validation Unit: decrypt the packaged signature, compare.
+  std::array<uint8_t, 32> packaged_signature = package.signature;
+  if (package.mode != pkg::EncryptionMode::kNone) {
+    keystream_block_cache_ = ~uint64_t{0};  // new cipher stream, new latch
+    ApplyCipher(std::span<uint8_t>(packaged_signature.data(),
+                                   packaged_signature.size()),
+                0, kSignatureStream, out.cycles);
+  }
+  out.cycles.validation = params_.validate_cycles;
+  // Constant-time compare (hardware would be a tree of XOR/OR).
+  uint8_t diff = 0;
+  for (size_t i = 0; i < recomputed.size(); ++i) {
+    diff |= static_cast<uint8_t>(recomputed[i] ^ packaged_signature[i]);
+  }
+  if (diff != 0) {
+    return Status(ErrorCode::kVerificationFailed,
+                  "signature mismatch: package is not for this device, "
+                  "not from a trusted source, or was modified in transit");
+  }
+  return out;
+}
+
+}  // namespace eric::core

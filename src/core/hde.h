@@ -1,0 +1,121 @@
+// Hardware Decryption Engine (Sec. III.2): the SoC-side unit that turns a
+// received package back into an executable program — or rejects it.
+//
+// Units modeled (Fig 3):
+//   * PUF Key Generator (PKG)   — regenerates the device key from silicon
+//   * Key Management Unit (KMU) — PUF key -> PUF-based key -> stream keys
+//   * Decryption Unit           — walks the encrypted instruction stream
+//   * Signature Generator       — streaming SHA-256 over decrypted bytes
+//   * Validation Unit           — compares recomputed vs packaged digest
+//
+// The model is functional + cycle-approximate: every unit reports the
+// cycles a pipelined hardware implementation would charge, so the Fig 7
+// bench can add load-path latency to execution time, and the Table II
+// bench can size the units.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/software_source.h"
+#include "crypto/aes128.h"
+#include "crypto/kdf.h"
+#include "crypto/xor_cipher.h"
+#include "pkg/package.h"
+#include "puf/puf_key_generator.h"
+#include "support/status.h"
+
+namespace eric::core {
+
+/// Cycle cost parameters for the HDE datapath (per-unit, per-item).
+/// Defaults approximate a small in-SoC engine at the 25 MHz Table I clock:
+/// one 64-bit XOR lane, one SHA-256 round per cycle.
+struct HdeCycleParams {
+  uint32_t decrypt_cycles_per_8_bytes = 2;  ///< 32-bit XOR lane (see eric_hw)
+  uint32_t aes_cycles_per_block = 11;       ///< AES-128: one round/cycle
+  uint32_t sha_cycles_per_block = 65;       ///< 64 rounds + schedule
+  uint32_t validate_cycles = 8;             ///< 256-bit compare, 32-bit lanes
+  /// PUF key regeneration: 256 key bits x 5 repetition copies x 11
+  /// temporal votes through the PKG's single shared vote counter (see the
+  /// eric_hw netlist), with two arbiter evaluations retiring per cycle.
+  uint32_t key_regen_cycles = 256 * 5 * 11 / 2;
+  uint32_t map_walk_cycles_per_instr = 0;   ///< hidden behind decrypt lane
+};
+
+/// Cycle accounting from one package validation.
+struct HdeCycles {
+  uint64_t key_regeneration = 0;
+  uint64_t decryption = 0;
+  uint64_t signature = 0;
+  uint64_t validation = 0;
+
+  uint64_t total() const {
+    return key_regeneration + decryption + signature + validation;
+  }
+};
+
+/// Successful HDE output: the plaintext image, ready for the trusted zone.
+struct HdeOutput {
+  std::vector<uint8_t> image;
+  HdeCycles cycles;
+  uint32_t instr_count = 0;
+};
+
+/// The device-side engine. One instance per SoC.
+class HardwareDecryptionEngine {
+ public:
+  /// `device_seed` selects the simulated silicon (see puf::ArbiterPuf);
+  /// `key_config` must match what the software source used.
+  HardwareDecryptionEngine(uint64_t device_seed,
+                           const crypto::KeyConfig& key_config,
+                           CipherKind cipher = CipherKind::kXor,
+                           const HdeCycleParams& params = {});
+
+  /// Enrolls the device: generates helper data and returns the PUF-based
+  /// key for the software-source handshake. Call once ("in the fab").
+  crypto::Key256 EnrollAndShareKey();
+
+  /// Installs a KMU conversion mask (group-key provisioning, Sec. III.1:
+  /// mapping multiple devices onto one PUF-based key). The mask XORs into
+  /// the derived key on every regeneration. Requires enrollment first.
+  Status ProvisionConversionMask(const crypto::Key256& mask);
+
+  /// Full pipeline: parse -> decrypt -> re-sign -> validate.
+  /// Returns the decrypted image on success; kVerificationFailed /
+  /// kCorruptPackage / kDecryptionFailed otherwise.
+  Result<HdeOutput> DecryptAndValidate(std::span<const uint8_t> wire_bytes);
+
+  /// Same, from an already-parsed package (tests, ablations).
+  Result<HdeOutput> Process(const pkg::Package& package);
+
+  /// The device's PUF-based key (as the KMU would hand to the decryption
+  /// unit). Exposed for tests; real hardware never exports this.
+  const crypto::Key256& puf_based_key_for_testing() const {
+    return puf_based_key_;
+  }
+
+ private:
+  void ApplyCipher(std::span<uint8_t> data, uint64_t offset, uint64_t stream,
+                   HdeCycles& cycles);
+
+  puf::PufKeyGenerator pkg_;
+  std::optional<puf::PufHelperData> helper_;
+  crypto::KeyConfig key_config_;
+  CipherKind cipher_;
+  HdeCycleParams params_;
+  crypto::Key256 puf_based_key_{};
+  crypto::Key256 conversion_mask_{};  ///< all-zero = identity mapping
+  Xoshiro256 measurement_rng_;
+  bool enrolled_ = false;
+  /// Cycle-model latch: index of the keystream block currently held by
+  /// the shared hash core (see ApplyCipher). Reset per package.
+  uint64_t keystream_block_cache_ = ~uint64_t{0};
+  /// Per-stream cipher cache: key derivation runs once per stream, as the
+  /// hardware KMU does, not once per decrypted fragment.
+  uint64_t cached_stream_ = ~uint64_t{0};
+  std::optional<crypto::XorCipher> cached_xor_;
+  std::optional<crypto::Aes128> cached_aes_;
+};
+
+}  // namespace eric::core

@@ -1,0 +1,212 @@
+#include "core/software_source.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "crypto/aes128.h"
+#include "crypto/sha256.h"
+#include "crypto/xor_cipher.h"
+
+namespace eric::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+size_t CipherWalk(const CipherWalkInput& input, const CipherFn& cipher) {
+  size_t transformed = 0;
+  switch (input.mode) {
+    case pkg::EncryptionMode::kNone:
+      return 0;
+    case pkg::EncryptionMode::kFull:
+      cipher(input.image, 0);
+      return input.image.size();
+    case pkg::EncryptionMode::kPartial: {
+      size_t offset = 0;
+      for (size_t i = 0; i < input.instr_sizes.size(); ++i) {
+        const size_t size = input.instr_sizes[i];
+        if (input.map != nullptr && input.map->Get(i)) {
+          cipher(input.image.subspan(offset, size), offset);
+          transformed += size;
+        }
+        offset += size;
+      }
+      return transformed;
+    }
+    case pkg::EncryptionMode::kField: {
+      size_t offset = 0;
+      for (size_t i = 0; i < input.instr_sizes.size(); ++i) {
+        const size_t size = input.instr_sizes[i];
+        if (input.map != nullptr && input.map->Get(i) && size == 4) {
+          // Masked transform: keystream for these 4 bytes, restricted to
+          // the field bits of the instruction's class.
+          uint8_t keystream[4] = {0, 0, 0, 0};
+          cipher(std::span<uint8_t>(keystream, 4), offset);
+          uint32_t class_mask = 0;
+          if (!input.instr_classes.empty()) {
+            const uint8_t op_class = input.instr_classes[i];
+            for (const pkg::FieldSpec& spec : *input.field_specs) {
+              if (spec.op_class == op_class) {
+                class_mask |= FieldMask(spec.bit_lo, spec.bit_hi);
+              }
+            }
+          }
+          for (int b = 0; b < 4; ++b) {
+            const uint8_t mask_byte =
+                static_cast<uint8_t>(class_mask >> (8 * b));
+            input.image[offset + static_cast<size_t>(b)] ^=
+                keystream[b] & mask_byte;
+          }
+          transformed += size;
+        }
+        offset += size;
+      }
+      return transformed;
+    }
+  }
+  return transformed;
+}
+
+SoftwareSource::SoftwareSource(const crypto::Key256& puf_based_key,
+                               const crypto::KeyConfig& key_config,
+                               CipherKind cipher)
+    : puf_based_key_(puf_based_key),
+      key_config_(key_config),
+      cipher_(cipher) {}
+
+void SoftwareSource::ApplyCipher(std::span<uint8_t> data, uint64_t offset,
+                                 uint64_t stream) const {
+  const crypto::Key256 key = crypto::DeriveCipherKey(puf_based_key_, stream);
+  if (cipher_ == CipherKind::kXor) {
+    crypto::XorCipher(key).Apply(data, offset);
+  } else {
+    crypto::Aes128(crypto::TruncateToKey128(key)).ApplyCtr(data, offset);
+  }
+}
+
+Result<PackagingResult> SoftwareSource::BuildPackage(
+    const compiler::CompiledProgram& program,
+    const EncryptionPolicy& policy) const {
+  PackagingResult out;
+  pkg::Package& p = out.package;
+  p.mode = policy.mode;
+  p.key_epoch = key_config_.epoch;
+  p.instr_count = static_cast<uint32_t>(program.instructions.size());
+  p.text = program.image;
+
+  // 1. Signature over the plaintext image (Signature Generator).
+  {
+    const auto start = Clock::now();
+    const crypto::Sha256Digest digest = crypto::Sha256::Hash(p.text);
+    std::memcpy(p.signature.data(), digest.data(), digest.size());
+    out.timings.sign_microseconds = MicrosSince(start);
+  }
+
+  // 2. Encryption (Encryption Unit).
+  {
+    const auto start = Clock::now();
+    // Build the per-instruction map.
+    if (policy.mode == pkg::EncryptionMode::kField) {
+      // Field mode: an instruction participates iff it is 32-bit wide and
+      // a field spec matches its class. Width/opcode bits (0..6) must stay
+      // plaintext so the HDE can walk the stream; reject specs violating
+      // that.
+      for (const pkg::FieldSpec& spec : policy.field_specs) {
+        if (spec.bit_lo <= 6) {
+          return Status(ErrorCode::kInvalidArgument,
+                        "field specs must not cover the width/opcode bits "
+                        "(0..6); got bit_lo=" +
+                            std::to_string(spec.bit_lo));
+        }
+      }
+      p.field_specs = policy.field_specs;
+      p.encryption_map = BitVector(program.instructions.size());
+      for (size_t i = 0; i < program.instructions.size(); ++i) {
+        const isa::Instr& instr = program.instructions[i];
+        p.encryption_map.Set(
+            i, !instr.compressed &&
+                   FieldMaskFor(policy.field_specs, instr.op) != 0);
+      }
+    } else {
+      p.encryption_map = SelectInstructions(policy, program.instructions);
+    }
+
+    // Instruction sizes/classes for the walk.
+    std::vector<uint8_t> sizes(program.instructions.size());
+    std::vector<uint8_t> classes(program.instructions.size());
+    for (size_t i = 0; i < program.instructions.size(); ++i) {
+      sizes[i] = static_cast<uint8_t>(program.instructions[i].SizeBytes());
+      classes[i] =
+          static_cast<uint8_t>(isa::ClassOf(program.instructions[i].op));
+    }
+
+    // Stream ciphers are constructed once per package: key derivation is
+    // a hash, and partial encryption would otherwise re-derive it for
+    // every 2-byte fragment.
+    const crypto::Key256 text_key =
+        crypto::DeriveCipherKey(puf_based_key_, kTextStream);
+    const crypto::XorCipher text_xor(text_key);
+    const crypto::Aes128 text_aes(crypto::TruncateToKey128(text_key));
+    const CipherFn cipher_fn =
+        (cipher_ == CipherKind::kXor)
+            ? CipherFn([&text_xor](std::span<uint8_t> data, uint64_t offset) {
+                text_xor.Apply(data, offset);
+              })
+            : CipherFn([&text_aes](std::span<uint8_t> data, uint64_t offset) {
+                text_aes.ApplyCtr(data, offset);
+              });
+
+    CipherWalkInput walk;
+    walk.image = std::span<uint8_t>(p.text.data(), p.text.size());
+    walk.mode = policy.mode;
+    walk.map = &p.encryption_map;
+    walk.field_specs = &p.field_specs;
+    walk.instr_sizes = sizes;
+    walk.instr_classes = classes;
+    CipherWalk(walk, cipher_fn);
+
+    // Encrypt the signature with its own stream ("the signature is
+    // encrypted with the program, making the signature useless for those
+    // who cannot decrypt the program").
+    if (policy.mode != pkg::EncryptionMode::kNone) {
+      ApplyCipher(std::span<uint8_t>(p.signature.data(), p.signature.size()),
+                  0, kSignatureStream);
+    }
+    out.timings.encrypt_microseconds = MicrosSince(start);
+  }
+
+  // 3. Packaging (wire-format assembly is measured by serializing once —
+  // the caller serializes again for transport; cost is identical).
+  {
+    const auto start = Clock::now();
+    const std::vector<uint8_t> wire = pkg::Serialize(p);
+    (void)wire;
+    out.timings.package_microseconds = MicrosSince(start);
+  }
+  return out;
+}
+
+Result<SoftwareSource::CompileAndPackageResult>
+SoftwareSource::CompileAndPackage(std::string_view source,
+                                  const EncryptionPolicy& policy,
+                                  const compiler::CompileOptions& options)
+    const {
+  Result<compiler::CompileResult> compiled =
+      compiler::Compile(source, options);
+  if (!compiled.ok()) return compiled.status();
+  Result<PackagingResult> packaged =
+      BuildPackage(compiled->program, policy);
+  if (!packaged.ok()) return packaged.status();
+  CompileAndPackageResult out;
+  out.compile = *std::move(compiled);
+  out.packaging = *std::move(packaged);
+  return out;
+}
+
+}  // namespace eric::core

@@ -1,0 +1,114 @@
+// ERIC's software source (Sec. III.1): compile-side signing, encryption,
+// and packaging.
+//
+// The software source holds the *PUF-based key* of the target device —
+// never the PUF key itself — obtained through the out-of-band handshake
+// the paper assumes ("it is assumed that the handshake is already done for
+// the hardware targeted by the software source"). From it, per-stream
+// cipher keys are derived exactly as the hardware KMU will derive them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "core/encryption_policy.h"
+#include "crypto/kdf.h"
+#include "pkg/package.h"
+#include "support/status.h"
+
+namespace eric::core {
+
+/// Cipher-stream domain separators shared between software source and HDE.
+inline constexpr uint64_t kTextStream = 0;
+inline constexpr uint64_t kSignatureStream = 1;
+
+/// Which cipher the pipeline uses. ERIC's prototype uses the XOR cipher;
+/// AES-CTR is wired in as the related-work ablation (bench_ablation_cipher).
+enum class CipherKind : uint8_t { kXor, kAesCtr };
+
+/// Wall-clock breakdown of ERIC's added pipeline stages (Fig 6 numerator).
+struct PackagingTimings {
+  double sign_microseconds = 0.0;
+  double encrypt_microseconds = 0.0;
+  double package_microseconds = 0.0;
+
+  double total() const {
+    return sign_microseconds + encrypt_microseconds + package_microseconds;
+  }
+};
+
+/// Output of one packaging run.
+struct PackagingResult {
+  pkg::Package package;
+  PackagingTimings timings;
+};
+
+/// The software source: one instance per (target device, key epoch).
+class SoftwareSource {
+ public:
+  /// `puf_based_key` comes from the device handshake; `key_config` must
+  /// match the device KMU's configuration.
+  SoftwareSource(const crypto::Key256& puf_based_key,
+                 const crypto::KeyConfig& key_config,
+                 CipherKind cipher = CipherKind::kXor);
+
+  /// Signs, encrypts, and packages a compiled program.
+  ///
+  /// The signature is SHA-256 over the *plaintext* image (instructions +
+  /// data), computed before encryption and itself encrypted in the
+  /// package. Encryption covers the instruction stream per `policy`; in
+  /// kFull mode the data section is encrypted as well.
+  Result<PackagingResult> BuildPackage(
+      const compiler::CompiledProgram& program,
+      const EncryptionPolicy& policy) const;
+
+  /// Convenience: compile + package, timing both (the Fig 6 pipeline).
+  struct CompileAndPackageResult {
+    compiler::CompileResult compile;
+    PackagingResult packaging;
+  };
+  Result<CompileAndPackageResult> CompileAndPackage(
+      std::string_view source, const EncryptionPolicy& policy,
+      const compiler::CompileOptions& options = {}) const;
+
+  const crypto::Key256& puf_based_key() const { return puf_based_key_; }
+  uint64_t key_epoch() const { return key_config_.epoch; }
+
+ private:
+  void ApplyCipher(std::span<uint8_t> data, uint64_t offset,
+                   uint64_t stream) const;
+
+  crypto::Key256 puf_based_key_;
+  crypto::KeyConfig key_config_;
+  CipherKind cipher_;
+};
+
+/// Shared between SoftwareSource and the HDE's Decryption Unit: applies
+/// the per-instruction (or field-level) transform to an image in place.
+/// Symmetric, so it both encrypts and decrypts.
+///
+/// `instructions` must describe the plaintext layout (sizes per
+/// instruction); in kFull mode the whole image is transformed and
+/// `instructions` may be empty.
+struct CipherWalkInput {
+  std::span<uint8_t> image;
+  pkg::EncryptionMode mode;
+  const BitVector* map = nullptr;                      // kPartial/kField
+  const std::vector<pkg::FieldSpec>* field_specs = nullptr;  // kField
+  /// Byte sizes of each instruction in stream order (2 or 4).
+  std::span<const uint8_t> instr_sizes;
+  /// Functional class of each instruction (for field matching).
+  std::span<const uint8_t> instr_classes;
+};
+
+/// Cipher callback: XORs `data` (at absolute stream `offset`) in place.
+using CipherFn = std::function<void(std::span<uint8_t>, uint64_t)>;
+
+/// Walks the instruction stream applying the cipher per the mode/map.
+/// Returns the number of bytes transformed.
+size_t CipherWalk(const CipherWalkInput& input, const CipherFn& cipher);
+
+}  // namespace eric::core

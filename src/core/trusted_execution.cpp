@@ -1,0 +1,37 @@
+#include "core/trusted_execution.h"
+
+namespace eric::core {
+
+TrustedDevice::TrustedDevice(uint64_t device_seed,
+                             const crypto::KeyConfig& key_config,
+                             CipherKind cipher, const sim::CpuTiming& timing)
+    : hde_(device_seed, key_config, cipher), timing_(timing) {}
+
+Result<TrustedRunResult> TrustedDevice::ReceiveAndRun(
+    std::span<const uint8_t> wire_bytes, uint64_t arg0, uint64_t arg1,
+    const sim::ExecLimits& limits) {
+  Result<HdeOutput> validated = hde_.DecryptAndValidate(wire_bytes);
+  if (!validated.ok()) return validated.status();
+
+  // Only now does the program enter the trusted zone (main memory).
+  sim::Soc soc(timing_);
+  soc.LoadProgram(validated->image);
+  TrustedRunResult out;
+  out.hde_cycles = validated->cycles;
+  out.exec = soc.Run(sim::kRamBase, arg0, arg1, limits);
+  out.console_output = soc.console_output();
+  return out;
+}
+
+TrustedRunResult TrustedDevice::RunPlaintext(std::span<const uint8_t> image,
+                                             uint64_t arg0, uint64_t arg1,
+                                             const sim::ExecLimits& limits) {
+  sim::Soc soc(timing_);
+  soc.LoadProgram(image);
+  TrustedRunResult out;
+  out.exec = soc.Run(sim::kRamBase, arg0, arg1, limits);
+  out.console_output = soc.console_output();
+  return out;
+}
+
+}  // namespace eric::core

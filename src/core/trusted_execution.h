@@ -1,0 +1,61 @@
+// Trusted execution: HDE validation + SoC execution, end to end.
+//
+// This is step 5/6 of the paper's workflow (Fig 3): the package reaches
+// the SoC, the HDE decrypts and validates it without the program touching
+// main memory, and only a validated plaintext image enters the trusted
+// zone (RAM) for execution. The HDE's cycles are charged before the first
+// instruction executes — the decrypt-at-load model that gives Fig 7 its
+// shape.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/hde.h"
+#include "sim/soc.h"
+#include "support/status.h"
+
+namespace eric::core {
+
+/// Result of one trusted run.
+struct TrustedRunResult {
+  sim::ExecStats exec;        ///< core execution stats
+  HdeCycles hde_cycles;       ///< load-path cycles charged by the HDE
+  std::string console_output;
+
+  /// End-to-end cycles: HDE load path + execution (what Fig 7 compares).
+  uint64_t total_cycles() const { return hde_cycles.total() + exec.cycles; }
+};
+
+/// A device: one SoC with an attached HDE.
+class TrustedDevice {
+ public:
+  TrustedDevice(uint64_t device_seed, const crypto::KeyConfig& key_config,
+                CipherKind cipher = CipherKind::kXor,
+                const sim::CpuTiming& timing = {});
+
+  /// Fab-time enrollment; returns the PUF-based key for the handshake
+  /// with software sources.
+  crypto::Key256 Enroll() { return hde_.EnrollAndShareKey(); }
+
+  /// Receives a wire-format package, validates it through the HDE, and —
+  /// only on success — loads and runs it.
+  Result<TrustedRunResult> ReceiveAndRun(std::span<const uint8_t> wire_bytes,
+                                         uint64_t arg0 = 0, uint64_t arg1 = 0,
+                                         const sim::ExecLimits& limits = {});
+
+  /// Baseline path: runs a plaintext image directly (no HDE), for the
+  /// Fig 7 baseline and for tests.
+  TrustedRunResult RunPlaintext(std::span<const uint8_t> image,
+                                uint64_t arg0 = 0, uint64_t arg1 = 0,
+                                const sim::ExecLimits& limits = {});
+
+  HardwareDecryptionEngine& hde() { return hde_; }
+
+ private:
+  HardwareDecryptionEngine hde_;
+  sim::CpuTiming timing_;
+};
+
+}  // namespace eric::core

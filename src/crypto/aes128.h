@@ -1,0 +1,45 @@
+// AES-128 (FIPS 197), implemented from scratch.
+//
+// ERIC itself uses the XOR cipher; AES is implemented here as the
+// *related-work baseline*: XOM/AEGIS-style systems encrypt every memory
+// line with AES and pay "high memory latency" (Sec. V). The cipher
+// ablation bench (bench_ablation_cipher) contrasts ERIC's decrypt-at-load
+// XOR path against an AES-per-line path to reproduce that argument.
+//
+// CTR mode turns the block cipher into a stream cipher so it can drop into
+// the same Encryptor/Decryptor interfaces as XorCipher.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace eric::crypto {
+
+/// A 128-bit AES key.
+using Key128 = std::array<uint8_t, 16>;
+
+/// AES-128 block cipher with CTR-mode streaming.
+class Aes128 {
+ public:
+  explicit Aes128(const Key128& key);
+
+  /// Encrypts one 16-byte block in place (ECB single block).
+  void EncryptBlock(std::span<uint8_t, 16> block) const;
+
+  /// CTR-mode transform (encrypt == decrypt) starting at `stream_offset`
+  /// bytes into the keystream. Nonce is fixed-zero: ERIC packages are
+  /// single-use per (key, program) pair, mirroring the prototype.
+  void ApplyCtr(std::span<uint8_t> data, uint64_t stream_offset = 0) const;
+
+  /// Number of AES block operations a CTR pass over `bytes` bytes starting
+  /// at `offset` performs — the hardware model charges cycles per block.
+  static uint64_t CtrBlockCount(uint64_t offset, uint64_t bytes);
+
+ private:
+  // 11 round keys x 16 bytes.
+  std::array<std::array<uint8_t, 16>, 11> round_keys_;
+};
+
+}  // namespace eric::crypto

@@ -1,0 +1,388 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace eric::crypto {
+
+BigNum::BigNum(uint64_t value) {
+  if (value != 0) limbs_.push_back(static_cast<uint32_t>(value));
+  if (value >> 32) limbs_.push_back(static_cast<uint32_t>(value >> 32));
+}
+
+void BigNum::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigNum BigNum::FromBytes(std::span<const uint8_t> bytes) {
+  BigNum out;
+  for (uint8_t byte : bytes) {
+    // out = out*256 + byte — but do it limb-wise for O(n) per byte.
+    uint32_t carry = byte;
+    for (uint32_t& limb : out.limbs_) {
+      const uint64_t v = (static_cast<uint64_t>(limb) << 8) | carry;
+      limb = static_cast<uint32_t>(v);
+      carry = static_cast<uint32_t>(v >> 32);
+    }
+    if (carry != 0) out.limbs_.push_back(carry);
+  }
+  out.Trim();
+  return out;
+}
+
+Result<BigNum> BigNum::FromHex(std::string_view hex) {
+  BigNum out;
+  for (char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return Status(ErrorCode::kParseError, "bad hex digit");
+    }
+    uint32_t carry = static_cast<uint32_t>(digit);
+    for (uint32_t& limb : out.limbs_) {
+      const uint64_t v = (static_cast<uint64_t>(limb) << 4) | carry;
+      limb = static_cast<uint32_t>(v);
+      carry = static_cast<uint32_t>(v >> 32);
+    }
+    if (carry != 0) out.limbs_.push_back(carry);
+  }
+  out.Trim();
+  return out;
+}
+
+BigNum BigNum::Random(int bits, Xoshiro256& rng) {
+  assert(bits > 0);
+  BigNum out;
+  const int limbs = (bits + 31) / 32;
+  out.limbs_.resize(static_cast<size_t>(limbs));
+  for (auto& limb : out.limbs_) limb = static_cast<uint32_t>(rng.Next());
+  // Mask to exactly `bits` bits and force the MSB.
+  const int top_bits = bits - (limbs - 1) * 32;
+  uint32_t& top = out.limbs_.back();
+  if (top_bits < 32) top &= (uint32_t{1} << top_bits) - 1;
+  top |= uint32_t{1} << (top_bits - 1);
+  out.Trim();
+  return out;
+}
+
+std::vector<uint8_t> BigNum::ToBytes() const {
+  std::vector<uint8_t> out;
+  const int bytes = (BitLength() + 7) / 8;
+  out.resize(static_cast<size_t>(bytes));
+  for (int i = 0; i < bytes; ++i) {
+    const size_t limb = static_cast<size_t>(i) / 4;
+    const int shift = (i % 4) * 8;
+    out[static_cast<size_t>(bytes - 1 - i)] =
+        static_cast<uint8_t>(limbs_[limb] >> shift);
+  }
+  return out;
+}
+
+std::string BigNum::ToHex() const {
+  if (IsZero()) return "0";
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  // Walk nibble-aligned from the top; the leading nibble may be a zero,
+  // trimmed at the end.
+  const int top_nibble_bit = ((BitLength() + 3) / 4) * 4 - 4;
+  for (int i = top_nibble_bit; i >= 0; i -= 4) {
+    int nibble = 0;
+    for (int b = 0; b < 4; ++b) {
+      nibble |= (GetBit(i + b) ? 1 : 0) << b;
+    }
+    out.push_back(kDigits[nibble]);
+  }
+  const size_t nonzero = out.find_first_not_of('0');
+  return nonzero == std::string::npos ? "0" : out.substr(nonzero);
+}
+
+int BigNum::BitLength() const {
+  if (limbs_.empty()) return 0;
+  int bits = static_cast<int>(limbs_.size() - 1) * 32;
+  uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigNum::GetBit(int index) const {
+  const size_t limb = static_cast<size_t>(index) / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (index % 32)) & 1u;
+}
+
+int BigNum::Compare(const BigNum& a, const BigNum& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigNum BigNum::Add(const BigNum& a, const BigNum& b) {
+  BigNum out;
+  const size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.limbs_.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+BigNum BigNum::Sub(const BigNum& a, const BigNum& b) {
+  assert(Compare(a, b) >= 0 && "Sub requires a >= b");
+  BigNum out;
+  out.limbs_.resize(a.limbs_.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += int64_t{1} << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<uint32_t>(diff);
+  }
+  out.Trim();
+  return out;
+}
+
+BigNum BigNum::Mul(const BigNum& a, const BigNum& b) {
+  if (a.IsZero() || b.IsZero()) return BigNum();
+  BigNum out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < b.limbs_.size(); ++j) {
+      const uint64_t v = static_cast<uint64_t>(a.limbs_[i]) * b.limbs_[j] +
+                         out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(v);
+      carry = v >> 32;
+    }
+    size_t k = i + b.limbs_.size();
+    while (carry != 0) {
+      const uint64_t v = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<uint32_t>(v);
+      carry = v >> 32;
+      ++k;
+    }
+  }
+  out.Trim();
+  return out;
+}
+
+BigNum BigNum::ShiftLeftBits(const BigNum& a, int bits) {
+  if (a.IsZero() || bits == 0) return a;
+  const int limb_shift = bits / 32;
+  const int bit_shift = bits % 32;
+  BigNum out;
+  out.limbs_.assign(a.limbs_.size() + static_cast<size_t>(limb_shift) + 1, 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    const uint64_t v = static_cast<uint64_t>(a.limbs_[i]) << bit_shift;
+    out.limbs_[i + static_cast<size_t>(limb_shift)] |=
+        static_cast<uint32_t>(v);
+    out.limbs_[i + static_cast<size_t>(limb_shift) + 1] |=
+        static_cast<uint32_t>(v >> 32);
+  }
+  out.Trim();
+  return out;
+}
+
+Result<BigNumDivMod> BigNum::Div(const BigNum& a, const BigNum& b) {
+  if (b.IsZero()) {
+    return Status(ErrorCode::kInvalidArgument, "division by zero");
+  }
+  if (Compare(a, b) < 0) return BigNumDivMod{BigNum(), a};
+
+  // Binary long division: align b's MSB under a's, subtract where possible.
+  BigNumDivMod result;
+  result.remainder = a;
+  const int shift = a.BitLength() - b.BitLength();
+  BigNum divisor = ShiftLeftBits(b, shift);
+  result.quotient.limbs_.assign(static_cast<size_t>(shift / 32) + 1, 0);
+  for (int i = shift; i >= 0; --i) {
+    if (Compare(result.remainder, divisor) >= 0) {
+      result.remainder = Sub(result.remainder, divisor);
+      result.quotient.limbs_[static_cast<size_t>(i) / 32] |=
+          uint32_t{1} << (i % 32);
+    }
+    // divisor >>= 1
+    BigNum shifted;
+    shifted.limbs_.resize(divisor.limbs_.size());
+    uint32_t carry = 0;
+    for (size_t j = divisor.limbs_.size(); j-- > 0;) {
+      shifted.limbs_[j] = (divisor.limbs_[j] >> 1) | (carry << 31);
+      carry = divisor.limbs_[j] & 1u;
+    }
+    shifted.Trim();
+    divisor = std::move(shifted);
+  }
+  result.quotient.Trim();
+  return result;
+}
+
+Result<BigNum> BigNum::Mod(const BigNum& a, const BigNum& m) {
+  Result<BigNumDivMod> dm = Div(a, m);
+  if (!dm.ok()) return dm.status();
+  return dm->remainder;
+}
+
+Result<BigNum> BigNum::ModPow(const BigNum& base, const BigNum& exponent,
+                              const BigNum& modulus) {
+  if (modulus.IsZero()) {
+    return Status(ErrorCode::kInvalidArgument, "zero modulus");
+  }
+  Result<BigNum> reduced = Mod(base, modulus);
+  if (!reduced.ok()) return reduced.status();
+  BigNum result(1);
+  BigNum b = *reduced;
+  const int bits = exponent.BitLength();
+  for (int i = 0; i < bits; ++i) {
+    if (exponent.GetBit(i)) {
+      Result<BigNum> r = Mod(Mul(result, b), modulus);
+      if (!r.ok()) return r.status();
+      result = *std::move(r);
+    }
+    Result<BigNum> sq = Mod(Mul(b, b), modulus);
+    if (!sq.ok()) return sq.status();
+    b = *std::move(sq);
+  }
+  return result;
+}
+
+BigNum BigNum::Gcd(BigNum a, BigNum b) {
+  while (!b.IsZero()) {
+    Result<BigNum> r = Mod(a, b);
+    a = std::move(b);
+    b = *std::move(r);  // Mod cannot fail: b nonzero
+  }
+  return a;
+}
+
+Result<BigNum> BigNum::ModInverse(const BigNum& a, const BigNum& m) {
+  // Extended Euclid over non-negative values: track coefficients of a
+  // with signs handled manually.
+  BigNum old_r = a, r = m;
+  BigNum old_s(1), s(0);
+  bool old_s_neg = false, s_neg = false;
+  while (!r.IsZero()) {
+    Result<BigNumDivMod> dm = Div(old_r, r);
+    if (!dm.ok()) return dm.status();
+    const BigNum& q = dm->quotient;
+    // (old_r, r) = (r, old_r - q*r)
+    BigNum new_r = dm->remainder;
+    old_r = r;
+    r = std::move(new_r);
+    // (old_s, s) = (s, old_s - q*s) with sign tracking.
+    BigNum qs = Mul(q, s);
+    BigNum new_s;
+    bool new_s_neg;
+    if (old_s_neg == s_neg) {
+      // old_s - q*s where both share sign: magnitude subtraction.
+      if (Compare(old_s, qs) >= 0) {
+        new_s = Sub(old_s, qs);
+        new_s_neg = old_s_neg;
+      } else {
+        new_s = Sub(qs, old_s);
+        new_s_neg = !old_s_neg;
+      }
+    } else {
+      new_s = Add(old_s, qs);
+      new_s_neg = old_s_neg;
+    }
+    old_s = s;
+    old_s_neg = s_neg;
+    s = std::move(new_s);
+    s_neg = new_s_neg;
+  }
+  if (!(old_r == BigNum(1))) {
+    return Status(ErrorCode::kInvalidArgument, "not invertible");
+  }
+  if (old_s_neg) {
+    Result<BigNum> reduced = Mod(old_s, m);
+    if (!reduced.ok()) return reduced.status();
+    if (reduced->IsZero()) return BigNum();
+    return Sub(m, *reduced);
+  }
+  return Mod(old_s, m);
+}
+
+bool BigNum::IsProbablePrime(const BigNum& n, Xoshiro256& rng, int rounds) {
+  if (n.BitLength() <= 1) return false;           // 0, 1
+  if (!n.IsOdd()) return n == BigNum(2);
+  // Small-prime sieve first.
+  static const uint32_t kSmallPrimes[] = {3,  5,  7,  11, 13, 17, 19, 23,
+                                          29, 31, 37, 41, 43, 47, 53, 59};
+  for (uint32_t p : kSmallPrimes) {
+    const BigNum bp(p);
+    if (n == bp) return true;
+    Result<BigNum> r = Mod(n, bp);
+    if (r.ok() && r->IsZero()) return false;
+  }
+
+  // n-1 = d * 2^s
+  const BigNum n_minus_1 = Sub(n, BigNum(1));
+  BigNum d = n_minus_1;
+  int s = 0;
+  while (!d.IsOdd()) {
+    // d >>= 1
+    BigNum half;
+    half.limbs_.resize(d.limbs_.size());
+    uint32_t carry = 0;
+    for (size_t j = d.limbs_.size(); j-- > 0;) {
+      half.limbs_[j] = (d.limbs_[j] >> 1) | (carry << 31);
+      carry = d.limbs_[j] & 1u;
+    }
+    half.Trim();
+    d = std::move(half);
+    ++s;
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    // Random base in [2, n-2].
+    BigNum a = Random(n.BitLength() - 1, rng);
+    if (Compare(a, BigNum(2)) < 0) a = BigNum(2);
+    Result<BigNum> x = ModPow(a, d, n);
+    if (!x.ok()) return false;
+    if (*x == BigNum(1) || *x == n_minus_1) continue;
+    bool witness = true;
+    for (int i = 0; i < s - 1; ++i) {
+      Result<BigNum> sq = Mod(Mul(*x, *x), n);
+      if (!sq.ok()) return false;
+      x = *std::move(sq);
+      if (*x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigNum BigNum::RandomPrime(int bits, Xoshiro256& rng) {
+  for (;;) {
+    BigNum candidate = Random(bits, rng);
+    if (!candidate.IsOdd()) candidate = Add(candidate, BigNum(1));
+    if (IsProbablePrime(candidate, rng)) return candidate;
+  }
+}
+
+}  // namespace eric::crypto

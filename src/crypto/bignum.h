@@ -1,0 +1,99 @@
+// Arbitrary-precision unsigned integers for the RSA handshake extension.
+//
+// The paper's future work: "We also aim to bring RSA-based key generation
+// and usage to ERIC." This module provides the arithmetic that the
+// rsa.h/handshake modules build on: school-book multiply, binary long
+// division, and left-to-right modular exponentiation over 32-bit limbs.
+// Performance targets are "fast enough for tests and benches at 256–1024
+// bit moduli", not production cryptography.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace eric::crypto {
+
+class BigNum;
+
+/// Division result (declared outside BigNum because it holds BigNums).
+struct BigNumDivMod;
+
+/// Unsigned big integer, little-endian 32-bit limbs, canonical form (no
+/// trailing zero limbs; zero is an empty limb vector).
+class BigNum {
+ public:
+  BigNum() = default;
+  explicit BigNum(uint64_t value);
+
+  /// From big-endian bytes (network order).
+  static BigNum FromBytes(std::span<const uint8_t> bytes);
+  /// From lower-case/upper-case hex (no 0x prefix).
+  static Result<BigNum> FromHex(std::string_view hex);
+  /// Uniform random value with exactly `bits` bits (MSB forced to 1).
+  static BigNum Random(int bits, Xoshiro256& rng);
+
+  /// Big-endian bytes, minimal length (empty for zero).
+  std::vector<uint8_t> ToBytes() const;
+  std::string ToHex() const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+  int BitLength() const;
+  bool GetBit(int index) const;
+
+  // Comparison.
+  static int Compare(const BigNum& a, const BigNum& b);
+  friend bool operator==(const BigNum& a, const BigNum& b) {
+    return a.limbs_ == b.limbs_;
+  }
+  friend bool operator<(const BigNum& a, const BigNum& b) {
+    return Compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigNum& a, const BigNum& b) {
+    return Compare(a, b) <= 0;
+  }
+
+  // Arithmetic (value semantics; no aliasing restrictions).
+  static BigNum Add(const BigNum& a, const BigNum& b);
+  /// Requires a >= b.
+  static BigNum Sub(const BigNum& a, const BigNum& b);
+  static BigNum Mul(const BigNum& a, const BigNum& b);
+  /// Division with remainder; b must be nonzero.
+  static Result<BigNumDivMod> Div(const BigNum& a, const BigNum& b);
+  static Result<BigNum> Mod(const BigNum& a, const BigNum& m);
+
+  /// (base ^ exponent) mod modulus; modulus must be nonzero.
+  static Result<BigNum> ModPow(const BigNum& base, const BigNum& exponent,
+                               const BigNum& modulus);
+
+  /// Greatest common divisor.
+  static BigNum Gcd(BigNum a, BigNum b);
+
+  /// Modular inverse of a mod m (extended Euclid); fails if gcd != 1.
+  static Result<BigNum> ModInverse(const BigNum& a, const BigNum& m);
+
+  /// Miller–Rabin probabilistic primality test with `rounds` bases.
+  static bool IsProbablePrime(const BigNum& n, Xoshiro256& rng,
+                              int rounds = 24);
+
+  /// Random probable prime with exactly `bits` bits.
+  static BigNum RandomPrime(int bits, Xoshiro256& rng);
+
+ private:
+  void Trim();
+  static BigNum ShiftLeftBits(const BigNum& a, int bits);
+
+  std::vector<uint32_t> limbs_;
+};
+
+struct BigNumDivMod {
+  BigNum quotient;
+  BigNum remainder;
+};
+
+}  // namespace eric::crypto

@@ -1,0 +1,54 @@
+#include "crypto/kdf.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace eric::crypto {
+namespace {
+
+constexpr uint8_t kIpad = 0x36;
+
+void AppendLe64(Sha256& h, uint64_t value) {
+  uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<uint8_t>(value >> (8 * i));
+  h.Update(std::span<const uint8_t>(bytes, 8));
+}
+
+}  // namespace
+
+Key256 DeriveKey(const Key256& key, std::string_view label, uint64_t context) {
+  Sha256 h;
+  Key256 padded = key;
+  for (auto& b : padded) b ^= kIpad;
+  h.Update(std::span<const uint8_t>(padded.data(), padded.size()));
+  h.Update(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(label.data()), label.size()));
+  AppendLe64(h, context);
+  const Sha256Digest digest = h.Finish();
+  Key256 out;
+  std::copy(digest.begin(), digest.end(), out.begin());
+  return out;
+}
+
+Key256 DerivePufBasedKey(const Key256& puf_key, const KeyConfig& config) {
+  // Chain: bind domain, then epoch, then environment. Each stage is
+  // one-way, so leaking a PUF-based key never exposes the PUF key.
+  Key256 k = DeriveKey(puf_key, config.domain, 0);
+  k = DeriveKey(k, "eric.kmu.epoch", config.epoch);
+  if (config.environment_binding != 0) {
+    k = DeriveKey(k, "eric.kmu.env", config.environment_binding);
+  }
+  return k;
+}
+
+Key256 DeriveCipherKey(const Key256& puf_based_key, uint64_t stream) {
+  return DeriveKey(puf_based_key, "eric.cipher.stream", stream);
+}
+
+Key128 TruncateToKey128(const Key256& key) {
+  Key128 out;
+  std::copy_n(key.begin(), out.size(), out.begin());
+  return out;
+}
+
+}  // namespace eric::crypto

@@ -1,0 +1,62 @@
+// Key derivation used by the Key Management Units (software and hardware).
+//
+// Paper key hierarchy (Sec. III):
+//
+//   PUF key  --KMU function(config)-->  PUF-based key  --per-use-->  cipher keys
+//
+// The PUF key never leaves the hardware. The KMU applies a configurable
+// one-way function ("e.g., secure hash algorithm") so the software source
+// only ever learns PUF-*based* keys, can be rotated by changing the config,
+// and multiple devices can intentionally be mapped to one PUF-based key.
+//
+// This module implements that function as HMAC-SHA256-style labeled
+// derivation: Derive(key, label, context) = SHA256(pad(key) || label ||
+// context) — one-way, domain-separated, deterministic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "crypto/aes128.h"
+#include "crypto/sha256.h"
+#include "crypto/xor_cipher.h"
+
+namespace eric::crypto {
+
+/// Derives a 256-bit key from `key` bound to (`label`, `context`).
+///
+/// Different labels yield independent keys; the same inputs always yield
+/// the same key. The construction is a single-block keyed hash:
+///   SHA256(key XOR ipad-constant || label || context-le64).
+Key256 DeriveKey(const Key256& key, std::string_view label, uint64_t context);
+
+/// Key-management configuration: the paper's "function in the Key
+/// Management Unit" plus the environment bindings it floats as future work
+/// (time range / temperature / frequency...). Two KMUs with equal configs
+/// derive equal PUF-based keys from equal PUF keys — this is exactly the
+/// handshake assumption in Sec. III.1.
+struct KeyConfig {
+  /// Rotation epoch: bumping it re-keys all software sources.
+  uint64_t epoch = 0;
+  /// Free-form domain label (e.g. vendor / product line).
+  std::string_view domain = "eric.default";
+  /// Optional environment binding (0 = unbound). When nonzero, the derived
+  /// key is only reproducible by hardware observing the same quantized
+  /// environment value (temperature band, time window...).
+  uint64_t environment_binding = 0;
+};
+
+/// PUF key -> PUF-based key (the KMU function).
+Key256 DerivePufBasedKey(const Key256& puf_key, const KeyConfig& config);
+
+/// PUF-based key -> cipher key for one encryption stream.
+///
+/// `stream` distinguishes independently-encrypted regions of one package
+/// (text stream, signature stream, map stream).
+Key256 DeriveCipherKey(const Key256& puf_based_key, uint64_t stream);
+
+/// Truncates a 256-bit key to the AES-128 baseline's key size.
+Key128 TruncateToKey128(const Key256& key);
+
+}  // namespace eric::crypto

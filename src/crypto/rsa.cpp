@@ -1,0 +1,101 @@
+#include "crypto/rsa.h"
+
+#include <algorithm>
+
+namespace eric::crypto {
+
+Result<RsaKeyPair> RsaKeyPair::Generate(int modulus_bits, Xoshiro256& rng) {
+  if (modulus_bits < 128 || modulus_bits % 2 != 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "modulus_bits must be even and >= 128");
+  }
+  const BigNum e(65537);
+  for (;;) {
+    const BigNum p = BigNum::RandomPrime(modulus_bits / 2, rng);
+    BigNum q = BigNum::RandomPrime(modulus_bits / 2, rng);
+    if (p == q) continue;
+    const BigNum n = BigNum::Mul(p, q);
+    if (n.BitLength() != modulus_bits) continue;  // product came up short
+    const BigNum phi =
+        BigNum::Mul(BigNum::Sub(p, BigNum(1)), BigNum::Sub(q, BigNum(1)));
+    if (!(BigNum::Gcd(e, phi) == BigNum(1))) continue;
+    Result<BigNum> d = BigNum::ModInverse(e, phi);
+    if (!d.ok()) continue;
+    RsaKeyPair keypair;
+    keypair.public_key.n = n;
+    keypair.public_key.e = e;
+    keypair.d = *std::move(d);
+    return keypair;
+  }
+}
+
+Result<std::vector<uint8_t>> RsaWrapKey(const RsaPublicKey& pub,
+                                        const Key256& key, Xoshiro256& rng) {
+  const int k = pub.ModulusBytes();
+  if (k < static_cast<int>(key.size()) + 4) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "modulus too small to wrap a 256-bit key");
+  }
+  // 0x02 || PS (nonzero random) || 0x00 || key   (k-1 bytes; the leading
+  // byte is implicitly 0x00 so the message is < n).
+  std::vector<uint8_t> message(static_cast<size_t>(k - 1));
+  message[0] = 0x02;
+  const size_t pad_len = message.size() - key.size() - 2;
+  for (size_t i = 0; i < pad_len; ++i) {
+    uint8_t byte = 0;
+    while (byte == 0) byte = static_cast<uint8_t>(rng.Next());
+    message[1 + i] = byte;
+  }
+  message[1 + pad_len] = 0x00;
+  std::copy(key.begin(), key.end(), message.begin() + 2 + pad_len);
+
+  const BigNum m = BigNum::FromBytes(message);
+  Result<BigNum> c = BigNum::ModPow(m, pub.e, pub.n);
+  if (!c.ok()) return c.status();
+
+  // Fixed-width output (k bytes, leading zeros preserved).
+  std::vector<uint8_t> out(static_cast<size_t>(k), 0);
+  const std::vector<uint8_t> raw = c->ToBytes();
+  std::copy(raw.begin(), raw.end(), out.end() - static_cast<long>(raw.size()));
+  return out;
+}
+
+Result<Key256> RsaUnwrapKey(const RsaKeyPair& keypair,
+                            std::span<const uint8_t> wrapped) {
+  const BigNum c = BigNum::FromBytes(wrapped);
+  if (BigNum::Compare(c, keypair.public_key.n) >= 0) {
+    return Status(ErrorCode::kDecryptionFailed, "ciphertext out of range");
+  }
+  Result<BigNum> m = BigNum::ModPow(c, keypair.d, keypair.public_key.n);
+  if (!m.ok()) return m.status();
+
+  const int k = keypair.public_key.ModulusBytes();
+  std::vector<uint8_t> message(static_cast<size_t>(k - 1), 0);
+  const std::vector<uint8_t> raw = m->ToBytes();
+  if (raw.size() > message.size()) {
+    return Status(ErrorCode::kDecryptionFailed, "bad message length");
+  }
+  std::copy(raw.begin(), raw.end(),
+            message.end() - static_cast<long>(raw.size()));
+
+  if (message[0] != 0x02) {
+    return Status(ErrorCode::kDecryptionFailed, "bad padding header");
+  }
+  // Find the 0x00 separator after the random pad.
+  size_t separator = 0;
+  for (size_t i = 1; i < message.size(); ++i) {
+    if (message[i] == 0x00) {
+      separator = i;
+      break;
+    }
+  }
+  Key256 key;
+  if (separator == 0 || message.size() - separator - 1 != key.size()) {
+    return Status(ErrorCode::kDecryptionFailed, "bad padding structure");
+  }
+  std::copy(message.begin() + static_cast<long>(separator) + 1, message.end(),
+            key.begin());
+  return key;
+}
+
+}  // namespace eric::crypto

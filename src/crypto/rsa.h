@@ -1,0 +1,50 @@
+// RSA key wrapping — the paper's declared future work ("We also aim to
+// bring RSA-based key generation and usage to ERIC").
+//
+// Role in ERIC: the handshake. The paper assumes PUF-based keys reach the
+// software source out of band; with RSA the fab publishes nothing secret —
+// the software source generates a keypair, the device (or fab enrollment
+// station) wraps the PUF-based key under the source's public key, and only
+// the source can unwrap it. See core/handshake.h for the protocol driver.
+//
+// Textbook RSA with PKCS#1-v1.5-style random padding for key wrap. Sized
+// for tests/benches (512–1024-bit moduli); not hardened production crypto.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/bignum.h"
+#include "crypto/xor_cipher.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace eric::crypto {
+
+/// Public half of an RSA keypair.
+struct RsaPublicKey {
+  BigNum n;  ///< modulus
+  BigNum e;  ///< public exponent (65537)
+
+  int ModulusBytes() const { return (n.BitLength() + 7) / 8; }
+};
+
+/// Full keypair.
+struct RsaKeyPair {
+  RsaPublicKey public_key;
+  BigNum d;  ///< private exponent
+
+  /// Generates a keypair with a `modulus_bits`-bit modulus (two
+  /// modulus_bits/2-bit primes). modulus_bits must be >= 128 and even.
+  static Result<RsaKeyPair> Generate(int modulus_bits, Xoshiro256& rng);
+};
+
+/// Wraps a 256-bit key under `pub`: pads (0x02 || nonzero-random || 0x00 ||
+/// key) to the modulus size and encrypts. Modulus must be > 36 bytes.
+Result<std::vector<uint8_t>> RsaWrapKey(const RsaPublicKey& pub,
+                                        const Key256& key, Xoshiro256& rng);
+
+/// Unwraps; fails with kDecryptionFailed on bad padding.
+Result<Key256> RsaUnwrapKey(const RsaKeyPair& keypair,
+                            std::span<const uint8_t> wrapped);
+
+}  // namespace eric::crypto

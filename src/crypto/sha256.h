@@ -1,0 +1,65 @@
+// SHA-256 (FIPS 180-2), implemented from scratch.
+//
+// ERIC uses SHA-256 in two places:
+//  * the software source signs the plaintext instruction stream before
+//    encryption (Signature Generator, Sec. III.1);
+//  * the hardware Signature Generator unit recomputes the digest as the
+//    program is decrypted, streaming one instruction at a time (Sec. III.2).
+// The streaming interface below serves both.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace eric::crypto {
+
+/// A 256-bit digest.
+using Sha256Digest = std::array<uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+///
+/// Usage:
+///   Sha256 h;
+///   h.Update(chunk1);
+///   h.Update(chunk2);
+///   Sha256Digest d = h.Finish();
+/// Finish() may be called once; the object can be Reset() for reuse.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  /// Restores the initial hash state; discards buffered input.
+  void Reset();
+
+  /// Absorbs `data` into the hash state.
+  void Update(std::span<const uint8_t> data);
+
+  /// Pads, finalizes, and returns the digest. The object must be Reset()
+  /// before further Update() calls.
+  Sha256Digest Finish();
+
+  /// One-shot convenience.
+  static Sha256Digest Hash(std::span<const uint8_t> data);
+
+  /// Number of compression-function invocations so far. The hardware
+  /// Signature Generator model uses this to charge cycles per block.
+  uint64_t blocks_processed() const { return blocks_processed_; }
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, 64> buffer_;
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+  uint64_t blocks_processed_ = 0;
+  bool finished_ = false;
+};
+
+/// Hex string of a digest (lower-case, 64 chars).
+std::string DigestToHex(const Sha256Digest& digest);
+
+}  // namespace eric::crypto

@@ -1,0 +1,56 @@
+#include "crypto/xor_cipher.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace eric::crypto {
+namespace {
+
+constexpr size_t kBlockBytes = 32;  // one SHA-256 digest per keystream block
+
+// Keystream block i = SHA256(key || counter_le64(i)).
+Sha256Digest KeystreamBlock(const Key256& key, uint64_t block_index) {
+  Sha256 h;
+  h.Update(std::span<const uint8_t>(key.data(), key.size()));
+  uint8_t counter[8];
+  for (int i = 0; i < 8; ++i) {
+    counter[i] = static_cast<uint8_t>(block_index >> (8 * i));
+  }
+  h.Update(std::span<const uint8_t>(counter, 8));
+  return h.Finish();
+}
+
+}  // namespace
+
+void XorCipher::Apply(std::span<uint8_t> data, uint64_t stream_offset) const {
+  size_t done = 0;
+  while (done < data.size()) {
+    const uint64_t abs = stream_offset + done;
+    const uint64_t block_index = abs / kBlockBytes;
+    const size_t in_block = static_cast<size_t>(abs % kBlockBytes);
+    if (block_index != cached_block_index_) {
+      cached_block_ = KeystreamBlock(key_, block_index);
+      cached_block_index_ = block_index;
+    }
+    const size_t take = std::min(kBlockBytes - in_block, data.size() - done);
+    for (size_t i = 0; i < take; ++i) {
+      data[done + i] ^= cached_block_[in_block + i];
+    }
+    done += take;
+  }
+}
+
+std::vector<uint8_t> XorCipher::Applied(std::span<const uint8_t> data,
+                                        uint64_t stream_offset) const {
+  std::vector<uint8_t> out(data.begin(), data.end());
+  Apply(out, stream_offset);
+  return out;
+}
+
+void XorCipher::Keystream(uint64_t offset, std::span<uint8_t> out) const {
+  std::memset(out.data(), 0, out.size());
+  Apply(out, offset);
+}
+
+}  // namespace eric::crypto

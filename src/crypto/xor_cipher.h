@@ -1,0 +1,57 @@
+// XOR stream cipher — ERIC's prototype encryption function (Sec. IV.A).
+//
+// "Since the XOR cipher function is an encryption method made by passing
+//  instructions through successive XOR gates, the encrypted message is
+//  accessed back in symmetrical steps."
+//
+// The cipher is symmetric: Apply() both encrypts and decrypts. The
+// keystream is expanded from a 256-bit key via a SHA-256-based counter
+// construction so that every 32-byte keystream block is unpredictable
+// without the key (a raw repeating-pad XOR would leak instruction
+// periodicity to exactly the static analyses ERIC defends against).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace eric::crypto {
+
+/// A 256-bit symmetric key.
+using Key256 = std::array<uint8_t, 32>;
+
+/// Stream cipher over a 256-bit key.
+///
+/// Stateless with respect to data: each call derives its keystream from
+/// (key, stream_offset), so independent regions of a program can be
+/// encrypted/decrypted out of order — the hardware Decryption Unit decrypts
+/// instruction-by-instruction as the package streams in.
+class XorCipher {
+ public:
+  explicit XorCipher(const Key256& key) : key_(key) {}
+
+  /// XORs `data` in place with the keystream starting at byte
+  /// `stream_offset`. Encryption and decryption are the same operation.
+  void Apply(std::span<uint8_t> data, uint64_t stream_offset = 0) const;
+
+  /// Out-of-place convenience.
+  std::vector<uint8_t> Applied(std::span<const uint8_t> data,
+                               uint64_t stream_offset = 0) const;
+
+  /// Keystream bytes [offset, offset+out.size()), for tests and for the
+  /// hardware model's lane-level cost accounting.
+  void Keystream(uint64_t offset, std::span<uint8_t> out) const;
+
+  const Key256& key() const { return key_; }
+
+ private:
+  Key256 key_;
+  // Single-block keystream cache: partial encryption touches the stream
+  // in 2–4 byte fragments, and adjacent fragments share a 32-byte block.
+  // One XorCipher instance is therefore NOT safe for concurrent use.
+  mutable uint64_t cached_block_index_ = ~uint64_t{0};
+  mutable std::array<uint8_t, 32> cached_block_{};
+};
+
+}  // namespace eric::crypto

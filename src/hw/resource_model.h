@@ -1,0 +1,91 @@
+// Structural FPGA resource model for Table II.
+//
+// The paper synthesizes Rocket Chip with and without the HDE on a Zynq
+// Zedboard and reports slice LUT / flip-flop counts. We cannot run Vivado,
+// so each HDE unit is described as a netlist of primitive blocks with
+// Xilinx-7-series-shaped cost functions (1 FF per register bit, LUT6-based
+// combinational logic, LUTRAM for small memories). The Rocket baseline is
+// anchored to the paper's own Table II figures — the experiment's claim is
+// the *relative* overhead of the added engine, which the structural model
+// computes from first principles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eric::hw {
+
+/// Resource cost of one block or unit.
+struct Resources {
+  uint32_t luts = 0;
+  uint32_t flip_flops = 0;
+
+  Resources& operator+=(const Resources& other) {
+    luts += other.luts;
+    flip_flops += other.flip_flops;
+    return *this;
+  }
+  friend Resources operator+(Resources a, const Resources& b) {
+    a += b;
+    return a;
+  }
+};
+
+/// Primitive cost functions (7-series flavored).
+namespace primitives {
+
+/// D flip-flop register bank.
+Resources Register(uint32_t bits);
+
+/// N-bit 2-input XOR lane (one LUT6 covers ~3 XOR2s with routing slack;
+/// modeled at 2 bits per LUT).
+Resources XorLane(uint32_t bits);
+
+/// Ripple/carry adder (carry chains: ~1 LUT per bit).
+Resources Adder(uint32_t bits);
+
+/// Equality comparator tree over `bits` with a registered result.
+Resources Comparator(uint32_t bits);
+
+/// W-bit M:1 multiplexer.
+Resources Mux(uint32_t bits, uint32_t ways);
+
+/// Small FSM controller with `states` states and ~`outputs` decoded
+/// control signals.
+Resources Fsm(uint32_t states, uint32_t outputs);
+
+/// Distributed (LUT) RAM of `words` x `bits`.
+Resources LutRam(uint32_t words, uint32_t bits);
+
+/// One arbiter-PUF switch stage (a pair of routed LUT delay elements).
+Resources PufStage();
+
+/// Majority-vote counter of `width` bits.
+Resources VoteCounter(uint32_t width);
+
+}  // namespace primitives
+
+/// One named sub-unit with its computed cost.
+struct UnitReport {
+  std::string name;
+  Resources resources;
+};
+
+/// The full HDE netlist, unit by unit (Fig 3's orange boxes).
+std::vector<UnitReport> HdeNetlist();
+
+/// Sum of HdeNetlist().
+Resources HdeTotal();
+
+/// Table II anchors from the paper (Rocket Chip baseline on the Zedboard).
+inline constexpr Resources kRocketBaseline{.luts = 33894, .flip_flops = 19093};
+
+/// Paper-reported combined build, for comparison rows.
+inline constexpr Resources kPaperRocketPlusHde{.luts = 34811,
+                                               .flip_flops = 19854};
+
+/// Renders the Table II comparison (baseline vs baseline+HDE, % change).
+std::string FormatTable2();
+
+}  // namespace eric::hw

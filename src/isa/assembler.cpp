@@ -1,0 +1,483 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "isa/encoder.h"
+
+namespace eric::isa {
+namespace {
+
+// Splits a line into mnemonic + comma-separated operands; strips comments.
+struct Line {
+  std::string label;      // empty if none
+  std::string mnemonic;   // empty if label-only or blank
+  std::vector<std::string> operands;
+  int number = 0;
+};
+
+std::string Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+Status ParseError(int line, const std::string& what) {
+  return Status(ErrorCode::kParseError,
+                "line " + std::to_string(line) + ": " + what);
+}
+
+Result<std::vector<Line>> SplitLines(std::string_view source) {
+  std::vector<Line> lines;
+  int number = 0;
+  size_t pos = 0;
+  while (pos <= source.size()) {
+    const size_t nl = source.find('\n', pos);
+    std::string_view raw = source.substr(
+        pos, nl == std::string_view::npos ? source.size() - pos : nl - pos);
+    pos = (nl == std::string_view::npos) ? source.size() + 1 : nl + 1;
+    ++number;
+
+    // Strip comments (# or //).
+    std::string text(raw);
+    if (const size_t hash = text.find('#'); hash != std::string::npos) {
+      text.resize(hash);
+    }
+    if (const size_t slashes = text.find("//"); slashes != std::string::npos) {
+      text.resize(slashes);
+    }
+    text = Trim(text);
+    if (text.empty()) continue;
+
+    Line line;
+    line.number = number;
+    // Label?
+    if (const size_t colon = text.find(':'); colon != std::string::npos) {
+      line.label = Trim(text.substr(0, colon));
+      if (line.label.empty()) return ParseError(number, "empty label");
+      text = Trim(text.substr(colon + 1));
+    }
+    if (!text.empty()) {
+      const size_t space = text.find_first_of(" \t");
+      line.mnemonic = text.substr(0, space);
+      if (space != std::string::npos) {
+        std::string rest = Trim(text.substr(space));
+        // Split on commas.
+        size_t start = 0;
+        while (start <= rest.size()) {
+          const size_t comma = rest.find(',', start);
+          const std::string operand =
+              Trim(rest.substr(start, comma == std::string::npos
+                                          ? rest.size() - start
+                                          : comma - start));
+          if (!operand.empty()) line.operands.push_back(operand);
+          if (comma == std::string::npos) break;
+          start = comma + 1;
+        }
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+Result<int64_t> ParseImm(const std::string& text, int line) {
+  if (text.empty()) return ParseError(line, "empty immediate");
+  try {
+    size_t idx = 0;
+    const int64_t value = std::stoll(text, &idx, 0);  // handles 0x, decimal
+    if (idx != text.size()) {
+      return ParseError(line, "bad immediate '" + text + "'");
+    }
+    return value;
+  } catch (...) {
+    return ParseError(line, "bad immediate '" + text + "'");
+  }
+}
+
+Result<uint8_t> ParseReg(const std::string& text, int line) {
+  const int reg = ParseRegName(text);
+  if (reg < 0) return ParseError(line, "bad register '" + text + "'");
+  return static_cast<uint8_t>(reg);
+}
+
+// "imm(reg)" operand.
+struct MemOperand {
+  int64_t offset;
+  uint8_t base;
+};
+
+Result<MemOperand> ParseMem(const std::string& text, int line) {
+  const size_t open = text.find('(');
+  const size_t close = text.find(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    return ParseError(line, "bad memory operand '" + text + "'");
+  }
+  const std::string imm_text = Trim(text.substr(0, open));
+  Result<int64_t> offset =
+      imm_text.empty() ? Result<int64_t>(int64_t{0}) : ParseImm(imm_text, line);
+  if (!offset.ok()) return offset.status();
+  Result<uint8_t> base =
+      ParseReg(Trim(text.substr(open + 1, close - open - 1)), line);
+  if (!base.ok()) return base.status();
+  return MemOperand{*offset, *base};
+}
+
+std::optional<Op> LookupOp(const std::string& mnemonic) {
+  static const std::map<std::string, Op> kTable = {
+      {"lui", Op::kLui}, {"auipc", Op::kAuipc}, {"jal", Op::kJal},
+      {"jalr", Op::kJalr}, {"beq", Op::kBeq}, {"bne", Op::kBne},
+      {"blt", Op::kBlt}, {"bge", Op::kBge}, {"bltu", Op::kBltu},
+      {"bgeu", Op::kBgeu}, {"lb", Op::kLb}, {"lh", Op::kLh}, {"lw", Op::kLw},
+      {"ld", Op::kLd}, {"lbu", Op::kLbu}, {"lhu", Op::kLhu},
+      {"lwu", Op::kLwu}, {"sb", Op::kSb}, {"sh", Op::kSh}, {"sw", Op::kSw},
+      {"sd", Op::kSd}, {"addi", Op::kAddi}, {"slti", Op::kSlti},
+      {"sltiu", Op::kSltiu}, {"xori", Op::kXori}, {"ori", Op::kOri},
+      {"andi", Op::kAndi}, {"slli", Op::kSlli}, {"srli", Op::kSrli},
+      {"srai", Op::kSrai}, {"add", Op::kAdd}, {"sub", Op::kSub},
+      {"sll", Op::kSll}, {"slt", Op::kSlt}, {"sltu", Op::kSltu},
+      {"xor", Op::kXor}, {"srl", Op::kSrl}, {"sra", Op::kSra},
+      {"or", Op::kOr}, {"and", Op::kAnd}, {"addiw", Op::kAddiw},
+      {"slliw", Op::kSlliw}, {"srliw", Op::kSrliw}, {"sraiw", Op::kSraiw},
+      {"addw", Op::kAddw}, {"subw", Op::kSubw}, {"sllw", Op::kSllw},
+      {"srlw", Op::kSrlw}, {"sraw", Op::kSraw}, {"fence", Op::kFence},
+      {"ecall", Op::kEcall}, {"ebreak", Op::kEbreak}, {"mul", Op::kMul},
+      {"mulh", Op::kMulh}, {"mulhsu", Op::kMulhsu}, {"mulhu", Op::kMulhu},
+      {"div", Op::kDiv}, {"divu", Op::kDivu}, {"rem", Op::kRem},
+      {"remu", Op::kRemu}, {"mulw", Op::kMulw}, {"divw", Op::kDivw},
+      {"divuw", Op::kDivuw}, {"remw", Op::kRemw}, {"remuw", Op::kRemuw},
+      {"csrrw", Op::kCsrrw}, {"csrrs", Op::kCsrrs}, {"csrrc", Op::kCsrrc},
+      {"lr.w", Op::kLrW}, {"lr.d", Op::kLrD}, {"sc.w", Op::kScW},
+      {"sc.d", Op::kScD}, {"amoswap.w", Op::kAmoSwapW},
+      {"amoadd.w", Op::kAmoAddW}, {"amoxor.w", Op::kAmoXorW},
+      {"amoand.w", Op::kAmoAndW}, {"amoor.w", Op::kAmoOrW},
+      {"amomin.w", Op::kAmoMinW}, {"amomax.w", Op::kAmoMaxW},
+      {"amominu.w", Op::kAmoMinuW}, {"amomaxu.w", Op::kAmoMaxuW},
+      {"amoswap.d", Op::kAmoSwapD}, {"amoadd.d", Op::kAmoAddD},
+      {"amoxor.d", Op::kAmoXorD}, {"amoand.d", Op::kAmoAndD},
+      {"amoor.d", Op::kAmoOrD}, {"amomin.d", Op::kAmoMinD},
+      {"amomax.d", Op::kAmoMaxD}, {"amominu.d", Op::kAmoMinuD},
+      {"amomaxu.d", Op::kAmoMaxuD},
+  };
+  const auto it = kTable.find(mnemonic);
+  if (it == kTable.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace
+
+Result<AssemblyResult> Assemble(std::string_view source) {
+  Result<std::vector<Line>> lines = SplitLines(source);
+  if (!lines.ok()) return lines.status();
+
+  // Pass 1: expand pseudo-instructions into placeholder Instrs and record
+  // label addresses (4 bytes per instruction; see header).
+  struct Pending {
+    Instr instr;
+    std::string label;  // non-empty: imm patched with label delta
+    bool pc_relative = true;
+    int line = 0;
+  };
+  std::vector<Pending> pending;
+  std::map<std::string, uint64_t> labels;
+
+  auto push = [&pending](const Instr& i, int line) {
+    pending.push_back(Pending{i, "", true, line});
+  };
+  auto push_label_target = [&pending](const Instr& i, std::string label,
+                                      int line) {
+    pending.push_back(Pending{i, std::move(label), true, line});
+  };
+
+  for (const Line& line : *lines) {
+    if (!line.label.empty()) {
+      if (labels.count(line.label) != 0) {
+        return ParseError(line.number, "duplicate label '" + line.label + "'");
+      }
+      labels[line.label] = pending.size() * 4;
+    }
+    if (line.mnemonic.empty()) continue;
+    const std::string& m = line.mnemonic;
+    const auto& ops = line.operands;
+    const int ln = line.number;
+
+    auto need = [&](size_t n) -> Status {
+      if (ops.size() != n) {
+        return ParseError(ln, m + " expects " + std::to_string(n) +
+                                  " operands, got " +
+                                  std::to_string(ops.size()));
+      }
+      return Status::Ok();
+    };
+
+    // --- Pseudo-instructions ---
+    if (m == "nop") {
+      ERIC_RETURN_IF_ERROR(need(0));
+      push(MakeNop(), ln);
+      continue;
+    }
+    if (m == "li") {
+      ERIC_RETURN_IF_ERROR(need(2));
+      Result<uint8_t> rd = ParseReg(ops[0], ln);
+      if (!rd.ok()) return rd.status();
+      Result<int64_t> imm = ParseImm(ops[1], ln);
+      if (!imm.ok()) return imm.status();
+      const int64_t v = *imm;
+      if (v >= -2048 && v <= 2047) {
+        push(MakeI(Op::kAddi, *rd, 0, v), ln);
+      } else if (v >= INT32_MIN && v <= INT32_MAX) {
+        // lui+addiw materialization. The lui field wraps to signed 20-bit
+        // (lui sign-extends on RV64; addiw's 32-bit wrap restores the
+        // intended value for the whole int32 range).
+        const int64_t hi =
+            static_cast<int64_t>(static_cast<int32_t>(
+                static_cast<uint32_t>((v + 0x800) >> 12) << 12)) >> 12;
+        const int64_t lo = static_cast<int32_t>(v - (hi << 12));
+        push(MakeLui(*rd, hi), ln);
+        if (lo != 0) push(MakeI(Op::kAddiw, *rd, *rd, lo), ln);
+      } else {
+        return ParseError(ln, "li immediate out of 32-bit range");
+      }
+      continue;
+    }
+    if (m == "mv") {
+      ERIC_RETURN_IF_ERROR(need(2));
+      Result<uint8_t> rd = ParseReg(ops[0], ln);
+      Result<uint8_t> rs = ParseReg(ops[1], ln);
+      if (!rd.ok()) return rd.status();
+      if (!rs.ok()) return rs.status();
+      push(MakeI(Op::kAddi, *rd, *rs, 0), ln);
+      continue;
+    }
+    if (m == "not") {
+      ERIC_RETURN_IF_ERROR(need(2));
+      Result<uint8_t> rd = ParseReg(ops[0], ln);
+      Result<uint8_t> rs = ParseReg(ops[1], ln);
+      if (!rd.ok()) return rd.status();
+      if (!rs.ok()) return rs.status();
+      push(MakeI(Op::kXori, *rd, *rs, -1), ln);
+      continue;
+    }
+    if (m == "neg") {
+      ERIC_RETURN_IF_ERROR(need(2));
+      Result<uint8_t> rd = ParseReg(ops[0], ln);
+      Result<uint8_t> rs = ParseReg(ops[1], ln);
+      if (!rd.ok()) return rd.status();
+      if (!rs.ok()) return rs.status();
+      push(MakeR(Op::kSub, *rd, 0, *rs), ln);
+      continue;
+    }
+    if (m == "seqz") {
+      ERIC_RETURN_IF_ERROR(need(2));
+      Result<uint8_t> rd = ParseReg(ops[0], ln);
+      Result<uint8_t> rs = ParseReg(ops[1], ln);
+      if (!rd.ok()) return rd.status();
+      if (!rs.ok()) return rs.status();
+      push(MakeI(Op::kSltiu, *rd, *rs, 1), ln);
+      continue;
+    }
+    if (m == "snez") {
+      ERIC_RETURN_IF_ERROR(need(2));
+      Result<uint8_t> rd = ParseReg(ops[0], ln);
+      Result<uint8_t> rs = ParseReg(ops[1], ln);
+      if (!rd.ok()) return rd.status();
+      if (!rs.ok()) return rs.status();
+      push(MakeR(Op::kSltu, *rd, 0, *rs), ln);
+      continue;
+    }
+    if (m == "j") {
+      ERIC_RETURN_IF_ERROR(need(1));
+      push_label_target(MakeJal(0, 0), ops[0], ln);
+      continue;
+    }
+    if (m == "jr") {
+      ERIC_RETURN_IF_ERROR(need(1));
+      Result<uint8_t> rs = ParseReg(ops[0], ln);
+      if (!rs.ok()) return rs.status();
+      push(MakeJalr(0, *rs, 0), ln);
+      continue;
+    }
+    if (m == "ret") {
+      ERIC_RETURN_IF_ERROR(need(0));
+      push(MakeJalr(0, 1, 0), ln);
+      continue;
+    }
+    if (m == "call") {
+      ERIC_RETURN_IF_ERROR(need(1));
+      push_label_target(MakeJal(1, 0), ops[0], ln);
+      continue;
+    }
+    if (m == "beqz" || m == "bnez") {
+      ERIC_RETURN_IF_ERROR(need(2));
+      Result<uint8_t> rs = ParseReg(ops[0], ln);
+      if (!rs.ok()) return rs.status();
+      push_label_target(
+          MakeBranch(m == "beqz" ? Op::kBeq : Op::kBne, *rs, 0, 0), ops[1],
+          ln);
+      continue;
+    }
+    if (m == "ble" || m == "bgt") {
+      // ble a,b,l == bge b,a,l ; bgt a,b,l == blt b,a,l
+      ERIC_RETURN_IF_ERROR(need(3));
+      Result<uint8_t> ra = ParseReg(ops[0], ln);
+      Result<uint8_t> rb = ParseReg(ops[1], ln);
+      if (!ra.ok()) return ra.status();
+      if (!rb.ok()) return rb.status();
+      push_label_target(
+          MakeBranch(m == "ble" ? Op::kBge : Op::kBlt, *rb, *ra, 0), ops[2],
+          ln);
+      continue;
+    }
+
+    // --- Real instructions ---
+    const std::optional<Op> op = LookupOp(m);
+    if (!op) return ParseError(ln, "unknown mnemonic '" + m + "'");
+
+    switch (ClassOf(*op)) {
+      case OpClass::kAtomic: {
+        // lr.w rd, (rs1)  |  sc.w/amo* rd, rs2, (rs1)
+        const bool is_lr = *op == Op::kLrW || *op == Op::kLrD;
+        ERIC_RETURN_IF_ERROR(need(is_lr ? 2 : 3));
+        Result<uint8_t> rd = ParseReg(ops[0], ln);
+        if (!rd.ok()) return rd.status();
+        uint8_t rs2 = 0;
+        if (!is_lr) {
+          Result<uint8_t> src = ParseReg(ops[1], ln);
+          if (!src.ok()) return src.status();
+          rs2 = *src;
+        }
+        Result<MemOperand> mem = ParseMem(ops[is_lr ? 1 : 2], ln);
+        if (!mem.ok()) return mem.status();
+        if (mem->offset != 0) {
+          return ParseError(ln, "atomics take no address offset");
+        }
+        push(MakeR(*op, *rd, mem->base, rs2), ln);
+        break;
+      }
+      case OpClass::kLoad: {
+        ERIC_RETURN_IF_ERROR(need(2));
+        Result<uint8_t> rd = ParseReg(ops[0], ln);
+        if (!rd.ok()) return rd.status();
+        Result<MemOperand> mem = ParseMem(ops[1], ln);
+        if (!mem.ok()) return mem.status();
+        push(MakeLoad(*op, *rd, mem->base, mem->offset), ln);
+        break;
+      }
+      case OpClass::kStore: {
+        ERIC_RETURN_IF_ERROR(need(2));
+        Result<uint8_t> rs2 = ParseReg(ops[0], ln);
+        if (!rs2.ok()) return rs2.status();
+        Result<MemOperand> mem = ParseMem(ops[1], ln);
+        if (!mem.ok()) return mem.status();
+        push(MakeStore(*op, *rs2, mem->base, mem->offset), ln);
+        break;
+      }
+      case OpClass::kBranch: {
+        ERIC_RETURN_IF_ERROR(need(3));
+        Result<uint8_t> rs1 = ParseReg(ops[0], ln);
+        Result<uint8_t> rs2 = ParseReg(ops[1], ln);
+        if (!rs1.ok()) return rs1.status();
+        if (!rs2.ok()) return rs2.status();
+        push_label_target(MakeBranch(*op, *rs1, *rs2, 0), ops[2], ln);
+        break;
+      }
+      case OpClass::kJump: {
+        if (*op == Op::kJal) {
+          // jal rd, label  |  jal label
+          if (ops.size() == 1) {
+            push_label_target(MakeJal(1, 0), ops[0], ln);
+          } else {
+            ERIC_RETURN_IF_ERROR(need(2));
+            Result<uint8_t> rd = ParseReg(ops[0], ln);
+            if (!rd.ok()) return rd.status();
+            push_label_target(MakeJal(*rd, 0), ops[1], ln);
+          }
+        } else {  // jalr rd, imm(rs1)
+          ERIC_RETURN_IF_ERROR(need(2));
+          Result<uint8_t> rd = ParseReg(ops[0], ln);
+          if (!rd.ok()) return rd.status();
+          Result<MemOperand> mem = ParseMem(ops[1], ln);
+          if (!mem.ok()) return mem.status();
+          push(MakeJalr(*rd, mem->base, mem->offset), ln);
+        }
+        break;
+      }
+      case OpClass::kSystem: {
+        if (*op == Op::kEcall || *op == Op::kEbreak || *op == Op::kFence) {
+          ERIC_RETURN_IF_ERROR(need(0));
+          push(MakeI(*op, 0, 0, 0), ln);
+        } else {  // csrrw rd, csr, rs1
+          ERIC_RETURN_IF_ERROR(need(3));
+          Result<uint8_t> rd = ParseReg(ops[0], ln);
+          if (!rd.ok()) return rd.status();
+          Result<int64_t> csr = ParseImm(ops[1], ln);
+          if (!csr.ok()) return csr.status();
+          Result<uint8_t> rs1 = ParseReg(ops[2], ln);
+          if (!rs1.ok()) return rs1.status();
+          push(MakeI(*op, *rd, *rs1, *csr), ln);
+        }
+        break;
+      }
+      default: {
+        // ALU / MUL / DIV: register or immediate forms.
+        ERIC_RETURN_IF_ERROR(need(*op == Op::kLui || *op == Op::kAuipc ? 2
+                                                                       : 3));
+        Result<uint8_t> rd = ParseReg(ops[0], ln);
+        if (!rd.ok()) return rd.status();
+        if (*op == Op::kLui || *op == Op::kAuipc) {
+          Result<int64_t> imm = ParseImm(ops[1], ln);
+          if (!imm.ok()) return imm.status();
+          push(MakeI(*op, *rd, 0, *imm), ln);
+          break;
+        }
+        Result<uint8_t> rs1 = ParseReg(ops[1], ln);
+        if (!rs1.ok()) return rs1.status();
+        // Third operand: register or immediate depending on the operation.
+        bool imm_form = false;
+        switch (*op) {
+          case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+          case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
+          case Op::kSrai: case Op::kAddiw: case Op::kSlliw: case Op::kSrliw:
+          case Op::kSraiw:
+            imm_form = true;
+            break;
+          default:
+            break;
+        }
+        if (imm_form) {
+          Result<int64_t> imm = ParseImm(ops[2], ln);
+          if (!imm.ok()) return imm.status();
+          push(MakeI(*op, *rd, *rs1, *imm), ln);
+        } else {
+          Result<uint8_t> rs2 = ParseReg(ops[2], ln);
+          if (!rs2.ok()) return rs2.status();
+          push(MakeR(*op, *rd, *rs1, *rs2), ln);
+        }
+        break;
+      }
+    }
+  }
+
+  // Pass 2: patch label-relative immediates.
+  AssemblyResult result;
+  result.instructions.reserve(pending.size());
+  for (size_t i = 0; i < pending.size(); ++i) {
+    Pending& p = pending[i];
+    if (!p.label.empty()) {
+      const auto it = labels.find(p.label);
+      if (it == labels.end()) {
+        return ParseError(p.line, "undefined label '" + p.label + "'");
+      }
+      p.instr.imm =
+          static_cast<int64_t>(it->second) - static_cast<int64_t>(i * 4);
+    }
+    result.instructions.push_back(p.instr);
+  }
+  return result;
+}
+
+}  // namespace eric::isa

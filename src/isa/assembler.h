@@ -1,0 +1,32 @@
+// Two-pass textual assembler for the supported RV64IMAC subset.
+//
+// Supports labels, branch/jump label targets, the usual pseudo-instructions
+// (li, mv, not, neg, j, jr, ret, call, nop, beqz, bnez, ble, bgt, seqz,
+// snez), and `.word`/`.dword` data directives. Used by the examples and
+// tests; the workload suite mostly drives the mini-compiler instead.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "support/status.h"
+
+namespace eric::isa {
+
+/// Output of assembly: decoded instructions plus their byte offsets (the
+/// encoder is run by the caller so compression is the caller's choice).
+struct AssemblyResult {
+  std::vector<Instr> instructions;
+};
+
+/// Assembles `source` into decoded instructions.
+///
+/// Branch targets are resolved assuming the *uncompressed* 4-byte encoding
+/// for every instruction; pass `compress=false` to EncodeProgram for
+/// byte-exact layouts. (The compiler backend performs its own relaxation;
+/// the assembler keeps layout simple.)
+Result<AssemblyResult> Assemble(std::string_view source);
+
+}  // namespace eric::isa

@@ -1,0 +1,43 @@
+// Instruction decoding: machine code -> decoded form.
+//
+// Used by three consumers with different trust levels:
+//  * the simulator's fetch path (decodes plaintext after HDE validation);
+//  * the hardware Decryption Unit model (walks the instruction stream to
+//    find instruction boundaries while applying the encryption map);
+//  * the static-analysis attacker (tries to disassemble ciphertext; its
+//    failure rate is the security metric).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "support/status.h"
+
+namespace eric::isa {
+
+/// True if the two low bits mark a 32-bit (uncompressed) encoding.
+inline bool IsWide(uint16_t first_halfword) {
+  return (first_halfword & 0b11) == 0b11;
+}
+
+/// Decodes a 32-bit encoding. Returns Op::kInvalid inside the Instr (not
+/// an error status) for unrecognized encodings, so bulk scanners can count
+/// failures cheaply.
+Instr Decode32(uint32_t raw);
+
+/// Decodes a 16-bit RVC encoding into its base-ISA equivalent
+/// (`compressed` is set; `raw` holds the 16-bit form).
+Instr DecodeCompressed(uint16_t raw);
+
+/// Decodes the instruction starting at `offset` in `bytes`, using the
+/// low-bit width marker. Fails if the buffer is too short.
+Result<Instr> DecodeAt(std::span<const uint8_t> bytes, size_t offset);
+
+/// Decodes an entire instruction stream. Stops with a kParseError if an
+/// instruction overruns the buffer; invalid-but-well-sized encodings
+/// decode to Op::kInvalid entries.
+Result<std::vector<Instr>> DecodeStream(std::span<const uint8_t> bytes);
+
+}  // namespace eric::isa

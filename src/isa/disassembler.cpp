@@ -1,0 +1,87 @@
+#include "isa/disassembler.h"
+
+#include "isa/decoder.h"
+#include "support/hex.h"
+
+namespace eric::isa {
+namespace {
+
+std::string Reg(uint8_t r) { return std::string(AbiRegName(r)); }
+
+}  // namespace
+
+std::string Disassemble(const Instr& in) {
+  const std::string name(OpName(in.op));
+  switch (ClassOf(in.op)) {
+    case OpClass::kInvalid:
+      return ".insn " + (in.compressed ? Hex32(in.raw & 0xFFFF) : Hex32(in.raw));
+    case OpClass::kLoad:
+      return name + " " + Reg(in.rd) + ", " + std::to_string(in.imm) + "(" +
+             Reg(in.rs1) + ")";
+    case OpClass::kStore:
+      return name + " " + Reg(in.rs2) + ", " + std::to_string(in.imm) + "(" +
+             Reg(in.rs1) + ")";
+    case OpClass::kBranch:
+      return name + " " + Reg(in.rs1) + ", " + Reg(in.rs2) + ", " +
+             std::to_string(in.imm);
+    case OpClass::kJump:
+      if (in.op == Op::kJal) {
+        return name + " " + Reg(in.rd) + ", " + std::to_string(in.imm);
+      }
+      return name + " " + Reg(in.rd) + ", " + std::to_string(in.imm) + "(" +
+             Reg(in.rs1) + ")";
+    case OpClass::kSystem:
+      if (in.op == Op::kEcall || in.op == Op::kEbreak ||
+          in.op == Op::kFence) {
+        return name;
+      }
+      return name + " " + Reg(in.rd) + ", " + std::to_string(in.imm) + ", " +
+             Reg(in.rs1);
+    case OpClass::kAtomic:
+      if (in.op == Op::kLrW || in.op == Op::kLrD) {
+        return name + " " + Reg(in.rd) + ", (" + Reg(in.rs1) + ")";
+      }
+      return name + " " + Reg(in.rd) + ", " + Reg(in.rs2) + ", (" +
+             Reg(in.rs1) + ")";
+    case OpClass::kAlu:
+    case OpClass::kMul:
+    case OpClass::kDiv:
+      break;
+  }
+  // ALU / MUL / DIV
+  switch (in.op) {
+    case Op::kLui:
+    case Op::kAuipc:
+      return name + " " + Reg(in.rd) + ", " + std::to_string(in.imm);
+    case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+    case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
+    case Op::kSrai: case Op::kAddiw: case Op::kSlliw: case Op::kSrliw:
+    case Op::kSraiw:
+      return name + " " + Reg(in.rd) + ", " + Reg(in.rs1) + ", " +
+             std::to_string(in.imm);
+    default:
+      return name + " " + Reg(in.rd) + ", " + Reg(in.rs1) + ", " +
+             Reg(in.rs2);
+  }
+}
+
+std::string DisassembleStream(std::span<const uint8_t> bytes,
+                              uint64_t base_address) {
+  std::string out;
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    Result<Instr> instr = DecodeAt(bytes, offset);
+    out += Hex64(base_address + offset);
+    out += ":  ";
+    if (!instr.ok()) {
+      out += ".byte ...trailing...\n";
+      break;
+    }
+    out += Disassemble(*instr);
+    out += '\n';
+    offset += static_cast<size_t>(instr->SizeBytes());
+  }
+  return out;
+}
+
+}  // namespace eric::isa

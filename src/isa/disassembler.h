@@ -1,0 +1,25 @@
+// Disassembler: decoded instructions -> assembly text.
+//
+// This is the tool the *attacker* in ERIC's threat model uses (Sec. I:
+// "a binary can be converted into a human-readable form by using standard
+// compiler tools (e.g., disassembler)"); the analysis module drives it over
+// ciphertext to quantify what static analysis recovers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "isa/instruction.h"
+
+namespace eric::isa {
+
+/// Renders one instruction ("addi a0, a1, 42", "lw a0, 8(sp)").
+std::string Disassemble(const Instr& instr);
+
+/// Renders a full stream with addresses, one instruction per line.
+/// Undecodable bytes render as ".insn <hex>".
+std::string DisassembleStream(std::span<const uint8_t> bytes,
+                              uint64_t base_address = 0);
+
+}  // namespace eric::isa

@@ -1,0 +1,569 @@
+#include "isa/encoder.h"
+
+#include <cassert>
+
+namespace eric::isa {
+namespace {
+
+// Field placement helpers for the six base formats.
+constexpr uint32_t RType(uint32_t funct7, uint8_t rs2, uint8_t rs1,
+                         uint32_t funct3, uint8_t rd, uint32_t opcode) {
+  return (funct7 << 25) | (uint32_t(rs2 & 31) << 20) |
+         (uint32_t(rs1 & 31) << 15) | (funct3 << 12) |
+         (uint32_t(rd & 31) << 7) | opcode;
+}
+
+constexpr uint32_t IType(int64_t imm, uint8_t rs1, uint32_t funct3, uint8_t rd,
+                         uint32_t opcode) {
+  return (uint32_t(imm & 0xFFF) << 20) | (uint32_t(rs1 & 31) << 15) |
+         (funct3 << 12) | (uint32_t(rd & 31) << 7) | opcode;
+}
+
+constexpr uint32_t SType(int64_t imm, uint8_t rs2, uint8_t rs1,
+                         uint32_t funct3, uint32_t opcode) {
+  const uint32_t i = uint32_t(imm & 0xFFF);
+  return ((i >> 5) << 25) | (uint32_t(rs2 & 31) << 20) |
+         (uint32_t(rs1 & 31) << 15) | (funct3 << 12) | ((i & 31u) << 7) |
+         opcode;
+}
+
+constexpr uint32_t BType(int64_t imm, uint8_t rs2, uint8_t rs1,
+                         uint32_t funct3, uint32_t opcode) {
+  const uint32_t i = uint32_t(imm & 0x1FFF);
+  return (((i >> 12) & 1u) << 31) | (((i >> 5) & 0x3Fu) << 25) |
+         (uint32_t(rs2 & 31) << 20) | (uint32_t(rs1 & 31) << 15) |
+         (funct3 << 12) | (((i >> 1) & 0xFu) << 8) | (((i >> 11) & 1u) << 7) |
+         opcode;
+}
+
+constexpr uint32_t UType(int64_t imm20, uint8_t rd, uint32_t opcode) {
+  return (uint32_t(imm20 & 0xFFFFF) << 12) | (uint32_t(rd & 31) << 7) | opcode;
+}
+
+constexpr uint32_t JType(int64_t imm, uint8_t rd, uint32_t opcode) {
+  const uint32_t i = uint32_t(imm & 0x1FFFFF);
+  return (((i >> 20) & 1u) << 31) | (((i >> 1) & 0x3FFu) << 21) |
+         (((i >> 11) & 1u) << 20) | (((i >> 12) & 0xFFu) << 12) |
+         (uint32_t(rd & 31) << 7) | opcode;
+}
+
+constexpr uint32_t kOpcodeLoad = 0x03;
+constexpr uint32_t kOpcodeOpImm = 0x13;
+constexpr uint32_t kOpcodeAuipc = 0x17;
+constexpr uint32_t kOpcodeOpImm32 = 0x1B;
+constexpr uint32_t kOpcodeStore = 0x23;
+constexpr uint32_t kOpcodeOp = 0x33;
+constexpr uint32_t kOpcodeLui = 0x37;
+constexpr uint32_t kOpcodeOp32 = 0x3B;
+constexpr uint32_t kOpcodeBranch = 0x63;
+constexpr uint32_t kOpcodeJalr = 0x67;
+constexpr uint32_t kOpcodeJal = 0x6F;
+constexpr uint32_t kOpcodeSystem = 0x73;
+constexpr uint32_t kOpcodeMiscMem = 0x0F;
+constexpr uint32_t kOpcodeAmo = 0x2F;
+
+/// funct5 of an A-extension op; -1 if not atomic. W forms use funct3=010,
+/// D forms 011.
+int AmoFunct5(Op op, uint32_t* funct3) {
+  *funct3 = 0b010;
+  switch (op) {
+    case Op::kLrD: *funct3 = 0b011; [[fallthrough]];
+    case Op::kLrW: return 0b00010;
+    case Op::kScD: *funct3 = 0b011; [[fallthrough]];
+    case Op::kScW: return 0b00011;
+    case Op::kAmoSwapD: *funct3 = 0b011; [[fallthrough]];
+    case Op::kAmoSwapW: return 0b00001;
+    case Op::kAmoAddD: *funct3 = 0b011; [[fallthrough]];
+    case Op::kAmoAddW: return 0b00000;
+    case Op::kAmoXorD: *funct3 = 0b011; [[fallthrough]];
+    case Op::kAmoXorW: return 0b00100;
+    case Op::kAmoAndD: *funct3 = 0b011; [[fallthrough]];
+    case Op::kAmoAndW: return 0b01100;
+    case Op::kAmoOrD: *funct3 = 0b011; [[fallthrough]];
+    case Op::kAmoOrW: return 0b01000;
+    case Op::kAmoMinD: *funct3 = 0b011; [[fallthrough]];
+    case Op::kAmoMinW: return 0b10000;
+    case Op::kAmoMaxD: *funct3 = 0b011; [[fallthrough]];
+    case Op::kAmoMaxW: return 0b10100;
+    case Op::kAmoMinuD: *funct3 = 0b011; [[fallthrough]];
+    case Op::kAmoMinuW: return 0b11000;
+    case Op::kAmoMaxuD: *funct3 = 0b011; [[fallthrough]];
+    case Op::kAmoMaxuW: return 0b11100;
+    default: return -1;
+  }
+}
+
+bool FitsSigned(int64_t value, int bits) {
+  const int64_t lo = -(int64_t{1} << (bits - 1));
+  const int64_t hi = (int64_t{1} << (bits - 1)) - 1;
+  return value >= lo && value <= hi;
+}
+
+Status ImmRangeError(const Instr& instr, int bits) {
+  return Status(ErrorCode::kInvalidArgument,
+                std::string(OpName(instr.op)) + " immediate " +
+                    std::to_string(instr.imm) + " does not fit in " +
+                    std::to_string(bits) + " bits");
+}
+
+}  // namespace
+
+Result<uint32_t> Encode32(const Instr& in) {
+  const uint8_t rd = in.rd, rs1 = in.rs1, rs2 = in.rs2;
+  const int64_t imm = in.imm;
+  switch (in.op) {
+    case Op::kInvalid:
+      return Status(ErrorCode::kInvalidArgument, "cannot encode kInvalid");
+    case Op::kLui:
+      if (!FitsSigned(imm, 20)) return ImmRangeError(in, 20);
+      return UType(imm, rd, kOpcodeLui);
+    case Op::kAuipc:
+      if (!FitsSigned(imm, 20)) return ImmRangeError(in, 20);
+      return UType(imm, rd, kOpcodeAuipc);
+    case Op::kJal:
+      if (!FitsSigned(imm, 21) || (imm & 1)) return ImmRangeError(in, 21);
+      return JType(imm, rd, kOpcodeJal);
+    case Op::kJalr:
+      if (!FitsSigned(imm, 12)) return ImmRangeError(in, 12);
+      return IType(imm, rs1, 0b000, rd, kOpcodeJalr);
+
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kBltu: case Op::kBgeu: {
+      if (!FitsSigned(imm, 13) || (imm & 1)) return ImmRangeError(in, 13);
+      uint32_t funct3 = 0;
+      switch (in.op) {
+        case Op::kBeq: funct3 = 0b000; break;
+        case Op::kBne: funct3 = 0b001; break;
+        case Op::kBlt: funct3 = 0b100; break;
+        case Op::kBge: funct3 = 0b101; break;
+        case Op::kBltu: funct3 = 0b110; break;
+        default: funct3 = 0b111; break;
+      }
+      return BType(imm, rs2, rs1, funct3, kOpcodeBranch);
+    }
+
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLd:
+    case Op::kLbu: case Op::kLhu: case Op::kLwu: {
+      if (!FitsSigned(imm, 12)) return ImmRangeError(in, 12);
+      uint32_t funct3 = 0;
+      switch (in.op) {
+        case Op::kLb: funct3 = 0b000; break;
+        case Op::kLh: funct3 = 0b001; break;
+        case Op::kLw: funct3 = 0b010; break;
+        case Op::kLd: funct3 = 0b011; break;
+        case Op::kLbu: funct3 = 0b100; break;
+        case Op::kLhu: funct3 = 0b101; break;
+        default: funct3 = 0b110; break;  // lwu
+      }
+      return IType(imm, rs1, funct3, rd, kOpcodeLoad);
+    }
+
+    case Op::kSb: case Op::kSh: case Op::kSw: case Op::kSd: {
+      if (!FitsSigned(imm, 12)) return ImmRangeError(in, 12);
+      uint32_t funct3 = 0;
+      switch (in.op) {
+        case Op::kSb: funct3 = 0b000; break;
+        case Op::kSh: funct3 = 0b001; break;
+        case Op::kSw: funct3 = 0b010; break;
+        default: funct3 = 0b011; break;  // sd
+      }
+      return SType(imm, rs2, rs1, funct3, kOpcodeStore);
+    }
+
+    case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+    case Op::kOri: case Op::kAndi: {
+      if (!FitsSigned(imm, 12)) return ImmRangeError(in, 12);
+      uint32_t funct3 = 0;
+      switch (in.op) {
+        case Op::kAddi: funct3 = 0b000; break;
+        case Op::kSlti: funct3 = 0b010; break;
+        case Op::kSltiu: funct3 = 0b011; break;
+        case Op::kXori: funct3 = 0b100; break;
+        case Op::kOri: funct3 = 0b110; break;
+        default: funct3 = 0b111; break;  // andi
+      }
+      return IType(imm, rs1, funct3, rd, kOpcodeOpImm);
+    }
+
+    case Op::kSlli:
+      if (imm < 0 || imm > 63) return ImmRangeError(in, 6);
+      return IType(imm, rs1, 0b001, rd, kOpcodeOpImm);
+    case Op::kSrli:
+      if (imm < 0 || imm > 63) return ImmRangeError(in, 6);
+      return IType(imm, rs1, 0b101, rd, kOpcodeOpImm);
+    case Op::kSrai:
+      if (imm < 0 || imm > 63) return ImmRangeError(in, 6);
+      return IType(imm | 0x400, rs1, 0b101, rd, kOpcodeOpImm);
+
+    case Op::kAdd: return RType(0b0000000, rs2, rs1, 0b000, rd, kOpcodeOp);
+    case Op::kSub: return RType(0b0100000, rs2, rs1, 0b000, rd, kOpcodeOp);
+    case Op::kSll: return RType(0b0000000, rs2, rs1, 0b001, rd, kOpcodeOp);
+    case Op::kSlt: return RType(0b0000000, rs2, rs1, 0b010, rd, kOpcodeOp);
+    case Op::kSltu: return RType(0b0000000, rs2, rs1, 0b011, rd, kOpcodeOp);
+    case Op::kXor: return RType(0b0000000, rs2, rs1, 0b100, rd, kOpcodeOp);
+    case Op::kSrl: return RType(0b0000000, rs2, rs1, 0b101, rd, kOpcodeOp);
+    case Op::kSra: return RType(0b0100000, rs2, rs1, 0b101, rd, kOpcodeOp);
+    case Op::kOr: return RType(0b0000000, rs2, rs1, 0b110, rd, kOpcodeOp);
+    case Op::kAnd: return RType(0b0000000, rs2, rs1, 0b111, rd, kOpcodeOp);
+
+    case Op::kAddiw:
+      if (!FitsSigned(imm, 12)) return ImmRangeError(in, 12);
+      return IType(imm, rs1, 0b000, rd, kOpcodeOpImm32);
+    case Op::kSlliw:
+      if (imm < 0 || imm > 31) return ImmRangeError(in, 5);
+      return IType(imm, rs1, 0b001, rd, kOpcodeOpImm32);
+    case Op::kSrliw:
+      if (imm < 0 || imm > 31) return ImmRangeError(in, 5);
+      return IType(imm, rs1, 0b101, rd, kOpcodeOpImm32);
+    case Op::kSraiw:
+      if (imm < 0 || imm > 31) return ImmRangeError(in, 5);
+      return IType(imm | 0x400, rs1, 0b101, rd, kOpcodeOpImm32);
+
+    case Op::kAddw: return RType(0b0000000, rs2, rs1, 0b000, rd, kOpcodeOp32);
+    case Op::kSubw: return RType(0b0100000, rs2, rs1, 0b000, rd, kOpcodeOp32);
+    case Op::kSllw: return RType(0b0000000, rs2, rs1, 0b001, rd, kOpcodeOp32);
+    case Op::kSrlw: return RType(0b0000000, rs2, rs1, 0b101, rd, kOpcodeOp32);
+    case Op::kSraw: return RType(0b0100000, rs2, rs1, 0b101, rd, kOpcodeOp32);
+
+    case Op::kFence: return uint32_t{0x0FF0000F};
+    case Op::kEcall: return uint32_t{0x00000073};
+    case Op::kEbreak: return uint32_t{0x00100073};
+
+    case Op::kCsrrw: return IType(imm, rs1, 0b001, rd, kOpcodeSystem);
+    case Op::kCsrrs: return IType(imm, rs1, 0b010, rd, kOpcodeSystem);
+    case Op::kCsrrc: return IType(imm, rs1, 0b011, rd, kOpcodeSystem);
+    case Op::kCsrrwi: return IType(imm, rs1, 0b101, rd, kOpcodeSystem);
+    case Op::kCsrrsi: return IType(imm, rs1, 0b110, rd, kOpcodeSystem);
+    case Op::kCsrrci: return IType(imm, rs1, 0b111, rd, kOpcodeSystem);
+
+    case Op::kMul: return RType(0b0000001, rs2, rs1, 0b000, rd, kOpcodeOp);
+    case Op::kMulh: return RType(0b0000001, rs2, rs1, 0b001, rd, kOpcodeOp);
+    case Op::kMulhsu: return RType(0b0000001, rs2, rs1, 0b010, rd, kOpcodeOp);
+    case Op::kMulhu: return RType(0b0000001, rs2, rs1, 0b011, rd, kOpcodeOp);
+    case Op::kDiv: return RType(0b0000001, rs2, rs1, 0b100, rd, kOpcodeOp);
+    case Op::kDivu: return RType(0b0000001, rs2, rs1, 0b101, rd, kOpcodeOp);
+    case Op::kRem: return RType(0b0000001, rs2, rs1, 0b110, rd, kOpcodeOp);
+    case Op::kRemu: return RType(0b0000001, rs2, rs1, 0b111, rd, kOpcodeOp);
+    case Op::kLrW: case Op::kLrD: case Op::kScW: case Op::kScD:
+    case Op::kAmoSwapW: case Op::kAmoAddW: case Op::kAmoXorW:
+    case Op::kAmoAndW: case Op::kAmoOrW: case Op::kAmoMinW:
+    case Op::kAmoMaxW: case Op::kAmoMinuW: case Op::kAmoMaxuW:
+    case Op::kAmoSwapD: case Op::kAmoAddD: case Op::kAmoXorD:
+    case Op::kAmoAndD: case Op::kAmoOrD: case Op::kAmoMinD:
+    case Op::kAmoMaxD: case Op::kAmoMinuD: case Op::kAmoMaxuD: {
+      uint32_t funct3 = 0;
+      const int funct5 = AmoFunct5(in.op, &funct3);
+      if ((in.op == Op::kLrW || in.op == Op::kLrD) && rs2 != 0) {
+        return Status(ErrorCode::kInvalidArgument, "lr requires rs2 == x0");
+      }
+      return RType(static_cast<uint32_t>(funct5) << 2, rs2, rs1, funct3, rd,
+                   kOpcodeAmo);
+    }
+
+    case Op::kMulw: return RType(0b0000001, rs2, rs1, 0b000, rd, kOpcodeOp32);
+    case Op::kDivw: return RType(0b0000001, rs2, rs1, 0b100, rd, kOpcodeOp32);
+    case Op::kDivuw: return RType(0b0000001, rs2, rs1, 0b101, rd, kOpcodeOp32);
+    case Op::kRemw: return RType(0b0000001, rs2, rs1, 0b110, rd, kOpcodeOp32);
+    case Op::kRemuw: return RType(0b0000001, rs2, rs1, 0b111, rd, kOpcodeOp32);
+  }
+  return Status(ErrorCode::kInvalidArgument, "unknown op");
+}
+
+namespace {
+
+// rd'/rs' compressed register set: x8..x15 encode as 0..7.
+bool IsCompressedReg(uint8_t reg) { return reg >= 8 && reg <= 15; }
+uint32_t CReg(uint8_t reg) { return uint32_t(reg - 8); }
+
+uint16_t CiType(uint32_t funct3, uint32_t imm_bit5, uint32_t rd,
+                uint32_t imm_4_0, uint32_t quadrant) {
+  return static_cast<uint16_t>((funct3 << 13) | (imm_bit5 << 12) | (rd << 7) |
+                               (imm_4_0 << 2) | quadrant);
+}
+
+}  // namespace
+
+std::optional<uint16_t> TryEncodeCompressed(const Instr& in) {
+  const uint8_t rd = in.rd, rs1 = in.rs1, rs2 = in.rs2;
+  const int64_t imm = in.imm;
+  switch (in.op) {
+    case Op::kAddi: {
+      // c.addi rd, imm (rd != 0, rd == rs1, imm in [-32,31], imm != 0)
+      if (rd != 0 && rd == rs1 && imm != 0 && FitsSigned(imm, 6)) {
+        return CiType(0b000, (imm >> 5) & 1, rd, imm & 31, 0b01);
+      }
+      // c.li rd, imm (rs1 == x0)
+      if (rd != 0 && rs1 == 0 && FitsSigned(imm, 6)) {
+        return CiType(0b010, (imm >> 5) & 1, rd, imm & 31, 0b01);
+      }
+      // c.addi16sp (rd == rs1 == sp, imm multiple of 16 in [-512,496])
+      if (rd == 2 && rs1 == 2 && imm != 0 && imm % 16 == 0 &&
+          FitsSigned(imm, 10)) {
+        const uint32_t i = uint32_t(imm);
+        const uint32_t low = (((i >> 4) & 1) << 4) | (((i >> 6) & 1) << 3) |
+                             (((i >> 7) & 3) << 1) | ((i >> 5) & 1);
+        return CiType(0b011, (i >> 9) & 1, 2, low, 0b01);
+      }
+      // c.addi4spn rd', sp, nzuimm (multiple of 4, 0 < imm < 1024)
+      if (IsCompressedReg(rd) && rs1 == 2 && imm > 0 && imm < 1024 &&
+          imm % 4 == 0) {
+        const uint32_t i = uint32_t(imm);
+        const uint32_t field = (((i >> 4) & 3) << 11) |
+                               (((i >> 6) & 0xF) << 7) |
+                               (((i >> 2) & 1) << 6) | (((i >> 3) & 1) << 5);
+        return static_cast<uint16_t>((0b000 << 13) | field | (CReg(rd) << 2) |
+                                     0b00);
+      }
+      // c.mv is add; c.nop:
+      if (rd == 0 && rs1 == 0 && imm == 0) {
+        return CiType(0b000, 0, 0, 0, 0b01);  // c.nop
+      }
+      return std::nullopt;
+    }
+    case Op::kAddiw:
+      if (rd != 0 && rd == rs1 && FitsSigned(imm, 6)) {
+        return CiType(0b001, (imm >> 5) & 1, rd, imm & 31, 0b01);
+      }
+      return std::nullopt;
+    case Op::kLui:
+      // c.lui rd, imm (rd != 0, rd != 2, imm != 0, imm in [-32,31] of the
+      // 20-bit field, i.e. bits 17..12 of the final value)
+      if (rd != 0 && rd != 2 && imm != 0 && FitsSigned(imm, 6)) {
+        return CiType(0b011, (imm >> 5) & 1, rd, imm & 31, 0b01);
+      }
+      return std::nullopt;
+    case Op::kSlli:
+      if (rd != 0 && rd == rs1 && imm > 0 && imm <= 63) {
+        return CiType(0b000, (imm >> 5) & 1, rd, imm & 31, 0b10);
+      }
+      return std::nullopt;
+    case Op::kSrli:
+    case Op::kSrai:
+      if (IsCompressedReg(rd) && rd == rs1 && imm > 0 && imm <= 63) {
+        const uint32_t funct2 = (in.op == Op::kSrli) ? 0b00 : 0b01;
+        return static_cast<uint16_t>(
+            (0b100 << 13) | (uint32_t((imm >> 5) & 1) << 12) | (funct2 << 10) |
+            (CReg(rd) << 7) | (uint32_t(imm & 31) << 2) | 0b01);
+      }
+      return std::nullopt;
+    case Op::kAndi:
+      if (IsCompressedReg(rd) && rd == rs1 && FitsSigned(imm, 6)) {
+        return static_cast<uint16_t>(
+            (0b100 << 13) | (uint32_t((imm >> 5) & 1) << 12) | (0b10 << 10) |
+            (CReg(rd) << 7) | (uint32_t(imm & 31) << 2) | 0b01);
+      }
+      return std::nullopt;
+    case Op::kSub: case Op::kXor: case Op::kOr: case Op::kAnd:
+    case Op::kSubw: case Op::kAddw: {
+      if (IsCompressedReg(rd) && rd == rs1 && IsCompressedReg(rs2)) {
+        uint32_t bit12 = 0, funct2 = 0;
+        switch (in.op) {
+          case Op::kSub: funct2 = 0b00; break;
+          case Op::kXor: funct2 = 0b01; break;
+          case Op::kOr: funct2 = 0b10; break;
+          case Op::kAnd: funct2 = 0b11; break;
+          case Op::kSubw: bit12 = 1; funct2 = 0b00; break;
+          default: bit12 = 1; funct2 = 0b01; break;  // addw
+        }
+        return static_cast<uint16_t>((0b100 << 13) | (bit12 << 12) |
+                                     (0b11 << 10) | (CReg(rd) << 7) |
+                                     (funct2 << 5) | (CReg(rs2) << 2) | 0b01);
+      }
+      // c.mv / c.add handled under kAdd.
+      return std::nullopt;
+    }
+    case Op::kAdd:
+      if (rd != 0 && rs1 == 0 && rs2 != 0) {  // c.mv rd, rs2
+        return static_cast<uint16_t>((0b100 << 13) | (0u << 12) |
+                                     (uint32_t(rd) << 7) |
+                                     (uint32_t(rs2) << 2) | 0b10);
+      }
+      if (rd != 0 && rd == rs1 && rs2 != 0) {  // c.add rd, rs2
+        return static_cast<uint16_t>((0b100 << 13) | (1u << 12) |
+                                     (uint32_t(rd) << 7) |
+                                     (uint32_t(rs2) << 2) | 0b10);
+      }
+      return std::nullopt;
+    case Op::kLw:
+      if (IsCompressedReg(rd) && IsCompressedReg(rs1) && imm >= 0 &&
+          imm < 128 && imm % 4 == 0) {
+        const uint32_t i = uint32_t(imm);
+        return static_cast<uint16_t>(
+            (0b010 << 13) | (((i >> 3) & 7) << 10) | (CReg(rs1) << 7) |
+            (((i >> 2) & 1) << 6) | (((i >> 6) & 1) << 5) | (CReg(rd) << 2) |
+            0b00);
+      }
+      if (rd != 0 && rs1 == 2 && imm >= 0 && imm < 256 && imm % 4 == 0) {
+        const uint32_t i = uint32_t(imm);  // c.lwsp
+        return static_cast<uint16_t>(
+            (0b010 << 13) | (((i >> 5) & 1) << 12) | (uint32_t(rd) << 7) |
+            (((i >> 2) & 7) << 4) | (((i >> 6) & 3) << 2) | 0b10);
+      }
+      return std::nullopt;
+    case Op::kLd:
+      if (IsCompressedReg(rd) && IsCompressedReg(rs1) && imm >= 0 &&
+          imm < 256 && imm % 8 == 0) {
+        const uint32_t i = uint32_t(imm);
+        return static_cast<uint16_t>(
+            (0b011 << 13) | (((i >> 3) & 7) << 10) | (CReg(rs1) << 7) |
+            (((i >> 6) & 3) << 5) | (CReg(rd) << 2) | 0b00);
+      }
+      if (rd != 0 && rs1 == 2 && imm >= 0 && imm < 512 && imm % 8 == 0) {
+        const uint32_t i = uint32_t(imm);  // c.ldsp
+        return static_cast<uint16_t>(
+            (0b011 << 13) | (((i >> 5) & 1) << 12) | (uint32_t(rd) << 7) |
+            (((i >> 3) & 3) << 5) | (((i >> 6) & 7) << 2) | 0b10);
+      }
+      return std::nullopt;
+    case Op::kSw:
+      if (IsCompressedReg(rs2) && IsCompressedReg(rs1) && imm >= 0 &&
+          imm < 128 && imm % 4 == 0) {
+        const uint32_t i = uint32_t(imm);
+        return static_cast<uint16_t>(
+            (0b110 << 13) | (((i >> 3) & 7) << 10) | (CReg(rs1) << 7) |
+            (((i >> 2) & 1) << 6) | (((i >> 6) & 1) << 5) | (CReg(rs2) << 2) |
+            0b00);
+      }
+      if (rs1 == 2 && imm >= 0 && imm < 256 && imm % 4 == 0) {
+        const uint32_t i = uint32_t(imm);  // c.swsp
+        return static_cast<uint16_t>((0b110 << 13) | (((i >> 2) & 0xF) << 9) |
+                                     (((i >> 6) & 3) << 7) |
+                                     (uint32_t(rs2) << 2) | 0b10);
+      }
+      return std::nullopt;
+    case Op::kSd:
+      if (IsCompressedReg(rs2) && IsCompressedReg(rs1) && imm >= 0 &&
+          imm < 256 && imm % 8 == 0) {
+        const uint32_t i = uint32_t(imm);
+        return static_cast<uint16_t>(
+            (0b111 << 13) | (((i >> 3) & 7) << 10) | (CReg(rs1) << 7) |
+            (((i >> 6) & 3) << 5) | (CReg(rs2) << 2) | 0b00);
+      }
+      if (rs1 == 2 && imm >= 0 && imm < 512 && imm % 8 == 0) {
+        const uint32_t i = uint32_t(imm);  // c.sdsp
+        return static_cast<uint16_t>((0b111 << 13) | (((i >> 3) & 7) << 10) |
+                                     (((i >> 6) & 7) << 7) |
+                                     (uint32_t(rs2) << 2) | 0b10);
+      }
+      return std::nullopt;
+    case Op::kJal:
+      if (rd == 0 && FitsSigned(imm, 12) && (imm & 1) == 0) {  // c.j
+        const uint32_t i = uint32_t(imm);
+        const uint32_t field =
+            (((i >> 11) & 1) << 12) | (((i >> 4) & 1) << 11) |
+            (((i >> 8) & 3) << 9) | (((i >> 10) & 1) << 8) |
+            (((i >> 6) & 1) << 7) | (((i >> 7) & 1) << 6) |
+            (((i >> 1) & 7) << 3) | (((i >> 5) & 1) << 2);
+        return static_cast<uint16_t>((0b101 << 13) | field | 0b01);
+      }
+      return std::nullopt;
+    case Op::kJalr:
+      if (imm == 0 && rs1 != 0) {
+        if (rd == 0) {  // c.jr
+          return static_cast<uint16_t>((0b100 << 13) | (0u << 12) |
+                                       (uint32_t(rs1) << 7) | 0b10);
+        }
+        if (rd == 1) {  // c.jalr
+          return static_cast<uint16_t>((0b100 << 13) | (1u << 12) |
+                                       (uint32_t(rs1) << 7) | 0b10);
+        }
+      }
+      return std::nullopt;
+    case Op::kBeq:
+    case Op::kBne:
+      if (IsCompressedReg(rs1) && rs2 == 0 && FitsSigned(imm, 9) &&
+          (imm & 1) == 0) {
+        const uint32_t i = uint32_t(imm);
+        const uint32_t funct3 = (in.op == Op::kBeq) ? 0b110 : 0b111;
+        const uint32_t field =
+            (((i >> 8) & 1) << 12) | (((i >> 3) & 3) << 10) |
+            (CReg(rs1) << 7) | (((i >> 6) & 3) << 5) | (((i >> 1) & 3) << 3) |
+            (((i >> 5) & 1) << 2);
+        return static_cast<uint16_t>((funct3 << 13) | field | 0b01);
+      }
+      return std::nullopt;
+    case Op::kEbreak:
+      return static_cast<uint16_t>(0x9002);  // c.ebreak
+    default:
+      return std::nullopt;
+  }
+}
+
+Result<std::vector<uint32_t>> EncodeProgram(const std::vector<Instr>& program,
+                                            bool compress,
+                                            std::vector<uint8_t>& out) {
+  std::vector<uint32_t> offsets;
+  offsets.reserve(program.size());
+  for (const Instr& instr : program) {
+    offsets.push_back(static_cast<uint32_t>(out.size()));
+    if (compress) {
+      if (const auto c16 = TryEncodeCompressed(instr)) {
+        out.push_back(static_cast<uint8_t>(*c16 & 0xFF));
+        out.push_back(static_cast<uint8_t>(*c16 >> 8));
+        continue;
+      }
+    }
+    Result<uint32_t> word = Encode32(instr);
+    if (!word.ok()) return word.status();
+    for (int b = 0; b < 4; ++b) {
+      out.push_back(static_cast<uint8_t>(*word >> (8 * b)));
+    }
+  }
+  return offsets;
+}
+
+Instr MakeR(Op op, uint8_t rd, uint8_t rs1, uint8_t rs2) {
+  Instr i;
+  i.op = op;
+  i.rd = rd;
+  i.rs1 = rs1;
+  i.rs2 = rs2;
+  return i;
+}
+
+Instr MakeI(Op op, uint8_t rd, uint8_t rs1, int64_t imm) {
+  Instr i;
+  i.op = op;
+  i.rd = rd;
+  i.rs1 = rs1;
+  i.imm = imm;
+  return i;
+}
+
+Instr MakeLoad(Op op, uint8_t rd, uint8_t base, int64_t offset) {
+  return MakeI(op, rd, base, offset);
+}
+
+Instr MakeStore(Op op, uint8_t rs2, uint8_t base, int64_t offset) {
+  Instr i;
+  i.op = op;
+  i.rs1 = base;
+  i.rs2 = rs2;
+  i.imm = offset;
+  return i;
+}
+
+Instr MakeBranch(Op op, uint8_t rs1, uint8_t rs2, int64_t offset) {
+  Instr i;
+  i.op = op;
+  i.rs1 = rs1;
+  i.rs2 = rs2;
+  i.imm = offset;
+  return i;
+}
+
+Instr MakeLui(uint8_t rd, int64_t imm20) { return MakeI(Op::kLui, rd, 0, imm20); }
+Instr MakeAuipc(uint8_t rd, int64_t imm20) {
+  return MakeI(Op::kAuipc, rd, 0, imm20);
+}
+Instr MakeJal(uint8_t rd, int64_t offset) {
+  return MakeI(Op::kJal, rd, 0, offset);
+}
+Instr MakeJalr(uint8_t rd, uint8_t rs1, int64_t offset) {
+  return MakeI(Op::kJalr, rd, rs1, offset);
+}
+Instr MakeEcall() { return MakeI(Op::kEcall, 0, 0, 0); }
+Instr MakeEbreak() { return MakeI(Op::kEbreak, 0, 0, 0); }
+Instr MakeNop() { return MakeI(Op::kAddi, 0, 0, 0); }
+
+}  // namespace eric::isa

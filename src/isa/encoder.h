@@ -1,0 +1,49 @@
+// Instruction encoding: decoded form -> machine code.
+//
+// Two encoders are provided: the base 32-bit encoder covering the full
+// supported set, and a compressed (RVC) encoder that produces 16-bit forms
+// for eligible instructions. The code generator prefers compressed forms
+// (matching `-march=rv64gc`), which is what makes the paper's "1 bit of
+// map per 16 bits" worst case reachable in the package-size experiment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "support/status.h"
+
+namespace eric::isa {
+
+/// Encodes to the 4-byte form. All supported ops have one.
+/// Returns kInvalidArgument for kInvalid or out-of-range immediates.
+Result<uint32_t> Encode32(const Instr& instr);
+
+/// Attempts the 2-byte RVC form; nullopt when the instruction has no
+/// compressed encoding (wrong registers, immediate out of range, ...).
+std::optional<uint16_t> TryEncodeCompressed(const Instr& instr);
+
+/// Encodes a sequence, preferring compressed forms when `compress` is
+/// set, and appends little-endian bytes to `out`. Returns offsets of each
+/// instruction.
+Result<std::vector<uint32_t>> EncodeProgram(const std::vector<Instr>& program,
+                                            bool compress,
+                                            std::vector<uint8_t>& out);
+
+// --- Convenience constructors (used by the code generator and tests) ----
+
+Instr MakeR(Op op, uint8_t rd, uint8_t rs1, uint8_t rs2);
+Instr MakeI(Op op, uint8_t rd, uint8_t rs1, int64_t imm);
+Instr MakeLoad(Op op, uint8_t rd, uint8_t base, int64_t offset);
+Instr MakeStore(Op op, uint8_t rs2, uint8_t base, int64_t offset);
+Instr MakeBranch(Op op, uint8_t rs1, uint8_t rs2, int64_t offset);
+Instr MakeLui(uint8_t rd, int64_t imm20);
+Instr MakeAuipc(uint8_t rd, int64_t imm20);
+Instr MakeJal(uint8_t rd, int64_t offset);
+Instr MakeJalr(uint8_t rd, uint8_t rs1, int64_t offset);
+Instr MakeEcall();
+Instr MakeEbreak();
+Instr MakeNop();
+
+}  // namespace eric::isa

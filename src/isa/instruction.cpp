@@ -1,0 +1,182 @@
+#include "isa/instruction.h"
+
+#include <array>
+
+namespace eric::isa {
+
+OpClass ClassOf(Op op) {
+  switch (op) {
+    case Op::kInvalid:
+      return OpClass::kInvalid;
+    case Op::kLui:
+    case Op::kAuipc:
+    case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+    case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
+    case Op::kSrai:
+    case Op::kAdd: case Op::kSub: case Op::kSll: case Op::kSlt:
+    case Op::kSltu: case Op::kXor: case Op::kSrl: case Op::kSra:
+    case Op::kOr: case Op::kAnd:
+    case Op::kAddiw: case Op::kSlliw: case Op::kSrliw: case Op::kSraiw:
+    case Op::kAddw: case Op::kSubw: case Op::kSllw: case Op::kSrlw:
+    case Op::kSraw:
+      return OpClass::kAlu;
+    case Op::kMul: case Op::kMulh: case Op::kMulhsu: case Op::kMulhu:
+    case Op::kMulw:
+      return OpClass::kMul;
+    case Op::kDiv: case Op::kDivu: case Op::kRem: case Op::kRemu:
+    case Op::kDivw: case Op::kDivuw: case Op::kRemw: case Op::kRemuw:
+      return OpClass::kDiv;
+    case Op::kLrW: case Op::kLrD: case Op::kScW: case Op::kScD:
+    case Op::kAmoSwapW: case Op::kAmoAddW: case Op::kAmoXorW:
+    case Op::kAmoAndW: case Op::kAmoOrW: case Op::kAmoMinW:
+    case Op::kAmoMaxW: case Op::kAmoMinuW: case Op::kAmoMaxuW:
+    case Op::kAmoSwapD: case Op::kAmoAddD: case Op::kAmoXorD:
+    case Op::kAmoAndD: case Op::kAmoOrD: case Op::kAmoMinD:
+    case Op::kAmoMaxD: case Op::kAmoMinuD: case Op::kAmoMaxuD:
+      return OpClass::kAtomic;
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLd:
+    case Op::kLbu: case Op::kLhu: case Op::kLwu:
+      return OpClass::kLoad;
+    case Op::kSb: case Op::kSh: case Op::kSw: case Op::kSd:
+      return OpClass::kStore;
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kBltu: case Op::kBgeu:
+      return OpClass::kBranch;
+    case Op::kJal: case Op::kJalr:
+      return OpClass::kJump;
+    case Op::kFence: case Op::kEcall: case Op::kEbreak:
+    case Op::kCsrrw: case Op::kCsrrs: case Op::kCsrrc:
+    case Op::kCsrrwi: case Op::kCsrrsi: case Op::kCsrrci:
+      return OpClass::kSystem;
+  }
+  return OpClass::kInvalid;
+}
+
+std::string_view OpName(Op op) {
+  switch (op) {
+    case Op::kInvalid: return "<invalid>";
+    case Op::kLui: return "lui";
+    case Op::kAuipc: return "auipc";
+    case Op::kJal: return "jal";
+    case Op::kJalr: return "jalr";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kBltu: return "bltu";
+    case Op::kBgeu: return "bgeu";
+    case Op::kLb: return "lb";
+    case Op::kLh: return "lh";
+    case Op::kLw: return "lw";
+    case Op::kLd: return "ld";
+    case Op::kLbu: return "lbu";
+    case Op::kLhu: return "lhu";
+    case Op::kLwu: return "lwu";
+    case Op::kSb: return "sb";
+    case Op::kSh: return "sh";
+    case Op::kSw: return "sw";
+    case Op::kSd: return "sd";
+    case Op::kAddi: return "addi";
+    case Op::kSlti: return "slti";
+    case Op::kSltiu: return "sltiu";
+    case Op::kXori: return "xori";
+    case Op::kOri: return "ori";
+    case Op::kAndi: return "andi";
+    case Op::kSlli: return "slli";
+    case Op::kSrli: return "srli";
+    case Op::kSrai: return "srai";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kSll: return "sll";
+    case Op::kSlt: return "slt";
+    case Op::kSltu: return "sltu";
+    case Op::kXor: return "xor";
+    case Op::kSrl: return "srl";
+    case Op::kSra: return "sra";
+    case Op::kOr: return "or";
+    case Op::kAnd: return "and";
+    case Op::kAddiw: return "addiw";
+    case Op::kSlliw: return "slliw";
+    case Op::kSrliw: return "srliw";
+    case Op::kSraiw: return "sraiw";
+    case Op::kAddw: return "addw";
+    case Op::kSubw: return "subw";
+    case Op::kSllw: return "sllw";
+    case Op::kSrlw: return "srlw";
+    case Op::kSraw: return "sraw";
+    case Op::kFence: return "fence";
+    case Op::kEcall: return "ecall";
+    case Op::kEbreak: return "ebreak";
+    case Op::kCsrrw: return "csrrw";
+    case Op::kCsrrs: return "csrrs";
+    case Op::kCsrrc: return "csrrc";
+    case Op::kCsrrwi: return "csrrwi";
+    case Op::kCsrrsi: return "csrrsi";
+    case Op::kCsrrci: return "csrrci";
+    case Op::kMul: return "mul";
+    case Op::kMulh: return "mulh";
+    case Op::kMulhsu: return "mulhsu";
+    case Op::kMulhu: return "mulhu";
+    case Op::kDiv: return "div";
+    case Op::kDivu: return "divu";
+    case Op::kRem: return "rem";
+    case Op::kRemu: return "remu";
+    case Op::kMulw: return "mulw";
+    case Op::kDivw: return "divw";
+    case Op::kDivuw: return "divuw";
+    case Op::kRemw: return "remw";
+    case Op::kRemuw: return "remuw";
+    case Op::kLrW: return "lr.w";
+    case Op::kLrD: return "lr.d";
+    case Op::kScW: return "sc.w";
+    case Op::kScD: return "sc.d";
+    case Op::kAmoSwapW: return "amoswap.w";
+    case Op::kAmoAddW: return "amoadd.w";
+    case Op::kAmoXorW: return "amoxor.w";
+    case Op::kAmoAndW: return "amoand.w";
+    case Op::kAmoOrW: return "amoor.w";
+    case Op::kAmoMinW: return "amomin.w";
+    case Op::kAmoMaxW: return "amomax.w";
+    case Op::kAmoMinuW: return "amominu.w";
+    case Op::kAmoMaxuW: return "amomaxu.w";
+    case Op::kAmoSwapD: return "amoswap.d";
+    case Op::kAmoAddD: return "amoadd.d";
+    case Op::kAmoXorD: return "amoxor.d";
+    case Op::kAmoAndD: return "amoand.d";
+    case Op::kAmoOrD: return "amoor.d";
+    case Op::kAmoMinD: return "amomin.d";
+    case Op::kAmoMaxD: return "amomax.d";
+    case Op::kAmoMinuD: return "amominu.d";
+    case Op::kAmoMaxuD: return "amomaxu.d";
+  }
+  return "<invalid>";
+}
+
+namespace {
+constexpr std::array<std::string_view, 32> kAbiNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+}  // namespace
+
+std::string_view AbiRegName(uint8_t reg) {
+  return kAbiNames[reg & 31u];
+}
+
+int ParseRegName(std::string_view name) {
+  for (int i = 0; i < 32; ++i) {
+    if (name == kAbiNames[static_cast<size_t>(i)]) return i;
+  }
+  if (name == "fp") return 8;  // frame-pointer alias for s0
+  if (name.size() >= 2 && name[0] == 'x') {
+    int value = 0;
+    for (size_t i = 1; i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') return -1;
+      value = value * 10 + (name[i] - '0');
+    }
+    return (value >= 0 && value < 32) ? value : -1;
+  }
+  return -1;
+}
+
+}  // namespace eric::isa

@@ -1,0 +1,77 @@
+#include "net/channel.h"
+
+#include <algorithm>
+
+namespace eric::net {
+
+std::string_view ChannelFaultName(ChannelFault fault) {
+  switch (fault) {
+    case ChannelFault::kNone: return "none";
+    case ChannelFault::kRandomBitFlips: return "bit-flips";
+    case ChannelFault::kBytePatch: return "byte-patch";
+    case ChannelFault::kTruncate: return "truncate";
+    case ChannelFault::kInstructionPatch: return "instruction-patch";
+    case ChannelFault::kDuplicate: return "duplicate";
+  }
+  return "unknown";
+}
+
+std::vector<uint8_t> Channel::Deliver(std::vector<uint8_t> bytes) {
+  DeliveryRecord record;
+  record.fault = config_.fault;
+  record.bytes_in = bytes.size();
+
+  switch (config_.fault) {
+    case ChannelFault::kNone:
+      break;
+    case ChannelFault::kRandomBitFlips: {
+      for (uint32_t i = 0; i < config_.bit_flips && !bytes.empty(); ++i) {
+        const size_t byte = rng_.NextBounded(bytes.size());
+        const uint8_t bit = static_cast<uint8_t>(1u << rng_.NextBounded(8));
+        bytes[byte] ^= bit;
+        ++record.mutations;
+      }
+      break;
+    }
+    case ChannelFault::kBytePatch: {
+      for (uint32_t i = 0; i < config_.patch_length; ++i) {
+        const size_t pos = config_.patch_offset + i;
+        if (pos >= bytes.size()) break;
+        bytes[pos] = config_.patch_value;
+        ++record.mutations;
+      }
+      break;
+    }
+    case ChannelFault::kTruncate: {
+      const size_t drop = std::min(config_.truncate_bytes, bytes.size());
+      bytes.resize(bytes.size() - drop);
+      record.mutations = static_cast<uint32_t>(drop);
+      break;
+    }
+    case ChannelFault::kInstructionPatch: {
+      // Inject a plausible 32-bit instruction (addi a0, a0, 1 = 0x00150513)
+      // at the patch offset — the classic "add a malicious instruction"
+      // modification.
+      const uint8_t injected[4] = {0x13, 0x05, 0x15, 0x00};
+      for (int i = 0; i < 4; ++i) {
+        const size_t pos = config_.patch_offset + static_cast<size_t>(i);
+        if (pos >= bytes.size()) break;
+        bytes[pos] = injected[i];
+        ++record.mutations;
+      }
+      break;
+    }
+    case ChannelFault::kDuplicate: {
+      const size_t n = bytes.size();
+      bytes.reserve(2 * n);
+      bytes.insert(bytes.end(), bytes.begin(), bytes.begin() + n);
+      record.mutations = static_cast<uint32_t>(n);
+      break;
+    }
+  }
+  record.bytes_out = bytes.size();
+  log_.push_back(record);
+  return bytes;
+}
+
+}  // namespace eric::net

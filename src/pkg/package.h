@@ -1,0 +1,93 @@
+// ERIC program package: the unit that travels over the untrusted network.
+//
+// Contents (Sec. III.1):
+//  * the (possibly encrypted) instruction stream;
+//  * for partial encryption, the *encryption map* — one flag bit per
+//    instruction marking whether that instruction is encrypted (compressed
+//    16-bit instructions get their own bit, hence the paper's observed
+//    "1 bit of extra information for 16 bits" worst case);
+//  * for field-level encryption, the field specs naming the encrypted bit
+//    ranges per instruction class;
+//  * the SHA-256 signature of the *plaintext* program, itself encrypted
+//    with a PUF-based key ("making the signature useless for those who
+//    cannot decrypt the program").
+//
+// Fully-encrypted packages omit the map: only the 256-bit signature is
+// added, which is why Fig 5's full-encryption bars cluster near +0 %.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "support/bitvector.h"
+#include "support/status.h"
+
+namespace eric::pkg {
+
+/// How the text section was encrypted.
+enum class EncryptionMode : uint8_t {
+  kNone = 0,     ///< plaintext (baseline packages)
+  kFull = 1,     ///< every instruction encrypted; no map needed
+  kPartial = 2,  ///< per-instruction selection; map present
+  kField = 3,    ///< selected bit ranges inside selected instructions
+};
+
+std::string_view EncryptionModeName(EncryptionMode mode);
+
+/// A field-level encryption rule: encrypt bits [bit_lo, bit_hi] of every
+/// instruction whose functional class matches `op_class` (values from
+/// isa::OpClass). Example from the paper: encrypt only the immediate
+/// (pointer) field of memory accesses, leaving opcodes readable so the
+/// program does not even look encrypted.
+struct FieldSpec {
+  uint8_t op_class = 0;  ///< isa::OpClass value this rule applies to
+  uint8_t bit_lo = 0;
+  uint8_t bit_hi = 31;
+};
+
+/// The package. `text` is the instruction stream as it travels (encrypted
+/// per `mode`); `signature` is the encrypted SHA-256 of the plaintext.
+struct Package {
+  EncryptionMode mode = EncryptionMode::kNone;
+  uint32_t instr_count = 0;
+  /// Cipher-stream domain separators baked at encryption time.
+  uint64_t key_epoch = 0;
+  std::vector<uint8_t> text;
+  BitVector encryption_map;          ///< kPartial/kField only
+  std::vector<FieldSpec> field_specs;///< kField only
+  std::array<uint8_t, 32> signature{};
+
+  /// Serialized wire size in bytes (what Fig 5 measures).
+  size_t WireSize() const;
+};
+
+/// Serializes to the wire format (little-endian, self-describing header).
+std::vector<uint8_t> Serialize(const Package& package);
+
+/// Parses and structurally validates a received package. Returns
+/// kCorruptPackage on bad magic, truncated sections, or inconsistent
+/// counts — this is the first line of defense before any crypto runs.
+Result<Package> Parse(std::span<const uint8_t> bytes);
+
+/// Package-size accounting used by the Fig 5 bench.
+struct SizeBreakdown {
+  size_t text_bytes = 0;
+  size_t map_bytes = 0;
+  size_t field_spec_bytes = 0;
+  size_t signature_bytes = 0;
+  size_t header_bytes = 0;
+
+  size_t total() const {
+    return text_bytes + map_bytes + field_spec_bytes + signature_bytes +
+           header_bytes;
+  }
+};
+
+SizeBreakdown BreakdownOf(const Package& package);
+
+}  // namespace eric::pkg

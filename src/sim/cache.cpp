@@ -1,0 +1,50 @@
+#include "sim/cache.h"
+
+#include <cassert>
+
+namespace eric::sim {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  assert(config.size_bytes % (config.line_bytes * config.ways) == 0);
+  num_sets_ = config.size_bytes / (config.line_bytes * config.ways);
+  lines_.resize(static_cast<size_t>(num_sets_) * config.ways);
+}
+
+uint32_t Cache::Access(uint64_t addr) {
+  const uint64_t line_addr = addr / config_.line_bytes;
+  const uint32_t set = static_cast<uint32_t>(line_addr % num_sets_);
+  const uint64_t tag = line_addr / num_sets_;
+  Line* set_base = &lines_[static_cast<size_t>(set) * config_.ways];
+
+  ++use_counter_;
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = set_base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = use_counter_;
+      ++stats_.hits;
+      return config_.hit_cycles;
+    }
+  }
+
+  // Miss: fill the LRU way.
+  Line* victim = set_base;
+  for (uint32_t w = 1; w < config_.ways; ++w) {
+    Line& line = set_base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru < victim->lru) victim = &line;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = use_counter_;
+  ++stats_.misses;
+  return config_.miss_cycles;
+}
+
+void Cache::Flush() {
+  for (Line& line : lines_) line.valid = false;
+}
+
+}  // namespace eric::sim

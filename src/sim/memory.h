@@ -1,0 +1,47 @@
+// Sparse physical memory for the SoC model.
+//
+// Backed by 4 KiB pages allocated on first touch, so a 2 GiB address space
+// costs only what the workload touches. All accesses are little-endian,
+// matching RISC-V.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace eric::sim {
+
+/// Byte-addressed sparse memory.
+class Memory {
+ public:
+  static constexpr size_t kPageBytes = 4096;
+
+  uint8_t ReadByte(uint64_t addr) const;
+  void WriteByte(uint64_t addr, uint8_t value);
+
+  /// Little-endian multi-byte accessors. `size` in {1,2,4,8}.
+  uint64_t Read(uint64_t addr, int size) const;
+  void Write(uint64_t addr, uint64_t value, int size);
+
+  /// Bulk copy-in (program loading).
+  void WriteBlock(uint64_t addr, std::span<const uint8_t> bytes);
+
+  /// Bulk copy-out (result extraction in tests).
+  std::vector<uint8_t> ReadBlock(uint64_t addr, size_t size) const;
+
+  /// Number of resident pages (footprint metric).
+  size_t ResidentPages() const { return pages_.size(); }
+
+ private:
+  using Page = std::vector<uint8_t>;
+
+  Page* FindPage(uint64_t page_index) const;
+  Page& TouchPage(uint64_t page_index);
+
+  // mutable: reading unmapped memory returns zeros without allocating.
+  std::unordered_map<uint64_t, Page> pages_;
+};
+
+}  // namespace eric::sim

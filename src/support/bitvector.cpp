@@ -1,0 +1,55 @@
+#include "support/bitvector.h"
+
+#include <bit>
+#include <cassert>
+
+namespace eric {
+
+BitVector::BitVector(size_t size, bool value)
+    : bytes_((size + 7) / 8, value ? 0xFF : 0x00), size_(size) {
+  // Clear padding bits in the last byte so serialization is canonical.
+  if (value && size % 8 != 0) {
+    bytes_.back() &= static_cast<uint8_t>((1u << (size % 8)) - 1);
+  }
+}
+
+BitVector BitVector::FromBytes(std::span<const uint8_t> bytes,
+                               size_t bit_count) {
+  assert(bytes.size() >= (bit_count + 7) / 8);
+  BitVector v;
+  v.size_ = bit_count;
+  v.bytes_.assign(bytes.begin(), bytes.begin() + (bit_count + 7) / 8);
+  if (bit_count % 8 != 0 && !v.bytes_.empty()) {
+    v.bytes_.back() &= static_cast<uint8_t>((1u << (bit_count % 8)) - 1);
+  }
+  return v;
+}
+
+bool BitVector::Get(size_t index) const {
+  assert(index < size_);
+  return (bytes_[index / 8] >> (index % 8)) & 1u;
+}
+
+void BitVector::Set(size_t index, bool value) {
+  assert(index < size_);
+  const uint8_t mask = static_cast<uint8_t>(1u << (index % 8));
+  if (value) {
+    bytes_[index / 8] |= mask;
+  } else {
+    bytes_[index / 8] &= static_cast<uint8_t>(~mask);
+  }
+}
+
+void BitVector::PushBack(bool value) {
+  if (size_ % 8 == 0) bytes_.push_back(0);
+  ++size_;
+  Set(size_ - 1, value);
+}
+
+size_t BitVector::PopCount() const {
+  size_t count = 0;
+  for (uint8_t b : bytes_) count += static_cast<size_t>(std::popcount(b));
+  return count;
+}
+
+}  // namespace eric

@@ -1,0 +1,49 @@
+// Compact bit vector used for encryption maps (1 flag bit per instruction)
+// and PUF response accumulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace eric {
+
+/// Dynamically-sized bit vector with byte-exact serialization.
+///
+/// Bit i lives in byte i/8 at position i%8 (LSB-first), which matches the
+/// wire layout of ERIC's encryption map.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(size_t size, bool value = false);
+
+  /// Reconstructs from serialized bytes; `bit_count` trailing validity.
+  static BitVector FromBytes(std::span<const uint8_t> bytes, size_t bit_count);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Get(size_t index) const;
+  void Set(size_t index, bool value);
+  void PushBack(bool value);
+
+  /// Number of set bits.
+  size_t PopCount() const;
+
+  /// Serialized form: ceil(size/8) bytes, LSB-first within each byte.
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+  /// Number of bytes the serialized form occupies.
+  size_t ByteSize() const { return bytes_.size(); }
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.size_ == b.size_ && a.bytes_ == b.bytes_;
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t size_ = 0;
+};
+
+}  // namespace eric

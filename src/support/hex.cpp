@@ -1,0 +1,63 @@
+#include "support/hex.h"
+
+#include <array>
+
+namespace eric {
+namespace {
+
+constexpr char kDigits[] = "0123456789abcdef";
+
+int NibbleValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string HexEncode(std::span<const uint8_t> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status(ErrorCode::kParseError, "hex string has odd length");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = NibbleValue(hex[i]);
+    const int lo = NibbleValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status(ErrorCode::kParseError,
+                    "invalid hex digit at offset " + std::to_string(i));
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string Hex64(uint64_t value) {
+  std::string out = "0x";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kDigits[(value >> shift) & 0xF]);
+  }
+  return out;
+}
+
+std::string Hex32(uint32_t value) {
+  std::string out = "0x";
+  for (int shift = 28; shift >= 0; shift -= 4) {
+    out.push_back(kDigits[(value >> shift) & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace eric

@@ -1,0 +1,26 @@
+// Hex and formatting helpers shared by tools, tests, and benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace eric {
+
+/// Lower-case hex encoding of a byte span ("deadbeef").
+std::string HexEncode(std::span<const uint8_t> bytes);
+
+/// Decodes a hex string (case-insensitive, even length) into bytes.
+Result<std::vector<uint8_t>> HexDecode(std::string_view hex);
+
+/// Formats a 64-bit value as "0x0123456789abcdef".
+std::string Hex64(uint64_t value);
+
+/// Formats a 32-bit value as "0x01234567".
+std::string Hex32(uint32_t value);
+
+}  // namespace eric

@@ -1,0 +1,854 @@
+#include "workloads/workloads.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace eric::workloads {
+namespace {
+
+// All kernels share the same in-language PRNG so data is deterministic:
+//   x = (x * 1103515245 + 12345) & 0x7FFFFFFF   (classic rand(), positive)
+// The C++ references replicate it exactly with int64 arithmetic.
+
+int64_t Lcg(int64_t& x) {
+  x = (x * 1103515245 + 12345) & 0x7FFFFFFF;
+  return x;
+}
+
+// --- bitcount ----------------------------------------------------------------
+
+const char* kBitcountSource = R"(
+// bitcount: population counts over a pseudo-random stream, via two
+// methods (shift-mask and Kernighan), like MiBench's bitcnts.
+var seed = 7;
+
+fn next_rand() {
+  seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+  return seed;
+}
+
+fn popcount_shift(x) {
+  var count = 0;
+  while (x != 0) {
+    count = count + (x & 1);
+    x = x >> 1;
+  }
+  return count;
+}
+
+fn popcount_kernighan(x) {
+  var count = 0;
+  while (x != 0) {
+    x = x & (x - 1);
+    count = count + 1;
+  }
+  return count;
+}
+
+fn main() {
+  var total = 0;
+  var i = 0;
+  while (i < 2048) {
+    var v = next_rand();
+    if (i % 2 == 0) {
+      total = total + popcount_shift(v);
+    } else {
+      total = total + popcount_kernighan(v);
+    }
+    i = i + 1;
+  }
+  return total % 65536;
+}
+)";
+
+int64_t BitcountReference() {
+  int64_t seed = 7;
+  int64_t total = 0;
+  for (int i = 0; i < 2048; ++i) {
+    int64_t v = Lcg(seed);
+    int count = 0;
+    int64_t x = v;
+    while (x != 0) {
+      if (i % 2 == 0) {
+        count += static_cast<int>(x & 1);
+        x >>= 1;
+      } else {
+        x &= x - 1;
+        ++count;
+      }
+    }
+    total += count;
+  }
+  return total % 65536;
+}
+
+// --- basicmath -----------------------------------------------------------------
+
+const char* kBasicmathSource = R"(
+// basicmath: integer square roots (Newton), gcd/lcm chains, and a cubic
+// root search, like MiBench's basicmath kernels.
+var seed = 99;
+
+fn next_rand() {
+  seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+  return seed;
+}
+
+fn isqrt(n) {
+  if (n < 2) { return n; }
+  var x = n;
+  var y = (x + 1) / 2;
+  while (y < x) {
+    x = y;
+    y = (x + n / x) / 2;
+  }
+  return x;
+}
+
+fn gcd(a, b) {
+  while (b != 0) {
+    var t = b;
+    b = a % b;
+    a = t;
+  }
+  return a;
+}
+
+fn icbrt(n) {
+  var r = 0;
+  while ((r + 1) * (r + 1) * (r + 1) <= n) {
+    r = r + 1;
+  }
+  return r;
+}
+
+fn main() {
+  var acc = 0;
+  var i = 0;
+  while (i < 300) {
+    var a = next_rand() % 100000;
+    var b = next_rand() % 100000;
+    acc = acc + isqrt(a);
+    acc = acc + gcd(a + 1, b + 1);
+    acc = acc + icbrt(b % 10000);
+    i = i + 1;
+  }
+  return acc % 1000000;
+}
+)";
+
+int64_t BasicmathReference() {
+  int64_t seed = 99;
+  int64_t acc = 0;
+  auto isqrt = [](int64_t n) {
+    if (n < 2) return n;
+    int64_t x = n, y = (x + 1) / 2;
+    while (y < x) {
+      x = y;
+      y = (x + n / x) / 2;
+    }
+    return x;
+  };
+  auto gcd = [](int64_t a, int64_t b) {
+    while (b != 0) {
+      const int64_t t = b;
+      b = a % b;
+      a = t;
+    }
+    return a;
+  };
+  auto icbrt = [](int64_t n) {
+    int64_t r = 0;
+    while ((r + 1) * (r + 1) * (r + 1) <= n) ++r;
+    return r;
+  };
+  for (int i = 0; i < 300; ++i) {
+    const int64_t a = Lcg(seed) % 100000;
+    const int64_t b = Lcg(seed) % 100000;
+    acc += isqrt(a) + gcd(a + 1, b + 1) + icbrt(b % 10000);
+  }
+  return acc % 1000000;
+}
+
+// --- crc32 -----------------------------------------------------------------------
+
+const char* kCrc32Source = R"(
+// crc32: bitwise CRC-32 (poly 0xEDB88320) over a pseudo-random byte
+// stream, like MiBench's telecomm CRC32.
+var seed = 1234;
+
+fn next_rand() {
+  seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+  return seed;
+}
+
+fn crc_byte(crc, byte) {
+  crc = crc ^ byte;
+  var bit = 0;
+  while (bit < 8) {
+    if (crc & 1) {
+      crc = ((crc >> 1) & 0x7FFFFFFF) ^ 0xEDB88320;
+    } else {
+      crc = (crc >> 1) & 0x7FFFFFFF;
+    }
+    bit = bit + 1;
+  }
+  return crc;
+}
+
+fn main() {
+  var crc = 0xFFFFFFFF;
+  var i = 0;
+  while (i < 1024) {
+    crc = crc_byte(crc, next_rand() & 0xFF);
+    i = i + 1;
+  }
+  crc = crc ^ 0xFFFFFFFF;
+  return crc % 1000000;
+}
+)";
+
+int64_t Crc32Reference() {
+  int64_t seed = 1234;
+  int64_t crc = 0xFFFFFFFF;
+  for (int i = 0; i < 1024; ++i) {
+    const int64_t byte = Lcg(seed) & 0xFF;
+    crc ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (crc & 1) {
+        crc = ((crc >> 1) & 0x7FFFFFFF) ^ 0xEDB88320;
+      } else {
+        crc = (crc >> 1) & 0x7FFFFFFF;
+      }
+    }
+  }
+  crc ^= 0xFFFFFFFF;
+  return crc % 1000000;
+}
+
+// --- sha (mixing) -----------------------------------------------------------------
+
+const char* kShaSource = R"(
+// sha: a 4-lane 32-bit mixing digest over a pseudo-random message with
+// unrolled round functions, shaped like MiBench's SHA loop structure.
+var seed = 5555;
+
+fn next_rand() {
+  seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+  return seed;
+}
+
+fn rotl32(x, n) {
+  var left = (x << n) & 0xFFFFFFFF;
+  var right = (x >> (32 - n)) & 0xFFFFFFFF;
+  return left | right;
+}
+
+fn round_a(h, w) { return (h + ((w ^ (h >> 5)) & 0xFFFFFFFF)) & 0xFFFFFFFF; }
+fn round_b(h, w) { return (h ^ ((w + rotl32(h, 7)) & 0xFFFFFFFF)) & 0xFFFFFFFF; }
+fn round_c(h, w) { return ((h * 33) + w) & 0xFFFFFFFF; }
+fn round_d(h, w) { return (rotl32(h, 13) ^ w) & 0xFFFFFFFF; }
+
+fn main() {
+  var h0 = 0x67452301;
+  var h1 = 0xEFCDAB89;
+  var h2 = 0x98BADCFE;
+  var h3 = 0x10325476;
+  var i = 0;
+  while (i < 512) {
+    var w = next_rand() & 0xFFFFFFFF;
+    h0 = round_a(h0, w);
+    h1 = round_b(h1, h0);
+    h2 = round_c(h2, h1);
+    h3 = round_d(h3, h2);
+    i = i + 1;
+  }
+  return (h0 ^ h1 ^ h2 ^ h3) % 1000000;
+}
+)";
+
+int64_t ShaReference() {
+  int64_t seed = 5555;
+  auto rotl32 = [](int64_t x, int64_t n) {
+    const int64_t left = (x << n) & 0xFFFFFFFF;
+    const int64_t right = (x >> (32 - n)) & 0xFFFFFFFF;
+    return left | right;
+  };
+  int64_t h0 = 0x67452301, h1 = 0xEFCDAB89, h2 = 0x98BADCFE,
+          h3 = 0x10325476;
+  for (int i = 0; i < 512; ++i) {
+    const int64_t w = Lcg(seed) & 0xFFFFFFFF;
+    h0 = (h0 + ((w ^ (h0 >> 5)) & 0xFFFFFFFF)) & 0xFFFFFFFF;
+    h1 = (h1 ^ ((h0 + rotl32(h1, 7)) & 0xFFFFFFFF)) & 0xFFFFFFFF;
+    h2 = ((h2 * 33) + h1) & 0xFFFFFFFF;
+    h3 = (rotl32(h3, 13) ^ h2) & 0xFFFFFFFF;
+  }
+  return (h0 ^ h1 ^ h2 ^ h3) % 1000000;
+}
+
+// --- qsort ----------------------------------------------------------------------
+
+const char* kQsortSource = R"(
+// qsort: recursive quicksort of 512 pseudo-random values + order check +
+// positional checksum, like MiBench's qsort_small.
+var data[512];
+var seed = 42;
+
+fn next_rand() {
+  seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+  return seed;
+}
+
+fn quicksort(lo, hi) {
+  if (lo >= hi) { return 0; }
+  var pivot = data[(lo + hi) / 2];
+  var i = lo;
+  var j = hi;
+  while (i <= j) {
+    while (data[i] < pivot) { i = i + 1; }
+    while (data[j] > pivot) { j = j - 1; }
+    if (i <= j) {
+      var tmp = data[i];
+      data[i] = data[j];
+      data[j] = tmp;
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  quicksort(lo, j);
+  quicksort(i, hi);
+  return 0;
+}
+
+fn main() {
+  var i = 0;
+  while (i < 512) {
+    data[i] = next_rand() % 100000;
+    i = i + 1;
+  }
+  quicksort(0, 511);
+  // Verify sortedness; any inversion poisons the checksum.
+  var inversions = 0;
+  i = 1;
+  while (i < 512) {
+    if (data[i - 1] > data[i]) { inversions = inversions + 1; }
+    i = i + 1;
+  }
+  var checksum = 0;
+  i = 0;
+  while (i < 512) {
+    checksum = (checksum + data[i] * (i + 1)) % 1000000007;
+    i = i + 1;
+  }
+  return (checksum + inversions * 999999) % 1000000;
+}
+)";
+
+int64_t QsortReference() {
+  int64_t seed = 42;
+  std::vector<int64_t> data(512);
+  for (auto& v : data) v = Lcg(seed) % 100000;
+  std::sort(data.begin(), data.end());
+  int64_t checksum = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    checksum = (checksum + data[i] * static_cast<int64_t>(i + 1)) % 1000000007;
+  }
+  return checksum % 1000000;
+}
+
+// --- stringsearch ----------------------------------------------------------------
+
+const char* kStringsearchSource = R"(
+// stringsearch: naive substring search over a synthetic 4-letter text,
+// counting matches of several patterns, like MiBench's stringsearch.
+var text[2048];
+var pattern[6];
+var seed = 321;
+
+fn next_rand() {
+  seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+  return seed;
+}
+
+fn count_matches(pattern_len) {
+  var count = 0;
+  var i = 0;
+  while (i + pattern_len <= 2048) {
+    var j = 0;
+    var matched = 1;
+    while (j < pattern_len) {
+      if (text[i + j] != pattern[j]) {
+        matched = 0;
+        break;
+      }
+      j = j + 1;
+    }
+    count = count + matched;
+    i = i + 1;
+  }
+  return count;
+}
+
+fn main() {
+  var i = 0;
+  while (i < 2048) {
+    text[i] = next_rand() % 4;
+    i = i + 1;
+  }
+  var total = 0;
+  var trial = 0;
+  while (trial < 8) {
+    var len = 3 + trial % 3;
+    i = 0;
+    while (i < len) {
+      pattern[i] = (trial + i) % 4;
+      i = i + 1;
+    }
+    total = total + count_matches(len);
+    trial = trial + 1;
+  }
+  return total;
+}
+)";
+
+int64_t StringsearchReference() {
+  int64_t seed = 321;
+  std::vector<int64_t> text(2048);
+  for (auto& v : text) v = Lcg(seed) % 4;
+  int64_t total = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const int len = 3 + trial % 3;
+    std::vector<int64_t> pattern(static_cast<size_t>(len));
+    for (int i = 0; i < len; ++i) pattern[static_cast<size_t>(i)] = (trial + i) % 4;
+    for (size_t i = 0; i + static_cast<size_t>(len) <= text.size(); ++i) {
+      bool matched = true;
+      for (int j = 0; j < len; ++j) {
+        if (text[i + static_cast<size_t>(j)] != pattern[static_cast<size_t>(j)]) {
+          matched = false;
+          break;
+        }
+      }
+      total += matched ? 1 : 0;
+    }
+  }
+  return total;
+}
+
+// --- dijkstra ---------------------------------------------------------------------
+
+const char* kDijkstraSource = R"(
+// dijkstra: O(V^2) single-source shortest paths on a dense 24-node graph
+// with pseudo-random weights, like MiBench's network dijkstra.
+var graph[576];    // 24 x 24 weights
+var dist[24];
+var dist2[24];
+var visited[24];
+var seed = 777;
+
+fn next_rand() {
+  seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+  return seed;
+}
+
+fn build_graph() {
+  var i = 0;
+  while (i < 24) {
+    var j = 0;
+    while (j < 24) {
+      if (i == j) {
+        graph[i * 24 + j] = 0;
+      } else {
+        graph[i * 24 + j] = 1 + next_rand() % 99;
+      }
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn shortest_paths(src) {
+  var inf = 1000000000;
+  var i = 0;
+  while (i < 24) {
+    dist[i] = inf;
+    visited[i] = 0;
+    i = i + 1;
+  }
+  dist[src] = 0;
+  var round = 0;
+  while (round < 24) {
+    // pick unvisited min
+    var best = 0 - 1;
+    var best_d = inf + 1;
+    i = 0;
+    while (i < 24) {
+      if (visited[i] == 0 && dist[i] < best_d) {
+        best = i;
+        best_d = dist[i];
+      }
+      i = i + 1;
+    }
+    if (best < 0) { break; }
+    visited[best] = 1;
+    i = 0;
+    while (i < 24) {
+      var alt = dist[best] + graph[best * 24 + i];
+      if (alt < dist[i]) { dist[i] = alt; }
+      i = i + 1;
+    }
+    round = round + 1;
+  }
+  var sum = 0;
+  i = 0;
+  while (i < 24) {
+    sum = sum + dist[i];
+    i = i + 1;
+  }
+  return sum;
+}
+
+fn bellman_ford(src) {
+  var inf = 1000000000;
+  var i = 0;
+  while (i < 24) {
+    dist2[i] = inf;
+    i = i + 1;
+  }
+  dist2[src] = 0;
+  var round = 0;
+  while (round < 23) {
+    var u = 0;
+    while (u < 24) {
+      if (dist2[u] < inf) {
+        var v = 0;
+        while (v < 24) {
+          var alt = dist2[u] + graph[u * 24 + v];
+          if (alt < dist2[v]) { dist2[v] = alt; }
+          v = v + 1;
+        }
+      }
+      u = u + 1;
+    }
+    round = round + 1;
+  }
+  var sum = 0;
+  i = 0;
+  while (i < 24) {
+    sum = sum + dist2[i];
+    i = i + 1;
+  }
+  return sum;
+}
+
+fn main() {
+  build_graph();
+  var total = 0;
+  var src = 0;
+  while (src < 8) {
+    total = total + shortest_paths(src);
+    src = src + 1;
+  }
+  // Cross-check: Bellman-Ford must agree with Dijkstra from node 0.
+  var agree = 0;
+  if (shortest_paths(0) == bellman_ford(0)) { agree = 1; }
+  return (total + agree) % 1000000;
+}
+)";
+
+int64_t DijkstraReference() {
+  int64_t seed = 777;
+  constexpr int kN = 24;
+  int64_t graph[kN][kN];
+  for (int i = 0; i < kN; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      graph[i][j] = (i == j) ? 0 : 1 + Lcg(seed) % 99;
+    }
+  }
+  const int64_t inf = 1000000000;
+  auto dijkstra = [&](int src) {
+    int64_t dist[kN];
+    bool visited[kN] = {};
+    for (int i = 0; i < kN; ++i) dist[i] = inf;
+    dist[src] = 0;
+    for (int round = 0; round < kN; ++round) {
+      int best = -1;
+      int64_t best_d = inf + 1;
+      for (int i = 0; i < kN; ++i) {
+        if (!visited[i] && dist[i] < best_d) {
+          best = i;
+          best_d = dist[i];
+        }
+      }
+      if (best < 0) break;
+      visited[best] = true;
+      for (int i = 0; i < kN; ++i) {
+        const int64_t alt = dist[best] + graph[best][i];
+        if (alt < dist[i]) dist[i] = alt;
+      }
+    }
+    int64_t sum = 0;
+    for (int i = 0; i < kN; ++i) sum += dist[i];
+    return sum;
+  };
+  auto bellman_ford = [&](int src) {
+    int64_t dist[kN];
+    for (int i = 0; i < kN; ++i) dist[i] = inf;
+    dist[src] = 0;
+    for (int round = 0; round < kN - 1; ++round) {
+      for (int u = 0; u < kN; ++u) {
+        if (dist[u] >= inf) continue;
+        for (int v = 0; v < kN; ++v) {
+          const int64_t alt = dist[u] + graph[u][v];
+          if (alt < dist[v]) dist[v] = alt;
+        }
+      }
+    }
+    int64_t sum = 0;
+    for (int i = 0; i < kN; ++i) sum += dist[i];
+    return sum;
+  };
+  int64_t total = 0;
+  for (int src = 0; src < 8; ++src) total += dijkstra(src);
+  const int64_t agree = (dijkstra(0) == bellman_ford(0)) ? 1 : 0;
+  return (total + agree) % 1000000;
+}
+
+// --- fft --------------------------------------------------------------------------
+
+const char* kFftSource = R"(
+// fft: fixed-point discrete Fourier checksum — 16 output bins over 64
+// samples with a scaled cosine/sine table, like MiBench's telecomm FFT in
+// structure (multiply-accumulate over trigonometric tables).
+var costab[32] = {256, 251, 236, 212, 181, 142, 97, 49,
+                  0, -49, -97, -142, -181, -212, -236, -251,
+                  -256, -251, -236, -212, -181, -142, -97, -49,
+                  0, 49, 97, 142, 181, 212, 236, 251};
+var samples[64];
+var seed = 2024;
+
+fn next_rand() {
+  seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+  return seed;
+}
+
+fn sintab(idx) {
+  return costab[(idx + 24) % 32];
+}
+
+fn bin_energy(k) {
+  var re = 0;
+  var im = 0;
+  var n = 0;
+  while (n < 64) {
+    var c = costab[(k * n) % 32];
+    var s = sintab((k * n) % 32);
+    re = re + samples[n] * c;
+    im = im - samples[n] * s;
+    n = n + 1;
+  }
+  re = re / 256;
+  im = im / 256;
+  return re * re + im * im;
+}
+
+fn main() {
+  var n = 0;
+  while (n < 64) {
+    samples[n] = next_rand() % 512 - 256;
+    n = n + 1;
+  }
+  var total = 0;
+  var k = 0;
+  while (k < 16) {
+    total = (total + bin_energy(k)) % 1000000007;
+    k = k + 1;
+  }
+  return total % 1000000;
+}
+)";
+
+int64_t FftReference() {
+  static const int64_t costab[32] = {
+      256, 251, 236, 212, 181, 142, 97, 49, 0, -49, -97, -142, -181, -212,
+      -236, -251, -256, -251, -236, -212, -181, -142, -97, -49, 0, 49, 97,
+      142, 181, 212, 236, 251};
+  int64_t seed = 2024;
+  int64_t samples[64];
+  for (auto& s : samples) s = Lcg(seed) % 512 - 256;
+  int64_t total = 0;
+  for (int k = 0; k < 16; ++k) {
+    int64_t re = 0, im = 0;
+    for (int n = 0; n < 64; ++n) {
+      const int64_t c = costab[(k * n) % 32];
+      const int64_t s = costab[((k * n) % 32 + 24) % 32];
+      re += samples[n] * c;
+      im -= samples[n] * s;
+    }
+    re /= 256;
+    im /= 256;
+    total = (total + re * re + im * im) % 1000000007;
+  }
+  return total % 1000000;
+}
+
+// --- adpcm ------------------------------------------------------------------------
+
+const char* kAdpcmSource = R"(
+// adpcm: ADPCM-style encode of a synthetic waveform: per-sample delta
+// quantization with an adaptive step-size table, like MiBench's
+// telecomm adpcm coder.
+var steptab[16] = {7, 8, 9, 10, 11, 12, 13, 14,
+                   16, 17, 19, 21, 23, 25, 28, 31};
+var codes[1024];
+var seed = 31415;
+
+fn next_rand() {
+  seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+  return seed;
+}
+
+fn clamp(x, lo, hi) {
+  if (x < lo) { return lo; }
+  if (x > hi) { return hi; }
+  return x;
+}
+
+fn encode() {
+  var predicted = 0;
+  var index = 0;
+  var checksum = 0;
+  var i = 0;
+  while (i < 1024) {
+    var sample = next_rand() % 2048 - 1024;
+    var delta = sample - predicted;
+    var sign = 0;
+    if (delta < 0) {
+      sign = 8;
+      delta = 0 - delta;
+    }
+    var step = steptab[index];
+    var code = delta / step;
+    code = clamp(code, 0, 7);
+    var restored = code * step;
+    if (sign == 8) {
+      predicted = predicted - restored;
+    } else {
+      predicted = predicted + restored;
+    }
+    predicted = clamp(predicted, -2048, 2047);
+    if (code >= 4) {
+      index = clamp(index + 2, 0, 15);
+    } else {
+      index = clamp(index - 1, 0, 15);
+    }
+    codes[i] = sign | code;
+    checksum = (checksum * 31 + (sign | code)) % 1000000007;
+    i = i + 1;
+  }
+  return checksum;
+}
+
+fn decode() {
+  // Decoder mirrors the encoder's predictor; its reconstruction checksum
+  // is part of the result, so encoder/decoder disagreement is detected.
+  var predicted = 0;
+  var index = 0;
+  var checksum = 0;
+  var i = 0;
+  while (i < 1024) {
+    var code = codes[i] & 7;
+    var sign = codes[i] & 8;
+    var step = steptab[index];
+    var restored = code * step;
+    if (sign == 8) {
+      predicted = predicted - restored;
+    } else {
+      predicted = predicted + restored;
+    }
+    predicted = clamp(predicted, -2048, 2047);
+    if (code >= 4) {
+      index = clamp(index + 2, 0, 15);
+    } else {
+      index = clamp(index - 1, 0, 15);
+    }
+    checksum = (checksum * 31 + (predicted + 4096)) % 1000000007;
+    i = i + 1;
+  }
+  return checksum;
+}
+
+fn main() {
+  var enc = encode();
+  var dec = decode();
+  return (enc + dec) % 1000000;
+}
+)";
+
+int64_t AdpcmReference() {
+  static const int64_t steptab[16] = {7,  8,  9,  10, 11, 12, 13, 14,
+                                      16, 17, 19, 21, 23, 25, 28, 31};
+  int64_t seed = 31415;
+  auto clamp = [](int64_t x, int64_t lo, int64_t hi) {
+    return x < lo ? lo : (x > hi ? hi : x);
+  };
+  int64_t codes[1024];
+  int64_t predicted = 0, index = 0, enc = 0;
+  for (int i = 0; i < 1024; ++i) {
+    const int64_t sample = Lcg(seed) % 2048 - 1024;
+    int64_t delta = sample - predicted;
+    int64_t sign = 0;
+    if (delta < 0) {
+      sign = 8;
+      delta = -delta;
+    }
+    const int64_t step = steptab[index];
+    int64_t code = clamp(delta / step, 0, 7);
+    const int64_t restored = code * step;
+    predicted = (sign == 8) ? predicted - restored : predicted + restored;
+    predicted = clamp(predicted, -2048, 2047);
+    index = (code >= 4) ? clamp(index + 2, 0, 15) : clamp(index - 1, 0, 15);
+    codes[i] = sign | code;
+    enc = (enc * 31 + (sign | code)) % 1000000007;
+  }
+  predicted = 0;
+  index = 0;
+  int64_t dec = 0;
+  for (int i = 0; i < 1024; ++i) {
+    const int64_t code = codes[i] & 7;
+    const int64_t sign = codes[i] & 8;
+    const int64_t step = steptab[index];
+    const int64_t restored = code * step;
+    predicted = (sign == 8) ? predicted - restored : predicted + restored;
+    predicted = clamp(predicted, -2048, 2047);
+    index = (code >= 4) ? clamp(index + 2, 0, 15) : clamp(index - 1, 0, 15);
+    dec = (dec * 31 + (predicted + 4096)) % 1000000007;
+  }
+  return (enc + dec) % 1000000;
+}
+
+}  // namespace
+
+const std::vector<Workload>& AllWorkloads() {
+  static const std::vector<Workload> kWorkloads = {
+      {"bitcount", kBitcountSource, BitcountReference},
+      {"basicmath", kBasicmathSource, BasicmathReference},
+      {"crc32", kCrc32Source, Crc32Reference},
+      {"sha", kShaSource, ShaReference},
+      {"qsort", kQsortSource, QsortReference},
+      {"stringsearch", kStringsearchSource, StringsearchReference},
+      {"dijkstra", kDijkstraSource, DijkstraReference},
+      {"fft", kFftSource, FftReference},
+      {"adpcm", kAdpcmSource, AdpcmReference},
+  };
+  return kWorkloads;
+}
+
+const Workload* FindWorkload(const std::string& name) {
+  for (const Workload& w : AllWorkloads()) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
+}  // namespace eric::workloads

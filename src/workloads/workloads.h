@@ -1,0 +1,32 @@
+// MiBench-inspired workload suite (Sec. IV: "MiBench is used as a
+// benchmark when evaluating system performance... it is also aimed to use
+// programs of different sizes").
+//
+// Nine integer kernels named after their MiBench counterparts, written in
+// EricC so the whole pipeline (compile -> sign/encrypt -> package -> HDE
+// -> execute) runs on them. Each workload carries an independent C++
+// reference implementation of the same computation; tests assert that the
+// simulated RISC-V execution and the native reference agree, giving a
+// two-implementation cross-check of compiler and simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace eric::workloads {
+
+struct Workload {
+  std::string name;
+  std::string source;                 ///< EricC program text
+  std::function<int64_t()> reference; ///< native reference of main()'s result
+};
+
+/// The full suite, ordered roughly by static code size.
+const std::vector<Workload>& AllWorkloads();
+
+/// Lookup by name; nullptr if unknown.
+const Workload* FindWorkload(const std::string& name);
+
+}  // namespace eric::workloads

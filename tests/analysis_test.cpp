@@ -1,0 +1,157 @@
+// Attacker-toolbox tests: the static/dynamic analysis metrics must
+// separate plaintext from encrypted packages the way the paper claims.
+#include <gtest/gtest.h>
+
+#include "analysis/attack_harness.h"
+#include "analysis/static_analysis.h"
+#include "core/encryption_policy.h"
+#include "core/software_source.h"
+#include "support/rng.h"
+#include "workloads/workloads.h"
+
+namespace eric::analysis {
+namespace {
+
+std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<uint8_t> bytes(n);
+  for (auto& b : bytes) b = static_cast<uint8_t>(rng.Next());
+  return bytes;
+}
+
+TEST(EntropyTest, ZerosHaveZeroEntropy) {
+  EXPECT_DOUBLE_EQ(ByteEntropy(std::vector<uint8_t>(1024, 0)), 0.0);
+}
+
+TEST(EntropyTest, RandomBytesNearEight) {
+  EXPECT_GT(ByteEntropy(RandomBytes(65536, 1)), 7.9);
+}
+
+TEST(EntropyTest, CompiledCodeWellBelowRandom) {
+  auto compiled =
+      compiler::Compile(workloads::FindWorkload("dijkstra")->source);
+  ASSERT_TRUE(compiled.ok());
+  const double code_entropy = ByteEntropy(std::span<const uint8_t>(
+      compiled->program.image.data(), compiled->program.text_bytes));
+  EXPECT_LT(code_entropy, 7.0);
+  EXPECT_GT(code_entropy, 2.0);
+}
+
+TEST(SweepTest, PlaintextDecodesCompletely) {
+  auto compiled = compiler::Compile(workloads::FindWorkload("qsort")->source);
+  ASSERT_TRUE(compiled.ok());
+  const auto report = SweepDisassemble(std::span<const uint8_t>(
+      compiled->program.image.data(), compiled->program.text_bytes));
+  EXPECT_DOUBLE_EQ(report.valid_fraction(), 1.0);
+  EXPECT_GT(report.memory_instrs, 0u);
+  EXPECT_GT(report.control_flow_instrs, 0u);
+}
+
+TEST(SweepTest, RandomBytesDecodePoorly) {
+  const auto report = SweepDisassemble(RandomBytes(8192, 2));
+  // Much of any byte soup decodes (RISC-V is dense), but far from all.
+  EXPECT_LT(report.valid_fraction(), 0.9);
+}
+
+TEST(HistogramTest, IdenticalStreamsZeroDistance) {
+  auto compiled = compiler::Compile(workloads::FindWorkload("sha")->source);
+  ASSERT_TRUE(compiled.ok());
+  const std::span<const uint8_t> text(compiled->program.image.data(),
+                                      compiled->program.text_bytes);
+  EXPECT_DOUBLE_EQ(HistogramDistance(ClassHistogram(text),
+                                     ClassHistogram(text)),
+                   0.0);
+}
+
+TEST(HistogramTest, CiphertextMixDiffers) {
+  auto compiled = compiler::Compile(workloads::FindWorkload("sha")->source);
+  ASSERT_TRUE(compiled.ok());
+  const std::span<const uint8_t> text(compiled->program.image.data(),
+                                      compiled->program.text_bytes);
+  const auto cipher = RandomBytes(compiled->program.text_bytes, 3);
+  EXPECT_GT(HistogramDistance(ClassHistogram(text), ClassHistogram(cipher)),
+            0.3);
+}
+
+TEST(MemoryTraceTest, SelfAgreementIsOne) {
+  auto compiled = compiler::Compile(workloads::FindWorkload("crc32")->source);
+  ASSERT_TRUE(compiled.ok());
+  const std::span<const uint8_t> text(compiled->program.image.data(),
+                                      compiled->program.text_bytes);
+  const auto leak = ExtractMemoryAccesses(text);
+  EXPECT_GT(leak.accesses.size(), 10u);
+  EXPECT_DOUBLE_EQ(MemoryTraceAgreement(leak, leak), 1.0);
+}
+
+// --- Full playbook over encryption modes ---------------------------------------
+
+struct PlaybookCase {
+  const char* label;
+  core::EncryptionPolicy policy;
+};
+
+AttackReport RunPlaybook(const core::EncryptionPolicy& policy,
+                         const compiler::CompileOptions& options = {}) {
+  crypto::KeyConfig config;
+  crypto::Key256 device_key{};
+  device_key.fill(0x21);
+  core::SoftwareSource source(device_key, config);
+  auto built = source.CompileAndPackage(
+      workloads::FindWorkload("dijkstra")->source, policy, options);
+  EXPECT_TRUE(built.ok());
+  return RunAttackPlaybook(built->compile.program, built->packaging.package);
+}
+
+TEST(PlaybookTest, PlaintextPackageLeaksEverything) {
+  const auto report = RunPlaybook(core::EncryptionPolicy::None());
+  EXPECT_DOUBLE_EQ(report.disasm_valid_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(report.memory_trace_agreement, 1.0);
+  EXPECT_LT(report.histogram_distance, 0.01);
+  // Unencrypted (merely signed) packages run on any hardware — encryption
+  // is what binds execution to the device.
+  EXPECT_TRUE(report.foreign_device_executed);
+}
+
+TEST(PlaybookTest, FullEncryptionDefeatsStaticAnalysis) {
+  const auto report = RunPlaybook(core::EncryptionPolicy::Full());
+  EXPECT_GT(report.byte_entropy, 7.0);
+  EXPECT_LT(report.disasm_valid_fraction, 0.9);
+  EXPECT_GT(report.histogram_distance, 0.3);
+  EXPECT_LT(report.memory_trace_agreement, 0.1);
+  EXPECT_FALSE(report.foreign_device_executed);
+}
+
+TEST(PlaybookTest, PartialEncryptionDegradesGracefully) {
+  const auto low = RunPlaybook(core::EncryptionPolicy::PartialRandom(0.25));
+  const auto high = RunPlaybook(core::EncryptionPolicy::PartialRandom(0.75));
+  // More encryption => less recovered.
+  EXPECT_GT(low.disasm_valid_fraction, high.disasm_valid_fraction);
+  EXPECT_FALSE(low.foreign_device_executed);
+  EXPECT_FALSE(high.foreign_device_executed);
+}
+
+TEST(PlaybookTest, FieldEncryptionHidesTraceNotStructure) {
+  // Field-level rules address 32-bit encodings, so this mode pairs with
+  // uncompressed code generation (compressed loads/stores would slip
+  // through plaintext — see DESIGN.md).
+  compiler::CompileOptions wide;
+  wide.compress = false;
+  const auto report =
+      RunPlaybook(core::EncryptionPolicy::FieldLevelPointers(), wide);
+  // The paper's stealth mode: the stream still decodes as valid code...
+  EXPECT_GT(report.disasm_valid_fraction, 0.99);
+  EXPECT_LT(report.histogram_distance, 0.01);
+  // ...but the memory trace (pointer immediates) is destroyed.
+  EXPECT_LT(report.memory_trace_agreement, 0.2);
+  EXPECT_FALSE(report.foreign_device_executed);
+}
+
+TEST(PlaybookTest, ReportFormats) {
+  const auto report = RunPlaybook(core::EncryptionPolicy::Full());
+  const std::string text = report.Format();
+  EXPECT_NE(text.find("byte entropy"), std::string::npos);
+  EXPECT_NE(text.find("no"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eric::analysis

@@ -1,0 +1,214 @@
+// A-extension tests: encode/decode roundtrips, assembler syntax, and
+// execution semantics (LR/SC reservations, AMO read-modify-write).
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/decoder.h"
+#include "isa/disassembler.h"
+#include "isa/encoder.h"
+#include "sim/soc.h"
+
+namespace eric::isa {
+namespace {
+
+void ExpectRoundtrip(const Instr& in) {
+  Result<uint32_t> word = Encode32(in);
+  ASSERT_TRUE(word.ok()) << OpName(in.op);
+  const Instr out = Decode32(*word);
+  EXPECT_EQ(out.op, in.op) << OpName(in.op);
+  EXPECT_EQ(out.rd, in.rd);
+  EXPECT_EQ(out.rs1, in.rs1);
+  EXPECT_EQ(out.rs2, in.rs2);
+}
+
+TEST(AtomicsEncodingTest, AllOpsRoundtrip) {
+  for (int op = static_cast<int>(Op::kLrW);
+       op <= static_cast<int>(Op::kAmoMaxuD); ++op) {
+    const Op o = static_cast<Op>(op);
+    const uint8_t rs2 = (o == Op::kLrW || o == Op::kLrD) ? 0 : 12;
+    ExpectRoundtrip(MakeR(o, 10, 11, rs2));
+  }
+}
+
+TEST(AtomicsEncodingTest, LrRequiresZeroRs2) {
+  EXPECT_FALSE(Encode32(MakeR(Op::kLrW, 10, 11, 5)).ok());
+}
+
+TEST(AtomicsEncodingTest, ClassifiedAtomic) {
+  EXPECT_EQ(ClassOf(Op::kAmoAddW), OpClass::kAtomic);
+  EXPECT_EQ(ClassOf(Op::kScD), OpClass::kAtomic);
+  EXPECT_FALSE(IsMemoryAccess(Op::kAmoAddW));  // policy class is distinct
+}
+
+TEST(AtomicsEncodingTest, NoCompressedForms) {
+  EXPECT_FALSE(TryEncodeCompressed(MakeR(Op::kAmoAddW, 9, 9, 10)).has_value());
+}
+
+TEST(AtomicsEncodingTest, Disassembly) {
+  EXPECT_EQ(Disassemble(MakeR(Op::kLrW, 10, 11, 0)), "lr.w a0, (a1)");
+  EXPECT_EQ(Disassemble(MakeR(Op::kAmoAddD, 10, 11, 12)),
+            "amoadd.d a0, a2, (a1)");
+}
+
+}  // namespace
+}  // namespace eric::isa
+
+namespace eric::sim {
+namespace {
+
+using isa::Assemble;
+using isa::EncodeProgram;
+
+ExecStats RunAsm(const std::string& source, uint64_t arg0 = 0) {
+  auto assembled = Assemble(source);
+  EXPECT_TRUE(assembled.ok()) << assembled.status().ToString();
+  std::vector<uint8_t> bytes;
+  EXPECT_TRUE(EncodeProgram(assembled->instructions, false, bytes).ok());
+  Soc soc;
+  soc.LoadProgram(bytes);
+  return soc.Run(kRamBase, arg0);
+}
+
+TEST(AtomicsExecTest, AmoAddReturnsOldValue) {
+  const ExecStats stats = RunAsm(R"(
+    li t0, 0x20000
+    li t1, 100
+    sd t1, 0(t0)
+    li t2, 42
+    amoadd.d a0, t2, (t0)   # a0 = old (100); mem = 142
+    ld t3, 0(t0)
+    add a0, a0, t3          # 100 + 142
+    ecall
+  )");
+  EXPECT_EQ(stats.exit_code, 242);
+}
+
+TEST(AtomicsExecTest, AmoSwap) {
+  const ExecStats stats = RunAsm(R"(
+    li t0, 0x20000
+    li t1, 7
+    sd t1, 0(t0)
+    li t2, 9
+    amoswap.d a0, t2, (t0)   # a0 = 7; mem = 9
+    ld t3, 0(t0)
+    slli a0, a0, 8
+    or a0, a0, t3            # 0x709
+    ecall
+  )");
+  EXPECT_EQ(stats.exit_code, 0x709);
+}
+
+TEST(AtomicsExecTest, AmoMinMaxSigned) {
+  const ExecStats stats = RunAsm(R"(
+    li t0, 0x20000
+    li t1, -5
+    sd t1, 0(t0)
+    li t2, 3
+    amomax.d a0, t2, (t0)    # mem = max(-5,3) = 3; a0 = -5
+    ld a0, 0(t0)
+    ecall
+  )");
+  EXPECT_EQ(stats.exit_code, 3);
+}
+
+TEST(AtomicsExecTest, AmoMinuUnsigned) {
+  const ExecStats stats = RunAsm(R"(
+    li t0, 0x20000
+    li t1, -1               # unsigned max
+    sd t1, 0(t0)
+    li t2, 10
+    amominu.d a0, t2, (t0)  # mem = min_u(~0, 10) = 10
+    ld a0, 0(t0)
+    ecall
+  )");
+  EXPECT_EQ(stats.exit_code, 10);
+}
+
+TEST(AtomicsExecTest, AmoAddWSignExtendsOldValue) {
+  const ExecStats stats = RunAsm(R"(
+    li t0, 0x20000
+    li t1, 1
+    slli t1, t1, 31         # 0x80000000: negative as i32
+    sd t1, 0(t0)
+    li t2, 0
+    amoadd.w a0, t2, (t0)   # a0 = sext32(0x80000000)
+    srai a0, a0, 62         # all sign bits -> -1... (>>62 of INT32_MIN*2^32?)
+    ecall
+  )");
+  // a0 was 0xFFFFFFFF80000000; >>62 arithmetic = -1.
+  EXPECT_EQ(stats.exit_code, -1);
+}
+
+TEST(AtomicsExecTest, LrScSuccessPath) {
+  const ExecStats stats = RunAsm(R"(
+    li t0, 0x20000
+    li t1, 5
+    sd t1, 0(t0)
+    lr.d t2, (t0)           # reserve, t2 = 5
+    addi t2, t2, 1
+    sc.d a0, t2, (t0)       # success: a0 = 0, mem = 6
+    ld t3, 0(t0)
+    slli t3, t3, 4
+    or a0, a0, t3           # 0x60
+    ecall
+  )");
+  EXPECT_EQ(stats.exit_code, 0x60);
+}
+
+TEST(AtomicsExecTest, ScWithoutReservationFails) {
+  const ExecStats stats = RunAsm(R"(
+    li t0, 0x20000
+    li t1, 9
+    sc.d a0, t1, (t0)       # no reservation: a0 = 1, mem untouched
+    ld t2, 0(t0)
+    slli t2, t2, 4
+    or a0, a0, t2           # 0x01
+    ecall
+  )");
+  EXPECT_EQ(stats.exit_code, 0x01);
+}
+
+TEST(AtomicsExecTest, ScToDifferentAddressFails) {
+  const ExecStats stats = RunAsm(R"(
+    li t0, 0x20000
+    li t1, 0x30000
+    lr.d t2, (t0)           # reserve t0
+    li t3, 77
+    sc.d a0, t3, (t1)       # different address: fails
+    ecall
+  )");
+  EXPECT_EQ(stats.exit_code, 1);
+}
+
+TEST(AtomicsExecTest, ScConsumesReservation) {
+  const ExecStats stats = RunAsm(R"(
+    li t0, 0x20000
+    lr.d t1, (t0)
+    sc.d t2, t1, (t0)       # succeeds, consumes reservation
+    sc.d a0, t1, (t0)       # second sc fails
+    ecall
+  )");
+  EXPECT_EQ(stats.exit_code, 1);
+}
+
+TEST(AtomicsExecTest, AtomicIncrementLoop) {
+  // The classic LR/SC retry loop (trivially succeeds on one hart, but
+  // exercises the full reservation path repeatedly).
+  const ExecStats stats = RunAsm(R"(
+    li t0, 0x20000
+    li t1, 100
+  loop:
+    lr.d t2, (t0)
+    addi t2, t2, 3
+    sc.d t3, t2, (t0)
+    bnez t3, loop           # retry on failure
+    addi t1, t1, -1
+    bnez t1, loop
+    ld a0, 0(t0)
+    ecall
+  )");
+  EXPECT_EQ(stats.exit_code, 300);
+}
+
+}  // namespace
+}  // namespace eric::sim

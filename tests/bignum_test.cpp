@@ -1,0 +1,265 @@
+// Bignum + RSA tests: arithmetic identities (property-style against
+// 64-bit oracles), known vectors, primality, and key wrapping.
+#include <gtest/gtest.h>
+
+#include "crypto/bignum.h"
+#include "crypto/rsa.h"
+#include "support/rng.h"
+
+namespace eric::crypto {
+namespace {
+
+TEST(BigNumTest, ZeroBasics) {
+  BigNum zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.BitLength(), 0);
+  EXPECT_EQ(zero.ToHex(), "0");
+  EXPECT_TRUE(zero.ToBytes().empty());
+}
+
+TEST(BigNumTest, FromUint64) {
+  EXPECT_EQ(BigNum(0x1234).ToHex(), "1234");
+  EXPECT_EQ(BigNum(0xDEADBEEFCAFEBABEull).ToHex(), "deadbeefcafebabe");
+  EXPECT_EQ(BigNum(1).BitLength(), 1);
+  EXPECT_EQ(BigNum(255).BitLength(), 8);
+  EXPECT_EQ(BigNum(256).BitLength(), 9);
+}
+
+TEST(BigNumTest, HexRoundtrip) {
+  const char* kHex = "f123456789abcdef0011223344556677deadbeef";
+  auto n = BigNum::FromHex(kHex);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->ToHex(), kHex);
+}
+
+TEST(BigNumTest, BytesRoundtrip) {
+  std::vector<uint8_t> bytes = {0x01, 0x02, 0x03, 0xFF, 0x00, 0x80};
+  const BigNum n = BigNum::FromBytes(bytes);
+  EXPECT_EQ(n.ToBytes(), bytes);
+}
+
+TEST(BigNumTest, FromHexRejectsJunk) {
+  EXPECT_FALSE(BigNum::FromHex("12g4").ok());
+}
+
+TEST(BigNumTest, CompareOrdering) {
+  EXPECT_LT(BigNum::Compare(BigNum(3), BigNum(5)), 0);
+  EXPECT_GT(BigNum::Compare(BigNum(5), BigNum(3)), 0);
+  EXPECT_EQ(BigNum::Compare(BigNum(5), BigNum(5)), 0);
+  auto big = BigNum::FromHex("100000000000000000000");
+  ASSERT_TRUE(big.ok());
+  EXPECT_LT(BigNum::Compare(BigNum(UINT64_MAX), *big), 0);
+}
+
+// Property: arithmetic agrees with native 64-bit math on random values
+// small enough not to overflow.
+TEST(BigNumTest, ArithmeticAgainstNativeOracle) {
+  Xoshiro256 rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const uint64_t a = rng.Next() >> 33;  // 31-bit values
+    const uint64_t b = (rng.Next() >> 33) + 1;
+    EXPECT_EQ(BigNum::Add(BigNum(a), BigNum(b)), BigNum(a + b));
+    if (a >= b) {
+      EXPECT_EQ(BigNum::Sub(BigNum(a), BigNum(b)), BigNum(a - b));
+    }
+    EXPECT_EQ(BigNum::Mul(BigNum(a), BigNum(b)), BigNum(a * b));
+    auto dm = BigNum::Div(BigNum(a), BigNum(b));
+    ASSERT_TRUE(dm.ok());
+    EXPECT_EQ(dm->quotient, BigNum(a / b));
+    EXPECT_EQ(dm->remainder, BigNum(a % b));
+  }
+}
+
+// Property: (a+b)-b == a, a*b/b == a, ((a*b)+r) div b == (a, r) for big
+// random operands.
+TEST(BigNumTest, AlgebraicIdentitiesAtWidth) {
+  Xoshiro256 rng(78);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BigNum a = BigNum::Random(200, rng);
+    const BigNum b = BigNum::Random(130, rng);
+    EXPECT_EQ(BigNum::Sub(BigNum::Add(a, b), b), a);
+    auto dm = BigNum::Div(BigNum::Mul(a, b), b);
+    ASSERT_TRUE(dm.ok());
+    EXPECT_EQ(dm->quotient, a);
+    EXPECT_TRUE(dm->remainder.IsZero());
+    // With remainder:
+    const BigNum r = BigNum::Random(100, rng);  // < b (130 bits)
+    auto dm2 = BigNum::Div(BigNum::Add(BigNum::Mul(a, b), r), b);
+    ASSERT_TRUE(dm2.ok());
+    EXPECT_EQ(dm2->quotient, a);
+    EXPECT_EQ(dm2->remainder, r);
+  }
+}
+
+TEST(BigNumTest, DivByZeroFails) {
+  EXPECT_FALSE(BigNum::Div(BigNum(5), BigNum()).ok());
+  EXPECT_FALSE(BigNum::Mod(BigNum(5), BigNum()).ok());
+}
+
+TEST(BigNumTest, ModPowKnownValues) {
+  // 2^10 mod 1000 = 24
+  auto r = BigNum::ModPow(BigNum(2), BigNum(10), BigNum(1000));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, BigNum(24));
+  // Fermat: a^(p-1) mod p == 1 for prime p = 1000003.
+  auto f = BigNum::ModPow(BigNum(12345), BigNum(1000002), BigNum(1000003));
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(*f, BigNum(1));
+}
+
+TEST(BigNumTest, ModPowMatchesNativeOracle) {
+  Xoshiro256 rng(79);
+  auto native_modpow = [](uint64_t base, uint64_t exp, uint64_t mod) {
+    unsigned __int128 result = 1, b = base % mod;
+    while (exp != 0) {
+      if (exp & 1) result = result * b % mod;
+      b = b * b % mod;
+      exp >>= 1;
+    }
+    return static_cast<uint64_t>(result);
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t base = rng.Next() >> 40;
+    const uint64_t exp = rng.Next() >> 48;
+    const uint64_t mod = (rng.Next() >> 40) + 2;
+    auto r = BigNum::ModPow(BigNum(base), BigNum(exp), BigNum(mod));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, BigNum(native_modpow(base, exp, mod)))
+        << base << "^" << exp << " mod " << mod;
+  }
+}
+
+TEST(BigNumTest, GcdKnownValues) {
+  EXPECT_EQ(BigNum::Gcd(BigNum(48), BigNum(36)), BigNum(12));
+  EXPECT_EQ(BigNum::Gcd(BigNum(17), BigNum(5)), BigNum(1));
+  EXPECT_EQ(BigNum::Gcd(BigNum(0), BigNum(7)), BigNum(7));
+}
+
+TEST(BigNumTest, ModInverse) {
+  // 3 * 7 = 21 == 1 mod 10.
+  auto inv = BigNum::ModInverse(BigNum(3), BigNum(10));
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(*inv, BigNum(7));
+  // Non-invertible.
+  EXPECT_FALSE(BigNum::ModInverse(BigNum(4), BigNum(10)).ok());
+}
+
+TEST(BigNumTest, ModInverseProperty) {
+  Xoshiro256 rng(80);
+  const BigNum m = BigNum::RandomPrime(64, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BigNum a = BigNum::Random(60, rng);
+    auto inv = BigNum::ModInverse(a, m);
+    ASSERT_TRUE(inv.ok());
+    auto product = BigNum::Mod(BigNum::Mul(a, *inv), m);
+    ASSERT_TRUE(product.ok());
+    EXPECT_EQ(*product, BigNum(1));
+  }
+}
+
+TEST(PrimalityTest, SmallKnownValues) {
+  Xoshiro256 rng(81);
+  const uint64_t primes[] = {2, 3, 5, 7, 61, 97, 1000003, 2147483647};
+  const uint64_t composites[] = {1, 4, 9, 15, 91, 561 /*Carmichael*/,
+                                 1000001, 4294967297ull /*641*6700417*/};
+  for (uint64_t p : primes) {
+    EXPECT_TRUE(BigNum::IsProbablePrime(BigNum(p), rng)) << p;
+  }
+  for (uint64_t c : composites) {
+    EXPECT_FALSE(BigNum::IsProbablePrime(BigNum(c), rng)) << c;
+  }
+}
+
+TEST(PrimalityTest, RandomPrimeHasRequestedSize) {
+  Xoshiro256 rng(82);
+  const BigNum p = BigNum::RandomPrime(96, rng);
+  EXPECT_EQ(p.BitLength(), 96);
+  EXPECT_TRUE(p.IsOdd());
+  EXPECT_TRUE(BigNum::IsProbablePrime(p, rng));
+}
+
+// --- RSA ---------------------------------------------------------------------
+
+TEST(RsaTest, GenerateAndWrapUnwrap) {
+  Xoshiro256 rng(83);
+  auto keypair = RsaKeyPair::Generate(512, rng);
+  ASSERT_TRUE(keypair.ok()) << keypair.status().ToString();
+  EXPECT_EQ(keypair->public_key.n.BitLength(), 512);
+
+  Key256 key;
+  for (size_t i = 0; i < key.size(); ++i) key[i] = static_cast<uint8_t>(3 * i);
+  auto wrapped = RsaWrapKey(keypair->public_key, key, rng);
+  ASSERT_TRUE(wrapped.ok()) << wrapped.status().ToString();
+  EXPECT_EQ(wrapped->size(), 64u);  // modulus bytes
+
+  auto unwrapped = RsaUnwrapKey(*keypair, *wrapped);
+  ASSERT_TRUE(unwrapped.ok()) << unwrapped.status().ToString();
+  EXPECT_EQ(*unwrapped, key);
+}
+
+TEST(RsaTest, WrapIsRandomized) {
+  Xoshiro256 rng(84);
+  auto keypair = RsaKeyPair::Generate(512, rng);
+  ASSERT_TRUE(keypair.ok());
+  Key256 key{};
+  auto w1 = RsaWrapKey(keypair->public_key, key, rng);
+  auto w2 = RsaWrapKey(keypair->public_key, key, rng);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  EXPECT_NE(*w1, *w2);  // random padding
+  EXPECT_EQ(*RsaUnwrapKey(*keypair, *w1), *RsaUnwrapKey(*keypair, *w2));
+}
+
+TEST(RsaTest, TamperedBlobFailsPadding) {
+  Xoshiro256 rng(85);
+  auto keypair = RsaKeyPair::Generate(512, rng);
+  ASSERT_TRUE(keypair.ok());
+  Key256 key{};
+  key.fill(0x5A);
+  auto wrapped = RsaWrapKey(keypair->public_key, key, rng);
+  ASSERT_TRUE(wrapped.ok());
+  // Flip bits across several trials: unwrap must fail padding or return a
+  // different key — never silently the correct key.
+  int clean_failures = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    auto tampered = *wrapped;
+    tampered[i * 3 % tampered.size()] ^= 0x40;
+    auto unwrapped = RsaUnwrapKey(*keypair, tampered);
+    if (!unwrapped.ok()) {
+      ++clean_failures;
+    } else {
+      EXPECT_NE(*unwrapped, key) << "tamper " << i;
+    }
+  }
+  EXPECT_GT(clean_failures, 8);  // most tampering breaks the padding
+}
+
+TEST(RsaTest, WrongKeyCannotUnwrap) {
+  Xoshiro256 rng(86);
+  auto alice = RsaKeyPair::Generate(512, rng);
+  auto mallory = RsaKeyPair::Generate(512, rng);
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(mallory.ok());
+  Key256 key{};
+  key.fill(0x77);
+  auto wrapped = RsaWrapKey(alice->public_key, key, rng);
+  ASSERT_TRUE(wrapped.ok());
+  auto stolen = RsaUnwrapKey(*mallory, *wrapped);
+  if (stolen.ok()) {
+    EXPECT_NE(*stolen, key);
+  }
+}
+
+TEST(RsaTest, RejectsTinyModulus) {
+  Xoshiro256 rng(87);
+  EXPECT_FALSE(RsaKeyPair::Generate(64, rng).ok());
+  EXPECT_FALSE(RsaKeyPair::Generate(513, rng).ok());  // odd
+  // A 128-bit modulus generates but cannot wrap a 256-bit key.
+  auto tiny = RsaKeyPair::Generate(128, rng);
+  ASSERT_TRUE(tiny.ok());
+  Key256 key{};
+  EXPECT_FALSE(RsaWrapKey(tiny->public_key, key, rng).ok());
+}
+
+}  // namespace
+}  // namespace eric::crypto

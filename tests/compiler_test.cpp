@@ -1,0 +1,380 @@
+// End-to-end compiler tests: EricC source -> RV64IMC image -> simulator.
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "compiler/irgen.h"
+#include "compiler/parser.h"
+#include "compiler/passes.h"
+#include "sim/soc.h"
+
+namespace eric::compiler {
+namespace {
+
+// Compiles and runs a program; returns the exit code (main's return value).
+int64_t CompileAndRun(const std::string& source, std::string* console = nullptr,
+                      const CompileOptions& options = {}) {
+  auto compiled = Compile(source, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  if (!compiled.ok()) return INT64_MIN;
+  sim::Soc soc;
+  soc.LoadProgram(compiled->program.image);
+  const sim::ExecStats stats = soc.Run();
+  EXPECT_EQ(stats.halt_reason, sim::HaltReason::kExit)
+      << "final pc " << stats.final_pc;
+  if (console != nullptr) *console = soc.console_output();
+  return stats.exit_code;
+}
+
+TEST(CompilerTest, ReturnConstant) {
+  EXPECT_EQ(CompileAndRun("fn main() { return 42; }"), 42);
+}
+
+TEST(CompilerTest, Arithmetic) {
+  EXPECT_EQ(CompileAndRun("fn main() { return 6 * 7; }"), 42);
+  EXPECT_EQ(CompileAndRun("fn main() { return (100 - 16) / 2; }"), 42);
+  EXPECT_EQ(CompileAndRun("fn main() { return 142 % 100; }"), 42);
+  EXPECT_EQ(CompileAndRun("fn main() { return 5 + -5; }"), 0);
+}
+
+TEST(CompilerTest, BitwiseOps) {
+  EXPECT_EQ(CompileAndRun("fn main() { return 0xF0 & 0x3C; }"), 0x30);
+  EXPECT_EQ(CompileAndRun("fn main() { return 0xF0 | 0x0F; }"), 0xFF);
+  EXPECT_EQ(CompileAndRun("fn main() { return 0xFF ^ 0x0F; }"), 0xF0);
+  EXPECT_EQ(CompileAndRun("fn main() { return 1 << 10; }"), 1024);
+  EXPECT_EQ(CompileAndRun("fn main() { return 1024 >> 3; }"), 128);
+  EXPECT_EQ(CompileAndRun("fn main() { return ~0; }"), -1);
+}
+
+TEST(CompilerTest, Comparisons) {
+  EXPECT_EQ(CompileAndRun("fn main() { return 3 < 5; }"), 1);
+  EXPECT_EQ(CompileAndRun("fn main() { return 5 < 3; }"), 0);
+  EXPECT_EQ(CompileAndRun("fn main() { return 5 <= 5; }"), 1);
+  EXPECT_EQ(CompileAndRun("fn main() { return 5 == 5; }"), 1);
+  EXPECT_EQ(CompileAndRun("fn main() { return 5 != 5; }"), 0);
+  EXPECT_EQ(CompileAndRun("fn main() { return 7 > 2; }"), 1);
+  EXPECT_EQ(CompileAndRun("fn main() { return 0 - 1 < 1; }"), 1);  // signed
+}
+
+TEST(CompilerTest, LogicalOperators) {
+  EXPECT_EQ(CompileAndRun("fn main() { return 1 && 2; }"), 1);
+  EXPECT_EQ(CompileAndRun("fn main() { return 1 && 0; }"), 0);
+  EXPECT_EQ(CompileAndRun("fn main() { return 0 || 3; }"), 1);
+  EXPECT_EQ(CompileAndRun("fn main() { return 0 || 0; }"), 0);
+  EXPECT_EQ(CompileAndRun("fn main() { return !0; }"), 1);
+  EXPECT_EQ(CompileAndRun("fn main() { return !7; }"), 0);
+}
+
+TEST(CompilerTest, ShortCircuitSkipsSideEffects) {
+  // If && evaluated its RHS eagerly, g would be 1.
+  const std::string source = R"(
+    var g;
+    fn set_g() { g = 1; return 1; }
+    fn main() { var x = 0 && set_g(); return g; }
+  )";
+  EXPECT_EQ(CompileAndRun(source), 0);
+}
+
+TEST(CompilerTest, Variables) {
+  EXPECT_EQ(CompileAndRun(R"(
+    fn main() {
+      var a = 10;
+      var b = a * 3;
+      a = b - 8;
+      return a + b;
+    }
+  )"), 52);
+}
+
+TEST(CompilerTest, IfElse) {
+  EXPECT_EQ(CompileAndRun(R"(
+    fn main() {
+      var x = 10;
+      if (x > 5) { return 1; } else { return 2; }
+    }
+  )"), 1);
+  EXPECT_EQ(CompileAndRun(R"(
+    fn main() {
+      var x = 3;
+      if (x > 5) { return 1; } else { return 2; }
+    }
+  )"), 2);
+}
+
+TEST(CompilerTest, ElseIfChain) {
+  const std::string source = R"(
+    fn classify(x) {
+      if (x < 10) { return 0; }
+      else if (x < 100) { return 1; }
+      else { return 2; }
+    }
+    fn main() {
+      return classify(5) * 100 + classify(50) * 10 + classify(500);
+    }
+  )";
+  EXPECT_EQ(CompileAndRun(source), 12);
+}
+
+TEST(CompilerTest, WhileLoop) {
+  EXPECT_EQ(CompileAndRun(R"(
+    fn main() {
+      var sum = 0;
+      var i = 1;
+      while (i <= 10) {
+        sum = sum + i;
+        i = i + 1;
+      }
+      return sum;
+    }
+  )"), 55);
+}
+
+TEST(CompilerTest, BreakAndContinue) {
+  EXPECT_EQ(CompileAndRun(R"(
+    fn main() {
+      var sum = 0;
+      var i = 0;
+      while (1) {
+        i = i + 1;
+        if (i > 100) { break; }
+        if (i % 2 == 0) { continue; }
+        sum = sum + i;   // odd numbers 1..99
+      }
+      return sum;
+    }
+  )"), 2500);
+}
+
+TEST(CompilerTest, NestedLoops) {
+  EXPECT_EQ(CompileAndRun(R"(
+    fn main() {
+      var total = 0;
+      var i = 0;
+      while (i < 10) {
+        var j = 0;
+        while (j < 10) {
+          total = total + 1;
+          j = j + 1;
+        }
+        i = i + 1;
+      }
+      return total;
+    }
+  )"), 100);
+}
+
+TEST(CompilerTest, FunctionsAndRecursion) {
+  EXPECT_EQ(CompileAndRun(R"(
+    fn fib(n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    fn main() { return fib(15); }
+  )"), 610);
+}
+
+TEST(CompilerTest, ManyParameters) {
+  EXPECT_EQ(CompileAndRun(R"(
+    fn sum8(a, b, c, d, e, f, g, h) {
+      return a + b + c + d + e + f + g + h;
+    }
+    fn main() { return sum8(1, 2, 3, 4, 5, 6, 7, 8); }
+  )"), 36);
+}
+
+TEST(CompilerTest, GlobalScalars) {
+  EXPECT_EQ(CompileAndRun(R"(
+    var counter = 5;
+    fn bump() { counter = counter + 1; return 0; }
+    fn main() {
+      bump();
+      bump();
+      return counter;
+    }
+  )"), 7);
+}
+
+TEST(CompilerTest, GlobalArrays) {
+  EXPECT_EQ(CompileAndRun(R"(
+    var table[10];
+    fn main() {
+      var i = 0;
+      while (i < 10) {
+        table[i] = i * i;
+        i = i + 1;
+      }
+      return table[7];
+    }
+  )"), 49);
+}
+
+TEST(CompilerTest, ArrayInitializers) {
+  EXPECT_EQ(CompileAndRun(R"(
+    var primes[5] = {2, 3, 5, 7, 11};
+    fn main() { return primes[0] + primes[4]; }
+  )"), 13);
+}
+
+TEST(CompilerTest, NegativeInitializers) {
+  EXPECT_EQ(CompileAndRun(R"(
+    var offsets[2] = {-10, 10};
+    var bias = -32;
+    fn main() { return offsets[0] + offsets[1] + bias; }
+  )"), -32);
+}
+
+TEST(CompilerTest, PutcWritesConsole) {
+  std::string console;
+  EXPECT_EQ(CompileAndRun(R"(
+    fn main() {
+      putc(79);   // 'O'
+      putc(75);   // 'K'
+      return 0;
+    }
+  )", &console), 0);
+  EXPECT_EQ(console, "OK");
+}
+
+TEST(CompilerTest, ExitBuiltinHaltsEarly) {
+  EXPECT_EQ(CompileAndRun(R"(
+    fn main() {
+      exit(33);
+      return 99;   // unreachable
+    }
+  )"), 33);
+}
+
+TEST(CompilerTest, LargeConstants) {
+  EXPECT_EQ(CompileAndRun("fn main() { return 1000000007 % 1000; }"), 7);
+  EXPECT_EQ(CompileAndRun("fn main() { return (1 << 40) >> 35; }"), 32);
+  EXPECT_EQ(CompileAndRun("fn main() { return 0x123456789 & 0xFFF; }"),
+            0x789);
+}
+
+TEST(CompilerTest, UnoptimizedMatchesOptimized) {
+  const std::string source = R"(
+    fn work(n) {
+      var acc = 0;
+      var i = 0;
+      while (i < n) {
+        acc = acc + i * 2 + 1;
+        i = i + 1;
+      }
+      return acc;
+    }
+    fn main() { return work(20); }
+  )";
+  CompileOptions no_opt;
+  no_opt.optimize = false;
+  EXPECT_EQ(CompileAndRun(source), CompileAndRun(source, nullptr, no_opt));
+}
+
+TEST(CompilerTest, UncompressedMatchesCompressed) {
+  const std::string source = R"(
+    fn main() {
+      var x = 17;
+      var y = x * 3;
+      return y - x;
+    }
+  )";
+  CompileOptions wide;
+  wide.compress = false;
+  EXPECT_EQ(CompileAndRun(source), CompileAndRun(source, nullptr, wide));
+}
+
+TEST(CompilerTest, CompressionShrinksText) {
+  const std::string source = R"(
+    fn main() {
+      var sum = 0;
+      var i = 0;
+      while (i < 100) { sum = sum + i; i = i + 1; }
+      return sum;
+    }
+  )";
+  CompileOptions wide, narrow;
+  wide.compress = false;
+  auto w = Compile(source, wide);
+  auto n = Compile(source, narrow);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(n.ok());
+  EXPECT_LT(n->program.text_bytes, w->program.text_bytes);
+  EXPECT_GT(n->program.stats.compressed_fraction(), 0.2);
+}
+
+TEST(CompilerTest, TimingsCoverAllStages) {
+  auto compiled = Compile("fn main() { return 1; }");
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_GE(compiled->timings.size(), 3u);
+  EXPECT_EQ(compiled->timings[0].name, "parse");
+  EXPECT_GT(compiled->TotalMicroseconds(), 0.0);
+}
+
+// --- Error reporting ---------------------------------------------------------
+
+TEST(CompilerErrorTest, SyntaxError) {
+  EXPECT_FALSE(Compile("fn main( { }").ok());
+  EXPECT_FALSE(Compile("fn main() { return 1 }").ok());  // missing ';'
+  EXPECT_FALSE(Compile("fn main() { @ }").ok());
+}
+
+TEST(CompilerErrorTest, SemanticErrors) {
+  EXPECT_FALSE(Compile("fn main() { return nope; }").ok());
+  EXPECT_FALSE(Compile("fn main() { return nope(); }").ok());
+  EXPECT_FALSE(Compile("fn f() { return 1; } fn f() { return 2; }").ok());
+  EXPECT_FALSE(Compile("fn notmain() { return 1; }").ok());
+  EXPECT_FALSE(Compile("fn main() { break; }").ok());
+  EXPECT_FALSE(Compile("fn main() { var x = 1; var x = 2; return x; }").ok());
+}
+
+// --- Pass unit behaviour -------------------------------------------------------
+
+TEST(PassTest, ConstantFoldingFoldsChain) {
+  auto parsed = ParseModule("fn main() { return 2 + 3 * 4; }");
+  ASSERT_TRUE(parsed.ok());
+  auto ir = GenerateIr(*parsed);
+  ASSERT_TRUE(ir.ok());
+  const auto result = FoldConstants(ir->functions[0]);
+  EXPECT_GE(result.changes, 2u);  // both the mul and the add fold
+}
+
+TEST(PassTest, DeadCodeRemovesUnusedConst) {
+  auto parsed = ParseModule("fn main() { var unused = 123; return 0; }");
+  ASSERT_TRUE(parsed.ok());
+  auto ir = GenerateIr(*parsed);
+  ASSERT_TRUE(ir.ok());
+  const size_t before = ir->functions[0].blocks[0].instrs.size();
+  EliminateDeadCode(ir->functions[0]);
+  EXPECT_LT(ir->functions[0].blocks[0].instrs.size(), before);
+}
+
+TEST(PassTest, OptimizationShrinksConstantLoop) {
+  // A loop with a constant-false condition should vanish almost entirely.
+  const std::string source = R"(
+    fn main() {
+      var sum = 0;
+      while (0) { sum = sum + 1; }
+      return sum;
+    }
+  )";
+  CompileOptions opt, no_opt;
+  no_opt.optimize = false;
+  auto optimized = Compile(source, opt);
+  auto plain = Compile(source, no_opt);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_LT(optimized->program.stats.total_instructions,
+            plain->program.stats.total_instructions);
+}
+
+TEST(PassTest, IrDumpIsReadable) {
+  auto parsed = ParseModule("var g[4]; fn main() { g[1] = 7; return g[1]; }");
+  ASSERT_TRUE(parsed.ok());
+  auto ir = GenerateIr(*parsed);
+  ASSERT_TRUE(ir.ok());
+  const std::string dump = DumpIr(*ir);
+  EXPECT_NE(dump.find("fn main"), std::string::npos);
+  EXPECT_NE(dump.find("store g"), std::string::npos);
+  EXPECT_NE(dump.find("load g"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eric::compiler

@@ -1,0 +1,278 @@
+// Unit tests for the crypto substrate: SHA-256 against FIPS 180-2 vectors,
+// XOR cipher properties, AES-128 against FIPS 197, KDF domain separation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/aes128.h"
+#include "crypto/kdf.h"
+#include "crypto/sha256.h"
+#include "crypto/xor_cipher.h"
+#include "support/hex.h"
+#include "support/rng.h"
+
+namespace eric::crypto {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+// --- SHA-256 (FIPS 180-2 / NIST CAVS known answers) ----------------------
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  const auto data = Bytes("abc");
+  EXPECT_EQ(DigestToHex(Sha256::Hash(data)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  const auto data =
+      Bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(DigestToHex(Sha256::Hash(data)),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  const std::vector<uint8_t> chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(DigestToHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingMatchesOneShot) {
+  Xoshiro256 rng(1);
+  std::vector<uint8_t> data(4097);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  const Sha256Digest oneshot = Sha256::Hash(data);
+  // Split at awkward boundaries.
+  for (size_t split : {1ul, 63ul, 64ul, 65ul, 1000ul, 4096ul}) {
+    Sha256 h;
+    h.Update(std::span<const uint8_t>(data.data(), split));
+    h.Update(std::span<const uint8_t>(data.data() + split,
+                                      data.size() - split));
+    EXPECT_EQ(h.Finish(), oneshot) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, ResetReusesObject) {
+  Sha256 h;
+  h.Update(Bytes("abc"));
+  (void)h.Finish();
+  h.Reset();
+  h.Update(Bytes("abc"));
+  EXPECT_EQ(DigestToHex(h.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, BlockCounterTracksCompressions) {
+  Sha256 h;
+  h.Update(std::vector<uint8_t>(128, 0));
+  EXPECT_EQ(h.blocks_processed(), 2u);
+  (void)h.Finish();  // padding adds one more block
+  EXPECT_EQ(h.blocks_processed(), 3u);
+}
+
+TEST(Sha256Test, SingleBitChangesDigest) {
+  std::vector<uint8_t> a(100, 0x55);
+  std::vector<uint8_t> b = a;
+  b[50] ^= 0x01;
+  EXPECT_NE(Sha256::Hash(a), Sha256::Hash(b));
+}
+
+// --- XOR cipher -----------------------------------------------------------
+
+Key256 TestKey(uint8_t fill) {
+  Key256 k;
+  k.fill(fill);
+  return k;
+}
+
+TEST(XorCipherTest, RoundtripIsIdentity) {
+  XorCipher cipher(TestKey(0x42));
+  std::vector<uint8_t> data = Bytes("the secret algorithm");
+  const auto original = data;
+  cipher.Apply(data);
+  EXPECT_NE(data, original);
+  cipher.Apply(data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(XorCipherTest, DifferentKeysDifferentCiphertext) {
+  const auto plain = Bytes("same plaintext bytes");
+  XorCipher a(TestKey(1)), b(TestKey(2));
+  EXPECT_NE(a.Applied(plain), b.Applied(plain));
+}
+
+TEST(XorCipherTest, OffsetAddressing) {
+  // Encrypting [A|B] in one call == encrypting A then B with offsets.
+  XorCipher cipher(TestKey(7));
+  Xoshiro256 rng(2);
+  std::vector<uint8_t> data(300);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+
+  auto whole = cipher.Applied(data);
+  for (size_t split : {1ul, 31ul, 32ul, 33ul, 64ul, 299ul}) {
+    auto part1 = cipher.Applied(
+        std::span<const uint8_t>(data.data(), split), 0);
+    auto part2 = cipher.Applied(
+        std::span<const uint8_t>(data.data() + split, data.size() - split),
+        split);
+    part1.insert(part1.end(), part2.begin(), part2.end());
+    EXPECT_EQ(part1, whole) << "split=" << split;
+  }
+}
+
+TEST(XorCipherTest, KeystreamNotAllZero) {
+  XorCipher cipher(TestKey(0));
+  std::vector<uint8_t> stream(64, 0);
+  cipher.Keystream(0, stream);
+  int nonzero = 0;
+  for (uint8_t b : stream) nonzero += b != 0;
+  EXPECT_GT(nonzero, 48);  // overwhelming majority of bytes nonzero
+}
+
+TEST(XorCipherTest, KeystreamBlocksDiffer) {
+  XorCipher cipher(TestKey(9));
+  std::vector<uint8_t> s1(32, 0), s2(32, 0);
+  cipher.Keystream(0, s1);
+  cipher.Keystream(32, s2);
+  EXPECT_NE(s1, s2);
+}
+
+// --- AES-128 (FIPS 197 Appendix B / C.1) -----------------------------------
+
+TEST(Aes128Test, Fips197AppendixB) {
+  Key128 key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  uint8_t block[16] = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                       0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  Aes128 aes(key);
+  aes.EncryptBlock(std::span<uint8_t, 16>(block, 16));
+  const uint8_t expected[16] = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc,
+                                0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97,
+                                0x19, 0x6a, 0x0b, 0x32};
+  EXPECT_EQ(std::memcmp(block, expected, 16), 0);
+}
+
+TEST(Aes128Test, Fips197AppendixC1) {
+  Key128 key = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  uint8_t block[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                       0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  Aes128 aes(key);
+  aes.EncryptBlock(std::span<uint8_t, 16>(block, 16));
+  const uint8_t expected[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b,
+                                0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
+                                0x70, 0xb4, 0xc5, 0x5a};
+  EXPECT_EQ(std::memcmp(block, expected, 16), 0);
+}
+
+TEST(Aes128Test, CtrRoundtrip) {
+  Key128 key{};
+  key[0] = 1;
+  Aes128 aes(key);
+  std::vector<uint8_t> data = Bytes("counter mode streaming test data!");
+  const auto original = data;
+  aes.ApplyCtr(data);
+  EXPECT_NE(data, original);
+  aes.ApplyCtr(data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(Aes128Test, CtrOffsetAddressing) {
+  Key128 key{};
+  key[5] = 0xAA;
+  Aes128 aes(key);
+  std::vector<uint8_t> data(100, 0x77);
+  auto whole = data;
+  aes.ApplyCtr(whole, 0);
+  for (size_t split : {1ul, 15ul, 16ul, 17ul, 99ul}) {
+    auto copy = data;
+    aes.ApplyCtr(std::span<uint8_t>(copy.data(), split), 0);
+    aes.ApplyCtr(std::span<uint8_t>(copy.data() + split, copy.size() - split),
+                 split);
+    EXPECT_EQ(copy, whole) << split;
+  }
+}
+
+TEST(Aes128Test, CtrBlockCount) {
+  EXPECT_EQ(Aes128::CtrBlockCount(0, 0), 0u);
+  EXPECT_EQ(Aes128::CtrBlockCount(0, 1), 1u);
+  EXPECT_EQ(Aes128::CtrBlockCount(0, 16), 1u);
+  EXPECT_EQ(Aes128::CtrBlockCount(0, 17), 2u);
+  EXPECT_EQ(Aes128::CtrBlockCount(15, 2), 2u);  // straddles a boundary
+}
+
+// --- KDF -------------------------------------------------------------------
+
+TEST(KdfTest, Deterministic) {
+  const Key256 key = TestKey(3);
+  EXPECT_EQ(DeriveKey(key, "label", 7), DeriveKey(key, "label", 7));
+}
+
+TEST(KdfTest, LabelSeparation) {
+  const Key256 key = TestKey(3);
+  EXPECT_NE(DeriveKey(key, "a", 0), DeriveKey(key, "b", 0));
+}
+
+TEST(KdfTest, ContextSeparation) {
+  const Key256 key = TestKey(3);
+  EXPECT_NE(DeriveKey(key, "a", 0), DeriveKey(key, "a", 1));
+}
+
+TEST(KdfTest, KeySeparation) {
+  EXPECT_NE(DeriveKey(TestKey(1), "a", 0), DeriveKey(TestKey(2), "a", 0));
+}
+
+TEST(KdfTest, PufBasedKeyChangesWithEpoch) {
+  const Key256 puf_key = TestKey(0x5A);
+  KeyConfig c1, c2;
+  c2.epoch = 1;
+  EXPECT_NE(DerivePufBasedKey(puf_key, c1), DerivePufBasedKey(puf_key, c2));
+}
+
+TEST(KdfTest, PufBasedKeyChangesWithDomain) {
+  const Key256 puf_key = TestKey(0x5A);
+  KeyConfig c1, c2;
+  c2.domain = "vendor.other";
+  EXPECT_NE(DerivePufBasedKey(puf_key, c1), DerivePufBasedKey(puf_key, c2));
+}
+
+TEST(KdfTest, EnvironmentBindingChangesKey) {
+  const Key256 puf_key = TestKey(0x11);
+  KeyConfig plain, bound;
+  bound.environment_binding = 42;  // e.g. a temperature band
+  EXPECT_NE(DerivePufBasedKey(puf_key, plain),
+            DerivePufBasedKey(puf_key, bound));
+}
+
+TEST(KdfTest, CipherKeyStreamsIndependent) {
+  const Key256 pbk = TestKey(0x77);
+  EXPECT_NE(DeriveCipherKey(pbk, 0), DeriveCipherKey(pbk, 1));
+}
+
+TEST(KdfTest, OneWayness) {
+  // Derived keys must not reveal the parent: spot-check that the derived
+  // key differs from the parent in many byte positions.
+  const Key256 parent = TestKey(0xAB);
+  const Key256 child = DeriveKey(parent, "x", 0);
+  int differing = 0;
+  for (size_t i = 0; i < parent.size(); ++i) differing += parent[i] != child[i];
+  EXPECT_GT(differing, 24);
+}
+
+TEST(KdfTest, Truncation) {
+  const Key256 k = DeriveKey(TestKey(1), "t", 0);
+  const Key128 k128 = TruncateToKey128(k);
+  EXPECT_TRUE(std::equal(k128.begin(), k128.end(), k.begin()));
+}
+
+}  // namespace
+}  // namespace eric::crypto

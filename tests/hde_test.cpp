@@ -1,0 +1,223 @@
+// HDE-internal tests: decryption-walk edge cases, cycle accounting,
+// CipherWalk properties, and hostile-package handling.
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "core/encryption_policy.h"
+#include "core/hde.h"
+#include "core/software_source.h"
+#include "support/rng.h"
+
+namespace eric::core {
+namespace {
+
+constexpr uint64_t kSeed = 0x4DE;
+
+struct Rig {
+  Rig() : hde(kSeed, config), key(hde.EnrollAndShareKey()) {}
+  crypto::KeyConfig config;
+  HardwareDecryptionEngine hde;
+  crypto::Key256 key;
+};
+
+pkg::Package BuildFor(const Rig& rig, const char* program,
+                      const EncryptionPolicy& policy,
+                      compiler::CompileOptions options = {}) {
+  SoftwareSource source(rig.key, rig.config);
+  auto built = source.CompileAndPackage(program, policy, options);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return built->packaging.package;
+}
+
+const char* kTinyProgram = "fn main() { return 7; }";
+
+TEST(HdeTest, CycleAccountingAllUnitsCharge) {
+  Rig rig;
+  const auto package = BuildFor(rig, kTinyProgram, EncryptionPolicy::Full());
+  auto out = rig.hde.Process(package);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out->cycles.key_regeneration, 0u);
+  EXPECT_GT(out->cycles.decryption, 0u);
+  EXPECT_GT(out->cycles.signature, 0u);
+  EXPECT_GT(out->cycles.validation, 0u);
+  EXPECT_EQ(out->cycles.total(),
+            out->cycles.key_regeneration + out->cycles.decryption +
+                out->cycles.signature + out->cycles.validation);
+}
+
+TEST(HdeTest, NoneModeSkipsDecryptionCycles) {
+  Rig rig;
+  const auto package = BuildFor(rig, kTinyProgram, EncryptionPolicy::None());
+  auto out = rig.hde.Process(package);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->cycles.decryption, 0u);
+  EXPECT_GT(out->cycles.signature, 0u);  // hashing still happens
+}
+
+TEST(HdeTest, DecryptionCyclesTrackEncryptedCoverage) {
+  Rig rig;
+  const char* program = R"(
+    fn main() {
+      var s = 0;
+      var i = 0;
+      while (i < 40) { s = s + i; i = i + 1; }
+      return s;
+    }
+  )";
+  const auto full = BuildFor(rig, program, EncryptionPolicy::Full());
+  const auto sparse =
+      BuildFor(rig, program, EncryptionPolicy::PartialRandom(0.25));
+  auto full_out = rig.hde.Process(full);
+  auto sparse_out = rig.hde.Process(sparse);
+  ASSERT_TRUE(full_out.ok());
+  ASSERT_TRUE(sparse_out.ok());
+  // Scattered 2–4 byte fragments cannot amortize 32-byte keystream blocks,
+  // so sparse partial encryption may cost almost as much as full — but
+  // never meaningfully more (the latch makes block generation per-block,
+  // not per-fragment).
+  EXPECT_LE(sparse_out->cycles.decryption,
+            full_out->cycles.decryption + full_out->cycles.decryption / 5);
+  EXPECT_GT(sparse_out->cycles.decryption, 0u);
+}
+
+TEST(HdeTest, DeterministicAcrossRepeatedProcessing) {
+  Rig rig;
+  const auto package = BuildFor(rig, kTinyProgram, EncryptionPolicy::Full());
+  auto first = rig.hde.Process(package);
+  auto second = rig.hde.Process(package);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->image, second->image);
+  EXPECT_EQ(first->cycles.total(), second->cycles.total());
+}
+
+TEST(HdeTest, DecryptedImageBitExact) {
+  Rig rig;
+  SoftwareSource source(rig.key, rig.config);
+  auto built = source.CompileAndPackage(kTinyProgram,
+                                        EncryptionPolicy::PartialRandom(0.5));
+  ASSERT_TRUE(built.ok());
+  auto out = rig.hde.Process(built->packaging.package);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->image, built->compile.program.image);
+}
+
+TEST(HdeTest, MapShorterThanClaimedInstrCountRejected) {
+  Rig rig;
+  auto package = BuildFor(rig, kTinyProgram, EncryptionPolicy::PartialRandom(0.5));
+  package.instr_count += 64;  // walk would overrun the image
+  auto out = rig.hde.Process(package);
+  ASSERT_FALSE(out.ok());
+}
+
+TEST(HdeTest, HostileRandomPackagesNeverValidate) {
+  Rig rig;
+  Xoshiro256 rng(0xBAD5EED);
+  int rejected = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    pkg::Package package;
+    package.mode = static_cast<pkg::EncryptionMode>(rng.NextBounded(4));
+    package.instr_count = static_cast<uint32_t>(rng.NextBounded(50));
+    package.key_epoch = 0;
+    package.text.resize(rng.NextBounded(300));
+    for (auto& b : package.text) b = static_cast<uint8_t>(rng.Next());
+    if (package.mode == pkg::EncryptionMode::kPartial ||
+        package.mode == pkg::EncryptionMode::kField) {
+      package.encryption_map = BitVector(package.instr_count);
+      for (size_t i = 0; i < package.encryption_map.size(); ++i) {
+        package.encryption_map.Set(i, rng.NextBool());
+      }
+    }
+    if (package.mode == pkg::EncryptionMode::kField) {
+      package.field_specs.push_back(
+          {static_cast<uint8_t>(isa::OpClass::kLoad), 20, 31});
+    }
+    for (auto& b : package.signature) b = static_cast<uint8_t>(rng.Next());
+    auto out = rig.hde.Process(package);
+    rejected += !out.ok();
+  }
+  // Forging a SHA-256 match by chance is impossible.
+  EXPECT_EQ(rejected, 100);
+}
+
+// --- CipherWalk properties -------------------------------------------------
+
+TEST(CipherWalkTest, NoneModeTouchesNothing) {
+  std::vector<uint8_t> image(64, 0xAA);
+  CipherWalkInput input;
+  input.image = image;
+  input.mode = pkg::EncryptionMode::kNone;
+  const size_t transformed =
+      CipherWalk(input, [](std::span<uint8_t>, uint64_t) { FAIL(); });
+  EXPECT_EQ(transformed, 0u);
+}
+
+TEST(CipherWalkTest, FullModeTransformsWholeImage) {
+  std::vector<uint8_t> image(64, 0);
+  CipherWalkInput input;
+  input.image = image;
+  input.mode = pkg::EncryptionMode::kFull;
+  size_t called_bytes = 0;
+  const size_t transformed =
+      CipherWalk(input, [&](std::span<uint8_t> data, uint64_t offset) {
+        EXPECT_EQ(offset, 0u);
+        called_bytes = data.size();
+      });
+  EXPECT_EQ(transformed, 64u);
+  EXPECT_EQ(called_bytes, 64u);
+}
+
+TEST(CipherWalkTest, PartialModeRespectsMapAndOffsets) {
+  // Three instructions: sizes 4, 2, 4; map selects #0 and #2.
+  std::vector<uint8_t> image(10, 0);
+  const std::vector<uint8_t> sizes = {4, 2, 4};
+  BitVector map(3);
+  map.Set(0, true);
+  map.Set(2, true);
+  CipherWalkInput input;
+  input.image = image;
+  input.mode = pkg::EncryptionMode::kPartial;
+  input.map = &map;
+  input.instr_sizes = sizes;
+  std::vector<std::pair<uint64_t, size_t>> calls;
+  const size_t transformed =
+      CipherWalk(input, [&](std::span<uint8_t> data, uint64_t offset) {
+        calls.push_back({offset, data.size()});
+      });
+  EXPECT_EQ(transformed, 8u);
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0], (std::pair<uint64_t, size_t>{0, 4}));
+  EXPECT_EQ(calls[1], (std::pair<uint64_t, size_t>{6, 4}));
+}
+
+TEST(CipherWalkTest, EncryptDecryptIsIdentityAcrossModes) {
+  Xoshiro256 rng(5);
+  crypto::Key256 key;
+  for (auto& b : key) b = static_cast<uint8_t>(rng.Next());
+  const crypto::XorCipher cipher(key);
+  const CipherFn fn = [&cipher](std::span<uint8_t> data, uint64_t offset) {
+    cipher.Apply(data, offset);
+  };
+
+  std::vector<uint8_t> image(40);
+  for (auto& b : image) b = static_cast<uint8_t>(rng.Next());
+  const auto original = image;
+  const std::vector<uint8_t> sizes = {4, 4, 2, 4, 2, 4, 4, 2, 4, 2, 4, 4};
+  ASSERT_EQ(static_cast<size_t>(4 + 4 + 2 + 4 + 2 + 4 + 4 + 2 + 4 + 2 + 4 + 4),
+            image.size());
+  BitVector map(sizes.size());
+  for (size_t i = 0; i < sizes.size(); i += 2) map.Set(i, true);
+
+  CipherWalkInput input;
+  input.image = image;
+  input.mode = pkg::EncryptionMode::kPartial;
+  input.map = &map;
+  input.instr_sizes = sizes;
+  CipherWalk(input, fn);
+  EXPECT_NE(image, original);
+  CipherWalk(input, fn);
+  EXPECT_EQ(image, original);
+}
+
+}  // namespace
+}  // namespace eric::core

@@ -1,0 +1,91 @@
+// Resource-model tests: primitive cost sanity and Table II bands.
+#include <gtest/gtest.h>
+
+#include "hw/resource_model.h"
+
+namespace eric::hw {
+namespace {
+
+using namespace primitives;
+
+TEST(PrimitiveTest, RegisterIsOneFfPerBit) {
+  EXPECT_EQ(Register(64).flip_flops, 64u);
+  EXPECT_EQ(Register(64).luts, 0u);
+}
+
+TEST(PrimitiveTest, XorLanePacksTwoBitsPerLut) {
+  EXPECT_EQ(XorLane(64).luts, 32u);
+  EXPECT_EQ(XorLane(1).luts, 1u);
+}
+
+TEST(PrimitiveTest, AdderUsesCarryChain) {
+  EXPECT_EQ(Adder(32).luts, 32u);
+}
+
+TEST(PrimitiveTest, ComparatorHasResultFf) {
+  const Resources r = Comparator(32);
+  EXPECT_EQ(r.flip_flops, 1u);
+  EXPECT_GT(r.luts, 8u);
+}
+
+TEST(PrimitiveTest, MuxGrowsWithWays) {
+  EXPECT_LT(Mux(32, 2).luts, Mux(32, 16).luts);
+}
+
+TEST(PrimitiveTest, FsmStateBits) {
+  EXPECT_EQ(Fsm(4, 0).flip_flops, 2u);
+  EXPECT_EQ(Fsm(5, 0).flip_flops, 3u);
+}
+
+TEST(PrimitiveTest, LutRamByCapacity) {
+  EXPECT_EQ(LutRam(64, 4).luts, 4u);
+  EXPECT_EQ(LutRam(16, 32).luts, 8u);
+}
+
+TEST(NetlistTest, AllFiveUnitsPlusInterconnect) {
+  const auto units = HdeNetlist();
+  ASSERT_EQ(units.size(), 6u);
+  EXPECT_EQ(units[0].name, "PUF Key Generator");
+  EXPECT_EQ(units[3].name, "Signature Generator");
+  for (const auto& unit : units) {
+    EXPECT_GT(unit.resources.luts + unit.resources.flip_flops, 0u)
+        << unit.name;
+  }
+}
+
+TEST(NetlistTest, TotalsMatchSumOfUnits) {
+  Resources sum;
+  for (const auto& unit : HdeNetlist()) sum += unit.resources;
+  const Resources total = HdeTotal();
+  EXPECT_EQ(total.luts, sum.luts);
+  EXPECT_EQ(total.flip_flops, sum.flip_flops);
+}
+
+TEST(Table2Test, OverheadInPaperBand) {
+  // Paper: +2.63 % LUTs, +3.83 % FFs. The structural model must land in
+  // the same band (within one percentage point) for the reproduction to
+  // hold.
+  const Resources hde = HdeTotal();
+  const double lut_pct = 100.0 * hde.luts / kRocketBaseline.luts;
+  const double ff_pct = 100.0 * hde.flip_flops / kRocketBaseline.flip_flops;
+  EXPECT_NEAR(lut_pct, 2.63, 1.0);
+  EXPECT_NEAR(ff_pct, 3.83, 1.0);
+}
+
+TEST(Table2Test, HdeIsSmallVersusCore) {
+  const Resources hde = HdeTotal();
+  EXPECT_LT(hde.luts, kRocketBaseline.luts / 10);
+  EXPECT_LT(hde.flip_flops, kRocketBaseline.flip_flops / 10);
+}
+
+TEST(Table2Test, FormatContainsAllRows) {
+  const std::string table = FormatTable2();
+  EXPECT_NE(table.find("Total Slice LUTs"), std::string::npos);
+  EXPECT_NE(table.find("Total Flip-Flops"), std::string::npos);
+  EXPECT_NE(table.find("Decryption Unit"), std::string::npos);
+  EXPECT_NE(table.find("Validation Unit"), std::string::npos);
+  EXPECT_NE(table.find("PUF Key Generator"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eric::hw

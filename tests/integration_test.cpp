@@ -1,0 +1,165 @@
+// Cross-module integration scenarios that exercise long paths through the
+// whole stack at once — the kind of sequences a deployment would hit.
+#include <gtest/gtest.h>
+
+#include "analysis/static_analysis.h"
+#include "core/encryption_policy.h"
+#include "core/group_key.h"
+#include "core/software_source.h"
+#include "core/trusted_execution.h"
+#include "net/channel.h"
+#include "workloads/workloads.h"
+
+namespace eric {
+namespace {
+
+// One device receives a sequence of different programs under different
+// policies — state (keystream latches, cipher caches) must never bleed
+// between packages.
+TEST(IntegrationTest, BackToBackPackagesOnOneDevice) {
+  crypto::KeyConfig config;
+  core::TrustedDevice device(0x1B7E6, config);
+  core::SoftwareSource source(device.Enroll(), config);
+
+  struct Step {
+    const char* workload;
+    core::EncryptionPolicy policy;
+  };
+  const Step steps[] = {
+      {"bitcount", core::EncryptionPolicy::Full()},
+      {"crc32", core::EncryptionPolicy::PartialRandom(0.3)},
+      {"bitcount", core::EncryptionPolicy::PartialRandom(0.9)},
+      {"sha", core::EncryptionPolicy::None()},
+      {"crc32", core::EncryptionPolicy::Full()},
+  };
+  for (const Step& step : steps) {
+    const auto* w = workloads::FindWorkload(step.workload);
+    ASSERT_NE(w, nullptr);
+    auto built = source.CompileAndPackage(w->source, step.policy);
+    ASSERT_TRUE(built.ok()) << step.workload;
+    auto run = device.ReceiveAndRun(pkg::Serialize(built->packaging.package));
+    ASSERT_TRUE(run.ok()) << step.workload << ": "
+                          << run.status().ToString();
+    EXPECT_EQ(run->exec.exit_code, w->reference()) << step.workload;
+  }
+}
+
+// A rejected (tampered) package must not poison subsequent valid ones.
+TEST(IntegrationTest, RejectionLeavesDeviceUsable) {
+  crypto::KeyConfig config;
+  core::TrustedDevice device(0x1B7E7, config);
+  core::SoftwareSource source(device.Enroll(), config);
+  const auto* w = workloads::FindWorkload("basicmath");
+  auto built = source.CompileAndPackage(w->source,
+                                        core::EncryptionPolicy::Full());
+  ASSERT_TRUE(built.ok());
+  auto wire = pkg::Serialize(built->packaging.package);
+
+  auto tampered = wire;
+  tampered[60] ^= 0x04;
+  EXPECT_FALSE(device.ReceiveAndRun(tampered).ok());
+  auto clean = device.ReceiveAndRun(wire);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->exec.exit_code, w->reference());
+}
+
+// Two sources with different epochs target the same silicon: only the
+// matching-epoch package runs on each configuration.
+TEST(IntegrationTest, EpochIsolationBetweenSources) {
+  const uint64_t seed = 0x1B7E8;
+  crypto::KeyConfig epoch0, epoch1;
+  epoch1.epoch = 1;
+
+  core::TrustedDevice device_e0(seed, epoch0);
+  core::TrustedDevice device_e1(seed, epoch1);  // same chip, rotated KMU
+  core::SoftwareSource source_e0(device_e0.Enroll(), epoch0);
+  core::SoftwareSource source_e1(device_e1.Enroll(), epoch1);
+
+  const auto* w = workloads::FindWorkload("bitcount");
+  auto p0 = source_e0.CompileAndPackage(w->source,
+                                        core::EncryptionPolicy::Full());
+  auto p1 = source_e1.CompileAndPackage(w->source,
+                                        core::EncryptionPolicy::Full());
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p1.ok());
+  const auto wire0 = pkg::Serialize(p0->packaging.package);
+  const auto wire1 = pkg::Serialize(p1->packaging.package);
+
+  EXPECT_TRUE(device_e0.ReceiveAndRun(wire0).ok());
+  EXPECT_FALSE(device_e0.ReceiveAndRun(wire1).ok());
+  EXPECT_TRUE(device_e1.ReceiveAndRun(wire1).ok());
+  EXPECT_FALSE(device_e1.ReceiveAndRun(wire0).ok());
+}
+
+// The full hostile pipeline: group fleet + channel faults + attacker
+// analysis, all in one pass.
+TEST(IntegrationTest, FleetThroughHostileChannel) {
+  crypto::KeyConfig config;
+  auto group = core::DeviceGroup::Provision({0xAA1, 0xAA2, 0xAA3}, config);
+  ASSERT_TRUE(group.ok());
+  core::SoftwareSource source(group->group_key(), config);
+  const auto* w = workloads::FindWorkload("stringsearch");
+  auto built = source.CompileAndPackage(
+      w->source, core::EncryptionPolicy::PartialRandom(0.5));
+  ASSERT_TRUE(built.ok());
+  const auto wire = pkg::Serialize(built->packaging.package);
+
+  // Clean delivery to member 0.
+  {
+    net::Channel channel;
+    auto run = group->RunOnMember(0, channel.Deliver(wire));
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run->exec.exit_code, w->reference());
+  }
+  // Bit-flipped delivery to member 1: rejected.
+  {
+    net::ChannelConfig cfg;
+    cfg.fault = net::ChannelFault::kRandomBitFlips;
+    net::Channel channel(cfg);
+    EXPECT_FALSE(group->RunOnMember(1, channel.Deliver(wire)).ok());
+  }
+  // Attacker captures the wire bytes: the protected fraction is opaque.
+  {
+    const auto parsed = pkg::Parse(wire);
+    ASSERT_TRUE(parsed.ok());
+    const auto report = analysis::SweepDisassemble(std::span<const uint8_t>(
+        parsed->text.data(), built->compile.program.text_bytes));
+    EXPECT_LT(report.valid_fraction(), 0.95);
+  }
+  // Member 2 still fine after all that.
+  {
+    auto run = group->RunOnMember(2, wire);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run->exec.exit_code, w->reference());
+  }
+}
+
+// Console I/O survives the encrypted path byte-for-byte.
+TEST(IntegrationTest, ConsoleOutputThroughEncryptedPath) {
+  crypto::KeyConfig config;
+  core::TrustedDevice device(0x1B7E9, config);
+  core::SoftwareSource source(device.Enroll(), config);
+  const char* program = R"(
+    fn print_digit(d) { putc(48 + d); return 0; }
+    fn main() {
+      var n = 90125;
+      // print digits most-significant first
+      var div = 10000;
+      while (div > 0) {
+        print_digit((n / div) % 10);
+        div = div / 10;
+      }
+      putc(10);
+      return 0;
+    }
+  )";
+  auto built =
+      source.CompileAndPackage(program, core::EncryptionPolicy::Full());
+  ASSERT_TRUE(built.ok());
+  auto run = device.ReceiveAndRun(pkg::Serialize(built->packaging.package));
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->console_output, "90125\n");
+}
+
+}  // namespace
+}  // namespace eric

@@ -1,0 +1,413 @@
+// Unit + property tests for the RISC-V ISA layer: encode/decode roundtrips
+// (32-bit and compressed), field extraction, assembler, disassembler.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/decoder.h"
+#include "isa/disassembler.h"
+#include "isa/encoder.h"
+#include "support/hex.h"
+#include "support/rng.h"
+
+namespace eric::isa {
+namespace {
+
+// Round-trips an instruction through Encode32 -> Decode32 and compares the
+// semantic fields.
+void ExpectRoundtrip32(const Instr& in) {
+  Result<uint32_t> word = Encode32(in);
+  ASSERT_TRUE(word.ok()) << OpName(in.op) << ": " << word.status().ToString();
+  const Instr out = Decode32(*word);
+  EXPECT_EQ(out.op, in.op) << Disassemble(in);
+  EXPECT_EQ(out.rd, in.rd) << Disassemble(in);
+  EXPECT_EQ(out.rs1, in.rs1) << Disassemble(in);
+  EXPECT_EQ(out.rs2, in.rs2) << Disassemble(in);
+  EXPECT_EQ(out.imm, in.imm) << Disassemble(in);
+}
+
+TEST(Encode32Test, BasicAlu) {
+  ExpectRoundtrip32(MakeI(Op::kAddi, 10, 11, 42));
+  ExpectRoundtrip32(MakeI(Op::kAddi, 10, 11, -2048));
+  ExpectRoundtrip32(MakeI(Op::kAndi, 5, 6, -1));
+  ExpectRoundtrip32(MakeR(Op::kAdd, 1, 2, 3));
+  ExpectRoundtrip32(MakeR(Op::kSub, 31, 30, 29));
+  ExpectRoundtrip32(MakeI(Op::kSlli, 7, 7, 63));
+  ExpectRoundtrip32(MakeI(Op::kSrai, 7, 7, 63));
+}
+
+TEST(Encode32Test, UpperImmediates) {
+  ExpectRoundtrip32(MakeLui(10, 0x7FFFF));
+  ExpectRoundtrip32(MakeLui(10, -0x80000));
+  ExpectRoundtrip32(MakeAuipc(11, 12345));
+}
+
+TEST(Encode32Test, LoadsAndStores) {
+  for (Op op : {Op::kLb, Op::kLh, Op::kLw, Op::kLd, Op::kLbu, Op::kLhu,
+                Op::kLwu}) {
+    ExpectRoundtrip32(MakeLoad(op, 10, 2, 2047));
+    ExpectRoundtrip32(MakeLoad(op, 10, 2, -2048));
+  }
+  for (Op op : {Op::kSb, Op::kSh, Op::kSw, Op::kSd}) {
+    ExpectRoundtrip32(MakeStore(op, 10, 2, 2047));
+    ExpectRoundtrip32(MakeStore(op, 10, 2, -2048));
+  }
+}
+
+TEST(Encode32Test, Branches) {
+  for (Op op : {Op::kBeq, Op::kBne, Op::kBlt, Op::kBge, Op::kBltu,
+                Op::kBgeu}) {
+    ExpectRoundtrip32(MakeBranch(op, 1, 2, 4094));
+    ExpectRoundtrip32(MakeBranch(op, 1, 2, -4096));
+    ExpectRoundtrip32(MakeBranch(op, 1, 2, 0));
+  }
+}
+
+TEST(Encode32Test, Jumps) {
+  ExpectRoundtrip32(MakeJal(1, 1048574));
+  ExpectRoundtrip32(MakeJal(0, -1048576));
+  ExpectRoundtrip32(MakeJalr(1, 5, -4));
+}
+
+TEST(Encode32Test, MExtension) {
+  for (Op op : {Op::kMul, Op::kMulh, Op::kMulhsu, Op::kMulhu, Op::kDiv,
+                Op::kDivu, Op::kRem, Op::kRemu, Op::kMulw, Op::kDivw,
+                Op::kDivuw, Op::kRemw, Op::kRemuw}) {
+    ExpectRoundtrip32(MakeR(op, 10, 11, 12));
+  }
+}
+
+TEST(Encode32Test, WForms) {
+  for (Op op : {Op::kAddw, Op::kSubw, Op::kSllw, Op::kSrlw, Op::kSraw}) {
+    ExpectRoundtrip32(MakeR(op, 3, 4, 5));
+  }
+  ExpectRoundtrip32(MakeI(Op::kAddiw, 3, 4, -7));
+  ExpectRoundtrip32(MakeI(Op::kSlliw, 3, 4, 31));
+  ExpectRoundtrip32(MakeI(Op::kSraiw, 3, 4, 31));
+}
+
+TEST(Encode32Test, System) {
+  ExpectRoundtrip32(MakeEcall());
+  ExpectRoundtrip32(MakeEbreak());
+}
+
+TEST(Encode32Test, RejectsOutOfRangeImmediates) {
+  EXPECT_FALSE(Encode32(MakeI(Op::kAddi, 1, 1, 2048)).ok());
+  EXPECT_FALSE(Encode32(MakeI(Op::kAddi, 1, 1, -2049)).ok());
+  EXPECT_FALSE(Encode32(MakeBranch(Op::kBeq, 1, 2, 4096)).ok());
+  EXPECT_FALSE(Encode32(MakeBranch(Op::kBeq, 1, 2, 3)).ok());  // odd
+  EXPECT_FALSE(Encode32(MakeJal(1, 1 << 21)).ok());
+  EXPECT_FALSE(Encode32(MakeI(Op::kSlli, 1, 1, 64)).ok());
+}
+
+TEST(Encode32Test, RejectsInvalidOp) {
+  Instr bad;
+  EXPECT_FALSE(Encode32(bad).ok());
+}
+
+// --- Compressed forms -------------------------------------------------------
+
+// Round-trips through TryEncodeCompressed -> DecodeCompressed.
+void ExpectRoundtripC(const Instr& in) {
+  const auto c16 = TryEncodeCompressed(in);
+  ASSERT_TRUE(c16.has_value()) << Disassemble(in);
+  const Instr out = DecodeCompressed(*c16);
+  EXPECT_TRUE(out.compressed);
+  EXPECT_EQ(out.op, in.op) << Disassemble(in) << " -> " << Disassemble(out);
+  EXPECT_EQ(out.rd, in.rd) << Disassemble(in);
+  EXPECT_EQ(out.rs1, in.rs1) << Disassemble(in);
+  EXPECT_EQ(out.rs2, in.rs2) << Disassemble(in);
+  EXPECT_EQ(out.imm, in.imm) << Disassemble(in);
+}
+
+TEST(CompressedTest, CAddi) { ExpectRoundtripC(MakeI(Op::kAddi, 9, 9, -3)); }
+TEST(CompressedTest, CLi) { ExpectRoundtripC(MakeI(Op::kAddi, 9, 0, 31)); }
+TEST(CompressedTest, CAddi16Sp) {
+  ExpectRoundtripC(MakeI(Op::kAddi, 2, 2, -64));
+  ExpectRoundtripC(MakeI(Op::kAddi, 2, 2, 496));
+}
+TEST(CompressedTest, CAddi4Spn) {
+  ExpectRoundtripC(MakeI(Op::kAddi, 8, 2, 4));
+  ExpectRoundtripC(MakeI(Op::kAddi, 15, 2, 1020));
+}
+TEST(CompressedTest, CAddiw) { ExpectRoundtripC(MakeI(Op::kAddiw, 9, 9, 5)); }
+TEST(CompressedTest, CLui) { ExpectRoundtripC(MakeLui(5, -1)); }
+TEST(CompressedTest, CSlli) { ExpectRoundtripC(MakeI(Op::kSlli, 5, 5, 40)); }
+TEST(CompressedTest, CSrliSrai) {
+  ExpectRoundtripC(MakeI(Op::kSrli, 9, 9, 17));
+  ExpectRoundtripC(MakeI(Op::kSrai, 9, 9, 63));
+}
+TEST(CompressedTest, CAndi) { ExpectRoundtripC(MakeI(Op::kAndi, 10, 10, -17)); }
+TEST(CompressedTest, CRegReg) {
+  for (Op op : {Op::kSub, Op::kXor, Op::kOr, Op::kAnd, Op::kSubw,
+                Op::kAddw}) {
+    ExpectRoundtripC(MakeR(op, 9, 9, 12));
+  }
+}
+TEST(CompressedTest, CMvAdd) {
+  ExpectRoundtripC(MakeR(Op::kAdd, 5, 0, 6));   // c.mv
+  ExpectRoundtripC(MakeR(Op::kAdd, 5, 5, 6));   // c.add
+}
+TEST(CompressedTest, CLoadsStores) {
+  ExpectRoundtripC(MakeLoad(Op::kLw, 9, 10, 64));
+  ExpectRoundtripC(MakeLoad(Op::kLd, 9, 10, 248));
+  ExpectRoundtripC(MakeStore(Op::kSw, 9, 10, 124));
+  ExpectRoundtripC(MakeStore(Op::kSd, 9, 10, 0));
+}
+TEST(CompressedTest, CSpRelative) {
+  ExpectRoundtripC(MakeLoad(Op::kLw, 20, 2, 252));
+  ExpectRoundtripC(MakeLoad(Op::kLd, 20, 2, 504));
+  ExpectRoundtripC(MakeStore(Op::kSw, 20, 2, 252));
+  ExpectRoundtripC(MakeStore(Op::kSd, 20, 2, 504));
+}
+TEST(CompressedTest, CJumps) {
+  ExpectRoundtripC(MakeJal(0, -2048));          // c.j
+  ExpectRoundtripC(MakeJal(0, 2046));
+  ExpectRoundtripC(MakeJalr(0, 5, 0));          // c.jr
+  ExpectRoundtripC(MakeJalr(1, 5, 0));          // c.jalr
+}
+TEST(CompressedTest, CBranches) {
+  ExpectRoundtripC(MakeBranch(Op::kBeq, 9, 0, -256));
+  ExpectRoundtripC(MakeBranch(Op::kBne, 9, 0, 254));
+}
+TEST(CompressedTest, CEbreak) { ExpectRoundtripC(MakeEbreak()); }
+
+TEST(CompressedTest, IneligibleFormsReturnNullopt) {
+  // Wrong register class for c.sub.
+  EXPECT_FALSE(TryEncodeCompressed(MakeR(Op::kSub, 5, 5, 6)).has_value());
+  // Immediate too large for c.addi.
+  EXPECT_FALSE(TryEncodeCompressed(MakeI(Op::kAddi, 9, 9, 100)).has_value());
+  // Unaligned load offset.
+  EXPECT_FALSE(
+      TryEncodeCompressed(MakeLoad(Op::kLd, 9, 10, 4)).has_value());
+  // jalr with nonzero offset.
+  EXPECT_FALSE(TryEncodeCompressed(MakeJalr(0, 5, 8)).has_value());
+  // No compressed form at all.
+  EXPECT_FALSE(TryEncodeCompressed(MakeR(Op::kMul, 9, 9, 10)).has_value());
+}
+
+TEST(CompressedTest, ZeroHalfwordIsInvalid) {
+  EXPECT_EQ(DecodeCompressed(0).op, Op::kInvalid);
+}
+
+// Property sweep: every 16-bit pattern either decodes to kInvalid or, when
+// re-encoded from its decoded form, decodes to the same semantics.
+TEST(CompressedTest, ExhaustiveDecodeIsTotal) {
+  int valid = 0;
+  for (uint32_t raw = 0; raw <= 0xFFFF; ++raw) {
+    if ((raw & 0b11) == 0b11) continue;  // 32-bit marker, not RVC
+    const Instr in = DecodeCompressed(static_cast<uint16_t>(raw));
+    if (in.op == Op::kInvalid) continue;
+    ++valid;
+    // Whatever decoded must also encode in 32-bit form (semantics valid).
+    const auto word = Encode32(in);
+    EXPECT_TRUE(word.ok()) << Hex32(raw) << " " << Disassemble(in);
+  }
+  // RVC space is dense: tens of thousands of the 49k non-wide patterns
+  // decode.
+  EXPECT_GT(valid, 20000);
+}
+
+// --- Stream decoding --------------------------------------------------------
+
+TEST(DecoderTest, StreamMixesWidths) {
+  std::vector<Instr> program = {
+      MakeI(Op::kAddi, 10, 0, 5),   // compressible (c.li)
+      MakeR(Op::kMul, 10, 10, 10),  // 4-byte only
+      MakeEbreak(),                 // c.ebreak
+  };
+  std::vector<uint8_t> bytes;
+  auto offsets = EncodeProgram(program, /*compress=*/true, bytes);
+  ASSERT_TRUE(offsets.ok());
+  EXPECT_EQ(bytes.size(), 2u + 4u + 2u);
+
+  auto decoded = DecodeStream(bytes);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[0].op, Op::kAddi);
+  EXPECT_TRUE((*decoded)[0].compressed);
+  EXPECT_EQ((*decoded)[1].op, Op::kMul);
+  EXPECT_FALSE((*decoded)[1].compressed);
+  EXPECT_EQ((*decoded)[2].op, Op::kEbreak);
+}
+
+TEST(DecoderTest, TruncatedStreamFails) {
+  std::vector<uint8_t> bytes = {0x13};  // half of an addi
+  EXPECT_FALSE(DecodeStream(bytes).ok());
+}
+
+TEST(DecoderTest, DecodeAtRejectsShortBuffer) {
+  std::vector<uint8_t> bytes = {0x93, 0x00};  // 32-bit marker, 2 bytes only
+  EXPECT_FALSE(DecodeAt(bytes, 0).ok());
+}
+
+// --- Classification ----------------------------------------------------------
+
+TEST(ClassTest, MemoryAccessDetection) {
+  EXPECT_TRUE(IsMemoryAccess(Op::kLd));
+  EXPECT_TRUE(IsMemoryAccess(Op::kSb));
+  EXPECT_FALSE(IsMemoryAccess(Op::kAdd));
+  EXPECT_FALSE(IsMemoryAccess(Op::kJal));
+}
+
+TEST(ClassTest, ControlFlowDetection) {
+  EXPECT_TRUE(IsControlFlow(Op::kBeq));
+  EXPECT_TRUE(IsControlFlow(Op::kJalr));
+  EXPECT_FALSE(IsControlFlow(Op::kLd));
+}
+
+TEST(ClassTest, EveryOpHasNameAndClass) {
+  for (int op = 1; op <= static_cast<int>(Op::kRemuw); ++op) {
+    EXPECT_NE(OpName(static_cast<Op>(op)), "<invalid>");
+    EXPECT_NE(ClassOf(static_cast<Op>(op)), OpClass::kInvalid);
+  }
+}
+
+// --- Register names -----------------------------------------------------------
+
+TEST(RegNameTest, AbiRoundtrip) {
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(ParseRegName(AbiRegName(static_cast<uint8_t>(i))), i);
+  }
+}
+
+TEST(RegNameTest, NumericAndAliases) {
+  EXPECT_EQ(ParseRegName("x0"), 0);
+  EXPECT_EQ(ParseRegName("x31"), 31);
+  EXPECT_EQ(ParseRegName("fp"), 8);
+  EXPECT_EQ(ParseRegName("x32"), -1);
+  EXPECT_EQ(ParseRegName("bogus"), -1);
+}
+
+// --- Assembler -----------------------------------------------------------------
+
+TEST(AssemblerTest, BasicProgram) {
+  auto result = Assemble(R"(
+    # compute 5 + 7
+    li a0, 5
+    addi a0, a0, 7
+    ecall
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->instructions.size(), 3u);
+  EXPECT_EQ(result->instructions[0].op, Op::kAddi);
+  EXPECT_EQ(result->instructions[1].imm, 7);
+  EXPECT_EQ(result->instructions[2].op, Op::kEcall);
+}
+
+TEST(AssemblerTest, LabelsAndBranches) {
+  auto result = Assemble(R"(
+    li t0, 3
+  loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    ecall
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // bnez is instruction 2 (index), loop label at instruction 1 -> -4 bytes.
+  EXPECT_EQ(result->instructions[2].op, Op::kBne);
+  EXPECT_EQ(result->instructions[2].imm, -4);
+}
+
+TEST(AssemblerTest, MemoryOperands) {
+  auto result = Assemble("ld a0, 16(sp)\nsd a1, -8(s0)\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->instructions[0].op, Op::kLd);
+  EXPECT_EQ(result->instructions[0].imm, 16);
+  EXPECT_EQ(result->instructions[1].op, Op::kSd);
+  EXPECT_EQ(result->instructions[1].imm, -8);
+  EXPECT_EQ(result->instructions[1].rs1, 8);
+}
+
+TEST(AssemblerTest, LargeLiExpandsToLuiAddiw) {
+  auto result = Assemble("li a0, 0x12345\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->instructions.size(), 2u);
+  EXPECT_EQ(result->instructions[0].op, Op::kLui);
+  EXPECT_EQ(result->instructions[1].op, Op::kAddiw);
+}
+
+TEST(AssemblerTest, PseudoInstructions) {
+  auto result = Assemble(R"(
+    nop
+    mv a0, a1
+    not a2, a3
+    neg a4, a5
+    seqz a6, a7
+    snez t0, t1
+    jr ra
+    ret
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->instructions.size(), 8u);
+  EXPECT_EQ(result->instructions[0].op, Op::kAddi);
+  EXPECT_EQ(result->instructions[6].op, Op::kJalr);
+}
+
+TEST(AssemblerTest, Errors) {
+  EXPECT_FALSE(Assemble("bogus a0, a1\n").ok());
+  EXPECT_FALSE(Assemble("addi a0\n").ok());
+  EXPECT_FALSE(Assemble("j missing_label\n").ok());
+  EXPECT_FALSE(Assemble("x: nop\nx: nop\n").ok());  // duplicate label
+  EXPECT_FALSE(Assemble("ld a0, 8[sp]\n").ok());    // bad mem syntax
+}
+
+// --- Disassembler ----------------------------------------------------------------
+
+TEST(DisassemblerTest, Formats) {
+  EXPECT_EQ(Disassemble(MakeI(Op::kAddi, 10, 11, 42)), "addi a0, a1, 42");
+  EXPECT_EQ(Disassemble(MakeLoad(Op::kLw, 10, 2, 8)), "lw a0, 8(sp)");
+  EXPECT_EQ(Disassemble(MakeStore(Op::kSd, 10, 2, -16)), "sd a0, -16(sp)");
+  EXPECT_EQ(Disassemble(MakeBranch(Op::kBeq, 5, 6, 64)), "beq t0, t1, 64");
+  EXPECT_EQ(Disassemble(MakeEcall()), "ecall");
+  EXPECT_EQ(Disassemble(MakeR(Op::kMul, 1, 2, 3)), "mul ra, sp, gp");
+}
+
+TEST(DisassemblerTest, StreamWithAddresses) {
+  std::vector<uint8_t> bytes;
+  auto offsets = EncodeProgram({MakeNop(), MakeEcall()}, false, bytes);
+  ASSERT_TRUE(offsets.ok());
+  const std::string text = DisassembleStream(bytes, 0x1000);
+  EXPECT_NE(text.find("0x0000000000001000"), std::string::npos);
+  EXPECT_NE(text.find("ecall"), std::string::npos);
+}
+
+// --- Randomized encode/decode property ----------------------------------------
+
+TEST(PropertyTest, RandomRTypeRoundtrip) {
+  Xoshiro256 rng(42);
+  const Op ops[] = {Op::kAdd, Op::kSub, Op::kXor, Op::kOr, Op::kAnd,
+                    Op::kSll, Op::kSrl, Op::kSra, Op::kSlt, Op::kSltu,
+                    Op::kMul, Op::kDiv};
+  for (int i = 0; i < 500; ++i) {
+    const Instr in = MakeR(ops[rng.NextBounded(12)],
+                           static_cast<uint8_t>(rng.NextBounded(32)),
+                           static_cast<uint8_t>(rng.NextBounded(32)),
+                           static_cast<uint8_t>(rng.NextBounded(32)));
+    ExpectRoundtrip32(in);
+  }
+}
+
+TEST(PropertyTest, RandomITypeRoundtrip) {
+  Xoshiro256 rng(43);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t imm = static_cast<int64_t>(rng.NextBounded(4096)) - 2048;
+    ExpectRoundtrip32(MakeI(Op::kAddi,
+                            static_cast<uint8_t>(rng.NextBounded(32)),
+                            static_cast<uint8_t>(rng.NextBounded(32)), imm));
+  }
+}
+
+TEST(PropertyTest, RandomBranchRoundtrip) {
+  Xoshiro256 rng(44);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t imm =
+        (static_cast<int64_t>(rng.NextBounded(4096)) - 2048) * 2;
+    ExpectRoundtrip32(MakeBranch(Op::kBne,
+                                 static_cast<uint8_t>(rng.NextBounded(32)),
+                                 static_cast<uint8_t>(rng.NextBounded(32)),
+                                 imm));
+  }
+}
+
+}  // namespace
+}  // namespace eric::isa

@@ -1,0 +1,137 @@
+// Channel tests + the end-to-end property: no channel fault yields
+// misexecution — every delivery either runs the exact signed program or is
+// rejected by the HDE.
+#include <gtest/gtest.h>
+
+#include "core/encryption_policy.h"
+#include "core/software_source.h"
+#include "core/trusted_execution.h"
+#include "net/channel.h"
+#include "workloads/workloads.h"
+
+namespace eric::net {
+namespace {
+
+TEST(ChannelTest, FaithfulDeliveryByDefault) {
+  Channel channel;
+  const std::vector<uint8_t> bytes = {1, 2, 3, 4, 5};
+  EXPECT_EQ(channel.Deliver(bytes), bytes);
+  EXPECT_EQ(channel.log().back().mutations, 0u);
+}
+
+TEST(ChannelTest, BitFlipsChangeExactlyNBits) {
+  ChannelConfig config;
+  config.fault = ChannelFault::kRandomBitFlips;
+  config.bit_flips = 3;
+  Channel channel(config);
+  const std::vector<uint8_t> original(256, 0);
+  const auto delivered = channel.Deliver(original);
+  int flipped = 0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    flipped += std::popcount(static_cast<unsigned>(original[i] ^ delivered[i]));
+  }
+  // Flips can collide on the same bit (flip back); 3 flips => 1 or 3 bits.
+  EXPECT_GE(flipped, 1);
+  EXPECT_LE(flipped, 3);
+}
+
+TEST(ChannelTest, BytePatchWritesRange) {
+  ChannelConfig config;
+  config.fault = ChannelFault::kBytePatch;
+  config.patch_offset = 4;
+  config.patch_length = 3;
+  config.patch_value = 0xAB;
+  Channel channel(config);
+  const auto delivered = channel.Deliver(std::vector<uint8_t>(16, 0));
+  EXPECT_EQ(delivered[4], 0xAB);
+  EXPECT_EQ(delivered[6], 0xAB);
+  EXPECT_EQ(delivered[3], 0x00);
+  EXPECT_EQ(delivered[7], 0x00);
+}
+
+TEST(ChannelTest, TruncateDropsTail) {
+  ChannelConfig config;
+  config.fault = ChannelFault::kTruncate;
+  config.truncate_bytes = 10;
+  Channel channel(config);
+  EXPECT_EQ(channel.Deliver(std::vector<uint8_t>(64, 1)).size(), 54u);
+}
+
+TEST(ChannelTest, DuplicateDoubles) {
+  ChannelConfig config;
+  config.fault = ChannelFault::kDuplicate;
+  Channel channel(config);
+  EXPECT_EQ(channel.Deliver(std::vector<uint8_t>(10, 2)).size(), 20u);
+}
+
+TEST(ChannelTest, EveryFaultHasName) {
+  for (int f = 0; f <= static_cast<int>(ChannelFault::kDuplicate); ++f) {
+    EXPECT_NE(ChannelFaultName(static_cast<ChannelFault>(f)), "unknown");
+  }
+}
+
+// --- End-to-end integrity property --------------------------------------------
+
+class FaultSweepTest : public ::testing::TestWithParam<ChannelFault> {};
+
+TEST_P(FaultSweepTest, NoFaultCausesMisexecution) {
+  const auto* workload = workloads::FindWorkload("bitcount");
+  ASSERT_NE(workload, nullptr);
+  const int64_t expected = workload->reference();
+
+  crypto::KeyConfig config;
+  core::TrustedDevice device(0x5EED, config);
+  core::SoftwareSource source(device.Enroll(), config);
+  auto built = source.CompileAndPackage(workload->source,
+                                        core::EncryptionPolicy::PartialRandom(0.5));
+  ASSERT_TRUE(built.ok());
+  const auto wire = pkg::Serialize(built->packaging.package);
+
+  // Sweep many channel instances of this fault class (different seeds /
+  // offsets); every delivery must either run correctly or be rejected.
+  int accepted = 0, rejected = 0;
+  for (uint64_t trial = 0; trial < 25; ++trial) {
+    ChannelConfig cfg;
+    cfg.fault = GetParam();
+    cfg.seed = 0x1000 + trial;
+    cfg.bit_flips = 1 + static_cast<uint32_t>(trial % 4);
+    cfg.patch_offset = 36 + trial * 7;  // walk through the body
+    cfg.truncate_bytes = 1 + trial;
+    Channel channel(cfg);
+    const auto delivered = channel.Deliver(wire);
+    auto run = device.ReceiveAndRun(delivered);
+    if (run.ok()) {
+      ++accepted;
+      EXPECT_EQ(run->exec.exit_code, expected)
+          << ChannelFaultName(GetParam()) << " trial " << trial
+          << ": EXECUTED A MODIFIED PROGRAM";
+    } else {
+      ++rejected;
+    }
+  }
+  if (GetParam() == ChannelFault::kNone) {
+    EXPECT_EQ(accepted, 25);
+  } else {
+    // Every mutating fault must be caught every time (mutations == 0 can
+    // happen only for kNone).
+    EXPECT_EQ(accepted, 0) << ChannelFaultName(GetParam());
+    EXPECT_EQ(rejected, 25);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaults, FaultSweepTest,
+    ::testing::Values(ChannelFault::kNone, ChannelFault::kRandomBitFlips,
+                      ChannelFault::kBytePatch, ChannelFault::kTruncate,
+                      ChannelFault::kInstructionPatch,
+                      ChannelFault::kDuplicate),
+    [](const ::testing::TestParamInfo<ChannelFault>& info) {
+      std::string name(ChannelFaultName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace eric::net

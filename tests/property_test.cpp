@@ -1,0 +1,237 @@
+// Parameterized property sweeps: invariants that must hold across whole
+// configuration ranges, not just the defaults.
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "core/encryption_policy.h"
+#include "core/software_source.h"
+#include "core/trusted_execution.h"
+#include "crypto/xor_cipher.h"
+#include "puf/puf_metrics.h"
+#include "sim/soc.h"
+#include "support/rng.h"
+#include "workloads/workloads.h"
+
+namespace eric {
+namespace {
+
+// --- Cache geometry sweep -----------------------------------------------------
+
+struct CacheGeometry {
+  uint32_t size_kib;
+  uint32_t ways;
+};
+
+class CacheGeometryTest : public ::testing::TestWithParam<CacheGeometry> {};
+
+TEST_P(CacheGeometryTest, ExecutionSemanticsIndependentOfGeometry) {
+  const auto* w = workloads::FindWorkload("qsort");
+  auto compiled = compiler::Compile(w->source);
+  ASSERT_TRUE(compiled.ok());
+
+  sim::CpuTiming timing;
+  timing.dcache.size_bytes = GetParam().size_kib * 1024;
+  timing.dcache.ways = GetParam().ways;
+  timing.icache.size_bytes = GetParam().size_kib * 1024;
+  timing.icache.ways = GetParam().ways;
+  sim::Soc soc(timing);
+  soc.LoadProgram(compiled->program.image);
+  const auto stats = soc.Run();
+  // Functional result and instruction count never depend on the cache.
+  EXPECT_EQ(stats.exit_code, w->reference());
+  sim::Soc reference_soc;
+  reference_soc.LoadProgram(compiled->program.image);
+  EXPECT_EQ(stats.instructions, reference_soc.Run().instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(CacheGeometry{4, 1}, CacheGeometry{4, 4},
+                      CacheGeometry{16, 2}, CacheGeometry{16, 4},
+                      CacheGeometry{64, 4}, CacheGeometry{64, 8}),
+    [](const auto& info) {
+      return std::to_string(info.param.size_kib) + "KiB_" +
+             std::to_string(info.param.ways) + "way";
+    });
+
+TEST(CacheGeometryTest, LargerCacheNeverMissesMore) {
+  // LRU is a stack algorithm: with fixed associativity-per-set growth,
+  // a strictly larger cache (same line size, same ways, more sets) cannot
+  // produce more misses on the same trace. Sweep three sizes.
+  const auto* w = workloads::FindWorkload("dijkstra");
+  auto compiled = compiler::Compile(w->source);
+  ASSERT_TRUE(compiled.ok());
+  uint64_t previous_misses = UINT64_MAX;
+  for (uint32_t kib : {2u, 8u, 32u, 128u}) {
+    sim::CpuTiming timing;
+    timing.dcache.size_bytes = kib * 1024;
+    sim::Soc soc(timing);
+    soc.LoadProgram(compiled->program.image);
+    const auto stats = soc.Run();
+    EXPECT_LE(stats.dcache.misses, previous_misses) << kib << " KiB";
+    previous_misses = stats.dcache.misses;
+  }
+}
+
+// --- Encryption fraction sweep --------------------------------------------------
+
+class FractionSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FractionSweepTest, EveryFractionRoundTrips) {
+  const double fraction = GetParam();
+  crypto::KeyConfig config;
+  core::TrustedDevice device(0xF8AC, config);
+  core::SoftwareSource source(device.Enroll(), config);
+  const auto* w = workloads::FindWorkload("bitcount");
+  auto built = source.CompileAndPackage(
+      w->source, core::EncryptionPolicy::PartialRandom(fraction));
+  ASSERT_TRUE(built.ok());
+  // Map density tracks the fraction.
+  const auto& map = built->packaging.package.encryption_map;
+  const double density =
+      static_cast<double>(map.PopCount()) / map.size();
+  EXPECT_NEAR(density, fraction, 0.12);
+  auto run = device.ReceiveAndRun(pkg::Serialize(built->packaging.package));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->exec.exit_code, w->reference());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, FractionSweepTest,
+                         ::testing::Values(0.05, 0.2, 0.35, 0.5, 0.65, 0.8,
+                                           0.95),
+                         [](const auto& info) {
+                           return "f" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+// --- PUF noise sweep --------------------------------------------------------------
+
+class PufNoiseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PufNoiseTest, FuzzyExtractorSurvivesNoise) {
+  puf::PkgConfig config;
+  config.process.noise_sigma = GetParam();
+  puf::PufKeyGenerator pkg(0x90158 + static_cast<uint64_t>(GetParam() * 100),
+                           config);
+  Xoshiro256 enroll_rng(1);
+  const auto enrollment = pkg.Enroll(enroll_rng);
+  int exact = 0;
+  for (uint64_t powerup = 0; powerup < 8; ++powerup) {
+    Xoshiro256 rng(50 + powerup);
+    exact += pkg.RegenerateKey(enrollment.helper, rng) == enrollment.key;
+  }
+  EXPECT_EQ(exact, 8) << "noise " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, PufNoiseTest,
+                         ::testing::Values(0.01, 0.03, 0.06, 0.10, 0.15),
+                         [](const auto& info) {
+                           return "sigma" + std::to_string(static_cast<int>(
+                                                info.param * 100));
+                         });
+
+TEST(PufNoiseTest, ReliabilityDegradesMonotonically) {
+  double previous = 101.0;
+  for (const double sigma : {0.02, 0.1, 0.3, 0.6}) {
+    puf::PufStudyConfig config;
+    config.devices = 24;
+    config.challenges = 48;
+    config.process.noise_sigma = sigma;
+    const auto report = puf::CharacterizeArbiterPuf(config);
+    EXPECT_LT(report.reliability_percent, previous) << sigma;
+    previous = report.reliability_percent;
+  }
+}
+
+// --- Cipher fragmentation property --------------------------------------------------
+
+class FragmentationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FragmentationTest, ArbitraryFragmentationEqualsWholeStream) {
+  // Encrypting a buffer in random-sized fragments (at matching offsets)
+  // must equal encrypting it in one call, for any fragmentation pattern.
+  Xoshiro256 rng(GetParam());
+  crypto::Key256 key;
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(rng.Next());
+  }
+  const crypto::XorCipher cipher(key);
+  std::vector<uint8_t> data(777);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+
+  auto whole = data;
+  cipher.Apply(whole, 5);  // arbitrary base offset
+
+  auto pieces = data;
+  size_t offset = 0;
+  while (offset < pieces.size()) {
+    const size_t take =
+        std::min<size_t>(1 + rng.NextBounded(40), pieces.size() - offset);
+    cipher.Apply(std::span<uint8_t>(pieces.data() + offset, take),
+                 5 + offset);
+    offset += take;
+  }
+  EXPECT_EQ(pieces, whole);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FragmentationTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// --- Random-program differential property ------------------------------------------
+
+// Generates random straight-line arithmetic EricC programs and checks the
+// compiled/simulated result against direct expression evaluation.
+class RandomProgramTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramTest, CompiledMatchesInterpreted) {
+  Xoshiro256 rng(GetParam());
+  // Build a chain: v0 = c0; v1 = v0 op c1; ... return vN % 100000;
+  std::string source = "fn main() {\n  var v0 = " +
+                       std::to_string(rng.NextBounded(1000)) + ";\n";
+  int64_t value = 0;
+  {
+    // Recompute v0.
+    Xoshiro256 replay(GetParam());
+    value = static_cast<int64_t>(replay.NextBounded(1000));
+    rng = replay;
+  }
+  const int steps = 20;
+  for (int i = 1; i <= steps; ++i) {
+    const uint64_t op = rng.NextBounded(6);
+    const int64_t c = static_cast<int64_t>(rng.NextBounded(999)) + 1;
+    const char* op_text;
+    switch (op) {
+      case 0: op_text = "+"; value = value + c; break;
+      case 1: op_text = "-"; value = value - c; break;
+      case 2: op_text = "*"; value = value * c; break;
+      case 3: op_text = "/"; value = value / c; break;
+      case 4: op_text = "^"; value = value ^ c; break;
+      default: op_text = "&"; value = value & c; break;
+    }
+    source += "  var v" + std::to_string(i) + " = v" +
+              std::to_string(i - 1) + " " + op_text + " " +
+              std::to_string(c) + ";\n";
+  }
+  source += "  return v" + std::to_string(steps) + " % 100000;\n}\n";
+  const int64_t expected = value % 100000;
+
+  auto compiled = compiler::Compile(source);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  sim::Soc soc;
+  soc.LoadProgram(compiled->program.image);
+  const auto stats = soc.Run();
+  EXPECT_EQ(stats.halt_reason, sim::HaltReason::kExit);
+  EXPECT_EQ(stats.exit_code, expected) << source;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Range<uint64_t>(100, 120),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace eric
