@@ -6,16 +6,29 @@
 // overhead therefore scales with static-size / runtime — the paper's
 // "direct proportionality between the dynamic size of the program and the
 // performance". Paper: avg +4.13 %, max +7.05 %.
+// Emits BENCH_fig7_exec.json (per-workload cycles + overhead) so the perf
+// trajectory is machine-readable.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "core/software_source.h"
 #include "core/trusted_execution.h"
+#include "support/bench_json.h"
 #include "workloads/workloads.h"
 
 using namespace eric;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_fig7_exec.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_fig7_exec [--out FILE]\n");
+      return 2;
+    }
+  }
   crypto::KeyConfig config;
   core::TrustedDevice device(0xF167, config);
   core::SoftwareSource source(device.Enroll(), config);
@@ -24,6 +37,13 @@ int main() {
               "execution\n");
   std::printf("%-14s %12s %12s %12s %10s\n", "workload", "plain(cyc)",
               "hde(cyc)", "total(cyc)", "overhead");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "fig7_exec");
+  json.Field("policy", "full");
+  json.Key("workloads");
+  json.BeginArray();
 
   double sum = 0.0, worst = 0.0;
   int count = 0;
@@ -46,6 +66,12 @@ int main() {
     const double pct = 100.0 * hde / base;
     std::printf("%-14s %12.0f %12.0f %12.0f %+9.2f%%\n", w.name.c_str(),
                 base, hde, base + hde, pct);
+    json.BeginObject();
+    json.Field("name", w.name);
+    json.Field("plain_cycles", static_cast<uint64_t>(plain.exec.cycles));
+    json.Field("hde_cycles", static_cast<uint64_t>(secure->hde_cycles.total()));
+    json.Field("overhead_pct", pct);
+    json.EndObject();
     sum += pct;
     worst = std::max(worst, pct);
     ++count;
@@ -53,5 +79,17 @@ int main() {
   std::printf("%-14s average +%.2f %%, max +%.2f %%\n", "summary",
               sum / count, worst);
   std::printf("paper:         average +4.13 %%, max +7.05 %%\n");
+
+  json.EndArray();
+  json.Field("average_overhead_pct", sum / count);
+  json.Field("max_overhead_pct", worst);
+  json.Field("paper_average_pct", 4.13);
+  json.Field("paper_max_pct", 7.05);
+  json.EndObject();
+  if (!json.WriteFile(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
   return 0;
 }

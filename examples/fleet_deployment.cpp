@@ -1,65 +1,73 @@
-// Scenario: fleet deployment with group keys + RSA handshake.
+// Scenario: fleet deployment through the fleet distribution subsystem.
 //
-// Combines the paper's two scaling stories: (i) Sec. III.1's group keys —
-// "programs can be created to run on multiple hardware of their own with a
-// single compile step" — and (ii) the future-work RSA key exchange, so the
-// vendor never needs a pre-shared secret channel to the fab.
+// The paper's scaling story (Sec. III.1 group keys — "programs can be
+// created to run on multiple hardware of their own with a single compile
+// step") run through the production-shaped stack: a sharded DeviceRegistry
+// enrolls the fleet, the PackageCache compiles + seals ONCE for the whole
+// group, and the DeploymentEngine pushes the campaign over a lossy channel
+// with retries — while a grey-market clone outside the group stays locked
+// out and a revoked device is skipped.
 //
-// Flow: fab provisions an 8-device group onto one PUF-based key; the fab's
-// enrollment station wraps that group key under the vendor's RSA public
-// key; the vendor unwraps it, compiles ONCE, and every device in the fleet
-// runs the same package — while a 9th device (grey-market clone) rejects it.
+// The vendor still gets the group key through the future-work RSA
+// handshake, so no pre-shared secret channel to the fab is needed.
 #include <cstdio>
 
-#include "core/encryption_policy.h"
-#include "core/group_key.h"
 #include "core/handshake.h"
-#include "core/software_source.h"
+#include "fleet/deployment_engine.h"
 
 int main() {
   using namespace eric;
 
-  crypto::KeyConfig key_config;
-  key_config.domain = "acme.fleet.v1";
   Xoshiro256 rng(0xF1EE7D);
 
-  // Vendor publishes an RSA public key.
+  // Fab side: registry + one product-line group, 8 devices.
+  fleet::RegistryConfig registry_config;
+  registry_config.key_config.domain = "acme.fleet.v1";
+  fleet::DeviceRegistry registry(registry_config);
+  const fleet::GroupId group = registry.CreateGroup("acme-widget-rev-a");
+  for (uint64_t i = 0; i < 8; ++i) {
+    auto id = registry.Enroll(0xFAB000 + i, group);
+    if (!id.ok()) {
+      std::printf("enroll failed: %s\n", id.status().ToString().c_str());
+      return 1;
+    }
+  }
+  auto members = registry.GroupMembers(group);
+  if (!members.ok()) return 1;
+  std::printf("fab: enrolled %zu devices onto one group key\n",
+              members->size());
+
+  // One device falls off a truck; the fab revokes it.
+  const fleet::DeviceId revoked = members->back();
+  if (!registry.Revoke(revoked).ok()) return 1;
+  std::printf("fab: revoked device %llu\n",
+              static_cast<unsigned long long>(revoked));
+
+  // Vendor side: RSA handshake delivers the group key.
   auto vendor_handshake = core::HandshakeInitiator::Create(512, rng);
-  if (!vendor_handshake.ok()) {
+  auto group_key = registry.GroupKey(group);
+  if (!vendor_handshake.ok() || !group_key.ok()) {
     std::printf("handshake setup failed\n");
     return 1;
   }
-
-  // Fab provisions the group.
-  std::vector<uint64_t> fleet_seeds;
-  for (uint64_t i = 0; i < 8; ++i) fleet_seeds.push_back(0xFAB000 + i);
-  auto group = core::DeviceGroup::Provision(fleet_seeds, key_config);
-  if (!group.ok()) {
-    std::printf("provisioning failed: %s\n",
-                group.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("fab: provisioned %zu devices onto one group key\n",
-              group->size());
-
-  // Fab wraps the group key for the vendor (RSA key exchange).
   auto wrapped = crypto::RsaWrapKey(vendor_handshake->public_key(),
-                                    group->group_key(), rng);
-  if (!wrapped.ok()) {
-    std::printf("wrap failed\n");
-    return 1;
-  }
+                                    *group_key, rng);
+  if (!wrapped.ok()) return 1;
   auto vendor_key = vendor_handshake->CompleteHandshake(*wrapped);
-  if (!vendor_key.ok() || !(*vendor_key == group->group_key())) {
+  if (!vendor_key.ok() || !(*vendor_key == *group_key)) {
     std::printf("handshake failed\n");
     return 1;
   }
-  std::printf("vendor: group key received via %zu-byte RSA blob\n",
+  std::printf("vendor: group key received via %zu-byte RSA blob\n\n",
               wrapped->size());
 
-  // Vendor compiles ONCE for the whole fleet.
-  core::SoftwareSource vendor(*vendor_key, key_config);
-  const char* app = R"(
+  // Vendor runs the campaign: the cache compiles + seals once; the engine
+  // retries through a channel that randomly corrupts one delivery in three.
+  fleet::PackageCache cache;
+  fleet::DeploymentEngine engine(registry, cache);
+
+  fleet::CampaignConfig campaign;
+  campaign.source = R"(
     fn main() {
       var check = 0;
       var i = 1;
@@ -67,43 +75,59 @@ int main() {
       return check;
     }
   )";
-  auto built = vendor.CompileAndPackage(
-      app, core::EncryptionPolicy::PartialRandom(0.5));
-  if (!built.ok()) {
-    std::printf("compile failed\n");
+  campaign.policy = core::EncryptionPolicy::PartialRandom(0.5);
+  campaign.group = group;
+  campaign.workers = 4;
+  campaign.max_attempts = 5;
+  campaign.channel.fault = net::ChannelFault::kRandomBitFlips;
+  campaign.fault_rate = 1.0 / 3.0;
+
+  auto report = engine.Run(campaign);
+  if (!report.ok()) {
+    std::printf("campaign failed: %s\n", report.status().ToString().c_str());
     return 1;
   }
-  const auto wire = pkg::Serialize(built->packaging.package);
-  std::printf("vendor: one %zu-byte package for %zu devices\n\n",
-              wire.size(), group->size());
-
-  // Every member runs the same bytes.
-  int succeeded = 0;
-  int64_t expected = -1;
-  for (size_t i = 0; i < group->size(); ++i) {
-    auto run = group->RunOnMember(i, wire);
-    if (run.ok()) {
-      if (expected < 0) expected = run->exec.exit_code;
-      if (run->exec.exit_code == expected) ++succeeded;
-      std::printf("device %zu: ok (exit %lld)\n", i,
-                  static_cast<long long>(run->exec.exit_code));
+  // Every successful run must agree on the result — a "success" with a
+  // divergent exit code would be exactly the misexecution ERIC forbids.
+  int64_t expected_exit = -1;
+  bool exits_agree = true;
+  for (const auto& outcome : report->outcomes) {
+    if (outcome.ok) {
+      if (expected_exit < 0) expected_exit = outcome.exit_code;
+      if (outcome.exit_code != expected_exit) exits_agree = false;
+      std::printf("device %llu: ok (exit %lld, %u attempt%s)\n",
+                  static_cast<unsigned long long>(outcome.device),
+                  static_cast<long long>(outcome.exit_code), outcome.attempts,
+                  outcome.attempts == 1 ? "" : "s");
+    } else if (outcome.revoked) {
+      std::printf("device %llu: skipped (revoked)\n",
+                  static_cast<unsigned long long>(outcome.device));
     } else {
-      std::printf("device %zu: REJECTED (%s)\n", i,
-                  run.status().ToString().c_str());
+      std::printf("device %llu: FAILED (%s)\n",
+                  static_cast<unsigned long long>(outcome.device),
+                  outcome.last_status.ToString().c_str());
     }
   }
+  std::printf("\ncampaign: %zu ok / %zu revoked of %zu targets, "
+              "%llu deliveries (%llu retries), sealed once (%llu cache "
+              "hits)\n",
+              report->succeeded, report->revoked, report->targets,
+              static_cast<unsigned long long>(report->deliveries),
+              static_cast<unsigned long long>(report->retries),
+              static_cast<unsigned long long>(report->cache_artifact_hits));
 
-  // A clone outside the group.
-  core::TrustedDevice clone(0xC107E, key_config);
+  // A clone outside the group receives the same bytes — and rejects them.
+  core::TrustedDevice clone(0xC107E, registry.key_config());
   clone.Enroll();
-  auto pirate_run = clone.ReceiveAndRun(wire);
+  auto artifact = cache.GetOrBuild(campaign.source, *group_key,
+                                   registry.key_config(), campaign.policy);
+  if (!artifact.ok()) return 1;
+  auto pirate_run = clone.ReceiveAndRun((*artifact)->wire);
   std::printf("clone device: %s\n",
               pirate_run.ok() ? "RAN (bug!)" : "rejected");
 
-  std::printf("\nfleet result: %d/%zu members ran one package; clone "
-              "locked out\n",
-              succeeded, group->size());
-  return (succeeded == static_cast<int>(group->size()) && !pirate_run.ok())
-             ? 0
-             : 1;
+  const bool ok = report->succeeded == report->targets - 1 &&
+                  report->revoked == 1 && exits_agree && !pirate_run.ok();
+  std::printf("\nfleet result: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
 }

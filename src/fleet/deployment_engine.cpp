@@ -1,0 +1,245 @@
+#include "fleet/deployment_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "support/stopwatch.h"
+
+namespace eric::fleet {
+
+struct DeploymentEngine::ArtifactMemo {
+  /// One slot per deployment key. The first worker to claim a key builds
+  /// while holding the slot mutex; racing workers block on it instead of
+  /// double-building (which would double-count cache misses and compile
+  /// the same program twice).
+  struct Slot {
+    std::mutex mutex;
+    std::shared_ptr<const CachedArtifact> artifact;  ///< set when built
+    Status error;                                    ///< set on build failure
+  };
+  std::mutex mutex;
+  std::map<crypto::Key256, std::shared_ptr<Slot>> by_key;
+  /// Campaign-local cache attribution. Memo reuse counts as artifact
+  /// hits (the memo only short-circuits the address computation, not the
+  /// reuse); the rest comes from GetOrBuild's per-call stats. Global
+  /// Stats() deltas would cross-contaminate concurrent campaigns.
+  std::atomic<uint64_t> artifact_hits{0};
+  std::atomic<uint64_t> artifact_misses{0};
+  std::atomic<uint64_t> compile_misses{0};
+};
+namespace {
+
+/// Mixes campaign seed, device, and attempt into an independent stream so
+/// fault draws and channel RNGs are reproducible yet uncorrelated.
+uint64_t AttemptSeed(uint64_t campaign_seed, DeviceId device,
+                     uint32_t attempt) {
+  SplitMix64 mixer(campaign_seed ^ (device * 0x9E3779B97F4A7C15ull) ^
+                   attempt);
+  mixer.Next();
+  return mixer.Next();
+}
+
+}  // namespace
+
+DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
+                                          DeviceId device,
+                                          ArtifactMemo& memo) {
+  DeviceOutcome outcome;
+  outcome.device = device;
+
+  // A revoked device is skipped before any sealing or wire work is spent
+  // on it (Dispatch re-checks, closing the revoke-mid-campaign race).
+  auto info = registry_.Lookup(device);
+  if (!info.ok()) {
+    outcome.last_status = info.status();
+    return outcome;
+  }
+  if (info->status == DeviceStatus::kRevoked) {
+    outcome.revoked = true;
+    outcome.last_status =
+        Status(ErrorCode::kFailedPrecondition, "device revoked");
+    return outcome;
+  }
+
+  // Seal (or fetch) the artifact for this device's deployment key. Group
+  // members share a key, so across a campaign this is exactly one build
+  // plus memo hits.
+  auto key = registry_.DeploymentKey(device);
+  if (!key.ok()) {
+    outcome.last_status = key.status();
+    return outcome;
+  }
+  std::shared_ptr<ArtifactMemo::Slot> slot;
+  std::unique_lock<std::mutex> build_lock;
+  {
+    std::lock_guard lock(memo.mutex);
+    auto& entry = memo.by_key[*key];
+    if (entry == nullptr) {
+      entry = std::make_shared<ArtifactMemo::Slot>();
+      // Claim the build while still holding the map lock so racers can
+      // only ever block on the slot, never build.
+      build_lock = std::unique_lock(entry->mutex);
+    }
+    slot = entry;
+  }
+  const bool builder = build_lock.owns_lock();
+  if (builder) {
+    PackageCacheStats call_stats;
+    auto artifact = cache_.GetOrBuild(config.source, *key,
+                                      registry_.key_config(), config.policy,
+                                      registry_.cipher(),
+                                      config.compile_options, &call_stats);
+    memo.artifact_hits.fetch_add(call_stats.artifact_hits,
+                                 std::memory_order_relaxed);
+    memo.artifact_misses.fetch_add(call_stats.artifact_misses,
+                                   std::memory_order_relaxed);
+    memo.compile_misses.fetch_add(call_stats.compile_misses,
+                                  std::memory_order_relaxed);
+    if (artifact.ok()) {
+      slot->artifact = *artifact;
+    } else {
+      slot->error = artifact.status();
+    }
+    build_lock.unlock();
+  }
+  std::shared_ptr<const CachedArtifact> artifact_entry;
+  {
+    std::lock_guard lock(slot->mutex);  // waits out an in-flight build
+    if (slot->artifact == nullptr) {
+      outcome.last_status = slot->error;
+      return outcome;
+    }
+    artifact_entry = slot->artifact;
+    // Memo reuse counts as a hit only once an artifact actually exists.
+    if (!builder) {
+      memo.artifact_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const uint32_t max_attempts = std::max<uint32_t>(config.max_attempts, 1);
+  for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    const uint64_t seed = AttemptSeed(config.campaign_seed, device, attempt);
+
+    net::ChannelConfig channel_config = config.channel;
+    channel_config.seed = seed;
+    Xoshiro256 fault_draw(seed ^ 0xFA017);
+    if (fault_draw.NextDouble() >= config.fault_rate) {
+      channel_config.fault = net::ChannelFault::kNone;
+    }
+    net::Channel channel(channel_config);
+    auto delivered = channel.Deliver(artifact_entry->wire);
+    if (config.delivery_latency_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config.delivery_latency_us));
+    }
+    ++outcome.attempts;
+
+    auto run = registry_.Dispatch(device, delivered, config.arg0, config.arg1);
+    if (run.ok()) {
+      outcome.ok = true;
+      outcome.last_status = Status::Ok();
+      outcome.exit_code = run->exec.exit_code;
+      outcome.device_cycles = run->total_cycles();
+      break;
+    }
+    outcome.last_status = run.status();
+    if (run.status().code() == ErrorCode::kFailedPrecondition ||
+        run.status().code() == ErrorCode::kNotFound) {
+      // Revoked or unknown device: retrying cannot help.
+      outcome.revoked =
+          run.status().code() == ErrorCode::kFailedPrecondition;
+      break;
+    }
+  }
+  outcome.latency_us = MicrosecondsSince(start);
+  return outcome;
+}
+
+Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
+  std::vector<DeviceId> targets = config.devices;
+  if (targets.empty()) {
+    if (config.group == kNoGroup) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "campaign has no devices and no group");
+    }
+    auto members = registry_.GroupMembers(config.group);
+    if (!members.ok()) return members.status();
+    targets = std::move(*members);
+  }
+  if (targets.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "campaign target set is empty");
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+
+  CampaignReport report;
+  report.targets = targets.size();
+  report.outcomes.resize(targets.size());
+
+  // Work-stealing by atomic cursor: each worker claims the next target.
+  // Outcomes land at the target's own index, so no result lock is needed.
+  std::atomic<size_t> cursor{0};
+  ArtifactMemo memo;
+  auto worker_body = [&] {
+    for (;;) {
+      const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= targets.size()) break;
+      report.outcomes[i] = DeployOne(config, targets[i], memo);
+    }
+  };
+
+  const size_t worker_count =
+      std::clamp<size_t>(config.workers, 1, targets.size());
+  if (worker_count == 1) {
+    worker_body();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(worker_count);
+    for (size_t w = 0; w < worker_count; ++w) {
+      workers.emplace_back(worker_body);
+    }
+    for (auto& worker : workers) worker.join();
+  }
+
+  report.wall_ms = MillisecondsSince(start);
+  size_t delivered_to = 0;  // devices that saw at least one delivery
+  for (const auto& outcome : report.outcomes) {
+    if (outcome.ok) {
+      ++report.succeeded;
+    } else if (outcome.revoked) {
+      ++report.revoked;
+    } else {
+      ++report.failed;
+    }
+    report.deliveries += outcome.attempts;
+    report.retries += outcome.attempts > 0 ? outcome.attempts - 1 : 0;
+    report.total_device_cycles += outcome.device_cycles;
+    if (outcome.attempts > 0) {
+      ++delivered_to;
+      report.mean_latency_us += outcome.latency_us;
+      report.max_latency_us = std::max(report.max_latency_us,
+                                       outcome.latency_us);
+    }
+  }
+  if (delivered_to > 0) {
+    report.mean_latency_us /= static_cast<double>(delivered_to);
+  }
+  if (report.wall_ms > 0) {
+    report.devices_per_second =
+        static_cast<double>(report.targets) / (report.wall_ms / 1000.0);
+  }
+
+  report.cache_artifact_hits =
+      memo.artifact_hits.load(std::memory_order_relaxed);
+  report.cache_artifact_misses =
+      memo.artifact_misses.load(std::memory_order_relaxed);
+  report.cache_compile_misses =
+      memo.compile_misses.load(std::memory_order_relaxed);
+  return report;
+}
+
+}  // namespace eric::fleet

@@ -1,0 +1,117 @@
+// Deployment engine: multi-threaded campaigns over the untrusted channel.
+//
+// A campaign takes one program and a target set (a device group or an
+// explicit device list), seals packages through the PackageCache (so a
+// single-group campaign encrypts once), and dispatches over net::Channel
+// with configurable fault injection, per-device retry, and aggregate
+// metrics. Workers overlap delivery latency and per-device HDE work; the
+// end-to-end security property is unchanged from the paper — a faulted
+// delivery is either retried or reported failed, never silently executed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/device_registry.h"
+#include "fleet/package_cache.h"
+#include "net/channel.h"
+
+namespace eric::fleet {
+
+/// Campaign description.
+struct CampaignConfig {
+  /// EricC source to deploy.
+  std::string source;
+  core::EncryptionPolicy policy = core::EncryptionPolicy::Full();
+  compiler::CompileOptions compile_options;
+
+  /// Target set: every member of `group`, or `devices` when non-empty.
+  GroupId group = kNoGroup;
+  std::vector<DeviceId> devices;
+
+  /// Worker threads dispatching in parallel.
+  size_t workers = 1;
+  /// Delivery attempts per device (>= 1).
+  uint32_t max_attempts = 1;
+
+  /// Channel model. `fault_rate` is the probability a given delivery
+  /// suffers `channel.fault`; the remainder deliver faithfully. Each
+  /// attempt draws independently (deterministic in `campaign_seed`).
+  net::ChannelConfig channel;
+  double fault_rate = 0.0;
+  /// Simulated one-way transport latency per delivery, microseconds.
+  /// Workers overlap this — it is what multi-threading buys on the wire.
+  uint32_t delivery_latency_us = 0;
+
+  uint64_t campaign_seed = 0xF1EE7;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+};
+
+/// Per-device campaign outcome.
+struct DeviceOutcome {
+  DeviceId device = 0;
+  bool ok = false;
+  bool revoked = false;      ///< skipped: device was revoked
+  uint32_t attempts = 0;     ///< deliveries performed
+  Status last_status;        ///< final failure (ok() when delivered)
+  int64_t exit_code = 0;
+  uint64_t device_cycles = 0;  ///< HDE + execution cycles on the device
+  /// Wall time across delivery attempts (excludes artifact build/fetch,
+  /// so the first device of a fresh campaign is not an outlier).
+  double latency_us = 0;
+};
+
+/// Campaign-level aggregates.
+struct CampaignReport {
+  std::vector<DeviceOutcome> outcomes;
+
+  size_t targets = 0;
+  size_t succeeded = 0;
+  size_t failed = 0;
+  size_t revoked = 0;
+  uint64_t deliveries = 0;   ///< total channel deliveries (incl. retries)
+  uint64_t retries = 0;      ///< deliveries beyond the first per device
+
+  double wall_ms = 0;
+  double devices_per_second = 0;
+  /// Latency statistics over devices that saw at least one delivery
+  /// (revoked/unknown devices are excluded, not averaged in as zeros).
+  double mean_latency_us = 0;
+  double max_latency_us = 0;
+  uint64_t total_device_cycles = 0;
+
+  /// Cache activity attributable to this campaign (tracked per call, so
+  /// concurrent campaigns sharing one cache do not contaminate each
+  /// other's counts).
+  uint64_t cache_artifact_hits = 0;
+  uint64_t cache_artifact_misses = 0;
+  uint64_t cache_compile_misses = 0;
+};
+
+/// The engine. Stateless across campaigns apart from the shared cache.
+class DeploymentEngine {
+ public:
+  DeploymentEngine(DeviceRegistry& registry, PackageCache& cache)
+      : registry_(registry), cache_(cache) {}
+
+  /// Runs one campaign to completion. Fails fast only on configuration
+  /// errors (empty target set, unknown group); per-device errors —
+  /// including compile failures for unknown keys — land in the report.
+  Result<CampaignReport> Run(const CampaignConfig& config);
+
+ private:
+  /// Per-campaign memo: deployment key -> sealed artifact. Group members
+  /// share a key, so this collapses the cache-address computation (SHA-256
+  /// over the source per device) to once per distinct key per campaign.
+  struct ArtifactMemo;
+
+  DeviceOutcome DeployOne(const CampaignConfig& config, DeviceId device,
+                          ArtifactMemo& memo);
+
+  DeviceRegistry& registry_;
+  PackageCache& cache_;
+};
+
+}  // namespace eric::fleet

@@ -1,0 +1,182 @@
+#include "fleet/device_registry.h"
+
+#include <algorithm>
+
+namespace eric::fleet {
+
+std::string_view DeviceStatusName(DeviceStatus status) {
+  switch (status) {
+    case DeviceStatus::kEnrolled: return "enrolled";
+    case DeviceStatus::kRevoked: return "revoked";
+  }
+  return "unknown";
+}
+
+DeviceRegistry::DeviceRegistry(const RegistryConfig& config)
+    : config_(config) {
+  if (config_.shard_count == 0) config_.shard_count = 1;
+  shards_.reserve(config_.shard_count);
+  for (size_t i = 0; i < config_.shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // The registry's root secret, from which every group key is derived.
+  Xoshiro256 rng(config_.secret_seed);
+  for (auto& byte : group_secret_) byte = static_cast<uint8_t>(rng.Next());
+}
+
+size_t DeviceRegistry::ShardIndex(DeviceId id) const {
+  // Ids are sequential; SplitMix the id so stripes stay balanced even if
+  // callers enroll in bursts.
+  return SplitMix64(id).Next() % shards_.size();
+}
+
+GroupId DeviceRegistry::CreateGroup(std::string label) {
+  std::lock_guard lock(group_mutex_);
+  const GroupId id = next_group_id_++;
+  GroupState state;
+  state.label = std::move(label);
+  state.key = crypto::DeriveKey(group_secret_, "eric.fleet.group", id);
+  groups_.emplace(id, std::move(state));
+  return id;
+}
+
+Result<DeviceId> DeviceRegistry::Enroll(uint64_t device_seed, GroupId group) {
+  crypto::Key256 group_key{};
+  if (group != kNoGroup) {
+    auto key = GroupKey(group);
+    if (!key.ok()) return key.status();
+    group_key = *key;
+  }
+
+  // The expensive part — simulating the silicon and its PUF enrollment —
+  // runs outside every lock.
+  auto record = std::make_unique<DeviceRecord>();
+  record->endpoint = std::make_unique<core::TrustedDevice>(
+      device_seed, config_.key_config, config_.cipher);
+  const crypto::Key256 device_key = record->endpoint->Enroll();
+
+  const DeviceId id = next_device_id_.fetch_add(1, std::memory_order_relaxed);
+  record->info.id = id;
+  record->info.device_seed = device_seed;
+  record->info.group = group;
+  record->info.status = DeviceStatus::kEnrolled;
+  if (group != kNoGroup) {
+    record->info.conversion_mask =
+        core::ApplyConversionMask(device_key, group_key);
+    ERIC_RETURN_IF_ERROR(record->endpoint->hde().ProvisionConversionMask(
+        record->info.conversion_mask));
+    record->deployment_key = group_key;
+  } else {
+    record->deployment_key = device_key;
+  }
+
+  {
+    Shard& shard = ShardFor(id);
+    std::unique_lock lock(shard.mutex);
+    shard.records.emplace(id, std::move(record));
+  }
+  if (group != kNoGroup) {
+    std::lock_guard lock(group_mutex_);
+    groups_.at(group).members.push_back(id);
+  }
+  return id;
+}
+
+Result<DeviceInfo> DeviceRegistry::Lookup(DeviceId id) const {
+  const Shard& shard = ShardFor(id);
+  std::shared_lock lock(shard.mutex);
+  auto it = shard.records.find(id);
+  if (it == shard.records.end()) {
+    return Status(ErrorCode::kNotFound, "unknown device");
+  }
+  return it->second->info;
+}
+
+Status DeviceRegistry::Revoke(DeviceId id) {
+  Shard& shard = ShardFor(id);
+  std::unique_lock lock(shard.mutex);
+  auto it = shard.records.find(id);
+  if (it == shard.records.end()) {
+    return Status(ErrorCode::kNotFound, "unknown device");
+  }
+  if (it->second->info.status == DeviceStatus::kRevoked) {
+    return Status(ErrorCode::kFailedPrecondition, "device already revoked");
+  }
+  it->second->info.status = DeviceStatus::kRevoked;
+  return Status::Ok();
+}
+
+Result<crypto::Key256> DeviceRegistry::DeploymentKey(DeviceId id) const {
+  const Shard& shard = ShardFor(id);
+  std::shared_lock lock(shard.mutex);
+  auto it = shard.records.find(id);
+  if (it == shard.records.end()) {
+    return Status(ErrorCode::kNotFound, "unknown device");
+  }
+  return it->second->deployment_key;
+}
+
+Result<crypto::Key256> DeviceRegistry::GroupKey(GroupId group) const {
+  std::lock_guard lock(group_mutex_);
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return Status(ErrorCode::kNotFound, "unknown group");
+  }
+  return it->second.key;
+}
+
+Result<std::vector<DeviceId>> DeviceRegistry::GroupMembers(
+    GroupId group) const {
+  std::lock_guard lock(group_mutex_);
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return Status(ErrorCode::kNotFound, "unknown group");
+  }
+  return it->second.members;
+}
+
+Result<core::TrustedRunResult> DeviceRegistry::Dispatch(
+    DeviceId id, std::span<const uint8_t> wire_bytes, uint64_t arg0,
+    uint64_t arg1) {
+  // Records are never erased (revocation is a soft delete), so the
+  // pointer stays valid after the shard lock drops; only the endpoint
+  // mutex is held for the (long) device run.
+  DeviceRecord* record = nullptr;
+  {
+    Shard& shard = ShardFor(id);
+    std::shared_lock lock(shard.mutex);
+    auto it = shard.records.find(id);
+    if (it == shard.records.end()) {
+      return Status(ErrorCode::kNotFound, "unknown device");
+    }
+    if (it->second->info.status == DeviceStatus::kRevoked) {
+      return Status(ErrorCode::kFailedPrecondition, "device revoked");
+    }
+    record = it->second.get();
+  }
+  std::lock_guard endpoint_lock(record->endpoint_mutex);
+  return record->endpoint->ReceiveAndRun(wire_bytes, arg0, arg1);
+}
+
+RegistryStats DeviceRegistry::Stats() const {
+  RegistryStats stats;
+  stats.shards = shards_.size();
+  stats.min_shard = ~size_t{0};
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    stats.devices += shard->records.size();
+    for (const auto& [id, record] : shard->records) {
+      if (record->info.status == DeviceStatus::kRevoked) ++stats.revoked;
+    }
+    stats.max_shard = std::max(stats.max_shard, shard->records.size());
+    stats.min_shard = std::min(stats.min_shard, shard->records.size());
+  }
+  if (stats.devices == 0) stats.min_shard = 0;
+  {
+    std::lock_guard lock(group_mutex_);
+    stats.groups = groups_.size();
+  }
+  return stats;
+}
+
+}  // namespace eric::fleet

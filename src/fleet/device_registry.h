@@ -1,0 +1,158 @@
+// Fleet device registry: the distribution service's view of every enrolled
+// device (Sec. III.1 scaled out).
+//
+// The paper's software source holds ONE device's PUF-based key, obtained
+// through a fab-time handshake. A production distribution service holds
+// millions of them. This registry is that database: per-device key
+// material recorded at enrollment, group membership (the paper's
+// conversion-mask mechanism, so one compile serves a whole fleet), and a
+// revocation bit.
+//
+// Concurrency model: the record table is lock-striped across shards so
+// enroll/lookup/revoke from many threads contend only per shard. Each
+// record additionally owns the *simulated* device endpoint (the HDE + SoC
+// that would sit on the far side of the network) behind its own mutex, so
+// concurrent campaigns can dispatch to distinct devices fully in parallel
+// while the shard locks are held only for table lookups.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/group_key.h"
+#include "core/trusted_execution.h"
+#include "crypto/kdf.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace eric::fleet {
+
+using DeviceId = uint64_t;
+using GroupId = uint64_t;
+
+/// Sentinel: device enrolled on its own PUF-based key, no group.
+inline constexpr GroupId kNoGroup = 0;
+
+enum class DeviceStatus : uint8_t { kEnrolled, kRevoked };
+
+std::string_view DeviceStatusName(DeviceStatus status);
+
+/// Public registry view of one device (no endpoint handle, safe to copy).
+struct DeviceInfo {
+  DeviceId id = 0;
+  uint64_t device_seed = 0;
+  GroupId group = kNoGroup;
+  DeviceStatus status = DeviceStatus::kEnrolled;
+  /// Public KMU conversion mask (all-zero for ungrouped devices).
+  crypto::Key256 conversion_mask{};
+};
+
+/// Aggregate registry counters.
+struct RegistryStats {
+  size_t devices = 0;
+  size_t revoked = 0;
+  size_t groups = 0;
+  size_t shards = 0;
+  /// Largest / smallest shard population (stripe balance check).
+  size_t max_shard = 0;
+  size_t min_shard = 0;
+};
+
+/// Registry construction parameters.
+struct RegistryConfig {
+  crypto::KeyConfig key_config;
+  core::CipherKind cipher = core::CipherKind::kXor;
+  size_t shard_count = 16;
+  /// Seeds the registry's group-key secret (deterministic for tests).
+  uint64_t secret_seed = 0x5ECB007;
+};
+
+/// The sharded device registry.
+///
+/// Thread-safe: all public methods may be called concurrently.
+class DeviceRegistry {
+ public:
+  explicit DeviceRegistry(const RegistryConfig& config = {});
+
+  /// Creates a device group with a fresh group key. The key is what the
+  /// software source receives through the (assumed) handshake.
+  GroupId CreateGroup(std::string label);
+
+  /// Enrolls a device: simulates the fab step (PUF enrollment, helper-data
+  /// generation) and, when `group` is not kNoGroup, provisions the KMU
+  /// conversion mask binding the device onto the group key.
+  Result<DeviceId> Enroll(uint64_t device_seed, GroupId group = kNoGroup);
+
+  Result<DeviceInfo> Lookup(DeviceId id) const;
+
+  /// Marks a device revoked. Revoked devices refuse dispatch and are
+  /// reported (not retried) by deployment campaigns.
+  /// kNotFound for unknown ids, kFailedPrecondition if already revoked.
+  Status Revoke(DeviceId id);
+
+  /// The key a software source uses to build packages for this device:
+  /// the group key for grouped devices, the device's own PUF-based key
+  /// otherwise. This is the registry's copy of the handshake result.
+  Result<crypto::Key256> DeploymentKey(DeviceId id) const;
+
+  Result<crypto::Key256> GroupKey(GroupId group) const;
+
+  /// Member ids in enrollment order (includes revoked members).
+  Result<std::vector<DeviceId>> GroupMembers(GroupId group) const;
+
+  /// Delivers wire bytes to the device endpoint (HDE validation + run).
+  /// Fails with kFailedPrecondition for revoked devices.
+  Result<core::TrustedRunResult> Dispatch(DeviceId id,
+                                          std::span<const uint8_t> wire_bytes,
+                                          uint64_t arg0 = 0,
+                                          uint64_t arg1 = 0);
+
+  RegistryStats Stats() const;
+
+  const crypto::KeyConfig& key_config() const { return config_.key_config; }
+  core::CipherKind cipher() const { return config_.cipher; }
+
+ private:
+  struct DeviceRecord {
+    DeviceInfo info;
+    crypto::Key256 deployment_key{};
+    /// Serializes runs on the simulated endpoint (a physical device only
+    /// processes one package at a time).
+    std::mutex endpoint_mutex;
+    std::unique_ptr<core::TrustedDevice> endpoint;
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<DeviceId, std::unique_ptr<DeviceRecord>> records;
+  };
+
+  struct GroupState {
+    std::string label;
+    crypto::Key256 key{};
+    std::vector<DeviceId> members;
+  };
+
+  Shard& ShardFor(DeviceId id) { return *shards_[ShardIndex(id)]; }
+  const Shard& ShardFor(DeviceId id) const { return *shards_[ShardIndex(id)]; }
+  size_t ShardIndex(DeviceId id) const;
+
+  RegistryConfig config_;
+  crypto::Key256 group_secret_{};
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex group_mutex_;
+  std::unordered_map<GroupId, GroupState> groups_;
+  GroupId next_group_id_ = 1;
+
+  std::atomic<DeviceId> next_device_id_{1};
+};
+
+}  // namespace eric::fleet

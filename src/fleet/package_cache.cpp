@@ -1,0 +1,222 @@
+#include "fleet/package_cache.h"
+
+#include <chrono>
+
+#include "pkg/package.h"
+#include "support/stopwatch.h"
+
+namespace eric::fleet {
+namespace {
+
+void AbsorbU64(crypto::Sha256& hasher, uint64_t value) {
+  std::array<uint8_t, 8> bytes;
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<size_t>(i)] = static_cast<uint8_t>(value >> (8 * i));
+  }
+  hasher.Update(bytes);
+}
+
+void AbsorbBytes(crypto::Sha256& hasher, std::span<const uint8_t> bytes) {
+  AbsorbU64(hasher, bytes.size());  // length-prefix: no concat ambiguity
+  hasher.Update(bytes);
+}
+
+void AbsorbString(crypto::Sha256& hasher, std::string_view text) {
+  AbsorbBytes(hasher, {reinterpret_cast<const uint8_t*>(text.data()),
+                       text.size()});
+}
+
+}  // namespace
+
+crypto::Sha256Digest FingerprintPolicy(const core::EncryptionPolicy& policy) {
+  crypto::Sha256 hasher;
+  AbsorbString(hasher, "eric.fleet.policy.v1");
+  AbsorbU64(hasher, static_cast<uint64_t>(policy.mode));
+  AbsorbU64(hasher, static_cast<uint64_t>(policy.strategy));
+  uint64_t fraction_bits;
+  static_assert(sizeof(fraction_bits) == sizeof(policy.fraction));
+  std::memcpy(&fraction_bits, &policy.fraction, sizeof(fraction_bits));
+  AbsorbU64(hasher, fraction_bits);
+  AbsorbU64(hasher, policy.stride);
+  AbsorbU64(hasher, policy.selection_seed);
+  AbsorbU64(hasher, policy.field_specs.size());
+  for (const auto& spec : policy.field_specs) {
+    const std::array<uint8_t, 3> bytes = {spec.op_class, spec.bit_lo,
+                                          spec.bit_hi};
+    hasher.Update(bytes);
+  }
+  return hasher.Finish();
+}
+
+crypto::Sha256Digest FingerprintKeyConfig(const crypto::KeyConfig& config) {
+  crypto::Sha256 hasher;
+  AbsorbString(hasher, "eric.fleet.keyconfig.v1");
+  AbsorbU64(hasher, config.epoch);
+  AbsorbString(hasher, config.domain);
+  AbsorbU64(hasher, config.environment_binding);
+  return hasher.Finish();
+}
+
+PackageCache::PackageCache(const PackageCacheConfig& config)
+    : config_(config) {
+  if (config_.shard_count == 0) config_.shard_count = 1;
+  for (size_t i = 0; i < config_.shard_count; ++i) {
+    program_shards_.push_back(std::make_unique<Shard<CachedProgram>>());
+    artifact_shards_.push_back(std::make_unique<Shard<CachedArtifact>>());
+  }
+}
+
+size_t PackageCache::ShardIndex(const Digest& digest) const {
+  // Digest bytes are uniform; the low word picks the stripe.
+  size_t index;
+  std::memcpy(&index, digest.data() + 8, sizeof(index));
+  return index % config_.shard_count;
+}
+
+template <typename Entry>
+std::shared_ptr<const Entry> PackageCache::Find(Shard<Entry>& shard,
+                                                const Digest& digest) {
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.map.find(digest);
+  if (it == shard.map.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  return it->second.entry;
+}
+
+template <typename Entry>
+void PackageCache::Insert(Shard<Entry>& shard, const Digest& digest,
+                          std::shared_ptr<const Entry> entry,
+                          size_t capacity) {
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.map.find(digest);
+  if (it != shard.map.end()) {
+    // Lost a build race; keep the incumbent (identical by construction).
+    return;
+  }
+  shard.lru.push_front(digest);
+  shard.map.emplace(digest,
+                    typename Shard<Entry>::Slot{std::move(entry),
+                                                shard.lru.begin()});
+  while (shard.map.size() > capacity && !shard.lru.empty()) {
+    const Digest victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.map.erase(victim);
+    std::lock_guard stats_lock(stats_mutex_);
+    ++stats_.evictions;
+  }
+}
+
+Result<std::shared_ptr<const CachedArtifact>> PackageCache::GetOrBuild(
+    std::string_view source, const crypto::Key256& key,
+    const crypto::KeyConfig& key_config, const core::EncryptionPolicy& policy,
+    core::CipherKind cipher, const compiler::CompileOptions& options,
+    PackageCacheStats* call_stats) {
+  // Level-1 address: the plaintext program identity.
+  crypto::Sha256 program_hasher;
+  AbsorbString(program_hasher, "eric.fleet.program.v1");
+  AbsorbString(program_hasher, source);
+  AbsorbU64(program_hasher, options.optimize ? 1 : 0);
+  AbsorbU64(program_hasher, options.compress ? 1 : 0);
+  AbsorbU64(program_hasher, static_cast<uint64_t>(options.opt_rounds));
+  const Digest program_digest = program_hasher.Finish();
+
+  // Level-2 address: program x key fingerprint x policy x cipher. The raw
+  // key is hashed, never stored.
+  crypto::Sha256 artifact_hasher;
+  AbsorbString(artifact_hasher, "eric.fleet.artifact.v1");
+  artifact_hasher.Update(program_digest);
+  artifact_hasher.Update(crypto::Sha256::Hash(key));
+  artifact_hasher.Update(FingerprintPolicy(policy));
+  artifact_hasher.Update(FingerprintKeyConfig(key_config));
+  AbsorbU64(artifact_hasher, static_cast<uint64_t>(cipher));
+  const Digest artifact_digest = artifact_hasher.Finish();
+
+  auto& artifact_shard = *artifact_shards_[ShardIndex(artifact_digest)];
+  if (auto hit = Find(artifact_shard, artifact_digest)) {
+    if (call_stats != nullptr) ++call_stats->artifact_hits;
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.artifact_hits;
+    return hit;
+  }
+
+  // Artifact miss: get the compiled program (level 1), then seal.
+  auto& program_shard = *program_shards_[ShardIndex(program_digest)];
+  std::shared_ptr<const CachedProgram> program = Find(program_shard,
+                                                      program_digest);
+  double compile_us = 0;
+  if (program == nullptr) {
+    const auto start = std::chrono::steady_clock::now();
+    auto compiled = compiler::Compile(source, options);
+    if (!compiled.ok()) return compiled.status();
+    compile_us = MicrosecondsSince(start);
+    auto fresh = std::make_shared<CachedProgram>();
+    fresh->program = std::move(compiled->program);
+    fresh->compile_microseconds = compile_us;
+    program = fresh;
+    Insert(program_shard, program_digest,
+           std::shared_ptr<const CachedProgram>(std::move(fresh)),
+           config_.max_programs_per_shard);
+    if (call_stats != nullptr) ++call_stats->compile_misses;
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.compile_misses;
+  } else {
+    if (call_stats != nullptr) ++call_stats->compile_hits;
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.compile_hits;
+  }
+
+  const auto seal_start = std::chrono::steady_clock::now();
+  core::SoftwareSource sealer(key, key_config, cipher);
+  auto packaged = sealer.BuildPackage(program->program, policy);
+  if (!packaged.ok()) return packaged.status();
+
+  auto artifact = std::make_shared<CachedArtifact>();
+  artifact->wire = pkg::Serialize(packaged->package);
+  artifact->instr_count = packaged->package.instr_count;
+  artifact->compile_microseconds = compile_us;
+  artifact->seal_microseconds = MicrosecondsSince(seal_start);
+
+  if (call_stats != nullptr) ++call_stats->artifact_misses;
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.artifact_misses;
+  }
+  std::shared_ptr<const CachedArtifact> result = artifact;
+  Insert(artifact_shard, artifact_digest,
+         std::shared_ptr<const CachedArtifact>(std::move(artifact)),
+         config_.max_artifacts_per_shard);
+  return result;
+}
+
+PackageCacheStats PackageCache::Stats() const {
+  PackageCacheStats stats;
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats = stats_;
+  }
+  stats.artifact_entries = 0;
+  stats.artifact_bytes = 0;
+  for (const auto& shard : artifact_shards_) {
+    std::lock_guard lock(shard->mutex);
+    stats.artifact_entries += shard->map.size();
+    for (const auto& [digest, slot] : shard->map) {
+      stats.artifact_bytes += slot.entry->wire.size();
+    }
+  }
+  return stats;
+}
+
+void PackageCache::Clear() {
+  for (const auto& shard : program_shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->map.clear();
+    shard->lru.clear();
+  }
+  for (const auto& shard : artifact_shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->map.clear();
+    shard->lru.clear();
+  }
+}
+
+}  // namespace eric::fleet

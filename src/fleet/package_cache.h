@@ -1,0 +1,153 @@
+// Content-addressed package cache: compile and encrypt ONCE per
+// (program, deployment key, encryption policy), reuse across the fleet.
+//
+// The naive fleet path re-runs the whole Fig 6 pipeline — compile, sign,
+// encrypt, package — for every device. But ERIC's group-key mechanism
+// (Sec. III.1) makes the sealed artifact identical for every device that
+// shares a deployment key: the text stream, the encryption map, and the
+// encrypted signature are all functions of (plaintext program, PUF-based
+// key, policy) only. This cache exploits that in two levels:
+//
+//   level 1  compile cache   digest(source, options)          -> program
+//   level 2  artifact cache  digest(program, key, policy, ..) -> wire bytes
+//
+// A 1000-device single-group campaign therefore compiles once and seals
+// once; per-device work drops to delivery + the device's own HDE. Devices
+// with distinct keys still share level 1 — only the sealing (sign +
+// encrypt + package) is redone per key.
+//
+// Keys never enter a cache index: level 2 is addressed by SHA-256 over the
+// program digest, a key *fingerprint* (SHA-256 of the key), and the policy
+// fingerprint, so the cache leaks nothing an attacker with cache access
+// could use.
+//
+// Concurrency: lock-striped LRU shards. On a miss the build runs outside
+// the shard lock; two racing builders for one digest both build (and both
+// count a miss), the first insert is kept — harmless, the artifact is
+// deterministic. Callers that want exactly-once builds serialize per key,
+// as DeploymentEngine's campaign memo does.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/software_source.h"
+#include "crypto/sha256.h"
+#include "support/status.h"
+
+namespace eric::fleet {
+
+/// One sealed, wire-ready artifact.
+struct CachedArtifact {
+  std::vector<uint8_t> wire;        ///< serialized package
+  uint32_t instr_count = 0;
+  double compile_microseconds = 0;  ///< 0 when level 1 hit
+  double seal_microseconds = 0;     ///< sign + encrypt + package time
+};
+
+/// Cache counters. Hit/miss/eviction counts are monotonic (sample before
+/// and after a campaign for deltas); entries/bytes are point-in-time
+/// occupancy recomputed by Stats().
+struct PackageCacheStats {
+  uint64_t artifact_hits = 0;
+  uint64_t artifact_misses = 0;
+  uint64_t compile_hits = 0;
+  uint64_t compile_misses = 0;
+  uint64_t evictions = 0;
+  size_t artifact_entries = 0;
+  size_t artifact_bytes = 0;
+
+  double artifact_hit_rate() const {
+    const uint64_t total = artifact_hits + artifact_misses;
+    return total == 0 ? 0.0 : static_cast<double>(artifact_hits) / total;
+  }
+};
+
+/// Cache sizing.
+struct PackageCacheConfig {
+  size_t shard_count = 8;
+  size_t max_artifacts_per_shard = 512;
+  size_t max_programs_per_shard = 128;
+};
+
+class PackageCache {
+ public:
+  explicit PackageCache(const PackageCacheConfig& config = {});
+
+  /// Returns the wire bytes for `source` sealed under `key` with `policy`,
+  /// building (compile and/or seal) only on miss. The returned pointer is
+  /// immutable and safe to hold across evictions.
+  ///
+  /// When `call_stats` is non-null, this call's own hit/miss events are
+  /// accumulated into it — the per-caller attribution that the global
+  /// Stats() counters cannot provide once multiple campaigns share a cache.
+  Result<std::shared_ptr<const CachedArtifact>> GetOrBuild(
+      std::string_view source, const crypto::Key256& key,
+      const crypto::KeyConfig& key_config, const core::EncryptionPolicy& policy,
+      core::CipherKind cipher = core::CipherKind::kXor,
+      const compiler::CompileOptions& options = {},
+      PackageCacheStats* call_stats = nullptr);
+
+  PackageCacheStats Stats() const;
+
+  /// Drops every entry (key-rotation hook: bump the epoch, then Clear()).
+  void Clear();
+
+ private:
+  using Digest = crypto::Sha256Digest;
+
+  struct DigestHash {
+    size_t operator()(const Digest& d) const {
+      size_t h;
+      static_assert(sizeof(h) <= sizeof(Digest));
+      std::memcpy(&h, d.data(), sizeof(h));
+      return h;
+    }
+  };
+
+  /// One LRU-evicted map stripe. `Entry` is shared_ptr so readers keep
+  /// artifacts alive after eviction.
+  template <typename Entry>
+  struct Shard {
+    std::mutex mutex;
+    std::list<Digest> lru;  ///< front = most recent
+    struct Slot {
+      std::shared_ptr<const Entry> entry;
+      std::list<Digest>::iterator lru_it;
+    };
+    std::unordered_map<Digest, Slot, DigestHash> map;
+  };
+
+  struct CachedProgram {
+    compiler::CompiledProgram program;
+    double compile_microseconds = 0;
+  };
+
+  template <typename Entry>
+  std::shared_ptr<const Entry> Find(Shard<Entry>& shard, const Digest& digest);
+  template <typename Entry>
+  void Insert(Shard<Entry>& shard, const Digest& digest,
+              std::shared_ptr<const Entry> entry, size_t capacity);
+
+  size_t ShardIndex(const Digest& digest) const;
+
+  PackageCacheConfig config_;
+  std::vector<std::unique_ptr<Shard<CachedProgram>>> program_shards_;
+  std::vector<std::unique_ptr<Shard<CachedArtifact>>> artifact_shards_;
+
+  mutable std::mutex stats_mutex_;
+  PackageCacheStats stats_;
+};
+
+/// Stable fingerprints used to form cache addresses (exposed for tests).
+crypto::Sha256Digest FingerprintPolicy(const core::EncryptionPolicy& policy);
+crypto::Sha256Digest FingerprintKeyConfig(const crypto::KeyConfig& config);
+
+}  // namespace eric::fleet

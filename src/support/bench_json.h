@@ -1,0 +1,109 @@
+// Minimal JSON emitter for machine-readable bench results.
+//
+// Benches print human tables to stdout and, with this, also drop a
+// BENCH_*.json file so the perf trajectory can be tracked across commits
+// by tooling instead of eyeballs. Writer, not parser; no external deps.
+//
+// Usage:
+//   JsonWriter json;
+//   json.BeginObject();
+//   json.Field("bench", "fleet_throughput");
+//   json.Field("speedup", 12.5);
+//   json.Key("scaling"); json.BeginArray();
+//     json.BeginObject(); json.Field("workers", 2); json.EndObject();
+//   json.EndArray();
+//   json.EndObject();
+//   json.WriteFile("BENCH_fleet.json");
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace eric {
+
+class JsonWriter {
+ public:
+  void BeginObject() { Separator(); out_ += '{'; first_ = true; }
+  void EndObject() { out_ += '}'; first_ = false; }
+  void BeginArray() { Separator(); out_ += '['; first_ = true; }
+  void EndArray() { out_ += ']'; first_ = false; }
+
+  void Key(std::string_view name) {
+    Separator();
+    AppendString(name);
+    out_ += ':';
+    first_ = true;  // suppress the separator before the value
+  }
+
+  void Value(std::string_view text) { Separator(); AppendString(text); }
+  void Value(const char* text) { Value(std::string_view(text)); }
+  void Value(double number) {
+    Separator();
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", number);
+    out_ += buffer;
+  }
+  void Value(bool flag) { Separator(); out_ += flag ? "true" : "false"; }
+  /// All integer widths in one template: exact-match overloads for every
+  /// (int, unsigned, size_t, uint64_t, ...) caller on every platform —
+  /// size_t vs uint64_t spelling differs across LP64/LLP64 ABIs.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  void Value(T number) {
+    Separator();
+    out_ += std::to_string(number);
+  }
+
+  template <typename T>
+  void Field(std::string_view name, T value) {
+    Key(name);
+    Value(value);
+  }
+
+  const std::string& str() const { return out_; }
+
+  /// Writes the document; returns false on I/O failure.
+  bool WriteFile(const char* path) const {
+    std::FILE* file = std::fopen(path, "w");
+    if (file == nullptr) return false;
+    const size_t written = std::fwrite(out_.data(), 1, out_.size(), file);
+    const bool ok = written == out_.size() && std::fputc('\n', file) != EOF;
+    return std::fclose(file) == 0 && ok;
+  }
+
+ private:
+  void Separator() {
+    if (!first_) out_ += ',';
+    first_ = false;
+  }
+
+  void AppendString(std::string_view text) {
+    out_ += '"';
+    for (char c : text) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out_ += buffer;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool first_ = true;
+};
+
+}  // namespace eric

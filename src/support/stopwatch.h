@@ -1,0 +1,20 @@
+// Shared wall-clock helpers for benches and throughput accounting.
+#pragma once
+
+#include <chrono>
+
+namespace eric {
+
+inline double MicrosecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+inline double MillisecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace eric

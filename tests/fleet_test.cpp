@@ -1,0 +1,363 @@
+// Fleet subsystem tests: sharded registry under concurrency, encrypt-once
+// cache correctness (a cached artifact is exactly as device-bound as a
+// freshly sealed one), and campaign retry behaviour under every channel
+// fault.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "fleet/deployment_engine.h"
+#include "net/channel.h"
+
+namespace eric::fleet {
+namespace {
+
+// sum of i*i for i in 1..10
+constexpr int64_t kTinyProgramResult = 385;
+constexpr const char* kTinyProgram = R"(
+  fn main() {
+    var sum = 0;
+    var i = 1;
+    while (i <= 10) { sum = sum + i * i; i = i + 1; }
+    return sum;
+  }
+)";
+
+// --- DeviceRegistry -----------------------------------------------------------
+
+TEST(DeviceRegistryTest, EnrollLookupRoundTrip) {
+  DeviceRegistry registry;
+  const GroupId group = registry.CreateGroup("g");
+  auto id = registry.Enroll(0xD0, group);
+  ASSERT_TRUE(id.ok());
+
+  auto info = registry.Lookup(*id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->id, *id);
+  EXPECT_EQ(info->device_seed, 0xD0u);
+  EXPECT_EQ(info->group, group);
+  EXPECT_EQ(info->status, DeviceStatus::kEnrolled);
+
+  EXPECT_EQ(registry.Lookup(9999).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(DeviceRegistryTest, GroupedDeviceDeploysWithGroupKey) {
+  DeviceRegistry registry;
+  const GroupId group = registry.CreateGroup("g");
+  auto id = registry.Enroll(0xD1, group);
+  ASSERT_TRUE(id.ok());
+  auto group_key = registry.GroupKey(group);
+  auto deploy_key = registry.DeploymentKey(*id);
+  ASSERT_TRUE(group_key.ok());
+  ASSERT_TRUE(deploy_key.ok());
+  EXPECT_EQ(*group_key, *deploy_key);
+
+  // Ungrouped devices get their own key.
+  auto solo = registry.Enroll(0xD2);
+  ASSERT_TRUE(solo.ok());
+  auto solo_key = registry.DeploymentKey(*solo);
+  ASSERT_TRUE(solo_key.ok());
+  EXPECT_FALSE(*solo_key == *group_key);
+}
+
+TEST(DeviceRegistryTest, RevokeSemantics) {
+  DeviceRegistry registry;
+  auto id = registry.Enroll(0xD3);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(registry.Revoke(12345).code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(registry.Revoke(*id).ok());
+  EXPECT_EQ(registry.Revoke(*id).code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(registry.Lookup(*id)->status, DeviceStatus::kRevoked);
+
+  // Revoked devices refuse dispatch.
+  const std::vector<uint8_t> bytes(16, 0);
+  EXPECT_EQ(registry.Dispatch(*id, bytes).status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(DeviceRegistryTest, ConcurrentEnrollLookupRevoke) {
+  RegistryConfig config;
+  config.shard_count = 8;
+  DeviceRegistry registry(config);
+  const GroupId group = registry.CreateGroup("swarm");
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 16;
+  std::vector<std::vector<DeviceId>> enrolled(kThreads);
+  std::atomic<int> lookup_errors{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto id = registry.Enroll(
+            0xC0FFEE00u + static_cast<uint64_t>(t * kPerThread + i), group);
+        if (!id.ok()) { ++lookup_errors; continue; }
+        enrolled[static_cast<size_t>(t)].push_back(*id);
+        // Immediately read back through the striped table.
+        auto info = registry.Lookup(*id);
+        if (!info.ok() || info->group != group) ++lookup_errors;
+        // Revoke every 4th enrollment from its own thread.
+        if (i % 4 == 3 && !registry.Revoke(*id).ok()) ++lookup_errors;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(lookup_errors.load(), 0);
+  std::set<DeviceId> unique_ids;
+  for (const auto& ids : enrolled) unique_ids.insert(ids.begin(), ids.end());
+  EXPECT_EQ(unique_ids.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+
+  const auto stats = registry.Stats();
+  EXPECT_EQ(stats.devices, static_cast<size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.revoked, static_cast<size_t>(kThreads) * (kPerThread / 4));
+  EXPECT_EQ(stats.groups, 1u);
+  auto members = registry.GroupMembers(group);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members->size(), unique_ids.size());
+}
+
+// --- PackageCache -------------------------------------------------------------
+
+TEST(PackageCacheTest, HitOnSameInputsMissOnDifferent) {
+  DeviceRegistry registry;
+  const GroupId group = registry.CreateGroup("g");
+  ASSERT_TRUE(registry.Enroll(0xCA, group).ok());
+  auto key = registry.GroupKey(group);
+  ASSERT_TRUE(key.ok());
+  const auto policy = core::EncryptionPolicy::Full();
+
+  PackageCache cache;
+  auto first = cache.GetOrBuild(kTinyProgram, *key, registry.key_config(),
+                                policy);
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrBuild(kTinyProgram, *key, registry.key_config(),
+                                 policy);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // same shared artifact
+  EXPECT_EQ(cache.Stats().artifact_hits, 1u);
+  EXPECT_EQ(cache.Stats().artifact_misses, 1u);
+
+  // A different policy re-seals but does not recompile.
+  auto partial = cache.GetOrBuild(kTinyProgram, *key, registry.key_config(),
+                                  core::EncryptionPolicy::PartialRandom(0.5));
+  ASSERT_TRUE(partial.ok());
+  EXPECT_NE(first->get(), partial->get());
+  EXPECT_EQ(cache.Stats().artifact_misses, 2u);
+  EXPECT_EQ(cache.Stats().compile_misses, 1u);
+  EXPECT_EQ(cache.Stats().compile_hits, 1u);
+
+  // A different key epoch is a different artifact address.
+  crypto::KeyConfig rotated = registry.key_config();
+  rotated.epoch = 7;
+  auto rotated_artifact = cache.GetOrBuild(kTinyProgram, *key, rotated,
+                                           policy);
+  ASSERT_TRUE(rotated_artifact.ok());
+  EXPECT_EQ(cache.Stats().artifact_misses, 3u);
+}
+
+TEST(PackageCacheTest, CachedArtifactValidatesOnMembersRejectsElsewhere) {
+  DeviceRegistry registry;
+  const GroupId group = registry.CreateGroup("g");
+  std::vector<DeviceId> members;
+  for (uint64_t i = 0; i < 5; ++i) {
+    auto id = registry.Enroll(0xCAFE00 + i, group);
+    ASSERT_TRUE(id.ok());
+    members.push_back(*id);
+  }
+  // A device enrolled on its own key and one in a different group.
+  auto outsider = registry.Enroll(0xBAD);
+  ASSERT_TRUE(outsider.ok());
+  const GroupId other_group = registry.CreateGroup("other");
+  auto other_member = registry.Enroll(0xBAD2, other_group);
+  ASSERT_TRUE(other_member.ok());
+
+  auto key = registry.GroupKey(group);
+  ASSERT_TRUE(key.ok());
+  PackageCache cache;
+  auto artifact = cache.GetOrBuild(
+      kTinyProgram, *key, registry.key_config(),
+      core::EncryptionPolicy::PartialRandom(0.5));
+  ASSERT_TRUE(artifact.ok());
+
+  // The one cached artifact validates and runs on EVERY group member...
+  for (DeviceId member : members) {
+    auto run = registry.Dispatch(member, (*artifact)->wire);
+    ASSERT_TRUE(run.ok()) << "member " << member << ": "
+                          << run.status().ToString();
+    EXPECT_EQ(run->exec.exit_code, kTinyProgramResult);
+  }
+  // ...and only cache hits were spent serving them.
+  EXPECT_EQ(cache.Stats().artifact_misses, 1u);
+
+  // Non-members reject the same bytes (wrong PUF-based key -> bad digest).
+  for (DeviceId stranger : {*outsider, *other_member}) {
+    auto run = registry.Dispatch(stranger, (*artifact)->wire);
+    EXPECT_FALSE(run.ok()) << "non-member " << stranger << " ran the package";
+  }
+}
+
+TEST(PackageCacheTest, LruEvictsAtCapacity) {
+  PackageCacheConfig config;
+  config.shard_count = 1;
+  config.max_artifacts_per_shard = 2;
+  PackageCache cache(config);
+
+  DeviceRegistry registry;
+  auto id = registry.Enroll(0xE1);
+  ASSERT_TRUE(id.ok());
+  auto key = registry.DeploymentKey(*id);
+  ASSERT_TRUE(key.ok());
+
+  // Three distinct artifacts through a 2-slot shard.
+  for (uint64_t epoch = 0; epoch < 3; ++epoch) {
+    crypto::KeyConfig config_epoch = registry.key_config();
+    config_epoch.epoch = epoch;
+    ASSERT_TRUE(cache.GetOrBuild(kTinyProgram, *key, config_epoch,
+                                 core::EncryptionPolicy::Full())
+                    .ok());
+  }
+  const auto stats = cache.Stats();
+  EXPECT_EQ(stats.artifact_misses, 3u);
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.artifact_entries, 2u);
+}
+
+// --- DeploymentEngine ---------------------------------------------------------
+
+struct FleetFixture {
+  FleetFixture(size_t member_count, GroupId* group_out) {
+    *group_out = registry.CreateGroup("fleet");
+    for (uint64_t i = 0; i < member_count; ++i) {
+      auto id = registry.Enroll(0xF00 + i, *group_out);
+      EXPECT_TRUE(id.ok());
+    }
+  }
+  DeviceRegistry registry;
+  PackageCache cache;
+};
+
+TEST(DeploymentEngineTest, CleanCampaignSealsOnceAndRunsEverywhere) {
+  GroupId group;
+  FleetFixture fleet(6, &group);
+  DeploymentEngine engine(fleet.registry, fleet.cache);
+
+  CampaignConfig campaign;
+  campaign.source = kTinyProgram;
+  campaign.group = group;
+  campaign.workers = 3;
+  auto report = engine.Run(campaign);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->targets, 6u);
+  EXPECT_EQ(report->succeeded, 6u);
+  EXPECT_EQ(report->failed, 0u);
+  EXPECT_EQ(report->deliveries, 6u);
+  EXPECT_EQ(report->retries, 0u);
+  for (const auto& outcome : report->outcomes) {
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.exit_code, kTinyProgramResult);
+    EXPECT_EQ(outcome.attempts, 1u);
+  }
+  // Encrypt-once: one miss, the rest hits.
+  EXPECT_EQ(report->cache_artifact_misses, 1u);
+  EXPECT_EQ(report->cache_artifact_hits, 5u);
+  EXPECT_EQ(report->cache_compile_misses, 1u);
+}
+
+TEST(DeploymentEngineTest, RevokedDevicesAreSkippedNotRetried) {
+  GroupId group;
+  FleetFixture fleet(4, &group);
+  auto members = fleet.registry.GroupMembers(group);
+  ASSERT_TRUE(members.ok());
+  ASSERT_TRUE(fleet.registry.Revoke(members->front()).ok());
+
+  DeploymentEngine engine(fleet.registry, fleet.cache);
+  CampaignConfig campaign;
+  campaign.source = kTinyProgram;
+  campaign.group = group;
+  campaign.max_attempts = 5;
+  auto report = engine.Run(campaign);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->succeeded, 3u);
+  EXPECT_EQ(report->revoked, 1u);
+  for (const auto& outcome : report->outcomes) {
+    if (outcome.revoked) {
+      // Skipped before any wire work: no deliveries spent on it at all.
+      EXPECT_EQ(outcome.attempts, 0u);
+      EXPECT_EQ(outcome.last_status.code(), ErrorCode::kFailedPrecondition);
+    }
+  }
+  // Only the three live devices consumed deliveries.
+  EXPECT_EQ(report->deliveries, 3u);
+}
+
+TEST(DeploymentEngineTest, EmptyCampaignIsAnError) {
+  DeviceRegistry registry;
+  PackageCache cache;
+  DeploymentEngine engine(registry, cache);
+  CampaignConfig campaign;
+  campaign.source = kTinyProgram;
+  EXPECT_EQ(engine.Run(campaign).status().code(), ErrorCode::kInvalidArgument);
+}
+
+// Retry behaviour under every channel fault: with a 50 % fault rate and a
+// deep retry budget, every device eventually lands a clean delivery, no
+// faulted delivery ever executes, and mutating faults show real retries.
+class CampaignFaultTest : public ::testing::TestWithParam<net::ChannelFault> {};
+
+TEST_P(CampaignFaultTest, RetriesUntilCleanDelivery) {
+  GroupId group;
+  FleetFixture fleet(8, &group);
+  DeploymentEngine engine(fleet.registry, fleet.cache);
+
+  CampaignConfig campaign;
+  campaign.source = kTinyProgram;
+  campaign.group = group;
+  campaign.workers = 2;
+  campaign.max_attempts = 40;  // p(fail) = 0.5^40 per device
+  campaign.channel.fault = GetParam();
+  campaign.channel.patch_offset = 40;  // inside the text section
+  campaign.fault_rate = 0.5;
+  campaign.campaign_seed = 0xFA015 + static_cast<uint64_t>(GetParam());
+
+  auto report = engine.Run(campaign);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->succeeded, 8u) << net::ChannelFaultName(GetParam());
+  for (const auto& outcome : report->outcomes) {
+    ASSERT_TRUE(outcome.ok);
+    // A faulted delivery must never execute: success always means the
+    // signed program ran bit-exact.
+    EXPECT_EQ(outcome.exit_code, kTinyProgramResult)
+        << net::ChannelFaultName(GetParam()) << ": MISEXECUTION";
+  }
+  if (GetParam() == net::ChannelFault::kNone) {
+    EXPECT_EQ(report->retries, 0u);
+  } else {
+    // 8 devices at 50 % first-attempt fault rate: retries are all but
+    // certain (p(none) = 0.5^8), and every retry stems from a rejection.
+    EXPECT_GT(report->retries, 0u) << net::ChannelFaultName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaults, CampaignFaultTest,
+    ::testing::Values(net::ChannelFault::kNone,
+                      net::ChannelFault::kRandomBitFlips,
+                      net::ChannelFault::kBytePatch,
+                      net::ChannelFault::kTruncate,
+                      net::ChannelFault::kInstructionPatch,
+                      net::ChannelFault::kDuplicate),
+    [](const ::testing::TestParamInfo<net::ChannelFault>& info) {
+      std::string name(net::ChannelFaultName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace eric::fleet

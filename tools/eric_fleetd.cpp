@@ -1,0 +1,243 @@
+// eric_fleetd — fleet deployment campaigns from the command line.
+//
+// Stands up a simulated fleet (registry + enrolled devices), then runs a
+// deployment campaign through the encrypt-once package cache and the
+// multi-threaded engine, printing per-device outcomes and aggregates.
+//
+//   eric_fleetd --devices 100 [--groups 4] [--workers 8] [--attempts 3]
+//               [--fault none|bitflips|bytepatch|truncate|instrpatch|dup]
+//               [--fault-rate 0.3] [--latency-us 1000]
+//               [--mode full|partial|field|none] [--fraction 0.5]
+//               [--revoke K] [--source FILE] [--workload NAME]
+//               [--json FILE] [--verbose]
+//
+// With no --source/--workload, deploys the crc32 workload. --revoke K
+// revokes every K-th device before the campaign to show revocation
+// handling in the report.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fleet/deployment_engine.h"
+#include "support/bench_json.h"
+#include "workloads/workloads.h"
+
+using namespace eric;
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: eric_fleetd --devices N [--groups G] [--workers W]\n"
+      "                   [--attempts K] [--fault KIND] [--fault-rate P]\n"
+      "                   [--latency-us U] [--mode M] [--fraction F]\n"
+      "                   [--revoke K] [--source FILE] [--workload NAME]\n"
+      "                   [--json FILE] [--verbose]\n");
+}
+
+bool ParseFault(const std::string& name, net::ChannelFault* fault) {
+  if (name == "none") *fault = net::ChannelFault::kNone;
+  else if (name == "bitflips") *fault = net::ChannelFault::kRandomBitFlips;
+  else if (name == "bytepatch") *fault = net::ChannelFault::kBytePatch;
+  else if (name == "truncate") *fault = net::ChannelFault::kTruncate;
+  else if (name == "instrpatch") *fault = net::ChannelFault::kInstructionPatch;
+  else if (name == "dup") *fault = net::ChannelFault::kDuplicate;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t devices = 0, groups = 1, workers = 4, revoke_every = 0;
+  uint32_t attempts = 1, latency_us = 0;
+  double fault_rate = -1.0, fraction = 0.5;  // -1: not set, derived below
+  std::string fault_name = "none", mode = "partial";
+  std::string source_path, workload_name, json_path;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto arg = [&](const char* name) {
+      return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
+    };
+    if (arg("--devices")) devices = std::strtoull(argv[++i], nullptr, 0);
+    else if (arg("--groups")) groups = std::strtoull(argv[++i], nullptr, 0);
+    else if (arg("--workers")) workers = std::strtoull(argv[++i], nullptr, 0);
+    else if (arg("--attempts")) attempts = static_cast<uint32_t>(
+        std::strtoul(argv[++i], nullptr, 0));
+    else if (arg("--fault")) fault_name = argv[++i];
+    else if (arg("--fault-rate")) fault_rate = std::atof(argv[++i]);
+    else if (arg("--latency-us")) latency_us = static_cast<uint32_t>(
+        std::strtoul(argv[++i], nullptr, 0));
+    else if (arg("--mode")) mode = argv[++i];
+    else if (arg("--fraction")) fraction = std::atof(argv[++i]);
+    else if (arg("--revoke")) revoke_every = std::strtoull(argv[++i], nullptr, 0);
+    else if (arg("--source")) source_path = argv[++i];
+    else if (arg("--workload")) workload_name = argv[++i];
+    else if (arg("--json")) json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--verbose") == 0) verbose = true;
+    else { Usage(); return 2; }
+  }
+  if (devices == 0 || groups == 0) { Usage(); return 2; }
+
+  // Program to deploy.
+  std::string program_source;
+  std::string program_name;
+  if (!source_path.empty()) {
+    std::ifstream in(source_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", source_path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    program_source = buffer.str();
+    program_name = source_path;
+  } else {
+    if (workload_name.empty()) workload_name = "crc32";
+    const auto* workload = workloads::FindWorkload(workload_name);
+    if (workload == nullptr) {
+      std::fprintf(stderr, "unknown workload %s\n", workload_name.c_str());
+      return 1;
+    }
+    program_source = workload->source;
+    program_name = workload->name;
+  }
+
+  core::EncryptionPolicy policy;
+  compiler::CompileOptions compile_options;
+  if (mode == "full") policy = core::EncryptionPolicy::Full();
+  else if (mode == "partial") policy = core::EncryptionPolicy::PartialRandom(fraction);
+  else if (mode == "field") {
+    policy = core::EncryptionPolicy::FieldLevelPointers();
+    compile_options.compress = false;  // field rules address 32-bit encodings
+  } else if (mode == "none") policy = core::EncryptionPolicy::None();
+  else { Usage(); return 2; }
+
+  net::ChannelConfig channel;
+  if (!ParseFault(fault_name, &channel.fault)) { Usage(); return 2; }
+  // --fault without --fault-rate means "fault every delivery": a named
+  // fault that never fires would silently test nothing.
+  if (fault_rate < 0) {
+    fault_rate = channel.fault == net::ChannelFault::kNone ? 0.0 : 1.0;
+  }
+
+  // --- Stand up the fleet ---------------------------------------------------
+  fleet::RegistryConfig registry_config;
+  registry_config.key_config.domain = "fleetd.v1";
+  fleet::DeviceRegistry registry(registry_config);
+
+  std::vector<fleet::GroupId> group_ids;
+  for (size_t g = 0; g < groups; ++g) {
+    group_ids.push_back(registry.CreateGroup("group-" + std::to_string(g)));
+  }
+  std::vector<fleet::DeviceId> all_devices;
+  for (size_t i = 0; i < devices; ++i) {
+    auto id = registry.Enroll(0xF1EED000 + i, group_ids[i % groups]);
+    if (!id.ok()) {
+      std::fprintf(stderr, "enroll failed: %s\n",
+                   id.status().ToString().c_str());
+      return 1;
+    }
+    all_devices.push_back(*id);
+  }
+  size_t revoked_count = 0;
+  if (revoke_every > 0) {
+    for (size_t i = revoke_every - 1; i < all_devices.size();
+         i += revoke_every) {
+      if (registry.Revoke(all_devices[i]).ok()) ++revoked_count;
+    }
+  }
+  const auto stats = registry.Stats();
+  std::printf("fleet: %zu devices / %zu groups / %zu shards "
+              "(stripe balance %zu..%zu), %zu revoked\n",
+              stats.devices, stats.groups, stats.shards, stats.min_shard,
+              stats.max_shard, revoked_count);
+
+  // --- Campaign -------------------------------------------------------------
+  fleet::PackageCache cache;
+  fleet::DeploymentEngine engine(registry, cache);
+
+  fleet::CampaignConfig campaign;
+  campaign.source = program_source;
+  campaign.policy = policy;
+  campaign.compile_options = compile_options;
+  campaign.devices = all_devices;  // across all groups
+  campaign.workers = workers;
+  campaign.max_attempts = attempts;
+  campaign.channel = channel;
+  campaign.fault_rate = fault_rate;
+  campaign.delivery_latency_us = latency_us;
+
+  std::printf("campaign: %s, %s encryption, %zu workers, %u attempts, "
+              "fault=%s rate=%.2f\n",
+              program_name.c_str(), mode.c_str(), workers, attempts,
+              fault_name.c_str(), fault_rate);
+
+  auto report = engine.Run(campaign);
+  if (!report.ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  if (verbose) {
+    for (const auto& outcome : report->outcomes) {
+      std::printf("  device %llu: %s attempts=%u %s\n",
+                  static_cast<unsigned long long>(outcome.device),
+                  outcome.ok ? "ok" : (outcome.revoked ? "revoked" : "FAILED"),
+                  outcome.attempts,
+                  outcome.ok ? "" : outcome.last_status.ToString().c_str());
+    }
+  }
+
+  std::printf("\nresult: %zu ok / %zu failed / %zu revoked of %zu targets\n",
+              report->succeeded, report->failed, report->revoked,
+              report->targets);
+  std::printf("wire:   %llu deliveries (%llu retries)\n",
+              static_cast<unsigned long long>(report->deliveries),
+              static_cast<unsigned long long>(report->retries));
+  std::printf("time:   %.1f ms wall, %.0f devices/s, latency mean %.0f us "
+              "max %.0f us\n",
+              report->wall_ms, report->devices_per_second,
+              report->mean_latency_us, report->max_latency_us);
+  std::printf("cache:  %llu hits / %llu misses (%llu compiles)\n",
+              static_cast<unsigned long long>(report->cache_artifact_hits),
+              static_cast<unsigned long long>(report->cache_artifact_misses),
+              static_cast<unsigned long long>(report->cache_compile_misses));
+
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Field("tool", "eric_fleetd");
+    json.Field("program", program_name);
+    json.Field("mode", mode);
+    json.Field("devices", report->targets);
+    json.Field("groups", groups);
+    json.Field("workers", workers);
+    json.Field("fault", fault_name);
+    json.Field("fault_rate", fault_rate);
+    json.Field("succeeded", report->succeeded);
+    json.Field("failed", report->failed);
+    json.Field("revoked", report->revoked);
+    json.Field("deliveries", report->deliveries);
+    json.Field("retries", report->retries);
+    json.Field("wall_ms", report->wall_ms);
+    json.Field("devices_per_second", report->devices_per_second);
+    json.Field("cache_hits", report->cache_artifact_hits);
+    json.Field("cache_misses", report->cache_artifact_misses);
+    json.EndObject();
+    if (!json.WriteFile(json_path.c_str())) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  const size_t expected_ok = report->targets - report->revoked;
+  return report->succeeded == expected_ok ? 0 : 1;
+}
