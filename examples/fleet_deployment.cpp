@@ -10,9 +10,15 @@
 //
 // The vendor still gets the group key through the future-work RSA
 // handshake, so no pre-shared secret channel to the fab is needed.
+//
+// Act 2 stages the rollout: a broken firmware build (every delivery
+// truncated) is stopped by the canary gate before 5/6 of the fleet ever
+// sees a byte of it, then the fixed build ships in rolling waves to
+// everyone.
 #include <cstdio>
 
 #include "core/handshake.h"
+#include "fleet/campaign_scheduler.h"
 #include "fleet/deployment_engine.h"
 
 int main() {
@@ -126,8 +132,67 @@ int main() {
   std::printf("clone device: %s\n",
               pirate_run.ok() ? "RAN (bug!)" : "rejected");
 
-  const bool ok = report->succeeded == report->targets - 1 &&
-                  report->revoked == 1 && exits_agree && !pirate_run.ok();
+  const bool act1_ok = report->succeeded == report->targets - 1 &&
+                       report->revoked == 1 && exits_agree && !pirate_run.ok();
+
+  // --- Act 2: canary-gated staged rollout ------------------------------------
+  // A new firmware rev goes out to a bigger product line — but the first
+  // push rides a channel that truncates every delivery (a botched CDN
+  // config, say). The canary cohort burns; the gate stops the campaign
+  // before the rest of the fleet is touched. The second push is healthy
+  // and rolls out in waves.
+  std::printf("\n--- staged rollout with canary gate ---\n");
+  const fleet::GroupId line_b = registry.CreateGroup("acme-widget-rev-b");
+  for (uint64_t i = 0; i < 24; ++i) {
+    auto id = registry.Enroll(0xFAB100 + i, line_b);
+    if (!id.ok()) return 1;
+  }
+
+  fleet::DeploymentEngine staged_engine(registry, cache);
+  fleet::CampaignScheduler scheduler(staged_engine, registry);
+
+  fleet::CampaignConfig rollout;
+  rollout.source = campaign.source;
+  rollout.policy = campaign.policy;
+  rollout.group = line_b;
+  rollout.workers = 4;
+
+  fleet::SchedulerConfig staged;
+  staged.canary_size = 4;
+  staged.canary_failure_threshold = 0.25;
+  staged.wave_size = 8;
+
+  // Push 1: the broken pipe. Every delivery is truncated; the HDE
+  // rejects each one, the canary failure rate hits 1.0, and the gate
+  // aborts the campaign.
+  fleet::CampaignConfig broken = rollout;
+  broken.channel.fault = net::ChannelFault::kTruncate;
+  broken.fault_rate = 1.0;
+  auto bad_push = scheduler.Run(broken, staged);
+  if (!bad_push.ok()) return 1;
+  std::printf("push 1 (broken build): %s — canary failure rate %.2f, "
+              "%zu of %zu devices never dispatched\n",
+              std::string(fleet::CampaignOutcomeName(bad_push->outcome))
+                  .c_str(),
+              bad_push->waves.front().failure_rate,
+              bad_push->never_dispatched, bad_push->targets);
+
+  // Push 2: the fixed build rolls out canary-first, then in waves of 8.
+  auto good_push = scheduler.Run(rollout, staged);
+  if (!good_push.ok()) return 1;
+  std::printf("push 2 (fixed build):  %s — %zu waves, %zu/%zu ok\n",
+              std::string(fleet::CampaignOutcomeName(good_push->outcome))
+                  .c_str(),
+              good_push->waves.size(), good_push->succeeded,
+              good_push->targets);
+
+  const bool act2_ok =
+      bad_push->outcome == fleet::CampaignOutcome::kAbortedByGate &&
+      bad_push->never_dispatched == 20 && bad_push->succeeded == 0 &&
+      good_push->outcome == fleet::CampaignOutcome::kCompleted &&
+      good_push->succeeded == 24;
+
+  const bool ok = act1_ok && act2_ok;
   std::printf("\nfleet result: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 #include <map>
 #include <thread>
 
+#include "fleet/dispatch_governor.h"
 #include "support/stopwatch.h"
 
 namespace eric::fleet {
@@ -122,6 +123,16 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
   const auto start = std::chrono::steady_clock::now();
   const uint32_t max_attempts = std::max<uint32_t>(config.max_attempts, 1);
   for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    // Governed campaigns gate every delivery: the governor blocks for
+    // pause, rate tokens, and the per-group budget, and refuses admission
+    // once the campaign is cancelled.
+    if (config.governor != nullptr &&
+        !config.governor->AdmitDelivery(info->group)) {
+      outcome.skipped = outcome.attempts == 0;
+      outcome.last_status =
+          Status(ErrorCode::kFailedPrecondition, "campaign cancelled");
+      break;
+    }
     const uint64_t seed = AttemptSeed(config.campaign_seed, device, attempt);
 
     net::ChannelConfig channel_config = config.channel;
@@ -139,6 +150,9 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
     ++outcome.attempts;
 
     auto run = registry_.Dispatch(device, delivered, config.arg0, config.arg1);
+    if (config.governor != nullptr) {
+      config.governor->CompleteDelivery(info->group);
+    }
     if (run.ok()) {
       outcome.ok = true;
       outcome.last_status = Status::Ok();
@@ -159,20 +173,28 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
   return outcome;
 }
 
-Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
+Result<std::vector<DeviceId>> ResolveCampaignTargets(
+    const DeviceRegistry& registry, const CampaignConfig& config) {
   std::vector<DeviceId> targets = config.devices;
   if (targets.empty()) {
     if (config.group == kNoGroup) {
       return Status(ErrorCode::kInvalidArgument,
                     "campaign has no devices and no group");
     }
-    auto members = registry_.GroupMembers(config.group);
+    auto members = registry.GroupMembers(config.group);
     if (!members.ok()) return members.status();
     targets = std::move(*members);
   }
   if (targets.empty()) {
     return Status(ErrorCode::kInvalidArgument, "campaign target set is empty");
   }
+  return targets;
+}
+
+Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
+  auto resolved = ResolveCampaignTargets(registry_, config);
+  if (!resolved.ok()) return resolved.status();
+  std::vector<DeviceId> targets = std::move(*resolved);
 
   const auto start = std::chrono::steady_clock::now();
 
@@ -189,6 +211,7 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
       const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= targets.size()) break;
       report.outcomes[i] = DeployOne(config, targets[i], memo);
+      if (config.governor != nullptr) config.governor->NoteTargetCompleted();
     }
   };
 
@@ -212,6 +235,8 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
       ++report.succeeded;
     } else if (outcome.revoked) {
       ++report.revoked;
+    } else if (outcome.skipped) {
+      ++report.skipped;
     } else {
       ++report.failed;
     }
@@ -239,6 +264,9 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
       memo.artifact_misses.load(std::memory_order_relaxed);
   report.cache_compile_misses =
       memo.compile_misses.load(std::memory_order_relaxed);
+  if (config.governor != nullptr) {
+    report.peak_in_flight = config.governor->peak_in_flight();
+  }
   return report;
 }
 

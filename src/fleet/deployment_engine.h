@@ -19,15 +19,20 @@
 
 namespace eric::fleet {
 
+class DispatchGovernor;
+
 /// Campaign description.
 struct CampaignConfig {
   /// EricC source to deploy.
   std::string source;
+  /// Which instructions get encrypted (full / partial / field / none).
   core::EncryptionPolicy policy = core::EncryptionPolicy::Full();
+  /// Compiler settings; part of the cache address.
   compiler::CompileOptions compile_options;
 
   /// Target set: every member of `group`, or `devices` when non-empty.
   GroupId group = kNoGroup;
+  /// Explicit device targets; overrides `group` when non-empty.
   std::vector<DeviceId> devices;
 
   /// Worker threads dispatching in parallel.
@@ -39,24 +44,37 @@ struct CampaignConfig {
   /// suffers `channel.fault`; the remainder deliver faithfully. Each
   /// attempt draws independently (deterministic in `campaign_seed`).
   net::ChannelConfig channel;
+  /// Probability a given delivery suffers `channel.fault`.
   double fault_rate = 0.0;
   /// Simulated one-way transport latency per delivery, microseconds.
   /// Workers overlap this — it is what multi-threading buys on the wire.
   uint32_t delivery_latency_us = 0;
 
+  /// Seeds every per-attempt fault draw and channel RNG stream.
   uint64_t campaign_seed = 0xF1EE7;
+  /// First argument passed to the deployed program's entry point.
   uint64_t arg0 = 0;
+  /// Second argument passed to the deployed program's entry point.
   uint64_t arg1 = 0;
+
+  /// Optional dispatch throttle/control hook (rate limit, per-group
+  /// concurrency budget, pause/cancel). Non-owning; installed by
+  /// CampaignScheduler, null for unthrottled campaigns. Workers bracket
+  /// every delivery with AdmitDelivery / CompleteDelivery.
+  DispatchGovernor* governor = nullptr;
 };
 
 /// Per-device campaign outcome.
 struct DeviceOutcome {
-  DeviceId device = 0;
-  bool ok = false;
+  DeviceId device = 0;       ///< target device
+  bool ok = false;           ///< program delivered, validated, and ran
   bool revoked = false;      ///< skipped: device was revoked
+  /// Never dispatched: the campaign was cancelled before this device's
+  /// first delivery was admitted.
+  bool skipped = false;
   uint32_t attempts = 0;     ///< deliveries performed
   Status last_status;        ///< final failure (ok() when delivered)
-  int64_t exit_code = 0;
+  int64_t exit_code = 0;     ///< program exit code when `ok`
   uint64_t device_cycles = 0;  ///< HDE + execution cycles on the device
   /// Wall time across delivery attempts (excludes artifact build/fetch,
   /// so the first device of a fresh campaign is not an outlier).
@@ -65,34 +83,50 @@ struct DeviceOutcome {
 
 /// Campaign-level aggregates.
 struct CampaignReport {
-  std::vector<DeviceOutcome> outcomes;
+  std::vector<DeviceOutcome> outcomes;  ///< one entry per target, in order
 
-  size_t targets = 0;
-  size_t succeeded = 0;
-  size_t failed = 0;
-  size_t revoked = 0;
+  size_t targets = 0;    ///< devices in the campaign's target set
+  size_t succeeded = 0;  ///< devices that ran the program
+  size_t failed = 0;     ///< devices whose retry budget never delivered
+  size_t revoked = 0;    ///< devices skipped as revoked
+  size_t skipped = 0;    ///< devices never dispatched (cancelled campaign)
   uint64_t deliveries = 0;   ///< total channel deliveries (incl. retries)
   uint64_t retries = 0;      ///< deliveries beyond the first per device
 
-  double wall_ms = 0;
-  double devices_per_second = 0;
+  double wall_ms = 0;             ///< campaign wall time
+  double devices_per_second = 0;  ///< targets / wall time
   /// Latency statistics over devices that saw at least one delivery
   /// (revoked/unknown devices are excluded, not averaged in as zeros).
   double mean_latency_us = 0;
-  double max_latency_us = 0;
-  uint64_t total_device_cycles = 0;
+  double max_latency_us = 0;   ///< slowest device's delivery wall time
+  uint64_t total_device_cycles = 0;  ///< HDE + execution cycles, summed
 
   /// Cache activity attributable to this campaign (tracked per call, so
   /// concurrent campaigns sharing one cache do not contaminate each
   /// other's counts).
-  uint64_t cache_artifact_hits = 0;
-  uint64_t cache_artifact_misses = 0;
-  uint64_t cache_compile_misses = 0;
+  uint64_t cache_artifact_hits = 0;    ///< sealed artifacts served from cache
+  uint64_t cache_artifact_misses = 0;  ///< seal operations performed
+  uint64_t cache_compile_misses = 0;   ///< compilations performed
+
+  /// Peak simultaneously in-flight deliveries, as observed by the
+  /// campaign's governor (0 when the campaign ran ungoverned). A governor
+  /// shared across waves reports its lifetime peak.
+  size_t peak_in_flight = 0;
 };
+
+/// Resolves a campaign's target list: `config.devices` verbatim when
+/// non-empty, otherwise the members of `config.group`. kInvalidArgument
+/// when neither names a target. Shared by the engine and the scheduler so
+/// flat and scheduled campaigns can never resolve different target sets
+/// for the same config.
+Result<std::vector<DeviceId>> ResolveCampaignTargets(
+    const DeviceRegistry& registry, const CampaignConfig& config);
 
 /// The engine. Stateless across campaigns apart from the shared cache.
 class DeploymentEngine {
  public:
+  /// Binds the engine to the registry it dispatches through and the
+  /// cache it seals with; both must outlive the engine.
   DeploymentEngine(DeviceRegistry& registry, PackageCache& cache)
       : registry_(registry), cache_(cache) {}
 

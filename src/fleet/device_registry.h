@@ -34,42 +34,48 @@
 
 namespace eric::fleet {
 
+/// Registry-assigned unique device identifier (never reused).
 using DeviceId = uint64_t;
+/// Registry-assigned device-group identifier.
 using GroupId = uint64_t;
 
 /// Sentinel: device enrolled on its own PUF-based key, no group.
 inline constexpr GroupId kNoGroup = 0;
 
-enum class DeviceStatus : uint8_t { kEnrolled, kRevoked };
+/// Lifecycle state of an enrolled device.
+enum class DeviceStatus : uint8_t {
+  kEnrolled,  ///< live: accepts dispatch
+  kRevoked,   ///< revoked: refuses dispatch, skipped by campaigns
+};
 
+/// Stable display name of a DeviceStatus.
 std::string_view DeviceStatusName(DeviceStatus status);
 
 /// Public registry view of one device (no endpoint handle, safe to copy).
 struct DeviceInfo {
-  DeviceId id = 0;
-  uint64_t device_seed = 0;
-  GroupId group = kNoGroup;
-  DeviceStatus status = DeviceStatus::kEnrolled;
+  DeviceId id = 0;            ///< registry-assigned identifier
+  uint64_t device_seed = 0;   ///< fab-time PUF process seed
+  GroupId group = kNoGroup;   ///< owning group (kNoGroup when solo)
+  DeviceStatus status = DeviceStatus::kEnrolled;  ///< lifecycle state
   /// Public KMU conversion mask (all-zero for ungrouped devices).
   crypto::Key256 conversion_mask{};
 };
 
 /// Aggregate registry counters.
 struct RegistryStats {
-  size_t devices = 0;
-  size_t revoked = 0;
-  size_t groups = 0;
-  size_t shards = 0;
-  /// Largest / smallest shard population (stripe balance check).
-  size_t max_shard = 0;
-  size_t min_shard = 0;
+  size_t devices = 0;  ///< total enrolled devices (incl. revoked)
+  size_t revoked = 0;  ///< devices in the revoked state
+  size_t groups = 0;   ///< groups created
+  size_t shards = 0;   ///< lock stripes in the record table
+  size_t max_shard = 0;  ///< largest shard population (stripe balance)
+  size_t min_shard = 0;  ///< smallest shard population (stripe balance)
 };
 
 /// Registry construction parameters.
 struct RegistryConfig {
-  crypto::KeyConfig key_config;
-  core::CipherKind cipher = core::CipherKind::kXor;
-  size_t shard_count = 16;
+  crypto::KeyConfig key_config;  ///< KDF domain/epoch for device keys
+  core::CipherKind cipher = core::CipherKind::kXor;  ///< fleet-wide cipher
+  size_t shard_count = 16;       ///< lock stripes in the record table
   /// Seeds the registry's group-key secret (deterministic for tests).
   uint64_t secret_seed = 0x5ECB007;
 };
@@ -79,6 +85,8 @@ struct RegistryConfig {
 /// Thread-safe: all public methods may be called concurrently.
 class DeviceRegistry {
  public:
+  /// Builds an empty registry; `config` fixes key derivation, cipher,
+  /// and shard count for the registry's lifetime.
   explicit DeviceRegistry(const RegistryConfig& config = {});
 
   /// Creates a device group with a fresh group key. The key is what the
@@ -90,6 +98,7 @@ class DeviceRegistry {
   /// conversion mask binding the device onto the group key.
   Result<DeviceId> Enroll(uint64_t device_seed, GroupId group = kNoGroup);
 
+  /// Public view of one device. kNotFound for unknown ids.
   Result<DeviceInfo> Lookup(DeviceId id) const;
 
   /// Marks a device revoked. Revoked devices refuse dispatch and are
@@ -102,6 +111,7 @@ class DeviceRegistry {
   /// otherwise. This is the registry's copy of the handshake result.
   Result<crypto::Key256> DeploymentKey(DeviceId id) const;
 
+  /// The shared deployment key of `group`. kNotFound for unknown groups.
   Result<crypto::Key256> GroupKey(GroupId group) const;
 
   /// Member ids in enrollment order (includes revoked members).
@@ -114,9 +124,12 @@ class DeviceRegistry {
                                           uint64_t arg0 = 0,
                                           uint64_t arg1 = 0);
 
+  /// Aggregate counters (devices, revocations, stripe balance).
   RegistryStats Stats() const;
 
+  /// Key-derivation parameters every enrollment used.
   const crypto::KeyConfig& key_config() const { return config_.key_config; }
+  /// Cipher packages for this fleet are sealed with.
   core::CipherKind cipher() const { return config_.cipher; }
 
  private:

@@ -1,0 +1,168 @@
+#include "fleet/dispatch_governor.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace eric::fleet {
+
+// --- CampaignControl ---------------------------------------------------------
+
+void CampaignControl::Pause() {
+  paused_.store(true, std::memory_order_release);
+}
+
+void CampaignControl::Resume() {
+  {
+    std::lock_guard lock(mutex_);
+    paused_.store(false, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+void CampaignControl::Cancel() {
+  {
+    std::lock_guard lock(mutex_);
+    cancelled_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+bool CampaignControl::AwaitRunnable() const {
+  if (cancelled()) return false;
+  if (!paused()) return true;
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return !paused() || cancelled(); });
+  return !cancelled();
+}
+
+CampaignControl::Progress CampaignControl::progress() const {
+  Progress p;
+  p.waves_started = waves_started_.load(std::memory_order_acquire);
+  p.waves_completed = waves_completed_.load(std::memory_order_acquire);
+  p.targets_completed = targets_completed_.load(std::memory_order_acquire);
+  p.deliveries = deliveries_.load(std::memory_order_acquire);
+  return p;
+}
+
+void CampaignControl::NoteWaveStarted() {
+  waves_started_.fetch_add(1, std::memory_order_acq_rel);
+}
+void CampaignControl::NoteWaveCompleted() {
+  waves_completed_.fetch_add(1, std::memory_order_acq_rel);
+}
+void CampaignControl::NoteDelivery() {
+  deliveries_.fetch_add(1, std::memory_order_acq_rel);
+}
+void CampaignControl::NoteTargetCompleted() {
+  targets_completed_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+// --- TokenBucket -------------------------------------------------------------
+
+TokenBucket::TokenBucket(double rate, double burst)
+    : rate_(rate),
+      burst_(std::max(burst, 1.0)),
+      tokens_(burst_),
+      last_refill_(std::chrono::steady_clock::now()) {}
+
+bool TokenBucket::Acquire(const CampaignControl* control) {
+  if (rate_ <= 0) return true;
+  for (;;) {
+    // Interrupted waits return without consuming: cancelled campaigns
+    // stop, paused ones re-park on AwaitRunnable instead of draining
+    // tokens mid-pause.
+    if (control != nullptr && (control->cancelled() || control->paused())) {
+      return false;
+    }
+    double wait_seconds;
+    {
+      std::lock_guard lock(mutex_);
+      const auto now = std::chrono::steady_clock::now();
+      tokens_ = std::min(
+          burst_,
+          tokens_ + rate_ * std::chrono::duration<double>(now - last_refill_)
+                                .count());
+      last_refill_ = now;
+      if (tokens_ >= 1.0) {
+        tokens_ -= 1.0;
+        return true;
+      }
+      wait_seconds = (1.0 - tokens_) / rate_;
+    }
+    // Sleep in short slices so Cancel/Pause mid-wait is honored promptly
+    // even at very low rates.
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        std::min(wait_seconds, 0.005)));
+  }
+}
+
+// --- DispatchGovernor --------------------------------------------------------
+
+DispatchGovernor::DispatchGovernor(const Limits& limits,
+                                   CampaignControl* control)
+    : control_(control),
+      limits_(limits),
+      bucket_(limits.dispatch_rate, limits.dispatch_burst) {}
+
+bool DispatchGovernor::AdmitDelivery(GroupId group) {
+  // Order matters: park on pause/cancel first, then take a group slot,
+  // then a rate token — so a worker blocked on the budget is not sitting
+  // on a token it cannot spend. A pause arriving during either wait
+  // unwinds (releasing the slot) and loops back to AwaitRunnable, so no
+  // delivery is ever admitted mid-pause.
+  for (;;) {
+    if (control_ != nullptr && !control_->AwaitRunnable()) return false;
+
+    if (limits_.group_concurrency > 0) {
+      std::unique_lock lock(group_mutex_);
+      group_cv_.wait(lock, [&] {
+        if (control_ != nullptr &&
+            (control_->cancelled() || control_->paused())) {
+          return true;
+        }
+        return group_in_flight_[group] < limits_.group_concurrency;
+      });
+      if (control_ != nullptr && control_->cancelled()) return false;
+      if (control_ != nullptr && control_->paused()) continue;
+      ++group_in_flight_[group];
+    }
+
+    if (!bucket_.Acquire(control_)) {
+      ReleaseGroupSlot(group);
+      if (control_ != nullptr && control_->cancelled()) return false;
+      continue;  // paused while rate-waiting: re-park, then retry
+    }
+    break;
+  }
+
+  const size_t now_in_flight =
+      in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  size_t peak = peak_in_flight_.load(std::memory_order_relaxed);
+  while (now_in_flight > peak &&
+         !peak_in_flight_.compare_exchange_weak(peak, now_in_flight,
+                                                std::memory_order_acq_rel)) {
+  }
+  return true;
+}
+
+void DispatchGovernor::ReleaseGroupSlot(GroupId group) {
+  if (limits_.group_concurrency == 0) return;
+  {
+    std::lock_guard lock(group_mutex_);
+    auto it = group_in_flight_.find(group);
+    if (it != group_in_flight_.end() && it->second > 0) --it->second;
+  }
+  group_cv_.notify_all();
+}
+
+void DispatchGovernor::CompleteDelivery(GroupId group) {
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  if (control_ != nullptr) control_->NoteDelivery();
+  ReleaseGroupSlot(group);
+}
+
+void DispatchGovernor::NoteTargetCompleted() {
+  if (control_ != nullptr) control_->NoteTargetCompleted();
+}
+
+}  // namespace eric::fleet

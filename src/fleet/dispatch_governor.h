@@ -1,0 +1,177 @@
+// Dispatch control plane shared by the engine and the scheduler.
+//
+// Three small concurrency primitives that govern when a campaign worker
+// may put bytes on the wire:
+//
+//   CampaignControl    atomic pause/resume/cancel block with checkpointed
+//                      progress counters, shared with operator threads.
+//   TokenBucket        deliveries-per-second rate limiter.
+//   DispatchGovernor   composes both plus a per-group concurrency budget;
+//                      workers bracket every delivery with
+//                      AdmitDelivery / CompleteDelivery.
+//
+// This header sits *below* both deployment_engine.h (whose CampaignConfig
+// carries a non-owning governor pointer) and campaign_scheduler.h (which
+// installs one per scheduled campaign), keeping the layering one-way.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "fleet/device_registry.h"
+
+namespace eric::fleet {
+
+/// Cooperative pause / resume / cancel shared between a running campaign
+/// and its operator thread.
+///
+/// The campaign side polls through AwaitRunnable() at every dispatch
+/// boundary (before each delivery and before each wave); the operator
+/// side flips the atomic flags. Pause takes effect at the next boundary —
+/// an in-flight delivery is never torn down mid-wire, so pausing cannot
+/// break the exactly-once property. Cancel is sticky and wins over
+/// pause.
+///
+/// The block also carries the campaign's checkpointed progress: wave and
+/// delivery counters updated atomically by the scheduler/engine, safe to
+/// read from any thread while the campaign runs.
+class CampaignControl {
+ public:
+  /// Progress checkpoint, readable mid-campaign from any thread.
+  struct Progress {
+    uint32_t waves_started = 0;    ///< waves whose dispatch has begun
+    uint32_t waves_completed = 0;  ///< waves fully dispatched and gated
+    uint64_t targets_completed = 0;  ///< devices with a final outcome
+    uint64_t deliveries = 0;         ///< channel deliveries performed
+  };
+
+  /// Requests a pause; workers block at the next dispatch boundary.
+  void Pause();
+  /// Clears a pause and wakes every blocked worker.
+  void Resume();
+  /// Cancels the campaign; blocked and future dispatches return skipped.
+  void Cancel();
+
+  /// True while a pause is requested.
+  bool paused() const { return paused_.load(std::memory_order_acquire); }
+  /// True once cancelled (never cleared).
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks while paused. Returns false when the campaign is cancelled,
+  /// true when dispatch may proceed.
+  bool AwaitRunnable() const;
+
+  /// Snapshot of the progress counters.
+  Progress progress() const;
+
+  /// Records that a wave's dispatch has begun (scheduler-side).
+  void NoteWaveStarted();
+  /// Records that a wave completed its gate evaluation (scheduler-side).
+  void NoteWaveCompleted();
+  /// Records one finished channel delivery (engine-side).
+  void NoteDelivery();
+  /// Records one target reaching a final outcome (engine-side).
+  void NoteTargetCompleted();
+
+ private:
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<uint32_t> waves_started_{0};
+  std::atomic<uint32_t> waves_completed_{0};
+  std::atomic<uint64_t> targets_completed_{0};
+  std::atomic<uint64_t> deliveries_{0};
+  /// Wakes workers parked in AwaitRunnable on Resume/Cancel.
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+};
+
+/// Token-bucket rate limiter for delivery dispatch.
+///
+/// Tokens refill continuously at `rate` per second up to `burst`; each
+/// delivery consumes one. Thread-safe; acquisition blocks until a token
+/// is available or the supplied control block interrupts the wait.
+class TokenBucket {
+ public:
+  /// Builds a bucket refilling at `rate` tokens/second with capacity
+  /// `burst` (clamped to >= 1). `rate` <= 0 disables limiting entirely.
+  TokenBucket(double rate, double burst);
+
+  /// Blocks until a token is consumed. Returns false (without consuming)
+  /// when `control` is non-null and becomes cancelled *or paused* while
+  /// waiting — the caller must re-park on AwaitRunnable and retry, so a
+  /// pause freezes even workers that were mid-wait on the limiter.
+  bool Acquire(const CampaignControl* control);
+
+ private:
+  double rate_;   ///< tokens per second (<= 0: unlimited)
+  double burst_;  ///< bucket capacity
+  std::mutex mutex_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_refill_;
+};
+
+/// Runtime throttle shared by every worker of a scheduled campaign.
+///
+/// Installed into CampaignConfig::governor by the scheduler; the engine
+/// brackets each delivery with AdmitDelivery / CompleteDelivery. The
+/// governor enforces (in order) the pause/cancel control block, the
+/// per-group concurrency budget, and the token-bucket rate limit, and it
+/// tracks the peak number of simultaneously in-flight deliveries — the
+/// bench's headline number for what throttling buys.
+class DispatchGovernor {
+ public:
+  /// Throttle limits. Zero values disable the corresponding control.
+  struct Limits {
+    double dispatch_rate = 0.0;   ///< deliveries/second (0 = unlimited)
+    double dispatch_burst = 1.0;  ///< token-bucket capacity
+    size_t group_concurrency = 0; ///< max in-flight per group (0 = unlimited)
+  };
+
+  /// Builds a governor with `limits`; `control` may be null (no pause /
+  /// cancel, throttling only).
+  explicit DispatchGovernor(const Limits& limits,
+                            CampaignControl* control = nullptr);
+
+  /// Blocks until a delivery into `group` may start. A pause arriving
+  /// while the caller waits on the budget or the rate limiter re-parks
+  /// it before any resource is held, so paused campaigns stop dead.
+  /// Returns false when the campaign was cancelled (no slot or token is
+  /// then held).
+  bool AdmitDelivery(GroupId group);
+  /// Releases the slot taken by a successful AdmitDelivery for `group`.
+  void CompleteDelivery(GroupId group);
+
+  /// Records a target reaching its final outcome (forwards to the
+  /// control block's checkpoint when one is attached).
+  void NoteTargetCompleted();
+
+  /// Highest number of deliveries ever simultaneously in flight.
+  size_t peak_in_flight() const {
+    return peak_in_flight_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// Returns a per-group budget slot without touching in-flight stats
+  /// (used both by CompleteDelivery and by the failed-admit path).
+  void ReleaseGroupSlot(GroupId group);
+
+  CampaignControl* control_;
+  Limits limits_;
+  TokenBucket bucket_;
+
+  /// Guards per-group in-flight counts; cv wakes budget waiters.
+  std::mutex group_mutex_;
+  std::condition_variable group_cv_;
+  std::unordered_map<GroupId, size_t> group_in_flight_;
+
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<size_t> peak_in_flight_{0};
+};
+
+}  // namespace eric::fleet

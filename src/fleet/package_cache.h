@@ -47,7 +47,7 @@ namespace eric::fleet {
 /// One sealed, wire-ready artifact.
 struct CachedArtifact {
   std::vector<uint8_t> wire;        ///< serialized package
-  uint32_t instr_count = 0;
+  uint32_t instr_count = 0;         ///< instructions in the sealed text
   double compile_microseconds = 0;  ///< 0 when level 1 hit
   double seal_microseconds = 0;     ///< sign + encrypt + package time
 };
@@ -56,14 +56,15 @@ struct CachedArtifact {
 /// and after a campaign for deltas); entries/bytes are point-in-time
 /// occupancy recomputed by Stats().
 struct PackageCacheStats {
-  uint64_t artifact_hits = 0;
-  uint64_t artifact_misses = 0;
-  uint64_t compile_hits = 0;
-  uint64_t compile_misses = 0;
-  uint64_t evictions = 0;
-  size_t artifact_entries = 0;
-  size_t artifact_bytes = 0;
+  uint64_t artifact_hits = 0;    ///< sealed artifacts served from cache
+  uint64_t artifact_misses = 0;  ///< seal (sign+encrypt+package) builds
+  uint64_t compile_hits = 0;     ///< compiled programs served from cache
+  uint64_t compile_misses = 0;   ///< compilations performed
+  uint64_t evictions = 0;        ///< LRU evictions across both levels
+  size_t artifact_entries = 0;   ///< artifacts resident right now
+  size_t artifact_bytes = 0;     ///< wire bytes resident right now
 
+  /// Fraction of artifact requests served from cache (0 when idle).
   double artifact_hit_rate() const {
     const uint64_t total = artifact_hits + artifact_misses;
     return total == 0 ? 0.0 : static_cast<double>(artifact_hits) / total;
@@ -72,13 +73,19 @@ struct PackageCacheStats {
 
 /// Cache sizing.
 struct PackageCacheConfig {
-  size_t shard_count = 8;
-  size_t max_artifacts_per_shard = 512;
-  size_t max_programs_per_shard = 128;
+  size_t shard_count = 8;                ///< LRU stripes per cache level
+  size_t max_artifacts_per_shard = 512;  ///< level-2 entries per stripe
+  size_t max_programs_per_shard = 128;   ///< level-1 entries per stripe
 };
 
+/// The two-level, lock-striped, LRU-evicted artifact cache.
+///
+/// Thread-safe: GetOrBuild, Stats, and Clear may race freely; artifacts
+/// handed out survive eviction and Clear because callers hold shared
+/// ownership.
 class PackageCache {
  public:
+  /// Builds an empty cache sized by `config`.
   explicit PackageCache(const PackageCacheConfig& config = {});
 
   /// Returns the wire bytes for `source` sealed under `key` with `policy`,
@@ -95,6 +102,7 @@ class PackageCache {
       const compiler::CompileOptions& options = {},
       PackageCacheStats* call_stats = nullptr);
 
+  /// Monotonic hit/miss/eviction counters plus current occupancy.
   PackageCacheStats Stats() const;
 
   /// Drops every entry (key-rotation hook: bump the epoch, then Clear()).
@@ -146,8 +154,11 @@ class PackageCache {
   PackageCacheStats stats_;
 };
 
-/// Stable fingerprints used to form cache addresses (exposed for tests).
+/// Stable fingerprint of an encryption policy, used to form cache
+/// addresses (exposed for tests).
 crypto::Sha256Digest FingerprintPolicy(const core::EncryptionPolicy& policy);
+/// Stable fingerprint of a key-derivation config (domain, epoch,
+/// binding), used to form cache addresses (exposed for tests).
 crypto::Sha256Digest FingerprintKeyConfig(const crypto::KeyConfig& config);
 
 }  // namespace eric::fleet

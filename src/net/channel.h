@@ -26,36 +26,39 @@ enum class ChannelFault : uint8_t {
   kDuplicate,       ///< replay: body delivered twice, concatenated
 };
 
+/// Stable display name of a ChannelFault ("none", "bit-flips", ...).
 std::string_view ChannelFaultName(ChannelFault fault);
 
 /// Channel configuration.
 struct ChannelConfig {
-  ChannelFault fault = ChannelFault::kNone;
+  ChannelFault fault = ChannelFault::kNone;  ///< fault process to apply
   uint32_t bit_flips = 1;       ///< kRandomBitFlips
   size_t patch_offset = 64;     ///< kBytePatch / kInstructionPatch
   uint32_t patch_length = 4;    ///< kBytePatch
   uint8_t patch_value = 0x13;   ///< injected byte (0x13 = addi-shaped)
   size_t truncate_bytes = 8;    ///< kTruncate
-  uint64_t seed = 0xC4A77E1;
+  uint64_t seed = 0xC4A77E1;    ///< RNG stream for fault placement
 };
 
 /// Delivery log entry for observability in tests/benches.
 struct DeliveryRecord {
-  ChannelFault fault;
-  size_t bytes_in = 0;
-  size_t bytes_out = 0;
+  ChannelFault fault;      ///< fault applied to this delivery
+  size_t bytes_in = 0;     ///< wire bytes entering the channel
+  size_t bytes_out = 0;    ///< wire bytes delivered
   uint32_t mutations = 0;  ///< number of bytes/bits changed
 };
 
 /// The channel. Stateless per delivery apart from the RNG stream.
 class Channel {
  public:
+  /// Builds a channel with `config`'s fault process and RNG seed.
   explicit Channel(const ChannelConfig& config = {})
       : config_(config), rng_(config.seed) {}
 
   /// Applies the configured fault process and returns the delivered bytes.
   std::vector<uint8_t> Deliver(std::vector<uint8_t> wire_bytes);
 
+  /// Per-delivery records, in delivery order.
   const std::vector<DeliveryRecord>& log() const { return log_; }
 
  private:

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Check in-repo markdown links.
+
+Scans every tracked *.md file (excluding build trees) for inline links
+and validates that relative targets exist in the repository. Absolute
+URLs (http/https/mailto) and pure in-page anchors are ignored; a
+relative target's #anchor suffix is stripped before the existence
+check.
+
+Exit status: 0 when every relative link resolves, 1 otherwise (each
+dead link is printed as file:line: target). CI runs this in the docs
+job so a moved or renamed file cannot silently orphan documentation.
+
+Usage: python3 tools/check_markdown_links.py [ROOT]
+"""
+import os
+import re
+import sys
+
+# Inline markdown links: [text](target). Images share the syntax with a
+# leading '!', which the pattern happily matches too — images should
+# resolve just the same.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {"build", ".git", ".claude"}
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    dead = []
+    with open(path, encoding="utf-8") as handle:
+        in_code_fence = False
+        for lineno, line in enumerate(handle, start=1):
+            if line.lstrip().startswith("```"):
+                in_code_fence = not in_code_fence
+                continue
+            if in_code_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                    continue
+                target_path = target.split("#", 1)[0]
+                if not target_path:
+                    continue
+                if target_path.startswith("/"):
+                    resolved = os.path.join(root, target_path.lstrip("/"))
+                else:
+                    resolved = os.path.join(os.path.dirname(path), target_path)
+                if not os.path.exists(resolved):
+                    dead.append((lineno, target))
+    return dead
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    failures = 0
+    checked = 0
+    for path in sorted(md_files(root)):
+        checked += 1
+        for lineno, target in check_file(path, root):
+            rel = os.path.relpath(path, root)
+            print(f"{rel}:{lineno}: dead link -> {target}")
+            failures += 1
+    print(f"checked {checked} markdown files: "
+          f"{failures} dead link(s)" if failures else
+          f"checked {checked} markdown files: all links resolve")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,18 +9,32 @@
 //               [--fault-rate 0.3] [--latency-us 1000]
 //               [--mode full|partial|field|none] [--fraction 0.5]
 //               [--revoke K] [--source FILE] [--workload NAME]
+//               [--canary N] [--canary-threshold P] [--wave-size N]
+//               [--rate R] [--burst B] [--group-concurrency N]
+//               [--pause-after MS] [--pause-for MS] [--shuffle]
 //               [--json FILE] [--verbose]
 //
 // With no --source/--workload, deploys the crc32 workload. --revoke K
 // revokes every K-th device before the campaign to show revocation
 // handling in the report.
+//
+// Any of --canary / --wave-size / --rate / --group-concurrency /
+// --pause-after / --shuffle routes the campaign through the
+// CampaignScheduler:
+// canary cohort first, rolling waves gated on the canary failure
+// threshold, token-bucket rate limiting, and a demonstration
+// pause/resume (--pause-after MS pauses the rollout that long into the
+// campaign, --pause-for MS holds it, then resumes).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "fleet/campaign_scheduler.h"
 #include "fleet/deployment_engine.h"
 #include "support/bench_json.h"
 #include "workloads/workloads.h"
@@ -36,6 +50,10 @@ void Usage() {
       "                   [--attempts K] [--fault KIND] [--fault-rate P]\n"
       "                   [--latency-us U] [--mode M] [--fraction F]\n"
       "                   [--revoke K] [--source FILE] [--workload NAME]\n"
+      "                   [--canary N] [--canary-threshold P]\n"
+      "                   [--wave-size N] [--rate R] [--burst B]\n"
+      "                   [--group-concurrency N] [--pause-after MS]\n"
+      "                   [--pause-for MS] [--shuffle]\n"
       "                   [--json FILE] [--verbose]\n");
 }
 
@@ -59,6 +77,15 @@ int main(int argc, char** argv) {
   std::string fault_name = "none", mode = "partial";
   std::string source_path, workload_name, json_path;
   bool verbose = false;
+  // Scheduler knobs. The first row *activates* the scheduler path; the
+  // second row (negative sentinel = unset) only modifies it, and setting
+  // one without an activating flag earns a warning instead of silence.
+  size_t canary = 0, wave_size = 0, group_concurrency = 0;
+  uint32_t pause_after_ms = 0;
+  bool shuffle = false;
+  double rate = 0.0;
+  double canary_threshold = -1.0, burst = -1.0;
+  int64_t pause_for_ms = -1;
 
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* name) {
@@ -78,6 +105,18 @@ int main(int argc, char** argv) {
     else if (arg("--revoke")) revoke_every = std::strtoull(argv[++i], nullptr, 0);
     else if (arg("--source")) source_path = argv[++i];
     else if (arg("--workload")) workload_name = argv[++i];
+    else if (arg("--canary")) canary = std::strtoull(argv[++i], nullptr, 0);
+    else if (arg("--canary-threshold")) canary_threshold = std::atof(argv[++i]);
+    else if (arg("--wave-size")) wave_size = std::strtoull(argv[++i], nullptr, 0);
+    else if (arg("--rate")) rate = std::atof(argv[++i]);
+    else if (arg("--burst")) burst = std::atof(argv[++i]);
+    else if (arg("--group-concurrency"))
+      group_concurrency = std::strtoull(argv[++i], nullptr, 0);
+    else if (arg("--pause-after")) pause_after_ms = static_cast<uint32_t>(
+        std::strtoul(argv[++i], nullptr, 0));
+    else if (arg("--pause-for")) pause_for_ms = std::strtol(argv[++i],
+                                                           nullptr, 0);
+    else if (std::strcmp(argv[i], "--shuffle") == 0) shuffle = true;
     else if (arg("--json")) json_path = argv[++i];
     else if (std::strcmp(argv[i], "--verbose") == 0) verbose = true;
     else { Usage(); return 2; }
@@ -178,6 +217,127 @@ int main(int argc, char** argv) {
               program_name.c_str(), mode.c_str(), workers, attempts,
               fault_name.c_str(), fault_rate);
 
+  // --- Scheduled (waved) campaign path --------------------------------------
+  const bool use_scheduler = canary > 0 || wave_size > 0 || rate > 0 ||
+                             group_concurrency > 0 || pause_after_ms > 0 ||
+                             shuffle;
+  if (!use_scheduler &&
+      (canary_threshold >= 0 || burst >= 0 || pause_for_ms >= 0)) {
+    std::fprintf(stderr,
+                 "warning: --canary-threshold/--burst/--pause-for modify the "
+                 "scheduled path only; add --canary, --wave-size, --rate, "
+                 "--group-concurrency, --pause-after, or --shuffle to "
+                 "activate it\n");
+  }
+  if (use_scheduler) {
+    if (canary_threshold < 0) canary_threshold = 0.1;
+    if (burst < 0) burst = 1.0;
+    if (pause_for_ms < 0) pause_for_ms = 250;
+    fleet::SchedulerConfig policy;
+    policy.canary_size = canary;
+    policy.canary_failure_threshold = canary_threshold;
+    policy.wave_size = wave_size;
+    policy.shuffle_targets = shuffle;
+    policy.limits.dispatch_rate = rate;
+    policy.limits.dispatch_burst = burst;
+    policy.limits.group_concurrency = group_concurrency;
+
+    std::printf("rollout:  canary=%zu (threshold %.2f), wave-size=%zu, "
+                "rate=%.0f/s, group-concurrency=%zu\n",
+                canary, canary_threshold, wave_size, rate, group_concurrency);
+
+    fleet::CampaignScheduler scheduler(engine, registry);
+    fleet::CampaignControl control;
+    std::thread pauser;
+    if (pause_after_ms > 0) {
+      pauser = std::thread([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(pause_after_ms));
+        control.Pause();
+        const auto at_pause = control.progress();
+        std::printf("[control] paused %u ms in (wave %u, %llu deliveries)\n",
+                    pause_after_ms, at_pause.waves_started,
+                    static_cast<unsigned long long>(at_pause.deliveries));
+        std::this_thread::sleep_for(std::chrono::milliseconds(pause_for_ms));
+        control.Resume();
+        std::printf("[control] resumed after %lld ms\n",
+                    static_cast<long long>(pause_for_ms));
+      });
+    }
+
+    auto scheduled = scheduler.Run(campaign, policy, &control);
+    if (pauser.joinable()) pauser.join();
+    if (!scheduled.ok()) {
+      std::fprintf(stderr, "campaign failed: %s\n",
+                   scheduled.status().ToString().c_str());
+      return 1;
+    }
+
+    for (const auto& wave : scheduled->waves) {
+      std::printf("  wave %zu%s: %zu targets, %zu ok / %zu failed / %zu "
+                  "revoked, failure-rate %.2f%s\n",
+                  wave.wave_index, wave.canary ? " (canary)" : "",
+                  wave.report.targets, wave.report.succeeded,
+                  wave.report.failed, wave.report.revoked, wave.failure_rate,
+                  wave.gate_breached ? "  << GATE BREACHED" : "");
+    }
+    std::printf("\nresult: %s — %zu ok / %zu failed / %zu revoked, "
+                "%zu never dispatched of %zu targets\n",
+                std::string(fleet::CampaignOutcomeName(scheduled->outcome))
+                    .c_str(),
+                scheduled->succeeded, scheduled->failed, scheduled->revoked,
+                scheduled->never_dispatched, scheduled->targets);
+    std::printf("wire:   %llu deliveries (%llu retries), peak %zu in flight\n",
+                static_cast<unsigned long long>(scheduled->deliveries),
+                static_cast<unsigned long long>(scheduled->retries),
+                scheduled->peak_in_flight);
+    std::printf("time:   %.1f ms wall\n", scheduled->wall_ms);
+
+    if (!json_path.empty()) {
+      JsonWriter json;
+      json.BeginObject();
+      json.Field("tool", "eric_fleetd");
+      json.Field("program", program_name);
+      json.Field("mode", mode);
+      json.Field("outcome", fleet::CampaignOutcomeName(scheduled->outcome));
+      json.Field("devices", scheduled->targets);
+      json.Field("succeeded", scheduled->succeeded);
+      json.Field("failed", scheduled->failed);
+      json.Field("revoked", scheduled->revoked);
+      json.Field("never_dispatched", scheduled->never_dispatched);
+      json.Field("deliveries", scheduled->deliveries);
+      json.Field("retries", scheduled->retries);
+      json.Field("peak_in_flight", scheduled->peak_in_flight);
+      json.Field("wall_ms", scheduled->wall_ms);
+      json.Key("waves");
+      json.BeginArray();
+      for (const auto& wave : scheduled->waves) {
+        json.BeginObject();
+        json.Field("index", wave.wave_index);
+        json.Field("canary", wave.canary);
+        json.Field("targets", wave.report.targets);
+        json.Field("succeeded", wave.report.succeeded);
+        json.Field("failed", wave.report.failed);
+        json.Field("failure_rate", wave.failure_rate);
+        json.Field("gate_breached", wave.gate_breached);
+        json.Field("wall_ms", wave.report.wall_ms);
+        json.EndObject();
+      }
+      json.EndArray();
+      json.EndObject();
+      if (!json.WriteFile(json_path.c_str())) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    const bool complete = scheduled->outcome == fleet::CampaignOutcome::kCompleted &&
+                          scheduled->succeeded ==
+                              scheduled->targets - scheduled->revoked;
+    return complete ? 0 : 1;
+  }
+
+  // --- Flat (unscheduled) campaign path -------------------------------------
   auto report = engine.Run(campaign);
   if (!report.ok()) {
     std::fprintf(stderr, "campaign failed: %s\n",
