@@ -1,8 +1,13 @@
-// Microbenchmarks of the crypto substrate (google-benchmark): SHA-256,
-// XOR-cipher keystream, AES-128 CTR, and the KDF — the primitives whose
-// cost shapes Figs 6/7.
-#include <benchmark/benchmark.h>
-
+// Microbenchmarks of the crypto substrate: SHA-256, XOR-cipher
+// keystream, AES-128 CTR, and the KDF — the primitives whose cost shapes
+// Figs 6/7.
+//
+// Two harnesses, one measurement set. When the system google-benchmark
+// is available (ERIC_HAVE_GOOGLE_BENCHMARK, set by CMake) it runs the
+// real thing; otherwise a self-contained stopwatch harness with
+// auto-scaled iteration counts measures the same primitives, so the
+// target builds and runs everywhere instead of silently disappearing
+// from offline toolchains.
 #include <vector>
 
 #include "crypto/aes128.h"
@@ -28,6 +33,14 @@ Key256 MakeKey() {
   for (size_t i = 0; i < key.size(); ++i) key[i] = static_cast<uint8_t>(i);
   return key;
 }
+
+}  // namespace
+
+#if defined(ERIC_HAVE_GOOGLE_BENCHMARK)
+
+#include <benchmark/benchmark.h>
+
+namespace {
 
 void BM_Sha256(benchmark::State& state) {
   const auto data = MakeData(static_cast<size_t>(state.range(0)));
@@ -85,3 +98,108 @@ BENCHMARK(BM_PufBasedKeyDerivation);
 }  // namespace
 
 BENCHMARK_MAIN();
+
+#else  // !ERIC_HAVE_GOOGLE_BENCHMARK: stopwatch fallback harness
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "support/stopwatch.h"
+
+namespace {
+
+/// Prevents the optimizer from deleting a measured computation, the
+/// poor-toolchain cousin of benchmark::DoNotOptimize.
+template <typename T>
+inline void Consume(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+/// Runs `body` in growing batches until a run lasts >= 50 ms, then
+/// reports ns/op (and MB/s when `bytes_per_op` > 0). Auto-scaling keeps
+/// fast primitives (XOR over a cache line) and slow ones (software AES
+/// over 256 KiB) in one table without per-case tuning.
+void RunCase(const char* name, size_t bytes_per_op,
+             const std::function<void()>& body) {
+  constexpr double kMinWallMs = 50.0;
+  uint64_t iterations = 1;
+  double wall_ms = 0;
+  for (;;) {
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < iterations; ++i) body();
+    wall_ms = MillisecondsSince(start);
+    if (wall_ms >= kMinWallMs || iterations >= (1ull << 30)) break;
+    // Aim straight for the target window once a measurable run exists.
+    iterations = wall_ms < 1.0
+                     ? iterations * 8
+                     : static_cast<uint64_t>(
+                           static_cast<double>(iterations) *
+                           (1.25 * kMinWallMs / wall_ms)) + 1;
+  }
+  const double ns_per_op =
+      wall_ms * 1e6 / static_cast<double>(iterations);
+  if (bytes_per_op > 0) {
+    const double mb_per_s = (static_cast<double>(bytes_per_op) *
+                             static_cast<double>(iterations)) /
+                            (wall_ms / 1000.0) / (1024.0 * 1024.0);
+    std::printf("%-28s %12.1f ns/op %10.1f MB/s  (%llu iters)\n", name,
+                ns_per_op, mb_per_s,
+                static_cast<unsigned long long>(iterations));
+  } else {
+    std::printf("%-28s %12.1f ns/op %10s      (%llu iters)\n", name,
+                ns_per_op, "",
+                static_cast<unsigned long long>(iterations));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("crypto microbenchmarks (stopwatch fallback harness; install "
+              "google-benchmark for the full one)\n\n");
+
+  for (size_t size : {size_t{64}, size_t{1024}, size_t{16384},
+                      size_t{262144}}) {
+    const auto data = MakeData(size);
+    char name[64];
+    std::snprintf(name, sizeof(name), "Sha256/%zu", size);
+    RunCase(name, size, [&] { Consume(Sha256::Hash(data)); });
+  }
+  for (size_t size : {size_t{1024}, size_t{16384}, size_t{262144}}) {
+    const XorCipher cipher(MakeKey());
+    auto data = MakeData(size);
+    char name[64];
+    std::snprintf(name, sizeof(name), "XorCipher/%zu", size);
+    RunCase(name, size, [&] {
+      cipher.Apply(data);
+      Consume(data.data());
+    });
+  }
+  for (size_t size : {size_t{1024}, size_t{16384}, size_t{262144}}) {
+    const Aes128 aes(TruncateToKey128(MakeKey()));
+    auto data = MakeData(size);
+    char name[64];
+    std::snprintf(name, sizeof(name), "Aes128Ctr/%zu", size);
+    RunCase(name, size, [&] {
+      aes.ApplyCtr(data);
+      Consume(data.data());
+    });
+  }
+  {
+    const Key256 key = MakeKey();
+    uint64_t context = 0;
+    RunCase("DeriveKey", 0, [&] { Consume(DeriveKey(key, "bench", context++)); });
+  }
+  {
+    const Key256 puf_key = MakeKey();
+    KeyConfig config;
+    RunCase("PufBasedKeyDerivation", 0, [&] {
+      config.epoch++;
+      Consume(DerivePufBasedKey(puf_key, config));
+    });
+  }
+  return 0;
+}
+
+#endif  // ERIC_HAVE_GOOGLE_BENCHMARK

@@ -15,9 +15,17 @@
 // truncated) is stopped by the canary gate before 5/6 of the fleet ever
 // sees a byte of it, then the fixed build ships in rolling waves to
 // everyone.
+//
+// Act 3 kills the daemon: a durable registry and campaign journal under
+// a state directory are torn down mid-campaign, rebuilt from disk, and
+// the resumed campaign finishes the fleet exactly-once — no enrollment
+// lost, no device delivered twice.
 #include <cstdio>
+#include <filesystem>
+#include <set>
 
 #include "core/handshake.h"
+#include "fleet/campaign_journal.h"
 #include "fleet/campaign_scheduler.h"
 #include "fleet/deployment_engine.h"
 
@@ -192,7 +200,117 @@ int main() {
       good_push->outcome == fleet::CampaignOutcome::kCompleted &&
       good_push->succeeded == 24;
 
-  const bool ok = act1_ok && act2_ok;
+  // --- Act 3: the daemon dies mid-campaign; the fleet does not ---------------
+  // Registry mutations are write-ahead logged and campaign outcomes
+  // checkpointed under a state directory. We enroll a durable fleet,
+  // "crash" the daemon (cancel + tear down every in-memory object) after
+  // a few deliveries, then bring up a fresh process image from disk and
+  // resume.
+  std::printf("\n--- durable state: crash mid-campaign, resume ---\n");
+  const std::string state_dir =
+      (std::filesystem::temp_directory_path() / "eric-example-fleet-state")
+          .string();
+  std::filesystem::remove_all(state_dir);
+
+  fleet::RegistryConfig durable_config;
+  durable_config.key_config.domain = "acme.fleet.v1";
+  std::set<fleet::DeviceId> first_run, second_run;
+  size_t enrolled_before_crash = 0;
+  {
+    fleet::DeviceRegistry durable(durable_config);
+    if (!durable.OpenStorage(state_dir).ok()) return 1;
+    const fleet::GroupId line_c = durable.CreateGroup("acme-widget-rev-c");
+    for (uint64_t i = 0; i < 12; ++i) {
+      if (!durable.Enroll(0xFAB200 + i, line_c).ok()) return 1;
+    }
+    enrolled_before_crash = durable.Stats().devices;
+
+    fleet::CampaignJournal journal;
+    if (!journal.Open(state_dir).ok()) return 1;
+    const auto targets = durable.AllDevices();
+    if (!journal.Begin(/*campaign_fingerprint=*/0xACE3, targets).ok()) {
+      return 1;
+    }
+
+    // Cancel the campaign after 5 durable checkpoints — the in-process
+    // stand-in for kill -9 (the real signal path is exercised by
+    // tests/fleetd_resume_test.py).
+    struct CrashAfter : fleet::CampaignCheckpointSink {
+      fleet::CampaignJournal* journal;
+      fleet::CampaignControl* control;
+      int remaining = 5;
+      void OnTargetCheckpoint(
+          const fleet::TargetCheckpoint& checkpoint) override {
+        journal->OnTargetCheckpoint(checkpoint);
+        if (--remaining == 0) control->Cancel();
+      }
+    };
+    fleet::CampaignControl control;
+    CrashAfter crash;
+    crash.journal = &journal;
+    crash.control = &control;
+    control.AttachCheckpointSink(&crash);
+    fleet::DispatchGovernor governor({}, &control);
+
+    fleet::PackageCache durable_cache;
+    fleet::DeploymentEngine durable_engine(durable, durable_cache);
+    fleet::CampaignConfig doomed = rollout;
+    doomed.group = line_c;
+    doomed.workers = 1;
+    doomed.governor = &governor;
+    auto crashed = durable_engine.Run(doomed);
+    if (!crashed.ok()) return 1;
+    for (const auto& outcome : crashed->outcomes) {
+      if (outcome.ok) first_run.insert(outcome.device);
+    }
+    std::printf("daemon: delivered %zu of 12, then died (kill -9)\n",
+                first_run.size());
+  }  // every in-memory object is gone
+
+  // "Restart": recover fleet and campaign from disk, resume.
+  bool act3_ok = false;
+  {
+    fleet::DeviceRegistry recovered(durable_config);
+    if (!recovered.OpenStorage(state_dir).ok()) return 1;
+    const auto storage = recovered.storage_info();
+    fleet::CampaignJournal journal;
+    if (!journal.Open(state_dir).ok()) return 1;
+    std::printf("restart: %llu devices recovered in %.1f ms; journal shows "
+                "%zu targets checkpointed\n",
+                static_cast<unsigned long long>(storage.devices_recovered),
+                storage.recovery_ms, journal.recovered().completed.size());
+
+    fleet::CampaignControl control;
+    control.AttachCheckpointSink(&journal);
+    fleet::DispatchGovernor governor({}, &control);
+    fleet::PackageCache recovered_cache;
+    fleet::DeploymentEngine recovered_engine(recovered, recovered_cache);
+    fleet::CampaignConfig resumed = rollout;
+    resumed.group = fleet::kNoGroup;
+    resumed.devices = journal.recovered().RemainingTargets();
+    resumed.governor = &governor;
+    auto finish = recovered_engine.Run(resumed);
+    if (!finish.ok() || !journal.Complete().ok()) return 1;
+    for (const auto& outcome : finish->outcomes) {
+      if (outcome.ok) second_run.insert(outcome.device);
+    }
+
+    // Exactly-once: the two runs partition the fleet.
+    bool disjoint = true;
+    for (fleet::DeviceId id : second_run) {
+      if (first_run.count(id) > 0) disjoint = false;
+    }
+    std::printf("resume: delivered the remaining %zu exactly-once (%zu + "
+                "%zu = %zu, disjoint: %s)\n",
+                second_run.size(), first_run.size(), second_run.size(),
+                first_run.size() + second_run.size(),
+                disjoint ? "yes" : "NO");
+    act3_ok = storage.devices_recovered == enrolled_before_crash &&
+              disjoint && first_run.size() + second_run.size() == 12;
+  }
+  std::filesystem::remove_all(state_dir);
+
+  const bool ok = act1_ok && act2_ok && act3_ok;
   std::printf("\nfleet result: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

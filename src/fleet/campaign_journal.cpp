@@ -1,0 +1,181 @@
+#include "fleet/campaign_journal.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "store/record_io.h"
+
+namespace eric::fleet {
+
+namespace {
+
+constexpr uint8_t kRecBegin = 1;    ///< {u64 fingerprint, u64 n, n * u64 id}
+constexpr uint8_t kRecOutcome = 2;  ///< {u64 device, u8 kind, u32 attempts}
+constexpr uint8_t kRecEnd = 3;      ///< {}
+
+constexpr uint8_t kKindDelivered = 1;
+constexpr uint8_t kKindFailed = 2;
+constexpr uint8_t kKindRevoked = 3;
+
+constexpr const char* kJournalName = "campaign.wal";
+
+}  // namespace
+
+std::vector<DeviceId> CampaignResumeState::RemainingTargets() const {
+  std::vector<DeviceId> remaining;
+  remaining.reserve(targets.size() - std::min(targets.size(),
+                                              completed.size()));
+  for (DeviceId id : targets) {
+    if (!completed.contains(id)) remaining.push_back(id);
+  }
+  return remaining;
+}
+
+Status CampaignJournal::Open(const std::string& state_dir,
+                             const store::WalOptions& options) {
+  if (wal_.is_open()) {
+    return Status(ErrorCode::kFailedPrecondition, "journal already open");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(state_dir, ec);
+  if (ec) {
+    return Status(ErrorCode::kInternal,
+                  "cannot create state dir " + state_dir + ": " + ec.message());
+  }
+  const std::string path = state_dir + "/" + kJournalName;
+
+  recovered_ = CampaignResumeState{};
+  auto replayed = store::Wal::Replay(
+      path,
+      [this](const store::WalRecord& record) -> Status {
+        store::RecordReader rec(record.payload);
+        switch (record.type) {
+          case kRecBegin: {
+            // A begin record supersedes whatever came before it (the
+            // log is compacted on Begin, but replay stays robust to a
+            // crash between the truncate and the append).
+            CampaignResumeState state;
+            uint64_t count = 0;
+            if (!rec.U64(&state.campaign_fingerprint) || !rec.U64(&count)) {
+              return Status(ErrorCode::kCorruptPackage,
+                            "campaign begin record damaged");
+            }
+            state.targets.reserve(count);
+            for (uint64_t i = 0; i < count; ++i) {
+              uint64_t id = 0;
+              if (!rec.U64(&id)) {
+                return Status(ErrorCode::kCorruptPackage,
+                              "campaign begin record damaged");
+              }
+              state.targets.push_back(id);
+            }
+            state.active = true;
+            recovered_ = std::move(state);
+            return Status::Ok();
+          }
+          case kRecOutcome: {
+            uint64_t device = 0;
+            uint8_t kind = 0;
+            uint32_t attempts = 0;
+            if (!rec.U64(&device) || !rec.U8(&kind) || !rec.U32(&attempts)) {
+              return Status(ErrorCode::kCorruptPackage,
+                            "campaign outcome record damaged");
+            }
+            if (recovered_.completed.insert(device).second) {
+              if (kind == kKindDelivered) ++recovered_.delivered;
+              else if (kind == kKindRevoked) ++recovered_.revoked;
+              else ++recovered_.failed;
+            }
+            return Status::Ok();
+          }
+          case kRecEnd:
+            recovered_.active = false;
+            return Status::Ok();
+          default:
+            return Status(ErrorCode::kCorruptPackage,
+                          "unknown campaign journal record type");
+        }
+      });
+  if (!replayed.ok()) return replayed.status();
+
+  ERIC_RETURN_IF_ERROR(wal_.Open(path, options));
+  campaign_open_ = recovered_.active;
+  return Status::Ok();
+}
+
+Status CampaignJournal::Begin(uint64_t campaign_fingerprint,
+                              std::span<const DeviceId> targets) {
+  if (!wal_.is_open()) {
+    return Status(ErrorCode::kFailedPrecondition, "journal not open");
+  }
+  // Guard on campaign_open_ alone: a freshly Begin()-ed campaign has
+  // recovered_.active == false but is every bit as live as a resumed
+  // one, and a second Begin would truncate its durable checkpoints.
+  if (campaign_open_) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "a campaign is in flight; Complete, resume, or Abandon it");
+  }
+  // Compaction: a finished (or abandoned) predecessor has nothing left
+  // to say.
+  ERIC_RETURN_IF_ERROR(wal_.TruncateAll());
+  store::RecordWriter rec;
+  rec.U64(campaign_fingerprint);
+  rec.U64(targets.size());
+  for (DeviceId id : targets) rec.U64(id);
+  ERIC_RETURN_IF_ERROR(wal_.Append(kRecBegin, rec.bytes()));
+  recovered_ = CampaignResumeState{};
+  campaign_open_ = true;
+  return Status::Ok();
+}
+
+Status CampaignJournal::Abandon() {
+  if (!wal_.is_open()) {
+    return Status(ErrorCode::kFailedPrecondition, "journal not open");
+  }
+  ERIC_RETURN_IF_ERROR(wal_.Append(kRecEnd, {}));
+  recovered_ = CampaignResumeState{};
+  campaign_open_ = false;
+  return Status::Ok();
+}
+
+void CampaignJournal::OnTargetCheckpoint(const TargetCheckpoint& checkpoint) {
+  // A skipped target has no outcome — leaving it unrecorded is what
+  // makes it resumable.
+  if (checkpoint.skipped) return;
+  store::RecordWriter rec;
+  rec.U64(checkpoint.device);
+  rec.U8(checkpoint.revoked ? kKindRevoked
+                            : (checkpoint.ok ? kKindDelivered : kKindFailed));
+  rec.U32(checkpoint.attempts);
+  Status appended = wal_.Append(kRecOutcome, rec.bytes());
+  if (!appended.ok()) {
+    {
+      std::lock_guard lock(error_mutex_);
+      if (first_error_.ok()) first_error_ = appended;
+    }
+    // Stop the campaign: a delivery whose outcome cannot be made
+    // durable will be re-delivered on resume anyway, so continuing only
+    // widens the redelivery window.
+    if (control_ != nullptr) control_->Cancel();
+  }
+}
+
+Status CampaignJournal::Complete() {
+  if (!wal_.is_open()) {
+    return Status(ErrorCode::kFailedPrecondition, "journal not open");
+  }
+  if (!campaign_open_) {
+    return Status(ErrorCode::kFailedPrecondition, "no campaign in flight");
+  }
+  ERIC_RETURN_IF_ERROR(wal_.Append(kRecEnd, {}));
+  recovered_ = CampaignResumeState{};
+  campaign_open_ = false;
+  return Status::Ok();
+}
+
+Status CampaignJournal::last_error() const {
+  std::lock_guard lock(error_mutex_);
+  return first_error_;
+}
+
+}  // namespace eric::fleet

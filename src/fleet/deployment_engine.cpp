@@ -128,6 +128,7 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
     // once the campaign is cancelled.
     if (config.governor != nullptr &&
         !config.governor->AdmitDelivery(info->group)) {
+      outcome.cancelled = true;
       outcome.skipped = outcome.attempts == 0;
       outcome.last_status =
           Status(ErrorCode::kFailedPrecondition, "campaign cancelled");
@@ -210,8 +211,20 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
     for (;;) {
       const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= targets.size()) break;
-      report.outcomes[i] = DeployOne(config, targets[i], memo);
-      if (config.governor != nullptr) config.governor->NoteTargetCompleted();
+      const DeviceOutcome& outcome =
+          (report.outcomes[i] = DeployOne(config, targets[i], memo));
+      if (config.governor != nullptr) {
+        TargetCheckpoint checkpoint;
+        checkpoint.device = outcome.device;
+        checkpoint.ok = outcome.ok;
+        checkpoint.revoked = outcome.revoked;
+        // A cancellation mid-retry is no more final than one before the
+        // first delivery: either way the target's budget was never
+        // exhausted, so the checkpoint must leave it resumable.
+        checkpoint.skipped = outcome.skipped || outcome.cancelled;
+        checkpoint.attempts = outcome.attempts;
+        config.governor->NoteTargetCompleted(checkpoint);
+      }
     }
   };
 

@@ -72,6 +72,10 @@ struct DeviceOutcome {
   /// Never dispatched: the campaign was cancelled before this device's
   /// first delivery was admitted.
   bool skipped = false;
+  /// The retry loop was cut short by cancellation (attempts may be
+  /// nonzero). Not a final outcome: the retry budget was never
+  /// exhausted, so checkpoint sinks must leave the target resumable.
+  bool cancelled = false;
   uint32_t attempts = 0;     ///< deliveries performed
   Status last_status;        ///< final failure (ok() when delivered)
   int64_t exit_code = 0;     ///< program exit code when `ok`

@@ -1,8 +1,52 @@
 #include "fleet/device_registry.h"
 
 #include <algorithm>
+#include <filesystem>
+
+#include "store/record_io.h"
+#include "store/snapshot.h"
+#include "support/stopwatch.h"
 
 namespace eric::fleet {
+
+namespace {
+
+// Registry WAL record types. Group-directory log:
+constexpr uint8_t kWalGroupCreate = 1;  ///< {u64 id, str label}
+// Per-shard mutation log:
+constexpr uint8_t kWalEnroll = 1;  ///< {u64 id, u64 seed, u64 group}
+constexpr uint8_t kWalRevoke = 2;  ///< {u64 id}
+
+constexpr uint32_t kSnapshotVersion = 1;
+constexpr const char* kSnapshotPrefix = "registry";
+constexpr const char* kGroupWalName = "groups.wal";
+
+std::string ShardWalPath(const std::string& dir, size_t shard) {
+  return dir + "/shard-" + std::to_string(shard) + ".wal";
+}
+
+}  // namespace
+
+/// Everything the persistence mode owns: the open WALs, the lock that
+/// orders mutations against snapshots, and the recovery/report counters.
+struct DeviceRegistry::Storage {
+  std::string dir;
+  RegistryStorageOptions options;
+  uint64_t fingerprint = 0;
+
+  store::Wal group_wal;
+  std::vector<std::unique_ptr<store::Wal>> shard_wals;
+
+  /// Mutators (enroll/revoke/group-create) hold this shared for the span
+  /// of {table mutation, WAL append} so a snapshot (exclusive) can never
+  /// observe a table state whose WAL record it is about to truncate.
+  std::shared_mutex mutation_mutex;
+  std::atomic<uint64_t> mutations_since_snapshot{0};
+  uint64_t snapshot_sequence = 0;  ///< guarded by exclusive mutation_mutex
+
+  mutable std::mutex info_mutex;
+  RegistryStorageInfo info;
+};
 
 std::string_view DeviceStatusName(DeviceStatus status) {
   switch (status) {
@@ -11,6 +55,8 @@ std::string_view DeviceStatusName(DeviceStatus status) {
   }
   return "unknown";
 }
+
+DeviceRegistry::~DeviceRegistry() = default;
 
 DeviceRegistry::DeviceRegistry(const RegistryConfig& config)
     : config_(config) {
@@ -30,22 +76,73 @@ size_t DeviceRegistry::ShardIndex(DeviceId id) const {
   return SplitMix64(id).Next() % shards_.size();
 }
 
+crypto::Key256 DeviceRegistry::DeriveGroupKey(GroupId id) const {
+  return crypto::DeriveKey(group_secret_, "eric.fleet.group", id);
+}
+
 GroupId DeviceRegistry::CreateGroup(std::string label) {
-  std::lock_guard lock(group_mutex_);
-  const GroupId id = next_group_id_++;
-  GroupState state;
-  state.label = std::move(label);
-  state.key = crypto::DeriveKey(group_secret_, "eric.fleet.group", id);
-  groups_.emplace(id, std::move(state));
+  std::shared_lock<std::shared_mutex> storage_lock;
+  if (storage_ != nullptr) {
+    storage_lock = std::shared_lock(storage_->mutation_mutex);
+  }
+  GroupId id;
+  {
+    std::lock_guard lock(group_mutex_);
+    id = next_group_id_++;
+    GroupState state;
+    state.label = label;
+    state.key = DeriveGroupKey(id);
+    groups_.emplace(id, std::move(state));
+  }
+  if (storage_ != nullptr) {
+    store::RecordWriter rec;
+    rec.U64(id);
+    rec.Str(label);
+    // A group-create that fails to log is still live in memory; callers
+    // treating CreateGroup as infallible keep working, and the next
+    // snapshot repairs durability. Until then only the label is at risk:
+    // recovery rebuilds a group (key and all, both derive from the id)
+    // from any enrollment that references it.
+    (void)LogMutation(storage_->group_wal, kWalGroupCreate, rec.bytes(),
+                      storage_lock);
+  }
   return id;
 }
 
-Result<DeviceId> DeviceRegistry::Enroll(uint64_t device_seed, GroupId group) {
+void DeviceRegistry::ApplyGroupCreate(GroupId id, std::string label) {
+  std::lock_guard lock(group_mutex_);
+  next_group_id_ = std::max(next_group_id_, id + 1);
+  if (groups_.contains(id)) return;  // idempotent replay
+  GroupState state;
+  state.label = std::move(label);
+  state.key = DeriveGroupKey(id);
+  groups_.emplace(id, std::move(state));
+}
+
+Status DeviceRegistry::ApplyEnroll(DeviceId id, uint64_t device_seed,
+                                   GroupId group, DeviceStatus status) {
   crypto::Key256 group_key{};
   if (group != kNoGroup) {
     auto key = GroupKey(group);
     if (!key.ok()) return key.status();
     group_key = *key;
+  }
+
+  // Idempotent replay: a crash between snapshot write and WAL compaction
+  // leaves pre-snapshot records in the tail. An id already materialized
+  // must simply match; a conflict means the state directory is damaged.
+  {
+    Shard& shard = ShardFor(id);
+    std::shared_lock lock(shard.mutex);
+    auto it = shard.records.find(id);
+    if (it != shard.records.end()) {
+      if (it->second->info.device_seed != device_seed ||
+          it->second->info.group != group) {
+        return Status(ErrorCode::kCorruptPackage,
+                      "replayed enrollment conflicts with existing device");
+      }
+      return Status::Ok();
+    }
   }
 
   // The expensive part — simulating the silicon and its PUF enrollment —
@@ -55,11 +152,10 @@ Result<DeviceId> DeviceRegistry::Enroll(uint64_t device_seed, GroupId group) {
       device_seed, config_.key_config, config_.cipher);
   const crypto::Key256 device_key = record->endpoint->Enroll();
 
-  const DeviceId id = next_device_id_.fetch_add(1, std::memory_order_relaxed);
   record->info.id = id;
   record->info.device_seed = device_seed;
   record->info.group = group;
-  record->info.status = DeviceStatus::kEnrolled;
+  record->info.status = status;
   if (group != kNoGroup) {
     record->info.conversion_mask =
         core::ApplyConversionMask(device_key, group_key);
@@ -79,6 +175,52 @@ Result<DeviceId> DeviceRegistry::Enroll(uint64_t device_seed, GroupId group) {
     std::lock_guard lock(group_mutex_);
     groups_.at(group).members.push_back(id);
   }
+  // Replay allocates ids from the log: keep the allocator ahead of every
+  // id ever observed.
+  DeviceId next = next_device_id_.load(std::memory_order_relaxed);
+  while (next <= id && !next_device_id_.compare_exchange_weak(
+                           next, id + 1, std::memory_order_relaxed)) {
+  }
+  return Status::Ok();
+}
+
+Result<DeviceId> DeviceRegistry::Enroll(uint64_t device_seed, GroupId group) {
+  std::shared_lock<std::shared_mutex> storage_lock;
+  if (storage_ != nullptr) {
+    storage_lock = std::shared_lock(storage_->mutation_mutex);
+  }
+  const DeviceId id = next_device_id_.fetch_add(1, std::memory_order_relaxed);
+  ERIC_RETURN_IF_ERROR(ApplyEnroll(id, device_seed, group,
+                                   DeviceStatus::kEnrolled));
+  if (storage_ != nullptr) {
+    store::RecordWriter rec;
+    rec.U64(id);
+    rec.U64(device_seed);
+    rec.U64(group);
+    // Write-ahead contract: the enrollment is only acknowledged (the id
+    // returned) once its record is durable per the sync policy. A failed
+    // append rolls the enrollment back by parking the record revoked —
+    // NOT by erasing it: records are never erased (Dispatch holds raw
+    // DeviceRecord pointers across the shard lock), and revoked records
+    // refuse dispatch and are skipped by campaigns, so the un-logged
+    // device can never be served. A later snapshot persists it as a
+    // revoked (dead) id, which is what it is. (After an fsync failure
+    // the record's durability is unknowable — the WAL poisons itself —
+    // and a crash may resurrect the enrollment at replay; that is the
+    // standard lost-commit-ack ambiguity, and re-enrolling the seed
+    // under a fresh id coexists with the ghost by design.)
+    Status logged = LogMutation(*storage_->shard_wals[ShardIndex(id)],
+                                kWalEnroll, rec.bytes(), storage_lock);
+    if (!logged.ok()) {
+      Shard& shard = ShardFor(id);
+      std::unique_lock lock(shard.mutex);
+      auto it = shard.records.find(id);
+      if (it != shard.records.end()) {
+        it->second->info.status = DeviceStatus::kRevoked;
+      }
+      return logged;  // the burned id is never reused, as documented
+    }
+  }
   return id;
 }
 
@@ -92,9 +234,9 @@ Result<DeviceInfo> DeviceRegistry::Lookup(DeviceId id) const {
   return it->second->info;
 }
 
-Status DeviceRegistry::Revoke(DeviceId id) {
-  Shard& shard = ShardFor(id);
-  std::unique_lock lock(shard.mutex);
+Status DeviceRegistry::ValidateRevocable(DeviceId id) const {
+  const Shard& shard = ShardFor(id);
+  std::shared_lock lock(shard.mutex);
   auto it = shard.records.find(id);
   if (it == shard.records.end()) {
     return Status(ErrorCode::kNotFound, "unknown device");
@@ -102,7 +244,43 @@ Status DeviceRegistry::Revoke(DeviceId id) {
   if (it->second->info.status == DeviceStatus::kRevoked) {
     return Status(ErrorCode::kFailedPrecondition, "device already revoked");
   }
-  it->second->info.status = DeviceStatus::kRevoked;
+  return Status::Ok();
+}
+
+Status DeviceRegistry::Revoke(DeviceId id) {
+  std::shared_lock<std::shared_mutex> storage_lock;
+  if (storage_ != nullptr) {
+    storage_lock = std::shared_lock(storage_->mutation_mutex);
+  }
+  // Validate, log, then apply. A revocation must never be visible
+  // (another caller could observe it and be told "already revoked")
+  // until its record is durable — rolling a visible revocation back
+  // after a failed append would un-revoke a device someone already saw
+  // revoked. Two racers may both pass validation; both then log and
+  // apply, which ApplyRevoke and replay absorb idempotently.
+  ERIC_RETURN_IF_ERROR(ValidateRevocable(id));
+  if (storage_ != nullptr) {
+    store::RecordWriter rec;
+    rec.U64(id);
+    ERIC_RETURN_IF_ERROR(
+        storage_->shard_wals[ShardIndex(id)]->Append(kWalRevoke, rec.bytes()));
+  }
+  ERIC_RETURN_IF_ERROR(ApplyRevoke(id));
+  // Only after the revoke is both durable and applied may an
+  // auto-snapshot run — it serializes the table and truncates the log.
+  if (storage_ != nullptr) MaybeAutoSnapshot(storage_lock);
+  return Status::Ok();
+}
+
+Status DeviceRegistry::ApplyRevoke(DeviceId id) {
+  Shard& shard = ShardFor(id);
+  std::unique_lock lock(shard.mutex);
+  auto it = shard.records.find(id);
+  if (it == shard.records.end()) {
+    return Status(ErrorCode::kCorruptPackage,
+                  "replayed revocation names an unknown device");
+  }
+  it->second->info.status = DeviceStatus::kRevoked;  // idempotent
   return Status::Ok();
 }
 
@@ -133,6 +311,17 @@ Result<std::vector<DeviceId>> DeviceRegistry::GroupMembers(
     return Status(ErrorCode::kNotFound, "unknown group");
   }
   return it->second.members;
+}
+
+std::vector<DeviceId> DeviceRegistry::AllDevices() const {
+  std::vector<DeviceId> ids;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    ids.reserve(ids.size() + shard->records.size());
+    for (const auto& [id, record] : shard->records) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 Result<core::TrustedRunResult> DeviceRegistry::Dispatch(
@@ -177,6 +366,342 @@ RegistryStats DeviceRegistry::Stats() const {
     stats.groups = groups_.size();
   }
   return stats;
+}
+
+// --- Persistence ---------------------------------------------------------------
+
+uint64_t DeviceRegistry::StorageFingerprint() const {
+  // FNV-1a over every configuration field recovery correctness depends
+  // on: key derivation (secret seed, KDF domain/epoch/binding, cipher)
+  // and record placement (shard count routes mutations to WAL files).
+  store::RecordWriter rec;
+  rec.U64(config_.shard_count);
+  rec.U64(config_.secret_seed);
+  rec.U64(config_.key_config.epoch);
+  rec.U64(config_.key_config.environment_binding);
+  rec.Str(config_.key_config.domain);
+  rec.U8(static_cast<uint8_t>(config_.cipher));
+  return store::Fnv1a64(rec.bytes());
+}
+
+Status DeviceRegistry::OpenStorage(const std::string& state_dir,
+                                   const RegistryStorageOptions& options) {
+  if (storage_ != nullptr) {
+    return Status(ErrorCode::kFailedPrecondition, "storage already attached");
+  }
+  {
+    std::lock_guard lock(group_mutex_);
+    if (!groups_.empty() ||
+        next_device_id_.load(std::memory_order_relaxed) != 1) {
+      return Status(ErrorCode::kFailedPrecondition,
+                    "OpenStorage requires an empty registry");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(state_dir, ec);
+  if (ec) {
+    return Status(ErrorCode::kInternal,
+                  "cannot create state dir " + state_dir + ": " + ec.message());
+  }
+
+  auto storage = std::make_unique<Storage>();
+  storage->dir = state_dir;
+  storage->options = options;
+  storage->fingerprint = StorageFingerprint();
+
+  const auto start = std::chrono::steady_clock::now();
+  RegistryStorageInfo info;
+  info.attached = true;
+
+  // The whole recovery pass runs inside one fallible block so a failure
+  // partway (damaged snapshot schema, one bad WAL, an open error) can
+  // unwind every table it half-populated — the caller may repair the
+  // directory and retry OpenStorage on this same object, and must never
+  // be left serving a partial fleet with no log attached.
+  Status recovery = [&]() -> Status {
+  // 1. Newest valid snapshot seeds the table.
+  auto snapshot = store::LoadLatestSnapshot(state_dir, kSnapshotPrefix,
+                                            storage->fingerprint);
+  if (!snapshot.ok()) return snapshot.status();
+  if (snapshot->found) {
+    store::RecordReader rec(snapshot->payload);
+    uint32_t version = 0;
+    uint64_t group_count = 0;
+    if (!rec.U32(&version) || version != kSnapshotVersion ||
+        !rec.U64(&group_count)) {
+      return Status(ErrorCode::kCorruptPackage, "snapshot schema damaged");
+    }
+    for (uint64_t i = 0; i < group_count; ++i) {
+      uint64_t id = 0;
+      std::string label;
+      if (!rec.U64(&id) || !rec.Str(&label)) {
+        return Status(ErrorCode::kCorruptPackage, "snapshot group damaged");
+      }
+      ApplyGroupCreate(id, std::move(label));
+    }
+    uint64_t device_count = 0;
+    if (!rec.U64(&device_count)) {
+      return Status(ErrorCode::kCorruptPackage, "snapshot schema damaged");
+    }
+    for (uint64_t i = 0; i < device_count; ++i) {
+      uint64_t id = 0, seed = 0, group = 0;
+      uint8_t status = 0;
+      if (!rec.U64(&id) || !rec.U64(&seed) || !rec.U64(&group) ||
+          !rec.U8(&status)) {
+        return Status(ErrorCode::kCorruptPackage, "snapshot device damaged");
+      }
+      ERIC_RETURN_IF_ERROR(
+          ApplyEnroll(id, seed, group,
+                      status == static_cast<uint8_t>(DeviceStatus::kRevoked)
+                          ? DeviceStatus::kRevoked
+                          : DeviceStatus::kEnrolled));
+    }
+    if (!rec.Exhausted()) {
+      return Status(ErrorCode::kCorruptPackage, "snapshot trailing bytes");
+    }
+    info.snapshot_loaded = true;
+    info.snapshot_sequence = snapshot->sequence;
+    storage->snapshot_sequence = snapshot->sequence;
+  }
+
+  // 2. WAL tails on top: group directory first (enrollments reference
+  // groups), then each shard in any order (records for one device always
+  // share its shard's log, so per-device ordering is preserved).
+  auto absorb = [&info](const store::WalRecoveryInfo& recovered) {
+    info.wal_records_replayed += recovered.records;
+    info.tail_bytes_truncated += recovered.bytes_truncated;
+    if (recovered.tail_corrupted) ++info.corrupt_tails;
+  };
+  {
+    auto replayed = store::Wal::Replay(
+        state_dir + "/" + kGroupWalName,
+        [this](const store::WalRecord& record) -> Status {
+          if (record.type != kWalGroupCreate) {
+            return Status(ErrorCode::kCorruptPackage,
+                          "unknown group-log record type");
+          }
+          store::RecordReader rec(record.payload);
+          uint64_t id = 0;
+          std::string label;
+          if (!rec.U64(&id) || !rec.Str(&label)) {
+            return Status(ErrorCode::kCorruptPackage,
+                          "group-create record damaged");
+          }
+          ApplyGroupCreate(id, std::move(label));
+          return Status::Ok();
+        },
+        storage->fingerprint);
+    if (!replayed.ok()) return replayed.status();
+    absorb(*replayed);
+  }
+  // Revocations whose device is not yet materialized. Enroll publishes
+  // the record to readers before its WAL append, so a revoke racing the
+  // tail of an enrollment can land in the log first; the revoke is
+  // deferred and applied once every enrollment has replayed.
+  std::vector<DeviceId> deferred_revokes;
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    auto replayed = store::Wal::Replay(
+        ShardWalPath(state_dir, shard),
+        [this, &deferred_revokes](const store::WalRecord& record) -> Status {
+          store::RecordReader rec(record.payload);
+          if (record.type == kWalEnroll) {
+            uint64_t id = 0, seed = 0, group = 0;
+            if (!rec.U64(&id) || !rec.U64(&seed) || !rec.U64(&group)) {
+              return Status(ErrorCode::kCorruptPackage,
+                            "enroll record damaged");
+            }
+            Status applied = ApplyEnroll(id, seed, group,
+                                         DeviceStatus::kEnrolled);
+            if (applied.code() == ErrorCode::kNotFound &&
+                group != kNoGroup) {
+              // The enrollment outlived its group-create record (torn
+              // groups.wal tail, or the group append failed while the
+              // enroll append succeeded). Group keys derive from the
+              // group *id*, not the label, so the group can be rebuilt
+              // losslessly — only the display label is gone. Refusing
+              // here would brick the whole state directory over a
+              // cosmetic loss.
+              ApplyGroupCreate(group,
+                               "recovered-group-" + std::to_string(group));
+              applied = ApplyEnroll(id, seed, group, DeviceStatus::kEnrolled);
+            }
+            return applied;
+          }
+          if (record.type == kWalRevoke) {
+            uint64_t id = 0;
+            if (!rec.U64(&id)) {
+              return Status(ErrorCode::kCorruptPackage,
+                            "revoke record damaged");
+            }
+            Status applied = ApplyRevoke(id);
+            if (!applied.ok()) deferred_revokes.push_back(id);
+            return Status::Ok();
+          }
+          return Status(ErrorCode::kCorruptPackage,
+                        "unknown shard-log record type");
+        },
+        storage->fingerprint);
+    if (!replayed.ok()) return replayed.status();
+    absorb(*replayed);
+  }
+  // Every enrollment is in. A deferred revoke that still names an
+  // unknown device is an orphan: its enrollment's append failed and was
+  // rolled back (or lost to a torn tail), so the device never durably
+  // existed and the revocation of nothing is a no-op — refusing to open
+  // the whole state directory over it would turn a benign race into a
+  // bricked fleet. Counted, not hidden.
+  for (DeviceId id : deferred_revokes) {
+    if (!ApplyRevoke(id).ok()) ++info.orphan_revokes_dropped;
+  }
+
+  // Shard-parallel replay loses the global enrollment order; ids are
+  // allocated sequentially, so id order restores it.
+  {
+    std::lock_guard lock(group_mutex_);
+    for (auto& [id, group] : groups_) {
+      std::sort(group.members.begin(), group.members.end());
+    }
+  }
+
+  // 3. Open the logs for appending; every future mutation is logged.
+  ERIC_RETURN_IF_ERROR(storage->group_wal.Open(
+      state_dir + "/" + kGroupWalName, options.wal, storage->fingerprint));
+  storage->shard_wals.reserve(shards_.size());
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    auto wal = std::make_unique<store::Wal>();
+    ERIC_RETURN_IF_ERROR(wal->Open(ShardWalPath(state_dir, shard),
+                                   options.wal, storage->fingerprint));
+    storage->shard_wals.push_back(std::move(wal));
+  }
+  return Status::Ok();
+  }();
+  if (!recovery.ok()) {
+    for (auto& shard : shards_) {
+      std::unique_lock lock(shard->mutex);
+      shard->records.clear();
+    }
+    std::lock_guard lock(group_mutex_);
+    groups_.clear();
+    next_group_id_ = 1;
+    next_device_id_.store(1, std::memory_order_relaxed);
+    return recovery;
+  }
+
+  const auto stats = Stats();
+  info.devices_recovered = stats.devices;
+  info.groups_recovered = stats.groups;
+  info.recovery_ms = MillisecondsSince(start);
+  {
+    std::lock_guard lock(storage->info_mutex);
+    storage->info = info;
+  }
+  storage_ = std::move(storage);
+  return Status::Ok();
+}
+
+std::vector<uint8_t> DeviceRegistry::SerializeSnapshotLocked() const {
+  store::RecordWriter rec;
+  rec.U32(kSnapshotVersion);
+  {
+    std::lock_guard lock(group_mutex_);
+    rec.U64(groups_.size());
+    for (const auto& [id, group] : groups_) {
+      rec.U64(id);
+      rec.Str(group.label);
+    }
+  }
+  // Count first, then emit: the exclusive mutation lock means the table
+  // cannot change between the two passes.
+  uint64_t device_count = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    device_count += shard->records.size();
+  }
+  rec.U64(device_count);
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    for (const auto& [id, record] : shard->records) {
+      rec.U64(id);
+      rec.U64(record->info.device_seed);
+      rec.U64(record->info.group);
+      rec.U8(static_cast<uint8_t>(record->info.status));
+    }
+  }
+  return rec.Take();
+}
+
+Status DeviceRegistry::SnapshotLocked() {
+  const std::vector<uint8_t> payload = SerializeSnapshotLocked();
+  const uint64_t sequence = ++storage_->snapshot_sequence;
+  ERIC_RETURN_IF_ERROR(store::WriteSnapshot(storage_->dir, kSnapshotPrefix,
+                                            sequence, storage_->fingerprint,
+                                            payload));
+  // Compaction: every logged mutation is now covered by the snapshot.
+  // (A crash before these truncates leaves stale records in the tails;
+  // replay is idempotent against exactly that.)
+  ERIC_RETURN_IF_ERROR(storage_->group_wal.TruncateAll());
+  for (auto& wal : storage_->shard_wals) {
+    ERIC_RETURN_IF_ERROR(wal->TruncateAll());
+  }
+  storage_->mutations_since_snapshot.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(storage_->info_mutex);
+    ++storage_->info.snapshots_written;
+  }
+  return Status::Ok();
+}
+
+Status DeviceRegistry::Snapshot() {
+  if (storage_ == nullptr) {
+    return Status(ErrorCode::kFailedPrecondition, "storage not attached");
+  }
+  std::unique_lock lock(storage_->mutation_mutex);
+  return SnapshotLocked();
+}
+
+Status DeviceRegistry::LogMutation(
+    store::Wal& wal, uint8_t type, std::span<const uint8_t> payload,
+    std::shared_lock<std::shared_mutex>& storage_lock) {
+  ERIC_RETURN_IF_ERROR(wal.Append(type, payload));
+  MaybeAutoSnapshot(storage_lock);
+  return Status::Ok();
+}
+
+void DeviceRegistry::MaybeAutoSnapshot(
+    std::shared_lock<std::shared_mutex>& storage_lock) {
+  const uint64_t mutations =
+      storage_->mutations_since_snapshot.fetch_add(1,
+                                                   std::memory_order_relaxed) +
+      1;
+  if (storage_->options.snapshot_every > 0 &&
+      mutations >= storage_->options.snapshot_every) {
+    // Trade the shared lock for the exclusive one; whoever wins the race
+    // snapshots, the rest see the reset counter and move on.
+    storage_lock.unlock();
+    {
+      std::unique_lock exclusive(storage_->mutation_mutex);
+      if (storage_->mutations_since_snapshot.load(std::memory_order_relaxed) >=
+          storage_->options.snapshot_every) {
+        // The triggering mutation is already durable in its WAL; a
+        // failed snapshot only delays compaction. Reporting it as the
+        // mutation's failure would tell the caller a committed
+        // enrollment failed — record it on the side instead.
+        Status snapped = SnapshotLocked();
+        if (!snapped.ok()) {
+          std::lock_guard info_lock(storage_->info_mutex);
+          ++storage_->info.snapshot_failures;
+          storage_->info.last_snapshot_error = snapped;
+        }
+      }
+    }
+    storage_lock.lock();
+  }
+}
+
+RegistryStorageInfo DeviceRegistry::storage_info() const {
+  if (storage_ == nullptr) return RegistryStorageInfo{};
+  std::lock_guard lock(storage_->info_mutex);
+  return storage_->info;
 }
 
 }  // namespace eric::fleet

@@ -29,6 +29,7 @@
 #include "core/group_key.h"
 #include "core/trusted_execution.h"
 #include "crypto/kdf.h"
+#include "store/wal.h"
 #include "support/rng.h"
 #include "support/status.h"
 
@@ -80,6 +81,38 @@ struct RegistryConfig {
   uint64_t secret_seed = 0x5ECB007;
 };
 
+/// Durability knobs for a registry state directory.
+struct RegistryStorageOptions {
+  /// Sync policy for the per-shard mutation WALs.
+  store::WalOptions wal;
+  /// Auto-snapshot (and compact the WALs) after this many mutations;
+  /// 0 = snapshot only when Snapshot() is called explicitly.
+  uint64_t snapshot_every = 0;
+};
+
+/// What recovery found when storage was opened, plus live counters.
+struct RegistryStorageInfo {
+  bool attached = false;         ///< true once OpenStorage succeeded
+  bool snapshot_loaded = false;  ///< a valid snapshot seeded recovery
+  uint64_t snapshot_sequence = 0;   ///< sequence of the loaded snapshot
+  uint64_t devices_recovered = 0;   ///< devices rebuilt from disk
+  uint64_t groups_recovered = 0;    ///< groups rebuilt from disk
+  uint64_t wal_records_replayed = 0;  ///< WAL records applied on top
+  uint64_t tail_bytes_truncated = 0;  ///< torn/corrupt WAL tail dropped
+  uint64_t corrupt_tails = 0;    ///< WAL files that needed tail repair
+  /// Revocations replayed for a device that never durably enrolled
+  /// (its enrollment's append failed or was torn off): dropped as
+  /// no-ops rather than refusing recovery.
+  uint64_t orphan_revokes_dropped = 0;
+  uint64_t snapshots_written = 0;  ///< snapshots written since open
+  /// Auto-snapshots that failed. The triggering mutation itself is
+  /// durable and reported successful — the WALs simply stay uncompacted
+  /// until the next snapshot succeeds.
+  uint64_t snapshot_failures = 0;
+  Status last_snapshot_error;    ///< most recent auto-snapshot failure
+  double recovery_ms = 0;        ///< wall time of the recovery pass
+};
+
 /// The sharded device registry.
 ///
 /// Thread-safe: all public methods may be called concurrently.
@@ -88,6 +121,9 @@ class DeviceRegistry {
   /// Builds an empty registry; `config` fixes key derivation, cipher,
   /// and shard count for the registry's lifetime.
   explicit DeviceRegistry(const RegistryConfig& config = {});
+
+  /// Closes the attached storage (final sync included), if any.
+  ~DeviceRegistry();
 
   /// Creates a device group with a fresh group key. The key is what the
   /// software source receives through the (assumed) handshake.
@@ -117,6 +153,11 @@ class DeviceRegistry {
   /// Member ids in enrollment order (includes revoked members).
   Result<std::vector<DeviceId>> GroupMembers(GroupId group) const;
 
+  /// Every enrolled device id (revoked included), ascending. Ids are
+  /// allocated sequentially, so ascending id order is enrollment order —
+  /// the order a recovered fleet reconstructs campaigns against.
+  std::vector<DeviceId> AllDevices() const;
+
   /// Delivers wire bytes to the device endpoint (HDE validation + run).
   /// Fails with kFailedPrecondition for revoked devices.
   Result<core::TrustedRunResult> Dispatch(DeviceId id,
@@ -126,6 +167,30 @@ class DeviceRegistry {
 
   /// Aggregate counters (devices, revocations, stripe balance).
   RegistryStats Stats() const;
+
+  /// Attaches durable state under `state_dir` (created if missing) and
+  /// recovers whatever a previous process left there: the newest valid
+  /// snapshot is loaded, then each WAL tail is replayed on top (torn or
+  /// corrupt tails are truncated, never applied). Must be called on an
+  /// empty registry; after it returns, every enroll/revoke/group mutation
+  /// is write-ahead logged per shard before it is acknowledged.
+  ///
+  /// The state directory stores no key material: keys re-derive from
+  /// this registry's RegistryConfig plus the logged enrollment seeds, and
+  /// a fingerprint in every file refuses recovery under a configuration
+  /// (shard count, KDF domain/epoch, cipher, secret seed) that would
+  /// derive different keys or scatter records across different shards.
+  Status OpenStorage(const std::string& state_dir,
+                     const RegistryStorageOptions& options = {});
+
+  /// Serializes the full table to a new snapshot and compacts (truncates)
+  /// every WAL. Blocks mutations for the duration. kFailedPrecondition
+  /// when storage is not attached.
+  Status Snapshot();
+
+  /// Recovery results and persistence counters (zero-valued defaults
+  /// when storage was never attached).
+  RegistryStorageInfo storage_info() const;
 
   /// Key-derivation parameters every enrollment used.
   const crypto::KeyConfig& key_config() const { return config_.key_config; }
@@ -153,9 +218,47 @@ class DeviceRegistry {
     std::vector<DeviceId> members;
   };
 
+  /// Durable-state bundle, allocated by OpenStorage.
+  struct Storage;
+
   Shard& ShardFor(DeviceId id) { return *shards_[ShardIndex(id)]; }
   const Shard& ShardFor(DeviceId id) const { return *shards_[ShardIndex(id)]; }
   size_t ShardIndex(DeviceId id) const;
+
+  /// Materializes one device record (endpoint simulation included) at a
+  /// fixed id — the shared body of Enroll and of recovery replay. Never
+  /// touches the WAL. Idempotent across replay: an id already present is
+  /// verified against (seed, group) and otherwise left alone.
+  Status ApplyEnroll(DeviceId id, uint64_t device_seed, GroupId group,
+                     DeviceStatus status);
+  /// Recreates a group at a fixed id (recovery replay). Idempotent.
+  void ApplyGroupCreate(GroupId id, std::string label);
+  /// Marks a device revoked (recovery replay; idempotent).
+  Status ApplyRevoke(DeviceId id);
+  /// kNotFound / kFailedPrecondition when `id` cannot be revoked now.
+  Status ValidateRevocable(DeviceId id) const;
+  /// Derives the key for group `id` from the registry secret.
+  crypto::Key256 DeriveGroupKey(GroupId id) const;
+  /// Fingerprint of everything recovery correctness depends on.
+  uint64_t StorageFingerprint() const;
+  /// Serializes groups + devices into a snapshot payload. Caller holds
+  /// the exclusive storage lock.
+  std::vector<uint8_t> SerializeSnapshotLocked() const;
+  /// Writes the snapshot and truncates the WALs. Caller holds the
+  /// exclusive storage lock.
+  Status SnapshotLocked();
+  /// Appends a mutation record and auto-snapshots when due. Caller holds
+  /// a shared storage lock, which is released/reacquired if a snapshot
+  /// triggers. Call only after the mutation is applied to the table —
+  /// the snapshot serializes whatever the table holds, then truncates
+  /// the record.
+  Status LogMutation(store::Wal& wal, uint8_t type,
+                     std::span<const uint8_t> payload,
+                     std::shared_lock<std::shared_mutex>& storage_lock);
+  /// The counter/auto-snapshot half of LogMutation, for the (revoke)
+  /// path that must append and apply itself before any snapshot may
+  /// interleave.
+  void MaybeAutoSnapshot(std::shared_lock<std::shared_mutex>& storage_lock);
 
   RegistryConfig config_;
   crypto::Key256 group_secret_{};
@@ -166,6 +269,8 @@ class DeviceRegistry {
   GroupId next_group_id_ = 1;
 
   std::atomic<DeviceId> next_device_id_{1};
+
+  std::unique_ptr<Storage> storage_;
 };
 
 }  // namespace eric::fleet

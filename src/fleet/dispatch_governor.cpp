@@ -53,8 +53,12 @@ void CampaignControl::NoteWaveCompleted() {
 void CampaignControl::NoteDelivery() {
   deliveries_.fetch_add(1, std::memory_order_acq_rel);
 }
-void CampaignControl::NoteTargetCompleted() {
+void CampaignControl::NoteTargetCompleted(const TargetCheckpoint& checkpoint) {
+  if (checkpoint.skipped) return;  // no outcome: the target never dispatched
   targets_completed_.fetch_add(1, std::memory_order_acq_rel);
+  if (checkpoint_sink_ != nullptr) {
+    checkpoint_sink_->OnTargetCheckpoint(checkpoint);
+  }
 }
 
 // --- TokenBucket -------------------------------------------------------------
@@ -161,8 +165,8 @@ void DispatchGovernor::CompleteDelivery(GroupId group) {
   ReleaseGroupSlot(group);
 }
 
-void DispatchGovernor::NoteTargetCompleted() {
-  if (control_ != nullptr) control_->NoteTargetCompleted();
+void DispatchGovernor::NoteTargetCompleted(const TargetCheckpoint& checkpoint) {
+  if (control_ != nullptr) control_->NoteTargetCompleted(checkpoint);
 }
 
 }  // namespace eric::fleet

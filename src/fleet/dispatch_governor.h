@@ -26,6 +26,34 @@
 
 namespace eric::fleet {
 
+/// One target's final outcome, as reported at the dispatch boundary —
+/// the unit of campaign checkpointing. Carried from the engine through
+/// the governor to whatever durable sink is attached (CampaignJournal
+/// persists these through the WAL store).
+struct TargetCheckpoint {
+  DeviceId device = 0;   ///< the target this checkpoint finalizes
+  bool ok = false;       ///< delivered, validated, and ran
+  bool revoked = false;  ///< skipped as revoked (final; never retried)
+  /// Never dispatched (campaign cancelled first). NOT a final outcome:
+  /// checkpoint sinks must not mark skipped targets complete, or a
+  /// resumed campaign would silently drop them.
+  bool skipped = false;
+  uint32_t attempts = 0;  ///< deliveries spent on the target
+};
+
+/// Receives every finalized target checkpoint of a campaign.
+///
+/// Implementations must be thread-safe: engine workers call
+/// OnTargetCheckpoint concurrently. The durable implementation is
+/// fleet::CampaignJournal.
+class CampaignCheckpointSink {
+ public:
+  /// Virtual base destructor (sinks are held by non-owning pointer).
+  virtual ~CampaignCheckpointSink() = default;
+  /// Called once per target when its outcome is final.
+  virtual void OnTargetCheckpoint(const TargetCheckpoint& checkpoint) = 0;
+};
+
 /// Cooperative pause / resume / cancel shared between a running campaign
 /// and its operator thread.
 ///
@@ -76,10 +104,20 @@ class CampaignControl {
   void NoteWaveCompleted();
   /// Records one finished channel delivery (engine-side).
   void NoteDelivery();
-  /// Records one target reaching a final outcome (engine-side).
-  void NoteTargetCompleted();
+  /// Records one target reaching a final outcome (engine-side): updates
+  /// the progress counters and forwards the checkpoint to the attached
+  /// sink, if any. Skipped targets count toward neither.
+  void NoteTargetCompleted(const TargetCheckpoint& checkpoint);
+
+  /// Attaches a durable checkpoint sink (e.g. a CampaignJournal). Call
+  /// before the campaign starts; the pointer is non-owning and must
+  /// outlive the campaign. Null detaches.
+  void AttachCheckpointSink(CampaignCheckpointSink* sink) {
+    checkpoint_sink_ = sink;
+  }
 
  private:
+  CampaignCheckpointSink* checkpoint_sink_ = nullptr;
   std::atomic<bool> paused_{false};
   std::atomic<bool> cancelled_{false};
   std::atomic<uint32_t> waves_started_{0};
@@ -148,8 +186,9 @@ class DispatchGovernor {
   void CompleteDelivery(GroupId group);
 
   /// Records a target reaching its final outcome (forwards to the
-  /// control block's checkpoint when one is attached).
-  void NoteTargetCompleted();
+  /// control block's checkpoint counters and durable sink when a control
+  /// block is attached).
+  void NoteTargetCompleted(const TargetCheckpoint& checkpoint);
 
   /// Highest number of deliveries ever simultaneously in flight.
   size_t peak_in_flight() const {

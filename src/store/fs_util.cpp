@@ -1,0 +1,38 @@
+#include "store/fs_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace eric::store {
+
+Status WriteAll(int fd, const uint8_t* data, size_t size) {
+  while (size > 0) {
+    const ssize_t wrote = ::write(fd, data, size);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status(ErrorCode::kInternal,
+                    std::string("write failed: ") + std::strerror(errno));
+    }
+    data += wrote;
+    size -= static_cast<size_t>(wrote);
+  }
+  return Status::Ok();
+}
+
+void SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+void SyncParentDir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+}  // namespace eric::store

@@ -1,0 +1,24 @@
+// POSIX file-durability helpers shared by the WAL and snapshot codecs:
+// full-write with EINTR retry, and the directory fsyncs that make
+// renames and truncations themselves crash-durable. Internal to
+// src/store/ — the public surface is wal.h / snapshot.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/status.h"
+
+namespace eric::store {
+
+/// Writes all `size` bytes to `fd`, retrying short writes and EINTR.
+Status WriteAll(int fd, const uint8_t* data, size_t size);
+
+/// Best-effort fsync of directory `dir`, so completed renames and
+/// truncations inside it survive a metadata crash.
+void SyncDir(const std::string& dir);
+
+/// SyncDir on the directory containing file `path`.
+void SyncParentDir(const std::string& path);
+
+}  // namespace eric::store

@@ -1,0 +1,53 @@
+// Atomic snapshot files: the compaction half of the durable store.
+//
+// A snapshot is a point-in-time serialization of a client's full state.
+// Writing one lets the client truncate its WALs (log compaction), which
+// bounds both disk usage and cold-start replay time. The file protocol
+// guarantees a reader only ever sees a complete snapshot:
+//
+//   write    serialize to `<prefix>-<seq>.snap.tmp`, fsync, rename into
+//            place, fsync the directory. A crash mid-write leaves a .tmp
+//            that the loader ignores; the previous snapshot stays live.
+//   load     pick the highest-sequence `<prefix>-<seq>.snap` whose CRC
+//            verifies; a corrupt latest snapshot falls back to the next
+//            older one rather than failing recovery outright.
+//   retire   after a successful write, older snapshots are deleted.
+//
+// File layout: "ERICSNP1" magic | u64 fingerprint | u64 seq |
+//              u32 crc32(payload) | u32 payload_len | payload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace eric::store {
+
+/// A successfully loaded snapshot.
+struct LoadedSnapshot {
+  bool found = false;            ///< false when no valid snapshot exists
+  uint64_t sequence = 0;         ///< the snapshot's sequence number
+  std::vector<uint8_t> payload;  ///< CRC-verified client payload
+};
+
+/// Writes `payload` as snapshot `sequence` under `dir`/`prefix`, atomically
+/// (tmp + fsync + rename + dir fsync), then deletes older snapshots with
+/// the same prefix. `fingerprint` binds the snapshot to the writer's
+/// configuration, mirroring the WAL header.
+Status WriteSnapshot(const std::string& dir, const std::string& prefix,
+                     uint64_t sequence, uint64_t fingerprint,
+                     std::span<const uint8_t> payload);
+
+/// Loads the newest CRC-valid snapshot with `prefix` under `dir`.
+/// Not-found is success with `found == false`; corrupt candidates are
+/// skipped (newest valid wins). A fingerprint mismatch on an otherwise
+/// valid snapshot is an error — silently ignoring it would resurrect an
+/// empty fleet.
+Result<LoadedSnapshot> LoadLatestSnapshot(const std::string& dir,
+                                          const std::string& prefix,
+                                          uint64_t fingerprint);
+
+}  // namespace eric::store

@@ -1,0 +1,400 @@
+#include "store/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "store/fs_util.h"
+#include "store/record_io.h"
+
+namespace eric::store {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'R', 'I', 'C', 'W', 'A', 'L', '1'};
+constexpr size_t kHeaderSize = sizeof(kMagic) + 8;  // magic + fingerprint
+constexpr size_t kFrameHeaderSize = 4 + 1 + 4;      // len + type + crc
+/// Upper bound on a single record; a length field beyond this is treated
+/// as tail corruption, not an allocation request.
+constexpr uint32_t kMaxPayload = 64u << 20;
+
+}  // namespace
+
+uint32_t Crc32Extend(uint32_t crc, std::span<const uint8_t> data) {
+  // Standard reflected CRC-32 (polynomial 0xEDB88320), table-driven;
+  // the table is built once. The xor-in/xor-out make the running value
+  // composable across calls, zlib-style.
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t entry = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        entry = (entry >> 1) ^ ((entry & 1u) ? 0xEDB88320u : 0u);
+      }
+      table[i] = entry;
+    }
+    return table;
+  }();
+  uint32_t state = crc ^ 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    state = (state >> 8) ^ kTable[(state ^ byte) & 0xFFu];
+  }
+  return state ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(std::span<const uint8_t> data) { return Crc32Extend(0, data); }
+
+std::string_view SyncModeName(SyncMode mode) {
+  switch (mode) {
+    case SyncMode::kNever: return "never";
+    case SyncMode::kEveryAppend: return "every-append";
+    case SyncMode::kGroupCommit: return "group-commit";
+  }
+  return "unknown";
+}
+
+Wal::~Wal() { Close(); }
+
+Status Wal::Open(const std::string& path, const WalOptions& options,
+                 uint64_t fingerprint) {
+  if (fd_ >= 0) {
+    return Status(ErrorCode::kFailedPrecondition, "wal already open");
+  }
+  options_ = options;
+  written_seq_ = 0;
+  synced_seq_ = 0;
+  end_offset_ = kHeaderSize;
+  poisoned_ = false;
+
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status(ErrorCode::kInternal,
+                  "cannot open wal " + path + ": " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status(ErrorCode::kInternal, "cannot stat wal " + path);
+  }
+  if (st.st_size == 0) {
+    // Fresh log: write the header and make it durable before any record.
+    uint8_t header[kHeaderSize];
+    std::memcpy(header, kMagic, sizeof(kMagic));
+    StoreLe64(fingerprint, header + sizeof(kMagic));
+    Status wrote = WriteAll(fd, header, sizeof(header));
+    if (!wrote.ok()) {
+      ::close(fd);
+      return wrote;
+    }
+    ::fsync(fd);
+    SyncParentDir(path);
+  } else {
+    uint8_t header[kHeaderSize];
+    const ssize_t got = ::pread(fd, header, sizeof(header), 0);
+    if (got != static_cast<ssize_t>(sizeof(header)) ||
+        std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+      ::close(fd);
+      return Status(ErrorCode::kCorruptPackage,
+                    "wal header missing or damaged: " + path);
+    }
+    if (LoadLe64(header + sizeof(kMagic)) != fingerprint) {
+      ::close(fd);
+      return Status(ErrorCode::kFailedPrecondition,
+                    "wal fingerprint mismatch (log written under a "
+                    "different configuration): " + path);
+    }
+    const off_t end = ::lseek(fd, 0, SEEK_END);
+    if (end < 0) {
+      ::close(fd);
+      return Status(ErrorCode::kInternal, "cannot seek wal " + path);
+    }
+    end_offset_ = static_cast<uint64_t>(end);
+  }
+  fd_ = fd;
+  return Status::Ok();
+}
+
+Status Wal::Append(uint8_t type, std::span<const uint8_t> payload) {
+  if (fd_ < 0) {
+    return Status(ErrorCode::kFailedPrecondition, "wal not open");
+  }
+  if (payload.size() > kMaxPayload) {
+    return Status(ErrorCode::kInvalidArgument, "wal record too large");
+  }
+  // Frame: len | type | crc(type || payload) | payload — assembled into
+  // one buffer so a record lands in a single write() call. The CRC runs
+  // incrementally over the type byte and the caller's payload, so the
+  // payload is copied exactly once (into the frame).
+  std::vector<uint8_t> frame(kFrameHeaderSize + payload.size());
+  StoreLe32(static_cast<uint32_t>(payload.size()), frame.data());
+  frame[4] = type;
+  StoreLe32(Crc32Extend(Crc32Extend(0, {&type, 1}), payload),
+            frame.data() + 5);
+  std::copy(payload.begin(), payload.end(), frame.begin() + kFrameHeaderSize);
+
+  uint64_t my_seq = 0;
+  {
+    std::lock_guard lock(write_mutex_);
+    if (poisoned_.load(std::memory_order_acquire)) {
+      return Status(ErrorCode::kInternal,
+                    "wal poisoned by an earlier unrecoverable write failure");
+    }
+    Status wrote = WriteAll(fd_, frame.data(), frame.size());
+    if (!wrote.ok()) {
+      // Roll the file back to the last good record so the failed frame
+      // can never sit torn in front of later, acknowledged records. If
+      // even that fails the tail is unknown: refuse all further appends.
+      if (::ftruncate(fd_, static_cast<off_t>(end_offset_)) != 0 ||
+          ::lseek(fd_, 0, SEEK_END) < 0) {
+        poisoned_.store(true, std::memory_order_release);
+      }
+      return wrote;
+    }
+    end_offset_ += frame.size();
+    my_seq = ++written_seq_;
+  }
+
+  switch (options_.sync) {
+    case SyncMode::kNever:
+      return Status::Ok();
+    case SyncMode::kEveryAppend:
+      if (::fsync(fd_) != 0) {
+        Poison();
+        return Status(ErrorCode::kInternal, "wal fsync failed");
+      }
+      // If another thread's fsync failed between our write and our
+      // fsync, our "success" is spurious (the kernel already consumed
+      // the error): refuse the ack like every other path.
+      if (poisoned_.load(std::memory_order_acquire)) {
+        return Status(ErrorCode::kInternal,
+                      "wal poisoned by an fsync failure");
+      }
+      return Status::Ok();
+    case SyncMode::kGroupCommit:
+      return SyncLocked(my_seq);
+  }
+  return Status::Ok();
+}
+
+void Wal::Poison() {
+  // After a failed fsync the kernel may have dropped the dirty pages the
+  // error covered (the fsyncgate lesson): the on-disk tail is unknowable
+  // and cannot be rolled back record by record — other threads' frames
+  // may sit after ours. Refuse every further append and every pending
+  // group-commit acknowledgment (a retried fsync on the same fd can
+  // spuriously succeed because the kernel already consumed the error);
+  // recovery replays whatever proves durable, and idempotent client
+  // replay absorbs a record whose failure was reported to the caller.
+  poisoned_.store(true, std::memory_order_release);
+}
+
+Status Wal::SyncLocked(uint64_t my_seq) {
+  std::unique_lock lock(sync_mutex_);
+  while (synced_seq_ < my_seq) {
+    // A record not yet covered by a *successful* fsync must not be
+    // acknowledged once the log is poisoned — retrying the fsync could
+    // "succeed" without the data being on disk.
+    if (poisoned_.load(std::memory_order_acquire)) {
+      return Status(ErrorCode::kInternal,
+                    "wal poisoned by an fsync failure");
+    }
+    if (!sync_in_progress_) {
+      // Become the batch leader: optionally gather more writers, then one
+      // fsync covers every record written before it.
+      sync_in_progress_ = true;
+      lock.unlock();
+      if (options_.group_commit_window_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.group_commit_window_us));
+      }
+      uint64_t covered = 0;
+      {
+        std::lock_guard write_lock(write_mutex_);
+        covered = written_seq_;
+      }
+      const bool ok = ::fsync(fd_) == 0;
+      if (!ok) Poison();
+      lock.lock();
+      sync_in_progress_ = false;
+      if (!ok) {
+        sync_cv_.notify_all();
+        return Status(ErrorCode::kInternal, "wal fsync failed");
+      }
+      synced_seq_ = std::max(synced_seq_, covered);
+      sync_cv_.notify_all();
+    } else {
+      sync_cv_.wait(lock, [&] {
+        return synced_seq_ >= my_seq || !sync_in_progress_;
+      });
+    }
+  }
+  return Status::Ok();
+}
+
+Status Wal::Sync() {
+  if (fd_ < 0) {
+    return Status(ErrorCode::kFailedPrecondition, "wal not open");
+  }
+  // Snapshot the covered sequence BEFORE the fsync: records appended
+  // while the fsync runs are not covered by it, and claiming they were
+  // would let a concurrent group-commit waiter return without
+  // durability.
+  uint64_t covered = 0;
+  {
+    std::lock_guard write_lock(write_mutex_);
+    covered = written_seq_;
+  }
+  if (::fsync(fd_) != 0) {
+    Poison();
+    return Status(ErrorCode::kInternal, "wal fsync failed");
+  }
+  if (poisoned_.load(std::memory_order_acquire)) {
+    return Status(ErrorCode::kInternal, "wal poisoned by an fsync failure");
+  }
+  std::lock_guard lock(sync_mutex_);
+  synced_seq_ = std::max(synced_seq_, covered);
+  return Status::Ok();
+}
+
+Status Wal::TruncateAll() {
+  if (fd_ < 0) {
+    return Status(ErrorCode::kFailedPrecondition, "wal not open");
+  }
+  std::scoped_lock lock(write_mutex_, sync_mutex_);
+  if (::ftruncate(fd_, static_cast<off_t>(kHeaderSize)) != 0) {
+    return Status(ErrorCode::kInternal, "wal truncate failed");
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    return Status(ErrorCode::kInternal, "wal seek failed");
+  }
+  if (::fsync(fd_) != 0) {
+    return Status(ErrorCode::kInternal, "wal fsync failed");
+  }
+  end_offset_ = kHeaderSize;
+  poisoned_ = false;  // the tail is known-good (empty) again
+  return Status::Ok();
+}
+
+void Wal::Close() {
+  if (fd_ < 0) return;
+  ::fsync(fd_);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Result<WalRecoveryInfo> Wal::Replay(
+    const std::string& path,
+    const std::function<Status(const WalRecord&)>& callback,
+    uint64_t fingerprint) {
+  WalRecoveryInfo info;
+  const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return info;  // missing file == empty log
+    return Status(ErrorCode::kInternal,
+                  "cannot open wal " + path + ": " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status(ErrorCode::kInternal, "cannot stat wal " + path);
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+
+  // A file too short to hold its own header is a torn creation: treat the
+  // whole thing as tail and reset it to empty (zero length re-triggers
+  // header creation on the next Open).
+  uint8_t header[kHeaderSize];
+  if (file_size < kHeaderSize ||
+      ::pread(fd, header, sizeof(header), 0) !=
+          static_cast<ssize_t>(sizeof(header)) ||
+      std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    if (file_size > 0) {
+      info.tail_corrupted = true;
+      info.bytes_truncated = file_size;
+      if (::ftruncate(fd, 0) != 0 || ::fsync(fd) != 0) {
+        // The damage could not be removed: refuse recovery rather than
+        // let Open() append acknowledged records after surviving
+        // garbage the next replay would truncate away.
+        ::close(fd);
+        return Status(ErrorCode::kInternal,
+                      "cannot repair damaged wal header: " + path);
+      }
+    }
+    ::close(fd);
+    SyncParentDir(path);
+    return info;
+  }
+  if (LoadLe64(header + sizeof(kMagic)) != fingerprint) {
+    ::close(fd);
+    return Status(ErrorCode::kFailedPrecondition,
+                  "wal fingerprint mismatch (log written under a "
+                  "different configuration): " + path);
+  }
+
+  uint64_t offset = kHeaderSize;
+  while (offset < file_size) {
+    // Either the full frame parses and its CRC verifies, or everything
+    // from `offset` on is a torn/corrupt tail to be truncated away.
+    uint8_t frame_header[kFrameHeaderSize];
+    if (file_size - offset < kFrameHeaderSize) break;
+    if (::pread(fd, frame_header, sizeof(frame_header),
+                static_cast<off_t>(offset)) !=
+        static_cast<ssize_t>(sizeof(frame_header))) {
+      break;
+    }
+    const uint32_t payload_len = LoadLe32(frame_header);
+    if (payload_len > kMaxPayload ||
+        file_size - offset - kFrameHeaderSize < payload_len) {
+      break;
+    }
+    const uint8_t type = frame_header[4];
+    const uint32_t stored_crc = LoadLe32(frame_header + 5);
+
+    WalRecord record;
+    record.type = type;
+    record.payload.resize(payload_len);
+    if (payload_len > 0 &&
+        ::pread(fd, record.payload.data(), payload_len,
+                static_cast<off_t>(offset + kFrameHeaderSize)) !=
+            static_cast<ssize_t>(payload_len)) {
+      break;
+    }
+    if (Crc32Extend(Crc32Extend(0, {&type, 1}), record.payload) !=
+        stored_crc) {
+      break;
+    }
+
+    Status applied = callback(record);
+    if (!applied.ok()) {
+      ::close(fd);
+      return applied;
+    }
+    ++info.records;
+    offset += kFrameHeaderSize + payload_len;
+  }
+
+  if (offset < file_size) {
+    info.tail_corrupted = true;
+    info.bytes_truncated = file_size - offset;
+    if (::ftruncate(fd, static_cast<off_t>(offset)) != 0 ||
+        ::fsync(fd) != 0) {
+      // Same fail-closed rule as the header repair: a tail that cannot
+      // be removed must not have new records appended after it.
+      ::close(fd);
+      return Status(ErrorCode::kInternal,
+                    "cannot truncate corrupt wal tail: " + path);
+    }
+    SyncParentDir(path);
+  }
+  ::close(fd);
+  return info;
+}
+
+}  // namespace eric::store

@@ -124,6 +124,111 @@ TEST(DeviceRegistryTest, ConcurrentEnrollLookupRevoke) {
   EXPECT_EQ(members->size(), unique_ids.size());
 }
 
+// Revoke-then-re-enroll is how a fleet replaces compromised or RMA'd
+// silicon: the old record stays (soft delete, its id is burned forever),
+// a new record with a fresh id takes over — even for the same physical
+// seed. These semantics are what the persistence layer's WAL replay must
+// reproduce byte for byte, so they are pinned here.
+TEST(DeviceRegistryTest, RevokeThenReEnrollReplacesDevice) {
+  DeviceRegistry registry;
+  const GroupId group = registry.CreateGroup("g");
+  auto first = registry.Enroll(0x5111C0, group);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(registry.Revoke(*first).ok());
+
+  // Same silicon seed, fresh enrollment: a distinct, live record.
+  auto second = registry.Enroll(0x5111C0, group);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(*first, *second);
+  EXPECT_EQ(registry.Lookup(*first)->status, DeviceStatus::kRevoked);
+  EXPECT_EQ(registry.Lookup(*second)->status, DeviceStatus::kEnrolled);
+
+  // The replacement deploys on the group key; the corpse still refuses.
+  PackageCache cache;
+  auto key = registry.GroupKey(group);
+  ASSERT_TRUE(key.ok());
+  auto artifact = cache.GetOrBuild(kTinyProgram, *key, registry.key_config(),
+                                   core::EncryptionPolicy::Full());
+  ASSERT_TRUE(artifact.ok());
+  auto run = registry.Dispatch(*second, (*artifact)->wire);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->exec.exit_code, kTinyProgramResult);
+  EXPECT_EQ(registry.Dispatch(*first, (*artifact)->wire).status().code(),
+            ErrorCode::kFailedPrecondition);
+
+  // Membership keeps both: history is never rewritten.
+  auto members = registry.GroupMembers(group);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members->size(), 2u);
+  const auto stats = registry.Stats();
+  EXPECT_EQ(stats.devices, 2u);
+  EXPECT_EQ(stats.revoked, 1u);
+}
+
+// Group membership under concurrent revoke/re-enroll churn: mutators
+// cycle devices through revoke -> replacement enrollment while readers
+// hammer GroupMembers and Lookup. The membership list must never show a
+// duplicate id or a torn read, and the final census must account for
+// every enrollment exactly once.
+TEST(DeviceRegistryTest, GroupMembershipConsistentUnderRevokeReEnrollRaces) {
+  RegistryConfig config;
+  config.shard_count = 8;
+  DeviceRegistry registry(config);
+  const GroupId group = registry.CreateGroup("churn");
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  std::atomic<int> errors{0};
+  std::atomic<bool> stop{false};
+
+  // Reader thread: membership snapshots must always be duplicate-free
+  // and every listed member must resolve through Lookup.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto members = registry.GroupMembers(group);
+      if (!members.ok()) { ++errors; continue; }
+      std::set<DeviceId> unique(members->begin(), members->end());
+      if (unique.size() != members->size()) ++errors;
+      for (DeviceId id : *members) {
+        if (!registry.Lookup(id).ok()) ++errors;
+      }
+    }
+  });
+
+  std::vector<std::thread> mutators;
+  for (int t = 0; t < kThreads; ++t) {
+    mutators.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint64_t seed =
+            0xC1C1000 + static_cast<uint64_t>(t * kPerThread + i);
+        auto id = registry.Enroll(seed, group);
+        if (!id.ok()) { ++errors; continue; }
+        if (!registry.Revoke(*id).ok()) ++errors;
+        auto replacement = registry.Enroll(seed, group);
+        if (!replacement.ok()) ++errors;
+        else if (registry.Lookup(*replacement)->status !=
+                 DeviceStatus::kEnrolled) {
+          ++errors;
+        }
+      }
+    });
+  }
+  for (auto& thread : mutators) thread.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  constexpr size_t kEnrollments = 2u * kThreads * kPerThread;
+  auto members = registry.GroupMembers(group);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members->size(), kEnrollments);
+  EXPECT_EQ(std::set<DeviceId>(members->begin(), members->end()).size(),
+            kEnrollments);
+  const auto stats = registry.Stats();
+  EXPECT_EQ(stats.devices, kEnrollments);
+  EXPECT_EQ(stats.revoked, kEnrollments / 2);
+}
+
 // --- PackageCache -------------------------------------------------------------
 
 TEST(PackageCacheTest, HitOnSameInputsMissOnDifferent) {

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""End-to-end crash-resume test for eric_fleetd's durable state.
+
+Drives the REAL binary through the acceptance scenario:
+
+  1. start a campaign with --state-dir over a stretched channel
+  2. kill -9 the daemon once at least one target outcome is durably
+     checkpointed (polled off campaign.wal) and at least one remains
+  3. restart with --resume and assert the campaign completes with no
+     device delivered twice and no enrolled device lost
+
+Exactly-once is checked from the resume run's JSON: the previously
+checkpointed targets plus this run's dispatched targets must partition
+the recovered fleet, and the resumed run must only have dispatched the
+complement (deliveries == remaining targets).
+
+Usage: fleetd_resume_test.py /path/to/eric_fleetd
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+DEVICES = 16
+# Stretch each delivery so the kill window is wide even on a fast box.
+LATENCY_US = 50000
+
+TINY_PROGRAM = """
+fn main() {
+  var sum = 0;
+  var i = 1;
+  while (i <= 10) { sum = sum + i * i; i = i + 1; }
+  return sum;
+}
+"""
+
+
+def fail(message):
+    print("FAIL: " + message)
+    sys.exit(1)
+
+
+def run_attempt(fleetd, workdir, attempt):
+    state_dir = os.path.join(workdir, "state-%d" % attempt)
+    source = os.path.join(workdir, "tiny.eric")
+    with open(source, "w") as f:
+        f.write(TINY_PROGRAM)
+    journal = os.path.join(state_dir, "campaign.wal")
+    json_out = os.path.join(workdir, "resume-%d.json" % attempt)
+
+    base = [
+        fleetd, "--devices", str(DEVICES), "--groups", "2",
+        "--source", source, "--state-dir", state_dir,
+    ]
+    first = subprocess.Popen(
+        base + ["--workers", "1", "--latency-us", str(LATENCY_US)],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+    # Wait for >= 2 durable outcome records (journal larger than header +
+    # begin record + one outcome), but kill well before the campaign ends.
+    begin_size = 16 + 9 + 16 + 8 * DEVICES  # header + frame + begin payload
+    outcome_size = 9 + 13                   # frame + outcome payload
+    want = begin_size + 2 * outcome_size
+    deadline = time.time() + 60
+    killed_midway = False
+    while time.time() < deadline:
+        if first.poll() is not None:
+            break  # finished before we killed it: retry with more latency
+        try:
+            size = os.path.getsize(journal)
+        except OSError:
+            size = 0
+        if size >= want:
+            first.send_signal(signal.SIGKILL)
+            first.wait()
+            killed_midway = True
+            break
+        time.sleep(0.02)
+    if not killed_midway:
+        first.wait()
+        return None  # campaign outran the kill; caller retries
+
+    # Restart and resume.
+    resume = subprocess.run(
+        base + ["--workers", "2", "--resume", "--json", json_out],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        timeout=120)
+    if resume.returncode != 0:
+        fail("resume run exited %d:\n%s" % (resume.returncode, resume.stdout))
+
+    with open(json_out) as f:
+        report = json.load(f)
+
+    if not report["resumed"]:
+        fail("resume run did not report resumed=true")
+    # No enrolled device lost: the whole fleet came back from disk.
+    if report["fleet_devices"] != DEVICES:
+        fail("recovered fleet has %d devices, enrolled %d" %
+             (report["fleet_devices"], DEVICES))
+    if report["original_targets"] != DEVICES:
+        fail("journal lost targets: %d of %d" %
+             (report["original_targets"], DEVICES))
+    # No device delivered twice: the resume run dispatched exactly the
+    # unjournaled complement, once each.
+    prior = report["previously_completed"]
+    if prior < 1:
+        fail("kill landed before any checkpoint (prior=%d)" % prior)
+    if prior + report["devices"] != DEVICES:
+        fail("checkpointed %d + resumed %d != fleet %d" %
+             (prior, report["devices"], DEVICES))
+    if report["deliveries"] != report["devices"]:
+        fail("resumed run delivered %d times for %d targets" %
+             (report["deliveries"], report["devices"]))
+    if report["succeeded"] != report["devices"]:
+        fail("resumed run: %d of %d targets succeeded" %
+             (report["succeeded"], report["devices"]))
+
+    # And the journal agrees the campaign is over: a second --resume finds
+    # nothing to continue (it starts a fresh campaign instead of replaying
+    # or double-delivering the finished one).
+    idle = subprocess.run(
+        base + ["--resume", "--json", json_out + ".idle"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        timeout=120)
+    if idle.returncode != 0:
+        fail("post-completion resume exited %d:\n%s" %
+             (idle.returncode, idle.stdout))
+    with open(json_out + ".idle") as f:
+        idle_report = json.load(f)
+    if idle_report["resumed"] or idle_report["previously_completed"] != 0:
+        fail("completed campaign still resumable: %s" % idle_report)
+
+    return prior
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: fleetd_resume_test.py /path/to/eric_fleetd")
+    fleetd = sys.argv[1]
+    with tempfile.TemporaryDirectory(prefix="eric-fleetd-resume-") as workdir:
+        for attempt in range(3):
+            prior = run_attempt(fleetd, workdir, attempt)
+            if prior is not None:
+                print("PASS: killed -9 after %d durable checkpoints; "
+                      "resume completed the remaining %d targets "
+                      "exactly once" % (prior, DEVICES - prior))
+                return
+        fail("campaign finished before kill -9 in 3 attempts "
+             "(host too fast? raise LATENCY_US)")
+
+
+if __name__ == "__main__":
+    main()

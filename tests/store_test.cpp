@@ -1,0 +1,786 @@
+// Durable-store tests: WAL framing and recovery (CRC rejection, torn-tail
+// truncation, group commit under concurrency), atomic snapshots with
+// fallback, registry persistence (crash-restart reconstruction, WAL
+// compaction, configuration fingerprints), and campaign-journal resume
+// with the exactly-once property across a simulated crash.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <thread>
+
+#include "fleet/campaign_journal.h"
+#include "fleet/deployment_engine.h"
+#include "store/record_io.h"
+#include "store/snapshot.h"
+#include "store/wal.h"
+
+namespace eric {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string MakeTempDir(const char* tag) {
+  static std::atomic<uint64_t> counter{0};
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       ("eric-store-" + std::string(tag) + "-" +
+                        std::to_string(counter.fetch_add(1)));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<uint8_t> Payload(std::initializer_list<uint8_t> bytes) {
+  return std::vector<uint8_t>(bytes);
+}
+
+Result<std::vector<store::WalRecord>> ReplayAll(const std::string& path,
+                                                uint64_t fingerprint = 0,
+                                                store::WalRecoveryInfo* info =
+                                                    nullptr) {
+  std::vector<store::WalRecord> records;
+  auto replayed = store::Wal::Replay(
+      path,
+      [&records](const store::WalRecord& record) -> Status {
+        records.push_back(record);
+        return Status::Ok();
+      },
+      fingerprint);
+  if (!replayed.ok()) return replayed.status();
+  if (info != nullptr) *info = *replayed;
+  return records;
+}
+
+void FlipByteAt(const std::string& path, uint64_t offset) {
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good());
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+}
+
+// --- record_io ----------------------------------------------------------------
+
+TEST(RecordIoTest, RoundTripAndOverrunDetection) {
+  store::RecordWriter writer;
+  writer.U8(7);
+  writer.U32(0xDEADBEEFu);
+  writer.U64(0x1122334455667788ull);
+  writer.Str("fleet");
+  writer.Bytes(Payload({1, 2, 3}));
+
+  store::RecordReader reader(writer.bytes());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  std::string text;
+  std::vector<uint8_t> bytes;
+  EXPECT_TRUE(reader.U8(&u8));
+  EXPECT_TRUE(reader.U32(&u32));
+  EXPECT_TRUE(reader.U64(&u64));
+  EXPECT_TRUE(reader.Str(&text));
+  EXPECT_TRUE(reader.Bytes(&bytes));
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x1122334455667788ull);
+  EXPECT_EQ(text, "fleet");
+  EXPECT_EQ(bytes, Payload({1, 2, 3}));
+  EXPECT_TRUE(reader.Exhausted());
+
+  // Reading past the end poisons the reader instead of overrunning.
+  EXPECT_FALSE(reader.U8(&u8));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(RecordIoTest, TruncatedStringIsRejected) {
+  store::RecordWriter writer;
+  writer.Str("durable");
+  std::vector<uint8_t> bytes = writer.Take();
+  bytes.pop_back();  // claimed length now exceeds the payload
+  store::RecordReader reader(bytes);
+  std::string text;
+  EXPECT_FALSE(reader.Str(&text));
+  EXPECT_FALSE(reader.ok());
+}
+
+// --- Crc32 --------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVectorAndSensitivity) {
+  // The classic check value: CRC32("123456789") = 0xCBF43926.
+  const std::string check = "123456789";
+  EXPECT_EQ(store::Crc32(std::span<const uint8_t>(
+                reinterpret_cast<const uint8_t*>(check.data()), check.size())),
+            0xCBF43926u);
+  EXPECT_EQ(store::Crc32({}), 0u);
+
+  auto bytes = Payload({1, 2, 3, 4});
+  const uint32_t before = store::Crc32(bytes);
+  bytes[2] ^= 1;
+  EXPECT_NE(store::Crc32(bytes), before);
+}
+
+// --- Wal ----------------------------------------------------------------------
+
+TEST(WalTest, AppendReplayRoundTrip) {
+  const std::string dir = MakeTempDir("wal-roundtrip");
+  const std::string path = dir + "/test.wal";
+  {
+    store::Wal wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.Append(1, Payload({0xAA})).ok());
+    ASSERT_TRUE(wal.Append(2, Payload({0xBB, 0xCC})).ok());
+    ASSERT_TRUE(wal.Append(3, {}).ok());  // empty payloads are legal
+    EXPECT_EQ(wal.appended(), 3u);
+  }
+  store::WalRecoveryInfo info;
+  auto records = ReplayAll(path, 0, &info);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0].type, 1);
+  EXPECT_EQ((*records)[0].payload, Payload({0xAA}));
+  EXPECT_EQ((*records)[1].type, 2);
+  EXPECT_EQ((*records)[1].payload, Payload({0xBB, 0xCC}));
+  EXPECT_EQ((*records)[2].type, 3);
+  EXPECT_TRUE((*records)[2].payload.empty());
+  EXPECT_EQ(info.records, 3u);
+  EXPECT_FALSE(info.tail_corrupted);
+  EXPECT_EQ(info.bytes_truncated, 0u);
+}
+
+TEST(WalTest, MissingFileIsAnEmptyLog) {
+  auto records = ReplayAll(MakeTempDir("wal-missing") + "/never-created.wal");
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST(WalTest, FingerprintMismatchRefused) {
+  const std::string path = MakeTempDir("wal-fp") + "/test.wal";
+  {
+    store::Wal wal;
+    ASSERT_TRUE(wal.Open(path, {}, /*fingerprint=*/111).ok());
+    ASSERT_TRUE(wal.Append(1, Payload({1})).ok());
+  }
+  EXPECT_EQ(ReplayAll(path, /*fingerprint=*/222).status().code(),
+            ErrorCode::kFailedPrecondition);
+  store::Wal wal;
+  EXPECT_EQ(wal.Open(path, {}, /*fingerprint=*/222).code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(wal.Open(path, {}, /*fingerprint=*/111).ok());
+}
+
+TEST(WalTest, TornTailIsTruncatedAndLogStaysAppendable) {
+  const std::string path = MakeTempDir("wal-torn") + "/test.wal";
+  {
+    store::Wal wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.Append(1, Payload({1, 2, 3, 4})).ok());
+    ASSERT_TRUE(wal.Append(2, Payload({5, 6, 7, 8})).ok());
+    ASSERT_TRUE(wal.Append(3, Payload({9, 10, 11, 12})).ok());
+  }
+  // A crash mid-write leaves a partial final record.
+  const auto full_size = fs::file_size(path);
+  fs::resize_file(path, full_size - 2);
+
+  store::WalRecoveryInfo info;
+  auto records = ReplayAll(path, 0, &info);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+  EXPECT_TRUE(info.tail_corrupted);
+  EXPECT_GT(info.bytes_truncated, 0u);
+  // The torn bytes are physically gone: the next replay is clean...
+  store::WalRecoveryInfo again;
+  ASSERT_TRUE(ReplayAll(path, 0, &again).ok());
+  EXPECT_FALSE(again.tail_corrupted);
+  // ...and appends land after the last good record.
+  {
+    store::Wal wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.Append(4, Payload({42})).ok());
+  }
+  auto reopened = ReplayAll(path);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ(reopened->size(), 3u);
+  EXPECT_EQ((*reopened)[2].type, 4);
+}
+
+TEST(WalTest, BitFlipFailsCrcAndPoisonsTheTail) {
+  const std::string path = MakeTempDir("wal-flip") + "/test.wal";
+  // Fixed payload sizes so the corruption offset is computable: header 16,
+  // frame = 9 + payload.
+  {
+    store::Wal wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.Append(1, Payload({1, 1, 1, 1})).ok());
+    ASSERT_TRUE(wal.Append(2, Payload({2, 2, 2, 2})).ok());
+    ASSERT_TRUE(wal.Append(3, Payload({3, 3, 3, 3})).ok());
+  }
+  // Flip one payload byte inside record 2 (offset 16 + 13 + 9 + 1).
+  FlipByteAt(path, 16 + 13 + 9 + 1);
+
+  store::WalRecoveryInfo info;
+  auto records = ReplayAll(path, 0, &info);
+  ASSERT_TRUE(records.ok());
+  // CRC can tell record 2 is damaged but not whether record 3 was framed
+  // relative to damaged bytes: everything from the corruption on is tail.
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].type, 1);
+  EXPECT_TRUE(info.tail_corrupted);
+  EXPECT_EQ(info.bytes_truncated, 2 * (9u + 4u));
+  EXPECT_EQ(fs::file_size(path), 16u + 13u);
+}
+
+TEST(WalTest, GroupCommitConcurrentAppendsAllDurable) {
+  const std::string path = MakeTempDir("wal-group") + "/test.wal";
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  {
+    store::WalOptions options;
+    options.sync = store::SyncMode::kGroupCommit;
+    options.group_commit_window_us = 200;
+    store::Wal wal;
+    ASSERT_TRUE(wal.Open(path, options).ok());
+    std::atomic<int> errors{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          store::RecordWriter rec;
+          rec.U32(static_cast<uint32_t>(t * kPerThread + i));
+          if (!wal.Append(1, rec.bytes()).ok()) ++errors;
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(errors.load(), 0);
+    EXPECT_EQ(wal.appended(), static_cast<uint64_t>(kThreads * kPerThread));
+  }
+  auto records = ReplayAll(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), static_cast<size_t>(kThreads * kPerThread));
+  // Every append made it intact, none duplicated or interleaved torn.
+  std::set<uint32_t> seen;
+  for (const auto& record : *records) {
+    store::RecordReader rec(record.payload);
+    uint32_t value = 0;
+    ASSERT_TRUE(rec.U32(&value));
+    EXPECT_TRUE(seen.insert(value).second);
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(WalTest, TruncateAllCompacts) {
+  const std::string path = MakeTempDir("wal-compact") + "/test.wal";
+  store::Wal wal;
+  ASSERT_TRUE(wal.Open(path).ok());
+  ASSERT_TRUE(wal.Append(1, Payload({1})).ok());
+  ASSERT_TRUE(wal.Append(2, Payload({2})).ok());
+  ASSERT_TRUE(wal.TruncateAll().ok());
+  ASSERT_TRUE(wal.Append(3, Payload({3})).ok());
+  wal.Close();
+  auto records = ReplayAll(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].type, 3);
+}
+
+// --- Snapshots ----------------------------------------------------------------
+
+TEST(SnapshotTest, WriteLoadRoundTripRetiringOlder) {
+  const std::string dir = MakeTempDir("snap-roundtrip");
+  ASSERT_TRUE(store::WriteSnapshot(dir, "reg", 1, 9, Payload({1, 1})).ok());
+  ASSERT_TRUE(store::WriteSnapshot(dir, "reg", 2, 9, Payload({2, 2})).ok());
+
+  auto loaded = store::LoadLatestSnapshot(dir, "reg", 9);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->found);
+  EXPECT_EQ(loaded->sequence, 2u);
+  EXPECT_EQ(loaded->payload, Payload({2, 2}));
+  // The older snapshot was retired by the newer write.
+  EXPECT_FALSE(fs::exists(dir + "/reg-1.snap"));
+}
+
+TEST(SnapshotTest, CorruptLatestFallsBackToPrevious) {
+  const std::string dir = MakeTempDir("snap-fallback");
+  ASSERT_TRUE(store::WriteSnapshot(dir, "reg", 1, 0, Payload({1})).ok());
+  // Handcraft a newer corrupt file (WriteSnapshot would have retired the
+  // old one, so recreate the crash case directly).
+  ASSERT_TRUE(store::WriteSnapshot(dir, "tmp", 2, 0, Payload({2})).ok());
+  fs::rename(dir + "/tmp-2.snap", dir + "/reg-2.snap");
+  FlipByteAt(dir + "/reg-2.snap", fs::file_size(dir + "/reg-2.snap") - 1);
+
+  auto loaded = store::LoadLatestSnapshot(dir, "reg", 0);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->found);
+  EXPECT_EQ(loaded->sequence, 1u);
+  EXPECT_EQ(loaded->payload, Payload({1}));
+}
+
+TEST(SnapshotTest, AllSnapshotsCorruptFailsClosed) {
+  // Compaction leaves exactly one snapshot with empty WALs behind it:
+  // if that file rots, recovery must refuse rather than silently
+  // resurrect an empty fleet.
+  const std::string dir = MakeTempDir("snap-allcorrupt");
+  ASSERT_TRUE(store::WriteSnapshot(dir, "reg", 3, 0, Payload({9, 9})).ok());
+  FlipByteAt(dir + "/reg-3.snap", fs::file_size(dir + "/reg-3.snap") - 1);
+  EXPECT_EQ(store::LoadLatestSnapshot(dir, "reg", 0).status().code(),
+            ErrorCode::kCorruptPackage);
+}
+
+TEST(SnapshotTest, MissingAndMismatchedSnapshots) {
+  const std::string dir = MakeTempDir("snap-missing");
+  auto loaded = store::LoadLatestSnapshot(dir, "reg", 0);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->found);
+
+  ASSERT_TRUE(store::WriteSnapshot(dir, "reg", 1, 7, Payload({1})).ok());
+  EXPECT_EQ(store::LoadLatestSnapshot(dir, "reg", 8).status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+// --- DeviceRegistry persistence -----------------------------------------------
+
+constexpr const char* kTinyProgram = R"(
+  fn main() {
+    var sum = 0;
+    var i = 1;
+    while (i <= 10) { sum = sum + i * i; i = i + 1; }
+    return sum;
+  }
+)";
+constexpr int64_t kTinyProgramResult = 385;
+
+fleet::RegistryConfig TestRegistryConfig() {
+  fleet::RegistryConfig config;
+  config.key_config.domain = "store.test.v1";
+  config.shard_count = 4;
+  return config;
+}
+
+TEST(RegistryPersistenceTest, FleetSurvivesRestart) {
+  const std::string dir = MakeTempDir("reg-restart");
+  fleet::GroupId group_a = 0, group_b = 0;
+  std::vector<fleet::DeviceId> devices;
+  fleet::DeviceId solo = 0, revoked = 0;
+  crypto::Key256 group_a_key{};
+
+  {
+    fleet::DeviceRegistry registry(TestRegistryConfig());
+    ASSERT_TRUE(registry.OpenStorage(dir).ok());
+    group_a = registry.CreateGroup("line-a");
+    group_b = registry.CreateGroup("line-b");
+    for (uint64_t i = 0; i < 10; ++i) {
+      auto id = registry.Enroll(0x5709E000 + i,
+                                i % 2 == 0 ? group_a : group_b);
+      ASSERT_TRUE(id.ok());
+      devices.push_back(*id);
+    }
+    auto solo_id = registry.Enroll(0x5709EFFF);
+    ASSERT_TRUE(solo_id.ok());
+    solo = *solo_id;
+    revoked = devices[3];
+    ASSERT_TRUE(registry.Revoke(revoked).ok());
+    group_a_key = *registry.GroupKey(group_a);
+  }  // daemon dies
+
+  fleet::DeviceRegistry recovered(TestRegistryConfig());
+  ASSERT_TRUE(recovered.OpenStorage(dir).ok());
+  const auto info = recovered.storage_info();
+  EXPECT_TRUE(info.attached);
+  EXPECT_EQ(info.devices_recovered, 11u);
+  EXPECT_EQ(info.groups_recovered, 2u);
+  EXPECT_EQ(info.corrupt_tails, 0u);
+
+  const auto stats = recovered.Stats();
+  EXPECT_EQ(stats.devices, 11u);
+  EXPECT_EQ(stats.groups, 2u);
+  EXPECT_EQ(stats.revoked, 1u);
+
+  // Identity, grouping, and status reconstructed exactly.
+  auto revoked_info = recovered.Lookup(revoked);
+  ASSERT_TRUE(revoked_info.ok());
+  EXPECT_EQ(revoked_info->status, fleet::DeviceStatus::kRevoked);
+  auto solo_info = recovered.Lookup(solo);
+  ASSERT_TRUE(solo_info.ok());
+  EXPECT_EQ(solo_info->group, fleet::kNoGroup);
+  auto members = recovered.GroupMembers(group_a);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members->size(), 5u);
+
+  // Keys re-derive identically: a package sealed under the pre-crash
+  // group key validates and runs on a recovered member.
+  EXPECT_EQ(*recovered.GroupKey(group_a), group_a_key);
+  fleet::PackageCache cache;
+  auto artifact = cache.GetOrBuild(kTinyProgram, group_a_key,
+                                   recovered.key_config(),
+                                   core::EncryptionPolicy::Full());
+  ASSERT_TRUE(artifact.ok());
+  auto run = recovered.Dispatch(members->front(), (*artifact)->wire);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->exec.exit_code, kTinyProgramResult);
+  // And the revoked device still refuses dispatch.
+  EXPECT_EQ(recovered.Dispatch(revoked, (*artifact)->wire).status().code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(recovered.GroupMembers(group_b)->size(), 5u);
+}
+
+TEST(RegistryPersistenceTest, SnapshotCompactsWalAndRecoversWithTail) {
+  const std::string dir = MakeTempDir("reg-compact");
+  {
+    fleet::DeviceRegistry registry(TestRegistryConfig());
+    ASSERT_TRUE(registry.OpenStorage(dir).ok());
+    const auto group = registry.CreateGroup("g");
+    std::vector<fleet::DeviceId> ids;
+    for (uint64_t i = 0; i < 8; ++i) {
+      auto id = registry.Enroll(0xC09AC7 + i, group);
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    ASSERT_TRUE(registry.Snapshot().ok());
+    // Post-snapshot tail: three more mutations.
+    ASSERT_TRUE(registry.Enroll(0xC09AD0, group).ok());
+    ASSERT_TRUE(registry.Enroll(0xC09AD1, group).ok());
+    ASSERT_TRUE(registry.Revoke(ids[0]).ok());
+  }
+  fleet::DeviceRegistry recovered(TestRegistryConfig());
+  ASSERT_TRUE(recovered.OpenStorage(dir).ok());
+  const auto info = recovered.storage_info();
+  EXPECT_TRUE(info.snapshot_loaded);
+  EXPECT_EQ(info.wal_records_replayed, 3u);  // compaction dropped the rest
+  EXPECT_EQ(info.devices_recovered, 10u);
+  EXPECT_EQ(recovered.Stats().revoked, 1u);
+}
+
+TEST(RegistryPersistenceTest, AutoSnapshotEveryNMutations) {
+  const std::string dir = MakeTempDir("reg-auto");
+  fleet::RegistryStorageOptions options;
+  options.snapshot_every = 4;
+  {
+    fleet::DeviceRegistry registry(TestRegistryConfig());
+    ASSERT_TRUE(registry.OpenStorage(dir, options).ok());
+    const auto group = registry.CreateGroup("g");
+    for (uint64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(registry.Enroll(0xA07A + i, group).ok());
+    }
+    EXPECT_GE(registry.storage_info().snapshots_written, 2u);
+  }
+  fleet::DeviceRegistry recovered(TestRegistryConfig());
+  ASSERT_TRUE(recovered.OpenStorage(dir, options).ok());
+  EXPECT_TRUE(recovered.storage_info().snapshot_loaded);
+  EXPECT_EQ(recovered.Stats().devices, 10u);
+}
+
+TEST(RegistryPersistenceTest, CorruptWalTailLosesOnlyUnackedRecords) {
+  const std::string dir = MakeTempDir("reg-corrupt");
+  {
+    fleet::DeviceRegistry registry(TestRegistryConfig());
+    ASSERT_TRUE(registry.OpenStorage(dir).ok());
+    for (uint64_t i = 0; i < 6; ++i) {
+      ASSERT_TRUE(registry.Enroll(0xBAD000 + i).ok());
+    }
+  }
+  // Corrupt the FINAL record of one populated shard log (a torn write of
+  // the last acknowledged mutation, as a dying disk would leave it).
+  std::string victim;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("shard-", 0) == 0 && fs::file_size(entry.path()) > 16) {
+      victim = entry.path().string();
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  FlipByteAt(victim, fs::file_size(victim) - 1);
+
+  fleet::DeviceRegistry recovered(TestRegistryConfig());
+  ASSERT_TRUE(recovered.OpenStorage(dir).ok());
+  const auto info = recovered.storage_info();
+  EXPECT_EQ(info.corrupt_tails, 1u);
+  EXPECT_GT(info.tail_bytes_truncated, 0u);
+  // Exactly the one damaged enrollment is gone; the other five survive.
+  EXPECT_EQ(info.devices_recovered, 5u);
+}
+
+TEST(RegistryPersistenceTest, LostGroupRecordIsRebuiltFromItsEnrollments) {
+  const std::string dir = MakeTempDir("reg-lostgroup");
+  fleet::GroupId group = 0;
+  crypto::Key256 group_key{};
+  {
+    fleet::DeviceRegistry registry(TestRegistryConfig());
+    ASSERT_TRUE(registry.OpenStorage(dir).ok());
+    group = registry.CreateGroup("line-x");
+    group_key = *registry.GroupKey(group);
+    for (uint64_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(registry.Enroll(0x10057 + i, group).ok());
+    }
+  }
+  // The group-create record dies (torn groups.wal tail) while the
+  // enrollments that reference it survive in the shard logs.
+  FlipByteAt(dir + "/groups.wal", fs::file_size(dir + "/groups.wal") - 1);
+
+  fleet::DeviceRegistry recovered(TestRegistryConfig());
+  ASSERT_TRUE(recovered.OpenStorage(dir).ok());
+  // All four devices came back, the group was rebuilt from its id, and
+  // the key matches (keys derive from the id, only the label is lost).
+  EXPECT_EQ(recovered.Stats().devices, 4u);
+  auto members = recovered.GroupMembers(group);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members->size(), 4u);
+  EXPECT_EQ(*recovered.GroupKey(group), group_key);
+}
+
+TEST(RegistryPersistenceTest, ConfigFingerprintGuardsRecovery) {
+  const std::string dir = MakeTempDir("reg-config");
+  {
+    fleet::DeviceRegistry registry(TestRegistryConfig());
+    ASSERT_TRUE(registry.OpenStorage(dir).ok());
+    ASSERT_TRUE(registry.Enroll(0xF00D).ok());
+  }
+  // A different KDF domain would re-derive different keys: refused.
+  fleet::RegistryConfig other = TestRegistryConfig();
+  other.key_config.domain = "store.test.v2";
+  fleet::DeviceRegistry mismatched(other);
+  EXPECT_EQ(mismatched.OpenStorage(dir).code(),
+            ErrorCode::kFailedPrecondition);
+  // A different shard count would scatter records across files: refused.
+  fleet::RegistryConfig resharded = TestRegistryConfig();
+  resharded.shard_count = 8;
+  fleet::DeviceRegistry resharded_registry(resharded);
+  EXPECT_EQ(resharded_registry.OpenStorage(dir).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(RegistryPersistenceTest, OpenStorageRequiresEmptyRegistry) {
+  fleet::DeviceRegistry registry(TestRegistryConfig());
+  ASSERT_TRUE(registry.Enroll(0xE0).ok());
+  EXPECT_EQ(registry.OpenStorage(MakeTempDir("reg-nonempty")).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(RegistryPersistenceTest, RevokeReEnrollSemanticsSurviveReplay) {
+  const std::string dir = MakeTempDir("reg-reenroll");
+  fleet::DeviceId first = 0, replacement = 0;
+  fleet::GroupId group = 0;
+  {
+    fleet::DeviceRegistry registry(TestRegistryConfig());
+    ASSERT_TRUE(registry.OpenStorage(dir).ok());
+    group = registry.CreateGroup("g");
+    auto id = registry.Enroll(0xD0D0, group);
+    ASSERT_TRUE(id.ok());
+    first = *id;
+    ASSERT_TRUE(registry.Revoke(first).ok());
+    auto again = registry.Enroll(0xD0D0, group);  // same silicon, new record
+    ASSERT_TRUE(again.ok());
+    replacement = *again;
+    EXPECT_NE(first, replacement);
+  }
+  fleet::DeviceRegistry recovered(TestRegistryConfig());
+  ASSERT_TRUE(recovered.OpenStorage(dir).ok());
+  EXPECT_EQ(recovered.Lookup(first)->status, fleet::DeviceStatus::kRevoked);
+  EXPECT_EQ(recovered.Lookup(replacement)->status,
+            fleet::DeviceStatus::kEnrolled);
+  auto members = recovered.GroupMembers(group);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members->size(), 2u);  // revocation is a soft delete
+}
+
+// --- CampaignJournal ----------------------------------------------------------
+
+fleet::TargetCheckpoint MakeCheckpoint(fleet::DeviceId device, bool ok,
+                                       bool revoked = false,
+                                       bool skipped = false) {
+  fleet::TargetCheckpoint checkpoint;
+  checkpoint.device = device;
+  checkpoint.ok = ok;
+  checkpoint.revoked = revoked;
+  checkpoint.skipped = skipped;
+  checkpoint.attempts = skipped ? 0 : 1;
+  return checkpoint;
+}
+
+TEST(CampaignJournalTest, CrashMidCampaignResumesWithRemainingTargets) {
+  const std::string dir = MakeTempDir("journal-crash");
+  const std::vector<fleet::DeviceId> targets{11, 12, 13, 14, 15, 16};
+  {
+    fleet::CampaignJournal journal;
+    ASSERT_TRUE(journal.Open(dir).ok());
+    EXPECT_FALSE(journal.recovered().active);
+    ASSERT_TRUE(journal.Begin(0xCAFE, targets).ok());
+    journal.OnTargetCheckpoint(MakeCheckpoint(11, true));
+    journal.OnTargetCheckpoint(MakeCheckpoint(12, false));
+    journal.OnTargetCheckpoint(MakeCheckpoint(13, false, /*revoked=*/true));
+    // Skipped targets must stay resumable: not recorded.
+    journal.OnTargetCheckpoint(
+        MakeCheckpoint(14, false, false, /*skipped=*/true));
+    ASSERT_TRUE(journal.last_error().ok());
+  }  // crash
+
+  fleet::CampaignJournal resumed;
+  ASSERT_TRUE(resumed.Open(dir).ok());
+  const auto& state = resumed.recovered();
+  EXPECT_TRUE(state.active);
+  EXPECT_EQ(state.campaign_fingerprint, 0xCAFEu);
+  EXPECT_EQ(state.targets, targets);
+  EXPECT_EQ(state.completed.size(), 3u);
+  EXPECT_EQ(state.delivered, 1u);
+  EXPECT_EQ(state.failed, 1u);
+  EXPECT_EQ(state.revoked, 1u);
+  EXPECT_EQ(state.RemainingTargets(),
+            (std::vector<fleet::DeviceId>{14, 15, 16}));
+
+  // A fresh Begin is refused while the interrupted campaign is live...
+  EXPECT_EQ(resumed.Begin(0xFEED, targets).code(),
+            ErrorCode::kFailedPrecondition);
+  // ...finish it and the journal reports nothing active afterwards.
+  resumed.OnTargetCheckpoint(MakeCheckpoint(14, true));
+  resumed.OnTargetCheckpoint(MakeCheckpoint(15, true));
+  resumed.OnTargetCheckpoint(MakeCheckpoint(16, true));
+  ASSERT_TRUE(resumed.Complete().ok());
+
+  fleet::CampaignJournal after;
+  ASSERT_TRUE(after.Open(dir).ok());
+  EXPECT_FALSE(after.recovered().active);
+  ASSERT_TRUE(after.Begin(0xFEED, targets).ok());  // now allowed
+  // A freshly begun campaign is just as live as a resumed one: a second
+  // Begin must not truncate its checkpoints.
+  EXPECT_EQ(after.Begin(0xBEEF, targets).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(CampaignJournalTest, AbandonDropsInterruptedCampaign) {
+  const std::string dir = MakeTempDir("journal-abandon");
+  const std::vector<fleet::DeviceId> targets{1, 2};
+  {
+    fleet::CampaignJournal journal;
+    ASSERT_TRUE(journal.Open(dir).ok());
+    ASSERT_TRUE(journal.Begin(1, targets).ok());
+  }
+  fleet::CampaignJournal journal;
+  ASSERT_TRUE(journal.Open(dir).ok());
+  EXPECT_TRUE(journal.recovered().active);
+  ASSERT_TRUE(journal.Abandon().ok());
+  fleet::CampaignJournal after;
+  ASSERT_TRUE(after.Open(dir).ok());
+  EXPECT_FALSE(after.recovered().active);
+}
+
+TEST(CampaignJournalTest, TornJournalTailRecoversToLastCheckpoint) {
+  const std::string dir = MakeTempDir("journal-torn");
+  const std::vector<fleet::DeviceId> torn_targets{1, 2, 3};
+  {
+    fleet::CampaignJournal journal;
+    ASSERT_TRUE(journal.Open(dir).ok());
+    ASSERT_TRUE(journal.Begin(7, torn_targets).ok());
+    journal.OnTargetCheckpoint(MakeCheckpoint(1, true));
+    journal.OnTargetCheckpoint(MakeCheckpoint(2, true));
+  }
+  const std::string path = dir + "/campaign.wal";
+  fs::resize_file(path, fs::file_size(path) - 3);  // torn final checkpoint
+
+  fleet::CampaignJournal journal;
+  ASSERT_TRUE(journal.Open(dir).ok());
+  EXPECT_TRUE(journal.recovered().active);
+  EXPECT_EQ(journal.recovered().completed.size(), 1u);
+  EXPECT_EQ(journal.recovered().RemainingTargets(),
+            (std::vector<fleet::DeviceId>{2, 3}));
+}
+
+// The end-to-end exactly-once property, in process: a campaign "crashes"
+// (cancel + journal teardown) partway, a second process resumes from the
+// journal, and across both runs every target is delivered exactly once.
+TEST(CampaignJournalTest, EngineCrashResumeDeliversExactlyOnce) {
+  const std::string dir = MakeTempDir("journal-engine");
+
+  fleet::DeviceRegistry registry(TestRegistryConfig());
+  const auto group = registry.CreateGroup("fleet");
+  std::vector<fleet::DeviceId> targets;
+  for (uint64_t i = 0; i < 10; ++i) {
+    auto id = registry.Enroll(0xE2E00 + i, group);
+    ASSERT_TRUE(id.ok());
+    targets.push_back(*id);
+  }
+  fleet::PackageCache cache;
+  fleet::DeploymentEngine engine(registry, cache);
+
+  fleet::CampaignConfig campaign;
+  campaign.source = kTinyProgram;
+  campaign.devices = targets;
+  campaign.workers = 1;  // deterministic checkpoint count before "crash"
+
+  // A sink that forwards to the journal and kills the daemon (cancels)
+  // after the 4th durable checkpoint.
+  struct CrashingSink : fleet::CampaignCheckpointSink {
+    fleet::CampaignJournal* journal = nullptr;
+    fleet::CampaignControl* control = nullptr;
+    std::atomic<int> checkpoints{0};
+    void OnTargetCheckpoint(
+        const fleet::TargetCheckpoint& checkpoint) override {
+      journal->OnTargetCheckpoint(checkpoint);
+      if (checkpoints.fetch_add(1) + 1 == 4) control->Cancel();
+    }
+  };
+
+  std::set<fleet::DeviceId> first_run_delivered;
+  {
+    fleet::CampaignJournal journal;
+    ASSERT_TRUE(journal.Open(dir).ok());
+    ASSERT_TRUE(journal.Begin(0xD15A57E2, targets).ok());
+
+    fleet::CampaignControl control;
+    CrashingSink sink;
+    sink.journal = &journal;
+    sink.control = &control;
+    control.AttachCheckpointSink(&sink);
+    fleet::DispatchGovernor governor({}, &control);
+    fleet::CampaignConfig crashed = campaign;
+    crashed.governor = &governor;
+
+    auto report = engine.Run(crashed);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->succeeded, 4u);
+    EXPECT_EQ(report->skipped, 6u);
+    for (const auto& outcome : report->outcomes) {
+      if (outcome.ok) first_run_delivered.insert(outcome.device);
+    }
+    ASSERT_TRUE(journal.last_error().ok());
+  }  // crash: journal closed mid-campaign, no Complete()
+
+  // Restart: recover the journal, resume over the remaining targets.
+  fleet::CampaignJournal journal;
+  ASSERT_TRUE(journal.Open(dir).ok());
+  ASSERT_TRUE(journal.recovered().active);
+  EXPECT_EQ(journal.recovered().completed.size(), 4u);
+  const auto remaining = journal.recovered().RemainingTargets();
+  EXPECT_EQ(remaining.size(), 6u);
+
+  fleet::CampaignControl control;
+  control.AttachCheckpointSink(&journal);
+  fleet::DispatchGovernor governor({}, &control);
+  fleet::CampaignConfig resumed = campaign;
+  resumed.devices = remaining;
+  resumed.governor = &governor;
+  auto report = engine.Run(resumed);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->succeeded, 6u);
+  ASSERT_TRUE(journal.Complete().ok());
+
+  // Exactly once: the two delivery sets partition the fleet.
+  std::set<fleet::DeviceId> second_run_delivered;
+  for (const auto& outcome : report->outcomes) {
+    if (outcome.ok) second_run_delivered.insert(outcome.device);
+  }
+  EXPECT_EQ(first_run_delivered.size() + second_run_delivered.size(),
+            targets.size());
+  for (fleet::DeviceId device : second_run_delivered) {
+    EXPECT_FALSE(first_run_delivered.contains(device))
+        << "device " << device << " delivered twice";
+  }
+}
+
+}  // namespace
+}  // namespace eric

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Guard the perf trajectory: diff fresh BENCH_*.json against baselines.
+
+CI runs the benches, then this script compares the metrics that are
+meaningful across machines — ratios and simulator cycle counts, never
+absolute wall times (a slower runner is not a regression) — against the
+committed baselines in bench/baselines/. A metric moving more than its
+threshold in the bad direction fails the build loudly; so does any bench
+whose own "pass" acceptance bit went false.
+
+Usage:
+  tools/bench_compare.py [--baseline-dir bench/baselines] [--current-dir .]
+
+Updating a baseline after an intentional change:
+  ./build/bench_<name> --quick && cp BENCH_<name>.json bench/baselines/
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# (file, dotted metric path, direction, allowed regression %).
+# Directions: "higher" = bigger is better, "lower" = smaller is better.
+# Thresholds are generous where the metric depends on host fsync/thread
+# timing, tight where it is deterministic (simulator cycle counts).
+METRICS = [
+    ("BENCH_fleet.json", "seal_path.speedup", "higher", 25.0),
+    ("BENCH_campaign_sched.json", "wave_overhead_pct", "lower", 60.0),
+    ("BENCH_fig7_exec.json", "average_overhead_pct", "lower", 25.0),
+    ("BENCH_fig7_exec.json", "max_overhead_pct", "lower", 25.0),
+    # The bench's own pass bound is 3.0 and the expected value sits near
+    # 1; a tight relative gate on a ~0.8 baseline would flag normal host
+    # noise, so this one gets the generous threshold.
+    ("BENCH_store.json", "recovery_max_ratio", "lower", 60.0),
+    ("BENCH_store.json", "group_commit_speedup", "higher", 60.0),
+]
+
+
+def lookup(doc, dotted):
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--current-dir", default=".")
+    args = parser.parse_args()
+
+    failures = []
+    checked = 0
+    for name in sorted({name for name, _, _, _ in METRICS}):
+        baseline_path = os.path.join(args.baseline_dir, name)
+        current_path = os.path.join(args.current_dir, name)
+        if not os.path.exists(baseline_path):
+            print("SKIP %s: no committed baseline" % name)
+            continue
+        if not os.path.exists(current_path):
+            failures.append("%s: baseline exists but the bench produced no "
+                            "fresh result" % name)
+            continue
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        with open(current_path) as f:
+            current = json.load(f)
+
+        if current.get("pass") is False:
+            failures.append("%s: the bench's own acceptance criterion "
+                            "failed (pass=false)" % name)
+
+        for metric_file, path, direction, threshold in METRICS:
+            if metric_file != name:
+                continue
+            base_value = lookup(baseline, path)
+            cur_value = lookup(current, path)
+            if base_value is None:
+                print("SKIP %s %s: not in baseline (stale baseline?)" %
+                      (name, path))
+                continue
+            if cur_value is None:
+                failures.append("%s: metric %s vanished from fresh output" %
+                                (name, path))
+                continue
+            checked += 1
+            if base_value == 0:
+                print("  ok  %s %s: baseline 0, nothing to compare" %
+                      (name, path))
+                continue
+            # abs(): a metric like wave_overhead_pct can legitimately go
+            # negative (waved beating flat on a noisy host); dividing by
+            # a negative baseline would flip the verdict.
+            if direction == "higher":
+                change_pct = (base_value - cur_value) / abs(base_value) * 100.0
+            else:
+                change_pct = (cur_value - base_value) / abs(base_value) * 100.0
+            verdict = "REGRESSION" if change_pct > threshold else "ok"
+            print("  %-10s %s %s: baseline %.4g -> current %.4g "
+                  "(%+.1f%% worse, threshold %.0f%%)" %
+                  (verdict, name, path, base_value, cur_value,
+                   max(change_pct, 0.0), threshold))
+            if change_pct > threshold:
+                failures.append(
+                    "%s %s: %.4g -> %.4g is %.1f%% worse than baseline "
+                    "(threshold %.0f%%)" %
+                    (name, path, base_value, cur_value, change_pct, threshold))
+
+    print()
+    if failures:
+        print("FAIL: %d perf regression(s):" % len(failures))
+        for failure in failures:
+            print("  - " + failure)
+        print("If the change is intentional, refresh the baseline "
+              "(see --help).")
+        return 1
+    print("PASS: %d metric(s) within thresholds" % checked)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@
 //               [--canary N] [--canary-threshold P] [--wave-size N]
 //               [--rate R] [--burst B] [--group-concurrency N]
 //               [--pause-after MS] [--pause-for MS] [--shuffle]
+//               [--state-dir DIR] [--resume] [--snapshot-every N]
 //               [--json FILE] [--verbose]
 //
 // With no --source/--workload, deploys the crc32 workload. --revoke K
@@ -25,6 +26,15 @@
 // threshold, token-bucket rate limiting, and a demonstration
 // pause/resume (--pause-after MS pauses the rollout that long into the
 // campaign, --pause-for MS holds it, then resumes).
+//
+// --state-dir DIR makes the fleet durable: enrollments and revocations
+// are write-ahead logged (and snapshotted) under DIR, and every target's
+// campaign outcome is checkpointed to DIR/campaign.wal as it finalizes.
+// A daemon killed mid-campaign (kill -9 included) restarts with its
+// whole fleet intact; add --resume to continue the interrupted campaign
+// over exactly the targets that had no durable outcome — nothing is
+// delivered twice, nothing is lost. --snapshot-every N compacts the
+// registry WALs after every N logged mutations.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -34,8 +44,10 @@
 #include <thread>
 #include <vector>
 
+#include "fleet/campaign_journal.h"
 #include "fleet/campaign_scheduler.h"
 #include "fleet/deployment_engine.h"
+#include "store/record_io.h"
 #include "support/bench_json.h"
 #include "workloads/workloads.h"
 
@@ -54,7 +66,33 @@ void Usage() {
       "                   [--wave-size N] [--rate R] [--burst B]\n"
       "                   [--group-concurrency N] [--pause-after MS]\n"
       "                   [--pause-for MS] [--shuffle]\n"
+      "                   [--state-dir DIR] [--resume] [--snapshot-every N]\n"
       "                   [--json FILE] [--verbose]\n");
+}
+
+/// Identity of a campaign for resume matching: FNV-1a over everything
+/// that decides what bytes reach a device — program, encryption policy,
+/// seed, channel fault model, and retry budget. Resuming under a
+/// different one must be refused, not silently blended. (Worker count
+/// and simulated latency shape only timing, not bytes, and stay out.)
+uint64_t CampaignFingerprint(const std::string& source,
+                             const std::string& mode, double fraction,
+                             uint64_t seed, const std::string& fault_name,
+                             double fault_rate, uint32_t attempts) {
+  eric::store::RecordWriter rec;
+  rec.Str(source);
+  rec.Str(mode);
+  uint64_t fraction_bits;
+  static_assert(sizeof(fraction_bits) == sizeof(fraction));
+  std::memcpy(&fraction_bits, &fraction, sizeof(fraction_bits));
+  rec.U64(fraction_bits);
+  rec.U64(seed);
+  rec.Str(fault_name);
+  uint64_t fault_rate_bits;
+  std::memcpy(&fault_rate_bits, &fault_rate, sizeof(fault_rate_bits));
+  rec.U64(fault_rate_bits);
+  rec.U32(attempts);
+  return eric::store::Fnv1a64(rec.bytes());
 }
 
 bool ParseFault(const std::string& name, net::ChannelFault* fault) {
@@ -86,6 +124,10 @@ int main(int argc, char** argv) {
   double rate = 0.0;
   double canary_threshold = -1.0, burst = -1.0;
   int64_t pause_for_ms = -1;
+  // Durable-state knobs.
+  std::string state_dir;
+  bool resume = false;
+  uint64_t snapshot_every = 0;
 
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* name) {
@@ -117,11 +159,23 @@ int main(int argc, char** argv) {
     else if (arg("--pause-for")) pause_for_ms = std::strtol(argv[++i],
                                                            nullptr, 0);
     else if (std::strcmp(argv[i], "--shuffle") == 0) shuffle = true;
+    else if (arg("--state-dir")) state_dir = argv[++i];
+    else if (std::strcmp(argv[i], "--resume") == 0) resume = true;
+    else if (arg("--snapshot-every"))
+      snapshot_every = std::strtoull(argv[++i], nullptr, 0);
     else if (arg("--json")) json_path = argv[++i];
     else if (std::strcmp(argv[i], "--verbose") == 0) verbose = true;
     else { Usage(); return 2; }
   }
   if (devices == 0 || groups == 0) { Usage(); return 2; }
+  if (state_dir.empty() && (resume || snapshot_every > 0)) {
+    // Silently ignoring --resume would re-deliver a whole interrupted
+    // campaign from scratch; refuse like any other invalid combination.
+    std::fprintf(stderr,
+                 "--resume/--snapshot-every require --state-dir DIR\n");
+    Usage();
+    return 2;
+  }
 
   // Program to deploy.
   std::string program_source;
@@ -170,25 +224,76 @@ int main(int argc, char** argv) {
   registry_config.key_config.domain = "fleetd.v1";
   fleet::DeviceRegistry registry(registry_config);
 
-  std::vector<fleet::GroupId> group_ids;
-  for (size_t g = 0; g < groups; ++g) {
-    group_ids.push_back(registry.CreateGroup("group-" + std::to_string(g)));
-  }
-  std::vector<fleet::DeviceId> all_devices;
-  for (size_t i = 0; i < devices; ++i) {
-    auto id = registry.Enroll(0xF1EED000 + i, group_ids[i % groups]);
-    if (!id.ok()) {
-      std::fprintf(stderr, "enroll failed: %s\n",
-                   id.status().ToString().c_str());
+  bool recovered_fleet = false;
+  if (!state_dir.empty()) {
+    fleet::RegistryStorageOptions storage_options;
+    storage_options.snapshot_every = snapshot_every;
+    auto opened = registry.OpenStorage(state_dir, storage_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open state dir %s: %s\n",
+                   state_dir.c_str(), opened.ToString().c_str());
       return 1;
     }
-    all_devices.push_back(*id);
+    const auto storage = registry.storage_info();
+    recovered_fleet = storage.devices_recovered > 0;
+    if (recovered_fleet) {
+      std::printf("state: recovered %llu devices / %llu groups from %s in "
+                  "%.1f ms (%s%llu WAL records replayed%s)\n",
+                  static_cast<unsigned long long>(storage.devices_recovered),
+                  static_cast<unsigned long long>(storage.groups_recovered),
+                  state_dir.c_str(), storage.recovery_ms,
+                  storage.snapshot_loaded ? "snapshot + " : "",
+                  static_cast<unsigned long long>(
+                      storage.wal_records_replayed),
+                  storage.corrupt_tails > 0 ? ", corrupt tail repaired" : "");
+    } else {
+      std::printf("state: fresh state dir %s\n", state_dir.c_str());
+    }
   }
+
+  std::vector<fleet::DeviceId> all_devices;
   size_t revoked_count = 0;
-  if (revoke_every > 0) {
-    for (size_t i = revoke_every - 1; i < all_devices.size();
-         i += revoke_every) {
-      if (registry.Revoke(all_devices[i]).ok()) ++revoked_count;
+  if (recovered_fleet) {
+    // The durable fleet is authoritative; the --devices/--groups/--revoke
+    // flags only describe the *initial* enrollment.
+    all_devices = registry.AllDevices();
+    if (all_devices.size() != devices) {
+      std::printf("state: recovered fleet has %zu devices (ignoring "
+                  "--devices %zu)\n", all_devices.size(), devices);
+    }
+    if (revoke_every > 0) {
+      std::printf("state: fleet recovered from disk; --revoke only "
+                  "shapes the initial enrollment (ignored)\n");
+    }
+  } else {
+    std::vector<fleet::GroupId> group_ids;
+    for (size_t g = 0; g < groups; ++g) {
+      group_ids.push_back(registry.CreateGroup("group-" + std::to_string(g)));
+    }
+    for (size_t i = 0; i < devices; ++i) {
+      auto id = registry.Enroll(0xF1EED000 + i, group_ids[i % groups]);
+      if (!id.ok()) {
+        std::fprintf(stderr, "enroll failed: %s\n",
+                     id.status().ToString().c_str());
+        return 1;
+      }
+      all_devices.push_back(*id);
+    }
+    if (revoke_every > 0) {
+      for (size_t i = revoke_every - 1; i < all_devices.size();
+           i += revoke_every) {
+        if (registry.Revoke(all_devices[i]).ok()) ++revoked_count;
+      }
+    }
+    if (!state_dir.empty()) {
+      // One snapshot after initial enrollment: cold restarts recover from
+      // the snapshot instead of replaying the whole enrollment log.
+      auto snapped = registry.Snapshot();
+      if (!snapped.ok()) {
+        std::fprintf(stderr, "snapshot failed: %s\n",
+                     snapped.ToString().c_str());
+        return 1;
+      }
     }
   }
   const auto stats = registry.Stats();
@@ -211,6 +316,97 @@ int main(int argc, char** argv) {
   campaign.channel = channel;
   campaign.fault_rate = fault_rate;
   campaign.delivery_latency_us = latency_us;
+
+  // --- Durable campaign checkpoints -----------------------------------------
+  fleet::CampaignJournal journal;
+  bool journal_active = false;
+  bool resumed = false;
+  size_t previously_completed = 0;
+  // Targets durably checkpointed as failed before the crash: excluded
+  // from the resume set (their retry budget is spent) but they must
+  // still fail the campaign's exit code and show in the report.
+  uint64_t previously_failed = 0;
+  size_t original_targets = all_devices.size();
+  if (!state_dir.empty()) {
+    const uint64_t fingerprint = CampaignFingerprint(
+        program_source, mode, fraction, campaign.campaign_seed, fault_name,
+        fault_rate, attempts);
+    auto opened = journal.Open(state_dir);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open campaign journal: %s\n",
+                   opened.ToString().c_str());
+      return 1;
+    }
+    const auto& recovered = journal.recovered();
+    if (recovered.active) {
+      if (!resume) {
+        std::fprintf(stderr,
+                     "an interrupted campaign is checkpointed in %s; rerun "
+                     "with --resume to continue it\n", state_dir.c_str());
+        return 1;
+      }
+      if (recovered.campaign_fingerprint != fingerprint) {
+        std::fprintf(stderr,
+                     "refusing to resume: the interrupted campaign ran a "
+                     "different program or policy\n");
+        return 1;
+      }
+      campaign.devices = recovered.RemainingTargets();
+      previously_completed = recovered.completed.size();
+      previously_failed = recovered.failed;
+      original_targets = recovered.targets.size();
+      resumed = true;
+      std::printf("resume: %zu of %zu targets already checkpointed "
+                  "(%llu failed), %zu remain\n", previously_completed,
+                  original_targets,
+                  static_cast<unsigned long long>(previously_failed),
+                  campaign.devices.size());
+    } else {
+      if (resume) {
+        std::printf("resume: no interrupted campaign in %s; starting "
+                    "fresh\n", state_dir.c_str());
+      }
+      auto begun = journal.Begin(fingerprint, campaign.devices);
+      if (!begun.ok()) {
+        std::fprintf(stderr, "cannot begin campaign journal: %s\n",
+                     begun.ToString().c_str());
+        return 1;
+      }
+    }
+    journal_active = true;
+  }
+  if (resumed && campaign.devices.empty()) {
+    // The crash landed between the last checkpoint and the end record:
+    // nothing to dispatch, but --json consumers still get a report.
+    std::printf("resume: every target already has a durable outcome; "
+                "campaign complete\n");
+    if (!json_path.empty()) {
+      JsonWriter json;
+      json.BeginObject();
+      json.Field("tool", "eric_fleetd");
+      json.Field("program", program_name);
+      json.Field("mode", mode);
+      json.Field("resumed", true);
+      json.Field("previously_completed", previously_completed);
+      json.Field("previously_failed", previously_failed);
+      json.Field("original_targets", original_targets);
+      json.Field("fleet_devices", stats.devices);
+      json.Field("devices", size_t{0});
+      json.Field("succeeded", size_t{0});
+      json.Field("failed", size_t{0});
+      json.Field("revoked", size_t{0});
+      json.Field("deliveries", size_t{0});
+      json.Field("retries", size_t{0});
+      json.EndObject();
+      if (!json.WriteFile(json_path.c_str())) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    if (!journal.Complete().ok()) return 1;
+    return previously_failed == 0 ? 0 : 1;
+  }
 
   std::printf("campaign: %s, %s encryption, %zu workers, %u attempts, "
               "fault=%s rate=%.2f\n",
@@ -248,6 +444,10 @@ int main(int argc, char** argv) {
 
     fleet::CampaignScheduler scheduler(engine, registry);
     fleet::CampaignControl control;
+    if (journal_active) {
+      control.AttachCheckpointSink(&journal);
+      journal.CancelCampaignOnError(&control);
+    }
     std::thread pauser;
     if (pause_after_ms > 0) {
       pauser = std::thread([&] {
@@ -270,6 +470,21 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "campaign failed: %s\n",
                    scheduled.status().ToString().c_str());
       return 1;
+    }
+    if (journal_active) {
+      auto journal_error = journal.last_error();
+      if (!journal_error.ok()) {
+        std::fprintf(stderr, "checkpoint append failed: %s\n",
+                     journal_error.ToString().c_str());
+        return 1;
+      }
+      // A cancelled campaign stays open for --resume; a completed or
+      // gate-aborted one is over (a gate abort is a policy decision, not
+      // lost work).
+      if (scheduled->outcome != fleet::CampaignOutcome::kCancelled &&
+          !journal.Complete().ok()) {
+        return 1;
+      }
     }
 
     for (const auto& wave : scheduled->waves) {
@@ -298,6 +513,11 @@ int main(int argc, char** argv) {
       json.Field("tool", "eric_fleetd");
       json.Field("program", program_name);
       json.Field("mode", mode);
+      json.Field("resumed", resumed);
+      json.Field("previously_completed", previously_completed);
+      json.Field("previously_failed", previously_failed);
+      json.Field("original_targets", original_targets);
+      json.Field("fleet_devices", stats.devices);
       json.Field("outcome", fleet::CampaignOutcomeName(scheduled->outcome));
       json.Field("devices", scheduled->targets);
       json.Field("succeeded", scheduled->succeeded);
@@ -333,16 +553,36 @@ int main(int argc, char** argv) {
 
     const bool complete = scheduled->outcome == fleet::CampaignOutcome::kCompleted &&
                           scheduled->succeeded ==
-                              scheduled->targets - scheduled->revoked;
+                              scheduled->targets - scheduled->revoked &&
+                          previously_failed == 0;
     return complete ? 0 : 1;
   }
 
   // --- Flat (unscheduled) campaign path -------------------------------------
+  // With a journal attached the flat path still needs a (limitless)
+  // governor: it is the conduit that carries each target's final outcome
+  // to the durable checkpoint sink.
+  fleet::CampaignControl flat_control;
+  fleet::DispatchGovernor flat_governor({}, &flat_control);
+  if (journal_active) {
+    flat_control.AttachCheckpointSink(&journal);
+    journal.CancelCampaignOnError(&flat_control);
+    campaign.governor = &flat_governor;
+  }
   auto report = engine.Run(campaign);
   if (!report.ok()) {
     std::fprintf(stderr, "campaign failed: %s\n",
                  report.status().ToString().c_str());
     return 1;
+  }
+  if (journal_active) {
+    auto journal_error = journal.last_error();
+    if (!journal_error.ok()) {
+      std::fprintf(stderr, "checkpoint append failed: %s\n",
+                   journal_error.ToString().c_str());
+      return 1;
+    }
+    if (report->skipped == 0 && !journal.Complete().ok()) return 1;
   }
 
   if (verbose) {
@@ -376,6 +616,11 @@ int main(int argc, char** argv) {
     json.Field("tool", "eric_fleetd");
     json.Field("program", program_name);
     json.Field("mode", mode);
+    json.Field("resumed", resumed);
+    json.Field("previously_completed", previously_completed);
+    json.Field("previously_failed", previously_failed);
+    json.Field("original_targets", original_targets);
+    json.Field("fleet_devices", stats.devices);
     json.Field("devices", report->targets);
     json.Field("groups", groups);
     json.Field("workers", workers);
@@ -399,5 +644,5 @@ int main(int argc, char** argv) {
   }
 
   const size_t expected_ok = report->targets - report->revoked;
-  return report->succeeded == expected_ok ? 0 : 1;
+  return report->succeeded == expected_ok && previously_failed == 0 ? 0 : 1;
 }
