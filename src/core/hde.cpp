@@ -43,6 +43,23 @@ Status HardwareDecryptionEngine::ProvisionConversionMask(
   return Status::Ok();
 }
 
+Result<crypto::Key256> HardwareDecryptionEngine::RotateKeyConfig(
+    const crypto::KeyConfig& key_config) {
+  if (!enrolled_) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "enroll before rotating the KMU configuration");
+  }
+  // The PUF key is regenerated from silicon, never read from a register —
+  // rotation re-runs the KMU function on it under the new config, exactly
+  // as every later package validation will.
+  const crypto::Key256 puf_key = pkg_.RegenerateKey(*helper_, measurement_rng_);
+  puf_based_key_ = crypto::DerivePufBasedKey(puf_key, key_config);
+  key_config_ = key_config;
+  conversion_mask_ = crypto::Key256{};  // re-provision against the new epoch
+  cached_stream_ = ~uint64_t{0};        // stream keys derive from the new key
+  return puf_based_key_;
+}
+
 void HardwareDecryptionEngine::ApplyCipher(std::span<uint8_t> data,
                                            uint64_t offset, uint64_t stream,
                                            HdeCycles& cycles) {

@@ -81,6 +81,15 @@ class HardwareDecryptionEngine {
   /// the derived key on every regeneration. Requires enrollment first.
   Status ProvisionConversionMask(const crypto::Key256& mask);
 
+  /// Rotates the KMU configuration (key-epoch bump, the paper's "can be
+  /// rotated by changing the config"): regenerates the PUF key from the
+  /// enrollment helper data, re-derives the PUF-based key under
+  /// `key_config`, and clears any provisioned conversion mask (grouped
+  /// devices must be re-provisioned against the new epoch's group key).
+  /// Returns the new, unmasked PUF-based key — the rotation-time
+  /// equivalent of the enrollment handshake. Requires enrollment first.
+  Result<crypto::Key256> RotateKeyConfig(const crypto::KeyConfig& key_config);
+
   /// Full pipeline: parse -> decrypt -> re-sign -> validate.
   /// Returns the decrypted image on success; kVerificationFailed /
   /// kCorruptPackage / kDecryptionFailed otherwise.

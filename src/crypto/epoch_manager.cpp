@@ -1,0 +1,30 @@
+#include "crypto/epoch_manager.h"
+
+namespace eric::crypto {
+
+uint64_t EpochManager::epoch(uint64_t realm) const {
+  std::lock_guard lock(mutex_);
+  auto it = epochs_.find(realm);
+  return it == epochs_.end() ? base_.epoch : it->second;
+}
+
+KeyConfig EpochManager::ConfigFor(uint64_t realm) const {
+  KeyConfig config = base_;
+  config.epoch = epoch(realm);
+  return config;
+}
+
+void EpochManager::Reset() {
+  std::lock_guard lock(mutex_);
+  epochs_.clear();
+}
+
+bool EpochManager::AdvanceTo(uint64_t realm, uint64_t target) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = epochs_.try_emplace(realm, base_.epoch);
+  if (target <= it->second) return false;
+  it->second = target;
+  return true;
+}
+
+}  // namespace eric::crypto

@@ -1,0 +1,65 @@
+// Key-epoch versioning for the KDF configuration (Sec. III future work:
+// "can be rotated by changing the config").
+//
+// Every key in the paper's hierarchy is a function of the KMU
+// configuration, and KeyConfig::epoch is the rotation knob: bumping it
+// re-keys every software source and device that adopts the new config.
+// A fleet does not rotate monolithically, though — a compromise (or a
+// scheduled rollover) hits one device group, and rotating the whole
+// fleet at once invalidates every sealed artifact simultaneously.
+//
+// The EpochManager versions the KDF config per *realm* (an opaque u64 —
+// the fleet layer uses its GroupId): each realm starts at the base
+// config's epoch and advances monotonically and independently. The
+// manager holds no key material; it only decides which epoch a realm's
+// keys derive under, so it can be rebuilt from a replayed journal of
+// bump records (see DeviceRegistry's kEpochBump WAL record).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "crypto/kdf.h"
+
+namespace eric::crypto {
+
+/// Per-realm key-epoch versioning over a base KeyConfig.
+///
+/// Thread-safe: epoch reads and advances may race freely. Callers that
+/// must read an epoch consistently with state they guard themselves
+/// (e.g. a group key derived under it) should serialize externally —
+/// the manager only guarantees monotonicity per realm.
+class EpochManager {
+ public:
+  /// Builds a manager whose realms all start at `base`'s epoch. The
+  /// base config's domain string must outlive the manager (KeyConfig
+  /// holds a string_view).
+  explicit EpochManager(const KeyConfig& base = {}) : base_(base) {}
+
+  /// The current epoch of `realm` (the base epoch until advanced).
+  uint64_t epoch(uint64_t realm) const;
+
+  /// The base config with `realm`'s current epoch substituted — what a
+  /// software source sealing for that realm must use.
+  KeyConfig ConfigFor(uint64_t realm) const;
+
+  /// Advances `realm` to `target` if that moves it forward. Returns
+  /// true when the epoch advanced, false when the realm already sat at
+  /// or past `target` (idempotent replay of a bump journal).
+  bool AdvanceTo(uint64_t realm, uint64_t target);
+
+  /// The epoch every realm starts from (the base config's).
+  uint64_t base_epoch() const { return base_.epoch; }
+
+  /// Drops every advance, returning all realms to the base epoch (used
+  /// when a recovery pass that replayed bumps must unwind).
+  void Reset();
+
+ private:
+  KeyConfig base_;
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, uint64_t> epochs_;  ///< realm -> epoch
+};
+
+}  // namespace eric::crypto

@@ -12,6 +12,10 @@ namespace {
 constexpr uint8_t kRecBegin = 1;    ///< {u64 fingerprint, u64 n, n * u64 id}
 constexpr uint8_t kRecOutcome = 2;  ///< {u64 device, u8 kind, u32 attempts}
 constexpr uint8_t kRecEnd = 3;      ///< {}
+/// Rotation-campaign begin: {u64 group, u64 epoch, u64 fingerprint,
+/// u64 n, n * u64 id}. One atomic record (not kRecBegin plus an
+/// annotation) so a crash can never leave a rotation half-identified.
+constexpr uint8_t kRecBeginRotation = 4;
 
 constexpr uint8_t kKindDelivered = 1;
 constexpr uint8_t kKindFailed = 2;
@@ -50,11 +54,20 @@ Status CampaignJournal::Open(const std::string& state_dir,
       [this](const store::WalRecord& record) -> Status {
         store::RecordReader rec(record.payload);
         switch (record.type) {
-          case kRecBegin: {
+          case kRecBegin:
+          case kRecBeginRotation: {
             // A begin record supersedes whatever came before it (the
             // log is compacted on Begin, but replay stays robust to a
             // crash between the truncate and the append).
             CampaignResumeState state;
+            if (record.type == kRecBeginRotation) {
+              state.rotation = true;
+              if (!rec.U64(&state.rotation_group) ||
+                  !rec.U64(&state.rotation_epoch)) {
+                return Status(ErrorCode::kCorruptPackage,
+                              "campaign rotation-begin record damaged");
+              }
+            }
             uint64_t count = 0;
             if (!rec.U64(&state.campaign_fingerprint) || !rec.U64(&count)) {
               return Status(ErrorCode::kCorruptPackage,
@@ -105,6 +118,27 @@ Status CampaignJournal::Open(const std::string& state_dir,
 
 Status CampaignJournal::Begin(uint64_t campaign_fingerprint,
                               std::span<const DeviceId> targets) {
+  store::RecordWriter rec;
+  rec.U64(campaign_fingerprint);
+  rec.U64(targets.size());
+  for (DeviceId id : targets) rec.U64(id);
+  return AppendBegin(kRecBegin, rec.bytes());
+}
+
+Status CampaignJournal::BeginRotation(uint64_t campaign_fingerprint,
+                                      std::span<const DeviceId> targets,
+                                      GroupId group, uint64_t target_epoch) {
+  store::RecordWriter rec;
+  rec.U64(group);
+  rec.U64(target_epoch);
+  rec.U64(campaign_fingerprint);
+  rec.U64(targets.size());
+  for (DeviceId id : targets) rec.U64(id);
+  return AppendBegin(kRecBeginRotation, rec.bytes());
+}
+
+Status CampaignJournal::AppendBegin(uint8_t type,
+                                    std::span<const uint8_t> payload) {
   if (!wal_.is_open()) {
     return Status(ErrorCode::kFailedPrecondition, "journal not open");
   }
@@ -118,11 +152,7 @@ Status CampaignJournal::Begin(uint64_t campaign_fingerprint,
   // Compaction: a finished (or abandoned) predecessor has nothing left
   // to say.
   ERIC_RETURN_IF_ERROR(wal_.TruncateAll());
-  store::RecordWriter rec;
-  rec.U64(campaign_fingerprint);
-  rec.U64(targets.size());
-  for (DeviceId id : targets) rec.U64(id);
-  ERIC_RETURN_IF_ERROR(wal_.Append(kRecBegin, rec.bytes()));
+  ERIC_RETURN_IF_ERROR(wal_.Append(type, payload));
   recovered_ = CampaignResumeState{};
   campaign_open_ = true;
   return Status::Ok();

@@ -44,6 +44,16 @@ struct CampaignResumeState {
   /// The interrupted campaign's identity fingerprint, as passed to
   /// Begin(). Callers must refuse to resume under a different build.
   uint64_t campaign_fingerprint = 0;
+  /// True when the interrupted campaign was a key-epoch rotation
+  /// (begun with BeginRotation): resuming it must first re-apply the
+  /// idempotent epoch bump, then redeploy the remaining targets.
+  bool rotation = false;
+  /// The rotated group (valid when `rotation`).
+  GroupId rotation_group = kNoGroup;
+  /// The rotation's target epoch (valid when `rotation`). Durable in
+  /// the begin record, so a crash *before* the registry's own kEpochBump
+  /// record landed still resumes to the same epoch — never one further.
+  uint64_t rotation_epoch = 0;
   /// Full target order of the interrupted campaign.
   std::vector<DeviceId> targets;
   /// Targets whose outcome was durably checkpointed before the crash.
@@ -83,6 +93,13 @@ class CampaignJournal : public CampaignCheckpointSink {
   Status Begin(uint64_t campaign_fingerprint,
                std::span<const DeviceId> targets);
 
+  /// Begin() for a key-epoch rotation campaign: one atomic begin record
+  /// additionally carries the rotated group and its target epoch, so a
+  /// resume knows to re-apply the (idempotent) bump before redeploying.
+  Status BeginRotation(uint64_t campaign_fingerprint,
+                       std::span<const DeviceId> targets, GroupId group,
+                       uint64_t target_epoch);
+
   /// Drops an interrupted campaign without completing it.
   Status Abandon();
 
@@ -110,6 +127,10 @@ class CampaignJournal : public CampaignCheckpointSink {
   Status last_error() const;
 
  private:
+  /// The shared begin path: compacts the log, appends the begin record,
+  /// and opens the campaign.
+  Status AppendBegin(uint8_t type, std::span<const uint8_t> payload);
+
   store::Wal wal_;
   CampaignResumeState recovered_;
   CampaignControl* control_ = nullptr;  ///< cancelled on append failure

@@ -65,19 +65,21 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
     return outcome;
   }
 
-  // Seal (or fetch) the artifact for this device's deployment key. Group
-  // members share a key, so across a campaign this is exactly one build
-  // plus memo hits.
-  auto key = registry_.DeploymentKey(device);
-  if (!key.ok()) {
-    outcome.last_status = key.status();
+  // Seal (or fetch) the artifact for this device's deployment key and
+  // its effective KDF config — per device, not registry-wide, because a
+  // key-epoch rotation moves one group's epoch while every other group
+  // seals on at its own. Group members share a key, so across a campaign
+  // this is exactly one build plus memo hits.
+  auto sealing = registry_.SealingContextFor(device);
+  if (!sealing.ok()) {
+    outcome.last_status = sealing.status();
     return outcome;
   }
   std::shared_ptr<ArtifactMemo::Slot> slot;
   std::unique_lock<std::mutex> build_lock;
   {
     std::lock_guard lock(memo.mutex);
-    auto& entry = memo.by_key[*key];
+    auto& entry = memo.by_key[sealing->key];
     if (entry == nullptr) {
       entry = std::make_shared<ArtifactMemo::Slot>();
       // Claim the build while still holding the map lock so racers can
@@ -89,8 +91,8 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
   const bool builder = build_lock.owns_lock();
   if (builder) {
     PackageCacheStats call_stats;
-    auto artifact = cache_.GetOrBuild(config.source, *key,
-                                      registry_.key_config(), config.policy,
+    auto artifact = cache_.GetOrBuild(config.source, sealing->key,
+                                      sealing->config, config.policy,
                                       registry_.cipher(),
                                       config.compile_options, &call_stats);
     memo.artifact_hits.fetch_add(call_stats.artifact_hits,

@@ -13,11 +13,16 @@ namespace {
 
 // Registry WAL record types. Group-directory log:
 constexpr uint8_t kWalGroupCreate = 1;  ///< {u64 id, str label}
+constexpr uint8_t kWalEpochBump = 2;    ///< {u64 group, u64 epoch}
 // Per-shard mutation log:
 constexpr uint8_t kWalEnroll = 1;  ///< {u64 id, u64 seed, u64 group}
 constexpr uint8_t kWalRevoke = 2;  ///< {u64 id}
 
-constexpr uint32_t kSnapshotVersion = 1;
+// Snapshot schema: v2 adds a per-group key epoch after the label; v1
+// files (pre-rotation state dirs) load with every group at the base
+// epoch, which is exactly what they were.
+constexpr uint32_t kSnapshotVersion = 2;
+constexpr uint32_t kSnapshotVersionNoEpochs = 1;
 constexpr const char* kSnapshotPrefix = "registry";
 constexpr const char* kGroupWalName = "groups.wal";
 
@@ -59,7 +64,7 @@ std::string_view DeviceStatusName(DeviceStatus status) {
 DeviceRegistry::~DeviceRegistry() = default;
 
 DeviceRegistry::DeviceRegistry(const RegistryConfig& config)
-    : config_(config) {
+    : config_(config), epochs_(config.key_config) {
   if (config_.shard_count == 0) config_.shard_count = 1;
   shards_.reserve(config_.shard_count);
   for (size_t i = 0; i < config_.shard_count; ++i) {
@@ -76,8 +81,14 @@ size_t DeviceRegistry::ShardIndex(DeviceId id) const {
   return SplitMix64(id).Next() % shards_.size();
 }
 
-crypto::Key256 DeviceRegistry::DeriveGroupKey(GroupId id) const {
-  return crypto::DeriveKey(group_secret_, "eric.fleet.group", id);
+crypto::Key256 DeviceRegistry::DeriveGroupKey(GroupId id,
+                                              uint64_t epoch) const {
+  // Two-stage derivation: a stable per-group key, then the epoch on top,
+  // so bumping one group's epoch re-keys it without touching any other
+  // group's chain.
+  const crypto::Key256 per_group =
+      crypto::DeriveKey(group_secret_, "eric.fleet.group", id);
+  return crypto::DeriveKey(per_group, "eric.fleet.group.epoch", epoch);
 }
 
 GroupId DeviceRegistry::CreateGroup(std::string label) {
@@ -91,7 +102,7 @@ GroupId DeviceRegistry::CreateGroup(std::string label) {
     id = next_group_id_++;
     GroupState state;
     state.label = label;
-    state.key = DeriveGroupKey(id);
+    state.key = DeriveGroupKey(id, epochs_.epoch(id));
     groups_.emplace(id, std::move(state));
   }
   if (storage_ != nullptr) {
@@ -115,17 +126,26 @@ void DeviceRegistry::ApplyGroupCreate(GroupId id, std::string label) {
   if (groups_.contains(id)) return;  // idempotent replay
   GroupState state;
   state.label = std::move(label);
-  state.key = DeriveGroupKey(id);
+  state.key = DeriveGroupKey(id, epochs_.epoch(id));
   groups_.emplace(id, std::move(state));
 }
 
 Status DeviceRegistry::ApplyEnroll(DeviceId id, uint64_t device_seed,
                                    GroupId group, DeviceStatus status) {
+  // A grouped device enrolls at its group's *current* epoch: key and
+  // effective KDF config are read under one lock so a concurrent
+  // rotation cannot hand out a new key with an old epoch (or vice
+  // versa). Solo devices always enroll at the base epoch.
   crypto::Key256 group_key{};
+  crypto::KeyConfig device_config = config_.key_config;
   if (group != kNoGroup) {
-    auto key = GroupKey(group);
-    if (!key.ok()) return key.status();
-    group_key = *key;
+    std::shared_lock lock(group_mutex_);
+    auto it = groups_.find(group);
+    if (it == groups_.end()) {
+      return Status(ErrorCode::kNotFound, "unknown group");
+    }
+    group_key = it->second.key;
+    device_config = epochs_.ConfigFor(group);
   }
 
   // Idempotent replay: a crash between snapshot write and WAL compaction
@@ -149,7 +169,7 @@ Status DeviceRegistry::ApplyEnroll(DeviceId id, uint64_t device_seed,
   // runs outside every lock.
   auto record = std::make_unique<DeviceRecord>();
   record->endpoint = std::make_unique<core::TrustedDevice>(
-      device_seed, config_.key_config, config_.cipher);
+      device_seed, device_config, config_.cipher);
   const crypto::Key256 device_key = record->endpoint->Enroll();
 
   record->info.id = id;
@@ -172,8 +192,29 @@ Status DeviceRegistry::ApplyEnroll(DeviceId id, uint64_t device_seed,
     shard.records.emplace(id, std::move(record));
   }
   if (group != kNoGroup) {
-    std::lock_guard lock(group_mutex_);
-    groups_.at(group).members.push_back(id);
+    bool stale = false;
+    crypto::Key256 current_key{};
+    crypto::KeyConfig current_config;
+    {
+      std::lock_guard lock(group_mutex_);
+      auto& state = groups_.at(group);
+      state.members.push_back(id);
+      current_config = epochs_.ConfigFor(group);
+      if (current_config.epoch != device_config.epoch) {
+        stale = true;
+        current_key = state.key;
+      }
+    }
+    if (stale) {
+      // An epoch rotation landed between reading the group's sealing
+      // state above and joining the member list just now — its member
+      // snapshot missed this device, so nothing else will ever re-key
+      // it. Bring it to the current epoch here; a rotation that lands
+      // *after* the push_back sees us in the list and re-keys us itself
+      // (RekeyMember is atomic per device, so the two cannot interleave
+      // into a torn endpoint/key pair).
+      ERIC_RETURN_IF_ERROR(RekeyMember(id, current_config, current_key));
+    }
   }
   // Replay allocates ids from the log: keep the allocator ahead of every
   // id ever observed.
@@ -295,7 +336,7 @@ Result<crypto::Key256> DeviceRegistry::DeploymentKey(DeviceId id) const {
 }
 
 Result<crypto::Key256> DeviceRegistry::GroupKey(GroupId group) const {
-  std::lock_guard lock(group_mutex_);
+  std::shared_lock lock(group_mutex_);
   auto it = groups_.find(group);
   if (it == groups_.end()) {
     return Status(ErrorCode::kNotFound, "unknown group");
@@ -303,9 +344,171 @@ Result<crypto::Key256> DeviceRegistry::GroupKey(GroupId group) const {
   return it->second.key;
 }
 
+Result<SealingContext> DeviceRegistry::SealingContextFor(DeviceId id) const {
+  GroupId group = kNoGroup;
+  SealingContext context;
+  context.config = config_.key_config;
+  {
+    const Shard& shard = ShardFor(id);
+    std::shared_lock lock(shard.mutex);
+    auto it = shard.records.find(id);
+    if (it == shard.records.end()) {
+      return Status(ErrorCode::kNotFound, "unknown device");
+    }
+    group = it->second->info.group;
+    context.key = it->second->deployment_key;
+  }
+  if (group != kNoGroup) {
+    // Re-read key and epoch together under the group lock: a rotation
+    // racing this call lands either wholly before or wholly after.
+    std::shared_lock lock(group_mutex_);
+    auto it = groups_.find(group);
+    if (it != groups_.end()) {
+      context.key = it->second.key;
+      context.config = epochs_.ConfigFor(group);
+    }
+  }
+  return context;
+}
+
+Result<uint64_t> DeviceRegistry::GroupEpoch(GroupId group) const {
+  std::shared_lock lock(group_mutex_);
+  if (!groups_.contains(group)) {
+    return Status(ErrorCode::kNotFound, "unknown group");
+  }
+  return epochs_.epoch(group);
+}
+
+Result<GroupRotation> DeviceRegistry::RotateGroupEpoch(GroupId group) {
+  if (group == kNoGroup) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "ungrouped devices have no shared epoch to rotate");
+  }
+  auto current = GroupEpoch(group);
+  if (!current.ok()) return current.status();
+  return RotateGroupEpochTo(group, *current + 1);
+}
+
+Result<GroupRotation> DeviceRegistry::RotateGroupEpochTo(
+    GroupId group, uint64_t target_epoch) {
+  if (group == kNoGroup) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "ungrouped devices have no shared epoch to rotate");
+  }
+  std::shared_lock<std::shared_mutex> storage_lock;
+  if (storage_ != nullptr) {
+    storage_lock = std::shared_lock(storage_->mutation_mutex);
+  }
+  // Validate, log, then apply — the revoke discipline: a bump must never
+  // be observable (keys handed out under the new epoch) until its record
+  // is durable, or a crash would resurrect the fleet one epoch behind
+  // packages already sealed. An advance that turns out to be a no-op by
+  // apply time (a racing rotator won) leaves a redundant record the
+  // idempotent replay absorbs.
+  bool advances = false;
+  {
+    std::shared_lock lock(group_mutex_);
+    if (!groups_.contains(group)) {
+      return Status(ErrorCode::kNotFound, "unknown group");
+    }
+    advances = target_epoch > epochs_.epoch(group);
+  }
+  if (storage_ != nullptr && advances) {
+    store::RecordWriter rec;
+    rec.U64(group);
+    rec.U64(target_epoch);
+    ERIC_RETURN_IF_ERROR(
+        storage_->group_wal.Append(kWalEpochBump, rec.bytes()));
+  }
+  auto rotation = ApplyEpochBump(group, target_epoch);
+  if (storage_ != nullptr && advances && rotation.ok()) {
+    MaybeAutoSnapshot(storage_lock);
+  }
+  return rotation;
+}
+
+Result<GroupRotation> DeviceRegistry::ApplyEpochBump(GroupId group,
+                                                     uint64_t target_epoch) {
+  GroupRotation rotation;
+  rotation.group = group;
+  std::vector<DeviceId> members;
+  crypto::Key256 new_key{};
+  crypto::KeyConfig new_config;
+  {
+    std::lock_guard lock(group_mutex_);
+    auto it = groups_.find(group);
+    if (it == groups_.end()) {
+      return Status(ErrorCode::kNotFound, "unknown group");
+    }
+    rotation.old_epoch = epochs_.epoch(group);
+    if (target_epoch <= rotation.old_epoch) {
+      // Idempotent no-op (resume replay). The retired-key fingerprint
+      // stays zero: the original rotation may have jumped several
+      // epochs, so target-1 is not necessarily the epoch it retired,
+      // and its invalidation already ran when the rotation applied.
+      rotation.new_epoch = rotation.old_epoch;
+      return rotation;
+    }
+    rotation.rotated = true;
+    rotation.new_epoch = target_epoch;
+    rotation.old_key_fingerprint = crypto::Sha256::Hash(it->second.key);
+    // Publish the new key and epoch together; from here on every
+    // SealingContextFor seals under the new epoch.
+    epochs_.AdvanceTo(group, target_epoch);
+    it->second.key = DeriveGroupKey(group, target_epoch);
+    new_key = it->second.key;
+    new_config = epochs_.ConfigFor(group);
+    members = it->second.members;
+  }
+
+  // Re-provision every member outside the group lock: the KMU config
+  // rotation regenerates the PUF key per device, which is the expensive
+  // fab-path simulation. A member mid-dispatch finishes its run first
+  // (endpoint mutex); its in-flight old-epoch package is then rejected
+  // on the next delivery — exactly the invalidation the bump promises.
+  for (DeviceId id : members) {
+    ERIC_RETURN_IF_ERROR(RekeyMember(id, new_config, new_key));
+    ++rotation.members_rekeyed;
+  }
+  return rotation;
+}
+
+Status DeviceRegistry::RekeyMember(DeviceId id,
+                                   const crypto::KeyConfig& config,
+                                   const crypto::Key256& group_key) {
+  DeviceRecord* record = nullptr;
+  {
+    Shard& shard = ShardFor(id);
+    std::shared_lock lock(shard.mutex);
+    auto it = shard.records.find(id);
+    if (it == shard.records.end()) return Status::Ok();  // never erased
+    record = it->second.get();
+  }
+  // The endpoint mutex is held across the KMU update AND the record
+  // field update, so two racing rekeys (a rotation and an enroll's
+  // stale-epoch repair) serialize wholesale — the endpoint and the
+  // published deployment key can never come from different epochs.
+  // Taking the shard lock inside the endpoint lock cannot deadlock:
+  // no path waits on an endpoint mutex while holding a shard lock
+  // (Dispatch releases the shard lock before its endpoint wait).
+  std::lock_guard endpoint_lock(record->endpoint_mutex);
+  auto rotated_key = record->endpoint->hde().RotateKeyConfig(config);
+  if (!rotated_key.ok()) return rotated_key.status();
+  const crypto::Key256 mask =
+      core::ApplyConversionMask(*rotated_key, group_key);
+  ERIC_RETURN_IF_ERROR(record->endpoint->hde().ProvisionConversionMask(mask));
+  {
+    Shard& shard = ShardFor(id);
+    std::unique_lock lock(shard.mutex);
+    record->info.conversion_mask = mask;
+    record->deployment_key = group_key;
+  }
+  return Status::Ok();
+}
+
 Result<std::vector<DeviceId>> DeviceRegistry::GroupMembers(
     GroupId group) const {
-  std::lock_guard lock(group_mutex_);
+  std::shared_lock lock(group_mutex_);
   auto it = groups_.find(group);
   if (it == groups_.end()) {
     return Status(ErrorCode::kNotFound, "unknown group");
@@ -362,7 +565,7 @@ RegistryStats DeviceRegistry::Stats() const {
   }
   if (stats.devices == 0) stats.min_shard = 0;
   {
-    std::lock_guard lock(group_mutex_);
+    std::shared_lock lock(group_mutex_);
     stats.groups = groups_.size();
   }
   return stats;
@@ -390,7 +593,7 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
     return Status(ErrorCode::kFailedPrecondition, "storage already attached");
   }
   {
-    std::lock_guard lock(group_mutex_);
+    std::shared_lock lock(group_mutex_);
     if (!groups_.empty() ||
         next_device_id_.load(std::memory_order_relaxed) != 1) {
       return Status(ErrorCode::kFailedPrecondition,
@@ -418,6 +621,12 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
   // unwind every table it half-populated — the caller may repair the
   // directory and retry OpenStorage on this same object, and must never
   // be left serving a partial fleet with no log attached.
+  // Epoch bumps (from the snapshot's group epochs and from kEpochBump
+  // records) are collected here and applied only after every enrollment
+  // has replayed: a bump re-provisions member endpoints, so it must see
+  // the full membership. Monotonic max per group — replaying the final
+  // epoch once is equivalent to replaying the whole bump history.
+  std::unordered_map<GroupId, uint64_t> pending_epochs;
   Status recovery = [&]() -> Status {
   // 1. Newest valid snapshot seeds the table.
   auto snapshot = store::LoadLatestSnapshot(state_dir, kSnapshotPrefix,
@@ -427,7 +636,8 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
     store::RecordReader rec(snapshot->payload);
     uint32_t version = 0;
     uint64_t group_count = 0;
-    if (!rec.U32(&version) || version != kSnapshotVersion ||
+    if (!rec.U32(&version) ||
+        (version != kSnapshotVersion && version != kSnapshotVersionNoEpochs) ||
         !rec.U64(&group_count)) {
       return Status(ErrorCode::kCorruptPackage, "snapshot schema damaged");
     }
@@ -436,6 +646,16 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
       std::string label;
       if (!rec.U64(&id) || !rec.Str(&label)) {
         return Status(ErrorCode::kCorruptPackage, "snapshot group damaged");
+      }
+      if (version >= kSnapshotVersion) {
+        uint64_t epoch = 0;
+        if (!rec.U64(&epoch)) {
+          return Status(ErrorCode::kCorruptPackage, "snapshot group damaged");
+        }
+        if (epoch > epochs_.base_epoch()) {
+          uint64_t& pending = pending_epochs[id];
+          pending = std::max(pending, epoch);
+        }
       }
       ApplyGroupCreate(id, std::move(label));
     }
@@ -475,20 +695,32 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
   {
     auto replayed = store::Wal::Replay(
         state_dir + "/" + kGroupWalName,
-        [this](const store::WalRecord& record) -> Status {
-          if (record.type != kWalGroupCreate) {
-            return Status(ErrorCode::kCorruptPackage,
-                          "unknown group-log record type");
-          }
+        [this, &info, &pending_epochs](
+            const store::WalRecord& record) -> Status {
           store::RecordReader rec(record.payload);
-          uint64_t id = 0;
-          std::string label;
-          if (!rec.U64(&id) || !rec.Str(&label)) {
-            return Status(ErrorCode::kCorruptPackage,
-                          "group-create record damaged");
+          if (record.type == kWalGroupCreate) {
+            uint64_t id = 0;
+            std::string label;
+            if (!rec.U64(&id) || !rec.Str(&label)) {
+              return Status(ErrorCode::kCorruptPackage,
+                            "group-create record damaged");
+            }
+            ApplyGroupCreate(id, std::move(label));
+            return Status::Ok();
           }
-          ApplyGroupCreate(id, std::move(label));
-          return Status::Ok();
+          if (record.type == kWalEpochBump) {
+            uint64_t group = 0, epoch = 0;
+            if (!rec.U64(&group) || !rec.U64(&epoch)) {
+              return Status(ErrorCode::kCorruptPackage,
+                            "epoch-bump record damaged");
+            }
+            ++info.epoch_bumps_replayed;
+            uint64_t& pending = pending_epochs[group];
+            pending = std::max(pending, epoch);
+            return Status::Ok();
+          }
+          return Status(ErrorCode::kCorruptPackage,
+                        "unknown group-log record type");
         },
         storage->fingerprint);
     if (!replayed.ok()) return replayed.status();
@@ -554,6 +786,20 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
     if (!ApplyRevoke(id).ok()) ++info.orphan_revokes_dropped;
   }
 
+  // Every enrollment and revocation is in: re-rotate each bumped group
+  // to its final recorded epoch (key re-derivation + member KMU
+  // re-provisioning). A bump for a group nothing else references — its
+  // create record and every member enrollment lost — rotates nothing and
+  // is dropped as a counted no-op.
+  for (const auto& [group, epoch] : pending_epochs) {
+    auto bumped = ApplyEpochBump(group, epoch);
+    if (bumped.status().code() == ErrorCode::kNotFound) {
+      ++info.orphan_epoch_bumps_dropped;
+      continue;
+    }
+    if (!bumped.ok()) return bumped.status();
+  }
+
   // Shard-parallel replay loses the global enrollment order; ids are
   // allocated sequentially, so id order restores it.
   {
@@ -582,6 +828,7 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
     }
     std::lock_guard lock(group_mutex_);
     groups_.clear();
+    epochs_.Reset();
     next_group_id_ = 1;
     next_device_id_.store(1, std::memory_order_relaxed);
     return recovery;
@@ -603,11 +850,12 @@ std::vector<uint8_t> DeviceRegistry::SerializeSnapshotLocked() const {
   store::RecordWriter rec;
   rec.U32(kSnapshotVersion);
   {
-    std::lock_guard lock(group_mutex_);
+    std::shared_lock lock(group_mutex_);
     rec.U64(groups_.size());
     for (const auto& [id, group] : groups_) {
       rec.U64(id);
       rec.Str(group.label);
+      rec.U64(epochs_.epoch(id));
     }
   }
   // Count first, then emit: the exclusive mutation lock means the table

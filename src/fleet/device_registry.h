@@ -28,6 +28,7 @@
 
 #include "core/group_key.h"
 #include "core/trusted_execution.h"
+#include "crypto/epoch_manager.h"
 #include "crypto/kdf.h"
 #include "store/wal.h"
 #include "support/rng.h"
@@ -60,6 +61,40 @@ struct DeviceInfo {
   DeviceStatus status = DeviceStatus::kEnrolled;  ///< lifecycle state
   /// Public KMU conversion mask (all-zero for ungrouped devices).
   crypto::Key256 conversion_mask{};
+};
+
+/// Everything a software source needs to seal a package for one device:
+/// the deployment key and the KDF configuration (epoch included) the
+/// device's KMU will derive under. The two fields are read atomically
+/// with respect to key-epoch rotation, so a sealer can never pair an old
+/// key with a new epoch stamp.
+struct SealingContext {
+  /// Deployment key: the group key for grouped devices, the device's own
+  /// PUF-based key otherwise.
+  crypto::Key256 key{};
+  /// KDF config at the device's current epoch (stamped into the package).
+  crypto::KeyConfig config;
+};
+
+/// Result of one group key-epoch rotation (or its idempotent no-op).
+struct GroupRotation {
+  GroupId group = kNoGroup;    ///< the rotated group
+  uint64_t old_epoch = 0;      ///< group epoch before this call
+  uint64_t new_epoch = 0;      ///< group epoch after this call
+  /// False when the group already sat at or past the target epoch (an
+  /// idempotent resume replay); no endpoint was touched.
+  bool rotated = false;
+  /// Member endpoints whose KMU config and conversion mask were
+  /// re-provisioned under the new epoch (revoked members included, so a
+  /// later un-revoke policy cannot resurrect a stale-epoch device).
+  size_t members_rekeyed = 0;
+  /// SHA-256 fingerprint of the deployment key this rotation retired —
+  /// the PackageCache's targeted-invalidation address (FingerprintKey).
+  /// Only meaningful when `rotated`: a no-op replay cannot know which
+  /// epoch the original rotation retired (the target may have been a
+  /// multi-epoch jump), so it reports all-zero and callers skip the
+  /// invalidation — which already happened when the rotation applied.
+  crypto::Sha256Digest old_key_fingerprint{};
 };
 
 /// Aggregate registry counters.
@@ -104,6 +139,14 @@ struct RegistryStorageInfo {
   /// (its enrollment's append failed or was torn off): dropped as
   /// no-ops rather than refusing recovery.
   uint64_t orphan_revokes_dropped = 0;
+  /// kEpochBump records replayed from the group log (each re-rotates the
+  /// named group's epoch; counted before dedup, so this is the journal's
+  /// bump history length, not the number of distinct rotated groups).
+  uint64_t epoch_bumps_replayed = 0;
+  /// Epoch bumps replayed for a group no surviving record references
+  /// (its create record and every member enrollment were lost): dropped
+  /// as no-ops rather than refusing recovery.
+  uint64_t orphan_epoch_bumps_dropped = 0;
   uint64_t snapshots_written = 0;  ///< snapshots written since open
   /// Auto-snapshots that failed. The triggering mutation itself is
   /// durable and reported successful — the WALs simply stay uncompacted
@@ -149,6 +192,33 @@ class DeviceRegistry {
 
   /// The shared deployment key of `group`. kNotFound for unknown groups.
   Result<crypto::Key256> GroupKey(GroupId group) const;
+
+  /// The deployment key and effective KDF config for sealing packages to
+  /// `id`, read atomically against epoch rotation. kNotFound for unknown
+  /// ids. This is what campaign sealers must use — the registry-wide
+  /// key_config() carries the base epoch only.
+  Result<SealingContext> SealingContextFor(DeviceId id) const;
+
+  /// The current key epoch of `group`. kNotFound for unknown groups.
+  Result<uint64_t> GroupEpoch(GroupId group) const;
+
+  /// Bumps `group`'s key epoch by one: derives the next epoch's group
+  /// key, re-provisions every member's KMU config and conversion mask,
+  /// and (when storage is attached) write-ahead logs the bump as a
+  /// kEpochBump record *before* applying it, so recovery replays the
+  /// rotation. Packages sealed under the old epoch are rejected by the
+  /// members' HDEs from this call on; callers invalidate the matching
+  /// PackageCache entries with the returned old-key fingerprint and
+  /// redeploy (fleet::RotationCampaign drives the whole sequence).
+  /// kInvalidArgument for kNoGroup, kNotFound for unknown groups.
+  Result<GroupRotation> RotateGroupEpoch(GroupId group);
+
+  /// Rotates `group` to an explicit `target_epoch`. A target at or below
+  /// the current epoch is an idempotent no-op (rotated=false) — the form
+  /// a resumed rotation campaign uses so a crash between the durable
+  /// bump and the redeploy can never bump twice.
+  Result<GroupRotation> RotateGroupEpochTo(GroupId group,
+                                           uint64_t target_epoch);
 
   /// Member ids in enrollment order (includes revoked members).
   Result<std::vector<DeviceId>> GroupMembers(GroupId group) const;
@@ -235,10 +305,21 @@ class DeviceRegistry {
   void ApplyGroupCreate(GroupId id, std::string label);
   /// Marks a device revoked (recovery replay; idempotent).
   Status ApplyRevoke(DeviceId id);
+  /// Advances a group to `target_epoch` and re-provisions its members —
+  /// the shared body of RotateGroupEpochTo and of recovery replay. Never
+  /// touches the WAL. Idempotent: a target at or below the current epoch
+  /// is a no-op.
+  Result<GroupRotation> ApplyEpochBump(GroupId group, uint64_t target_epoch);
+  /// Re-provisions one member under `config`/`group_key`: KMU config
+  /// rotation, fresh conversion mask, and the record's deployment key.
+  /// Atomic against concurrent rekeys of the same device (the endpoint
+  /// mutex covers both the KMU update and the field update).
+  Status RekeyMember(DeviceId id, const crypto::KeyConfig& config,
+                     const crypto::Key256& group_key);
   /// kNotFound / kFailedPrecondition when `id` cannot be revoked now.
   Status ValidateRevocable(DeviceId id) const;
-  /// Derives the key for group `id` from the registry secret.
-  crypto::Key256 DeriveGroupKey(GroupId id) const;
+  /// Derives the key for group `id` at `epoch` from the registry secret.
+  crypto::Key256 DeriveGroupKey(GroupId id, uint64_t epoch) const;
   /// Fingerprint of everything recovery correctness depends on.
   uint64_t StorageFingerprint() const;
   /// Serializes groups + devices into a snapshot payload. Caller holds
@@ -262,9 +343,16 @@ class DeviceRegistry {
 
   RegistryConfig config_;
   crypto::Key256 group_secret_{};
+  /// Per-group key-epoch versioning over the base key_config. Epoch
+  /// advances and the matching GroupState.key update happen together
+  /// under group_mutex_, so readers holding it see a consistent pair.
+  crypto::EpochManager epochs_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex group_mutex_;
+  /// Readers (key/members/epoch lookups — once per target on the deploy
+  /// hot path) take this shared; the rare writers (group create,
+  /// membership update, epoch rotation) take it exclusive.
+  mutable std::shared_mutex group_mutex_;
   std::unordered_map<GroupId, GroupState> groups_;
   GroupId next_group_id_ = 1;
 

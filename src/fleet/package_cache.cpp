@@ -28,6 +28,10 @@ void AbsorbString(crypto::Sha256& hasher, std::string_view text) {
 
 }  // namespace
 
+crypto::Sha256Digest FingerprintKey(const crypto::Key256& key) {
+  return crypto::Sha256::Hash(key);
+}
+
 crypto::Sha256Digest FingerprintPolicy(const core::EncryptionPolicy& policy) {
   crypto::Sha256 hasher;
   AbsorbString(hasher, "eric.fleet.policy.v1");
@@ -122,10 +126,11 @@ Result<std::shared_ptr<const CachedArtifact>> PackageCache::GetOrBuild(
 
   // Level-2 address: program x key fingerprint x policy x cipher. The raw
   // key is hashed, never stored.
+  const crypto::Sha256Digest key_fingerprint = FingerprintKey(key);
   crypto::Sha256 artifact_hasher;
   AbsorbString(artifact_hasher, "eric.fleet.artifact.v1");
   artifact_hasher.Update(program_digest);
-  artifact_hasher.Update(crypto::Sha256::Hash(key));
+  artifact_hasher.Update(key_fingerprint);
   artifact_hasher.Update(FingerprintPolicy(policy));
   artifact_hasher.Update(FingerprintKeyConfig(key_config));
   AbsorbU64(artifact_hasher, static_cast<uint64_t>(cipher));
@@ -175,6 +180,7 @@ Result<std::shared_ptr<const CachedArtifact>> PackageCache::GetOrBuild(
   artifact->instr_count = packaged->package.instr_count;
   artifact->compile_microseconds = compile_us;
   artifact->seal_microseconds = MicrosecondsSince(seal_start);
+  artifact->key_fingerprint = key_fingerprint;
 
   if (call_stats != nullptr) ++call_stats->artifact_misses;
   {
@@ -204,6 +210,28 @@ PackageCacheStats PackageCache::Stats() const {
     }
   }
   return stats;
+}
+
+size_t PackageCache::InvalidateKeyFingerprint(
+    const crypto::Sha256Digest& key_fingerprint) {
+  size_t dropped = 0;
+  for (const auto& shard : artifact_shards_) {
+    std::lock_guard lock(shard->mutex);
+    for (auto it = shard->map.begin(); it != shard->map.end();) {
+      if (it->second.entry->key_fingerprint == key_fingerprint) {
+        shard->lru.erase(it->second.lru_it);
+        it = shard->map.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (dropped > 0) {
+    std::lock_guard lock(stats_mutex_);
+    stats_.invalidations += dropped;
+  }
+  return dropped;
 }
 
 void PackageCache::Clear() {

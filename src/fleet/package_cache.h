@@ -50,6 +50,10 @@ struct CachedArtifact {
   uint32_t instr_count = 0;         ///< instructions in the sealed text
   double compile_microseconds = 0;  ///< 0 when level 1 hit
   double seal_microseconds = 0;     ///< sign + encrypt + package time
+  /// SHA-256 of the deployment key the artifact was sealed under — the
+  /// targeted-invalidation address a key-epoch rotation uses to drop
+  /// exactly this key's artifacts (see InvalidateKeyFingerprint).
+  crypto::Sha256Digest key_fingerprint{};
 };
 
 /// Cache counters. Hit/miss/eviction counts are monotonic (sample before
@@ -61,6 +65,8 @@ struct PackageCacheStats {
   uint64_t compile_hits = 0;     ///< compiled programs served from cache
   uint64_t compile_misses = 0;   ///< compilations performed
   uint64_t evictions = 0;        ///< LRU evictions across both levels
+  /// Artifacts dropped by targeted key invalidation (epoch rotation).
+  uint64_t invalidations = 0;
   size_t artifact_entries = 0;   ///< artifacts resident right now
   size_t artifact_bytes = 0;     ///< wire bytes resident right now
 
@@ -105,8 +111,21 @@ class PackageCache {
   /// Monotonic hit/miss/eviction counters plus current occupancy.
   PackageCacheStats Stats() const;
 
-  /// Drops every entry (key-rotation hook: bump the epoch, then Clear()).
+  /// Drops every entry (the blunt rotation hook; prefer the targeted
+  /// InvalidateKeyFingerprint when only one group's key rotated).
   void Clear();
+
+  /// Drops every artifact sealed under the key whose SHA-256 matches
+  /// `key_fingerprint`, leaving other keys' artifacts — and the whole
+  /// key-independent compile cache — hot. Returns the number dropped.
+  /// This is the epoch-rotation hook: rotating one group invalidates
+  /// that group's sealed packages only, so a shared cache keeps serving
+  /// every other group without a re-seal. Handed-out artifacts survive
+  /// (callers hold shared ownership). Thread-safe against GetOrBuild; a
+  /// build racing the invalidation may re-insert a stale-epoch artifact,
+  /// which is harmless — its address includes the old key fingerprint,
+  /// so no new-epoch request can ever hit it, and devices reject it.
+  size_t InvalidateKeyFingerprint(const crypto::Sha256Digest& key_fingerprint);
 
  private:
   using Digest = crypto::Sha256Digest;
@@ -154,6 +173,10 @@ class PackageCache {
   PackageCacheStats stats_;
 };
 
+/// SHA-256 fingerprint of a deployment key: the level-2 cache-address
+/// component and the targeted-invalidation address. The raw key never
+/// enters a cache index.
+crypto::Sha256Digest FingerprintKey(const crypto::Key256& key);
 /// Stable fingerprint of an encryption policy, used to form cache
 /// addresses (exposed for tests).
 crypto::Sha256Digest FingerprintPolicy(const core::EncryptionPolicy& policy);

@@ -34,11 +34,18 @@ std::vector<uint8_t> Channel::Deliver(std::vector<uint8_t> bytes) {
       break;
     }
     case ChannelFault::kBytePatch: {
-      for (uint32_t i = 0; i < config_.patch_length; ++i) {
-        const size_t pos = config_.patch_offset + i;
-        if (pos >= bytes.size()) break;
-        bytes[pos] = config_.patch_value;
-        ++record.mutations;
+      // Clamp the patch window to the delivered body up front: an offset
+      // at or past the tail patches nothing, and a window overrunning
+      // the tail patches only the overlap. The old per-byte check
+      // computed patch_offset + i first, so an offset near SIZE_MAX
+      // wrapped and silently patched the *front* of the body instead.
+      if (config_.patch_offset < bytes.size()) {
+        const size_t window = std::min<size_t>(
+            config_.patch_length, bytes.size() - config_.patch_offset);
+        for (size_t i = 0; i < window; ++i) {
+          bytes[config_.patch_offset + i] = config_.patch_value;
+        }
+        record.mutations = static_cast<uint32_t>(window);
       }
       break;
     }
@@ -51,13 +58,17 @@ std::vector<uint8_t> Channel::Deliver(std::vector<uint8_t> bytes) {
     case ChannelFault::kInstructionPatch: {
       // Inject a plausible 32-bit instruction (addi a0, a0, 1 = 0x00150513)
       // at the patch offset — the classic "add a malicious instruction"
-      // modification.
+      // modification. Same clamped window as kBytePatch: a tail-straddling
+      // patch writes the overlap only, and an offset past the tail (or one
+      // that would wrap size_t) mutates nothing.
       const uint8_t injected[4] = {0x13, 0x05, 0x15, 0x00};
-      for (int i = 0; i < 4; ++i) {
-        const size_t pos = config_.patch_offset + static_cast<size_t>(i);
-        if (pos >= bytes.size()) break;
-        bytes[pos] = injected[i];
-        ++record.mutations;
+      if (config_.patch_offset < bytes.size()) {
+        const size_t window =
+            std::min<size_t>(4, bytes.size() - config_.patch_offset);
+        for (size_t i = 0; i < window; ++i) {
+          bytes[config_.patch_offset + i] = injected[i];
+        }
+        record.mutations = static_cast<uint32_t>(window);
       }
       break;
     }

@@ -12,6 +12,7 @@
 
 #include "fleet/campaign_scheduler.h"
 #include "fleet/deployment_engine.h"
+#include "fleet/rotation_campaign.h"
 #include "net/channel.h"
 
 namespace eric::fleet {
@@ -391,6 +392,342 @@ TEST(PackageCacheTest, ClearUnderConcurrentGetOrBuildIsSafeAndFresh) {
   auto run = registry.Dispatch(*device, (*fresh)->wire);
   ASSERT_TRUE(run.ok());
   EXPECT_EQ(run->exec.exit_code, kTinyProgramResult);
+}
+
+// The documented contract: hit/miss/eviction/invalidation counters are
+// monotonic and every GetOrBuild counts exactly one hit or one miss —
+// including the racing-builders case where both build and both count a
+// miss — no matter how Clear() interleaves.
+TEST(PackageCacheTest, StatsMonotonicUnderRacingGetOrBuildAndClear) {
+  DeviceRegistry registry;
+  const GroupId group = registry.CreateGroup("g");
+  ASSERT_TRUE(registry.Enroll(0x57A7, group).ok());
+  auto key = registry.GroupKey(group);
+  ASSERT_TRUE(key.ok());
+
+  PackageCache cache;
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 30;
+  std::atomic<int> errors{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> builders;
+  for (int t = 0; t < kThreads; ++t) {
+    builders.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        crypto::KeyConfig config = registry.key_config();
+        config.epoch = static_cast<uint64_t>((t + i) % 2);
+        if (!cache.GetOrBuild(kTinyProgram, *key, config,
+                              core::EncryptionPolicy::Full())
+                 .ok()) {
+          ++errors;
+        }
+      }
+    });
+  }
+  std::thread clearer([&] {
+    while (!stop.load()) {
+      cache.Clear();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  // Sample the monotonic counters while the race runs: none may ever
+  // step backwards, no matter how Clear() interleaves.
+  std::atomic<bool> monotonic{true};
+  std::thread sampler([&] {
+    PackageCacheStats last;
+    while (!stop.load()) {
+      const auto stats = cache.Stats();
+      if (stats.artifact_hits < last.artifact_hits ||
+          stats.artifact_misses < last.artifact_misses ||
+          stats.compile_hits < last.compile_hits ||
+          stats.compile_misses < last.compile_misses ||
+          stats.evictions < last.evictions ||
+          stats.invalidations < last.invalidations) {
+        monotonic.store(false);
+      }
+      last = stats;
+    }
+  });
+  for (auto& thread : builders) thread.join();
+  stop.store(true);
+  clearer.join();
+  sampler.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_TRUE(monotonic.load());
+
+  // Exactly one hit or miss per call — double-builds both count misses,
+  // so the identity holds with or without build races.
+  const auto stats = cache.Stats();
+  EXPECT_EQ(stats.artifact_hits + stats.artifact_misses,
+            static_cast<uint64_t>(kThreads) * kIterations);
+}
+
+TEST(PackageCacheTest, TargetedInvalidationLeavesOtherKeysHot) {
+  DeviceRegistry registry;
+  const GroupId rotated = registry.CreateGroup("rotated");
+  const GroupId bystander = registry.CreateGroup("bystander");
+  ASSERT_TRUE(registry.Enroll(0x1A, rotated).ok());
+  ASSERT_TRUE(registry.Enroll(0x1B, bystander).ok());
+  auto rotated_key = registry.GroupKey(rotated);
+  auto bystander_key = registry.GroupKey(bystander);
+  ASSERT_TRUE(rotated_key.ok());
+  ASSERT_TRUE(bystander_key.ok());
+  const auto policy = core::EncryptionPolicy::Full();
+
+  PackageCache cache;
+  // Two policies under the rotated key (two artifacts), one under the
+  // bystander key.
+  ASSERT_TRUE(cache.GetOrBuild(kTinyProgram, *rotated_key,
+                               registry.key_config(), policy)
+                  .ok());
+  ASSERT_TRUE(cache.GetOrBuild(kTinyProgram, *rotated_key,
+                               registry.key_config(),
+                               core::EncryptionPolicy::PartialRandom(0.5))
+                  .ok());
+  ASSERT_TRUE(cache.GetOrBuild(kTinyProgram, *bystander_key,
+                               registry.key_config(), policy)
+                  .ok());
+  ASSERT_EQ(cache.Stats().artifact_entries, 3u);
+
+  // Targeted invalidation drops exactly the rotated key's artifacts.
+  EXPECT_EQ(cache.InvalidateKeyFingerprint(FingerprintKey(*rotated_key)), 2u);
+  const auto after = cache.Stats();
+  EXPECT_EQ(after.invalidations, 2u);
+  EXPECT_EQ(after.artifact_entries, 1u);
+
+  // The bystander stays hot (a hit), the rotated key re-seals (a miss) —
+  // and the compile cache survived, so no recompilation either way.
+  const auto misses_before = after.artifact_misses;
+  ASSERT_TRUE(cache.GetOrBuild(kTinyProgram, *bystander_key,
+                               registry.key_config(), policy)
+                  .ok());
+  EXPECT_EQ(cache.Stats().artifact_misses, misses_before);
+  ASSERT_TRUE(cache.GetOrBuild(kTinyProgram, *rotated_key,
+                               registry.key_config(), policy)
+                  .ok());
+  const auto final_stats = cache.Stats();
+  EXPECT_EQ(final_stats.artifact_misses, misses_before + 1);
+  EXPECT_EQ(final_stats.compile_misses, 1u);  // only the very first build
+
+  // Unknown fingerprints invalidate nothing.
+  EXPECT_EQ(cache.InvalidateKeyFingerprint(crypto::Sha256Digest{}), 0u);
+}
+
+// --- Key-epoch rotation -------------------------------------------------------
+
+TEST(RotationTest, RotatedGroupRejectsOldSealsAndAcceptsNew) {
+  DeviceRegistry registry;
+  const GroupId group = registry.CreateGroup("rotating");
+  const GroupId other = registry.CreateGroup("steady");
+  std::vector<DeviceId> members;
+  for (uint64_t i = 0; i < 3; ++i) {
+    auto id = registry.Enroll(0x201 + i, group);
+    ASSERT_TRUE(id.ok());
+    members.push_back(*id);
+  }
+  auto other_member = registry.Enroll(0x2FF, other);
+  auto solo = registry.Enroll(0x2FE);
+  ASSERT_TRUE(other_member.ok());
+  ASSERT_TRUE(solo.ok());
+
+  PackageCache cache;
+  const auto policy = core::EncryptionPolicy::PartialRandom(0.5);
+  auto old_context = registry.SealingContextFor(members[0]);
+  ASSERT_TRUE(old_context.ok());
+  auto old_artifact = cache.GetOrBuild(kTinyProgram, old_context->key,
+                                       old_context->config, policy);
+  ASSERT_TRUE(old_artifact.ok());
+  auto other_context = registry.SealingContextFor(*other_member);
+  ASSERT_TRUE(other_context.ok());
+  auto other_artifact = cache.GetOrBuild(kTinyProgram, other_context->key,
+                                         other_context->config, policy);
+  ASSERT_TRUE(other_artifact.ok());
+
+  auto rotation = registry.RotateGroupEpoch(group);
+  ASSERT_TRUE(rotation.ok());
+  EXPECT_TRUE(rotation->rotated);
+  EXPECT_EQ(rotation->old_epoch, 0u);
+  EXPECT_EQ(rotation->new_epoch, 1u);
+  EXPECT_EQ(rotation->members_rekeyed, members.size());
+  EXPECT_EQ(rotation->old_key_fingerprint,
+            FingerprintKey(old_context->key));
+
+  // Members reject the stale-epoch package...
+  for (DeviceId member : members) {
+    auto run = registry.Dispatch(member, (*old_artifact)->wire);
+    EXPECT_FALSE(run.ok()) << "member " << member
+                           << " accepted a stale-epoch package";
+  }
+  // ...and run a fresh seal under the new context on every member.
+  auto new_context = registry.SealingContextFor(members[0]);
+  ASSERT_TRUE(new_context.ok());
+  EXPECT_EQ(new_context->config.epoch, 1u);
+  EXPECT_FALSE(new_context->key == old_context->key);
+  auto new_artifact = cache.GetOrBuild(kTinyProgram, new_context->key,
+                                       new_context->config, policy);
+  ASSERT_TRUE(new_artifact.ok());
+  for (DeviceId member : members) {
+    auto run = registry.Dispatch(member, (*new_artifact)->wire);
+    ASSERT_TRUE(run.ok()) << "member " << member << ": "
+                          << run.status().ToString();
+    EXPECT_EQ(run->exec.exit_code, kTinyProgramResult);
+  }
+
+  // The other group and the solo device never noticed.
+  auto other_run = registry.Dispatch(*other_member, (*other_artifact)->wire);
+  ASSERT_TRUE(other_run.ok());
+  auto other_epoch = registry.GroupEpoch(other);
+  ASSERT_TRUE(other_epoch.ok());
+  EXPECT_EQ(*other_epoch, 0u);
+  auto solo_context = registry.SealingContextFor(*solo);
+  ASSERT_TRUE(solo_context.ok());
+  EXPECT_EQ(solo_context->config.epoch, 0u);
+
+  // A device enrolled into the group AFTER the rotation joins at the
+  // current epoch and runs the new artifact as-is.
+  auto late = registry.Enroll(0x204, group);
+  ASSERT_TRUE(late.ok());
+  auto late_run = registry.Dispatch(*late, (*new_artifact)->wire);
+  ASSERT_TRUE(late_run.ok()) << late_run.status().ToString();
+}
+
+TEST(RotationTest, RotateToTargetIsIdempotentAndValidates) {
+  DeviceRegistry registry;
+  const GroupId group = registry.CreateGroup("g");
+  ASSERT_TRUE(registry.Enroll(0x301, group).ok());
+
+  EXPECT_EQ(registry.RotateGroupEpoch(kNoGroup).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(registry.RotateGroupEpoch(777).status().code(),
+            ErrorCode::kNotFound);
+
+  ASSERT_TRUE(registry.RotateGroupEpochTo(group, 3).ok());
+  auto epoch = registry.GroupEpoch(group);
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(*epoch, 3u);
+  // Replaying the same (or an older) target is a counted no-op.
+  auto replay = registry.RotateGroupEpochTo(group, 3);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->rotated);
+  EXPECT_EQ(replay->members_rekeyed, 0u);
+  EXPECT_EQ(replay->new_epoch, 3u);
+  ASSERT_TRUE(registry.RotateGroupEpochTo(group, 1).ok());
+  epoch = registry.GroupEpoch(group);
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(*epoch, 3u);
+}
+
+// Enrollments racing rotations must never strand a device: whichever
+// side finishes second re-keys the newcomer, so after the dust settles
+// every member runs a package sealed under the group's current context.
+TEST(RotationTest, EnrollRacingRotationNeverStrandsAMember) {
+  DeviceRegistry registry;
+  const GroupId group = registry.CreateGroup("contested");
+  ASSERT_TRUE(registry.Enroll(0x500, group).ok());
+
+  constexpr int kEnrollers = 3;
+  constexpr int kPerThread = 8;
+  std::atomic<int> errors{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> enrollers;
+  for (int t = 0; t < kEnrollers; ++t) {
+    enrollers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!registry.Enroll(0x510 + t * kPerThread + i, group).ok()) {
+          ++errors;
+        }
+      }
+    });
+  }
+  std::thread rotator([&] {
+    while (!stop.load()) {
+      if (!registry.RotateGroupEpoch(group).ok()) ++errors;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (auto& thread : enrollers) thread.join();
+  stop.store(true);
+  rotator.join();
+  ASSERT_EQ(errors.load(), 0);
+
+  // Every member — including any that enrolled mid-rotation — validates
+  // a package sealed under the group's final context.
+  auto members = registry.GroupMembers(group);
+  ASSERT_TRUE(members.ok());
+  ASSERT_EQ(members->size(), 1u + kEnrollers * kPerThread);
+  PackageCache cache;
+  auto context = registry.SealingContextFor(members->front());
+  ASSERT_TRUE(context.ok());
+  auto artifact = cache.GetOrBuild(kTinyProgram, context->key,
+                                   context->config,
+                                   core::EncryptionPolicy::Full());
+  ASSERT_TRUE(artifact.ok());
+  for (DeviceId member : *members) {
+    auto run = registry.Dispatch(member, (*artifact)->wire);
+    EXPECT_TRUE(run.ok()) << "member " << member << " stranded: "
+                          << run.status().ToString();
+  }
+}
+
+TEST(RotationTest, RotationCampaignInvalidatesTargetedAndRedeploys) {
+  DeviceRegistry registry;
+  const GroupId rotating = registry.CreateGroup("rotating");
+  const GroupId steady = registry.CreateGroup("steady");
+  std::vector<DeviceId> all;
+  for (uint64_t i = 0; i < 4; ++i) {
+    auto a = registry.Enroll(0x401 + i, rotating);
+    auto b = registry.Enroll(0x481 + i, steady);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    all.push_back(*a);
+    all.push_back(*b);
+  }
+  PackageCache cache;
+  DeploymentEngine engine(registry, cache);
+
+  CampaignConfig campaign;
+  campaign.source = kTinyProgram;
+  campaign.devices = all;
+  campaign.workers = 2;
+  auto cold = engine.Run(campaign);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold->succeeded, all.size());
+  ASSERT_EQ(cold->cache_artifact_misses, 2u);  // one seal per group
+
+  RotationConfig rotation_config;
+  rotation_config.group = rotating;
+  rotation_config.campaign = campaign;
+  rotation_config.campaign.devices.clear();  // redeploy the group only
+  rotation_config.rollout.canary_size = 1;   // exercise the wave machinery
+  rotation_config.rollout.wave_size = 2;
+  RotationCampaign rotation(engine, registry, cache);
+  auto report = rotation.Run(rotation_config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->bumped);
+  EXPECT_EQ(report->old_epoch, 0u);
+  EXPECT_EQ(report->new_epoch, 1u);
+  EXPECT_EQ(report->members_rekeyed, 4u);
+  EXPECT_EQ(report->artifacts_invalidated, 1u);  // targeted: rotating only
+  EXPECT_EQ(report->rollout.outcome, CampaignOutcome::kCompleted);
+  EXPECT_EQ(report->rollout.targets, 4u);
+  EXPECT_EQ(report->rollout.succeeded, 4u);
+  EXPECT_EQ(report->rollout.waves.size(), 3u);  // canary(1) + 2 + 1
+
+  // The steady group's artifact stayed hot: redeploying it is all hits.
+  CampaignConfig steady_campaign = campaign;
+  steady_campaign.devices.clear();
+  steady_campaign.group = steady;
+  auto steady_report = engine.Run(steady_campaign);
+  ASSERT_TRUE(steady_report.ok());
+  EXPECT_EQ(steady_report->succeeded, 4u);
+  EXPECT_EQ(steady_report->cache_artifact_misses, 0u);
+
+  // Rotating again goes to epoch 2 and re-seals again.
+  auto again = rotation.Run(rotation_config);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->new_epoch, 2u);
+  EXPECT_EQ(again->rollout.succeeded, 4u);
 }
 
 // --- DeploymentEngine ---------------------------------------------------------

@@ -1,33 +1,58 @@
 #!/usr/bin/env python3
-"""End-to-end crash-resume test for eric_fleetd's durable state.
+"""End-to-end crash-resume tests for eric_fleetd's durable state.
 
-Drives the REAL binary through the acceptance scenario:
+Drives the REAL binary through two acceptance scenarios:
 
+Plain campaign:
   1. start a campaign with --state-dir over a stretched channel
   2. kill -9 the daemon once at least one target outcome is durably
-     checkpointed (polled off campaign.wal) and at least one remains
+     checkpointed (counted by parsing campaign.wal's record frames) and
+     at least one target remains
   3. restart with --resume and assert the campaign completes with no
      device delivered twice and no enrolled device lost
 
-Exactly-once is checked from the resume run's JSON: the previously
+Key-epoch rotation:
+  1. enroll a durable fleet and complete a plain campaign
+  2. start --rotate-epoch over a stretched channel, kill -9 mid-rotation
+  3. restart with --resume --rotate-epoch and assert the rotation
+     finishes exactly once at the journaled epoch, every remaining
+     target sealed under the NEW epoch (the members' HDEs were rotated
+     by WAL replay, so a stale-epoch package could not have succeeded)
+  4. a follow-up rotation advances exactly one epoch further, proving
+     the journal considered the first rotation over
+
+Exactly-once is checked from the resume run's JSON: previously
 checkpointed targets plus this run's dispatched targets must partition
-the recovered fleet, and the resumed run must only have dispatched the
+the target set, and the resumed run must only have dispatched the
 complement (deliveries == remaining targets).
+
+All waiting is done by polling observable state (journal record counts,
+process liveness) — no fixed sleeps around the SIGKILL window — and the
+work dir is cleaned up even when the daemon dies early or outlives an
+attempt.
 
 Usage: fleetd_resume_test.py /path/to/eric_fleetd
 """
 
 import json
 import os
+import shutil
 import signal
+import struct
 import subprocess
 import sys
 import tempfile
 import time
 
 DEVICES = 16
+GROUPS = 2
 # Stretch each delivery so the kill window is wide even on a fast box.
 LATENCY_US = 50000
+POLL_S = 0.02
+DEADLINE_S = 120
+
+WAL_HEADER_SIZE = 8 + 8     # "ERICWAL1" magic + u64 fingerprint
+OUTCOME_RECORD_TYPE = 2
 
 TINY_PROGRAM = """
 fn main() {
@@ -44,7 +69,107 @@ def fail(message):
     sys.exit(1)
 
 
-def run_attempt(fleetd, workdir, attempt):
+def count_outcome_records(journal_path):
+    """Counts durably framed outcome records in a campaign.wal.
+
+    Parses the WAL frame layout (u32 payload_len | u8 type | u32 crc |
+    payload) rather than assuming record sizes, so the count stays right
+    across record-format changes (e.g. rotation begin records). A torn
+    tail or a file that is still growing simply ends the scan."""
+    try:
+        with open(journal_path, "rb") as f:
+            data = f.read()
+    except OSError:
+        return 0
+    outcomes = 0
+    pos = WAL_HEADER_SIZE
+    while pos + 9 <= len(data):
+        (length,) = struct.unpack_from("<I", data, pos)
+        rec_type = data[pos + 4]
+        end = pos + 9 + length
+        if end > len(data):
+            break  # torn / still-being-written tail
+        if rec_type == OUTCOME_RECORD_TYPE:
+            outcomes += 1
+        pos = end
+    return outcomes
+
+
+def run_until_killed(command, journal, min_outcomes, max_outcomes):
+    """Starts `command`, kill -9s it once the journal holds at least
+    `min_outcomes` (and at most `max_outcomes`) outcome records.
+
+    Returns the outcome count at the kill, or None when the process
+    finished before the window was hit (caller retries). The process is
+    always reaped — including on unexpected exceptions — so temp-dir
+    cleanup never races a live daemon."""
+    proc = subprocess.Popen(command, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    try:
+        deadline = time.time() + DEADLINE_S
+        # The journal may still hold a *previous* completed campaign's
+        # records until this run's Begin truncates it — ignore counts
+        # until we have seen the file at or below the window once.
+        seen_reset = False
+        while time.time() < deadline:
+            if proc.poll() is not None:
+                return None  # finished before we killed it
+            outcomes = count_outcome_records(journal)
+            if outcomes > max_outcomes:
+                if seen_reset:
+                    return None  # window missed; let it finish and retry
+                time.sleep(POLL_S)
+                continue
+            seen_reset = True
+            if outcomes >= min_outcomes:
+                proc.send_signal(signal.SIGKILL)
+                proc.wait()
+                return outcomes
+            time.sleep(POLL_S)
+        fail("daemon made no checkpoint progress within %ds" % DEADLINE_S)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def run_json(command, json_path, label):
+    result = subprocess.run(command, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True,
+                            timeout=DEADLINE_S)
+    if result.returncode != 0:
+        fail("%s exited %d:\n%s" % (label, result.returncode, result.stdout))
+    with open(json_path) as f:
+        return json.load(f)
+
+
+def check_resume_report(report, targets, label):
+    """The exactly-once arithmetic shared by both scenarios."""
+    if not report["resumed"]:
+        fail("%s did not report resumed=true" % label)
+    if report["fleet_devices"] != DEVICES:
+        fail("%s: recovered fleet has %d devices, enrolled %d" %
+             (label, report["fleet_devices"], DEVICES))
+    if report["original_targets"] != targets:
+        fail("%s: journal lost targets: %d of %d" %
+             (label, report["original_targets"], targets))
+    prior = report["previously_completed"]
+    if prior < 1:
+        fail("%s: kill landed before any checkpoint (prior=%d)" %
+             (label, prior))
+    if prior + report["devices"] != targets:
+        fail("%s: checkpointed %d + resumed %d != targets %d" %
+             (label, prior, report["devices"], targets))
+    if report["deliveries"] != report["devices"]:
+        fail("%s: resumed run delivered %d times for %d targets" %
+             (label, report["deliveries"], report["devices"]))
+    if report["succeeded"] != report["devices"]:
+        fail("%s: resumed run: %d of %d targets succeeded" %
+             (label, report["succeeded"], report["devices"]))
+    return prior
+
+
+def plain_attempt(fleetd, workdir, attempt):
     state_dir = os.path.join(workdir, "state-%d" % attempt)
     source = os.path.join(workdir, "tiny.eric")
     with open(source, "w") as f:
@@ -53,104 +178,118 @@ def run_attempt(fleetd, workdir, attempt):
     json_out = os.path.join(workdir, "resume-%d.json" % attempt)
 
     base = [
-        fleetd, "--devices", str(DEVICES), "--groups", "2",
+        fleetd, "--devices", str(DEVICES), "--groups", str(GROUPS),
         "--source", source, "--state-dir", state_dir,
     ]
-    first = subprocess.Popen(
+    killed_at = run_until_killed(
         base + ["--workers", "1", "--latency-us", str(LATENCY_US)],
-        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
-
-    # Wait for >= 2 durable outcome records (journal larger than header +
-    # begin record + one outcome), but kill well before the campaign ends.
-    begin_size = 16 + 9 + 16 + 8 * DEVICES  # header + frame + begin payload
-    outcome_size = 9 + 13                   # frame + outcome payload
-    want = begin_size + 2 * outcome_size
-    deadline = time.time() + 60
-    killed_midway = False
-    while time.time() < deadline:
-        if first.poll() is not None:
-            break  # finished before we killed it: retry with more latency
-        try:
-            size = os.path.getsize(journal)
-        except OSError:
-            size = 0
-        if size >= want:
-            first.send_signal(signal.SIGKILL)
-            first.wait()
-            killed_midway = True
-            break
-        time.sleep(0.02)
-    if not killed_midway:
-        first.wait()
+        journal, min_outcomes=2, max_outcomes=DEVICES - 2)
+    if killed_at is None:
         return None  # campaign outran the kill; caller retries
 
-    # Restart and resume.
-    resume = subprocess.run(
-        base + ["--workers", "2", "--resume", "--json", json_out],
-        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
-        timeout=120)
-    if resume.returncode != 0:
-        fail("resume run exited %d:\n%s" % (resume.returncode, resume.stdout))
-
-    with open(json_out) as f:
-        report = json.load(f)
-
-    if not report["resumed"]:
-        fail("resume run did not report resumed=true")
-    # No enrolled device lost: the whole fleet came back from disk.
-    if report["fleet_devices"] != DEVICES:
-        fail("recovered fleet has %d devices, enrolled %d" %
-             (report["fleet_devices"], DEVICES))
-    if report["original_targets"] != DEVICES:
-        fail("journal lost targets: %d of %d" %
-             (report["original_targets"], DEVICES))
-    # No device delivered twice: the resume run dispatched exactly the
-    # unjournaled complement, once each.
-    prior = report["previously_completed"]
-    if prior < 1:
-        fail("kill landed before any checkpoint (prior=%d)" % prior)
-    if prior + report["devices"] != DEVICES:
-        fail("checkpointed %d + resumed %d != fleet %d" %
-             (prior, report["devices"], DEVICES))
-    if report["deliveries"] != report["devices"]:
-        fail("resumed run delivered %d times for %d targets" %
-             (report["deliveries"], report["devices"]))
-    if report["succeeded"] != report["devices"]:
-        fail("resumed run: %d of %d targets succeeded" %
-             (report["succeeded"], report["devices"]))
+    report = run_json(base + ["--workers", "2", "--resume",
+                              "--json", json_out],
+                      json_out, "resume run")
+    prior = check_resume_report(report, DEVICES, "resume run")
 
     # And the journal agrees the campaign is over: a second --resume finds
     # nothing to continue (it starts a fresh campaign instead of replaying
     # or double-delivering the finished one).
-    idle = subprocess.run(
-        base + ["--resume", "--json", json_out + ".idle"],
-        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
-        timeout=120)
-    if idle.returncode != 0:
-        fail("post-completion resume exited %d:\n%s" %
-             (idle.returncode, idle.stdout))
-    with open(json_out + ".idle") as f:
-        idle_report = json.load(f)
+    idle_report = run_json(base + ["--resume", "--json", json_out + ".idle"],
+                           json_out + ".idle", "post-completion resume")
     if idle_report["resumed"] or idle_report["previously_completed"] != 0:
         fail("completed campaign still resumable: %s" % idle_report)
-
     return prior
+
+
+def rotation_attempt(fleetd, workdir, attempt):
+    state_dir = os.path.join(workdir, "rot-state-%d" % attempt)
+    source = os.path.join(workdir, "tiny.eric")
+    with open(source, "w") as f:
+        f.write(TINY_PROGRAM)
+    journal = os.path.join(state_dir, "campaign.wal")
+    members = DEVICES // GROUPS  # rotation targets group 1 only
+
+    base = [
+        fleetd, "--devices", str(DEVICES), "--groups", str(GROUPS),
+        "--source", source, "--state-dir", state_dir,
+    ]
+    # Enroll the durable fleet with a completed plain campaign.
+    enroll_json = os.path.join(workdir, "rot-enroll-%d.json" % attempt)
+    run_json(base + ["--workers", "4", "--json", enroll_json],
+             enroll_json, "rotation fleet enrollment")
+
+    # Rotate group 1 over the stretched channel, kill -9 mid-rotation.
+    killed_at = run_until_killed(
+        base + ["--rotate-epoch", "1", "--workers", "1",
+                "--latency-us", str(LATENCY_US)],
+        journal, min_outcomes=1, max_outcomes=members - 2)
+    if killed_at is None:
+        return None
+
+    json_out = os.path.join(workdir, "rot-resume-%d.json" % attempt)
+    report = run_json(base + ["--rotate-epoch", "1", "--workers", "2",
+                              "--resume", "--json", json_out],
+                      json_out, "rotation resume")
+    prior = check_resume_report(report, members, "rotation resume")
+    rotation = report.get("rotation")
+    if not rotation:
+        fail("rotation resume JSON carries no rotation report")
+    # The resume finished the SAME rotation: epoch 0 -> 1, applied
+    # idempotently (the bump was already durable when the first outcome
+    # checkpointed, so the resume must not have re-bumped).
+    if rotation["new_epoch"] != 1:
+        fail("rotation resumed to epoch %d, journaled target was 1" %
+             rotation["new_epoch"])
+    if rotation["bumped"]:
+        fail("resume re-bumped an epoch that was already durable")
+    # Every resumed target succeeded (checked above) — and a success is
+    # only possible with a new-epoch package: WAL replay rotated the
+    # member HDEs to epoch 1 before the resume sealed a single byte, and
+    # a rotated HDE rejects stale-epoch packages by construction.
+
+    # A fresh rotation now advances exactly one epoch further — the
+    # journal considers the interrupted rotation complete.
+    next_json = os.path.join(workdir, "rot-next-%d.json" % attempt)
+    next_report = run_json(base + ["--rotate-epoch", "1",
+                                   "--json", next_json],
+                           next_json, "follow-up rotation")
+    next_rotation = next_report["rotation"]
+    if next_report["resumed"] or next_rotation["old_epoch"] != 1 or \
+            next_rotation["new_epoch"] != 2:
+        fail("follow-up rotation went %d -> %d (resumed=%s); completed "
+             "rotation still resumable?" %
+             (next_rotation["old_epoch"], next_rotation["new_epoch"],
+              next_report["resumed"]))
+    return prior
+
+
+def run_scenario(name, attempt_fn, fleetd, workdir, total):
+    for attempt in range(3):
+        prior = attempt_fn(fleetd, workdir, attempt)
+        if prior is not None:
+            print("PASS (%s): killed -9 after %d durable checkpoints; "
+                  "resume completed the remaining %d targets exactly once" %
+                  (name, prior, total - prior))
+            return
+    fail("%s finished before kill -9 in 3 attempts "
+         "(host too fast? raise LATENCY_US)" % name)
 
 
 def main():
     if len(sys.argv) != 2:
         fail("usage: fleetd_resume_test.py /path/to/eric_fleetd")
     fleetd = sys.argv[1]
-    with tempfile.TemporaryDirectory(prefix="eric-fleetd-resume-") as workdir:
-        for attempt in range(3):
-            prior = run_attempt(fleetd, workdir, attempt)
-            if prior is not None:
-                print("PASS: killed -9 after %d durable checkpoints; "
-                      "resume completed the remaining %d targets "
-                      "exactly once" % (prior, DEVICES - prior))
-                return
-        fail("campaign finished before kill -9 in 3 attempts "
-             "(host too fast? raise LATENCY_US)")
+    # Manual temp-dir management: cleanup must tolerate files a kill -9'd
+    # daemon left behind (or a straggler still flushing on slow CI).
+    workdir = tempfile.mkdtemp(prefix="eric-fleetd-resume-")
+    try:
+        run_scenario("plain campaign", plain_attempt, fleetd, workdir,
+                     DEVICES)
+        run_scenario("epoch rotation", rotation_attempt, fleetd, workdir,
+                     DEVICES // GROUPS)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
 
 
 if __name__ == "__main__":

@@ -3,6 +3,8 @@
 // rejected by the HDE.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/encryption_policy.h"
 #include "core/software_source.h"
 #include "core/trusted_execution.h"
@@ -47,6 +49,69 @@ TEST(ChannelTest, BytePatchWritesRange) {
   EXPECT_EQ(delivered[6], 0xAB);
   EXPECT_EQ(delivered[3], 0x00);
   EXPECT_EQ(delivered[7], 0x00);
+}
+
+TEST(ChannelTest, BytePatchStraddlingTailClampsAndCountsOverlap) {
+  ChannelConfig config;
+  config.fault = ChannelFault::kBytePatch;
+  config.patch_offset = 14;  // window [14, 18) over a 16-byte body
+  config.patch_length = 4;
+  config.patch_value = 0xAB;
+  Channel channel(config);
+  const auto delivered = channel.Deliver(std::vector<uint8_t>(16, 0));
+  ASSERT_EQ(delivered.size(), 16u);
+  EXPECT_EQ(delivered[13], 0x00);
+  EXPECT_EQ(delivered[14], 0xAB);
+  EXPECT_EQ(delivered[15], 0xAB);
+  // The record reports the bytes actually mutated, not the nominal window.
+  EXPECT_EQ(channel.log().back().mutations, 2u);
+}
+
+TEST(ChannelTest, PatchAtOrPastTailMutatesNothing) {
+  for (const ChannelFault fault :
+       {ChannelFault::kBytePatch, ChannelFault::kInstructionPatch}) {
+    for (const size_t offset : {size_t{16}, size_t{1000}}) {
+      ChannelConfig config;
+      config.fault = fault;
+      config.patch_offset = offset;
+      config.patch_value = 0xAB;
+      Channel channel(config);
+      const std::vector<uint8_t> original(16, 0);
+      EXPECT_EQ(channel.Deliver(original), original)
+          << ChannelFaultName(fault) << " offset " << offset;
+      EXPECT_EQ(channel.log().back().mutations, 0u);
+    }
+  }
+}
+
+TEST(ChannelTest, PatchOffsetNearSizeMaxDoesNotWrapOntoPrefix) {
+  // Regression: patch_offset + i used to be computed before the bounds
+  // check, so an offset near SIZE_MAX wrapped around and patched the
+  // front of the body — a mutation at an address the config never named.
+  for (const ChannelFault fault :
+       {ChannelFault::kBytePatch, ChannelFault::kInstructionPatch}) {
+    ChannelConfig config;
+    config.fault = fault;
+    config.patch_offset = std::numeric_limits<size_t>::max() - 1;
+    config.patch_length = 4;
+    config.patch_value = 0xAB;
+    Channel channel(config);
+    const std::vector<uint8_t> original(16, 0);
+    EXPECT_EQ(channel.Deliver(original), original) << ChannelFaultName(fault);
+    EXPECT_EQ(channel.log().back().mutations, 0u);
+  }
+}
+
+TEST(ChannelTest, InstructionPatchStraddlingTailClampsAndCountsOverlap) {
+  ChannelConfig config;
+  config.fault = ChannelFault::kInstructionPatch;
+  config.patch_offset = 15;  // one byte of the 4-byte instruction fits
+  Channel channel(config);
+  const auto delivered = channel.Deliver(std::vector<uint8_t>(16, 0xFF));
+  ASSERT_EQ(delivered.size(), 16u);
+  EXPECT_EQ(delivered[14], 0xFF);
+  EXPECT_EQ(delivered[15], 0x13);  // first injected byte only
+  EXPECT_EQ(channel.log().back().mutations, 1u);
 }
 
 TEST(ChannelTest, TruncateDropsTail) {

@@ -456,6 +456,139 @@ TEST(RegistryPersistenceTest, SnapshotCompactsWalAndRecoversWithTail) {
   EXPECT_EQ(recovered.Stats().revoked, 1u);
 }
 
+TEST(RegistryPersistenceTest, EpochBumpSurvivesRestartViaWalReplay) {
+  const std::string dir = MakeTempDir("reg-epoch");
+  fleet::GroupId rotating = 0, steady = 0;
+  std::vector<fleet::DeviceId> members;
+  crypto::Key256 old_key{}, new_key{};
+  {
+    fleet::DeviceRegistry registry(TestRegistryConfig());
+    ASSERT_TRUE(registry.OpenStorage(dir).ok());
+    rotating = registry.CreateGroup("rotating");
+    steady = registry.CreateGroup("steady");
+    for (uint64_t i = 0; i < 4; ++i) {
+      auto id = registry.Enroll(0xE70C4000 + i, rotating);
+      ASSERT_TRUE(id.ok());
+      members.push_back(*id);
+    }
+    ASSERT_TRUE(registry.Enroll(0xE70C4FFF, steady).ok());
+    old_key = *registry.GroupKey(rotating);
+    auto rotation = registry.RotateGroupEpoch(rotating);
+    ASSERT_TRUE(rotation.ok());
+    ASSERT_TRUE(rotation->rotated);
+    new_key = *registry.GroupKey(rotating);
+    ASSERT_FALSE(new_key == old_key);
+  }  // daemon dies after the bump
+
+  fleet::DeviceRegistry recovered(TestRegistryConfig());
+  ASSERT_TRUE(recovered.OpenStorage(dir).ok());
+  const auto info = recovered.storage_info();
+  EXPECT_EQ(info.epoch_bumps_replayed, 1u);
+  EXPECT_EQ(info.orphan_epoch_bumps_dropped, 0u);
+  auto epoch = recovered.GroupEpoch(rotating);
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(*epoch, 1u);
+  auto steady_epoch = recovered.GroupEpoch(steady);
+  ASSERT_TRUE(steady_epoch.ok());
+  EXPECT_EQ(*steady_epoch, 0u);
+
+  // The recovered fleet seals — and validates — under the new epoch; a
+  // stale-epoch package is rejected by the replayed-rotation HDEs.
+  EXPECT_EQ(*recovered.GroupKey(rotating), new_key);
+  auto context = recovered.SealingContextFor(members.front());
+  ASSERT_TRUE(context.ok());
+  EXPECT_EQ(context->config.epoch, 1u);
+  fleet::PackageCache cache;
+  auto fresh = cache.GetOrBuild(kTinyProgram, context->key, context->config,
+                                core::EncryptionPolicy::Full());
+  ASSERT_TRUE(fresh.ok());
+  crypto::KeyConfig stale_config = recovered.key_config();
+  auto stale = cache.GetOrBuild(kTinyProgram, old_key, stale_config,
+                                core::EncryptionPolicy::Full());
+  ASSERT_TRUE(stale.ok());
+  for (fleet::DeviceId member : members) {
+    auto run = recovered.Dispatch(member, (*fresh)->wire);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->exec.exit_code, kTinyProgramResult);
+    EXPECT_FALSE(recovered.Dispatch(member, (*stale)->wire).ok());
+  }
+}
+
+TEST(RegistryPersistenceTest, EpochSurvivesSnapshotCompaction) {
+  const std::string dir = MakeTempDir("reg-epoch-snap");
+  fleet::GroupId group = 0;
+  {
+    fleet::DeviceRegistry registry(TestRegistryConfig());
+    ASSERT_TRUE(registry.OpenStorage(dir).ok());
+    group = registry.CreateGroup("g");
+    for (uint64_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(registry.Enroll(0x5A4E000 + i, group).ok());
+    }
+    ASSERT_TRUE(registry.RotateGroupEpochTo(group, 5).ok());
+    // Compaction truncates the WALs: the epoch must ride the snapshot.
+    ASSERT_TRUE(registry.Snapshot().ok());
+  }
+  fleet::DeviceRegistry recovered(TestRegistryConfig());
+  ASSERT_TRUE(recovered.OpenStorage(dir).ok());
+  const auto info = recovered.storage_info();
+  EXPECT_TRUE(info.snapshot_loaded);
+  EXPECT_EQ(info.epoch_bumps_replayed, 0u);  // the WAL was compacted
+  auto epoch = recovered.GroupEpoch(group);
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(*epoch, 5u);
+}
+
+TEST(CampaignJournalTest, RotationBeginRoundTrip) {
+  const std::string dir = MakeTempDir("journal-rotation");
+  const std::vector<fleet::DeviceId> targets = {11, 12, 13, 14};
+  {
+    fleet::CampaignJournal journal;
+    ASSERT_TRUE(journal.Open(dir).ok());
+    ASSERT_TRUE(
+        journal.BeginRotation(0xF1A9, targets, /*group=*/7,
+                              /*target_epoch=*/3)
+            .ok());
+    fleet::TargetCheckpoint done;
+    done.device = 12;
+    done.ok = true;
+    done.attempts = 1;
+    journal.OnTargetCheckpoint(done);
+    ASSERT_TRUE(journal.last_error().ok());
+  }  // crash mid-rotation
+
+  fleet::CampaignJournal reopened;
+  ASSERT_TRUE(reopened.Open(dir).ok());
+  const auto& recovered = reopened.recovered();
+  EXPECT_TRUE(recovered.active);
+  EXPECT_TRUE(recovered.rotation);
+  EXPECT_EQ(recovered.rotation_group, 7u);
+  EXPECT_EQ(recovered.rotation_epoch, 3u);
+  EXPECT_EQ(recovered.campaign_fingerprint, 0xF1A9u);
+  EXPECT_EQ(recovered.targets, targets);
+  EXPECT_EQ(recovered.RemainingTargets(),
+            (std::vector<fleet::DeviceId>{11, 13, 14}));
+
+  // A plain Begin (after abandoning the rotation) leaves no rotation
+  // marker for the next recovery to misread.
+  ASSERT_TRUE(reopened.Abandon().ok());
+  ASSERT_TRUE(reopened.Begin(0xBEEF, targets).ok());
+}
+
+TEST(CampaignJournalTest, PlainBeginRecoversWithoutRotationMarker) {
+  const std::string dir = MakeTempDir("journal-plain");
+  const std::vector<fleet::DeviceId> targets = {21, 22};
+  {
+    fleet::CampaignJournal journal;
+    ASSERT_TRUE(journal.Open(dir).ok());
+    ASSERT_TRUE(journal.Begin(0xBEEF, targets).ok());
+  }
+  fleet::CampaignJournal reopened;
+  ASSERT_TRUE(reopened.Open(dir).ok());
+  EXPECT_TRUE(reopened.recovered().active);
+  EXPECT_FALSE(reopened.recovered().rotation);
+  EXPECT_EQ(reopened.recovered().campaign_fingerprint, 0xBEEFu);
+}
+
 TEST(RegistryPersistenceTest, AutoSnapshotEveryNMutations) {
   const std::string dir = MakeTempDir("reg-auto");
   fleet::RegistryStorageOptions options;

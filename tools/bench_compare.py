@@ -34,6 +34,14 @@ METRICS = [
     # noise, so this one gets the generous threshold.
     ("BENCH_store.json", "recovery_max_ratio", "lower", 60.0),
     ("BENCH_store.json", "group_commit_speedup", "higher", 60.0),
+    # Rotation: the targeted-invalidation fraction is deterministic
+    # (rotated group's artifacts / resident artifacts); the re-seal
+    # ratio compares the rotated group's redeploy against the cold
+    # first deploy on the same host, so it is machine-portable but
+    # thread-timing noisy — generous threshold.
+    ("BENCH_rotation.json", "invalidation.targeted_fraction", "lower", 25.0),
+    ("BENCH_rotation.json", "reseal.vs_cold_ratio", "lower", 60.0),
+    ("BENCH_rotation.json", "untouched_groups.hit_rate", "higher", 25.0),
 ]
 
 
@@ -44,6 +52,28 @@ def lookup(doc, dotted):
             return None
         node = node[part]
     return node
+
+
+def numeric(value):
+    """True for int/float metric values; bool is JSON true/false, not a
+    number you can regress against."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def load_json(path, failures):
+    """Parses `path`, turning unreadable or non-object documents into a
+    recorded failure (clear message, nonzero exit) instead of a traceback."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as error:
+        failures.append("%s: unreadable JSON (%s)" % (path, error))
+        return None
+    if not isinstance(doc, dict):
+        failures.append("%s: expected a JSON object, got %s" %
+                        (path, type(doc).__name__))
+        return None
+    return doc
 
 
 def main():
@@ -64,10 +94,10 @@ def main():
             failures.append("%s: baseline exists but the bench produced no "
                             "fresh result" % name)
             continue
-        with open(baseline_path) as f:
-            baseline = json.load(f)
-        with open(current_path) as f:
-            current = json.load(f)
+        baseline = load_json(baseline_path, failures)
+        current = load_json(current_path, failures)
+        if baseline is None or current is None:
+            continue
 
         if current.get("pass") is False:
             failures.append("%s: the bench's own acceptance criterion "
@@ -85,6 +115,14 @@ def main():
             if cur_value is None:
                 failures.append("%s: metric %s vanished from fresh output" %
                                 (name, path))
+                continue
+            if not numeric(base_value):
+                failures.append("%s: baseline metric %s is not numeric "
+                                "(got %r)" % (name, path, base_value))
+                continue
+            if not numeric(cur_value):
+                failures.append("%s: fresh metric %s is not numeric "
+                                "(got %r)" % (name, path, cur_value))
                 continue
             checked += 1
             if base_value == 0:

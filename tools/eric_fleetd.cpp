@@ -13,7 +13,7 @@
 //               [--rate R] [--burst B] [--group-concurrency N]
 //               [--pause-after MS] [--pause-for MS] [--shuffle]
 //               [--state-dir DIR] [--resume] [--snapshot-every N]
-//               [--json FILE] [--verbose]
+//               [--rotate-epoch GROUP] [--json FILE] [--verbose]
 //
 // With no --source/--workload, deploys the crc32 workload. --revoke K
 // revokes every K-th device before the campaign to show revocation
@@ -35,6 +35,16 @@
 // over exactly the targets that had no durable outcome — nothing is
 // delivered twice, nothing is lost. --snapshot-every N compacts the
 // registry WALs after every N logged mutations.
+//
+// --rotate-epoch GROUP runs a key-epoch rotation campaign instead of a
+// plain deployment: the named group's key epoch is bumped (durably
+// journaled under --state-dir), the package cache drops exactly that
+// group's sealed artifacts, and the group is redeployed under the
+// scheduler's canary/wave machinery with every package sealed under the
+// new epoch. Killed mid-rotation, --resume --rotate-epoch GROUP finishes
+// the rotation exactly once at the journaled target epoch — stale-epoch
+// artifacts are never re-delivered (the members' rotated HDEs would
+// reject them anyway).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -47,6 +57,7 @@
 #include "fleet/campaign_journal.h"
 #include "fleet/campaign_scheduler.h"
 #include "fleet/deployment_engine.h"
+#include "fleet/rotation_campaign.h"
 #include "store/record_io.h"
 #include "support/bench_json.h"
 #include "workloads/workloads.h"
@@ -67,7 +78,7 @@ void Usage() {
       "                   [--group-concurrency N] [--pause-after MS]\n"
       "                   [--pause-for MS] [--shuffle]\n"
       "                   [--state-dir DIR] [--resume] [--snapshot-every N]\n"
-      "                   [--json FILE] [--verbose]\n");
+      "                   [--rotate-epoch GROUP] [--json FILE] [--verbose]\n");
 }
 
 /// Identity of a campaign for resume matching: FNV-1a over everything
@@ -78,8 +89,13 @@ void Usage() {
 uint64_t CampaignFingerprint(const std::string& source,
                              const std::string& mode, double fraction,
                              uint64_t seed, const std::string& fault_name,
-                             double fault_rate, uint32_t attempts) {
+                             double fault_rate, uint32_t attempts,
+                             uint64_t rotate_group, uint64_t rotate_epoch) {
   eric::store::RecordWriter rec;
+  // A rotation campaign is a different campaign from a plain deployment
+  // of the same program: the target epoch decides the bytes sealed.
+  rec.U64(rotate_group);
+  rec.U64(rotate_epoch);
   rec.Str(source);
   rec.Str(mode);
   uint64_t fraction_bits;
@@ -93,6 +109,90 @@ uint64_t CampaignFingerprint(const std::string& source,
   rec.U64(fault_rate_bits);
   rec.U32(attempts);
   return eric::store::Fnv1a64(rec.bytes());
+}
+
+/// Identity + resume arithmetic shared by every eric_fleetd report.
+/// One writer for these fields keeps the flat, scheduled, rotation, and
+/// nothing-left-to-resume JSON variants from drifting apart — the
+/// crash-resume test asserts on exactly this field set.
+struct ReportContext {
+  const std::string* program = nullptr;
+  const std::string* mode = nullptr;
+  bool resumed = false;
+  size_t previously_completed = 0;
+  uint64_t previously_failed = 0;
+  size_t original_targets = 0;
+  size_t fleet_devices = 0;
+};
+
+void WriteCommonJson(JsonWriter& json, const ReportContext& context) {
+  json.Field("tool", "eric_fleetd");
+  json.Field("program", *context.program);
+  json.Field("mode", *context.mode);
+  json.Field("resumed", context.resumed);
+  json.Field("previously_completed", context.previously_completed);
+  json.Field("previously_failed", context.previously_failed);
+  json.Field("original_targets", context.original_targets);
+  json.Field("fleet_devices", context.fleet_devices);
+}
+
+void PrintScheduledReport(const fleet::ScheduledReport& report) {
+  for (const auto& wave : report.waves) {
+    std::printf("  wave %zu%s: %zu targets, %zu ok / %zu failed / %zu "
+                "revoked, failure-rate %.2f%s\n",
+                wave.wave_index, wave.canary ? " (canary)" : "",
+                wave.report.targets, wave.report.succeeded,
+                wave.report.failed, wave.report.revoked, wave.failure_rate,
+                wave.gate_breached ? "  << GATE BREACHED" : "");
+  }
+  std::printf("\nresult: %s — %zu ok / %zu failed / %zu revoked, "
+              "%zu never dispatched of %zu targets\n",
+              std::string(fleet::CampaignOutcomeName(report.outcome)).c_str(),
+              report.succeeded, report.failed, report.revoked,
+              report.never_dispatched, report.targets);
+  std::printf("wire:   %llu deliveries (%llu retries), peak %zu in flight\n",
+              static_cast<unsigned long long>(report.deliveries),
+              static_cast<unsigned long long>(report.retries),
+              report.peak_in_flight);
+  std::printf("time:   %.1f ms wall\n", report.wall_ms);
+}
+
+void WriteScheduledJson(JsonWriter& json, const fleet::ScheduledReport& report) {
+  json.Field("outcome", fleet::CampaignOutcomeName(report.outcome));
+  json.Field("devices", report.targets);
+  json.Field("succeeded", report.succeeded);
+  json.Field("failed", report.failed);
+  json.Field("revoked", report.revoked);
+  json.Field("never_dispatched", report.never_dispatched);
+  json.Field("deliveries", report.deliveries);
+  json.Field("retries", report.retries);
+  json.Field("peak_in_flight", report.peak_in_flight);
+  json.Field("wall_ms", report.wall_ms);
+  json.Key("waves");
+  json.BeginArray();
+  for (const auto& wave : report.waves) {
+    json.BeginObject();
+    json.Field("index", wave.wave_index);
+    json.Field("canary", wave.canary);
+    json.Field("targets", wave.report.targets);
+    json.Field("succeeded", wave.report.succeeded);
+    json.Field("failed", wave.report.failed);
+    json.Field("failure_rate", wave.failure_rate);
+    json.Field("gate_breached", wave.gate_breached);
+    json.Field("wall_ms", wave.report.wall_ms);
+    json.EndObject();
+  }
+  json.EndArray();
+}
+
+/// Exit-code rule shared by the scheduled and rotation paths: complete
+/// means every non-revoked target of this run succeeded and no target
+/// was durably checkpointed as failed before a resume.
+bool ScheduledCampaignComplete(const fleet::ScheduledReport& report,
+                               uint64_t previously_failed) {
+  return report.outcome == fleet::CampaignOutcome::kCompleted &&
+         report.succeeded == report.targets - report.revoked &&
+         previously_failed == 0;
 }
 
 bool ParseFault(const std::string& name, net::ChannelFault* fault) {
@@ -128,6 +228,8 @@ int main(int argc, char** argv) {
   std::string state_dir;
   bool resume = false;
   uint64_t snapshot_every = 0;
+  // Key-epoch rotation: nonzero = rotate this group and redeploy it.
+  uint64_t rotate_group = 0;
 
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* name) {
@@ -163,6 +265,8 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--resume") == 0) resume = true;
     else if (arg("--snapshot-every"))
       snapshot_every = std::strtoull(argv[++i], nullptr, 0);
+    else if (arg("--rotate-epoch"))
+      rotate_group = std::strtoull(argv[++i], nullptr, 0);
     else if (arg("--json")) json_path = argv[++i];
     else if (std::strcmp(argv[i], "--verbose") == 0) verbose = true;
     else { Usage(); return 2; }
@@ -317,6 +421,22 @@ int main(int argc, char** argv) {
   campaign.fault_rate = fault_rate;
   campaign.delivery_latency_us = latency_us;
 
+  // --- Rotation target selection --------------------------------------------
+  // A rotation campaign targets the rotated group only; its target epoch
+  // defaults to current+1 and is overridden by the journal on resume.
+  uint64_t rotate_target_epoch = 0;
+  if (rotate_group != 0) {
+    auto members = registry.GroupMembers(rotate_group);
+    auto epoch = registry.GroupEpoch(rotate_group);
+    if (!members.ok() || !epoch.ok()) {
+      std::fprintf(stderr, "--rotate-epoch: unknown group %llu\n",
+                   static_cast<unsigned long long>(rotate_group));
+      return 1;
+    }
+    campaign.devices = *members;
+    rotate_target_epoch = *epoch + 1;
+  }
+
   // --- Durable campaign checkpoints -----------------------------------------
   fleet::CampaignJournal journal;
   bool journal_active = false;
@@ -326,11 +446,8 @@ int main(int argc, char** argv) {
   // from the resume set (their retry budget is spent) but they must
   // still fail the campaign's exit code and show in the report.
   uint64_t previously_failed = 0;
-  size_t original_targets = all_devices.size();
+  size_t original_targets = campaign.devices.size();
   if (!state_dir.empty()) {
-    const uint64_t fingerprint = CampaignFingerprint(
-        program_source, mode, fraction, campaign.campaign_seed, fault_name,
-        fault_rate, attempts);
     auto opened = journal.Open(state_dir);
     if (!opened.ok()) {
       std::fprintf(stderr, "cannot open campaign journal: %s\n",
@@ -338,6 +455,33 @@ int main(int argc, char** argv) {
       return 1;
     }
     const auto& recovered = journal.recovered();
+    if (recovered.active && resume) {
+      // A resumed rotation continues to the *journaled* target epoch:
+      // the registry may or may not have durably bumped before the
+      // crash, and recomputing current+1 here would rotate one epoch
+      // too far whenever it had.
+      if (rotate_group != 0 && recovered.rotation &&
+          recovered.rotation_group == rotate_group) {
+        rotate_target_epoch = recovered.rotation_epoch;
+      }
+      if (recovered.rotation && rotate_group == 0) {
+        std::fprintf(stderr,
+                     "refusing to resume: the interrupted campaign is a key "
+                     "rotation; rerun with --rotate-epoch %llu\n",
+                     static_cast<unsigned long long>(
+                         recovered.rotation_group));
+        return 1;
+      }
+      if (!recovered.rotation && rotate_group != 0) {
+        std::fprintf(stderr,
+                     "refusing to resume: the interrupted campaign is not a "
+                     "key rotation (drop --rotate-epoch)\n");
+        return 1;
+      }
+    }
+    const uint64_t fingerprint = CampaignFingerprint(
+        program_source, mode, fraction, campaign.campaign_seed, fault_name,
+        fault_rate, attempts, rotate_group, rotate_target_epoch);
     if (recovered.active) {
       if (!resume) {
         std::fprintf(stderr,
@@ -348,7 +492,7 @@ int main(int argc, char** argv) {
       if (recovered.campaign_fingerprint != fingerprint) {
         std::fprintf(stderr,
                      "refusing to resume: the interrupted campaign ran a "
-                     "different program or policy\n");
+                     "different program, policy, or rotation target\n");
         return 1;
       }
       campaign.devices = recovered.RemainingTargets();
@@ -366,7 +510,11 @@ int main(int argc, char** argv) {
         std::printf("resume: no interrupted campaign in %s; starting "
                     "fresh\n", state_dir.c_str());
       }
-      auto begun = journal.Begin(fingerprint, campaign.devices);
+      auto begun =
+          rotate_group != 0
+              ? journal.BeginRotation(fingerprint, campaign.devices,
+                                      rotate_group, rotate_target_epoch)
+              : journal.Begin(fingerprint, campaign.devices);
       if (!begun.ok()) {
         std::fprintf(stderr, "cannot begin campaign journal: %s\n",
                      begun.ToString().c_str());
@@ -381,16 +529,12 @@ int main(int argc, char** argv) {
     std::printf("resume: every target already has a durable outcome; "
                 "campaign complete\n");
     if (!json_path.empty()) {
+      ReportContext context{&program_name, &mode, true, previously_completed,
+                            previously_failed, original_targets,
+                            stats.devices};
       JsonWriter json;
       json.BeginObject();
-      json.Field("tool", "eric_fleetd");
-      json.Field("program", program_name);
-      json.Field("mode", mode);
-      json.Field("resumed", true);
-      json.Field("previously_completed", previously_completed);
-      json.Field("previously_failed", previously_failed);
-      json.Field("original_targets", original_targets);
-      json.Field("fleet_devices", stats.devices);
+      WriteCommonJson(json, context);
       json.Field("devices", size_t{0});
       json.Field("succeeded", size_t{0});
       json.Field("failed", size_t{0});
@@ -412,6 +556,91 @@ int main(int argc, char** argv) {
               "fault=%s rate=%.2f\n",
               program_name.c_str(), mode.c_str(), workers, attempts,
               fault_name.c_str(), fault_rate);
+
+  // --- Key-epoch rotation campaign path -------------------------------------
+  if (rotate_group != 0) {
+    if (canary_threshold < 0) canary_threshold = 0.1;
+    if (burst < 0) burst = 1.0;
+    fleet::SchedulerConfig rollout;
+    rollout.canary_size = canary;
+    rollout.canary_failure_threshold = canary_threshold;
+    rollout.wave_size = wave_size;
+    rollout.shuffle_targets = shuffle;
+    rollout.limits.dispatch_rate = rate;
+    rollout.limits.dispatch_burst = burst;
+    rollout.limits.group_concurrency = group_concurrency;
+
+    fleet::RotationConfig rotation_config;
+    rotation_config.group = rotate_group;
+    rotation_config.target_epoch = rotate_target_epoch;
+    rotation_config.campaign = campaign;
+    rotation_config.rollout = rollout;
+
+    fleet::CampaignControl control;
+    if (journal_active) {
+      control.AttachCheckpointSink(&journal);
+      journal.CancelCampaignOnError(&control);
+    }
+    fleet::RotationCampaign rotation(engine, registry, cache);
+    auto rotated = rotation.Run(rotation_config, &control);
+    if (!rotated.ok()) {
+      std::fprintf(stderr, "rotation campaign failed: %s\n",
+                   rotated.status().ToString().c_str());
+      return 1;
+    }
+    if (journal_active) {
+      auto journal_error = journal.last_error();
+      if (!journal_error.ok()) {
+        std::fprintf(stderr, "checkpoint append failed: %s\n",
+                     journal_error.ToString().c_str());
+        return 1;
+      }
+      if (rotated->rollout.outcome != fleet::CampaignOutcome::kCancelled &&
+          !journal.Complete().ok()) {
+        return 1;
+      }
+    }
+
+    std::printf("rotation: group %llu epoch %llu -> %llu%s, %zu members "
+                "re-keyed, %zu stale artifacts invalidated "
+                "(bump %.1f ms, invalidate %.2f ms)\n",
+                static_cast<unsigned long long>(rotate_group),
+                static_cast<unsigned long long>(rotated->old_epoch),
+                static_cast<unsigned long long>(rotated->new_epoch),
+                rotated->bumped ? "" : " (already durable; resume)",
+                rotated->members_rekeyed, rotated->artifacts_invalidated,
+                rotated->bump_ms, rotated->invalidate_ms);
+    PrintScheduledReport(rotated->rollout);
+
+    if (!json_path.empty()) {
+      ReportContext context{&program_name, &mode, resumed,
+                            previously_completed, previously_failed,
+                            original_targets, stats.devices};
+      JsonWriter json;
+      json.BeginObject();
+      WriteCommonJson(json, context);
+      WriteScheduledJson(json, rotated->rollout);
+      json.Key("rotation");
+      json.BeginObject();
+      json.Field("group", rotate_group);
+      json.Field("old_epoch", rotated->old_epoch);
+      json.Field("new_epoch", rotated->new_epoch);
+      json.Field("bumped", rotated->bumped);
+      json.Field("members_rekeyed", rotated->members_rekeyed);
+      json.Field("artifacts_invalidated", rotated->artifacts_invalidated);
+      json.EndObject();
+      json.EndObject();
+      if (!json.WriteFile(json_path.c_str())) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    return ScheduledCampaignComplete(rotated->rollout, previously_failed)
+               ? 0
+               : 1;
+  }
 
   // --- Scheduled (waved) campaign path --------------------------------------
   const bool use_scheduler = canary > 0 || wave_size > 0 || rate > 0 ||
@@ -487,62 +716,16 @@ int main(int argc, char** argv) {
       }
     }
 
-    for (const auto& wave : scheduled->waves) {
-      std::printf("  wave %zu%s: %zu targets, %zu ok / %zu failed / %zu "
-                  "revoked, failure-rate %.2f%s\n",
-                  wave.wave_index, wave.canary ? " (canary)" : "",
-                  wave.report.targets, wave.report.succeeded,
-                  wave.report.failed, wave.report.revoked, wave.failure_rate,
-                  wave.gate_breached ? "  << GATE BREACHED" : "");
-    }
-    std::printf("\nresult: %s — %zu ok / %zu failed / %zu revoked, "
-                "%zu never dispatched of %zu targets\n",
-                std::string(fleet::CampaignOutcomeName(scheduled->outcome))
-                    .c_str(),
-                scheduled->succeeded, scheduled->failed, scheduled->revoked,
-                scheduled->never_dispatched, scheduled->targets);
-    std::printf("wire:   %llu deliveries (%llu retries), peak %zu in flight\n",
-                static_cast<unsigned long long>(scheduled->deliveries),
-                static_cast<unsigned long long>(scheduled->retries),
-                scheduled->peak_in_flight);
-    std::printf("time:   %.1f ms wall\n", scheduled->wall_ms);
+    PrintScheduledReport(*scheduled);
 
     if (!json_path.empty()) {
+      ReportContext context{&program_name, &mode, resumed,
+                            previously_completed, previously_failed,
+                            original_targets, stats.devices};
       JsonWriter json;
       json.BeginObject();
-      json.Field("tool", "eric_fleetd");
-      json.Field("program", program_name);
-      json.Field("mode", mode);
-      json.Field("resumed", resumed);
-      json.Field("previously_completed", previously_completed);
-      json.Field("previously_failed", previously_failed);
-      json.Field("original_targets", original_targets);
-      json.Field("fleet_devices", stats.devices);
-      json.Field("outcome", fleet::CampaignOutcomeName(scheduled->outcome));
-      json.Field("devices", scheduled->targets);
-      json.Field("succeeded", scheduled->succeeded);
-      json.Field("failed", scheduled->failed);
-      json.Field("revoked", scheduled->revoked);
-      json.Field("never_dispatched", scheduled->never_dispatched);
-      json.Field("deliveries", scheduled->deliveries);
-      json.Field("retries", scheduled->retries);
-      json.Field("peak_in_flight", scheduled->peak_in_flight);
-      json.Field("wall_ms", scheduled->wall_ms);
-      json.Key("waves");
-      json.BeginArray();
-      for (const auto& wave : scheduled->waves) {
-        json.BeginObject();
-        json.Field("index", wave.wave_index);
-        json.Field("canary", wave.canary);
-        json.Field("targets", wave.report.targets);
-        json.Field("succeeded", wave.report.succeeded);
-        json.Field("failed", wave.report.failed);
-        json.Field("failure_rate", wave.failure_rate);
-        json.Field("gate_breached", wave.gate_breached);
-        json.Field("wall_ms", wave.report.wall_ms);
-        json.EndObject();
-      }
-      json.EndArray();
+      WriteCommonJson(json, context);
+      WriteScheduledJson(json, *scheduled);
       json.EndObject();
       if (!json.WriteFile(json_path.c_str())) {
         std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -551,11 +734,7 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", json_path.c_str());
     }
 
-    const bool complete = scheduled->outcome == fleet::CampaignOutcome::kCompleted &&
-                          scheduled->succeeded ==
-                              scheduled->targets - scheduled->revoked &&
-                          previously_failed == 0;
-    return complete ? 0 : 1;
+    return ScheduledCampaignComplete(*scheduled, previously_failed) ? 0 : 1;
   }
 
   // --- Flat (unscheduled) campaign path -------------------------------------
@@ -611,16 +790,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report->cache_compile_misses));
 
   if (!json_path.empty()) {
+    ReportContext context{&program_name, &mode, resumed,
+                          previously_completed, previously_failed,
+                          original_targets, stats.devices};
     JsonWriter json;
     json.BeginObject();
-    json.Field("tool", "eric_fleetd");
-    json.Field("program", program_name);
-    json.Field("mode", mode);
-    json.Field("resumed", resumed);
-    json.Field("previously_completed", previously_completed);
-    json.Field("previously_failed", previously_failed);
-    json.Field("original_targets", original_targets);
-    json.Field("fleet_devices", stats.devices);
+    WriteCommonJson(json, context);
     json.Field("devices", report->targets);
     json.Field("groups", groups);
     json.Field("workers", workers);
