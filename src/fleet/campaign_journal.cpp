@@ -16,10 +16,17 @@ constexpr uint8_t kRecEnd = 3;      ///< {}
 /// u64 n, n * u64 id}. One atomic record (not kRecBegin plus an
 /// annotation) so a crash can never leave a rotation half-identified.
 constexpr uint8_t kRecBeginRotation = 4;
+/// Outcome with delivery form: {u64 device, u8 kind, u32 attempts,
+/// u8 form}. Written for every checkpoint since the delta path landed;
+/// kRecOutcome still replays (pre-delta journals resume form-less).
+constexpr uint8_t kRecOutcomeForm = 5;
 
 constexpr uint8_t kKindDelivered = 1;
 constexpr uint8_t kKindFailed = 2;
 constexpr uint8_t kKindRevoked = 3;
+
+constexpr uint8_t kFormFull = 0;
+constexpr uint8_t kFormDelta = 1;
 
 constexpr const char* kJournalName = "campaign.wal";
 
@@ -86,18 +93,26 @@ Status CampaignJournal::Open(const std::string& state_dir,
             recovered_ = std::move(state);
             return Status::Ok();
           }
-          case kRecOutcome: {
+          case kRecOutcome:
+          case kRecOutcomeForm: {
             uint64_t device = 0;
             uint8_t kind = 0;
             uint32_t attempts = 0;
-            if (!rec.U64(&device) || !rec.U8(&kind) || !rec.U32(&attempts)) {
+            uint8_t form = kFormFull;
+            if (!rec.U64(&device) || !rec.U8(&kind) || !rec.U32(&attempts) ||
+                (record.type == kRecOutcomeForm && !rec.U8(&form))) {
               return Status(ErrorCode::kCorruptPackage,
                             "campaign outcome record damaged");
             }
             if (recovered_.completed.insert(device).second) {
-              if (kind == kKindDelivered) ++recovered_.delivered;
-              else if (kind == kKindRevoked) ++recovered_.revoked;
-              else ++recovered_.failed;
+              if (kind == kKindDelivered) {
+                ++recovered_.delivered;
+                if (form == kFormDelta) ++recovered_.delta_delivered;
+              } else if (kind == kKindRevoked) {
+                ++recovered_.revoked;
+              } else {
+                ++recovered_.failed;
+              }
             }
             return Status::Ok();
           }
@@ -177,7 +192,8 @@ void CampaignJournal::OnTargetCheckpoint(const TargetCheckpoint& checkpoint) {
   rec.U8(checkpoint.revoked ? kKindRevoked
                             : (checkpoint.ok ? kKindDelivered : kKindFailed));
   rec.U32(checkpoint.attempts);
-  Status appended = wal_.Append(kRecOutcome, rec.bytes());
+  rec.U8(checkpoint.ok && checkpoint.delta ? kFormDelta : kFormFull);
+  Status appended = wal_.Append(kRecOutcomeForm, rec.bytes());
   if (!appended.ok()) {
     {
       std::lock_guard lock(error_mutex_);

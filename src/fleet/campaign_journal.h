@@ -59,6 +59,10 @@ struct CampaignResumeState {
   /// Targets whose outcome was durably checkpointed before the crash.
   std::unordered_set<DeviceId> completed;
   uint64_t delivered = 0;  ///< checkpointed as delivered-and-ran
+  /// Of `delivered`, how many went over the wire as delta packages
+  /// (zero when replaying a pre-delta journal, whose outcome records
+  /// carry no form).
+  uint64_t delta_delivered = 0;
   uint64_t failed = 0;     ///< checkpointed as failed out of retries
   uint64_t revoked = 0;    ///< checkpointed as skipped-revoked
 

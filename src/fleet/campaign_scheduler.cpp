@@ -106,6 +106,12 @@ Result<ScheduledReport> CampaignScheduler::Run(const CampaignConfig& config,
     scheduled.never_dispatched += wave.report.skipped;
     scheduled.deliveries += wave.report.deliveries;
     scheduled.retries += wave.report.retries;
+    scheduled.delta_deliveries += wave.report.delta_deliveries;
+    scheduled.full_deliveries += wave.report.full_deliveries;
+    scheduled.delta_fallbacks += wave.report.delta_fallbacks;
+    scheduled.bytes_shipped += wave.report.bytes_shipped;
+    scheduled.bytes_full_equivalent += wave.report.bytes_full_equivalent;
+    scheduled.manifest_update_failures += wave.report.manifest_update_failures;
     if (control != nullptr) control->NoteWaveCompleted();
 
     // A cancel observed by the engine surfaces as skipped targets; stop

@@ -93,6 +93,17 @@ struct ScheduledReport {
 
   uint64_t deliveries = 0;  ///< channel deliveries across all waves
   uint64_t retries = 0;     ///< deliveries beyond the first per device
+  uint64_t delta_deliveries = 0;  ///< deliveries that shipped a delta
+  uint64_t full_deliveries = 0;   ///< deliveries that shipped a full package
+  /// Targets whose delta delivery failed closed and fell back to full.
+  uint64_t delta_fallbacks = 0;
+  uint64_t bytes_shipped = 0;  ///< wire bytes shipped across all waves
+  /// What a plain full-package campaign would have shipped for the same
+  /// retry attempts (a delta-plus-fallback pair counts once).
+  uint64_t bytes_full_equivalent = 0;
+  /// Successful deliveries whose manifest update could not be made
+  /// durable (summed across waves; the devices mis-diff next campaign).
+  uint64_t manifest_update_failures = 0;
   double wall_ms = 0;       ///< wall time including gate evaluation
   /// Peak simultaneously in-flight deliveries across the campaign.
   size_t peak_in_flight = 0;

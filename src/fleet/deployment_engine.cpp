@@ -20,9 +20,20 @@ struct DeploymentEngine::ArtifactMemo {
     std::mutex mutex;
     std::shared_ptr<const CachedArtifact> artifact;  ///< set when built
     Status error;                                    ///< set on build failure
+    /// Delta phase, evaluated lazily (under `mutex`) by the first worker
+    /// whose device manifest matches the campaign base. Stays null —
+    /// ship full — when the base fails to build, the codec finds too
+    /// little in common (size fraction), or the campaign is not delta.
+    bool delta_evaluated = false;
+    std::shared_ptr<const CachedArtifact> delta;
   };
   std::mutex mutex;
   std::map<crypto::Key256, std::shared_ptr<Slot>> by_key;
+  /// Key-independent version identities, fixed by Run before workers
+  /// start: what successful deliveries record in device manifests and
+  /// what the delta path requires a manifest to match.
+  uint64_t target_version = 0;
+  uint64_t base_version = 0;  ///< meaningful only for delta campaigns
   /// Campaign-local cache attribution. Memo reuse counts as artifact
   /// hits (the memo only short-circuits the address computation, not the
   /// reuse); the rest comes from GetOrBuild's per-call stats. Global
@@ -30,20 +41,44 @@ struct DeploymentEngine::ArtifactMemo {
   std::atomic<uint64_t> artifact_hits{0};
   std::atomic<uint64_t> artifact_misses{0};
   std::atomic<uint64_t> compile_misses{0};
+  /// Per-delivery wire accounting (the delta path's headline numbers).
+  std::atomic<uint64_t> delta_deliveries{0};
+  std::atomic<uint64_t> full_deliveries{0};
+  std::atomic<uint64_t> bytes_shipped{0};
+  std::atomic<uint64_t> bytes_full_equivalent{0};
+  std::atomic<uint64_t> manifest_failures{0};
 };
-namespace {
 
-/// Mixes campaign seed, device, and attempt into an independent stream so
-/// fault draws and channel RNGs are reproducible yet uncorrelated.
-uint64_t AttemptSeed(uint64_t campaign_seed, DeviceId device,
-                     uint32_t attempt) {
+uint64_t DeliverySeed(uint64_t campaign_seed, DeviceId device,
+                      uint32_t delivery_index) {
+  // Mixes campaign seed, device, and the delivery ordinal into an
+  // independent stream so fault draws and channel RNGs are reproducible
+  // yet uncorrelated. (For campaigns that never fall back, the ordinal
+  // equals the retry attempt, so pre-delta campaigns replay bit-exact.)
   SplitMix64 mixer(campaign_seed ^ (device * 0x9E3779B97F4A7C15ull) ^
-                   attempt);
+                   delivery_index);
   mixer.Next();
   return mixer.Next();
 }
 
-}  // namespace
+uint64_t ProgramVersionFingerprint(std::string_view source,
+                                   const core::EncryptionPolicy& policy,
+                                   const compiler::CompileOptions& options) {
+  crypto::Sha256 hasher;
+  Sha256AbsorbString(hasher, "eric.fleet.version.v1");
+  Sha256AbsorbString(hasher, source);
+  hasher.Update(FingerprintPolicy(policy));
+  Sha256AbsorbU64(hasher, options.optimize ? 1 : 0);
+  Sha256AbsorbU64(hasher, options.compress ? 1 : 0);
+  Sha256AbsorbU64(hasher, static_cast<uint64_t>(options.opt_rounds));
+  const crypto::Sha256Digest digest = hasher.Finish();
+  uint64_t version = 0;
+  for (int i = 0; i < 8; ++i) {
+    version |= static_cast<uint64_t>(digest[static_cast<size_t>(i)])
+               << (8 * i);
+  }
+  return version;
+}
 
 DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
                                           DeviceId device,
@@ -122,8 +157,83 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
     }
   }
 
+  // Delta eligibility: the device's durable manifest must name exactly
+  // the campaign's base version AND the key the campaign seals under
+  // right now — a key-epoch rotation since the base was delivered makes
+  // the retained image undecryptable, so the fingerprint mismatch
+  // forces a full package before any wire bytes are wasted.
+  std::shared_ptr<const CachedArtifact> delta_entry;
+  if (config.delta) {
+    auto manifest = registry_.DeliveredVersion(device);
+    if (manifest.ok() && manifest->version == memo.base_version &&
+        manifest->key_fingerprint == artifact_entry->key_fingerprint) {
+      std::lock_guard lock(slot->mutex);
+      if (!slot->delta_evaluated) {
+        slot->delta_evaluated = true;
+        PackageCacheStats delta_stats;
+        auto base = cache_.GetOrBuild(config.delta_base_source, sealing->key,
+                                      sealing->config, config.policy,
+                                      registry_.cipher(),
+                                      config.compile_options, &delta_stats);
+        if (base.ok()) {
+          auto delta = cache_.GetOrBuildDelta(**base, *artifact_entry,
+                                              &delta_stats);
+          if (delta.ok() &&
+              static_cast<double>((*delta)->wire.size()) <=
+                  config.delta_max_fraction *
+                      static_cast<double>(artifact_entry->wire.size())) {
+            slot->delta = *delta;
+          }
+          // An unusable delta (build failure or too big) leaves the slot
+          // null: every matching device of this key ships full.
+        }
+        memo.artifact_hits.fetch_add(delta_stats.artifact_hits,
+                                     std::memory_order_relaxed);
+        memo.artifact_misses.fetch_add(delta_stats.artifact_misses,
+                                       std::memory_order_relaxed);
+        memo.compile_misses.fetch_add(delta_stats.compile_misses,
+                                      std::memory_order_relaxed);
+      }
+      delta_entry = slot->delta;
+    }
+  }
+
+  // One channel delivery: seeds fault draw + channel RNG from the
+  // delivery ordinal, ships `payload`, and dispatches it in the form it
+  // was sealed as.
+  uint32_t delivery_index = 0;
+  const auto deliver_once = [&](const CachedArtifact& payload,
+                                bool as_delta) -> Result<core::TrustedRunResult> {
+    const uint64_t seed =
+        DeliverySeed(config.campaign_seed, device, delivery_index);
+    ++delivery_index;
+    net::ChannelConfig channel_config = config.channel;
+    channel_config.seed = seed;
+    Xoshiro256 fault_draw(seed ^ 0xFA017);
+    if (fault_draw.NextDouble() >= config.fault_rate) {
+      channel_config.fault = net::ChannelFault::kNone;
+    }
+    net::Channel channel(channel_config);
+    auto delivered = channel.Deliver(payload.wire);
+    if (config.delivery_latency_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config.delivery_latency_us));
+    }
+    ++outcome.attempts;
+    outcome.bytes_shipped += payload.wire.size();
+    memo.bytes_shipped.fetch_add(payload.wire.size(),
+                                 std::memory_order_relaxed);
+    (as_delta ? memo.delta_deliveries : memo.full_deliveries)
+        .fetch_add(1, std::memory_order_relaxed);
+    return as_delta ? registry_.DispatchDelta(device, delivered, config.arg0,
+                                              config.arg1)
+                    : registry_.Dispatch(device, delivered, config.arg0,
+                                         config.arg1);
+  };
+
   const auto start = std::chrono::steady_clock::now();
   const uint32_t max_attempts = std::max<uint32_t>(config.max_attempts, 1);
+  bool use_delta = delta_entry != nullptr;
   for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
     // Governed campaigns gate every delivery: the governor blocks for
     // pause, rate tokens, and the per-group budget, and refuses admission
@@ -136,31 +246,59 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
           Status(ErrorCode::kFailedPrecondition, "campaign cancelled");
       break;
     }
-    const uint64_t seed = AttemptSeed(config.campaign_seed, device, attempt);
-
-    net::ChannelConfig channel_config = config.channel;
-    channel_config.seed = seed;
-    Xoshiro256 fault_draw(seed ^ 0xFA017);
-    if (fault_draw.NextDouble() >= config.fault_rate) {
-      channel_config.fault = net::ChannelFault::kNone;
+    // The full-package counterfactual accrues once per retry attempt: a
+    // plain campaign would have made this attempt with the full package,
+    // full stop. The delta+fallback pair inside one attempt therefore
+    // counts F once — so a fallback-heavy campaign honestly reports
+    // bytes_shipped ABOVE bytes_full_equivalent (it cost more wire than
+    // never attempting deltas), instead of hiding the waste behind a
+    // doubled denominator.
+    memo.bytes_full_equivalent.fetch_add(artifact_entry->wire.size(),
+                                         std::memory_order_relaxed);
+    auto run = deliver_once(use_delta ? *delta_entry : *artifact_entry,
+                            use_delta);
+    bool fallback_refused = false;
+    if (use_delta && !run.ok() &&
+        run.status().code() == ErrorCode::kCorruptPackage) {
+      // The patch failed closed (corrupted in flight, or the device's
+      // retained base is not what the manifest promised — the wrong-base
+      // CRC catches both). The fallback protocol ships the full package
+      // immediately — without consuming the retry budget, but under its
+      // own governor admission: it is a second wire delivery, and the
+      // rate/budget contracts are per delivery. This target stays on
+      // full packages for any further retries.
+      outcome.delta_fallback = true;
+      use_delta = false;
+      if (config.governor != nullptr) {
+        config.governor->CompleteDelivery(info->group);
+        if (!config.governor->AdmitDelivery(info->group)) {
+          outcome.cancelled = true;
+          outcome.last_status =
+              Status(ErrorCode::kFailedPrecondition, "campaign cancelled");
+          fallback_refused = true;
+        }
+      }
+      if (!fallback_refused) run = deliver_once(*artifact_entry, false);
     }
-    net::Channel channel(channel_config);
-    auto delivered = channel.Deliver(artifact_entry->wire);
-    if (config.delivery_latency_us > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(config.delivery_latency_us));
-    }
-    ++outcome.attempts;
-
-    auto run = registry_.Dispatch(device, delivered, config.arg0, config.arg1);
+    if (fallback_refused) break;  // admission already released above
     if (config.governor != nullptr) {
       config.governor->CompleteDelivery(info->group);
     }
     if (run.ok()) {
       outcome.ok = true;
+      outcome.delta = use_delta;
       outcome.last_status = Status::Ok();
       outcome.exit_code = run->exec.exit_code;
       outcome.device_cycles = run->total_cycles();
+      // The manifest is the next campaign's diff base: record it before
+      // this target is checkpointed complete, so a crash can never leave
+      // a checkpointed target with a stale manifest. A failed update
+      // only costs that device a full package next time.
+      Status recorded = registry_.RecordDelivery(
+          device, memo.target_version, artifact_entry->key_fingerprint);
+      if (!recorded.ok()) {
+        memo.manifest_failures.fetch_add(1, std::memory_order_relaxed);
+      }
       break;
     }
     outcome.last_status = run.status();
@@ -195,6 +333,10 @@ Result<std::vector<DeviceId>> ResolveCampaignTargets(
 }
 
 Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
+  if (config.delta && config.delta_base_source.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "delta campaign names no base source");
+  }
   auto resolved = ResolveCampaignTargets(registry_, config);
   if (!resolved.ok()) return resolved.status();
   std::vector<DeviceId> targets = std::move(*resolved);
@@ -209,6 +351,12 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
   // Outcomes land at the target's own index, so no result lock is needed.
   std::atomic<size_t> cursor{0};
   ArtifactMemo memo;
+  memo.target_version = ProgramVersionFingerprint(config.source, config.policy,
+                                                  config.compile_options);
+  if (config.delta) {
+    memo.base_version = ProgramVersionFingerprint(
+        config.delta_base_source, config.policy, config.compile_options);
+  }
   auto worker_body = [&] {
     for (;;) {
       const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
@@ -224,6 +372,7 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
         // first delivery: either way the target's budget was never
         // exhausted, so the checkpoint must leave it resumable.
         checkpoint.skipped = outcome.skipped || outcome.cancelled;
+        checkpoint.delta = outcome.delta;
         checkpoint.attempts = outcome.attempts;
         config.governor->NoteTargetCompleted(checkpoint);
       }
@@ -258,6 +407,7 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
     report.deliveries += outcome.attempts;
     report.retries += outcome.attempts > 0 ? outcome.attempts - 1 : 0;
     report.total_device_cycles += outcome.device_cycles;
+    if (outcome.delta_fallback) ++report.delta_fallbacks;
     if (outcome.attempts > 0) {
       ++delivered_to;
       report.mean_latency_us += outcome.latency_us;
@@ -279,6 +429,15 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
       memo.artifact_misses.load(std::memory_order_relaxed);
   report.cache_compile_misses =
       memo.compile_misses.load(std::memory_order_relaxed);
+  report.delta_deliveries =
+      memo.delta_deliveries.load(std::memory_order_relaxed);
+  report.full_deliveries =
+      memo.full_deliveries.load(std::memory_order_relaxed);
+  report.bytes_shipped = memo.bytes_shipped.load(std::memory_order_relaxed);
+  report.bytes_full_equivalent =
+      memo.bytes_full_equivalent.load(std::memory_order_relaxed);
+  report.manifest_update_failures =
+      memo.manifest_failures.load(std::memory_order_relaxed);
   if (config.governor != nullptr) {
     report.peak_in_flight = config.governor->peak_in_flight();
   }

@@ -62,6 +62,23 @@ struct CampaignConfig {
   /// CampaignScheduler, null for unthrottled campaigns. Workers bracket
   /// every delivery with AdmitDelivery / CompleteDelivery.
   DispatchGovernor* governor = nullptr;
+
+  /// Deliver deltas where possible: a device whose delivery manifest
+  /// matches `delta_base_source`'s version under its current sealing
+  /// key receives EncodeDelta(base wire, target wire) instead of the
+  /// full package. Every other device — no manifest, different version,
+  /// rotated key, oversized delta, or a patch the device rejects — gets
+  /// the full package (see docs/fleet.md for the decision flow).
+  bool delta = false;
+  /// The previous release's source: what the campaign assumes matching
+  /// devices currently run. Required when `delta` is set. Compiled and
+  /// sealed through the same cache/policy/options as `source`, so
+  /// computing the base wire image is encrypt-once per key.
+  std::string delta_base_source;
+  /// A delta bigger than this fraction of the full package ships the
+  /// full package instead — past this point the patch saves too little
+  /// to be worth the extra failure mode.
+  double delta_max_fraction = 0.6;
 };
 
 /// Per-device campaign outcome.
@@ -77,6 +94,15 @@ struct DeviceOutcome {
   /// exhausted, so checkpoint sinks must leave the target resumable.
   bool cancelled = false;
   uint32_t attempts = 0;     ///< deliveries performed
+  /// The successful delivery was a delta package (false for a full
+  /// package, and for failed targets).
+  bool delta = false;
+  /// A delta delivery failed closed (corrupt patch, wrong or missing
+  /// base) and the engine fell back to full packages for this target.
+  bool delta_fallback = false;
+  /// Wire bytes put on the channel for this target, summed over
+  /// attempts (pre-fault sizes; what the delta path is minimizing).
+  uint64_t bytes_shipped = 0;
   Status last_status;        ///< final failure (ok() when delivered)
   int64_t exit_code = 0;     ///< program exit code when `ok`
   uint64_t device_cycles = 0;  ///< HDE + execution cycles on the device
@@ -96,6 +122,22 @@ struct CampaignReport {
   size_t skipped = 0;    ///< devices never dispatched (cancelled campaign)
   uint64_t deliveries = 0;   ///< total channel deliveries (incl. retries)
   uint64_t retries = 0;      ///< deliveries beyond the first per device
+  uint64_t delta_deliveries = 0;  ///< deliveries that shipped a delta
+  uint64_t full_deliveries = 0;   ///< deliveries that shipped a full package
+  /// Targets where a delta delivery failed closed and the engine fell
+  /// back to a full package.
+  uint64_t delta_fallbacks = 0;
+  /// Wire bytes shipped across all deliveries (pre-fault sizes).
+  uint64_t bytes_shipped = 0;
+  /// What a plain full-package campaign would have shipped for the same
+  /// retry attempts — the honest denominator of the bytes-on-the-wire
+  /// win. A delta-plus-fallback pair counts its attempt's full size
+  /// once, so fallback-heavy campaigns report a ratio above 1.
+  uint64_t bytes_full_equivalent = 0;
+  /// Successful deliveries whose manifest update could not be made
+  /// durable (the delivery itself stands; the device simply gets a full
+  /// package next campaign).
+  uint64_t manifest_update_failures = 0;
 
   double wall_ms = 0;             ///< campaign wall time
   double devices_per_second = 0;  ///< targets / wall time
@@ -125,6 +167,23 @@ struct CampaignReport {
 /// for the same config.
 Result<std::vector<DeviceId>> ResolveCampaignTargets(
     const DeviceRegistry& registry, const CampaignConfig& config);
+
+/// Key-independent fingerprint of a deployable program version: SHA-256
+/// over source, encryption policy, and compile options, folded to 64
+/// bits. This is what delivery manifests record and what the delta path
+/// compares against its base — two devices in different groups run the
+/// same "version" even though their sealed bytes differ.
+uint64_t ProgramVersionFingerprint(std::string_view source,
+                                   const core::EncryptionPolicy& policy,
+                                   const compiler::CompileOptions& options);
+
+/// The engine's per-delivery seed: mixes campaign seed, device, and the
+/// delivery ordinal within the target into an independent RNG stream
+/// (channel behaviour and the fault draw both derive from it). Exposed
+/// so fault-injection tests can predict which deliveries fault without
+/// re-implementing the mixing.
+uint64_t DeliverySeed(uint64_t campaign_seed, DeviceId device,
+                      uint32_t delivery_index);
 
 /// The engine. Stateless across campaigns apart from the shared cache.
 class DeploymentEngine {

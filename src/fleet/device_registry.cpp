@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "pkg/delta.h"
 #include "store/record_io.h"
 #include "store/snapshot.h"
 #include "support/stopwatch.h"
@@ -15,13 +16,16 @@ namespace {
 constexpr uint8_t kWalGroupCreate = 1;  ///< {u64 id, str label}
 constexpr uint8_t kWalEpochBump = 2;    ///< {u64 group, u64 epoch}
 // Per-shard mutation log:
-constexpr uint8_t kWalEnroll = 1;  ///< {u64 id, u64 seed, u64 group}
-constexpr uint8_t kWalRevoke = 2;  ///< {u64 id}
+constexpr uint8_t kWalEnroll = 1;    ///< {u64 id, u64 seed, u64 group}
+constexpr uint8_t kWalRevoke = 2;    ///< {u64 id}
+constexpr uint8_t kWalManifest = 3;  ///< {u64 id, u64 version, bytes keyfp}
 
-// Snapshot schema: v2 adds a per-group key epoch after the label; v1
-// files (pre-rotation state dirs) load with every group at the base
-// epoch, which is exactly what they were.
-constexpr uint32_t kSnapshotVersion = 2;
+// Snapshot schema: v2 adds a per-group key epoch after the label; v3
+// adds an optional delivery manifest per device. Older files load with
+// the fields they lack defaulted — v1 groups sit at the base epoch, v2
+// devices carry no manifest — which is exactly what they were.
+constexpr uint32_t kSnapshotVersion = 3;
+constexpr uint32_t kSnapshotVersionNoManifests = 2;
 constexpr uint32_t kSnapshotVersionNoEpochs = 1;
 constexpr const char* kSnapshotPrefix = "registry";
 constexpr const char* kGroupWalName = "groups.wal";
@@ -547,7 +551,110 @@ Result<core::TrustedRunResult> DeviceRegistry::Dispatch(
     record = it->second.get();
   }
   std::lock_guard endpoint_lock(record->endpoint_mutex);
-  return record->endpoint->ReceiveAndRun(wire_bytes, arg0, arg1);
+  auto run = record->endpoint->ReceiveAndRun(wire_bytes, arg0, arg1);
+  if (run.ok()) {
+    // The device keeps the image it accepted — the base a later delta
+    // delivery patches. A rejected delivery leaves the old base intact.
+    record->retained_wire.assign(wire_bytes.begin(), wire_bytes.end());
+  }
+  return run;
+}
+
+Result<core::TrustedRunResult> DeviceRegistry::DispatchDelta(
+    DeviceId id, std::span<const uint8_t> delta_bytes, uint64_t arg0,
+    uint64_t arg1) {
+  DeviceRecord* record = nullptr;
+  {
+    Shard& shard = ShardFor(id);
+    std::shared_lock lock(shard.mutex);
+    auto it = shard.records.find(id);
+    if (it == shard.records.end()) {
+      return Status(ErrorCode::kNotFound, "unknown device");
+    }
+    if (it->second->info.status == DeviceStatus::kRevoked) {
+      return Status(ErrorCode::kFailedPrecondition, "device revoked");
+    }
+    record = it->second.get();
+  }
+  std::lock_guard endpoint_lock(record->endpoint_mutex);
+  if (record->retained_wire.empty()) {
+    // Same code as a corrupt patch: either way the device cannot turn
+    // this delta into a runnable image, and the sender must fall back
+    // to a full package.
+    return Status(ErrorCode::kCorruptPackage,
+                  "device retains no base image to patch");
+  }
+  auto patched = pkg::ApplyDelta(record->retained_wire, delta_bytes);
+  if (!patched.ok()) return patched.status();
+  auto run = record->endpoint->ReceiveAndRun(*patched, arg0, arg1);
+  if (run.ok()) {
+    record->retained_wire = std::move(*patched);
+  }
+  return run;
+}
+
+Result<DeliveryManifest> DeviceRegistry::DeliveredVersion(DeviceId id) const {
+  const Shard& shard = ShardFor(id);
+  std::shared_lock lock(shard.mutex);
+  auto it = shard.records.find(id);
+  if (it == shard.records.end()) {
+    return Status(ErrorCode::kNotFound, "unknown device");
+  }
+  if (!it->second->has_manifest) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "no delivery recorded for device");
+  }
+  return it->second->manifest;
+}
+
+Status DeviceRegistry::ApplyManifest(
+    DeviceId id, uint64_t version,
+    const crypto::Sha256Digest& key_fingerprint) {
+  Shard& shard = ShardFor(id);
+  std::unique_lock lock(shard.mutex);
+  auto it = shard.records.find(id);
+  if (it == shard.records.end()) {
+    return Status(ErrorCode::kNotFound,
+                  "manifest names an unknown device");
+  }
+  it->second->manifest.version = version;  // last write wins
+  it->second->manifest.key_fingerprint = key_fingerprint;
+  it->second->has_manifest = true;
+  return Status::Ok();
+}
+
+Status DeviceRegistry::RecordDelivery(
+    DeviceId id, uint64_t version,
+    const crypto::Sha256Digest& key_fingerprint) {
+  std::shared_lock<std::shared_mutex> storage_lock;
+  if (storage_ != nullptr) {
+    storage_lock = std::shared_lock(storage_->mutation_mutex);
+  }
+  {
+    // Validate before logging so a record for an unknown device never
+    // reaches the WAL.
+    const Shard& shard = ShardFor(id);
+    std::shared_lock lock(shard.mutex);
+    if (!shard.records.contains(id)) {
+      return Status(ErrorCode::kNotFound, "unknown device");
+    }
+  }
+  if (storage_ != nullptr) {
+    // Log, then apply (the revoke discipline): a manifest visible to a
+    // delta campaign must be durably true, or a crash could leave the
+    // next campaign diffing against a version the recovered registry
+    // has never heard of. The reverse window — durable but not applied
+    // — only costs one full-package fallback.
+    store::RecordWriter rec;
+    rec.U64(id);
+    rec.U64(version);
+    rec.Bytes(key_fingerprint);
+    ERIC_RETURN_IF_ERROR(storage_->shard_wals[ShardIndex(id)]->Append(
+        kWalManifest, rec.bytes()));
+  }
+  ERIC_RETURN_IF_ERROR(ApplyManifest(id, version, key_fingerprint));
+  if (storage_ != nullptr) MaybeAutoSnapshot(storage_lock);
+  return Status::Ok();
 }
 
 RegistryStats DeviceRegistry::Stats() const {
@@ -636,9 +743,8 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
     store::RecordReader rec(snapshot->payload);
     uint32_t version = 0;
     uint64_t group_count = 0;
-    if (!rec.U32(&version) ||
-        (version != kSnapshotVersion && version != kSnapshotVersionNoEpochs) ||
-        !rec.U64(&group_count)) {
+    if (!rec.U32(&version) || version < kSnapshotVersionNoEpochs ||
+        version > kSnapshotVersion || !rec.U64(&group_count)) {
       return Status(ErrorCode::kCorruptPackage, "snapshot schema damaged");
     }
     for (uint64_t i = 0; i < group_count; ++i) {
@@ -647,7 +753,7 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
       if (!rec.U64(&id) || !rec.Str(&label)) {
         return Status(ErrorCode::kCorruptPackage, "snapshot group damaged");
       }
-      if (version >= kSnapshotVersion) {
+      if (version >= kSnapshotVersionNoManifests) {
         uint64_t epoch = 0;
         if (!rec.U64(&epoch)) {
           return Status(ErrorCode::kCorruptPackage, "snapshot group damaged");
@@ -675,6 +781,24 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
                       status == static_cast<uint8_t>(DeviceStatus::kRevoked)
                           ? DeviceStatus::kRevoked
                           : DeviceStatus::kEnrolled));
+      if (version >= kSnapshotVersion) {
+        uint8_t has_manifest = 0;
+        if (!rec.U8(&has_manifest)) {
+          return Status(ErrorCode::kCorruptPackage, "snapshot device damaged");
+        }
+        if (has_manifest != 0) {
+          uint64_t manifest_version = 0;
+          std::vector<uint8_t> fingerprint;
+          if (!rec.U64(&manifest_version) || !rec.Bytes(&fingerprint) ||
+              fingerprint.size() != crypto::Sha256Digest{}.size()) {
+            return Status(ErrorCode::kCorruptPackage,
+                          "snapshot manifest damaged");
+          }
+          crypto::Sha256Digest digest{};
+          std::copy(fingerprint.begin(), fingerprint.end(), digest.begin());
+          ERIC_RETURN_IF_ERROR(ApplyManifest(id, manifest_version, digest));
+        }
+      }
     }
     if (!rec.Exhausted()) {
       return Status(ErrorCode::kCorruptPackage, "snapshot trailing bytes");
@@ -731,10 +855,20 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
   // tail of an enrollment can land in the log first; the revoke is
   // deferred and applied once every enrollment has replayed.
   std::vector<DeviceId> deferred_revokes;
+  // Manifest records replay in shard order after their device's enroll,
+  // but a manifest whose enrollment was rolled back (soft-deleted) or
+  // lives only in a lost snapshot region is deferred like a revoke.
+  struct DeferredManifest {
+    DeviceId id = 0;
+    uint64_t version = 0;
+    crypto::Sha256Digest key_fingerprint{};
+  };
+  std::vector<DeferredManifest> deferred_manifests;
   for (size_t shard = 0; shard < shards_.size(); ++shard) {
     auto replayed = store::Wal::Replay(
         ShardWalPath(state_dir, shard),
-        [this, &deferred_revokes](const store::WalRecord& record) -> Status {
+        [this, &info, &deferred_revokes,
+         &deferred_manifests](const store::WalRecord& record) -> Status {
           store::RecordReader rec(record.payload);
           if (record.type == kWalEnroll) {
             uint64_t id = 0, seed = 0, group = 0;
@@ -769,6 +903,26 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
             if (!applied.ok()) deferred_revokes.push_back(id);
             return Status::Ok();
           }
+          if (record.type == kWalManifest) {
+            uint64_t id = 0, version = 0;
+            std::vector<uint8_t> fingerprint;
+            if (!rec.U64(&id) || !rec.U64(&version) ||
+                !rec.Bytes(&fingerprint) ||
+                fingerprint.size() != crypto::Sha256Digest{}.size()) {
+              return Status(ErrorCode::kCorruptPackage,
+                            "manifest record damaged");
+            }
+            ++info.manifest_records_replayed;
+            DeferredManifest manifest;
+            manifest.id = id;
+            manifest.version = version;
+            std::copy(fingerprint.begin(), fingerprint.end(),
+                      manifest.key_fingerprint.begin());
+            if (!ApplyManifest(id, version, manifest.key_fingerprint).ok()) {
+              deferred_manifests.push_back(manifest);
+            }
+            return Status::Ok();
+          }
           return Status(ErrorCode::kCorruptPackage,
                         "unknown shard-log record type");
         },
@@ -784,6 +938,14 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
   // bricked fleet. Counted, not hidden.
   for (DeviceId id : deferred_revokes) {
     if (!ApplyRevoke(id).ok()) ++info.orphan_revokes_dropped;
+  }
+  // Same for manifests: one that still names an unknown device records a
+  // delivery to an enrollment that never durably existed — a no-op.
+  for (const auto& manifest : deferred_manifests) {
+    if (!ApplyManifest(manifest.id, manifest.version, manifest.key_fingerprint)
+             .ok()) {
+      ++info.orphan_manifests_dropped;
+    }
   }
 
   // Every enrollment and revocation is in: re-rotate each bumped group
@@ -873,6 +1035,11 @@ std::vector<uint8_t> DeviceRegistry::SerializeSnapshotLocked() const {
       rec.U64(record->info.device_seed);
       rec.U64(record->info.group);
       rec.U8(static_cast<uint8_t>(record->info.status));
+      rec.U8(record->has_manifest ? 1 : 0);
+      if (record->has_manifest) {
+        rec.U64(record->manifest.version);
+        rec.Bytes(record->manifest.key_fingerprint);
+      }
     }
   }
   return rec.Take();

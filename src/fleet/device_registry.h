@@ -63,6 +63,22 @@ struct DeviceInfo {
   crypto::Key256 conversion_mask{};
 };
 
+/// Per-device delivery manifest: what the distribution service last
+/// delivered to (and successfully ran on) a device. The delta-deployment
+/// path diffs against exactly this record — a campaign ships a patch
+/// only to devices whose manifest matches the campaign's base version
+/// AND whose key fingerprint still matches the device's current sealing
+/// key (a key-epoch rotation invalidates the retained image, so the
+/// fingerprint mismatch forces a full package).
+struct DeliveryManifest {
+  /// Program-version fingerprint of the last delivered build
+  /// (ProgramVersionFingerprint over source + policy + options).
+  uint64_t version = 0;
+  /// SHA-256 fingerprint of the deployment key the build was sealed
+  /// under when it was delivered.
+  crypto::Sha256Digest key_fingerprint{};
+};
+
 /// Everything a software source needs to seal a package for one device:
 /// the deployment key and the KDF configuration (epoch included) the
 /// device's KMU will derive under. The two fields are read atomically
@@ -139,6 +155,13 @@ struct RegistryStorageInfo {
   /// (its enrollment's append failed or was torn off): dropped as
   /// no-ops rather than refusing recovery.
   uint64_t orphan_revokes_dropped = 0;
+  /// Delivery-manifest records replayed from the shard logs (last write
+  /// per device wins, so this counts history length, not devices).
+  uint64_t manifest_records_replayed = 0;
+  /// Manifest records replayed for a device that never durably enrolled
+  /// (enrollment rolled back or torn off): dropped as no-ops rather
+  /// than refusing recovery.
+  uint64_t orphan_manifests_dropped = 0;
   /// kEpochBump records replayed from the group log (each re-rotates the
   /// named group's epoch; counted before dedup, so this is the journal's
   /// bump history length, not the number of distinct rotated groups).
@@ -229,11 +252,38 @@ class DeviceRegistry {
   std::vector<DeviceId> AllDevices() const;
 
   /// Delivers wire bytes to the device endpoint (HDE validation + run).
-  /// Fails with kFailedPrecondition for revoked devices.
+  /// Fails with kFailedPrecondition for revoked devices. On a successful
+  /// run the device retains the delivered image as its on-device base
+  /// for future delta deliveries.
   Result<core::TrustedRunResult> Dispatch(DeviceId id,
                                           std::span<const uint8_t> wire_bytes,
                                           uint64_t arg0 = 0,
                                           uint64_t arg1 = 0);
+
+  /// Delivers a delta package: the device applies `delta_bytes` to the
+  /// image it retained from its last successful dispatch, then validates
+  /// and runs the patched image exactly as a full delivery. Fails closed
+  /// with kCorruptPackage — no partial image, nothing executed — when
+  /// the device retains no base image (fresh enrollment, or a daemon
+  /// restart: retained images are in-memory only), when the delta's
+  /// base CRC does not match the retained image (the patch was computed
+  /// against a different version), or when the delta itself is corrupt.
+  /// The retained image advances only on a successful run.
+  Result<core::TrustedRunResult> DispatchDelta(
+      DeviceId id, std::span<const uint8_t> delta_bytes, uint64_t arg0 = 0,
+      uint64_t arg1 = 0);
+
+  /// The device's delivery manifest. kNotFound for unknown ids;
+  /// kFailedPrecondition when nothing was ever recorded for the device.
+  Result<DeliveryManifest> DeliveredVersion(DeviceId id) const;
+
+  /// Records that `version`, sealed under the key whose SHA-256 is
+  /// `key_fingerprint`, was delivered to and ran on `id`. When storage
+  /// is attached the manifest is write-ahead logged before it becomes
+  /// visible (the revoke discipline), so a recovered fleet diffs against
+  /// manifests that were durably true. Last write wins.
+  Status RecordDelivery(DeviceId id, uint64_t version,
+                        const crypto::Sha256Digest& key_fingerprint);
 
   /// Aggregate counters (devices, revocations, stripe balance).
   RegistryStats Stats() const;
@@ -271,10 +321,20 @@ class DeviceRegistry {
   struct DeviceRecord {
     DeviceInfo info;
     crypto::Key256 deployment_key{};
+    /// Delivery manifest (guarded by the shard mutex with the rest of
+    /// the record fields). `has_manifest` false until the first
+    /// RecordDelivery / manifest replay.
+    DeliveryManifest manifest;
+    bool has_manifest = false;
     /// Serializes runs on the simulated endpoint (a physical device only
     /// processes one package at a time).
     std::mutex endpoint_mutex;
     std::unique_ptr<core::TrustedDevice> endpoint;
+    /// The wire image of the last successfully run delivery — the
+    /// device-side base a delta delivery patches. Guarded by
+    /// endpoint_mutex; in-memory only (a restarted daemon's devices
+    /// hold no base, and delta campaigns fall back to full packages).
+    std::vector<uint8_t> retained_wire;
   };
 
   struct Shard {
@@ -305,6 +365,10 @@ class DeviceRegistry {
   void ApplyGroupCreate(GroupId id, std::string label);
   /// Marks a device revoked (recovery replay; idempotent).
   Status ApplyRevoke(DeviceId id);
+  /// Installs a delivery manifest on a device record (RecordDelivery
+  /// body and recovery replay; idempotent, last write wins).
+  Status ApplyManifest(DeviceId id, uint64_t version,
+                       const crypto::Sha256Digest& key_fingerprint);
   /// Advances a group to `target_epoch` and re-provisions its members —
   /// the shared body of RotateGroupEpochTo and of recovery replay. Never
   /// touches the WAL. Idempotent: a target at or below the current epoch

@@ -38,6 +38,11 @@ struct TargetCheckpoint {
   /// checkpoint sinks must not mark skipped targets complete, or a
   /// resumed campaign would silently drop them.
   bool skipped = false;
+  /// The successful delivery shipped a delta package (false for full
+  /// packages and failed targets). Durable sinks record the form so a
+  /// resumed campaign's operator can see what actually went over the
+  /// wire before the crash.
+  bool delta = false;
   uint32_t attempts = 0;  ///< deliveries spent on the target
 };
 

@@ -2,31 +2,11 @@
 
 #include <chrono>
 
+#include "pkg/delta.h"
 #include "pkg/package.h"
 #include "support/stopwatch.h"
 
 namespace eric::fleet {
-namespace {
-
-void AbsorbU64(crypto::Sha256& hasher, uint64_t value) {
-  std::array<uint8_t, 8> bytes;
-  for (int i = 0; i < 8; ++i) {
-    bytes[static_cast<size_t>(i)] = static_cast<uint8_t>(value >> (8 * i));
-  }
-  hasher.Update(bytes);
-}
-
-void AbsorbBytes(crypto::Sha256& hasher, std::span<const uint8_t> bytes) {
-  AbsorbU64(hasher, bytes.size());  // length-prefix: no concat ambiguity
-  hasher.Update(bytes);
-}
-
-void AbsorbString(crypto::Sha256& hasher, std::string_view text) {
-  AbsorbBytes(hasher, {reinterpret_cast<const uint8_t*>(text.data()),
-                       text.size()});
-}
-
-}  // namespace
 
 crypto::Sha256Digest FingerprintKey(const crypto::Key256& key) {
   return crypto::Sha256::Hash(key);
@@ -34,16 +14,16 @@ crypto::Sha256Digest FingerprintKey(const crypto::Key256& key) {
 
 crypto::Sha256Digest FingerprintPolicy(const core::EncryptionPolicy& policy) {
   crypto::Sha256 hasher;
-  AbsorbString(hasher, "eric.fleet.policy.v1");
-  AbsorbU64(hasher, static_cast<uint64_t>(policy.mode));
-  AbsorbU64(hasher, static_cast<uint64_t>(policy.strategy));
+  Sha256AbsorbString(hasher, "eric.fleet.policy.v1");
+  Sha256AbsorbU64(hasher, static_cast<uint64_t>(policy.mode));
+  Sha256AbsorbU64(hasher, static_cast<uint64_t>(policy.strategy));
   uint64_t fraction_bits;
   static_assert(sizeof(fraction_bits) == sizeof(policy.fraction));
   std::memcpy(&fraction_bits, &policy.fraction, sizeof(fraction_bits));
-  AbsorbU64(hasher, fraction_bits);
-  AbsorbU64(hasher, policy.stride);
-  AbsorbU64(hasher, policy.selection_seed);
-  AbsorbU64(hasher, policy.field_specs.size());
+  Sha256AbsorbU64(hasher, fraction_bits);
+  Sha256AbsorbU64(hasher, policy.stride);
+  Sha256AbsorbU64(hasher, policy.selection_seed);
+  Sha256AbsorbU64(hasher, policy.field_specs.size());
   for (const auto& spec : policy.field_specs) {
     const std::array<uint8_t, 3> bytes = {spec.op_class, spec.bit_lo,
                                           spec.bit_hi};
@@ -54,10 +34,10 @@ crypto::Sha256Digest FingerprintPolicy(const core::EncryptionPolicy& policy) {
 
 crypto::Sha256Digest FingerprintKeyConfig(const crypto::KeyConfig& config) {
   crypto::Sha256 hasher;
-  AbsorbString(hasher, "eric.fleet.keyconfig.v1");
-  AbsorbU64(hasher, config.epoch);
-  AbsorbString(hasher, config.domain);
-  AbsorbU64(hasher, config.environment_binding);
+  Sha256AbsorbString(hasher, "eric.fleet.keyconfig.v1");
+  Sha256AbsorbU64(hasher, config.epoch);
+  Sha256AbsorbString(hasher, config.domain);
+  Sha256AbsorbU64(hasher, config.environment_binding);
   return hasher.Finish();
 }
 
@@ -117,23 +97,23 @@ Result<std::shared_ptr<const CachedArtifact>> PackageCache::GetOrBuild(
     PackageCacheStats* call_stats) {
   // Level-1 address: the plaintext program identity.
   crypto::Sha256 program_hasher;
-  AbsorbString(program_hasher, "eric.fleet.program.v1");
-  AbsorbString(program_hasher, source);
-  AbsorbU64(program_hasher, options.optimize ? 1 : 0);
-  AbsorbU64(program_hasher, options.compress ? 1 : 0);
-  AbsorbU64(program_hasher, static_cast<uint64_t>(options.opt_rounds));
+  Sha256AbsorbString(program_hasher, "eric.fleet.program.v1");
+  Sha256AbsorbString(program_hasher, source);
+  Sha256AbsorbU64(program_hasher, options.optimize ? 1 : 0);
+  Sha256AbsorbU64(program_hasher, options.compress ? 1 : 0);
+  Sha256AbsorbU64(program_hasher, static_cast<uint64_t>(options.opt_rounds));
   const Digest program_digest = program_hasher.Finish();
 
   // Level-2 address: program x key fingerprint x policy x cipher. The raw
   // key is hashed, never stored.
   const crypto::Sha256Digest key_fingerprint = FingerprintKey(key);
   crypto::Sha256 artifact_hasher;
-  AbsorbString(artifact_hasher, "eric.fleet.artifact.v1");
+  Sha256AbsorbString(artifact_hasher, "eric.fleet.artifact.v1");
   artifact_hasher.Update(program_digest);
   artifact_hasher.Update(key_fingerprint);
   artifact_hasher.Update(FingerprintPolicy(policy));
   artifact_hasher.Update(FingerprintKeyConfig(key_config));
-  AbsorbU64(artifact_hasher, static_cast<uint64_t>(cipher));
+  Sha256AbsorbU64(artifact_hasher, static_cast<uint64_t>(cipher));
   const Digest artifact_digest = artifact_hasher.Finish();
 
   auto& artifact_shard = *artifact_shards_[ShardIndex(artifact_digest)];
@@ -190,6 +170,49 @@ Result<std::shared_ptr<const CachedArtifact>> PackageCache::GetOrBuild(
   std::shared_ptr<const CachedArtifact> result = artifact;
   Insert(artifact_shard, artifact_digest,
          std::shared_ptr<const CachedArtifact>(std::move(artifact)),
+         config_.max_artifacts_per_shard);
+  return result;
+}
+
+Result<std::shared_ptr<const CachedArtifact>> PackageCache::GetOrBuildDelta(
+    const CachedArtifact& base, const CachedArtifact& target,
+    PackageCacheStats* call_stats) {
+  if (!(base.key_fingerprint == target.key_fingerprint)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "delta endpoints sealed under different keys");
+  }
+  // Address by the exact wire content of both sides: a delta is only
+  // reusable against byte-identical endpoints, and hashing the wires
+  // (instead of trusting caller-supplied version labels) makes a stale
+  // label a miss, never a wrong patch.
+  crypto::Sha256 hasher;
+  Sha256AbsorbString(hasher, "eric.fleet.delta.v1");
+  hasher.Update(crypto::Sha256::Hash(base.wire));
+  hasher.Update(crypto::Sha256::Hash(target.wire));
+  const Digest digest = hasher.Finish();
+
+  auto& shard = *artifact_shards_[ShardIndex(digest)];
+  if (auto hit = Find(shard, digest)) {
+    if (call_stats != nullptr) ++call_stats->delta_hits;
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.delta_hits;
+    return hit;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  auto entry = std::make_shared<CachedArtifact>();
+  entry->wire = pkg::EncodeDelta(base.wire, target.wire);
+  entry->instr_count = target.instr_count;
+  entry->seal_microseconds = MicrosecondsSince(start);
+  entry->key_fingerprint = target.key_fingerprint;
+
+  if (call_stats != nullptr) ++call_stats->delta_misses;
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.delta_misses;
+  }
+  std::shared_ptr<const CachedArtifact> result = entry;
+  Insert(shard, digest, std::shared_ptr<const CachedArtifact>(std::move(entry)),
          config_.max_artifacts_per_shard);
   return result;
 }

@@ -34,6 +34,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -65,6 +66,8 @@ struct PackageCacheStats {
   uint64_t compile_hits = 0;     ///< compiled programs served from cache
   uint64_t compile_misses = 0;   ///< compilations performed
   uint64_t evictions = 0;        ///< LRU evictions across both levels
+  uint64_t delta_hits = 0;       ///< encoded deltas served from cache
+  uint64_t delta_misses = 0;     ///< delta encodings performed
   /// Artifacts dropped by targeted key invalidation (epoch rotation).
   uint64_t invalidations = 0;
   size_t artifact_entries = 0;   ///< artifacts resident right now
@@ -106,6 +109,23 @@ class PackageCache {
       const crypto::KeyConfig& key_config, const core::EncryptionPolicy& policy,
       core::CipherKind cipher = core::CipherKind::kXor,
       const compiler::CompileOptions& options = {},
+      PackageCacheStats* call_stats = nullptr);
+
+  /// Returns the delta package rewriting `base`'s wire bytes into
+  /// `target`'s, encoding only on miss. Both artifacts must be sealed
+  /// under the same key; the cache address binds the exact wire content
+  /// of both sides (SHA-256 of each), so any re-seal — new program, new
+  /// policy, new key epoch — addresses a different delta. The entry is
+  /// stored as a CachedArtifact whose `wire` holds the encoded delta and
+  /// whose key_fingerprint is the sealing key's, so a key-epoch
+  /// rotation's InvalidateKeyFingerprint drops the retired key's deltas
+  /// together with its full artifacts. kInvalidArgument when the two
+  /// artifacts were sealed under different keys.
+  ///
+  /// Delta entries share the artifact shards (and their LRU budget) but
+  /// count in the separate delta_hits/delta_misses stats.
+  Result<std::shared_ptr<const CachedArtifact>> GetOrBuildDelta(
+      const CachedArtifact& base, const CachedArtifact& target,
       PackageCacheStats* call_stats = nullptr);
 
   /// Monotonic hit/miss/eviction counters plus current occupancy.
@@ -172,6 +192,33 @@ class PackageCache {
   mutable std::mutex stats_mutex_;
   PackageCacheStats stats_;
 };
+
+/// Absorbs a little-endian u64 into a SHA-256 stream. One definition
+/// for every fleet fingerprint (cache addresses, policy/key-config
+/// fingerprints, program-version fingerprints) so the absorb scheme can
+/// never diverge between them.
+inline void Sha256AbsorbU64(crypto::Sha256& hasher, uint64_t value) {
+  std::array<uint8_t, 8> bytes;
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<size_t>(i)] = static_cast<uint8_t>(value >> (8 * i));
+  }
+  hasher.Update(bytes);
+}
+
+/// Absorbs a length-prefixed byte run (the prefix removes concatenation
+/// ambiguity between adjacent variable-length fields).
+inline void Sha256AbsorbBytes(crypto::Sha256& hasher,
+                              std::span<const uint8_t> bytes) {
+  Sha256AbsorbU64(hasher, bytes.size());
+  hasher.Update(bytes);
+}
+
+/// Absorbs a length-prefixed string.
+inline void Sha256AbsorbString(crypto::Sha256& hasher,
+                               std::string_view text) {
+  Sha256AbsorbBytes(hasher, {reinterpret_cast<const uint8_t*>(text.data()),
+                             text.size()});
+}
 
 /// SHA-256 fingerprint of a deployment key: the level-2 cache-address
 /// component and the targeted-invalidation address. The raw key never

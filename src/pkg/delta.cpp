@@ -1,0 +1,284 @@
+#include "pkg/delta.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+#include "store/record_io.h"
+#include "store/wal.h"
+
+namespace eric::pkg {
+namespace {
+
+constexpr char kMagic[8] = {'E', 'R', 'I', 'C', 'D', 'L', 'T', '1'};
+constexpr size_t kMagicSize = sizeof(kMagic);
+// u64 base_len | u32 base_crc | u64 target_len | u32 target_crc.
+constexpr size_t kHeaderFieldsSize = 8 + 4 + 8 + 4;
+constexpr size_t kHeaderSize = kMagicSize + kHeaderFieldsSize + 4;
+
+constexpr uint8_t kOpCopy = 1;
+constexpr uint8_t kOpInsert = 2;
+constexpr uint8_t kOpEnd = 3;
+
+// Frame overhead: opcode + payload_len + frame CRC.
+constexpr size_t kFrameOverhead = 1 + 4 + 4;
+
+/// Rolling (Rabin-Karp) hash over kDeltaBlockSize bytes; multiplicative
+/// in a 2^64 ring, so removing the outgoing byte is one multiply.
+struct RollingHash {
+  static constexpr uint64_t kPrime = 1099511628211ull;  // FNV prime
+
+  static uint64_t PowBm1() {
+    uint64_t pow = 1;
+    for (size_t i = 0; i + 1 < kDeltaBlockSize; ++i) pow *= kPrime;
+    return pow;
+  }
+
+  static uint64_t Of(const uint8_t* data) {
+    uint64_t hash = 0;
+    for (size_t i = 0; i < kDeltaBlockSize; ++i) {
+      hash = hash * kPrime + data[i];
+    }
+    return hash;
+  }
+
+  static uint64_t Roll(uint64_t hash, uint8_t out, uint8_t in,
+                       uint64_t pow_bm1) {
+    return (hash - out * pow_bm1) * kPrime + in;
+  }
+};
+
+void AppendFrame(std::vector<uint8_t>& out, uint8_t opcode,
+                 std::span<const uint8_t> payload) {
+  uint8_t prefix[5];
+  prefix[0] = opcode;
+  store::StoreLe32(static_cast<uint32_t>(payload.size()), prefix + 1);
+  out.insert(out.end(), prefix, prefix + 5);
+  out.insert(out.end(), payload.begin(), payload.end());
+  const uint32_t crc =
+      store::Crc32Extend(store::Crc32({prefix, 1}), payload);
+  uint8_t crc_bytes[4];
+  store::StoreLe32(crc, crc_bytes);
+  out.insert(out.end(), crc_bytes, crc_bytes + 4);
+}
+
+void AppendCopy(std::vector<uint8_t>& out, uint64_t base_offset,
+                uint32_t length, DeltaStats& stats) {
+  uint8_t payload[12];
+  store::StoreLe64(base_offset, payload);
+  store::StoreLe32(length, payload + 8);
+  AppendFrame(out, kOpCopy, payload);
+  ++stats.copy_ops;
+  stats.copy_bytes += length;
+}
+
+void AppendInsert(std::vector<uint8_t>& out, std::span<const uint8_t> literal,
+                  DeltaStats& stats) {
+  if (literal.empty()) return;
+  AppendFrame(out, kOpInsert, literal);
+  ++stats.insert_ops;
+  stats.literal_bytes += literal.size();
+}
+
+Status Corrupt(const char* message) {
+  return Status(ErrorCode::kCorruptPackage, message);
+}
+
+}  // namespace
+
+bool LooksLikeDelta(std::span<const uint8_t> bytes) {
+  return bytes.size() >= kMagicSize &&
+         std::memcmp(bytes.data(), kMagic, kMagicSize) == 0;
+}
+
+std::vector<uint8_t> EncodeDelta(std::span<const uint8_t> base,
+                                 std::span<const uint8_t> target,
+                                 DeltaStats* stats) {
+  DeltaStats local_stats;
+  std::vector<uint8_t> out;
+  out.reserve(kHeaderSize + target.size() / 8 + kFrameOverhead * 2);
+  out.insert(out.end(), kMagic, kMagic + kMagicSize);
+  uint8_t header[kHeaderFieldsSize];
+  store::StoreLe64(base.size(), header);
+  store::StoreLe32(store::Crc32(base), header + 8);
+  store::StoreLe64(target.size(), header + 12);
+  store::StoreLe32(store::Crc32(target), header + 20);
+  out.insert(out.end(), header, header + kHeaderFieldsSize);
+  uint8_t header_crc[4];
+  store::StoreLe32(store::Crc32(header), header_crc);
+  out.insert(out.end(), header_crc, header_crc + 4);
+
+  // Index the base by aligned block hash. Buckets are capped: a base of
+  // repeated content would otherwise pile every block into one bucket
+  // and turn the scan quadratic for no added match quality.
+  constexpr size_t kMaxBucket = 8;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+  if (base.size() >= kDeltaBlockSize) {
+    index.reserve(base.size() / kDeltaBlockSize * 2);
+    for (size_t off = 0; off + kDeltaBlockSize <= base.size();
+         off += kDeltaBlockSize) {
+      auto& bucket = index[RollingHash::Of(base.data() + off)];
+      if (bucket.size() < kMaxBucket) {
+        bucket.push_back(static_cast<uint32_t>(off));
+      }
+    }
+  }
+
+  const uint64_t pow_bm1 = RollingHash::PowBm1();
+  size_t pos = 0;        // scan cursor into target
+  size_t lit_start = 0;  // first target byte not yet emitted
+  uint64_t hash = target.size() >= kDeltaBlockSize
+                      ? RollingHash::Of(target.data())
+                      : 0;
+  while (pos + kDeltaBlockSize <= target.size()) {
+    size_t best_len = 0, best_base = 0, best_target = pos;
+    auto it = index.find(hash);
+    if (it != index.end()) {
+      for (uint32_t candidate : it->second) {
+        if (std::memcmp(base.data() + candidate, target.data() + pos,
+                        kDeltaBlockSize) != 0) {
+          continue;  // hash collision
+        }
+        // Extend forward past the verified block...
+        size_t fwd = kDeltaBlockSize;
+        while (candidate + fwd < base.size() &&
+               pos + fwd < target.size() &&
+               base[candidate + fwd] == target[pos + fwd]) {
+          ++fwd;
+        }
+        // ...and backward into the pending literal run.
+        size_t back = 0;
+        while (back < pos - lit_start && back < candidate &&
+               base[candidate - back - 1] == target[pos - back - 1]) {
+          ++back;
+        }
+        if (fwd + back > best_len) {
+          best_len = fwd + back;
+          best_base = candidate - back;
+          best_target = pos - back;
+        }
+      }
+    }
+    if (best_len >= kDeltaBlockSize) {
+      AppendInsert(out, target.subspan(lit_start, best_target - lit_start),
+                   local_stats);
+      // A single copy op carries a u32 length; split pathological multi-
+      // 4GiB matches (cannot happen for program images, cheap to handle).
+      size_t emitted = 0;
+      while (emitted < best_len) {
+        const uint32_t chunk = static_cast<uint32_t>(std::min<size_t>(
+            best_len - emitted, std::numeric_limits<uint32_t>::max()));
+        AppendCopy(out, best_base + emitted, chunk, local_stats);
+        emitted += chunk;
+      }
+      pos = best_target + best_len;
+      lit_start = pos;
+      if (pos + kDeltaBlockSize <= target.size()) {
+        hash = RollingHash::Of(target.data() + pos);
+      }
+    } else {
+      if (pos + kDeltaBlockSize < target.size()) {
+        hash = RollingHash::Roll(hash, target[pos],
+                                 target[pos + kDeltaBlockSize], pow_bm1);
+      }
+      ++pos;
+    }
+  }
+  AppendInsert(out, target.subspan(lit_start), local_stats);
+  AppendFrame(out, kOpEnd, {});
+  if (stats != nullptr) *stats = local_stats;
+  return out;
+}
+
+Result<std::vector<uint8_t>> ApplyDelta(std::span<const uint8_t> base,
+                                        std::span<const uint8_t> delta) {
+  if (delta.size() < kHeaderSize) return Corrupt("delta shorter than header");
+  if (!LooksLikeDelta(delta)) return Corrupt("delta magic mismatch");
+  const uint8_t* header = delta.data() + kMagicSize;
+  const uint32_t header_crc =
+      store::LoadLe32(header + kHeaderFieldsSize);
+  if (store::Crc32({header, kHeaderFieldsSize}) != header_crc) {
+    return Corrupt("delta header CRC mismatch");
+  }
+  const uint64_t base_len = store::LoadLe64(header);
+  const uint32_t base_crc = store::LoadLe32(header + 8);
+  const uint64_t target_len = store::LoadLe64(header + 12);
+  const uint32_t target_crc = store::LoadLe32(header + 20);
+  if (base_len != base.size()) {
+    return Corrupt("delta was encoded against a different base (length)");
+  }
+  if (store::Crc32(base) != base_crc) {
+    return Corrupt("delta was encoded against a different base (CRC)");
+  }
+  if (target_len > kDeltaMaxTargetBytes) {
+    return Corrupt("delta declares an oversized target");
+  }
+
+  std::vector<uint8_t> out;
+  // Grow as ops validate; pre-reserving target_len would let a forged
+  // header allocate the whole cap before the first op is checked.
+  out.reserve(static_cast<size_t>(std::min<uint64_t>(target_len, 1u << 20)));
+
+  size_t pos = kHeaderSize;
+  bool ended = false;
+  while (pos < delta.size()) {
+    if (ended) return Corrupt("delta has bytes after the end op");
+    if (delta.size() - pos < kFrameOverhead) {
+      return Corrupt("delta op frame truncated");
+    }
+    const uint8_t opcode = delta[pos];
+    const uint32_t payload_len = store::LoadLe32(delta.data() + pos + 1);
+    if (delta.size() - pos - kFrameOverhead < payload_len) {
+      return Corrupt("delta op payload truncated");
+    }
+    const std::span<const uint8_t> payload =
+        delta.subspan(pos + 5, payload_len);
+    const uint32_t frame_crc =
+        store::LoadLe32(delta.data() + pos + 5 + payload_len);
+    if (store::Crc32Extend(store::Crc32({&opcode, 1}), payload) != frame_crc) {
+      return Corrupt("delta op CRC mismatch");
+    }
+    switch (opcode) {
+      case kOpCopy: {
+        if (payload_len != 12) return Corrupt("delta copy op malformed");
+        const uint64_t offset = store::LoadLe64(payload.data());
+        const uint32_t length = store::LoadLe32(payload.data() + 8);
+        if (offset > base.size() || base.size() - offset < length) {
+          return Corrupt("delta copy op reads past the base");
+        }
+        if (target_len - out.size() < length) {
+          return Corrupt("delta ops overrun the declared target size");
+        }
+        out.insert(out.end(), base.begin() + static_cast<long>(offset),
+                   base.begin() + static_cast<long>(offset + length));
+        break;
+      }
+      case kOpInsert: {
+        if (target_len - out.size() < payload_len) {
+          return Corrupt("delta ops overrun the declared target size");
+        }
+        out.insert(out.end(), payload.begin(), payload.end());
+        break;
+      }
+      case kOpEnd: {
+        if (payload_len != 0) return Corrupt("delta end op malformed");
+        ended = true;
+        break;
+      }
+      default:
+        return Corrupt("delta op has unknown opcode");
+    }
+    pos += kFrameOverhead + payload_len;
+  }
+  if (!ended) return Corrupt("delta missing end op");
+  if (out.size() != target_len) {
+    return Corrupt("delta reconstruction misses the declared target size");
+  }
+  if (store::Crc32(out) != target_crc) {
+    return Corrupt("delta reconstruction CRC mismatch");
+  }
+  return out;
+}
+
+}  // namespace eric::pkg

@@ -1,0 +1,92 @@
+// Delta (patch) packages: ship only what changed between two sealed
+// program images.
+//
+// A fleet update that tweaks a constant re-seals a few dozen bytes, yet
+// the deploy path re-ships the whole encrypted package to every device.
+// This codec closes that gap at the wire level: EncodeDelta(base, target)
+// emits a patch a device can apply to the image it already holds,
+// ApplyDelta(base, delta) reconstructs the target bytes exactly or fails
+// closed — there is no "mostly applied" state.
+//
+// Encoding is rsync-style block matching: the base is indexed by
+// fixed-size block hashes, the target is scanned with a rolling hash, and
+// runs that verify byte-for-byte become copy-from-base ops; everything
+// else travels as insert-literal ops. The codec is byte-oriented and
+// deliberately knows nothing about the package format — it diffs sealed
+// wire images, so the delta leaks nothing the full ciphertext would not.
+//
+// Wire format (little-endian):
+//
+//   magic    "ERICDLT1" (8 bytes)
+//   header   u64 base_len | u32 base_crc | u64 target_len | u32 target_crc
+//            | u32 crc32(header fields)
+//   op*      u8 opcode | u32 payload_len | payload
+//            | u32 crc32(opcode || payload)
+//     kOpCopy    payload = u64 base_offset | u32 length
+//     kOpInsert  payload = the literal bytes
+//     kOpEnd     payload empty; must be the final frame
+//
+// Every region of the file is covered by a CRC (magic aside), and the
+// reconstructed output must match both target_len and target_crc, so a
+// truncated, bit-flipped, or maliciously crafted delta is rejected with a
+// Status — never a crash, never a partial image. base_crc pins the patch
+// to the exact base it was computed against: applying a delta to the
+// wrong retained image (the failure mode of a crash-resumed campaign) is
+// detected before a single op runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/status.h"
+
+namespace eric::pkg {
+
+/// Block size of the encoder's base index. Matches shorter than this are
+/// not worth a copy op's framing overhead, so it is also the minimum
+/// match length. Exposed for the block-boundary property tests.
+inline constexpr size_t kDeltaBlockSize = 32;
+
+/// Hard ceiling on the bytes ApplyDelta will materialize. A crafted
+/// header or copy-op stream can otherwise declare a multi-terabyte
+/// target from a kilobyte of input (a decompression bomb); any delta
+/// whose declared target exceeds this fails closed before allocation.
+inline constexpr uint64_t kDeltaMaxTargetBytes = 256ull << 20;
+
+/// Composition of one encoded delta (returned by EncodeDelta for
+/// observability; benches report the copy/literal split).
+struct DeltaStats {
+  uint64_t copy_ops = 0;       ///< copy-from-base frames emitted
+  uint64_t insert_ops = 0;     ///< insert-literal frames emitted
+  uint64_t copy_bytes = 0;     ///< target bytes served from the base
+  uint64_t literal_bytes = 0;  ///< target bytes carried in the delta
+};
+
+/// Encodes a delta that rewrites `base` into `target`. Always succeeds:
+/// with nothing in common the delta degenerates to one insert op (and is
+/// slightly larger than `target`, which is why callers compare sizes and
+/// fall back to shipping the full image). When `stats` is non-null the
+/// op/byte split is reported there.
+std::vector<uint8_t> EncodeDelta(std::span<const uint8_t> base,
+                                 std::span<const uint8_t> target,
+                                 DeltaStats* stats = nullptr);
+
+/// Applies `delta` to `base`, returning the reconstructed target bytes.
+///
+/// Fails closed with kCorruptPackage on any malformed input: bad magic,
+/// torn or bit-flipped frames, out-of-bounds copy ops, a base whose
+/// length or CRC does not match the one the delta was encoded against,
+/// declared sizes past kDeltaMaxTargetBytes, trailing bytes after the
+/// end op, or a reconstruction that misses target_len/target_crc. No
+/// partial output is ever returned.
+Result<std::vector<uint8_t>> ApplyDelta(std::span<const uint8_t> base,
+                                        std::span<const uint8_t> delta);
+
+/// True when `bytes` starts with the delta magic — a cheap structural
+/// test (not a validation) used to keep full packages and deltas apart
+/// in logs and tests.
+bool LooksLikeDelta(std::span<const uint8_t> bytes);
+
+}  // namespace eric::pkg

@@ -851,4 +851,26 @@ const Workload* FindWorkload(const std::string& name) {
   return nullptr;
 }
 
+std::string MakeSyntheticRelease(int rounds, bool extra_stage) {
+  std::string source;
+  const int stages = extra_stage ? 11 : 10;
+  for (int f = 0; f < stages; ++f) {
+    const std::string n = std::to_string(f);
+    source += "fn stage" + n + "(x) {\n";
+    source += "  var acc = x + " + std::to_string(1000 + f * 37) + ";\n";
+    source += "  var i = 0;\n";
+    source += "  while (i < " + std::to_string(8 + f) + ") {\n";
+    source += "    acc = (acc * " + std::to_string(29 + 2 * f) +
+              " + i) & 0xFFFFFF;\n";
+    source += "    i = i + 1;\n  }\n  return acc;\n}\n";
+  }
+  source += "fn main() {\n  var r = 7;\n  var round = 0;\n";
+  source += "  while (round < " + std::to_string(rounds) + ") {\n";
+  for (int f = 0; f < stages; ++f) {
+    source += "    r = stage" + std::to_string(f) + "(r);\n";
+  }
+  source += "    round = round + 1;\n  }\n  return r % 100000;\n}\n";
+  return source;
+}
+
 }  // namespace eric::workloads

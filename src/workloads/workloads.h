@@ -29,4 +29,15 @@ const std::vector<Workload>& AllWorkloads();
 /// Lookup by name; nullptr if unknown.
 const Workload* FindWorkload(const std::string& name);
 
+/// Generates a synthetic "release" of realistic size: ten loop-bearing
+/// stage functions (constant folding cannot collapse them) chained from
+/// main. `rounds` is the release knob — bumping it changes a single
+/// immediate in a multi-KB sealed image, the small-update shape the
+/// delta-deployment path exists for; `extra_stage` appends a whole new
+/// stage function instead (the append-heavy worst direction). Shared by
+/// the delta bench and the delta test suites so "small mutation" means
+/// the same bytes everywhere (tests/fleetd_resume_test.py mirrors it in
+/// Python).
+std::string MakeSyntheticRelease(int rounds, bool extra_stage = false);
+
 }  // namespace eric::workloads

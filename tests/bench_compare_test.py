@@ -94,6 +94,20 @@ def main():
              "acceptance criterion"),
         case(script, "regression beyond threshold", GOOD_STORE,
              dict(GOOD_STORE, recovery_max_ratio=5.0), 1, "REGRESSION"),
+        # The scannable summary line: present on clean runs (nothing
+        # moved) and naming the worst metric when something regressed.
+        case(script, "summary line on clean run", GOOD_STORE, GOOD_STORE, 0,
+             "summary: 2 metric(s) compared, no metric moved in the bad "
+             "direction"),
+        case(script, "summary line names worst regression", GOOD_STORE,
+             dict(GOOD_STORE, recovery_max_ratio=5.0), 1,
+             "summary: 2 metric(s) compared, worst regression +400.0% "
+             "(BENCH_store.json recovery_max_ratio)"),
+        # A small regression inside the threshold still shows up in the
+        # summary while the run passes.
+        case(script, "summary reports sub-threshold movement", GOOD_STORE,
+             dict(GOOD_STORE, recovery_max_ratio=1.2), 0,
+             "worst regression +20.0%"),
     ]
     if all(results):
         print("PASS: %d bench_compare self-test cases" % len(results))

@@ -1,0 +1,380 @@
+// Delta codec property tests: round-trips over seeded mutations at every
+// interesting size, and fail-closed behaviour on every corruption the
+// wire can produce. ApplyDelta(base, EncodeDelta(base, target)) == target
+// is THE property the delta deployment path rests on; corruption must
+// yield a Status, never a crash, a partial image, or an outsized
+// allocation (the suite runs under ASan+UBSan in CI).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "pkg/delta.h"
+#include "store/record_io.h"
+#include "store/wal.h"
+#include "support/rng.h"
+
+namespace eric::pkg {
+namespace {
+
+std::vector<uint8_t> RandomBytes(uint64_t seed, size_t size) {
+  Xoshiro256 rng(seed);
+  std::vector<uint8_t> bytes(size);
+  for (auto& byte : bytes) byte = static_cast<uint8_t>(rng.Next());
+  return bytes;
+}
+
+/// Applies `count` seeded random edits — overwrite, insert, or delete, a
+/// few bytes each — the mutation model of a small program update.
+std::vector<uint8_t> Mutate(std::vector<uint8_t> bytes, uint64_t seed,
+                            int count) {
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const size_t pos = bytes.empty() ? 0 : rng.Next() % bytes.size();
+    const size_t span = 1 + rng.Next() % 7;
+    switch (rng.Next() % 3) {
+      case 0:  // overwrite
+        for (size_t j = 0; j < span && pos + j < bytes.size(); ++j) {
+          bytes[pos + j] = static_cast<uint8_t>(rng.Next());
+        }
+        break;
+      case 1: {  // insert
+        std::vector<uint8_t> fresh(span);
+        for (auto& byte : fresh) byte = static_cast<uint8_t>(rng.Next());
+        bytes.insert(bytes.begin() + static_cast<long>(pos), fresh.begin(),
+                     fresh.end());
+        break;
+      }
+      default:  // delete
+        bytes.erase(bytes.begin() + static_cast<long>(pos),
+                    bytes.begin() +
+                        static_cast<long>(std::min(pos + span, bytes.size())));
+        break;
+    }
+  }
+  return bytes;
+}
+
+void ExpectRoundTrip(const std::vector<uint8_t>& base,
+                     const std::vector<uint8_t>& target,
+                     const char* label) {
+  const auto delta = EncodeDelta(base, target);
+  auto applied = ApplyDelta(base, delta);
+  ASSERT_TRUE(applied.ok()) << label << ": " << applied.status().ToString();
+  EXPECT_EQ(*applied, target) << label;
+}
+
+// --- Round-trip properties ----------------------------------------------------
+
+TEST(DeltaCodecTest, RoundTripEmptyToEmpty) {
+  ExpectRoundTrip({}, {}, "empty -> empty");
+}
+
+TEST(DeltaCodecTest, RoundTripEmptyBaseIsInsertOnly) {
+  const auto target = RandomBytes(0xA11CE, 777);
+  DeltaStats stats;
+  const auto delta = EncodeDelta({}, target, &stats);
+  EXPECT_EQ(stats.copy_ops, 0u);
+  EXPECT_EQ(stats.literal_bytes, target.size());
+  auto applied = ApplyDelta({}, delta);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, target);
+}
+
+TEST(DeltaCodecTest, RoundTripToEmptyTarget) {
+  ExpectRoundTrip(RandomBytes(0xB0B, 512), {}, "512 -> empty");
+}
+
+TEST(DeltaCodecTest, RoundTripSingleByte) {
+  ExpectRoundTrip({0x5A}, {0xA5}, "1 byte -> 1 byte");
+  ExpectRoundTrip({0x5A}, {0x5A}, "1 byte identical");
+}
+
+TEST(DeltaCodecTest, IdenticalInputsCollapseToCopies) {
+  const auto bytes = RandomBytes(0x1DE17, 64 * 1024);
+  DeltaStats stats;
+  const auto delta = EncodeDelta(bytes, bytes, &stats);
+  EXPECT_EQ(stats.literal_bytes, 0u) << "identical input shipped literals";
+  EXPECT_LT(delta.size(), bytes.size() / 100)
+      << "identical 64 KiB should cost a handful of frames";
+  auto applied = ApplyDelta(bytes, delta);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, bytes);
+}
+
+TEST(DeltaCodecTest, RoundTripBlockBoundarySizes) {
+  // Sizes that straddle the encoder's block size in every direction,
+  // diffed against mutated copies of themselves.
+  for (const size_t size :
+       {kDeltaBlockSize - 1, kDeltaBlockSize, kDeltaBlockSize + 1,
+        2 * kDeltaBlockSize, 2 * kDeltaBlockSize + 1, size_t{1000}}) {
+    const auto base = RandomBytes(0xB10C + size, size);
+    const auto target = Mutate(base, 0x7A6 + size, 3);
+    ExpectRoundTrip(base, target, ("boundary size " +
+                                   std::to_string(size)).c_str());
+  }
+}
+
+TEST(DeltaCodecTest, RoundTripSeededMutationSweep) {
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    const size_t size = 1024 + static_cast<size_t>(seed) * 700;
+    const auto base = RandomBytes(0x5EED00 + seed, size);
+    const auto target = Mutate(base, 0xCAFE00 + seed, 1 + seed % 6);
+    const auto delta = EncodeDelta(base, target);
+    auto applied = ApplyDelta(base, delta);
+    ASSERT_TRUE(applied.ok()) << "seed " << seed;
+    EXPECT_EQ(*applied, target) << "seed " << seed;
+    // A handful of small edits must not cost a full re-ship.
+    EXPECT_LT(delta.size(), target.size() / 2) << "seed " << seed;
+  }
+}
+
+TEST(DeltaCodecTest, RoundTripMultiMegabyte) {
+  const auto base = RandomBytes(0xB16, 3 * 1024 * 1024);
+  auto target = Mutate(base, 0xFEED, 25);
+  DeltaStats stats;
+  const auto delta = EncodeDelta(base, target, &stats);
+  EXPECT_LT(delta.size(), target.size() / 10);
+  EXPECT_GT(stats.copy_bytes, stats.literal_bytes);
+  auto applied = ApplyDelta(base, delta);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, target);
+}
+
+TEST(DeltaCodecTest, RoundTripUnrelatedInputs) {
+  // Nothing in common: the delta degenerates to literals (and is bigger
+  // than the target — the size-fraction fallback exists for this) but
+  // must still reconstruct exactly.
+  const auto base = RandomBytes(1, 4096);
+  const auto target = RandomBytes(2, 4096);
+  DeltaStats stats;
+  const auto delta = EncodeDelta(base, target, &stats);
+  EXPECT_EQ(stats.copy_bytes, 0u);
+  auto applied = ApplyDelta(base, delta);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, target);
+}
+
+TEST(DeltaCodecTest, RepeatedContentBaseStaysLinear) {
+  // A base of one repeated block floods a single index bucket; the
+  // bucket cap must keep encoding fast and the round-trip exact.
+  std::vector<uint8_t> base(256 * 1024, 0xAB);
+  auto target = base;
+  target[1000] = 0xCD;
+  target.insert(target.begin() + 70000, {1, 2, 3, 4, 5});
+  ExpectRoundTrip(base, target, "repeated-content base");
+}
+
+// --- Fail-closed on corruption ------------------------------------------------
+
+TEST(DeltaCorruptionTest, TruncationAtEveryBoundaryFailsClosed) {
+  const auto base = RandomBytes(0x7E57, 2048);
+  const auto target = Mutate(base, 0x7E58, 4);
+  const auto delta = EncodeDelta(base, target);
+  // Every strict prefix must be rejected (sampled stride keeps it fast;
+  // the frame boundaries all fall inside some sample window).
+  for (size_t keep = 0; keep < delta.size();
+       keep += 1 + delta.size() / 97) {
+    auto truncated = delta;
+    truncated.resize(keep);
+    EXPECT_FALSE(ApplyDelta(base, truncated).ok()) << "kept " << keep;
+  }
+}
+
+TEST(DeltaCorruptionTest, BitFlipSweepNeverYieldsWrongBytes) {
+  const auto base = RandomBytes(0xF11, 1024);
+  const auto target = Mutate(base, 0xF12, 3);
+  const auto delta = EncodeDelta(base, target);
+  Xoshiro256 rng(0xB17F11);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = delta;
+    const size_t byte = rng.Next() % corrupted.size();
+    corrupted[byte] ^= static_cast<uint8_t>(1u << (rng.Next() % 8));
+    auto applied = ApplyDelta(base, corrupted);
+    // Either rejected, or — only possible if the flip missed every
+    // checked region, which the format does not allow — byte-exact.
+    if (applied.ok()) {
+      EXPECT_EQ(*applied, target) << "flip at " << byte
+                                  << " produced wrong bytes";
+    }
+  }
+}
+
+TEST(DeltaCorruptionTest, WrongBaseRejectedBeforeAnyOpRuns) {
+  const auto v1 = RandomBytes(0xAAA, 4096);
+  const auto v2 = Mutate(v1, 0xBBB, 4);
+  const auto v3 = Mutate(v2, 0xCCC, 4);
+  const auto delta_12 = EncodeDelta(v1, v2);
+  // Applying the v1->v2 patch to v2 (the crash-resume wrong-base case)
+  // or to an unrelated image must fail on the base CRC, not mid-ops.
+  EXPECT_EQ(ApplyDelta(v2, delta_12).status().code(),
+            ErrorCode::kCorruptPackage);
+  EXPECT_EQ(ApplyDelta(v3, delta_12).status().code(),
+            ErrorCode::kCorruptPackage);
+  EXPECT_EQ(ApplyDelta({}, delta_12).status().code(),
+            ErrorCode::kCorruptPackage);
+}
+
+TEST(DeltaCorruptionTest, BadMagicAndShortBuffersRejected) {
+  const auto base = RandomBytes(0xD06, 64);
+  EXPECT_FALSE(ApplyDelta(base, {}).ok());
+  const std::vector<uint8_t> junk = {'E', 'R', 'I', 'C'};
+  EXPECT_FALSE(ApplyDelta(base, junk).ok());
+  auto delta = EncodeDelta(base, base);
+  delta[0] ^= 0xFF;
+  EXPECT_FALSE(ApplyDelta(base, delta).ok());
+  EXPECT_FALSE(LooksLikeDelta(junk));
+  EXPECT_TRUE(LooksLikeDelta(EncodeDelta(base, base)));
+}
+
+/// Handcrafts a delta from parts, re-framing each op with a valid CRC so
+/// the corruption under test is the *semantic* one, not the checksum.
+class DeltaForge {
+ public:
+  DeltaForge(std::span<const uint8_t> base, uint64_t target_len,
+             uint32_t target_crc) {
+    const uint8_t magic[8] = {'E', 'R', 'I', 'C', 'D', 'L', 'T', '1'};
+    bytes_.reserve(64);
+    bytes_.insert(bytes_.end(), magic, magic + 8);
+    uint8_t header[24];
+    Le64(base.size(), header);
+    Le32(Crc(base), header + 8);
+    Le64(target_len, header + 12);
+    Le32(target_crc, header + 20);
+    bytes_.insert(bytes_.end(), header, header + 24);
+    uint8_t crc[4];
+    Le32(Crc({header, 24}), crc);
+    bytes_.insert(bytes_.end(), crc, crc + 4);
+  }
+
+  DeltaForge& Op(uint8_t opcode, std::span<const uint8_t> payload) {
+    uint8_t prefix[5];
+    prefix[0] = opcode;
+    Le32(static_cast<uint32_t>(payload.size()), prefix + 1);
+    bytes_.insert(bytes_.end(), prefix, prefix + 5);
+    bytes_.insert(bytes_.end(), payload.begin(), payload.end());
+    std::vector<uint8_t> framed = {opcode};
+    framed.insert(framed.end(), payload.begin(), payload.end());
+    uint8_t crc[4];
+    Le32(Crc(framed), crc);
+    bytes_.insert(bytes_.end(), crc, crc + 4);
+    return *this;
+  }
+
+  DeltaForge& Copy(uint64_t offset, uint32_t length) {
+    uint8_t payload[12];
+    Le64(offset, payload);
+    Le32(length, payload + 8);
+    return Op(1, payload);
+  }
+
+  DeltaForge& End() { return Op(3, {}); }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  static void Le32(uint32_t v, uint8_t* out) { store::StoreLe32(v, out); }
+  static void Le64(uint64_t v, uint8_t* out) { store::StoreLe64(v, out); }
+  static uint32_t Crc(std::span<const uint8_t> data) {
+    return store::Crc32(data);
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+TEST(DeltaCorruptionTest, OversizedCopyOpRejected) {
+  const auto base = RandomBytes(0x0B5, 256);
+  // Copy op reaching past the base end, and one whose offset overflows.
+  {
+    DeltaForge forge(base, 512, 0);
+    forge.Copy(200, 100).End();
+    EXPECT_EQ(ApplyDelta(base, forge.bytes()).status().code(),
+              ErrorCode::kCorruptPackage);
+  }
+  {
+    DeltaForge forge(base, 512, 0);
+    forge.Copy(~0ull - 4, 64).End();
+    EXPECT_EQ(ApplyDelta(base, forge.bytes()).status().code(),
+              ErrorCode::kCorruptPackage);
+  }
+}
+
+TEST(DeltaCorruptionTest, OpsOverrunningDeclaredTargetRejected) {
+  const auto base = RandomBytes(0x0B6, 256);
+  DeltaForge forge(base, 100, 0);  // declares a 100-byte target...
+  forge.Copy(0, 256).End();        // ...but copies 256
+  EXPECT_EQ(ApplyDelta(base, forge.bytes()).status().code(),
+            ErrorCode::kCorruptPackage);
+}
+
+TEST(DeltaCorruptionTest, OversizedDeclaredTargetRejectedWithoutAllocating) {
+  const auto base = RandomBytes(0x0B7, 64);
+  // A forged header declaring a target over the hard cap must be
+  // refused up front — under ASan this doubles as an OOM guard.
+  DeltaForge forge(base, kDeltaMaxTargetBytes + 1, 0);
+  forge.End();
+  EXPECT_EQ(ApplyDelta(base, forge.bytes()).status().code(),
+            ErrorCode::kCorruptPackage);
+}
+
+TEST(DeltaCorruptionTest, UnknownOpcodeAndMalformedOpsRejected) {
+  const auto base = RandomBytes(0x0B8, 64);
+  {
+    DeltaForge forge(base, 0, store::Crc32({}));
+    forge.Op(9, {}).End();  // unknown opcode
+    EXPECT_FALSE(ApplyDelta(base, forge.bytes()).ok());
+  }
+  {
+    const uint8_t short_copy[4] = {1, 2, 3, 4};
+    DeltaForge forge(base, 0, store::Crc32({}));
+    forge.Op(1, short_copy).End();  // copy payload must be 12 bytes
+    EXPECT_FALSE(ApplyDelta(base, forge.bytes()).ok());
+  }
+  {
+    const uint8_t stray = 0;
+    DeltaForge forge(base, 0, store::Crc32({}));
+    forge.Op(3, {&stray, 1});  // end op carrying a payload
+    EXPECT_FALSE(ApplyDelta(base, forge.bytes()).ok());
+  }
+}
+
+TEST(DeltaCorruptionTest, TrailingBytesAfterEndOpRejected) {
+  const auto base = RandomBytes(0x0B9, 128);
+  const auto target = Mutate(base, 0x0BA, 2);
+  auto delta = EncodeDelta(base, target);
+  // A faithful duplicate-delivery (replay) concatenation: the second
+  // copy trails the first end op and must fail closed.
+  auto doubled = delta;
+  doubled.insert(doubled.end(), delta.begin(), delta.end());
+  EXPECT_EQ(ApplyDelta(base, doubled).status().code(),
+            ErrorCode::kCorruptPackage);
+  // So must a single stray byte.
+  delta.push_back(0x00);
+  EXPECT_FALSE(ApplyDelta(base, delta).ok());
+}
+
+TEST(DeltaCorruptionTest, MissingEndOpRejected) {
+  const auto base = RandomBytes(0x0BB, 128);
+  const auto target = Mutate(base, 0x0BC, 2);
+  const auto delta = EncodeDelta(base, target);
+  // Chop exactly the end frame (9 bytes) off: every remaining frame is
+  // intact, so only the end-op check can catch it.
+  std::vector<uint8_t> chopped(delta.begin(), delta.end() - 9);
+  EXPECT_EQ(ApplyDelta(base, chopped).status().code(),
+            ErrorCode::kCorruptPackage);
+}
+
+TEST(DeltaCorruptionTest, ReconstructionCrcBackstopsTamperedLiterals) {
+  // Forge a structurally perfect delta whose output simply is not the
+  // declared target: the final target CRC must catch it.
+  const auto base = RandomBytes(0x0BD, 64);
+  const std::vector<uint8_t> wrong(32, 0xEE);
+  DeltaForge forge(base, wrong.size(), 0xDEADBEEF);  // CRC of nothing real
+  forge.Op(2, wrong).End();
+  EXPECT_EQ(ApplyDelta(base, forge.bytes()).status().code(),
+            ErrorCode::kCorruptPackage);
+}
+
+}  // namespace
+}  // namespace eric::pkg

@@ -21,6 +21,17 @@ Key-epoch rotation:
   4. a follow-up rotation advances exactly one epoch further, proving
      the journal considered the first rotation over
 
+Delta campaign:
+  1. deploy release v1 to a durable fleet (manifests land at v1)
+  2. start the v2 --delta campaign, kill -9 mid-campaign
+  3. restart with --resume --delta and assert exactly-once completion
+     and that EVERY device's manifest reads v2 (manifest_current in the
+     JSON). The restarted daemon's simulated devices retain no base
+     image, so each remaining target's delta delivery fails closed and
+     is resolved by the engine's full-package fallback — deliveries per
+     target land between 1 (manifest already at v2: straight full) and
+     2 (delta attempt + fallback), never more.
+
 Exactly-once is checked from the resume run's JSON: previously
 checkpointed targets plus this run's dispatched targets must partition
 the target set, and the resumed run must only have dispatched the
@@ -52,7 +63,9 @@ POLL_S = 0.02
 DEADLINE_S = 120
 
 WAL_HEADER_SIZE = 8 + 8     # "ERICWAL1" magic + u64 fingerprint
-OUTCOME_RECORD_TYPE = 2
+# Outcome record types: 2 = pre-delta {device, kind, attempts}, 5 = with
+# the delivery form appended. Both count as a durable checkpoint.
+OUTCOME_RECORD_TYPES = (2, 5)
 
 TINY_PROGRAM = """
 fn main() {
@@ -89,7 +102,7 @@ def count_outcome_records(journal_path):
         end = pos + 9 + length
         if end > len(data):
             break  # torn / still-being-written tail
-        if rec_type == OUTCOME_RECORD_TYPE:
+        if rec_type in OUTCOME_RECORD_TYPES:
             outcomes += 1
         pos = end
     return outcomes
@@ -143,8 +156,12 @@ def run_json(command, json_path, label):
         return json.load(f)
 
 
-def check_resume_report(report, targets, label):
-    """The exactly-once arithmetic shared by both scenarios."""
+def check_resume_report(report, targets, label, max_deliveries_per_target=1):
+    """The exactly-once arithmetic shared by every scenario.
+
+    A delta resume legitimately performs up to two deliveries per target
+    (the failed-closed patch plus the full-package fallback), so the
+    delivery bound is per-scenario; the target arithmetic is not."""
     if not report["resumed"]:
         fail("%s did not report resumed=true" % label)
     if report["fleet_devices"] != DEVICES:
@@ -160,7 +177,8 @@ def check_resume_report(report, targets, label):
     if prior + report["devices"] != targets:
         fail("%s: checkpointed %d + resumed %d != targets %d" %
              (label, prior, report["devices"], targets))
-    if report["deliveries"] != report["devices"]:
+    if not (report["devices"] <= report["deliveries"]
+            <= max_deliveries_per_target * report["devices"]):
         fail("%s: resumed run delivered %d times for %d targets" %
              (label, report["deliveries"], report["devices"]))
     if report["succeeded"] != report["devices"]:
@@ -264,6 +282,78 @@ def rotation_attempt(fleetd, workdir, attempt):
     return prior
 
 
+def make_release(rounds):
+    """A multi-KB release whose versions differ by one loop bound — big
+    enough that patches beat full packages (the Python mirror of
+    workloads::MakeSyntheticRelease)."""
+    src = ""
+    for f in range(10):
+        src += ("fn stage{f}(x) {{\n  var acc = x + {a};\n  var i = 0;\n"
+                "  while (i < {b}) {{\n"
+                "    acc = (acc * {c} + i) & 0xFFFFFF;\n"
+                "    i = i + 1;\n  }}\n  return acc;\n}}\n").format(
+                    f=f, a=1000 + f * 37, b=8 + f, c=29 + 2 * f)
+    src += "fn main() {\n  var r = 7;\n  var round = 0;\n"
+    src += "  while (round < %d) {\n" % rounds
+    for f in range(10):
+        src += "    r = stage%d(r);\n" % f
+    src += "    round = round + 1;\n  }\n  return r % 100000;\n}\n"
+    return src
+
+
+def delta_attempt(fleetd, workdir, attempt):
+    state_dir = os.path.join(workdir, "delta-state-%d" % attempt)
+    v1 = os.path.join(workdir, "v1.eric")
+    v2 = os.path.join(workdir, "v2.eric")
+    with open(v1, "w") as f:
+        f.write(make_release(3))
+    with open(v2, "w") as f:
+        f.write(make_release(5))
+    journal = os.path.join(state_dir, "campaign.wal")
+
+    base = [fleetd, "--devices", str(DEVICES), "--groups", str(GROUPS),
+            "--state-dir", state_dir]
+    # Release v1 lands everywhere; every manifest durably reads v1.
+    v1_json = os.path.join(workdir, "delta-v1-%d.json" % attempt)
+    v1_report = run_json(base + ["--source", v1, "--workers", "4",
+                                 "--json", v1_json],
+                         v1_json, "delta v1 deployment")
+    if v1_report["manifest_current"] != DEVICES:
+        fail("v1 deployment left %d of %d manifests at v1" %
+             (v1_report["manifest_current"], DEVICES))
+
+    # The v2 delta campaign, killed mid-flight.
+    delta_flags = ["--source", v2, "--delta", "--base-source", v1]
+    killed_at = run_until_killed(
+        base + delta_flags + ["--workers", "1",
+                              "--latency-us", str(LATENCY_US)],
+        journal, min_outcomes=2, max_outcomes=DEVICES - 2)
+    if killed_at is None:
+        return None
+
+    json_out = os.path.join(workdir, "delta-resume-%d.json" % attempt)
+    report = run_json(base + delta_flags + ["--workers", "2", "--resume",
+                                            "--json", json_out],
+                      json_out, "delta resume")
+    prior = check_resume_report(report, DEVICES, "delta resume",
+                                max_deliveries_per_target=2)
+    if not report["delta"]:
+        fail("delta resume lost the --delta flag in its report")
+    # THE manifest property: after the resume, every device's durable
+    # manifest reads v2 — the fleet agrees with itself about what runs
+    # where, which is what the next delta campaign will diff against.
+    if report["manifest_current"] != DEVICES:
+        fail("delta resume left %d of %d manifests at v2" %
+             (report["manifest_current"], DEVICES))
+    # The restarted daemon's devices retain no base image: every delta
+    # attempt on the resume run must have failed closed into a full
+    # delivery, never into a failed target (checked via succeeded above).
+    if report["delta_fallbacks"] != report["delta_deliveries"]:
+        fail("delta resume: %d patches shipped but %d fell back" %
+             (report["delta_deliveries"], report["delta_fallbacks"]))
+    return prior
+
+
 def run_scenario(name, attempt_fn, fleetd, workdir, total):
     for attempt in range(3):
         prior = attempt_fn(fleetd, workdir, attempt)
@@ -288,6 +378,8 @@ def main():
                      DEVICES)
         run_scenario("epoch rotation", rotation_attempt, fleetd, workdir,
                      DEVICES // GROUPS)
+        run_scenario("delta campaign", delta_attempt, fleetd, workdir,
+                     DEVICES)
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 

@@ -9,6 +9,7 @@
 #include "core/software_source.h"
 #include "core/trusted_execution.h"
 #include "net/channel.h"
+#include "pkg/delta.h"
 #include "workloads/workloads.h"
 
 namespace eric::net {
@@ -181,6 +182,76 @@ TEST_P(FaultSweepTest, NoFaultCausesMisexecution) {
     // happen only for kNone).
     EXPECT_EQ(accepted, 0) << ChannelFaultName(GetParam());
     EXPECT_EQ(rejected, 25);
+  }
+}
+
+// --- Delta payloads over the hostile channel ----------------------------------
+
+TEST(DeltaChannelTest, CorruptedDeltaPayloadFailsClosed) {
+  // Seal two releases of one program for the same device, diff their
+  // wire images, and push the patch through a byte-patching channel: the
+  // device-side ApplyDelta must reject every corrupted delivery, and a
+  // faithful delivery must reconstruct — and run — the exact v2 image.
+  constexpr const char* kV1 = R"(
+    fn main() { var x = 6; return x * 7; }
+  )";
+  constexpr const char* kV2 = R"(
+    fn main() { var x = 6; return x * 8; }
+  )";
+  crypto::KeyConfig config;
+  core::TrustedDevice device(0xDE17A, config);
+  core::SoftwareSource source(device.Enroll(), config);
+  const auto policy = core::EncryptionPolicy::PartialRandom(0.5);
+  auto v1 = source.CompileAndPackage(kV1, policy);
+  auto v2 = source.CompileAndPackage(kV2, policy);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  const auto wire1 = pkg::Serialize(v1->packaging.package);
+  const auto wire2 = pkg::Serialize(v2->packaging.package);
+  const auto delta = pkg::EncodeDelta(wire1, wire2);
+
+  // The attacked hop: every byte-patched delivery is rejected by the
+  // patch CRCs before anything reaches the HDE.
+  for (uint64_t trial = 0; trial < 25; ++trial) {
+    ChannelConfig cfg;
+    cfg.fault = ChannelFault::kBytePatch;
+    cfg.seed = 0x2000 + trial;
+    cfg.patch_offset = trial * 3 % delta.size();
+    Channel channel(cfg);
+    const auto delivered = channel.Deliver(delta);
+    if (delivered == delta) continue;  // patch wrote identical bytes
+    auto applied = pkg::ApplyDelta(wire1, delivered);
+    EXPECT_FALSE(applied.ok()) << "trial " << trial;
+  }
+
+  // The faithful hop: the patch reconstructs v2 exactly and the device
+  // validates and runs it.
+  Channel clean;
+  auto applied = pkg::ApplyDelta(wire1, clean.Deliver(delta));
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, wire2);
+  auto run = device.ReceiveAndRun(*applied);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->exec.exit_code, 48);
+}
+
+TEST(DeltaChannelTest, TruncatedAndDuplicatedDeltasFailClosed) {
+  const std::vector<uint8_t> base(512, 0x5A);
+  std::vector<uint8_t> target = base;
+  target[100] = 0xA5;
+  const auto delta = pkg::EncodeDelta(base, target);
+  {
+    ChannelConfig cfg;
+    cfg.fault = ChannelFault::kTruncate;
+    cfg.truncate_bytes = 5;
+    Channel channel(cfg);
+    EXPECT_FALSE(pkg::ApplyDelta(base, channel.Deliver(delta)).ok());
+  }
+  {
+    ChannelConfig cfg;
+    cfg.fault = ChannelFault::kDuplicate;
+    Channel channel(cfg);
+    // A replayed (doubled) patch has bytes after its end op.
+    EXPECT_FALSE(pkg::ApplyDelta(base, channel.Deliver(delta)).ok());
   }
 }
 

@@ -915,5 +915,158 @@ TEST(CampaignJournalTest, EngineCrashResumeDeliversExactlyOnce) {
   }
 }
 
+// --- Delivery manifests -------------------------------------------------------
+
+TEST(RegistryPersistenceTest, DeliveryManifestSurvivesRestartViaWalReplay) {
+  const std::string dir = MakeTempDir("reg-manifest");
+  fleet::DeviceId with_manifest = 0, without_manifest = 0;
+  crypto::Sha256Digest fingerprint{};
+  fingerprint[0] = 0xAB;
+  fingerprint[31] = 0xCD;
+  {
+    fleet::DeviceRegistry registry(TestRegistryConfig());
+    ASSERT_TRUE(registry.OpenStorage(dir).ok());
+    const auto group = registry.CreateGroup("g");
+    with_manifest = *registry.Enroll(0x3A61F, group);
+    without_manifest = *registry.Enroll(0x3A620, group);
+    // Unknown devices are refused before anything reaches the WAL.
+    EXPECT_EQ(registry.RecordDelivery(9999, 1, fingerprint).code(),
+              ErrorCode::kNotFound);
+    // Two records for one device: last write wins across the restart.
+    ASSERT_TRUE(registry.RecordDelivery(with_manifest, 0x11, {}).ok());
+    ASSERT_TRUE(
+        registry.RecordDelivery(with_manifest, 0x22, fingerprint).ok());
+  }  // daemon dies
+
+  fleet::DeviceRegistry recovered(TestRegistryConfig());
+  ASSERT_TRUE(recovered.OpenStorage(dir).ok());
+  const auto info = recovered.storage_info();
+  EXPECT_EQ(info.manifest_records_replayed, 2u);
+  EXPECT_EQ(info.orphan_manifests_dropped, 0u);
+  auto manifest = recovered.DeliveredVersion(with_manifest);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->version, 0x22u);
+  EXPECT_EQ(manifest->key_fingerprint, fingerprint);
+  EXPECT_EQ(recovered.DeliveredVersion(without_manifest).status().code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(recovered.DeliveredVersion(9999).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(RegistryPersistenceTest, DeliveryManifestSurvivesSnapshotCompaction) {
+  const std::string dir = MakeTempDir("reg-manifest-snap");
+  fleet::DeviceId device = 0;
+  crypto::Sha256Digest fingerprint{};
+  fingerprint[7] = 0x77;
+  {
+    fleet::DeviceRegistry registry(TestRegistryConfig());
+    ASSERT_TRUE(registry.OpenStorage(dir).ok());
+    device = *registry.Enroll(0x3A630);
+    ASSERT_TRUE(registry.RecordDelivery(device, 0x33, fingerprint).ok());
+    // Compaction truncates the WALs: the manifest must ride the
+    // snapshot's v3 device fields.
+    ASSERT_TRUE(registry.Snapshot().ok());
+  }
+  fleet::DeviceRegistry recovered(TestRegistryConfig());
+  ASSERT_TRUE(recovered.OpenStorage(dir).ok());
+  const auto info = recovered.storage_info();
+  EXPECT_TRUE(info.snapshot_loaded);
+  EXPECT_EQ(info.manifest_records_replayed, 0u);  // the WAL was compacted
+  auto manifest = recovered.DeliveredVersion(device);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->version, 0x33u);
+  EXPECT_EQ(manifest->key_fingerprint, fingerprint);
+}
+
+TEST(RegistryPersistenceTest, SnapshotV2WithoutManifestsStillLoads) {
+  // Back-compat: a state dir snapshotted before the manifest schema
+  // (v2: groups carry epochs, devices end at the status byte) must load
+  // with every device simply manifest-less.
+  const std::string dir = MakeTempDir("reg-snap-v2");
+  const fleet::RegistryConfig config = TestRegistryConfig();
+
+  // The registry's storage fingerprint, reproduced field-for-field (it
+  // is what binds snapshot files to a configuration; the schema version
+  // is deliberately NOT part of it, or old snapshots could never load).
+  store::RecordWriter fp;
+  fp.U64(config.shard_count);
+  fp.U64(config.secret_seed);
+  fp.U64(config.key_config.epoch);
+  fp.U64(config.key_config.environment_binding);
+  fp.Str(config.key_config.domain);
+  fp.U8(static_cast<uint8_t>(config.cipher));
+  const uint64_t fingerprint = store::Fnv1a64(fp.bytes());
+
+  // A v2 snapshot: one group at epoch 2, two devices (one revoked).
+  store::RecordWriter snap;
+  snap.U32(2);  // schema version
+  snap.U64(1);  // group count
+  snap.U64(1);
+  snap.Str("line-a");
+  snap.U64(2);  // group epoch
+  snap.U64(2);  // device count
+  snap.U64(1);
+  snap.U64(0x5EED1);
+  snap.U64(1);  // group 1
+  snap.U8(0);   // enrolled
+  snap.U64(2);
+  snap.U64(0x5EED2);
+  snap.U64(1);
+  snap.U8(1);  // revoked
+  ASSERT_TRUE(
+      store::WriteSnapshot(dir, "registry", 1, fingerprint, snap.bytes())
+          .ok());
+
+  fleet::DeviceRegistry recovered(config);
+  ASSERT_TRUE(recovered.OpenStorage(dir).ok());
+  EXPECT_TRUE(recovered.storage_info().snapshot_loaded);
+  EXPECT_EQ(recovered.Stats().devices, 2u);
+  EXPECT_EQ(recovered.Stats().revoked, 1u);
+  EXPECT_EQ(*recovered.GroupEpoch(1), 2u);
+  EXPECT_EQ(recovered.DeliveredVersion(1).status().code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(recovered.DeliveredVersion(2).status().code(),
+            ErrorCode::kFailedPrecondition);
+
+  // And the first delivery recorded on the recovered fleet round-trips
+  // through the new v3 snapshot.
+  ASSERT_TRUE(recovered.RecordDelivery(1, 0x99, {}).ok());
+  ASSERT_TRUE(recovered.Snapshot().ok());
+  fleet::DeviceRegistry again(config);
+  ASSERT_TRUE(again.OpenStorage(dir).ok());
+  EXPECT_EQ(again.DeliveredVersion(1)->version, 0x99u);
+}
+
+TEST(CampaignJournalTest, OutcomeFormSurvivesReplay) {
+  const std::string dir = MakeTempDir("journal-form");
+  const std::vector<fleet::DeviceId> targets = {31, 32, 33};
+  {
+    fleet::CampaignJournal journal;
+    ASSERT_TRUE(journal.Open(dir).ok());
+    ASSERT_TRUE(journal.Begin(0xD17A, targets).ok());
+    fleet::TargetCheckpoint as_delta;
+    as_delta.device = 31;
+    as_delta.ok = true;
+    as_delta.delta = true;
+    as_delta.attempts = 1;
+    journal.OnTargetCheckpoint(as_delta);
+    fleet::TargetCheckpoint as_full;
+    as_full.device = 32;
+    as_full.ok = true;
+    as_full.attempts = 2;
+    journal.OnTargetCheckpoint(as_full);
+    ASSERT_TRUE(journal.last_error().ok());
+  }  // crash mid-campaign
+
+  fleet::CampaignJournal reopened;
+  ASSERT_TRUE(reopened.Open(dir).ok());
+  const auto& recovered = reopened.recovered();
+  EXPECT_TRUE(recovered.active);
+  EXPECT_EQ(recovered.delivered, 2u);
+  EXPECT_EQ(recovered.delta_delivered, 1u);
+  EXPECT_EQ(recovered.RemainingTargets(),
+            (std::vector<fleet::DeviceId>{33}));
+}
+
 }  // namespace
 }  // namespace eric

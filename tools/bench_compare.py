@@ -42,6 +42,11 @@ METRICS = [
     ("BENCH_rotation.json", "invalidation.targeted_fraction", "lower", 25.0),
     ("BENCH_rotation.json", "reseal.vs_cold_ratio", "lower", 60.0),
     ("BENCH_rotation.json", "untouched_groups.hit_rate", "higher", 25.0),
+    # Delta packages: both ratios are deterministic byte counts (same
+    # sources, keys, and policy on every host), so the gate is tight.
+    ("BENCH_delta.json", "wire.delta_vs_full_ratio", "lower", 25.0),
+    ("BENCH_delta.json", "campaign.bytes_ratio", "lower", 25.0),
+    ("BENCH_delta.json", "campaign.delta_fraction", "higher", 25.0),
 ]
 
 
@@ -84,6 +89,10 @@ def main():
 
     failures = []
     checked = 0
+    # Worst observed movement in the bad direction, for the summary line
+    # (0 when nothing regressed at all).
+    worst_pct = 0.0
+    worst_metric = None
     for name in sorted({name for name, _, _, _ in METRICS}):
         baseline_path = os.path.join(args.baseline_dir, name)
         current_path = os.path.join(args.current_dir, name)
@@ -136,6 +145,9 @@ def main():
                 change_pct = (base_value - cur_value) / abs(base_value) * 100.0
             else:
                 change_pct = (cur_value - base_value) / abs(base_value) * 100.0
+            if change_pct > worst_pct:
+                worst_pct = change_pct
+                worst_metric = "%s %s" % (name, path)
             verdict = "REGRESSION" if change_pct > threshold else "ok"
             print("  %-10s %s %s: baseline %.4g -> current %.4g "
                   "(%+.1f%% worse, threshold %.0f%%)" %
@@ -147,7 +159,15 @@ def main():
                     "(threshold %.0f%%)" %
                     (name, path, base_value, cur_value, change_pct, threshold))
 
+    # One scannable line whatever the verdict: how much was compared and
+    # how close the worst metric came to (or past) its threshold.
     print()
+    if worst_metric is None:
+        print("summary: %d metric(s) compared, no metric moved in the "
+              "bad direction" % checked)
+    else:
+        print("summary: %d metric(s) compared, worst regression %+.1f%% "
+              "(%s)" % (checked, worst_pct, worst_metric))
     if failures:
         print("FAIL: %d perf regression(s):" % len(failures))
         for failure in failures:

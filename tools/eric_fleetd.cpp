@@ -13,7 +13,9 @@
 //               [--rate R] [--burst B] [--group-concurrency N]
 //               [--pause-after MS] [--pause-for MS] [--shuffle]
 //               [--state-dir DIR] [--resume] [--snapshot-every N]
-//               [--rotate-epoch GROUP] [--json FILE] [--verbose]
+//               [--rotate-epoch GROUP]
+//               [--delta --base-source FILE | --delta --base-workload NAME]
+//               [--json FILE] [--verbose]
 //
 // With no --source/--workload, deploys the crc32 workload. --revoke K
 // revokes every K-th device before the campaign to show revocation
@@ -35,6 +37,16 @@
 // over exactly the targets that had no durable outcome — nothing is
 // delivered twice, nothing is lost. --snapshot-every N compacts the
 // registry WALs after every N logged mutations.
+//
+// --delta ships patch packages: a device whose durable delivery manifest
+// says it runs the base release (--base-source/--base-workload) under its
+// current key receives EncodeDelta(base wire, target wire) instead of
+// the full sealed image; everything else — fresh devices, rotated keys,
+// oversized deltas, corrupted patches — falls back to the full package
+// automatically. Manifests persist through --state-dir, so a restarted
+// daemon still knows what every device runs (the devices' own retained
+// images are not simulated across restarts: a resumed delta campaign
+// ships full packages to its remaining targets, exactly once).
 //
 // --rotate-epoch GROUP runs a key-epoch rotation campaign instead of a
 // plain deployment: the named group's key epoch is bumped (durably
@@ -78,7 +90,9 @@ void Usage() {
       "                   [--group-concurrency N] [--pause-after MS]\n"
       "                   [--pause-for MS] [--shuffle]\n"
       "                   [--state-dir DIR] [--resume] [--snapshot-every N]\n"
-      "                   [--rotate-epoch GROUP] [--json FILE] [--verbose]\n");
+      "                   [--rotate-epoch GROUP] [--json FILE] [--verbose]\n"
+      "                   [--delta --base-source FILE]\n"
+      "                   [--delta --base-workload NAME]\n");
 }
 
 /// Identity of a campaign for resume matching: FNV-1a over everything
@@ -90,7 +104,8 @@ uint64_t CampaignFingerprint(const std::string& source,
                              const std::string& mode, double fraction,
                              uint64_t seed, const std::string& fault_name,
                              double fault_rate, uint32_t attempts,
-                             uint64_t rotate_group, uint64_t rotate_epoch) {
+                             uint64_t rotate_group, uint64_t rotate_epoch,
+                             bool delta, uint64_t base_version) {
   eric::store::RecordWriter rec;
   // A rotation campaign is a different campaign from a plain deployment
   // of the same program: the target epoch decides the bytes sealed.
@@ -108,7 +123,39 @@ uint64_t CampaignFingerprint(const std::string& source,
   std::memcpy(&fault_rate_bits, &fault_rate, sizeof(fault_rate_bits));
   rec.U64(fault_rate_bits);
   rec.U32(attempts);
+  // Appended only for delta campaigns so plain campaigns keep their
+  // pre-delta fingerprints (their interrupted journals stay resumable
+  // across this upgrade). A delta campaign over a different base is a
+  // different campaign: the base decides which bytes each device gets.
+  if (delta) {
+    rec.U8(1);
+    rec.U64(base_version);
+  }
   return eric::store::Fnv1a64(rec.bytes());
+}
+
+/// Operator-facing durability warning, shared by the flat, scheduled,
+/// and rotation paths: the deliveries themselves stand, the affected
+/// devices simply mis-diff (and get full packages) next campaign.
+void WarnManifestFailures(uint64_t failures) {
+  if (failures == 0) return;
+  std::fprintf(stderr,
+               "warning: %llu delivered manifest update(s) could not be "
+               "made durable\n",
+               static_cast<unsigned long long>(failures));
+}
+
+/// Devices in `targets` whose manifest says they now run `version` —
+/// what the crash-resume test asserts campaign completion on.
+size_t CountManifestsAt(const fleet::DeviceRegistry& registry,
+                        const std::vector<fleet::DeviceId>& targets,
+                        uint64_t version) {
+  size_t current = 0;
+  for (fleet::DeviceId id : targets) {
+    auto manifest = registry.DeliveredVersion(id);
+    if (manifest.ok() && manifest->version == version) ++current;
+  }
+  return current;
 }
 
 /// Identity + resume arithmetic shared by every eric_fleetd report.
@@ -166,6 +213,12 @@ void WriteScheduledJson(JsonWriter& json, const fleet::ScheduledReport& report) 
   json.Field("never_dispatched", report.never_dispatched);
   json.Field("deliveries", report.deliveries);
   json.Field("retries", report.retries);
+  json.Field("delta_deliveries", report.delta_deliveries);
+  json.Field("full_deliveries", report.full_deliveries);
+  json.Field("delta_fallbacks", report.delta_fallbacks);
+  json.Field("bytes_shipped", report.bytes_shipped);
+  json.Field("bytes_full_equivalent", report.bytes_full_equivalent);
+  json.Field("manifest_update_failures", report.manifest_update_failures);
   json.Field("peak_in_flight", report.peak_in_flight);
   json.Field("wall_ms", report.wall_ms);
   json.Key("waves");
@@ -230,6 +283,9 @@ int main(int argc, char** argv) {
   uint64_t snapshot_every = 0;
   // Key-epoch rotation: nonzero = rotate this group and redeploy it.
   uint64_t rotate_group = 0;
+  // Delta deployment knobs.
+  bool delta = false;
+  std::string base_source_path, base_workload_name;
 
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* name) {
@@ -267,6 +323,9 @@ int main(int argc, char** argv) {
       snapshot_every = std::strtoull(argv[++i], nullptr, 0);
     else if (arg("--rotate-epoch"))
       rotate_group = std::strtoull(argv[++i], nullptr, 0);
+    else if (std::strcmp(argv[i], "--delta") == 0) delta = true;
+    else if (arg("--base-source")) base_source_path = argv[++i];
+    else if (arg("--base-workload")) base_workload_name = argv[++i];
     else if (arg("--json")) json_path = argv[++i];
     else if (std::strcmp(argv[i], "--verbose") == 0) verbose = true;
     else { Usage(); return 2; }
@@ -281,28 +340,63 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Program to deploy.
-  std::string program_source;
-  std::string program_name;
-  if (!source_path.empty()) {
-    std::ifstream in(source_path);
-    if (!in) {
-      std::fprintf(stderr, "cannot read %s\n", source_path.c_str());
-      return 1;
+  if (delta && base_source_path.empty() && base_workload_name.empty()) {
+    std::fprintf(stderr,
+                 "--delta requires the previous release: --base-source FILE "
+                 "or --base-workload NAME\n");
+    Usage();
+    return 2;
+  }
+  if (!delta && (!base_source_path.empty() || !base_workload_name.empty())) {
+    std::fprintf(stderr, "--base-source/--base-workload require --delta\n");
+    Usage();
+    return 2;
+  }
+  if (delta && rotate_group != 0) {
+    // A rotation re-seals the SAME build under a new key; there is no
+    // older version to diff from (and the rotated HDEs could not decrypt
+    // a retained stale-epoch base anyway).
+    std::fprintf(stderr, "--delta cannot be combined with --rotate-epoch\n");
+    Usage();
+    return 2;
+  }
+
+  // Program to deploy (and, for --delta, the release it patches from).
+  const auto load_program = [](const std::string& path,
+                               std::string fallback_workload,
+                               std::string* source,
+                               std::string* name) -> bool {
+    if (!path.empty()) {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return false;
+      }
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      *source = buffer.str();
+      *name = path;
+      return true;
     }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    program_source = buffer.str();
-    program_name = source_path;
-  } else {
-    if (workload_name.empty()) workload_name = "crc32";
-    const auto* workload = workloads::FindWorkload(workload_name);
+    const auto* workload = workloads::FindWorkload(fallback_workload);
     if (workload == nullptr) {
-      std::fprintf(stderr, "unknown workload %s\n", workload_name.c_str());
-      return 1;
+      std::fprintf(stderr, "unknown workload %s\n", fallback_workload.c_str());
+      return false;
     }
-    program_source = workload->source;
-    program_name = workload->name;
+    *source = workload->source;
+    *name = workload->name;
+    return true;
+  };
+  std::string program_source, program_name;
+  if (!load_program(source_path,
+                    workload_name.empty() ? "crc32" : workload_name,
+                    &program_source, &program_name)) {
+    return 1;
+  }
+  std::string base_source, base_name;
+  if (delta && !load_program(base_source_path, base_workload_name,
+                             &base_source, &base_name)) {
+    return 1;
   }
 
   core::EncryptionPolicy policy;
@@ -420,6 +514,16 @@ int main(int argc, char** argv) {
   campaign.channel = channel;
   campaign.fault_rate = fault_rate;
   campaign.delivery_latency_us = latency_us;
+  campaign.delta = delta;
+  campaign.delta_base_source = base_source;
+
+  // Version identities: what manifests record, what resume matches on.
+  const uint64_t target_version = fleet::ProgramVersionFingerprint(
+      program_source, policy, compile_options);
+  const uint64_t base_version =
+      delta ? fleet::ProgramVersionFingerprint(base_source, policy,
+                                               compile_options)
+            : 0;
 
   // --- Rotation target selection --------------------------------------------
   // A rotation campaign targets the rotated group only; its target epoch
@@ -447,6 +551,9 @@ int main(int argc, char** argv) {
   // still fail the campaign's exit code and show in the report.
   uint64_t previously_failed = 0;
   size_t original_targets = campaign.devices.size();
+  // The full original target set (resume included): what the manifest
+  // completion count in the JSON report is computed over.
+  std::vector<fleet::DeviceId> manifest_targets = campaign.devices;
   if (!state_dir.empty()) {
     auto opened = journal.Open(state_dir);
     if (!opened.ok()) {
@@ -481,7 +588,8 @@ int main(int argc, char** argv) {
     }
     const uint64_t fingerprint = CampaignFingerprint(
         program_source, mode, fraction, campaign.campaign_seed, fault_name,
-        fault_rate, attempts, rotate_group, rotate_target_epoch);
+        fault_rate, attempts, rotate_group, rotate_target_epoch, delta,
+        base_version);
     if (recovered.active) {
       if (!resume) {
         std::fprintf(stderr,
@@ -495,6 +603,7 @@ int main(int argc, char** argv) {
                      "different program, policy, or rotation target\n");
         return 1;
       }
+      manifest_targets = recovered.targets;
       campaign.devices = recovered.RemainingTargets();
       previously_completed = recovered.completed.size();
       previously_failed = recovered.failed;
@@ -541,6 +650,14 @@ int main(int argc, char** argv) {
       json.Field("revoked", size_t{0});
       json.Field("deliveries", size_t{0});
       json.Field("retries", size_t{0});
+      json.Field("delta", delta);
+      json.Field("delta_deliveries", size_t{0});
+      json.Field("full_deliveries", size_t{0});
+      json.Field("delta_fallbacks", size_t{0});
+      json.Field("bytes_shipped", size_t{0});
+      json.Field("bytes_full_equivalent", size_t{0});
+      json.Field("manifest_current",
+                 CountManifestsAt(registry, manifest_targets, target_version));
       json.EndObject();
       if (!json.WriteFile(json_path.c_str())) {
         std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -611,6 +728,7 @@ int main(int argc, char** argv) {
                 rotated->members_rekeyed, rotated->artifacts_invalidated,
                 rotated->bump_ms, rotated->invalidate_ms);
     PrintScheduledReport(rotated->rollout);
+    WarnManifestFailures(rotated->rollout.manifest_update_failures);
 
     if (!json_path.empty()) {
       ReportContext context{&program_name, &mode, resumed,
@@ -717,6 +835,7 @@ int main(int argc, char** argv) {
     }
 
     PrintScheduledReport(*scheduled);
+    WarnManifestFailures(scheduled->manifest_update_failures);
 
     if (!json_path.empty()) {
       ReportContext context{&program_name, &mode, resumed,
@@ -726,6 +845,9 @@ int main(int argc, char** argv) {
       json.BeginObject();
       WriteCommonJson(json, context);
       WriteScheduledJson(json, *scheduled);
+      json.Field("delta", delta);
+      json.Field("manifest_current",
+                 CountManifestsAt(registry, manifest_targets, target_version));
       json.EndObject();
       if (!json.WriteFile(json_path.c_str())) {
         std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -763,6 +885,7 @@ int main(int argc, char** argv) {
     }
     if (report->skipped == 0 && !journal.Complete().ok()) return 1;
   }
+  WarnManifestFailures(report->manifest_update_failures);
 
   if (verbose) {
     for (const auto& outcome : report->outcomes) {
@@ -780,6 +903,21 @@ int main(int argc, char** argv) {
   std::printf("wire:   %llu deliveries (%llu retries)\n",
               static_cast<unsigned long long>(report->deliveries),
               static_cast<unsigned long long>(report->retries));
+  if (delta) {
+    const double ratio =
+        report->bytes_full_equivalent == 0
+            ? 0.0
+            : static_cast<double>(report->bytes_shipped) /
+                  static_cast<double>(report->bytes_full_equivalent);
+    std::printf("delta:  %llu delta / %llu full deliveries (%llu fallbacks), "
+                "%llu of %llu bytes shipped (%.2fx)\n",
+                static_cast<unsigned long long>(report->delta_deliveries),
+                static_cast<unsigned long long>(report->full_deliveries),
+                static_cast<unsigned long long>(report->delta_fallbacks),
+                static_cast<unsigned long long>(report->bytes_shipped),
+                static_cast<unsigned long long>(report->bytes_full_equivalent),
+                ratio);
+  }
   std::printf("time:   %.1f ms wall, %.0f devices/s, latency mean %.0f us "
               "max %.0f us\n",
               report->wall_ms, report->devices_per_second,
@@ -810,6 +948,15 @@ int main(int argc, char** argv) {
     json.Field("devices_per_second", report->devices_per_second);
     json.Field("cache_hits", report->cache_artifact_hits);
     json.Field("cache_misses", report->cache_artifact_misses);
+    json.Field("delta", delta);
+    json.Field("delta_deliveries", report->delta_deliveries);
+    json.Field("full_deliveries", report->full_deliveries);
+    json.Field("delta_fallbacks", report->delta_fallbacks);
+    json.Field("bytes_shipped", report->bytes_shipped);
+    json.Field("bytes_full_equivalent", report->bytes_full_equivalent);
+    json.Field("manifest_update_failures", report->manifest_update_failures);
+    json.Field("manifest_current",
+               CountManifestsAt(registry, manifest_targets, target_version));
     json.EndObject();
     if (!json.WriteFile(json_path.c_str())) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
