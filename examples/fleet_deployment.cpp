@@ -122,10 +122,12 @@ int main() {
                   outcome.last_status.ToString().c_str());
     }
   }
-  std::printf("\ncampaign: %zu ok / %zu revoked of %zu targets, "
+  std::printf("\ncampaign: %llu ok / %llu revoked of %llu targets, "
               "%llu deliveries (%llu retries), sealed once (%llu cache "
               "hits)\n",
-              report->succeeded, report->revoked, report->targets,
+              static_cast<unsigned long long>(report->succeeded),
+              static_cast<unsigned long long>(report->revoked),
+              static_cast<unsigned long long>(report->targets),
               static_cast<unsigned long long>(report->deliveries),
               static_cast<unsigned long long>(report->retries),
               static_cast<unsigned long long>(report->cache_artifact_hits));
@@ -179,20 +181,22 @@ int main() {
   auto bad_push = scheduler.Run(broken, staged);
   if (!bad_push.ok()) return 1;
   std::printf("push 1 (broken build): %s — canary failure rate %.2f, "
-              "%zu of %zu devices never dispatched\n",
+              "%llu of %llu devices never dispatched\n",
               std::string(fleet::CampaignOutcomeName(bad_push->outcome))
                   .c_str(),
               bad_push->waves.front().failure_rate,
-              bad_push->never_dispatched, bad_push->targets);
+              static_cast<unsigned long long>(bad_push->never_dispatched),
+              static_cast<unsigned long long>(bad_push->targets));
 
   // Push 2: the fixed build rolls out canary-first, then in waves of 8.
   auto good_push = scheduler.Run(rollout, staged);
   if (!good_push.ok()) return 1;
-  std::printf("push 2 (fixed build):  %s — %zu waves, %zu/%zu ok\n",
+  std::printf("push 2 (fixed build):  %s — %zu waves, %llu/%llu ok\n",
               std::string(fleet::CampaignOutcomeName(good_push->outcome))
                   .c_str(),
-              good_push->waves.size(), good_push->succeeded,
-              good_push->targets);
+              good_push->waves.size(),
+              static_cast<unsigned long long>(good_push->succeeded),
+              static_cast<unsigned long long>(good_push->targets));
 
   const bool act2_ok =
       bad_push->outcome == fleet::CampaignOutcome::kAbortedByGate &&

@@ -81,15 +81,18 @@ struct ScheduledReport {
   CampaignOutcome outcome = CampaignOutcome::kCompleted;
   std::vector<WaveReport> waves;  ///< per-wave checkpointed progress
 
-  size_t targets = 0;     ///< total devices in the campaign
-  size_t dispatched = 0;  ///< devices that reached a wave before any abort
-  size_t succeeded = 0;   ///< devices that ran the program
-  size_t failed = 0;      ///< dispatched devices that never succeeded
-  size_t revoked = 0;     ///< devices skipped as revoked
+  // Counts are uint64_t (not size_t) for the same reason as
+  // CampaignReport: they flow into the metrics registry and the JSON
+  // reporters, whose integer widths must not vary by platform.
+  uint64_t targets = 0;     ///< total devices in the campaign
+  uint64_t dispatched = 0;  ///< devices that reached a wave before any abort
+  uint64_t succeeded = 0;   ///< devices that ran the program
+  uint64_t failed = 0;      ///< dispatched devices that never succeeded
+  uint64_t revoked = 0;     ///< devices skipped as revoked
   /// Devices never dispatched: after a gate abort, after a cancel, or
   /// both. The gate's whole point is making this number large on a bad
   /// build.
-  size_t never_dispatched = 0;
+  uint64_t never_dispatched = 0;
 
   uint64_t deliveries = 0;  ///< channel deliveries across all waves
   uint64_t retries = 0;     ///< deliveries beyond the first per device
@@ -106,7 +109,7 @@ struct ScheduledReport {
   uint64_t manifest_update_failures = 0;
   double wall_ms = 0;       ///< wall time including gate evaluation
   /// Peak simultaneously in-flight deliveries across the campaign.
-  size_t peak_in_flight = 0;
+  uint64_t peak_in_flight = 0;
 };
 
 /// Runs engine campaigns wave by wave under a rollout policy.

@@ -7,9 +7,57 @@
 #include <thread>
 
 #include "fleet/dispatch_governor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/stopwatch.h"
 
 namespace eric::fleet {
+
+namespace {
+
+// Process-wide campaign telemetry. Counters accumulate across campaigns
+// (a scheduled rollout adds one fleet_campaigns per wave); the
+// histograms are per-attempt (fleet_delivery_us: channel transit +
+// latency sleep + device HDE/dispatch) and per-target
+// (fleet_target_latency_us: the retry loop wall time for devices that
+// saw at least one delivery).
+struct EngineMetrics {
+  obs::Counter& campaigns;
+  obs::Counter& deliveries;
+  obs::Counter& retries;
+  obs::Counter& delta_deliveries;
+  obs::Counter& full_deliveries;
+  obs::Counter& delta_fallbacks;
+  obs::Counter& targets_succeeded;
+  obs::Counter& targets_failed;
+  obs::Counter& targets_revoked;
+  obs::Counter& bytes_shipped;
+  obs::Counter& manifest_update_failures;
+  obs::Histogram& delivery_us;
+  obs::Histogram& target_latency_us;
+
+  static EngineMetrics& Get() {
+    static auto& registry = obs::MetricsRegistry::Global();
+    static EngineMetrics metrics{
+        registry.GetCounter("fleet_campaigns"),
+        registry.GetCounter("fleet_deliveries"),
+        registry.GetCounter("fleet_retries"),
+        registry.GetCounter("fleet_delta_deliveries"),
+        registry.GetCounter("fleet_full_deliveries"),
+        registry.GetCounter("fleet_delta_fallbacks"),
+        registry.GetCounter("fleet_targets_succeeded"),
+        registry.GetCounter("fleet_targets_failed"),
+        registry.GetCounter("fleet_targets_revoked"),
+        registry.GetCounter("fleet_bytes_shipped"),
+        registry.GetCounter("fleet_manifest_update_failures"),
+        registry.GetHistogram("fleet_delivery_us"),
+        registry.GetHistogram("fleet_target_latency_us"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 struct DeploymentEngine::ArtifactMemo {
   /// One slot per deployment key. The first worker to claim a key builds
@@ -204,6 +252,10 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
   uint32_t delivery_index = 0;
   const auto deliver_once = [&](const CachedArtifact& payload,
                                 bool as_delta) -> Result<core::TrustedRunResult> {
+    // One attempt = one "deliver" span (channel transit + latency sleep
+    // + device-side dispatch) and one fleet_delivery_us sample.
+    obs::ScopedSpan span("deliver", device);
+    const auto attempt_start = std::chrono::steady_clock::now();
     const uint64_t seed =
         DeliverySeed(config.campaign_seed, device, delivery_index);
     ++delivery_index;
@@ -225,10 +277,14 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
                                  std::memory_order_relaxed);
     (as_delta ? memo.delta_deliveries : memo.full_deliveries)
         .fetch_add(1, std::memory_order_relaxed);
-    return as_delta ? registry_.DispatchDelta(device, delivered, config.arg0,
-                                              config.arg1)
-                    : registry_.Dispatch(device, delivered, config.arg0,
-                                         config.arg1);
+    Result<core::TrustedRunResult> run =
+        as_delta ? registry_.DispatchDelta(device, delivered, config.arg0,
+                                           config.arg1)
+                 : registry_.Dispatch(device, delivered, config.arg0,
+                                      config.arg1);
+    EngineMetrics::Get().delivery_us.Record(MicrosecondsSince(attempt_start));
+    span.set_ok(run.ok());
+    return run;
   };
 
   const auto start = std::chrono::steady_clock::now();
@@ -311,6 +367,11 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
     }
   }
   outcome.latency_us = MicrosecondsSince(start);
+  if (outcome.attempts > 0) {
+    // Same population as the report's mean/max: devices that saw at
+    // least one delivery (revoked/unknown targets would skew p50 low).
+    EngineMetrics::Get().target_latency_us.Record(outcome.latency_us);
+  }
   return outcome;
 }
 
@@ -343,7 +404,22 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
 
   const auto start = std::chrono::steady_clock::now();
 
+  // Campaign-scoped tracing: one trace id for the whole run, one root
+  // "campaign" span, and (via TraceScope below) every worker thread
+  // carrying the context so cache/channel/WAL spans attach to it. All
+  // of it collapses to a single relaxed load when tracing is off.
+  obs::TraceCollector& tracer = obs::TraceCollector::Global();
+  uint64_t trace_id = 0;
+  uint64_t campaign_span = 0;
+  double trace_start_us = 0;
+  if (tracer.enabled()) {
+    trace_id = tracer.BeginTrace();
+    campaign_span = tracer.NextSpanId();
+    trace_start_us = tracer.NowMicros();
+  }
+
   CampaignReport report;
+  report.trace_id = trace_id;
   report.targets = targets.size();
   report.outcomes.resize(targets.size());
 
@@ -358,11 +434,21 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
         config.delta_base_source, config.policy, config.compile_options);
   }
   auto worker_body = [&] {
+    // Pin the campaign's trace onto this worker thread; every span the
+    // layers below open (seal, deliver, wal_append, ...) nests under
+    // the per-target span, which nests under the campaign root.
+    obs::TraceScope trace_scope(trace_id, campaign_span);
     for (;;) {
       const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= targets.size()) break;
-      const DeviceOutcome& outcome =
-          (report.outcomes[i] = DeployOne(config, targets[i], memo));
+      DeviceOutcome& outcome = report.outcomes[i];
+      {
+        obs::ScopedSpan target_span("target", targets[i]);
+        outcome = DeployOne(config, targets[i], memo);
+        // Revoked/skipped targets are policy outcomes, not failures.
+        target_span.set_ok(outcome.ok || outcome.revoked ||
+                           outcome.skipped || outcome.cancelled);
+      }
       if (config.governor != nullptr) {
         TargetCheckpoint checkpoint;
         checkpoint.device = outcome.device;
@@ -440,6 +526,33 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
       memo.manifest_failures.load(std::memory_order_relaxed);
   if (config.governor != nullptr) {
     report.peak_in_flight = config.governor->peak_in_flight();
+  }
+
+  // Fold the campaign into the process-wide counters once, from the
+  // finished report — no per-delivery contention on the globals.
+  EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.campaigns.Add();
+  metrics.deliveries.Add(report.deliveries);
+  metrics.retries.Add(report.retries);
+  metrics.delta_deliveries.Add(report.delta_deliveries);
+  metrics.full_deliveries.Add(report.full_deliveries);
+  metrics.delta_fallbacks.Add(report.delta_fallbacks);
+  metrics.targets_succeeded.Add(report.succeeded);
+  metrics.targets_failed.Add(report.failed);
+  metrics.targets_revoked.Add(report.revoked);
+  metrics.bytes_shipped.Add(report.bytes_shipped);
+  metrics.manifest_update_failures.Add(report.manifest_update_failures);
+
+  if (trace_id != 0) {
+    obs::SpanRecord root;
+    root.trace_id = trace_id;
+    root.span_id = campaign_span;
+    root.parent_id = 0;
+    root.name = "campaign";
+    root.start_us = trace_start_us;
+    root.duration_us = tracer.NowMicros() - trace_start_us;
+    root.ok = report.failed == 0;
+    tracer.Emit(std::move(root));
   }
   return report;
 }

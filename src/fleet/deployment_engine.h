@@ -111,15 +111,20 @@ struct DeviceOutcome {
   double latency_us = 0;
 };
 
-/// Campaign-level aggregates.
+/// Campaign-level aggregates. Every count is uint64_t (not size_t) so
+/// the report's fields export through the metrics registry and the JSON
+/// reporters without per-platform width surprises.
 struct CampaignReport {
   std::vector<DeviceOutcome> outcomes;  ///< one entry per target, in order
 
-  size_t targets = 0;    ///< devices in the campaign's target set
-  size_t succeeded = 0;  ///< devices that ran the program
-  size_t failed = 0;     ///< devices whose retry budget never delivered
-  size_t revoked = 0;    ///< devices skipped as revoked
-  size_t skipped = 0;    ///< devices never dispatched (cancelled campaign)
+  /// Trace id of this campaign's span tree, 0 when tracing was off.
+  uint64_t trace_id = 0;
+
+  uint64_t targets = 0;    ///< devices in the campaign's target set
+  uint64_t succeeded = 0;  ///< devices that ran the program
+  uint64_t failed = 0;     ///< devices whose retry budget never delivered
+  uint64_t revoked = 0;    ///< devices skipped as revoked
+  uint64_t skipped = 0;    ///< devices never dispatched (cancelled campaign)
   uint64_t deliveries = 0;   ///< total channel deliveries (incl. retries)
   uint64_t retries = 0;      ///< deliveries beyond the first per device
   uint64_t delta_deliveries = 0;  ///< deliveries that shipped a delta
@@ -157,7 +162,7 @@ struct CampaignReport {
   /// Peak simultaneously in-flight deliveries, as observed by the
   /// campaign's governor (0 when the campaign ran ungoverned). A governor
   /// shared across waves reports its lifetime peak.
-  size_t peak_in_flight = 0;
+  uint64_t peak_in_flight = 0;
 };
 
 /// Resolves a campaign's target list: `config.devices` verbatim when

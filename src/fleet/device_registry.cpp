@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "obs/metrics.h"
 #include "pkg/delta.h"
 #include "store/record_io.h"
 #include "store/snapshot.h"
@@ -195,6 +196,14 @@ Status DeviceRegistry::ApplyEnroll(DeviceId id, uint64_t device_seed,
     std::unique_lock lock(shard.mutex);
     shard.records.emplace(id, std::move(record));
   }
+  // Process-aggregate fleet size (summed across registries when a
+  // process runs several); the replay-idempotence early return above
+  // keeps WAL replays from double counting.
+  static auto& registry_metrics = obs::MetricsRegistry::Global();
+  registry_metrics.GetGauge("fleet_devices_enrolled").Add(1);
+  if (status == DeviceStatus::kRevoked) {
+    registry_metrics.GetGauge("fleet_devices_revoked").Add(1);
+  }
   if (group != kNoGroup) {
     bool stale = false;
     crypto::Key256 current_key{};
@@ -325,7 +334,10 @@ Status DeviceRegistry::ApplyRevoke(DeviceId id) {
     return Status(ErrorCode::kCorruptPackage,
                   "replayed revocation names an unknown device");
   }
-  it->second->info.status = DeviceStatus::kRevoked;  // idempotent
+  if (it->second->info.status != DeviceStatus::kRevoked) {
+    it->second->info.status = DeviceStatus::kRevoked;
+    obs::MetricsRegistry::Global().GetGauge("fleet_devices_revoked").Add(1);
+  }
   return Status::Ok();
 }
 

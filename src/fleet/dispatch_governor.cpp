@@ -1,7 +1,12 @@
 #include "fleet/dispatch_governor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/stopwatch.h"
 
 namespace eric::fleet {
 
@@ -109,13 +114,27 @@ DispatchGovernor::DispatchGovernor(const Limits& limits,
       bucket_(limits.dispatch_rate, limits.dispatch_burst) {}
 
 bool DispatchGovernor::AdmitDelivery(GroupId group) {
+  // Queue-wait telemetry: how long a worker sat on pause gates, group
+  // slots, and rate tokens before this delivery was admitted.
+  static obs::Histogram& admit_wait_us =
+      obs::MetricsRegistry::Global().GetHistogram("fleet_admit_wait_us");
+  obs::ScopedSpan span("admit_wait");
+  const auto wait_start = std::chrono::steady_clock::now();
+  const auto finish = [&](bool admitted) {
+    admit_wait_us.Record(MicrosecondsSince(wait_start));
+    span.set_ok(admitted);  // false = the campaign ended before admission
+    return admitted;
+  };
+
   // Order matters: park on pause/cancel first, then take a group slot,
   // then a rate token — so a worker blocked on the budget is not sitting
   // on a token it cannot spend. A pause arriving during either wait
   // unwinds (releasing the slot) and loops back to AwaitRunnable, so no
   // delivery is ever admitted mid-pause.
   for (;;) {
-    if (control_ != nullptr && !control_->AwaitRunnable()) return false;
+    if (control_ != nullptr && !control_->AwaitRunnable()) {
+      return finish(false);
+    }
 
     if (limits_.group_concurrency > 0) {
       std::unique_lock lock(group_mutex_);
@@ -126,14 +145,14 @@ bool DispatchGovernor::AdmitDelivery(GroupId group) {
         }
         return group_in_flight_[group] < limits_.group_concurrency;
       });
-      if (control_ != nullptr && control_->cancelled()) return false;
+      if (control_ != nullptr && control_->cancelled()) return finish(false);
       if (control_ != nullptr && control_->paused()) continue;
       ++group_in_flight_[group];
     }
 
     if (!bucket_.Acquire(control_)) {
       ReleaseGroupSlot(group);
-      if (control_ != nullptr && control_->cancelled()) return false;
+      if (control_ != nullptr && control_->cancelled()) return finish(false);
       continue;  // paused while rate-waiting: re-park, then retry
     }
     break;
@@ -146,7 +165,7 @@ bool DispatchGovernor::AdmitDelivery(GroupId group) {
          !peak_in_flight_.compare_exchange_weak(peak, now_in_flight,
                                                 std::memory_order_acq_rel)) {
   }
-  return true;
+  return finish(true);
 }
 
 void DispatchGovernor::ReleaseGroupSlot(GroupId group) {

@@ -2,11 +2,53 @@
 
 #include <chrono>
 
+#include "obs/trace.h"
 #include "pkg/delta.h"
 #include "pkg/package.h"
 #include "support/stopwatch.h"
 
 namespace eric::fleet {
+
+namespace {
+
+// Process-wide mirrors of the cache counters plus the seal-path latency
+// histograms. Resolved once; afterwards each event is one extra relaxed
+// add on top of the per-instance counter. Per-instance counters stay
+// authoritative for Stats() (a process may run several caches), the
+// registry aggregates across all of them for export.
+struct CacheMetrics {
+  obs::Counter& artifact_hits;
+  obs::Counter& artifact_misses;
+  obs::Counter& compile_hits;
+  obs::Counter& compile_misses;
+  obs::Counter& evictions;
+  obs::Counter& delta_hits;
+  obs::Counter& delta_misses;
+  obs::Counter& invalidations;
+  obs::Histogram& compile_us;
+  obs::Histogram& seal_us;
+  obs::Histogram& delta_encode_us;
+
+  static CacheMetrics& Get() {
+    static auto& registry = obs::MetricsRegistry::Global();
+    static CacheMetrics metrics{
+        registry.GetCounter("fleet_cache_artifact_hits"),
+        registry.GetCounter("fleet_cache_artifact_misses"),
+        registry.GetCounter("fleet_cache_compile_hits"),
+        registry.GetCounter("fleet_cache_compile_misses"),
+        registry.GetCounter("fleet_cache_evictions"),
+        registry.GetCounter("fleet_cache_delta_hits"),
+        registry.GetCounter("fleet_cache_delta_misses"),
+        registry.GetCounter("fleet_cache_invalidations"),
+        registry.GetHistogram("fleet_compile_us"),
+        registry.GetHistogram("fleet_seal_us"),
+        registry.GetHistogram("fleet_delta_encode_us"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 crypto::Sha256Digest FingerprintKey(const crypto::Key256& key) {
   return crypto::Sha256::Hash(key);
@@ -85,8 +127,8 @@ void PackageCache::Insert(Shard<Entry>& shard, const Digest& digest,
     const Digest victim = shard.lru.back();
     shard.lru.pop_back();
     shard.map.erase(victim);
-    std::lock_guard stats_lock(stats_mutex_);
-    ++stats_.evictions;
+    counters_.evictions.Add();
+    CacheMetrics::Get().evictions.Add();
   }
 }
 
@@ -116,11 +158,12 @@ Result<std::shared_ptr<const CachedArtifact>> PackageCache::GetOrBuild(
   Sha256AbsorbU64(artifact_hasher, static_cast<uint64_t>(cipher));
   const Digest artifact_digest = artifact_hasher.Finish();
 
+  CacheMetrics& metrics = CacheMetrics::Get();
   auto& artifact_shard = *artifact_shards_[ShardIndex(artifact_digest)];
   if (auto hit = Find(artifact_shard, artifact_digest)) {
     if (call_stats != nullptr) ++call_stats->artifact_hits;
-    std::lock_guard lock(stats_mutex_);
-    ++stats_.artifact_hits;
+    counters_.artifact_hits.Add();
+    metrics.artifact_hits.Add();
     return hit;
   }
 
@@ -130,10 +173,15 @@ Result<std::shared_ptr<const CachedArtifact>> PackageCache::GetOrBuild(
                                                       program_digest);
   double compile_us = 0;
   if (program == nullptr) {
+    obs::ScopedSpan span("compile");
     const auto start = std::chrono::steady_clock::now();
     auto compiled = compiler::Compile(source, options);
-    if (!compiled.ok()) return compiled.status();
+    if (!compiled.ok()) {
+      span.set_ok(false);
+      return compiled.status();
+    }
     compile_us = MicrosecondsSince(start);
+    metrics.compile_us.Record(compile_us);
     auto fresh = std::make_shared<CachedProgram>();
     fresh->program = std::move(compiled->program);
     fresh->compile_microseconds = compile_us;
@@ -142,18 +190,22 @@ Result<std::shared_ptr<const CachedArtifact>> PackageCache::GetOrBuild(
            std::shared_ptr<const CachedProgram>(std::move(fresh)),
            config_.max_programs_per_shard);
     if (call_stats != nullptr) ++call_stats->compile_misses;
-    std::lock_guard lock(stats_mutex_);
-    ++stats_.compile_misses;
+    counters_.compile_misses.Add();
+    metrics.compile_misses.Add();
   } else {
     if (call_stats != nullptr) ++call_stats->compile_hits;
-    std::lock_guard lock(stats_mutex_);
-    ++stats_.compile_hits;
+    counters_.compile_hits.Add();
+    metrics.compile_hits.Add();
   }
 
+  obs::ScopedSpan seal_span("seal");
   const auto seal_start = std::chrono::steady_clock::now();
   core::SoftwareSource sealer(key, key_config, cipher);
   auto packaged = sealer.BuildPackage(program->program, policy);
-  if (!packaged.ok()) return packaged.status();
+  if (!packaged.ok()) {
+    seal_span.set_ok(false);
+    return packaged.status();
+  }
 
   auto artifact = std::make_shared<CachedArtifact>();
   artifact->wire = pkg::Serialize(packaged->package);
@@ -161,12 +213,11 @@ Result<std::shared_ptr<const CachedArtifact>> PackageCache::GetOrBuild(
   artifact->compile_microseconds = compile_us;
   artifact->seal_microseconds = MicrosecondsSince(seal_start);
   artifact->key_fingerprint = key_fingerprint;
+  metrics.seal_us.Record(artifact->seal_microseconds);
 
   if (call_stats != nullptr) ++call_stats->artifact_misses;
-  {
-    std::lock_guard lock(stats_mutex_);
-    ++stats_.artifact_misses;
-  }
+  counters_.artifact_misses.Add();
+  metrics.artifact_misses.Add();
   std::shared_ptr<const CachedArtifact> result = artifact;
   Insert(artifact_shard, artifact_digest,
          std::shared_ptr<const CachedArtifact>(std::move(artifact)),
@@ -191,26 +242,27 @@ Result<std::shared_ptr<const CachedArtifact>> PackageCache::GetOrBuildDelta(
   hasher.Update(crypto::Sha256::Hash(target.wire));
   const Digest digest = hasher.Finish();
 
+  CacheMetrics& metrics = CacheMetrics::Get();
   auto& shard = *artifact_shards_[ShardIndex(digest)];
   if (auto hit = Find(shard, digest)) {
     if (call_stats != nullptr) ++call_stats->delta_hits;
-    std::lock_guard lock(stats_mutex_);
-    ++stats_.delta_hits;
+    counters_.delta_hits.Add();
+    metrics.delta_hits.Add();
     return hit;
   }
 
+  obs::ScopedSpan span("delta_encode");
   const auto start = std::chrono::steady_clock::now();
   auto entry = std::make_shared<CachedArtifact>();
   entry->wire = pkg::EncodeDelta(base.wire, target.wire);
   entry->instr_count = target.instr_count;
   entry->seal_microseconds = MicrosecondsSince(start);
   entry->key_fingerprint = target.key_fingerprint;
+  metrics.delta_encode_us.Record(entry->seal_microseconds);
 
   if (call_stats != nullptr) ++call_stats->delta_misses;
-  {
-    std::lock_guard lock(stats_mutex_);
-    ++stats_.delta_misses;
-  }
+  counters_.delta_misses.Add();
+  metrics.delta_misses.Add();
   std::shared_ptr<const CachedArtifact> result = entry;
   Insert(shard, digest, std::shared_ptr<const CachedArtifact>(std::move(entry)),
          config_.max_artifacts_per_shard);
@@ -218,13 +270,17 @@ Result<std::shared_ptr<const CachedArtifact>> PackageCache::GetOrBuildDelta(
 }
 
 PackageCacheStats PackageCache::Stats() const {
+  // Thin wrapper over the atomic counters: same struct the pre-registry
+  // API returned, now assembled from relaxed loads instead of a lock.
   PackageCacheStats stats;
-  {
-    std::lock_guard lock(stats_mutex_);
-    stats = stats_;
-  }
-  stats.artifact_entries = 0;
-  stats.artifact_bytes = 0;
+  stats.artifact_hits = counters_.artifact_hits.value();
+  stats.artifact_misses = counters_.artifact_misses.value();
+  stats.compile_hits = counters_.compile_hits.value();
+  stats.compile_misses = counters_.compile_misses.value();
+  stats.evictions = counters_.evictions.value();
+  stats.delta_hits = counters_.delta_hits.value();
+  stats.delta_misses = counters_.delta_misses.value();
+  stats.invalidations = counters_.invalidations.value();
   for (const auto& shard : artifact_shards_) {
     std::lock_guard lock(shard->mutex);
     stats.artifact_entries += shard->map.size();
@@ -251,8 +307,8 @@ size_t PackageCache::InvalidateKeyFingerprint(
     }
   }
   if (dropped > 0) {
-    std::lock_guard lock(stats_mutex_);
-    stats_.invalidations += dropped;
+    counters_.invalidations.Add(dropped);
+    CacheMetrics::Get().invalidations.Add(dropped);
   }
   return dropped;
 }

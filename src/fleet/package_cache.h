@@ -41,6 +41,7 @@
 
 #include "core/software_source.h"
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
 #include "support/status.h"
 
 namespace eric::fleet {
@@ -59,7 +60,10 @@ struct CachedArtifact {
 
 /// Cache counters. Hit/miss/eviction counts are monotonic (sample before
 /// and after a campaign for deltas); entries/bytes are point-in-time
-/// occupancy recomputed by Stats().
+/// occupancy recomputed by Stats(). All fields are uint64_t so the
+/// struct round-trips losslessly through the metrics registry and the
+/// exported JSON (the fields double as the fleet_cache_* metric names,
+/// snake_case by construction).
 struct PackageCacheStats {
   uint64_t artifact_hits = 0;    ///< sealed artifacts served from cache
   uint64_t artifact_misses = 0;  ///< seal (sign+encrypt+package) builds
@@ -70,8 +74,8 @@ struct PackageCacheStats {
   uint64_t delta_misses = 0;     ///< delta encodings performed
   /// Artifacts dropped by targeted key invalidation (epoch rotation).
   uint64_t invalidations = 0;
-  size_t artifact_entries = 0;   ///< artifacts resident right now
-  size_t artifact_bytes = 0;     ///< wire bytes resident right now
+  uint64_t artifact_entries = 0; ///< artifacts resident right now
+  uint64_t artifact_bytes = 0;   ///< wire bytes resident right now
 
   /// Fraction of artifact requests served from cache (0 when idle).
   double artifact_hit_rate() const {
@@ -189,8 +193,21 @@ class PackageCache {
   std::vector<std::unique_ptr<Shard<CachedProgram>>> program_shards_;
   std::vector<std::unique_ptr<Shard<CachedArtifact>>> artifact_shards_;
 
-  mutable std::mutex stats_mutex_;
-  PackageCacheStats stats_;
+  /// The monotonic counters, migrated from a mutex-guarded struct onto
+  /// wait-free obs::Counter atomics. Stats() renders them back into a
+  /// PackageCacheStats so the old accessor keeps its exact shape; every
+  /// event also bumps the process-wide fleet_cache_* registry counters.
+  struct AtomicCounters {
+    obs::Counter artifact_hits;
+    obs::Counter artifact_misses;
+    obs::Counter compile_hits;
+    obs::Counter compile_misses;
+    obs::Counter evictions;
+    obs::Counter delta_hits;
+    obs::Counter delta_misses;
+    obs::Counter invalidations;
+  };
+  AtomicCounters counters_;
 };
 
 /// Absorbs a little-endian u64 into a SHA-256 stream. One definition

@@ -2,7 +2,37 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/stopwatch.h"
+
 namespace eric::net {
+
+namespace {
+
+// Process-wide channel telemetry (aggregated across channel instances;
+// the per-campaign split lives in the engine's CampaignReport).
+struct ChannelMetrics {
+  obs::Counter& deliveries;
+  obs::Counter& faults;
+  obs::Counter& bytes_in;
+  obs::Counter& bytes_out;
+  obs::Histogram& rtt_us;
+
+  static ChannelMetrics& Get() {
+    static auto& registry = obs::MetricsRegistry::Global();
+    static ChannelMetrics metrics{
+        registry.GetCounter("net_channel_deliveries"),
+        registry.GetCounter("net_channel_faults"),
+        registry.GetCounter("net_channel_bytes_in"),
+        registry.GetCounter("net_channel_bytes_out"),
+        registry.GetHistogram("net_channel_rtt_us"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 std::string_view ChannelFaultName(ChannelFault fault) {
   switch (fault) {
@@ -17,6 +47,11 @@ std::string_view ChannelFaultName(ChannelFault fault) {
 }
 
 std::vector<uint8_t> Channel::Deliver(std::vector<uint8_t> bytes) {
+  // The span marks the wire transit inside a delivery attempt; ok stays
+  // true even when a fault mutates the body — detecting that is the
+  // receiving device's job, and the *dispatch* span reports it.
+  obs::ScopedSpan span("channel");
+  const auto wire_start = std::chrono::steady_clock::now();
   DeliveryRecord record;
   record.fault = config_.fault;
   record.bytes_in = bytes.size();
@@ -81,6 +116,12 @@ std::vector<uint8_t> Channel::Deliver(std::vector<uint8_t> bytes) {
     }
   }
   record.bytes_out = bytes.size();
+  ChannelMetrics& metrics = ChannelMetrics::Get();
+  metrics.deliveries.Add();
+  if (record.mutations > 0) metrics.faults.Add();
+  metrics.bytes_in.Add(record.bytes_in);
+  metrics.bytes_out.Add(record.bytes_out);
+  metrics.rtt_us.Record(MicrosecondsSince(wire_start));
   log_.push_back(record);
   return bytes;
 }

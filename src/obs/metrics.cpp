@@ -1,0 +1,274 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+#include "support/bench_json.h"
+
+namespace eric::obs {
+
+namespace {
+
+// Inclusive upper bound of bucket `i` in nanoseconds. Bucket 0 holds
+// exactly 0 ns; bucket i (i >= 1) holds [2^(i-1), 2^i - 1].
+double BucketUpperNs(size_t i) {
+  if (i == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(i)) - 1.0;
+}
+
+double BucketLowerNs(size_t i) {
+  if (i == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+}  // namespace
+
+// --- Histogram ---------------------------------------------------------------
+
+void Histogram::Record(double microseconds) {
+  if (!(microseconds > 0)) {  // negative and NaN clamp to the 0 bucket
+    RecordNanos(0);
+    return;
+  }
+  const double nanos = microseconds * 1000.0;
+  constexpr double kMaxNs = 1.8e19;  // ~UINT64_MAX; beyond it, saturate
+  RecordNanos(nanos >= kMaxNs ? UINT64_MAX
+                              : static_cast<uint64_t>(nanos));
+}
+
+void Histogram::RecordNanos(uint64_t nanos) {
+  const size_t bucket = static_cast<size_t>(std::bit_width(nanos));
+  buckets_[bucket < kBuckets ? bucket : kBuckets - 1].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(nanos, std::memory_order_relaxed);
+  uint64_t seen = min_ns_.load(std::memory_order_relaxed);
+  while (nanos < seen && !min_ns_.compare_exchange_weak(
+                             seen, nanos, std::memory_order_relaxed)) {
+  }
+  seen = max_ns_.load(std::memory_order_relaxed);
+  while (nanos > seen && !max_ns_.compare_exchange_weak(
+                             seen, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kBuckets);
+  // Buckets first, then the total: each bucket count is never ahead of
+  // a `count` read afterwards, so sum(buckets) <= count can only fail
+  // by samples that landed mid-copy — recompute count from the buckets
+  // instead so the exported invariant sum(buckets) == count is exact.
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap.buckets[i];
+  }
+  snap.count = total;
+  snap.sum_us = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+                1000.0;
+  const uint64_t min_ns = min_ns_.load(std::memory_order_relaxed);
+  snap.min_us = total == 0 || min_ns == UINT64_MAX
+                    ? 0.0
+                    : static_cast<double>(min_ns) / 1000.0;
+  snap.max_us =
+      static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1000.0;
+  return snap;
+}
+
+double HistogramSnapshot::BucketUpperUs(size_t i) {
+  return BucketUpperNs(i) / 1000.0;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank convention: the k-th smallest sample with k = ceil(q * count),
+  // matching the sorted-vector oracle in tests (k clamps to >= 1).
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
+      const double lower = BucketLowerNs(i);
+      const double upper = BucketUpperNs(i);
+      // Samples are assumed uniform inside the bucket; the estimate's
+      // error is bounded by the bucket width (2x relative).
+      const double fraction =
+          static_cast<double>(rank - seen) / static_cast<double>(buckets[i]);
+      double estimate_ns = lower + (upper - lower) * fraction;
+      // Clamp into the observed range so p99 <= max and p0 >= min hold
+      // exactly — validators and dashboards rely on it.
+      const double min_ns = min_us * 1000.0;
+      const double max_ns = max_us * 1000.0;
+      if (estimate_ns < min_ns) estimate_ns = min_ns;
+      if (estimate_ns > max_ns) estimate_ns = max_ns;
+      return estimate_ns / 1000.0;
+    }
+    seen += buckets[i];
+  }
+  return max_us;  // unreachable when invariants hold
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty() || name.size() > 120) return false;
+  if (name.front() < 'a' || name.front() > 'z') return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leak on purpose: instrumented code may run during static
+  // destruction (thread joins in atexit), and references handed out
+  // must outlive every caller.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+// Shared lookup-or-create over the three instrument maps. Fast path is
+// a shared lock; the exclusive lock is only ever taken once per name
+// for the process lifetime.
+template <typename T>
+T& GetInstrument(std::shared_mutex& mutex,
+                 std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+                 std::string_view name) {
+  assert(IsValidMetricName(name));
+  {
+    std::shared_lock lock(mutex);
+    auto it = map.find(name);
+    if (it != map.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex);
+  auto [it, inserted] = map.try_emplace(std::string(name));
+  if (inserted) it->second = std::make_unique<T>();
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  return GetInstrument(mutex_, counters_, name);
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  return GetInstrument(mutex_, gauges_, name);
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetInstrument(mutex_, histograms_, name);
+}
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) names.push_back(name);
+  return names;
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& json) {
+  std::shared_lock lock(mutex_);
+  json.BeginObject();
+  json.Field("schema", "eric.metrics.v1");
+  json.Field("sequence",
+             sequence_.fetch_add(1, std::memory_order_relaxed) + 1);
+  json.Field("uptime_us",
+             std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - epoch_)
+                 .count());
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    json.Field(name, counter->value());
+  }
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, gauge] : gauges_) json.Field(name, gauge->value());
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, hist] : histograms_) {
+    const HistogramSnapshot snap = hist->Snapshot();
+    json.Key(name);
+    json.BeginObject();
+    json.Field("count", snap.count);
+    json.Field("sum_us", snap.sum_us);
+    json.Field("min_us", snap.min_us);
+    json.Field("max_us", snap.max_us);
+    json.Field("p50_us", snap.Percentile(0.50));
+    json.Field("p95_us", snap.Percentile(0.95));
+    json.Field("p99_us", snap.Percentile(0.99));
+    json.Key("buckets");
+    json.BeginArray();
+    // Sparse: only occupied buckets, as [upper_bound_us, count] pairs.
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (snap.buckets[i] == 0) continue;
+      json.BeginArray();
+      json.Value(HistogramSnapshot::BucketUpperUs(i));
+      json.Value(snap.buckets[i]);
+      json.EndArray();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+std::string MetricsRegistry::PrometheusText() {
+  std::shared_lock lock(mutex_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, counter] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    std::snprintf(line, sizeof(line), "%s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter->value()));
+    out += line;
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    std::snprintf(line, sizeof(line), "%s %lld\n", name.c_str(),
+                  static_cast<long long>(gauge->value()));
+    out += line;
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const HistogramSnapshot snap = hist->Snapshot();
+    out += "# TYPE " + name + " summary\n";
+    const double quantiles[] = {0.5, 0.95, 0.99};
+    for (double q : quantiles) {
+      std::snprintf(line, sizeof(line), "%s{quantile=\"%.2g\"} %.6g\n",
+                    name.c_str(), q, snap.Percentile(q));
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "%s_sum %.6g\n%s_count %llu\n",
+                  name.c_str(), snap.sum_us, name.c_str(),
+                  static_cast<unsigned long long>(snap.count));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace eric::obs

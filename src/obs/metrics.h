@@ -1,0 +1,174 @@
+// Process-wide metrics: counters, gauges, and fixed-bucket latency
+// histograms cheap enough to live on hot paths.
+//
+// Design constraints, in order:
+//   1. Recording must be wait-free and allocation-free: a counter add is
+//      one relaxed atomic fetch_add, a histogram record is two adds and
+//      a relaxed max loop. Hot sites hold a reference obtained once (the
+//      registry hands out stable references for the process lifetime).
+//   2. Reading is rare (an exporter tick, a test assertion) and may take
+//      locks; snapshots tolerate concurrent writers by reading each
+//      atomic relaxed — counts are monotonic, so a torn snapshot is at
+//      worst slightly stale, never corrupt.
+//   3. Names are the schema. snake_case ASCII only, validated on first
+//      registration, identical in the JSON snapshot and the Prometheus
+//      text form, documented in docs/observability.md.
+//
+// Histograms bucket by powers of two of nanoseconds (64 buckets cover
+// sub-ns to ~146 years), so bucketing is a bit_width, not a search, and
+// relative quantile error is bounded by 2x. Percentile estimates
+// interpolate within the bucket and clamp to the observed [min, max].
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eric {
+class JsonWriter;
+}  // namespace eric
+
+namespace eric::obs {
+
+/// Monotonic event count. All methods are thread-safe and wait-free.
+class Counter {
+ public:
+  /// Adds `n` (default 1) to the counter.
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+
+  /// Current value. Relaxed read: exact once writers quiesce.
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (device counts, queue depths).
+class Gauge {
+ public:
+  /// Replaces the gauge value.
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+
+  /// Adjusts the gauge by `delta` (may be negative).
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+
+  /// Current value. Relaxed read: exact once writers quiesce.
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time copy of a histogram, safe to analyze without racing
+/// the writers that keep recording.
+struct HistogramSnapshot {
+  /// Number of recorded samples.
+  uint64_t count = 0;
+  /// Sum of all samples in microseconds.
+  double sum_us = 0;
+  /// Smallest recorded sample in microseconds (0 when count == 0).
+  double min_us = 0;
+  /// Largest recorded sample in microseconds (0 when count == 0).
+  double max_us = 0;
+  /// Per-bucket sample counts; bucket `i` holds samples whose duration
+  /// in nanoseconds has bit_width `i` (bucket 0 is exactly 0 ns).
+  std::vector<uint64_t> buckets;
+
+  /// Quantile estimate in microseconds for `q` in [0, 1], by rank
+  /// `ceil(q * count)` with linear interpolation inside the bucket,
+  /// clamped to the observed [min_us, max_us]. Returns 0 when empty.
+  double Percentile(double q) const;
+
+  /// Inclusive upper bound of bucket `i` in microseconds.
+  static double BucketUpperUs(size_t i);
+};
+
+/// Fixed-bucket latency histogram (power-of-two nanosecond buckets).
+/// Recording is wait-free; Snapshot() is for exporters and tests.
+class Histogram {
+ public:
+  /// Number of buckets; bucket index is std::bit_width(nanoseconds).
+  static constexpr size_t kBuckets = 64;
+
+  /// Records a duration in microseconds (negative values clamp to 0).
+  void Record(double microseconds);
+
+  /// Records a duration in whole nanoseconds.
+  void RecordNanos(uint64_t nanos);
+
+  /// Number of samples recorded so far.
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Consistent-enough copy of the current state (see file comment).
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+  std::atomic<uint64_t> min_ns_{UINT64_MAX};
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+/// True if `name` is a valid metric name: `[a-z][a-z0-9_]*`, at most
+/// 120 characters. The same names serve JSON and Prometheus exports.
+bool IsValidMetricName(std::string_view name);
+
+/// Owns every instrument in the process, keyed by name. Lookup creates
+/// on first use and returns a reference that stays valid for the
+/// registry's lifetime, so hot paths resolve a name once (for example
+/// into a function-local static reference) and then touch only the
+/// atomic. Counters, gauges, and histograms live in separate
+/// namespaces; by convention names are globally unique anyway.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by all instrumented subsystems.
+  static MetricsRegistry& Global();
+
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. Invalid names abort in debug builds (they are compile-time
+  /// constants at every call site).
+  Counter& GetCounter(std::string_view name);
+
+  /// Returns the gauge registered under `name`, creating it on first use.
+  Gauge& GetGauge(std::string_view name);
+
+  /// Returns the histogram registered under `name`, creating it on
+  /// first use.
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Writes the full snapshot as one JSON object:
+  /// `{"schema":"eric.metrics.v1","sequence":N,"uptime_us":U,
+  ///   "counters":{...},"gauges":{...},"histograms":{name:{count,
+  ///   sum_us,min_us,max_us,p50_us,p95_us,p99_us,buckets:[[upper_us,
+  ///   count],...]}}}`. `sequence` increments per call so readers can
+  /// tell two snapshots apart.
+  void WriteJson(JsonWriter& json);
+
+  /// Renders the snapshot in Prometheus text exposition format.
+  /// Histograms surface as `<name>_count`, `<name>_sum`, and
+  /// `<name>{quantile="..."}` summary lines.
+  std::string PrometheusText();
+
+  /// Sorted names of all registered counters (for tests/exporters).
+  std::vector<std::string> CounterNames() const;
+  /// Sorted names of all registered histograms (for tests/exporters).
+  std::vector<std::string> HistogramNames() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::atomic<uint64_t> sequence_{0};
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace eric::obs

@@ -1,0 +1,157 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "support/json_escape.h"
+
+namespace eric::obs {
+
+namespace {
+
+// The per-thread context TraceScope installs and ScopedSpan reads.
+struct TraceTls {
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+};
+
+thread_local TraceTls g_trace_tls;
+
+}  // namespace
+
+uint64_t CurrentTraceId() { return g_trace_tls.trace_id; }
+uint64_t CurrentParentSpanId() { return g_trace_tls.parent_span; }
+
+// --- TraceCollector ----------------------------------------------------------
+
+TraceCollector& TraceCollector::Global() {
+  // Leaked for the same reason as MetricsRegistry::Global(): spans may
+  // be emitted during late shutdown.
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::Enable(size_t max_spans) {
+  std::lock_guard lock(mutex_);
+  max_spans_ = max_spans == 0 ? kDefaultMaxSpans : max_spans;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceCollector::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+uint64_t TraceCollector::BeginTrace() {
+  return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t TraceCollector::NextSpanId() {
+  return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceCollector::Emit(SpanRecord record) {
+  std::lock_guard lock(mutex_);
+  if (spans_.size() >= max_spans_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(std::move(record));
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> TraceCollector::Drain() {
+  std::lock_guard lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.swap(spans_);
+  return out;
+}
+
+uint64_t TraceCollector::spans_emitted() const {
+  return emitted_.load(std::memory_order_relaxed);
+}
+
+uint64_t TraceCollector::spans_dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+double TraceCollector::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Status TraceCollector::AppendJsonl(const std::string& path) {
+  const std::vector<SpanRecord> spans = Drain();
+  if (spans.empty()) return Status::Ok();
+  std::string out;
+  out.reserve(spans.size() * 160);
+  char buffer[192];
+  for (const SpanRecord& span : spans) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\"trace_id\":%llu,\"span_id\":%llu,\"parent_id\":%llu,"
+                  "\"name\":",
+                  static_cast<unsigned long long>(span.trace_id),
+                  static_cast<unsigned long long>(span.span_id),
+                  static_cast<unsigned long long>(span.parent_id));
+    out += buffer;
+    out += JsonQuoted(span.name);
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\"device\":%llu,\"start_us\":%.3f,\"duration_us\":%.3f,"
+                  "\"ok\":%s}\n",
+                  static_cast<unsigned long long>(span.device), span.start_us,
+                  span.duration_us, span.ok ? "true" : "false");
+    out += buffer;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return Status(ErrorCode::kInternal, "cannot open trace file " + path);
+  }
+  const size_t written = std::fwrite(out.data(), 1, out.size(), file);
+  const bool ok = written == out.size();
+  if (std::fclose(file) != 0 || !ok) {
+    return Status(ErrorCode::kInternal, "short write to trace file " + path);
+  }
+  return Status::Ok();
+}
+
+// --- TraceScope / ScopedSpan -------------------------------------------------
+
+TraceScope::TraceScope(uint64_t trace_id, uint64_t parent_span)
+    : prev_trace_(g_trace_tls.trace_id),
+      prev_parent_(g_trace_tls.parent_span) {
+  g_trace_tls.trace_id = trace_id;
+  g_trace_tls.parent_span = parent_span;
+}
+
+TraceScope::~TraceScope() {
+  g_trace_tls.trace_id = prev_trace_;
+  g_trace_tls.parent_span = prev_parent_;
+}
+
+ScopedSpan::ScopedSpan(const char* name, uint64_t device)
+    : name_(name), device_(device) {
+  TraceCollector& collector = TraceCollector::Global();
+  if (!collector.enabled() || g_trace_tls.trace_id == 0) return;
+  active_ = true;
+  span_id_ = collector.NextSpanId();
+  prev_parent_ = g_trace_tls.parent_span;
+  g_trace_tls.parent_span = span_id_;
+  start_us_ = collector.NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  TraceCollector& collector = TraceCollector::Global();
+  SpanRecord record;
+  record.trace_id = g_trace_tls.trace_id;
+  record.span_id = span_id_;
+  record.parent_id = prev_parent_;
+  record.name = name_;
+  record.device = device_;
+  record.start_us = start_us_;
+  record.duration_us = collector.NowMicros() - start_us_;
+  record.ok = ok_;
+  g_trace_tls.parent_span = prev_parent_;
+  collector.Emit(std::move(record));
+}
+
+}  // namespace eric::obs

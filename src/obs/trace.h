@@ -1,0 +1,172 @@
+// Lightweight span tracing for campaign reconstruction.
+//
+// A campaign begins a trace (one 64-bit trace id); every stage a device
+// delivery passes through — artifact build, seal, delta encode, channel
+// delivery, dispatch, WAL append — emits a span carrying the trace id,
+// its own span id, and its parent's, so one device's delivery replays
+// as a tree with per-stage timings.
+//
+// Propagation is by thread, not by argument: the deployment engine
+// pins the campaign's trace context onto each worker thread with a
+// TraceScope, and every ScopedSpan below it (inside PackageCache,
+// net::Channel, store::Wal — none of whose APIs change) picks the
+// context up from thread-local storage. When tracing is disabled (the
+// default), a ScopedSpan costs one relaxed atomic load.
+//
+// Spans buffer in memory (bounded; overflow counts as dropped) and
+// drain to JSONL via the exporter or Drain() in tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace eric::obs {
+
+/// One completed span, as buffered and as serialized to JSONL.
+struct SpanRecord {
+  /// Campaign-scoped trace this span belongs to.
+  uint64_t trace_id = 0;
+  /// Unique id of this span within the process.
+  uint64_t span_id = 0;
+  /// Enclosing span's id; 0 for a root span.
+  uint64_t parent_id = 0;
+  /// Stage name (e.g. "seal", "deliver", "wal_append").
+  std::string name;
+  /// Device the stage served, when known; 0 otherwise.
+  uint64_t device = 0;
+  /// Start time in microseconds since the collector's epoch.
+  double start_us = 0;
+  /// Wall duration of the stage in microseconds.
+  double duration_us = 0;
+  /// False when the stage failed (delivery rejected, fault detected).
+  bool ok = true;
+};
+
+/// Process-wide span sink. Disabled by default; enabling it is the
+/// only switch tracing has (per-campaign trace ids come for free).
+class TraceCollector {
+ public:
+  /// Default span buffer capacity (spans beyond it are dropped,
+  /// counted, and reported — never blocking the hot path).
+  static constexpr size_t kDefaultMaxSpans = 1u << 20;
+
+  /// The process-wide collector used by all instrumented subsystems.
+  static TraceCollector& Global();
+
+  /// Turns span collection on with the given buffer capacity.
+  void Enable(size_t max_spans = kDefaultMaxSpans);
+
+  /// Turns span collection off. Buffered spans stay until drained.
+  void Disable();
+
+  /// True when spans are being collected. One relaxed load.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Allocates a fresh nonzero trace id for a campaign.
+  uint64_t BeginTrace();
+
+  /// Allocates a fresh nonzero span id.
+  uint64_t NextSpanId();
+
+  /// Buffers a completed span (drops it, counted, when full).
+  void Emit(SpanRecord record);
+
+  /// Removes and returns all buffered spans.
+  std::vector<SpanRecord> Drain();
+
+  /// Spans accepted into the buffer since process start.
+  uint64_t spans_emitted() const;
+  /// Spans dropped because the buffer was full.
+  uint64_t spans_dropped() const;
+
+  /// Microseconds since the collector's construction; the time base of
+  /// SpanRecord::start_us.
+  double NowMicros() const;
+
+  /// Drains buffered spans and appends them to `path` as JSON Lines
+  /// (one span object per line). Readers must tolerate a truncated
+  /// final line after a crash.
+  Status AppendJsonl(const std::string& path);
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<uint64_t> next_span_id_{1};
+  std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  size_t max_spans_ = kDefaultMaxSpans;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+/// Thread-local trace context: the trace id and innermost open span on
+/// this thread. Zero when the thread carries no trace.
+uint64_t CurrentTraceId();
+/// Innermost open span id on this thread (0 at the trace root).
+uint64_t CurrentParentSpanId();
+
+/// Pins a trace context onto the current thread for its lifetime —
+/// the deployment engine installs one per worker thread so spans in
+/// the layers below attach to the campaign's trace. Restores the
+/// previous context (nesting-safe) on destruction.
+class TraceScope {
+ public:
+  /// Installs `trace_id` with `parent_span` as the innermost span.
+  TraceScope(uint64_t trace_id, uint64_t parent_span);
+  /// Restores the thread's previous trace context.
+  ~TraceScope();
+  /// Non-copyable: the object edits thread-local state.
+  TraceScope(const TraceScope&) = delete;
+  /// Non-copyable: the object edits thread-local state.
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  uint64_t prev_trace_;
+  uint64_t prev_parent_;
+};
+
+/// RAII span: measures from construction to destruction and emits on
+/// destruction. Inert (no allocation, no clock read) when the
+/// collector is disabled or the thread carries no trace context.
+/// While open it is the thread's innermost span, so nested ScopedSpans
+/// become its children.
+class ScopedSpan {
+ public:
+  /// Opens a span named `name` for `device` (0 when not device-bound).
+  /// `name` must outlive the span (string literals at every call site).
+  explicit ScopedSpan(const char* name, uint64_t device = 0);
+  /// Closes the span and emits it if active.
+  ~ScopedSpan();
+  /// Non-copyable: the span emits exactly once.
+  ScopedSpan(const ScopedSpan&) = delete;
+  /// Non-copyable: the span emits exactly once.
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Marks the span failed/succeeded (defaults to ok).
+  void set_ok(bool ok) { ok_ = ok; }
+
+  /// True when the span will emit (tracing on and context present).
+  bool active() const { return active_; }
+
+  /// This span's id (0 when inactive) — for tests and manual children.
+  uint64_t span_id() const { return span_id_; }
+
+ private:
+  const char* name_;
+  uint64_t device_;
+  uint64_t span_id_ = 0;
+  uint64_t prev_parent_ = 0;
+  double start_us_ = 0;
+  bool active_ = false;
+  bool ok_ = true;
+};
+
+}  // namespace eric::obs

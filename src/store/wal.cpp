@@ -11,8 +11,11 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/fs_util.h"
 #include "store/record_io.h"
+#include "support/stopwatch.h"
 
 namespace eric::store {
 
@@ -24,6 +27,45 @@ constexpr size_t kFrameHeaderSize = 4 + 1 + 4;      // len + type + crc
 /// Upper bound on a single record; a length field beyond this is treated
 /// as tail corruption, not an allocation request.
 constexpr uint32_t kMaxPayload = 64u << 20;
+
+// Process-wide WAL telemetry, aggregated across every Wal instance
+// (journal, registry store, epoch journal — the per-stream split is not
+// worth per-instance registration). store_wal_append_us is the
+// client-observed append latency including any group-commit wait;
+// store_wal_fsync_us times the fsync syscall alone.
+struct WalMetrics {
+  obs::Counter& appends;
+  obs::Counter& append_bytes;
+  obs::Counter& fsyncs;
+  obs::Counter& fsync_failures;
+  obs::Histogram& append_us;
+  obs::Histogram& fsync_us;
+
+  static WalMetrics& Get() {
+    static auto& registry = obs::MetricsRegistry::Global();
+    static WalMetrics metrics{
+        registry.GetCounter("store_wal_appends"),
+        registry.GetCounter("store_wal_append_bytes"),
+        registry.GetCounter("store_wal_fsyncs"),
+        registry.GetCounter("store_wal_fsync_failures"),
+        registry.GetHistogram("store_wal_append_us"),
+        registry.GetHistogram("store_wal_fsync_us"),
+    };
+    return metrics;
+  }
+};
+
+// fsync with the syscall timed into the histogram; all durability
+// decisions stay with the caller.
+int TimedFsync(int fd) {
+  WalMetrics& metrics = WalMetrics::Get();
+  const auto start = std::chrono::steady_clock::now();
+  const int rc = ::fsync(fd);
+  metrics.fsync_us.Record(MicrosecondsSince(start));
+  metrics.fsyncs.Add();
+  if (rc != 0) metrics.fsync_failures.Add();
+  return rc;
+}
 
 }  // namespace
 
@@ -128,6 +170,10 @@ Status Wal::Append(uint8_t type, std::span<const uint8_t> payload) {
   if (payload.size() > kMaxPayload) {
     return Status(ErrorCode::kInvalidArgument, "wal record too large");
   }
+  WalMetrics& metrics = WalMetrics::Get();
+  obs::ScopedSpan span("wal_append");
+  const auto append_start = std::chrono::steady_clock::now();
+
   // Frame: len | type | crc(type || payload) | payload — assembled into
   // one buffer so a record lands in a single write() call. The CRC runs
   // incrementally over the type byte and the caller's payload, so the
@@ -143,6 +189,7 @@ Status Wal::Append(uint8_t type, std::span<const uint8_t> payload) {
   {
     std::lock_guard lock(write_mutex_);
     if (poisoned_.load(std::memory_order_acquire)) {
+      span.set_ok(false);
       return Status(ErrorCode::kInternal,
                     "wal poisoned by an earlier unrecoverable write failure");
     }
@@ -155,32 +202,40 @@ Status Wal::Append(uint8_t type, std::span<const uint8_t> payload) {
           ::lseek(fd_, 0, SEEK_END) < 0) {
         poisoned_.store(true, std::memory_order_release);
       }
+      span.set_ok(false);
       return wrote;
     }
     end_offset_ += frame.size();
     my_seq = ++written_seq_;
   }
 
+  Status result = Status::Ok();
   switch (options_.sync) {
     case SyncMode::kNever:
-      return Status::Ok();
+      break;
     case SyncMode::kEveryAppend:
-      if (::fsync(fd_) != 0) {
+      if (TimedFsync(fd_) != 0) {
         Poison();
-        return Status(ErrorCode::kInternal, "wal fsync failed");
+        result = Status(ErrorCode::kInternal, "wal fsync failed");
+      } else if (poisoned_.load(std::memory_order_acquire)) {
+        // If another thread's fsync failed between our write and our
+        // fsync, our "success" is spurious (the kernel already consumed
+        // the error): refuse the ack like every other path.
+        result = Status(ErrorCode::kInternal,
+                        "wal poisoned by an fsync failure");
       }
-      // If another thread's fsync failed between our write and our
-      // fsync, our "success" is spurious (the kernel already consumed
-      // the error): refuse the ack like every other path.
-      if (poisoned_.load(std::memory_order_acquire)) {
-        return Status(ErrorCode::kInternal,
-                      "wal poisoned by an fsync failure");
-      }
-      return Status::Ok();
+      break;
     case SyncMode::kGroupCommit:
-      return SyncLocked(my_seq);
+      result = SyncLocked(my_seq);
+      break;
   }
-  return Status::Ok();
+  // Client-observed append latency: frame write plus whatever the sync
+  // mode cost (nothing, a private fsync, or a group-commit wait).
+  metrics.appends.Add();
+  metrics.append_bytes.Add(frame.size());
+  metrics.append_us.Record(MicrosecondsSince(append_start));
+  span.set_ok(result.ok());
+  return result;
 }
 
 void Wal::Poison() {
@@ -219,7 +274,7 @@ Status Wal::SyncLocked(uint64_t my_seq) {
         std::lock_guard write_lock(write_mutex_);
         covered = written_seq_;
       }
-      const bool ok = ::fsync(fd_) == 0;
+      const bool ok = TimedFsync(fd_) == 0;
       if (!ok) Poison();
       lock.lock();
       sync_in_progress_ = false;
@@ -251,7 +306,7 @@ Status Wal::Sync() {
     std::lock_guard write_lock(write_mutex_);
     covered = written_seq_;
   }
-  if (::fsync(fd_) != 0) {
+  if (TimedFsync(fd_) != 0) {
     Poison();
     return Status(ErrorCode::kInternal, "wal fsync failed");
   }

@@ -22,6 +22,8 @@
 #include <string_view>
 #include <type_traits>
 
+#include "support/json_escape.h"
+
 namespace eric {
 
 class JsonWriter {
@@ -83,22 +85,7 @@ class JsonWriter {
 
   void AppendString(std::string_view text) {
     out_ += '"';
-    for (char c : text) {
-      switch (c) {
-        case '"': out_ += "\\\""; break;
-        case '\\': out_ += "\\\\"; break;
-        case '\n': out_ += "\\n"; break;
-        case '\t': out_ += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buffer[8];
-            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-            out_ += buffer;
-          } else {
-            out_ += c;
-          }
-      }
-    }
+    AppendJsonEscaped(out_, text);  // the shared RFC 8259 escaper
     out_ += '"';
   }
 

@@ -1,0 +1,56 @@
+// The one JSON string escaper. Every piece of code that emits JSON —
+// JsonWriter (bench results, fleetd reports), the metrics exporter, the
+// trace JSONL writer — routes string data through AppendJsonEscaped, so
+// a device name with an embedded quote or a control byte can never
+// produce an unparseable document.
+//
+// Escapes per RFC 8259: ", \, and the short forms \b \f \n \r \t; any
+// other byte below 0x20 becomes \u00XX. Bytes >= 0x20 pass through
+// untouched (UTF-8 sequences survive byte-for-byte).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace eric {
+
+inline void AppendJsonEscaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: {
+        const unsigned char byte = static_cast<unsigned char>(c);
+        if (byte < 0x20) {
+          // Cast before formatting: a raw negative char through %x
+          // would sign-extend into "￿ff9c" garbage.
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(byte));
+          out += buffer;
+        } else {
+          out += c;
+        }
+      }
+    }
+  }
+}
+
+/// Returns `text` escaped and wrapped in double quotes, ready to splice
+/// into a JSON document.
+inline std::string JsonQuoted(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  AppendJsonEscaped(out, text);
+  out += '"';
+  return out;
+}
+
+}  // namespace eric

@@ -32,6 +32,18 @@ Delta campaign:
      target land between 1 (manifest already at v2: straight full) and
      2 (delta attempt + fallback), never more.
 
+Telemetry export:
+  1. run the plain-campaign crash scenario with --metrics-out: every
+     snapshot observed while the daemon runs must be complete, schema-
+     tagged JSON (the write is atomic, so a poller never sees a torn
+     document), including the one that survives the kill -9
+  2. resume with --metrics-out to a fresh file and assert the final
+     snapshot's counters agree exactly with the resumed run's report
+     (deliveries, retries, successes — the exactly-once arithmetic,
+     read back from the metrics registry instead of the report), its
+     latency histograms cover delivery/seal/WAL stages with ordered
+     percentiles, and the report's embedded "telemetry" section agrees
+
 Exactly-once is checked from the resume run's JSON: previously
 checkpointed targets plus this run's dispatched targets must partition
 the target set, and the resumed run must only have dispatched the
@@ -108,14 +120,38 @@ def count_outcome_records(journal_path):
     return outcomes
 
 
-def run_until_killed(command, journal, min_outcomes, max_outcomes):
+def validate_snapshot(path, label, require=False):
+    """Loads a metrics snapshot, failing the test on a torn or
+    schema-less document. A missing file is only an error under
+    `require` (the exporter may not have ticked yet)."""
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError:
+        if require:
+            fail("%s: no metrics snapshot at %s" % (label, path))
+        return None
+    try:
+        snap = json.loads(text)
+    except ValueError:
+        fail("%s: torn/unparseable metrics snapshot (atomic write "
+             "violated): %r" % (label, text[:120]))
+    if snap.get("schema") != "eric.metrics.v1":
+        fail("%s: snapshot schema is %r" % (label, snap.get("schema")))
+    return snap
+
+
+def run_until_killed(command, journal, min_outcomes, max_outcomes,
+                     metrics=None):
     """Starts `command`, kill -9s it once the journal holds at least
     `min_outcomes` (and at most `max_outcomes`) outcome records.
 
     Returns the outcome count at the kill, or None when the process
     finished before the window was hit (caller retries). The process is
     always reaped — including on unexpected exceptions — so temp-dir
-    cleanup never races a live daemon."""
+    cleanup never races a live daemon. With `metrics`, every poll also
+    reads that snapshot path: a live exporter must never be caught
+    publishing a torn document."""
     proc = subprocess.Popen(command, stdout=subprocess.DEVNULL,
                             stderr=subprocess.DEVNULL)
     try:
@@ -127,6 +163,8 @@ def run_until_killed(command, journal, min_outcomes, max_outcomes):
         while time.time() < deadline:
             if proc.poll() is not None:
                 return None  # finished before we killed it
+            if metrics is not None:
+                validate_snapshot(metrics, "mid-campaign snapshot")
             outcomes = count_outcome_records(journal)
             if outcomes > max_outcomes:
                 if seen_reset:
@@ -217,6 +255,88 @@ def plain_attempt(fleetd, workdir, attempt):
                            json_out + ".idle", "post-completion resume")
     if idle_report["resumed"] or idle_report["previously_completed"] != 0:
         fail("completed campaign still resumable: %s" % idle_report)
+    return prior
+
+
+def metrics_attempt(fleetd, workdir, attempt):
+    state_dir = os.path.join(workdir, "metrics-state-%d" % attempt)
+    source = os.path.join(workdir, "tiny.eric")
+    with open(source, "w") as f:
+        f.write(TINY_PROGRAM)
+    journal = os.path.join(state_dir, "campaign.wal")
+    live_metrics = os.path.join(workdir, "metrics-live-%d.json" % attempt)
+    final_metrics = os.path.join(workdir, "metrics-final-%d.json" % attempt)
+    json_out = os.path.join(workdir, "metrics-resume-%d.json" % attempt)
+
+    base = [
+        fleetd, "--devices", str(DEVICES), "--groups", str(GROUPS),
+        "--source", source, "--state-dir", state_dir,
+    ]
+    telemetry = ["--metrics-out", live_metrics, "--metrics-interval", "0.05"]
+    killed_at = run_until_killed(
+        base + telemetry + ["--workers", "1",
+                            "--latency-us", str(LATENCY_US)],
+        journal, min_outcomes=2, max_outcomes=DEVICES - 2,
+        metrics=live_metrics)
+    if killed_at is None:
+        return None  # campaign outran the kill; caller retries
+
+    # The snapshot that survives the kill -9 is a complete document (the
+    # exporter had ticked by the time the first outcome checkpointed).
+    validate_snapshot(live_metrics, "post-kill snapshot", require=True)
+
+    report = run_json(base + ["--workers", "2", "--resume",
+                              "--metrics-out", final_metrics,
+                              "--metrics-interval", "0.05",
+                              "--json", json_out],
+                      json_out, "metrics resume")
+    prior = check_resume_report(report, DEVICES, "metrics resume")
+
+    # The final snapshot (the exporter's shutdown flush) must agree with
+    # the resumed run's report: the registry saw exactly the deliveries
+    # the exactly-once machinery admitted, no more.
+    final = validate_snapshot(final_metrics, "final snapshot", require=True)
+    expected_counters = {
+        "fleet_campaigns": 1,
+        "fleet_deliveries": report["deliveries"],
+        "fleet_retries": report["retries"],
+        "fleet_targets_succeeded": report["succeeded"],
+        "fleet_targets_failed": report["failed"],
+    }
+    for name, want in expected_counters.items():
+        got = final["counters"].get(name)
+        if got != want:
+            fail("final snapshot %s=%s, report says %s" % (name, got, want))
+
+    # Latency histograms cover the delivery, seal, and WAL stages, with
+    # coherent percentiles and exact bucket accounting.
+    for name in ("fleet_delivery_us", "fleet_seal_us",
+                 "store_wal_append_us", "store_wal_fsync_us"):
+        hist = final["histograms"].get(name)
+        if not hist or hist["count"] < 1:
+            fail("final snapshot lacks samples in histogram %s" % name)
+        if not (0 <= hist["p50_us"] <= hist["p95_us"] <= hist["p99_us"]
+                <= hist["max_us"] + 1e-9):
+            fail("%s percentiles out of order: %s" % (name, hist))
+        if sum(count for _, count in hist["buckets"]) != hist["count"]:
+            fail("%s bucket counts do not sum to count: %s" % (name, hist))
+    if final["histograms"]["fleet_delivery_us"]["count"] != \
+            report["deliveries"]:
+        fail("fleet_delivery_us saw %d samples, report delivered %d times" %
+             (final["histograms"]["fleet_delivery_us"]["count"],
+              report["deliveries"]))
+
+    # The campaign report embeds the same registry under "telemetry".
+    telemetry_section = report.get("telemetry")
+    if not telemetry_section or \
+            telemetry_section.get("schema") != "eric.metrics.v1":
+        fail("campaign JSON carries no telemetry section: %r"
+             % type(telemetry_section))
+    if telemetry_section["counters"]["fleet_deliveries"] != \
+            report["deliveries"]:
+        fail("embedded telemetry disagrees with the report: %s != %s" %
+             (telemetry_section["counters"]["fleet_deliveries"],
+              report["deliveries"]))
     return prior
 
 
@@ -375,6 +495,8 @@ def main():
     workdir = tempfile.mkdtemp(prefix="eric-fleetd-resume-")
     try:
         run_scenario("plain campaign", plain_attempt, fleetd, workdir,
+                     DEVICES)
+        run_scenario("telemetry export", metrics_attempt, fleetd, workdir,
                      DEVICES)
         run_scenario("epoch rotation", rotation_attempt, fleetd, workdir,
                      DEVICES // GROUPS)

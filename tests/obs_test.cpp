@@ -1,0 +1,541 @@
+// Observability tests: histogram percentiles against a sorted-vector
+// oracle (property sweep over several duration distributions), the
+// metrics registry hammered from many threads, trace-context
+// propagation through a real faulty-channel campaign, and the snapshot
+// exporter's on-disk artifacts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/deployment_engine.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/bench_json.h"
+
+namespace eric::obs {
+namespace {
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(HistogramTest, EmptySnapshot) {
+  Histogram h;
+  const auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min_us, 0.0);
+  EXPECT_EQ(snap.max_us, 0.0);
+  EXPECT_EQ(snap.Percentile(0.5), 0.0);
+  EXPECT_EQ(snap.Percentile(0.99), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleIsEveryPercentile) {
+  Histogram h;
+  h.Record(123.0);  // microseconds
+  const auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.min_us, 123.0);
+  EXPECT_DOUBLE_EQ(snap.max_us, 123.0);
+  // With min == max the clamp pins every quantile to the sample.
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.0), 123.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.5), 123.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), 123.0);
+}
+
+TEST(HistogramTest, NegativeAndZeroClampToBucketZero) {
+  Histogram h;
+  h.Record(-5.0);
+  h.RecordNanos(0);
+  const auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.max_us, 0.0);
+  EXPECT_EQ(snap.Percentile(0.99), 0.0);
+}
+
+TEST(HistogramTest, BucketIndexIsBitWidthOfNanos) {
+  Histogram h;
+  const uint64_t samples[] = {1, 2, 3, 4, 7, 8, 1023, 1024};
+  for (uint64_t ns : samples) h.RecordNanos(ns);
+  const auto snap = h.Snapshot();
+  std::vector<uint64_t> expected(Histogram::kBuckets, 0);
+  for (uint64_t ns : samples) ++expected[std::bit_width(ns)];
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(snap.buckets[i], expected[i]) << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, BucketUpperBoundsArePowersOfTwo) {
+  // Bucket i's inclusive upper bound is (2^i - 1) ns; spot-check the
+  // microsecond conversion the JSON snapshot publishes.
+  EXPECT_DOUBLE_EQ(HistogramSnapshot::BucketUpperUs(0), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramSnapshot::BucketUpperUs(1), 0.001);
+  EXPECT_DOUBLE_EQ(HistogramSnapshot::BucketUpperUs(11), 2.047);
+}
+
+// Rank-based oracle percentile matching the histogram's convention:
+// rank = ceil(q * count), clamped to [1, count], 1-indexed into the
+// sorted sample list.
+double OraclePercentile(const std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const double rank = std::ceil(q * static_cast<double>(sorted_us.size()));
+  const size_t index = static_cast<size_t>(
+      std::clamp(rank, 1.0, static_cast<double>(sorted_us.size())));
+  return sorted_us[index - 1];
+}
+
+// Power-of-two buckets bound the relative quantile error by 2x: the
+// estimate interpolates inside the bucket that holds the rank-th
+// sample, and a bucket's bounds are within a factor of two.
+void ExpectWithin2x(double estimate, double oracle_us) {
+  EXPECT_GE(estimate, oracle_us / 2.0 - 1e-9);
+  EXPECT_LE(estimate, oracle_us * 2.0 + 1e-9);
+}
+
+TEST(HistogramTest, PercentileSweepAgainstSortedOracle) {
+  std::mt19937_64 rng(0xE41C0BDULL);
+  struct Case {
+    const char* name;
+    std::function<uint64_t()> draw_ns;
+  };
+  std::uniform_int_distribution<uint64_t> uniform(0, 2'000'000);
+  std::uniform_real_distribution<double> log_exp(0.0, 30.0);
+  std::uniform_int_distribution<uint64_t> tiny(0, 3);
+  const Case cases[] = {
+      {"uniform_us", [&] { return uniform(rng); }},
+      {"log_uniform", [&] { return static_cast<uint64_t>(
+                                std::exp2(log_exp(rng))); }},
+      {"mostly_zero", [&] { return tiny(rng) == 0 ? uniform(rng) : 0; }},
+  };
+  const double quantiles[] = {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0};
+
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    Histogram h;
+    std::vector<double> oracle_us;
+    for (int i = 0; i < 5000; ++i) {
+      const uint64_t ns = c.draw_ns();
+      h.RecordNanos(ns);
+      oracle_us.push_back(static_cast<double>(ns) / 1000.0);
+    }
+    std::sort(oracle_us.begin(), oracle_us.end());
+
+    const auto snap = h.Snapshot();
+    ASSERT_EQ(snap.count, oracle_us.size());
+    uint64_t bucket_sum = 0;
+    for (uint64_t b : snap.buckets) bucket_sum += b;
+    EXPECT_EQ(bucket_sum, snap.count);
+    EXPECT_DOUBLE_EQ(snap.min_us, oracle_us.front());
+    EXPECT_DOUBLE_EQ(snap.max_us, oracle_us.back());
+
+    double previous = -1.0;
+    for (double q : quantiles) {
+      SCOPED_TRACE(q);
+      const double estimate = snap.Percentile(q);
+      ExpectWithin2x(estimate, OraclePercentile(oracle_us, q));
+      // Estimates are monotone in q and live inside [min, max].
+      EXPECT_GE(estimate, previous);
+      EXPECT_GE(estimate, snap.min_us);
+      EXPECT_LE(estimate, snap.max_us);
+      previous = estimate;
+    }
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordKeepsInvariants) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      std::mt19937_64 rng(0xBEEF + static_cast<uint64_t>(t));
+      std::uniform_int_distribution<uint64_t> dist(0, 1'000'000);
+      for (int i = 0; i < kPerThread; ++i) h.RecordNanos(dist(rng));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_sum = 0;
+  for (uint64_t b : snap.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, snap.count);
+  EXPECT_LE(snap.min_us, snap.max_us);
+  EXPECT_LE(snap.Percentile(0.5), snap.Percentile(0.99));
+}
+
+// --- Metric names ------------------------------------------------------------
+
+TEST(MetricNameTest, ValidatesShape) {
+  EXPECT_TRUE(IsValidMetricName("fleet_seal_us"));
+  EXPECT_TRUE(IsValidMetricName("a"));
+  EXPECT_TRUE(IsValidMetricName("x9_y"));
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("Fleet_seal"));   // uppercase
+  EXPECT_FALSE(IsValidMetricName("_leading"));     // must start [a-z]
+  EXPECT_FALSE(IsValidMetricName("9lives"));       // leading digit
+  EXPECT_FALSE(IsValidMetricName("dotted.name"));  // no dots
+  EXPECT_FALSE(IsValidMetricName(std::string(121, 'a')));
+  EXPECT_TRUE(IsValidMetricName(std::string(120, 'a')));
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  auto& registry = MetricsRegistry::Global();
+  EXPECT_EQ(&registry.GetCounter("obs_test_identity"),
+            &registry.GetCounter("obs_test_identity"));
+  EXPECT_EQ(&registry.GetHistogram("obs_test_identity_h"),
+            &registry.GetHistogram("obs_test_identity_h"));
+  EXPECT_EQ(&registry.GetGauge("obs_test_identity_g"),
+            &registry.GetGauge("obs_test_identity_g"));
+}
+
+TEST(MetricsRegistryTest, ConcurrentLookupAndRecord) {
+  auto& registry = MetricsRegistry::Global();
+  constexpr int kThreads = 8;
+  constexpr int kOps = 4000;
+  // Fresh names per run: the global registry outlives this test, so the
+  // assertion is over names only this test touches.
+  const std::string prefix = "obs_test_hammer_";
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &prefix] {
+      for (int i = 0; i < kOps; ++i) {
+        // Resolve by name every iteration: the lookup path itself is
+        // what this test hammers (ASan/UBSan cover the map + lock).
+        registry.GetCounter(prefix + std::to_string(i % 5)).Add(1);
+        registry.GetHistogram(prefix + "h").Record(static_cast<double>(i));
+        registry.GetGauge(prefix + "g").Add(i % 2 == 0 ? 1 : -1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  uint64_t total = 0;
+  for (int i = 0; i < 5; ++i) {
+    total += registry.GetCounter(prefix + std::to_string(i)).value();
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(registry.GetHistogram(prefix + "h").count(),
+            static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(registry.GetGauge(prefix + "g").value(), 0);
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotCarriesSchemaAndInstruments) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("obs_test_json_counter").Add(7);
+  registry.GetHistogram("obs_test_json_hist").Record(42.0);
+
+  JsonWriter json;
+  registry.WriteJson(json);
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\"schema\":\"eric.metrics.v1\""), std::string::npos);
+  EXPECT_NE(text.find("\"obs_test_json_counter\""), std::string::npos);
+  EXPECT_NE(text.find("\"obs_test_json_hist\""), std::string::npos);
+  EXPECT_NE(text.find("\"p99_us\""), std::string::npos);
+  // Sequence numbers strictly increase across snapshots.
+  JsonWriter second;
+  registry.WriteJson(second);
+  EXPECT_NE(second.str(), text);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextListsInstruments) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("obs_test_prom_counter").Add(1);
+  registry.GetHistogram("obs_test_prom_hist").Record(10.0);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE obs_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_hist{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_hist_count"), std::string::npos);
+}
+
+// --- Trace collector ---------------------------------------------------------
+
+TEST(TraceTest, SpanIsInertWhenDisabled) {
+  auto& collector = TraceCollector::Global();
+  collector.Disable();
+  (void)collector.Drain();
+  TraceScope scope(collector.BeginTrace(), 0);
+  ScopedSpan span("inert");
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.span_id(), 0u);
+}
+
+TEST(TraceTest, SpanIsInertWithoutThreadContext) {
+  auto& collector = TraceCollector::Global();
+  collector.Enable();
+  (void)collector.Drain();
+  ScopedSpan span("no_context");  // no TraceScope installed
+  EXPECT_FALSE(span.active());
+  collector.Disable();
+  EXPECT_TRUE(collector.Drain().empty());
+}
+
+TEST(TraceTest, NestedSpansFormAParentChain) {
+  auto& collector = TraceCollector::Global();
+  collector.Enable();
+  (void)collector.Drain();
+  const uint64_t trace = collector.BeginTrace();
+
+  uint64_t outer_id = 0;
+  {
+    TraceScope scope(trace, /*parent_span=*/7);
+    ScopedSpan outer("outer");
+    ASSERT_TRUE(outer.active());
+    outer_id = outer.span_id();
+    EXPECT_EQ(CurrentParentSpanId(), outer_id);
+    {
+      ScopedSpan inner("inner");
+      EXPECT_EQ(CurrentParentSpanId(), inner.span_id());
+      inner.set_ok(false);
+    }
+    EXPECT_EQ(CurrentParentSpanId(), outer_id);
+  }
+  EXPECT_EQ(CurrentTraceId(), 0u);  // scope restored
+
+  auto spans = collector.Drain();
+  collector.Disable();
+  ASSERT_EQ(spans.size(), 2u);  // inner emits first (destruction order)
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].parent_id, outer_id);
+  EXPECT_FALSE(spans[0].ok);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent_id, 7u);
+  EXPECT_TRUE(spans[1].ok);
+  for (const auto& span : spans) {
+    EXPECT_EQ(span.trace_id, trace);
+    EXPECT_GE(span.duration_us, 0.0);
+  }
+}
+
+TEST(TraceTest, BufferOverflowDropsAndCounts) {
+  auto& collector = TraceCollector::Global();
+  collector.Enable(/*max_spans=*/2);
+  (void)collector.Drain();
+  const uint64_t dropped_before = collector.spans_dropped();
+  for (int i = 0; i < 5; ++i) {
+    SpanRecord record;
+    record.trace_id = 1;
+    record.span_id = static_cast<uint64_t>(i + 1);
+    record.name = "overflow";
+    collector.Emit(std::move(record));
+  }
+  auto spans = collector.Drain();
+  collector.Disable();
+  EXPECT_EQ(spans.size(), 2u);
+  EXPECT_EQ(collector.spans_dropped() - dropped_before, 3u);
+}
+
+// --- Span propagation through a real campaign --------------------------------
+
+constexpr const char* kTraceProgram = R"(
+  fn main() {
+    var sum = 0;
+    var i = 1;
+    while (i <= 10) { sum = sum + i * i; i = i + 1; }
+    return sum;
+  }
+)";
+
+TEST(TraceCampaignTest, FaultyCampaignSpansReconstructDeliveryTree) {
+  auto& collector = TraceCollector::Global();
+  collector.Enable();
+  (void)collector.Drain();
+
+  fleet::DeviceRegistry registry;
+  const fleet::GroupId group = registry.CreateGroup("traced");
+  std::vector<fleet::DeviceId> devices;
+  for (int i = 0; i < 6; ++i) {
+    auto id = registry.Enroll(0x7A0 + static_cast<uint64_t>(i), group);
+    ASSERT_TRUE(id.ok());
+    devices.push_back(*id);
+  }
+
+  fleet::PackageCache cache;
+  fleet::DeploymentEngine engine(registry, cache);
+  fleet::CampaignConfig config;
+  config.source = kTraceProgram;
+  config.devices = devices;
+  config.workers = 3;
+  config.max_attempts = 4;
+  config.channel.fault = net::ChannelFault::kRandomBitFlips;
+  config.fault_rate = 0.5;
+
+  auto report = engine.Run(config);
+  auto spans = collector.Drain();
+  collector.Disable();
+  ASSERT_TRUE(report.ok());
+  ASSERT_NE(report->trace_id, 0u);
+
+  // Every span belongs to this campaign's trace, with unique ids.
+  std::set<uint64_t> span_ids;
+  for (const auto& span : spans) {
+    EXPECT_EQ(span.trace_id, report->trace_id);
+    EXPECT_TRUE(span_ids.insert(span.span_id).second);
+  }
+
+  auto ids_of = [&](const char* name) {
+    std::set<uint64_t> ids;
+    for (const auto& span : spans) {
+      if (span.name == name) ids.insert(span.span_id);
+    }
+    return ids;
+  };
+  auto spans_of = [&](const char* name) {
+    std::vector<const SpanRecord*> out;
+    for (const auto& span : spans) {
+      if (span.name == name) out.push_back(&span);
+    }
+    return out;
+  };
+
+  // One root: the campaign span, parented at 0.
+  const auto campaigns = spans_of("campaign");
+  ASSERT_EQ(campaigns.size(), 1u);
+  EXPECT_EQ(campaigns[0]->parent_id, 0u);
+  const uint64_t campaign_span = campaigns[0]->span_id;
+
+  // One target span per device, all children of the campaign span.
+  const auto targets = spans_of("target");
+  EXPECT_EQ(targets.size(), devices.size());
+  std::set<uint64_t> target_devices;
+  for (const auto* span : targets) {
+    EXPECT_EQ(span->parent_id, campaign_span);
+    target_devices.insert(span->device);
+  }
+  EXPECT_EQ(target_devices.size(), devices.size());
+
+  // Delivery attempts hang off targets; channel round-trips hang off
+  // delivery attempts. Counts tie back to the campaign report.
+  const auto target_ids = ids_of("target");
+  const auto deliver_spans = spans_of("deliver");
+  EXPECT_EQ(deliver_spans.size(), report->deliveries);
+  size_t failed_attempts = 0;
+  for (const auto* span : deliver_spans) {
+    EXPECT_TRUE(target_ids.count(span->parent_id)) << "orphan deliver span";
+    if (!span->ok) ++failed_attempts;
+  }
+  // Each delivered target's final attempt is its only ok one; failed
+  // targets never produce an ok attempt.
+  EXPECT_EQ(failed_attempts, report->deliveries - report->succeeded);
+
+  const auto deliver_ids = ids_of("deliver");
+  const auto channels = spans_of("channel");
+  EXPECT_EQ(channels.size(), report->deliveries);
+  for (const auto* span : channels) {
+    EXPECT_TRUE(deliver_ids.count(span->parent_id)) << "orphan channel span";
+  }
+
+  // The encrypt-once cache compiles once and seals once (one group, one
+  // key), inside some target's span tree.
+  EXPECT_EQ(spans_of("compile").size(), 1u);
+  EXPECT_EQ(spans_of("seal").size(), 1u);
+
+  // Timing sanity: children start no earlier than the campaign root.
+  for (const auto& span : spans) {
+    if (span.span_id == campaign_span) continue;
+    EXPECT_GE(span.start_us + 1e-3, campaigns[0]->start_us);
+  }
+}
+
+// --- Export ------------------------------------------------------------------
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ExportTest, SnapshotWritesJsonAndPrometheusAtomically) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("obs_test_export_counter").Add(3);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string json_path = dir + "/obs_test_metrics.json";
+  const std::string prom_path = dir + "/obs_test_metrics.prom";
+  ASSERT_TRUE(WriteMetricsSnapshot(json_path, prom_path).ok());
+
+  const std::string json = ReadWholeFile(json_path);
+  EXPECT_NE(json.find("eric.metrics.v1"), std::string::npos);
+  EXPECT_NE(json.find("obs_test_export_counter"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  const std::string prom = ReadWholeFile(prom_path);
+  EXPECT_NE(prom.find("obs_test_export_counter"), std::string::npos);
+  // No leftover temp file: the write is tmp + rename.
+  EXPECT_FALSE(std::ifstream(json_path + ".tmp").good());
+
+  std::remove(json_path.c_str());
+  std::remove(prom_path.c_str());
+}
+
+TEST(ExportTest, SnapshotFailsOnUnwritablePath) {
+  EXPECT_FALSE(
+      WriteMetricsSnapshot("/nonexistent-dir/obs_test/metrics.json").ok());
+}
+
+TEST(ExportTest, TraceJsonlAppendsOneObjectPerSpan) {
+  auto& collector = TraceCollector::Global();
+  collector.Enable();
+  (void)collector.Drain();
+  {
+    TraceScope scope(collector.BeginTrace(), 0);
+    ScopedSpan a("jsonl_a");
+    ScopedSpan b("jsonl_b");
+  }
+  const std::string path = ::testing::TempDir() + "/obs_test_spans.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(collector.AppendJsonl(path).ok());
+  collector.Disable();
+
+  const std::string text = ReadWholeFile(path);
+  size_t lines = 0;
+  for (char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(text.find("\"name\":\"jsonl_a\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"jsonl_b\""), std::string::npos);
+  EXPECT_NE(text.find("\"ok\":true"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ExportTest, ExporterTicksAndFinalFlushes) {
+  auto& registry = MetricsRegistry::Global();
+  auto& ticker = registry.GetCounter("obs_test_exporter_ticks");
+
+  const std::string path = ::testing::TempDir() + "/obs_test_live.json";
+  MetricsExporter exporter;
+  MetricsExporter::Options options;
+  options.json_path = path;
+  options.interval_seconds = 0.01;
+  ASSERT_TRUE(exporter.Start(options).ok());
+  EXPECT_TRUE(exporter.running());
+  // Double start is refused while running.
+  EXPECT_FALSE(exporter.Start(options).ok());
+
+  ticker.Add(41);
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+
+  // The final flush sees everything recorded before Stop().
+  const std::string json = ReadWholeFile(path);
+  EXPECT_NE(json.find("\"obs_test_exporter_ticks\":41"), std::string::npos);
+  std::remove(path.c_str());
+  std::remove((path + ".prom").c_str());
+}
+
+}  // namespace
+}  // namespace eric::obs

@@ -1,10 +1,13 @@
-// Unit tests for the support library: Status/Result, hex, BitVector, RNG.
+// Unit tests for the support library: Status/Result, hex, BitVector, RNG,
+// and the shared JSON string escaper.
 #include <gtest/gtest.h>
 
 #include <set>
 
+#include "support/bench_json.h"
 #include "support/bitvector.h"
 #include "support/hex.h"
+#include "support/json_escape.h"
 #include "support/rng.h"
 #include "support/status.h"
 
@@ -172,6 +175,40 @@ TEST(RngTest, GaussianMomentsReasonable) {
   const double var = sq / n - mean * mean;
   EXPECT_NEAR(mean, 0.0, 0.05);
   EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(JsonEscapeTest, PlainTextPassesThrough) {
+  EXPECT_EQ(JsonQuoted("crc32 workload"), "\"crc32 workload\"");
+  EXPECT_EQ(JsonQuoted(""), "\"\"");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndShortForms) {
+  EXPECT_EQ(JsonQuoted("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(JsonQuoted("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonQuoted("line1\nline2\tend\r\b\f"),
+            "\"line1\\nline2\\tend\\r\\b\\f\"");
+}
+
+TEST(JsonEscapeTest, ControlBytesBecomeUnicodeEscapes) {
+  EXPECT_EQ(JsonQuoted(std::string_view("\x01\x1f", 2)), "\"\\u0001\\u001f\"");
+  // An embedded NUL must escape, not truncate the document.
+  EXPECT_EQ(JsonQuoted(std::string_view("a\0b", 3)), "\"a\\u0000b\"");
+}
+
+TEST(JsonEscapeTest, HighBytesSurviveWithoutSignExtension) {
+  // UTF-8 multibyte sequences (bytes >= 0x80, negative as signed char)
+  // must pass through byte-for-byte — a sign-extended %04x would smear
+  // them into "\uffffffe9"-style garbage.
+  const std::string utf8 = "caf\xc3\xa9";
+  EXPECT_EQ(JsonQuoted(utf8), "\"" + utf8 + "\"");
+}
+
+TEST(JsonEscapeTest, JsonWriterRoutesStringsThroughTheEscaper) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("name", "quote\" and \nnewline");
+  json.EndObject();
+  EXPECT_EQ(json.str(), "{\"name\":\"quote\\\" and \\nnewline\"}");
 }
 
 TEST(RngTest, SplitMix64KnownStream) {

@@ -15,6 +15,8 @@
 //               [--state-dir DIR] [--resume] [--snapshot-every N]
 //               [--rotate-epoch GROUP]
 //               [--delta --base-source FILE | --delta --base-workload NAME]
+//               [--metrics-out FILE] [--metrics-interval SEC]
+//               [--trace-out FILE]
 //               [--json FILE] [--verbose]
 //
 // With no --source/--workload, deploys the crc32 workload. --revoke K
@@ -57,6 +59,15 @@
 // the rotation exactly once at the journaled target epoch — stale-epoch
 // artifacts are never re-delivered (the members' rotated HDEs would
 // reject them anyway).
+//
+// --metrics-out FILE exports the process metrics registry there as a
+// versioned JSON snapshot every --metrics-interval seconds (default 1),
+// written atomically so pollers — and readers that outlive a kill -9 —
+// never see a torn document; FILE.prom carries the same snapshot in
+// Prometheus text format. --trace-out FILE enables campaign tracing and
+// appends one JSON span per line: seal, cache, dispatch, channel, and
+// WAL timings stitched under each campaign's trace id. Every --json
+// report additionally embeds the end-of-run registry under "telemetry".
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -70,6 +81,9 @@
 #include "fleet/campaign_scheduler.h"
 #include "fleet/deployment_engine.h"
 #include "fleet/rotation_campaign.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/record_io.h"
 #include "support/bench_json.h"
 #include "workloads/workloads.h"
@@ -92,7 +106,9 @@ void Usage() {
       "                   [--state-dir DIR] [--resume] [--snapshot-every N]\n"
       "                   [--rotate-epoch GROUP] [--json FILE] [--verbose]\n"
       "                   [--delta --base-source FILE]\n"
-      "                   [--delta --base-workload NAME]\n");
+      "                   [--delta --base-workload NAME]\n"
+      "                   [--metrics-out FILE] [--metrics-interval SEC]\n"
+      "                   [--trace-out FILE]\n");
 }
 
 /// Identity of a campaign for resume matching: FNV-1a over everything
@@ -183,24 +199,38 @@ void WriteCommonJson(JsonWriter& json, const ReportContext& context) {
   json.Field("fleet_devices", context.fleet_devices);
 }
 
+/// End-of-run registry snapshot embedded in every --json report, so one
+/// file carries both the campaign's outcome and the telemetry (latency
+/// histograms, cache/WAL/channel counters) that explains it.
+void WriteTelemetryJson(JsonWriter& json) {
+  json.Key("telemetry");
+  obs::MetricsRegistry::Global().WriteJson(json);
+}
+
 void PrintScheduledReport(const fleet::ScheduledReport& report) {
   for (const auto& wave : report.waves) {
-    std::printf("  wave %zu%s: %zu targets, %zu ok / %zu failed / %zu "
+    std::printf("  wave %zu%s: %llu targets, %llu ok / %llu failed / %llu "
                 "revoked, failure-rate %.2f%s\n",
                 wave.wave_index, wave.canary ? " (canary)" : "",
-                wave.report.targets, wave.report.succeeded,
-                wave.report.failed, wave.report.revoked, wave.failure_rate,
+                static_cast<unsigned long long>(wave.report.targets),
+                static_cast<unsigned long long>(wave.report.succeeded),
+                static_cast<unsigned long long>(wave.report.failed),
+                static_cast<unsigned long long>(wave.report.revoked),
+                wave.failure_rate,
                 wave.gate_breached ? "  << GATE BREACHED" : "");
   }
-  std::printf("\nresult: %s — %zu ok / %zu failed / %zu revoked, "
-              "%zu never dispatched of %zu targets\n",
+  std::printf("\nresult: %s — %llu ok / %llu failed / %llu revoked, "
+              "%llu never dispatched of %llu targets\n",
               std::string(fleet::CampaignOutcomeName(report.outcome)).c_str(),
-              report.succeeded, report.failed, report.revoked,
-              report.never_dispatched, report.targets);
-  std::printf("wire:   %llu deliveries (%llu retries), peak %zu in flight\n",
+              static_cast<unsigned long long>(report.succeeded),
+              static_cast<unsigned long long>(report.failed),
+              static_cast<unsigned long long>(report.revoked),
+              static_cast<unsigned long long>(report.never_dispatched),
+              static_cast<unsigned long long>(report.targets));
+  std::printf("wire:   %llu deliveries (%llu retries), peak %llu in flight\n",
               static_cast<unsigned long long>(report.deliveries),
               static_cast<unsigned long long>(report.retries),
-              report.peak_in_flight);
+              static_cast<unsigned long long>(report.peak_in_flight));
   std::printf("time:   %.1f ms wall\n", report.wall_ms);
 }
 
@@ -227,6 +257,7 @@ void WriteScheduledJson(JsonWriter& json, const fleet::ScheduledReport& report) 
     json.BeginObject();
     json.Field("index", wave.wave_index);
     json.Field("canary", wave.canary);
+    json.Field("trace_id", wave.report.trace_id);
     json.Field("targets", wave.report.targets);
     json.Field("succeeded", wave.report.succeeded);
     json.Field("failed", wave.report.failed);
@@ -286,6 +317,9 @@ int main(int argc, char** argv) {
   // Delta deployment knobs.
   bool delta = false;
   std::string base_source_path, base_workload_name;
+  // Telemetry export knobs (-1: interval not set, derived below).
+  std::string metrics_out, trace_out;
+  double metrics_interval = -1.0;
 
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* name) {
@@ -326,6 +360,9 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--delta") == 0) delta = true;
     else if (arg("--base-source")) base_source_path = argv[++i];
     else if (arg("--base-workload")) base_workload_name = argv[++i];
+    else if (arg("--metrics-out")) metrics_out = argv[++i];
+    else if (arg("--metrics-interval")) metrics_interval = std::atof(argv[++i]);
+    else if (arg("--trace-out")) trace_out = argv[++i];
     else if (arg("--json")) json_path = argv[++i];
     else if (std::strcmp(argv[i], "--verbose") == 0) verbose = true;
     else { Usage(); return 2; }
@@ -360,6 +397,14 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  if (metrics_out.empty() && metrics_interval >= 0) {
+    // An interval with nothing to export would silently measure nothing;
+    // refuse like --resume without --state-dir.
+    std::fprintf(stderr, "--metrics-interval requires --metrics-out FILE\n");
+    Usage();
+    return 2;
+  }
+  if (metrics_interval < 0) metrics_interval = 1.0;
 
   // Program to deploy (and, for --delta, the release it patches from).
   const auto load_program = [](const std::string& path,
@@ -415,6 +460,33 @@ int main(int argc, char** argv) {
   // fault that never fires would silently test nothing.
   if (fault_rate < 0) {
     fault_rate = channel.fault == net::ChannelFault::kNone ? 0.0 : 1.0;
+  }
+
+  // --- Telemetry export -----------------------------------------------------
+  // The exporter starts before the fleet stands up (enrollment gauges are
+  // telemetry too) and its destructor flushes one final snapshot on every
+  // exit path, success or error.
+  if (!trace_out.empty()) obs::TraceCollector::Global().Enable();
+  obs::MetricsExporter exporter;
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    obs::MetricsExporter::Options telemetry;
+    telemetry.json_path = metrics_out;
+    telemetry.trace_path = trace_out;
+    telemetry.interval_seconds = metrics_interval;
+    auto started = exporter.Start(std::move(telemetry));
+    if (!started.ok()) {
+      std::fprintf(stderr, "cannot start telemetry exporter: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    if (!metrics_out.empty()) {
+      std::printf("telemetry: metrics -> %s (+ .prom) every %.2f s%s%s\n",
+                  metrics_out.c_str(), metrics_interval,
+                  trace_out.empty() ? "" : ", spans -> ",
+                  trace_out.c_str());
+    } else {
+      std::printf("telemetry: spans -> %s\n", trace_out.c_str());
+    }
   }
 
   // --- Stand up the fleet ---------------------------------------------------
@@ -658,6 +730,7 @@ int main(int argc, char** argv) {
       json.Field("bytes_full_equivalent", size_t{0});
       json.Field("manifest_current",
                  CountManifestsAt(registry, manifest_targets, target_version));
+      WriteTelemetryJson(json);
       json.EndObject();
       if (!json.WriteFile(json_path.c_str())) {
         std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -747,6 +820,7 @@ int main(int argc, char** argv) {
       json.Field("members_rekeyed", rotated->members_rekeyed);
       json.Field("artifacts_invalidated", rotated->artifacts_invalidated);
       json.EndObject();
+      WriteTelemetryJson(json);
       json.EndObject();
       if (!json.WriteFile(json_path.c_str())) {
         std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -848,6 +922,7 @@ int main(int argc, char** argv) {
       json.Field("delta", delta);
       json.Field("manifest_current",
                  CountManifestsAt(registry, manifest_targets, target_version));
+      WriteTelemetryJson(json);
       json.EndObject();
       if (!json.WriteFile(json_path.c_str())) {
         std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -897,9 +972,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\nresult: %zu ok / %zu failed / %zu revoked of %zu targets\n",
-              report->succeeded, report->failed, report->revoked,
-              report->targets);
+  std::printf("\nresult: %llu ok / %llu failed / %llu revoked of %llu "
+              "targets\n",
+              static_cast<unsigned long long>(report->succeeded),
+              static_cast<unsigned long long>(report->failed),
+              static_cast<unsigned long long>(report->revoked),
+              static_cast<unsigned long long>(report->targets));
   std::printf("wire:   %llu deliveries (%llu retries)\n",
               static_cast<unsigned long long>(report->deliveries),
               static_cast<unsigned long long>(report->retries));
@@ -957,6 +1035,8 @@ int main(int argc, char** argv) {
     json.Field("manifest_update_failures", report->manifest_update_failures);
     json.Field("manifest_current",
                CountManifestsAt(registry, manifest_targets, target_version));
+    json.Field("trace_id", report->trace_id);
+    WriteTelemetryJson(json);
     json.EndObject();
     if (!json.WriteFile(json_path.c_str())) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Schema validator for eric.metrics.v1 snapshots.
+
+Validates a metrics snapshot written by `eric_fleetd --metrics-out` (or
+the `telemetry` section of a campaign report): the document must parse,
+carry the right schema tag, and every counter, gauge, and histogram
+must satisfy the invariants the exporter promises — snake_case names,
+non-negative integer counters, ordered percentiles bounded by min/max,
+and sparse bucket lists whose counts sum exactly to the histogram
+count. CI runs this against a live snapshot from a real campaign so a
+malformed exporter fails the build, not a dashboard at 3am.
+
+Usage:
+  validate_metrics.py SNAPSHOT.json [more.json ...]
+      [--require-counter NAME ...] [--require-histogram NAME ...]
+
+A file whose top level is a campaign report (has a "telemetry" key) is
+validated on that section, so both `--metrics-out` snapshots and
+`--json` reports are accepted.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+SCHEMA = "eric.metrics.v1"
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+# Accumulated problems for the file currently being validated.
+_problems = []
+
+
+def problem(msg):
+    _problems.append(msg)
+
+
+def check_name(kind, name):
+    if not NAME_RE.match(name):
+        problem(f"{kind} {name!r}: name is not snake_case")
+
+
+def is_int(value):
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def is_num(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_counters(counters):
+    if not isinstance(counters, dict):
+        problem("'counters' is not an object")
+        return
+    for name, value in counters.items():
+        check_name("counter", name)
+        if not is_int(value) or value < 0:
+            problem(f"counter {name!r}: value {value!r} is not a "
+                    "non-negative integer")
+
+
+def validate_gauges(gauges):
+    if not isinstance(gauges, dict):
+        problem("'gauges' is not an object")
+        return
+    for name, value in gauges.items():
+        check_name("gauge", name)
+        if not is_num(value):
+            problem(f"gauge {name!r}: value {value!r} is not numeric")
+
+
+def validate_histogram(name, hist):
+    check_name("histogram", name)
+    if not isinstance(hist, dict):
+        problem(f"histogram {name!r}: not an object")
+        return
+    for field in ("count", "sum_us", "min_us", "max_us",
+                  "p50_us", "p95_us", "p99_us", "buckets"):
+        if field not in hist:
+            problem(f"histogram {name!r}: missing field {field!r}")
+            return
+    count = hist["count"]
+    if not is_int(count) or count < 0:
+        problem(f"histogram {name!r}: count {count!r} is not a "
+                "non-negative integer")
+        return
+    buckets = hist["buckets"]
+    if not isinstance(buckets, list):
+        problem(f"histogram {name!r}: 'buckets' is not a list")
+        return
+    bucket_total = 0
+    prev_upper = -1.0
+    for entry in buckets:
+        if (not isinstance(entry, list) or len(entry) != 2
+                or not is_num(entry[0]) or not is_int(entry[1])):
+            problem(f"histogram {name!r}: bucket {entry!r} is not an "
+                    "[upper_us, count] pair")
+            return
+        upper, n = entry
+        if upper <= prev_upper:
+            problem(f"histogram {name!r}: bucket bounds not strictly "
+                    f"increasing at {upper}")
+        if n <= 0:
+            problem(f"histogram {name!r}: sparse bucket with "
+                    f"non-positive count {n}")
+        prev_upper = upper
+        bucket_total += n
+    if bucket_total != count:
+        problem(f"histogram {name!r}: bucket counts sum to "
+                f"{bucket_total}, histogram count is {count}")
+    if count == 0:
+        return
+    lo, p50, p95, p99, hi = (hist["min_us"], hist["p50_us"],
+                             hist["p95_us"], hist["p99_us"],
+                             hist["max_us"])
+    if not all(is_num(v) for v in (lo, p50, p95, p99, hi)):
+        problem(f"histogram {name!r}: non-numeric summary field")
+        return
+    eps = 1e-9
+    if not (0 <= lo <= p50 + eps and p50 <= p95 + eps
+            and p95 <= p99 + eps and p99 <= hi + eps):
+        problem(f"histogram {name!r}: percentiles out of order: "
+                f"min {lo} p50 {p50} p95 {p95} p99 {p99} max {hi}")
+    if not is_num(hist["sum_us"]) or hist["sum_us"] + eps < lo * count:
+        problem(f"histogram {name!r}: sum_us {hist['sum_us']!r} is "
+                f"below min_us * count")
+
+
+def validate_snapshot(doc, require_counters, require_histograms):
+    if not isinstance(doc, dict):
+        problem("top level is not an object")
+        return
+    if doc.get("schema") != SCHEMA:
+        problem(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if not is_int(doc.get("sequence")) or doc["sequence"] < 1:
+        problem("'sequence' is not a positive integer")
+    if not is_num(doc.get("uptime_us")) or doc["uptime_us"] < 0:
+        problem("'uptime_us' is not a non-negative number")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc:
+            problem(f"missing section {section!r}")
+            return
+    validate_counters(doc["counters"])
+    validate_gauges(doc["gauges"])
+    for name, hist in doc["histograms"].items():
+        validate_histogram(name, hist)
+    for name in require_counters:
+        if name not in doc["counters"]:
+            problem(f"required counter {name!r} is absent")
+    for name in require_histograms:
+        hist = doc["histograms"].get(name)
+        if hist is None:
+            problem(f"required histogram {name!r} is absent")
+        elif hist.get("count") == 0:
+            problem(f"required histogram {name!r} has no samples")
+
+
+def validate_file(path, require_counters, require_histograms):
+    global _problems
+    _problems = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as err:
+        return [f"cannot read: {err}"]
+    except json.JSONDecodeError as err:
+        return [f"not valid JSON (torn write?): {err}"]
+    if isinstance(doc, dict) and "telemetry" in doc:
+        doc = doc["telemetry"]  # campaign report: validate its section
+    validate_snapshot(doc, require_counters, require_histograms)
+    return _problems
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="validate eric.metrics.v1 snapshots")
+    parser.add_argument("files", nargs="+", help="snapshot or report JSON")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless this counter is present")
+    parser.add_argument("--require-histogram", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless this histogram has samples")
+    args = parser.parse_args()
+
+    failed = False
+    for path in args.files:
+        problems = validate_file(path, args.require_counter,
+                                 args.require_histogram)
+        if problems:
+            failed = True
+            print(f"FAIL {path}")
+            for msg in problems:
+                print(f"  - {msg}")
+        else:
+            print(f"ok   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
