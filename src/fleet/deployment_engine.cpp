@@ -250,6 +250,10 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
   // delivery ordinal, ships `payload`, and dispatches it in the form it
   // was sealed as.
   uint32_t delivery_index = 0;
+  // Out-state of the most recent delivery's agent apply: the retry loop
+  // distinguishes "the delivery never became an image" from "the image
+  // applied and the device's health check vetoed it".
+  bool last_health_failed = false;
   const auto deliver_once = [&](const CachedArtifact& payload,
                                 bool as_delta) -> Result<core::TrustedRunResult> {
     // One attempt = one "deliver" span (channel transit + latency sleep
@@ -277,11 +281,17 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
                                  std::memory_order_relaxed);
     (as_delta ? memo.delta_deliveries : memo.full_deliveries)
         .fetch_add(1, std::memory_order_relaxed);
+    DispatchMeta meta;
+    meta.version = memo.target_version;
+    meta.key_fingerprint = artifact_entry->key_fingerprint;
     Result<core::TrustedRunResult> run =
         as_delta ? registry_.DispatchDelta(device, delivered, config.arg0,
-                                           config.arg1)
+                                           config.arg1, &meta)
                  : registry_.Dispatch(device, delivered, config.arg0,
-                                      config.arg1);
+                                      config.arg1, &meta);
+    outcome.rolled_back |= meta.rolled_back;
+    outcome.health_failed |= meta.health_failed;
+    last_health_failed = meta.health_failed;
     EngineMetrics::Get().delivery_us.Record(MicrosecondsSince(attempt_start));
     span.set_ok(run.ok());
     return run;
@@ -315,14 +325,21 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
                             use_delta);
     bool fallback_refused = false;
     if (use_delta && !run.ok() &&
-        run.status().code() == ErrorCode::kCorruptPackage) {
+        (run.status().code() == ErrorCode::kCorruptPackage ||
+         last_health_failed)) {
       // The patch failed closed (corrupted in flight, or the device's
       // retained base is not what the manifest promised — the wrong-base
-      // CRC catches both). The fallback protocol ships the full package
-      // immediately — without consuming the retry budget, but under its
-      // own governor admission: it is a second wire delivery, and the
-      // rate/budget contracts are per delivery. This target stays on
-      // full packages for any further retries.
+      // CRC catches both), OR it applied cleanly and the device's
+      // post-apply health check vetoed it (the agent already rolled back
+      // to the previous slot). Either way the delta is a dead end for
+      // this target: a health failure after a byte-exact reconstruction
+      // reproduces deterministically, so retrying the same patch burns
+      // budget for nothing. The fallback protocol ships the full package
+      // immediately — without consuming the retry budget (the same rule
+      // for both failure shapes), but under its own governor admission:
+      // it is a second wire delivery, and the rate/budget contracts are
+      // per delivery. This target stays on full packages for any further
+      // retries.
       outcome.delta_fallback = true;
       use_delta = false;
       if (config.governor != nullptr) {
@@ -494,6 +511,8 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
     report.retries += outcome.attempts > 0 ? outcome.attempts - 1 : 0;
     report.total_device_cycles += outcome.device_cycles;
     if (outcome.delta_fallback) ++report.delta_fallbacks;
+    if (outcome.rolled_back) ++report.rollbacks;
+    if (outcome.health_failed) ++report.health_failures;
     if (outcome.attempts > 0) {
       ++delivered_to;
       report.mean_latency_us += outcome.latency_us;

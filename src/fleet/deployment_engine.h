@@ -98,8 +98,16 @@ struct DeviceOutcome {
   /// package, and for failed targets).
   bool delta = false;
   /// A delta delivery failed closed (corrupt patch, wrong or missing
-  /// base) and the engine fell back to full packages for this target.
+  /// base) or was vetoed post-apply by the device's health check, and
+  /// the engine fell back to full packages for this target.
   bool delta_fallback = false;
+  /// The device's update agent rolled a flip back at least once while
+  /// serving this target (health-check failure, or an apply interrupted
+  /// by a crash and recovered).
+  bool rolled_back = false;
+  /// At least one delivery cleared stage/verify/flip and was then
+  /// rejected by the post-apply health check.
+  bool health_failed = false;
   /// Wire bytes put on the channel for this target, summed over
   /// attempts (pre-fault sizes; what the delta path is minimizing).
   uint64_t bytes_shipped = 0;
@@ -143,6 +151,11 @@ struct CampaignReport {
   /// durable (the delivery itself stands; the device simply gets a full
   /// package next campaign).
   uint64_t manifest_update_failures = 0;
+  /// Targets whose device agent rolled back at least one flip (health
+  /// failure or crash-recovered apply).
+  uint64_t rollbacks = 0;
+  /// Targets that saw at least one post-apply health-check rejection.
+  uint64_t health_failures = 0;
 
   double wall_ms = 0;             ///< campaign wall time
   double devices_per_second = 0;  ///< targets / wall time

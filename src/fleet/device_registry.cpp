@@ -191,6 +191,31 @@ Status DeviceRegistry::ApplyEnroll(DeviceId id, uint64_t device_seed,
     record->deployment_key = device_key;
   }
 
+  // The device's update agent. With storage attached its slot manifest
+  // lives under <state_dir>/agent/, so re-enrolling the id during
+  // recovery replay re-opens whatever slots the device durably held —
+  // delta bases survive the restart. A damaged manifest costs exactly
+  // the slots (the device falls back to full deliveries), never the
+  // enrollment: torn mid-apply manifests are not damage (Recover rolls
+  // them back), a CRC-invalid file is, and is abandoned fail-closed.
+  std::string manifest_path;
+  if (!agent_dir_.empty()) {
+    manifest_path = agent_dir_ + "/slots-" + std::to_string(id) + ".bin";
+  }
+  record->agent = std::make_unique<agent::UpdateAgent>(id, manifest_path);
+  record->agent->SetCrashInjection(
+      agent_crash_rate_.load(std::memory_order_relaxed),
+      agent_crash_seed_.load(std::memory_order_relaxed));
+  if (!manifest_path.empty()) {
+    Status recovered = record->agent->Recover();
+    if (!recovered.ok()) {
+      static auto& agent_resets =
+          obs::MetricsRegistry::Global().GetCounter("agent_manifest_resets");
+      agent_resets.Add(1);
+      record->agent = std::make_unique<agent::UpdateAgent>(id, manifest_path);
+    }
+  }
+
   {
     Shard& shard = ShardFor(id);
     std::unique_lock lock(shard.mutex);
@@ -543,66 +568,169 @@ std::vector<DeviceId> DeviceRegistry::AllDevices() const {
   return ids;
 }
 
-Result<core::TrustedRunResult> DeviceRegistry::Dispatch(
-    DeviceId id, std::span<const uint8_t> wire_bytes, uint64_t arg0,
-    uint64_t arg1) {
+Result<DeviceRegistry::DeviceRecord*> DeviceRegistry::DispatchableRecord(
+    DeviceId id) {
   // Records are never erased (revocation is a soft delete), so the
   // pointer stays valid after the shard lock drops; only the endpoint
   // mutex is held for the (long) device run.
-  DeviceRecord* record = nullptr;
-  {
-    Shard& shard = ShardFor(id);
-    std::shared_lock lock(shard.mutex);
-    auto it = shard.records.find(id);
-    if (it == shard.records.end()) {
-      return Status(ErrorCode::kNotFound, "unknown device");
-    }
-    if (it->second->info.status == DeviceStatus::kRevoked) {
-      return Status(ErrorCode::kFailedPrecondition, "device revoked");
-    }
-    record = it->second.get();
+  Shard& shard = ShardFor(id);
+  std::shared_lock lock(shard.mutex);
+  auto it = shard.records.find(id);
+  if (it == shard.records.end()) {
+    return Status(ErrorCode::kNotFound, "unknown device");
   }
-  std::lock_guard endpoint_lock(record->endpoint_mutex);
-  auto run = record->endpoint->ReceiveAndRun(wire_bytes, arg0, arg1);
-  if (run.ok()) {
-    // The device keeps the image it accepted — the base a later delta
-    // delivery patches. A rejected delivery leaves the old base intact.
-    record->retained_wire.assign(wire_bytes.begin(), wire_bytes.end());
+  if (it->second->info.status == DeviceStatus::kRevoked) {
+    return Status(ErrorCode::kFailedPrecondition, "device revoked");
   }
+  return it->second.get();
+}
+
+Result<DeviceRegistry::DeviceRecord*> DeviceRegistry::AnyRecord(DeviceId id) {
+  Shard& shard = ShardFor(id);
+  std::shared_lock lock(shard.mutex);
+  auto it = shard.records.find(id);
+  if (it == shard.records.end()) {
+    return Status(ErrorCode::kNotFound, "unknown device");
+  }
+  return it->second.get();
+}
+
+Result<core::TrustedRunResult> DeviceRegistry::AgentApplyLocked(
+    DeviceRecord& record, std::span<const uint8_t> image, uint64_t arg0,
+    uint64_t arg1, DispatchMeta* meta) {
+  agent::UpdateAgent& agent = *record.agent;
+  const agent::AgentCounters before = agent.state().counters;
+
+  // The health check IS the delivery's run: HDE validation plus a short
+  // sim execution of the just-flipped image. Its result is captured so
+  // a healthy apply reports the run the caller expects.
+  Result<core::TrustedRunResult> run =
+      Status(ErrorCode::kInternal, "health check never ran");
+  const agent::UpdateAgent::HealthCheck health =
+      [&](std::span<const uint8_t> booted) -> Status {
+    auto executed = record.endpoint->ReceiveAndRun(booted, arg0, arg1);
+    if (!executed.ok()) return executed.status();
+    run = std::move(executed);
+    return Status::Ok();
+  };
+
+  Status applied =
+      agent.Apply(image, meta != nullptr ? meta->version : 0,
+                  meta != nullptr ? meta->key_fingerprint
+                                  : crypto::Sha256Digest{},
+                  health);
+  if (meta != nullptr) {
+    const agent::AgentCounters after = agent.state().counters;
+    meta->rolled_back = after.rollbacks > before.rollbacks;
+    meta->health_failed = after.health_failures > before.health_failures;
+    meta->crash_recovered = after.crash_recoveries > before.crash_recoveries;
+  }
+  if (!applied.ok()) return applied;
   return run;
+}
+
+Result<core::TrustedRunResult> DeviceRegistry::Dispatch(
+    DeviceId id, std::span<const uint8_t> wire_bytes, uint64_t arg0,
+    uint64_t arg1, DispatchMeta* meta) {
+  auto record = DispatchableRecord(id);
+  if (!record.ok()) return record.status();
+  std::lock_guard endpoint_lock((*record)->endpoint_mutex);
+  return AgentApplyLocked(**record, wire_bytes, arg0, arg1, meta);
 }
 
 Result<core::TrustedRunResult> DeviceRegistry::DispatchDelta(
     DeviceId id, std::span<const uint8_t> delta_bytes, uint64_t arg0,
-    uint64_t arg1) {
-  DeviceRecord* record = nullptr;
-  {
-    Shard& shard = ShardFor(id);
-    std::shared_lock lock(shard.mutex);
-    auto it = shard.records.find(id);
-    if (it == shard.records.end()) {
-      return Status(ErrorCode::kNotFound, "unknown device");
-    }
-    if (it->second->info.status == DeviceStatus::kRevoked) {
-      return Status(ErrorCode::kFailedPrecondition, "device revoked");
-    }
-    record = it->second.get();
+    uint64_t arg1, DispatchMeta* meta) {
+  auto record = DispatchableRecord(id);
+  if (!record.ok()) return record.status();
+  std::lock_guard endpoint_lock((*record)->endpoint_mutex);
+  agent::UpdateAgent& agent = *(*record)->agent;
+  // A crashed apply must roll back before the base is read, or the
+  // patch would target an unproven image the recovery is about to undo.
+  if (agent.NeedsRecovery()) {
+    ERIC_RETURN_IF_ERROR(agent.Recover());
+    if (meta != nullptr) meta->crash_recovered = true;
   }
-  std::lock_guard endpoint_lock(record->endpoint_mutex);
-  if (record->retained_wire.empty()) {
+  std::span<const uint8_t> base = agent.active_image();
+  if (base.empty()) {
     // Same code as a corrupt patch: either way the device cannot turn
     // this delta into a runnable image, and the sender must fall back
     // to a full package.
     return Status(ErrorCode::kCorruptPackage,
                   "device retains no base image to patch");
   }
-  auto patched = pkg::ApplyDelta(record->retained_wire, delta_bytes);
+  auto patched = pkg::ApplyDelta(base, delta_bytes);
   if (!patched.ok()) return patched.status();
-  auto run = record->endpoint->ReceiveAndRun(*patched, arg0, arg1);
-  if (run.ok()) {
-    record->retained_wire = std::move(*patched);
+  return AgentApplyLocked(**record, *patched, arg0, arg1, meta);
+}
+
+Result<AgentInspection> DeviceRegistry::InspectAgent(DeviceId id) {
+  auto record = AnyRecord(id);
+  if (!record.ok()) return record.status();
+  std::lock_guard endpoint_lock((*record)->endpoint_mutex);
+  AgentInspection inspection;
+  inspection.state = (*record)->agent->state();
+  inspection.active_crc_valid = (*record)->agent->ActiveCrcValid();
+  return inspection;
+}
+
+Status DeviceRegistry::RecoverAgent(DeviceId id) {
+  auto record = AnyRecord(id);
+  if (!record.ok()) return record.status();
+  std::lock_guard endpoint_lock((*record)->endpoint_mutex);
+  return (*record)->agent->Recover();
+}
+
+Result<core::TrustedRunResult> DeviceRegistry::RunActiveSlot(DeviceId id,
+                                                             uint64_t arg0,
+                                                             uint64_t arg1) {
+  auto record = AnyRecord(id);
+  if (!record.ok()) return record.status();
+  std::lock_guard endpoint_lock((*record)->endpoint_mutex);
+  agent::UpdateAgent& agent = *(*record)->agent;
+  if (agent.NeedsRecovery()) {
+    ERIC_RETURN_IF_ERROR(agent.Recover());
   }
-  return run;
+  std::span<const uint8_t> image = agent.active_image();
+  if (image.empty()) {
+    return Status(ErrorCode::kFailedPrecondition, "no active slot");
+  }
+  return (*record)->endpoint->ReceiveAndRun(image, arg0, arg1);
+}
+
+Status DeviceRegistry::ArmAgentHealthFailures(DeviceId id, uint32_t count) {
+  auto record = AnyRecord(id);
+  if (!record.ok()) return record.status();
+  std::lock_guard endpoint_lock((*record)->endpoint_mutex);
+  (*record)->agent->ArmHealthFailures(count);
+  return Status::Ok();
+}
+
+Status DeviceRegistry::ArmAgentCrash(DeviceId id, agent::CrashPoint point) {
+  auto record = AnyRecord(id);
+  if (!record.ok()) return record.status();
+  std::lock_guard endpoint_lock((*record)->endpoint_mutex);
+  (*record)->agent->ArmCrash(point);
+  return Status::Ok();
+}
+
+void DeviceRegistry::SetAgentCrashInjection(double rate, uint64_t seed) {
+  agent_crash_rate_.store(rate, std::memory_order_relaxed);
+  agent_crash_seed_.store(seed, std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::vector<DeviceRecord*> records;
+    {
+      std::shared_lock lock(shard->mutex);
+      records.reserve(shard->records.size());
+      for (const auto& [id, record] : shard->records) {
+        records.push_back(record.get());
+      }
+    }
+    for (DeviceRecord* record : records) {
+      std::lock_guard endpoint_lock(record->endpoint_mutex);
+      record->agent->SetCrashInjection(rate, seed);
+    }
+  }
 }
 
 Result<DeliveryManifest> DeviceRegistry::DeliveredVersion(DeviceId id) const {
@@ -724,6 +852,18 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
   if (ec) {
     return Status(ErrorCode::kInternal,
                   "cannot create state dir " + state_dir + ": " + ec.message());
+  }
+
+  // Device agents persist slot manifests here; the directory must exist
+  // (and the member be set) before replay re-enrolls the first device,
+  // because ApplyEnroll re-opens each device's manifest — that is how
+  // delta bases survive a restart.
+  agent_dir_ = state_dir + "/agent";
+  std::filesystem::create_directories(agent_dir_, ec);
+  if (ec) {
+    agent_dir_.clear();
+    return Status(ErrorCode::kInternal, "cannot create agent dir under " +
+                                            state_dir + ": " + ec.message());
   }
 
   auto storage = std::make_unique<Storage>();
@@ -1005,6 +1145,7 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
     epochs_.Reset();
     next_group_id_ = 1;
     next_device_id_.store(1, std::memory_order_relaxed);
+    agent_dir_.clear();  // agents go memory-only until a retry succeeds
     return recovery;
   }
 

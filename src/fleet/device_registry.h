@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "agent/update_agent.h"
 #include "core/group_key.h"
 #include "core/trusted_execution.h"
 #include "crypto/epoch_manager.h"
@@ -77,6 +78,39 @@ struct DeliveryManifest {
   /// SHA-256 fingerprint of the deployment key the build was sealed
   /// under when it was delivered.
   crypto::Sha256Digest key_fingerprint{};
+};
+
+/// Per-dispatch metadata between the deployment engine and the device's
+/// update agent. The in-fields label the delivered image in the agent's
+/// slot manifest; the out-fields report what the agent's state machine
+/// did, so the engine can account rollbacks and apply the delta
+/// fallback's retry-budget rule to post-delivery health failures.
+struct DispatchMeta {
+  // -- in --
+  /// Program-version fingerprint of the delivered build (0 when the
+  /// caller does not track versions; the slot still records the image).
+  uint64_t version = 0;
+  /// SHA-256 fingerprint of the sealing key the image was built under.
+  crypto::Sha256Digest key_fingerprint{};
+  // -- out --
+  /// The agent undid a flip (post-apply health failure, or a crashed
+  /// apply rolled back during recovery).
+  bool rolled_back = false;
+  /// The post-apply health check rejected the image after a clean
+  /// stage/verify/flip — the delivery itself succeeded.
+  bool health_failed = false;
+  /// An apply interrupted by an (injected or real) crash was recovered
+  /// before this dispatch proceeded.
+  bool crash_recovered = false;
+};
+
+/// One device's agent state plus the recomputed active-slot CRC verdict —
+/// what the chaos soak's joint-invariant sweep asserts per device.
+struct AgentInspection {
+  agent::AgentState state;
+  /// Active slot bytes re-hashed now and compared against the manifest
+  /// CRC (vacuously true when no slot is active: no image ≠ torn image).
+  bool active_crc_valid = true;
 };
 
 /// Everything a software source needs to seal a package for one device:
@@ -251,27 +285,65 @@ class DeviceRegistry {
   /// the order a recovered fleet reconstructs campaigns against.
   std::vector<DeviceId> AllDevices() const;
 
-  /// Delivers wire bytes to the device endpoint (HDE validation + run).
-  /// Fails with kFailedPrecondition for revoked devices. On a successful
-  /// run the device retains the delivered image as its on-device base
-  /// for future delta deliveries.
+  /// Delivers wire bytes to the device's update agent, which applies
+  /// them through its staged A/B-slot state machine: stage into the
+  /// inactive slot, verify CRC, flip the active slot, then health-check
+  /// via the endpoint (HDE validation + a short sim run). A failed
+  /// health check rolls back to the previous slot automatically. Fails
+  /// with kFailedPrecondition for revoked devices. On success the
+  /// active slot holds the delivered image — durably, when storage is
+  /// attached — as the base for future delta deliveries.
   Result<core::TrustedRunResult> Dispatch(DeviceId id,
                                           std::span<const uint8_t> wire_bytes,
                                           uint64_t arg0 = 0,
-                                          uint64_t arg1 = 0);
+                                          uint64_t arg1 = 0,
+                                          DispatchMeta* meta = nullptr);
 
-  /// Delivers a delta package: the device applies `delta_bytes` to the
-  /// image it retained from its last successful dispatch, then validates
-  /// and runs the patched image exactly as a full delivery. Fails closed
-  /// with kCorruptPackage — no partial image, nothing executed — when
-  /// the device retains no base image (fresh enrollment, or a daemon
-  /// restart: retained images are in-memory only), when the delta's
-  /// base CRC does not match the retained image (the patch was computed
-  /// against a different version), or when the delta itself is corrupt.
-  /// The retained image advances only on a successful run.
+  /// Delivers a delta package: the device applies `delta_bytes` to its
+  /// agent's active slot image, then stages/verifies/flips/health-checks
+  /// the patched image exactly as a full delivery. Fails closed with
+  /// kCorruptPackage — no partial image, nothing executed — when the
+  /// agent holds no active slot (fresh enrollment, or a device whose
+  /// slot manifest was lost), when the delta's base CRC does not match
+  /// the active image (the patch was computed against a different
+  /// version), or when the delta itself is corrupt. The active slot
+  /// advances only on a successful run; with storage attached it is
+  /// persisted in the slot manifest, so delta bases survive daemon
+  /// restarts.
   Result<core::TrustedRunResult> DispatchDelta(
       DeviceId id, std::span<const uint8_t> delta_bytes, uint64_t arg0 = 0,
-      uint64_t arg1 = 0);
+      uint64_t arg1 = 0, DispatchMeta* meta = nullptr);
+
+  /// The device agent's slot state plus a fresh active-slot CRC check.
+  /// Works on revoked devices too (an invariant sweep inspects the whole
+  /// fleet). kNotFound for unknown ids.
+  Result<AgentInspection> InspectAgent(DeviceId id);
+
+  /// Completes whatever apply a crash interrupted on the device's agent
+  /// (rolling back an unconfirmed flip) and persists the result.
+  /// Idempotent; works on revoked devices. kNotFound for unknown ids.
+  Status RecoverAgent(DeviceId id);
+
+  /// Re-runs the active slot's image through the device endpoint without
+  /// touching the slots — the "every rollback leaves a runnable slot"
+  /// probe. kFailedPrecondition when no slot is active; a stale-epoch
+  /// image fails here exactly as it would on a real boot (HDE rejects).
+  /// Works on revoked devices (inspection, not delivery).
+  Result<core::TrustedRunResult> RunActiveSlot(DeviceId id, uint64_t arg0 = 0,
+                                               uint64_t arg1 = 0);
+
+  /// Test/soak hook: the device's agent fails its next `count` health
+  /// checks (a device that boots the update and fails self-test).
+  Status ArmAgentHealthFailures(DeviceId id, uint32_t count);
+
+  /// Test/soak hook: the device's agent simulates a one-shot power cut
+  /// at `point` during its next apply.
+  Status ArmAgentCrash(DeviceId id, agent::CrashPoint point);
+
+  /// Chaos-soak hook: every device agent (current and future enrolls)
+  /// draws a crash-mid-apply with probability `rate` per apply, seeded
+  /// deterministically from `seed` and the device id.
+  void SetAgentCrashInjection(double rate, uint64_t seed);
 
   /// The device's delivery manifest. kNotFound for unknown ids;
   /// kFailedPrecondition when nothing was ever recorded for the device.
@@ -330,11 +402,12 @@ class DeviceRegistry {
     /// processes one package at a time).
     std::mutex endpoint_mutex;
     std::unique_ptr<core::TrustedDevice> endpoint;
-    /// The wire image of the last successfully run delivery — the
-    /// device-side base a delta delivery patches. Guarded by
-    /// endpoint_mutex; in-memory only (a restarted daemon's devices
-    /// hold no base, and delta campaigns fall back to full packages).
-    std::vector<uint8_t> retained_wire;
+    /// The device-side update agent: A/B slots, staged apply, rollback.
+    /// Its active slot is the base a delta delivery patches. Guarded by
+    /// endpoint_mutex; when registry storage is attached the agent
+    /// persists its slot manifest under <state_dir>/agent/, so the base
+    /// survives daemon restarts.
+    std::unique_ptr<agent::UpdateAgent> agent;
   };
 
   struct Shard {
@@ -350,6 +423,18 @@ class DeviceRegistry {
 
   /// Durable-state bundle, allocated by OpenStorage.
   struct Storage;
+
+  /// Looks up a live (non-revoked) record for dispatch. Records are
+  /// never erased, so the pointer survives the shard-lock drop.
+  Result<DeviceRecord*> DispatchableRecord(DeviceId id);
+  /// Looks up any record (revoked included) for agent inspection.
+  Result<DeviceRecord*> AnyRecord(DeviceId id);
+  /// Runs one staged agent apply on a record whose endpoint mutex the
+  /// caller holds: recovery of an interrupted apply, the agent state
+  /// machine, and the endpoint health run. Fills `meta` out-fields.
+  Result<core::TrustedRunResult> AgentApplyLocked(
+      DeviceRecord& record, std::span<const uint8_t> image, uint64_t arg0,
+      uint64_t arg1, DispatchMeta* meta);
 
   Shard& ShardFor(DeviceId id) { return *shards_[ShardIndex(id)]; }
   const Shard& ShardFor(DeviceId id) const { return *shards_[ShardIndex(id)]; }
@@ -421,6 +506,14 @@ class DeviceRegistry {
   GroupId next_group_id_ = 1;
 
   std::atomic<DeviceId> next_device_id_{1};
+
+  /// Directory device agents persist slot manifests under (set by
+  /// OpenStorage before any record replays; empty = memory-only agents).
+  std::string agent_dir_;
+  /// Chaos-soak crash injection applied to every agent (see
+  /// SetAgentCrashInjection); read at enrollment.
+  std::atomic<double> agent_crash_rate_{0};
+  std::atomic<uint64_t> agent_crash_seed_{0};
 
   std::unique_ptr<Storage> storage_;
 };

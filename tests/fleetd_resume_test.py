@@ -26,11 +26,24 @@ Delta campaign:
   2. start the v2 --delta campaign, kill -9 mid-campaign
   3. restart with --resume --delta and assert exactly-once completion
      and that EVERY device's manifest reads v2 (manifest_current in the
-     JSON). The restarted daemon's simulated devices retain no base
-     image, so each remaining target's delta delivery fails closed and
-     is resolved by the engine's full-package fallback — deliveries per
-     target land between 1 (manifest already at v2: straight full) and
-     2 (delta attempt + fallback), never more.
+     JSON). Device base images live in durable slot manifests, so the
+     restarted daemon patches remaining targets with REAL deltas: at
+     most one device (the one in the kill window whose manifest had
+     already advanced to v2) ships a full package instead, and at most
+     one rolls through the delta fallback — never the whole fleet.
+
+Chaos soak:
+  1. start the seeded short-profile --soak (enroll/revoke churn,
+     concurrent rotation + delta campaigns, channel faults, agent
+     crash-mid-apply), kill -9 once every device has a durable slot
+     manifest and the harness is mid-storm
+  2. rerun the same soak over the surviving state dir and assert it
+     converges: exit 0, "soak: PASS", zero invariant violations in the
+     JSON report
+  3. parse every agent slot manifest (magic, device id, zlib CRC32
+     framing, record layout) and assert no device is torn (image bytes
+     match their recorded CRC) or mid-apply (phase idle) — the A/B
+     agent's crash-safety, proven from outside the process
 
 Telemetry export:
   1. run the plain-campaign crash scenario with --metrics-out: every
@@ -66,6 +79,7 @@ import subprocess
 import sys
 import tempfile
 import time
+import zlib
 
 DEVICES = 16
 GROUPS = 2
@@ -465,13 +479,166 @@ def delta_attempt(fleetd, workdir, attempt):
     if report["manifest_current"] != DEVICES:
         fail("delta resume left %d of %d manifests at v2" %
              (report["manifest_current"], DEVICES))
-    # The restarted daemon's devices retain no base image: every delta
-    # attempt on the resume run must have failed closed into a full
-    # delivery, never into a failed target (checked via succeeded above).
-    if report["delta_fallbacks"] != report["delta_deliveries"]:
-        fail("delta resume: %d patches shipped but %d fell back" %
-             (report["delta_deliveries"], report["delta_fallbacks"]))
+    # Delta bases are durable (agent slot manifests): the restarted
+    # daemon patches the remaining targets with real deltas. The killed
+    # run had one worker, so at most ONE device sits in the kill window
+    # with its delivery manifest already at v2 (RecordDelivery lands
+    # before the outcome checkpoint) — that device ships one full
+    # package without attempting a patch; and at most one device whose
+    # apply the kill interrupted can roll back through the fallback.
+    if report["delta_fallbacks"] > 1:
+        fail("delta resume: %d fallbacks; durable bases should patch "
+             "cleanly" % report["delta_fallbacks"])
+    if report["delta_deliveries"] < report["devices"] - 1:
+        fail("delta resume shipped only %d deltas for %d targets: "
+             "restart lost the durable bases" %
+             (report["delta_deliveries"], report["devices"]))
     return prior
+
+
+# Agent slot-manifest framing (src/agent/update_agent.cpp): 24-byte
+# header "ERICSLT1" | u64 device | u32 crc32(payload) | u32 payload_len,
+# then a RecordWriter payload. 0xFF encodes "no slot".
+SLOT_MAGIC = b"ERICSLT1"
+SLOT_HEADER = 24
+NO_SLOT = 0xFF
+# Device count of the short soak profile (kSoakShort in eric_fleetd.cpp):
+# the kill waits until every one of them has a durable slot manifest.
+SOAK_SHORT_DEVICES = 10
+
+
+def check_slot_manifest(path, device_id):
+    """Parses one agent slot manifest from outside the process and fails
+    the test on any violation of the A/B crash-safety contract: CRC
+    framing, idle phase (nobody stays wedged mid-apply), and image bytes
+    matching their recorded CRC (no torn slot)."""
+    with open(path, "rb") as f:
+        data = f.read()
+    label = os.path.basename(path)
+    if len(data) < SLOT_HEADER or data[:8] != SLOT_MAGIC:
+        fail("%s: bad magic/size (%d bytes)" % (label, len(data)))
+    (header_dev,) = struct.unpack_from("<Q", data, 8)
+    crc, payload_len = struct.unpack_from("<II", data, 16)
+    payload = data[SLOT_HEADER:]
+    if len(payload) != payload_len:
+        fail("%s: payload is %d bytes, header says %d" %
+             (label, len(payload), payload_len))
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        fail("%s: payload CRC mismatch (torn manifest survived?)" % label)
+    if header_dev != device_id:
+        fail("%s: header names device %d" % (label, header_dev))
+
+    pos = 0
+    (schema,) = struct.unpack_from("<I", payload, pos)
+    pos += 4
+    (payload_dev,) = struct.unpack_from("<Q", payload, pos)
+    pos += 8
+    active, previous, staged, phase = struct.unpack_from("<4B", payload, pos)
+    pos += 4
+    pos += 5 * 8  # counters: applies/rollbacks/health/crash/persist
+    if schema != 1 or payload_dev != device_id:
+        fail("%s: schema=%d payload device=%d" % (label, schema, payload_dev))
+    if phase != 0 or staged != NO_SLOT:
+        fail("%s: device left mid-apply (phase=%d staged=%d) after the "
+             "soak's final sweep" % (label, phase, staged))
+    present_slots = []
+    for _ in range(2):
+        (present,) = struct.unpack_from("<B", payload, pos)
+        pos += 1
+        pos += 8  # version
+        (fp_len,) = struct.unpack_from("<I", payload, pos)
+        pos += 4 + fp_len
+        (image_crc,) = struct.unpack_from("<I", payload, pos)
+        pos += 4
+        (image_len,) = struct.unpack_from("<I", payload, pos)
+        pos += 4
+        image = payload[pos:pos + image_len]
+        pos += image_len
+        if len(image) != image_len:
+            fail("%s: slot image overruns the payload" % label)
+        if present and zlib.crc32(image) & 0xFFFFFFFF != image_crc:
+            fail("%s: TORN IMAGE — slot bytes do not match their CRC" %
+                 label)
+        present_slots.append(bool(present))
+    if pos != len(payload):
+        fail("%s: %d bytes of trailing garbage" % (label, len(payload) - pos))
+    if active != NO_SLOT and (active > 1 or not present_slots[active]):
+        fail("%s: active slot %d absent or out of range" % (label, active))
+
+
+def count_slot_manifests(agent_dir):
+    try:
+        names = os.listdir(agent_dir)
+    except OSError:
+        return 0
+    return sum(1 for n in names
+               if n.startswith("slots-") and n.endswith(".bin"))
+
+
+def soak_attempt(fleetd, workdir, attempt):
+    state_dir = os.path.join(workdir, "soak-state-%d" % attempt)
+    agent_dir = os.path.join(state_dir, "agent")
+    base = [fleetd, "--soak", "--soak-profile", "short",
+            "--soak-seed", str(0x50A4 + attempt), "--state-dir", state_dir]
+
+    proc = subprocess.Popen(base, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    try:
+        deadline = time.time() + DEADLINE_S
+        killed = False
+        while time.time() < deadline:
+            if proc.poll() is not None:
+                return None  # soak outran the kill; caller retries
+            if count_slot_manifests(agent_dir) >= SOAK_SHORT_DEVICES:
+                # Every seed device has a durable slot manifest: the
+                # storm is live. Cut the power.
+                proc.send_signal(signal.SIGKILL)
+                proc.wait()
+                killed = True
+                break
+            time.sleep(POLL_S)
+        if not killed:
+            fail("soak produced no slot manifests within %ds" % DEADLINE_S)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    # The rerun inherits whatever the kill left — flipped-but-unproven
+    # slots, a half-finished rotation, churned enrollments — and must
+    # converge: recover every agent, run the full storm again, and
+    # report zero invariant violations.
+    json_out = os.path.join(workdir, "soak-rerun-%d.json" % attempt)
+    report = run_json(base + ["--json", json_out], json_out, "soak rerun")
+    if not report.get("pass") or report.get("violations"):
+        fail("soak rerun over the killed state dir reported violations: %s"
+             % report.get("violations"))
+
+    # Outside-the-process proof: every slot manifest on disk parses
+    # clean — no torn image, no device wedged mid-apply.
+    parsed = 0
+    for name in sorted(os.listdir(agent_dir)):
+        if not (name.startswith("slots-") and name.endswith(".bin")):
+            continue
+        check_slot_manifest(os.path.join(agent_dir, name),
+                            int(name[len("slots-"):-len(".bin")]))
+        parsed += 1
+    if parsed < SOAK_SHORT_DEVICES:
+        fail("only %d slot manifests survived the soak (seeded %d)" %
+             (parsed, SOAK_SHORT_DEVICES))
+    return parsed
+
+
+def soak_scenario(fleetd, workdir):
+    for attempt in range(3):
+        parsed = soak_attempt(fleetd, workdir, attempt)
+        if parsed is not None:
+            print("PASS (chaos soak): killed -9 mid-storm; rerun converged "
+                  "with 0 violations; %d slot manifests parse clean "
+                  "(no torn or mid-apply device)" % parsed)
+            return
+    fail("soak finished before kill -9 in 3 attempts "
+         "(host too fast? short profile too small)")
 
 
 def run_scenario(name, attempt_fn, fleetd, workdir, total):
@@ -502,6 +669,7 @@ def main():
                      DEVICES // GROUPS)
         run_scenario("delta campaign", delta_attempt, fleetd, workdir,
                      DEVICES)
+        soak_scenario(fleetd, workdir)
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 

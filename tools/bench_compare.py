@@ -47,6 +47,12 @@ METRICS = [
     ("BENCH_delta.json", "wire.delta_vs_full_ratio", "lower", 25.0),
     ("BENCH_delta.json", "campaign.bytes_ratio", "lower", 25.0),
     ("BENCH_delta.json", "campaign.delta_fraction", "higher", 25.0),
+    # Update agent: the manifest is record framing around the stored
+    # images — deterministic bytes, tight gate. The rollback/apply wall
+    # ratio is machine-portable (both sides fsync a manifest) but
+    # timing-noisy, so it gets the generous threshold.
+    ("BENCH_agent.json", "manifest.overhead_ratio", "lower", 10.0),
+    ("BENCH_agent.json", "rollback.vs_apply_ratio", "lower", 60.0),
     # Observability: absolute ns/op varies per host, but the ratio of a
     # histogram record to a counter add is machine-portable (~3x: same
     # memory system, a few extra arithmetic ops). The end-to-end

@@ -68,7 +68,23 @@
 // appends one JSON span per line: seal, cache, dispatch, channel, and
 // WAL timings stitched under each campaign's trace id. Every --json
 // report additionally embeds the end-of-run registry under "telemetry".
+//
+// --soak runs the cross-layer chaos harness instead of a single
+// campaign: a seeded, hours-compressed sequence of rounds that mixes
+// enroll/revoke churn, concurrent key-epoch rotation and delta
+// campaigns, every channel fault mode, probabilistic agent
+// crash-mid-apply, and forced health-check failures — then sweeps the
+// whole fleet after every round asserting the joint invariants (no
+// device holds a torn image, every recovered agent is idle, an
+// epoch-current active slot always boots, a stale-epoch one never
+// does). --soak-profile short (default, CI-sized) or long (nightly);
+// --soak-seed reseeds the whole run. Requires --state-dir: the harness
+// exists to prove the durable fleet + slot manifests survive chaos, and
+// the companion resume test kill -9s the soak itself and reruns it over
+// the same state dir.
+#include <algorithm>
 #include <chrono>
+#include <cstdarg>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -80,12 +96,14 @@
 #include "fleet/campaign_journal.h"
 #include "fleet/campaign_scheduler.h"
 #include "fleet/deployment_engine.h"
+#include "fleet/package_cache.h"
 #include "fleet/rotation_campaign.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "store/record_io.h"
 #include "support/bench_json.h"
+#include "support/rng.h"
 #include "workloads/workloads.h"
 
 using namespace eric;
@@ -108,7 +126,9 @@ void Usage() {
       "                   [--delta --base-source FILE]\n"
       "                   [--delta --base-workload NAME]\n"
       "                   [--metrics-out FILE] [--metrics-interval SEC]\n"
-      "                   [--trace-out FILE]\n");
+      "                   [--trace-out FILE]\n"
+      "                   [--soak [--soak-profile short|long] "
+      "[--soak-seed N]]\n");
 }
 
 /// Identity of a campaign for resume matching: FNV-1a over everything
@@ -290,6 +310,435 @@ bool ParseFault(const std::string& name, net::ChannelFault* fault) {
   return true;
 }
 
+// --- Chaos soak -------------------------------------------------------------
+
+/// One soak tier. `short` is CI-sized (seeded, well under a minute even
+/// under ASan+UBSan); `long` is the nightly tier — same machinery, more
+/// fleet and more rounds.
+struct SoakProfile {
+  const char* name;
+  size_t devices;      ///< initial enrollment (churn grows it)
+  size_t groups;
+  size_t rounds;
+  size_t workers;
+  uint32_t attempts;   ///< per-device retry budget per campaign
+  double crash_rate;   ///< probabilistic agent crash-mid-apply, per apply
+};
+
+constexpr SoakProfile kSoakShort{"short", 10, 2, 8, 4, 6, 0.05};
+constexpr SoakProfile kSoakLong{"long", 32, 4, 40, 8, 6, 0.08};
+
+std::string SoakFormat(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return std::string(buf);
+}
+
+/// Per-round soak summary (the --json report carries one per round).
+struct SoakRound {
+  size_t round = 0;
+  const char* fault = "none";
+  double fault_rate = 0;
+  bool delta = false;
+  fleet::GroupId rotated_group = fleet::kNoGroup;
+  uint64_t enrolled = 0, revoked_now = 0;
+  fleet::CampaignReport deploy;
+  bool rotation_ran = false;
+  uint64_t rotation_succeeded = 0, rotation_failed = 0;
+  uint64_t rotation_new_epoch = 0;
+};
+
+/// Sweeps every device (revoked included) and appends one violation
+/// string per broken joint invariant:
+///   - RecoverAgent always succeeds and leaves the agent idle
+///     (recovery is idempotent, so sweeping twice must change nothing);
+///   - the active slot's bytes re-hash to the manifest CRC (no device
+///     ever holds a torn image — no slot at all is fine, torn is not);
+///   - an active slot sealed under the device's *current* key boots
+///     through the HDE (every rollback leaves a runnable slot);
+///   - an active slot sealed under a retired epoch NEVER executes
+///     (fail-closed: the HDE must reject it like any stale package).
+void SoakSweepFleet(fleet::DeviceRegistry& registry, size_t round,
+                    std::vector<std::string>* violations) {
+  for (fleet::DeviceId id : registry.AllDevices()) {
+    auto recovered = registry.RecoverAgent(id);
+    if (!recovered.ok()) {
+      violations->push_back(SoakFormat(
+          "round %zu device %llu: RecoverAgent failed: %s", round,
+          static_cast<unsigned long long>(id),
+          recovered.ToString().c_str()));
+      continue;
+    }
+    auto inspection = registry.InspectAgent(id);
+    if (!inspection.ok()) {
+      violations->push_back(SoakFormat(
+          "round %zu device %llu: InspectAgent failed: %s", round,
+          static_cast<unsigned long long>(id),
+          inspection.status().ToString().c_str()));
+      continue;
+    }
+    if (!inspection->active_crc_valid) {
+      violations->push_back(SoakFormat(
+          "round %zu device %llu: TORN IMAGE (active slot CRC mismatch)",
+          round, static_cast<unsigned long long>(id)));
+    }
+    if (inspection->state.phase != agent::ApplyPhase::kIdle) {
+      violations->push_back(SoakFormat(
+          "round %zu device %llu: agent not idle after recovery (%s)",
+          round, static_cast<unsigned long long>(id),
+          std::string(agent::ApplyPhaseName(inspection->state.phase))
+              .c_str()));
+    }
+    const int active = inspection->state.active_slot;
+    auto run = registry.RunActiveSlot(id);
+    if (active < 0) {
+      if (run.ok()) {
+        violations->push_back(SoakFormat(
+            "round %zu device %llu: no active slot but RunActiveSlot ran",
+            round, static_cast<unsigned long long>(id)));
+      }
+      continue;
+    }
+    auto sealing = registry.SealingContextFor(id);
+    if (!sealing.ok()) continue;  // cannot classify; CRC already checked
+    const bool epoch_current =
+        fleet::FingerprintKey(sealing->key) ==
+        inspection->state.slots[active].key_fingerprint;
+    if (epoch_current && !run.ok()) {
+      violations->push_back(SoakFormat(
+          "round %zu device %llu: epoch-current active slot failed to "
+          "boot: %s",
+          round, static_cast<unsigned long long>(id),
+          run.status().ToString().c_str()));
+    }
+    if (!epoch_current && run.ok()) {
+      violations->push_back(SoakFormat(
+          "round %zu device %llu: STALE-EPOCH image executed", round,
+          static_cast<unsigned long long>(id)));
+    }
+  }
+}
+
+/// The chaos soak: seeded rounds of churn + concurrent campaigns +
+/// fault/crash injection, each followed by a full-fleet invariant sweep.
+/// Returns the process exit code (0 = every invariant held every round).
+int RunSoak(fleet::DeviceRegistry& registry, const SoakProfile& profile,
+            uint64_t seed, size_t fleet_devices,
+            const std::string& json_path) {
+  Xoshiro256 rng(seed);
+  registry.SetAgentCrashInjection(profile.crash_rate, seed ^ 0xC7A05);
+
+  // Three synthetic releases cycled round-robin: each round deploys the
+  // next one as a delta from the previous round's, so the delta path,
+  // the fallback path, and fresh-device full packages all stay hot.
+  const std::string releases[3] = {
+      workloads::MakeSyntheticRelease(2),
+      workloads::MakeSyntheticRelease(3),
+      workloads::MakeSyntheticRelease(2, true),
+  };
+
+  // Group ids from the live fleet (a recovered fleet's groups came from
+  // disk; a fresh one was just enrolled by main).
+  std::vector<fleet::GroupId> group_ids;
+  for (fleet::DeviceId id : registry.AllDevices()) {
+    auto info = registry.Lookup(id);
+    if (!info.ok() || info->group == fleet::kNoGroup) continue;
+    if (std::find(group_ids.begin(), group_ids.end(), info->group) ==
+        group_ids.end()) {
+      group_ids.push_back(info->group);
+    }
+  }
+  if (group_ids.empty()) {
+    std::fprintf(stderr, "soak: fleet has no groups\n");
+    return 1;
+  }
+
+  constexpr net::ChannelFault kFaults[] = {
+      net::ChannelFault::kNone,          net::ChannelFault::kRandomBitFlips,
+      net::ChannelFault::kBytePatch,     net::ChannelFault::kTruncate,
+      net::ChannelFault::kInstructionPatch, net::ChannelFault::kDuplicate,
+  };
+  constexpr const char* kFaultNames[] = {"none",       "bitflips",
+                                         "bytepatch",  "truncate",
+                                         "instrpatch", "dup"};
+
+  fleet::PackageCache cache;
+  fleet::DeploymentEngine engine(registry, cache);
+  std::vector<std::string> violations;
+  std::vector<SoakRound> rounds;
+  uint64_t enrolled_total = 0, revoked_total = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  for (size_t round = 0; round < profile.rounds; ++round) {
+    SoakRound summary;
+    summary.round = round;
+    const std::string& target = releases[round % 3];
+    summary.delta = round > 0;
+    const std::string& base = releases[(round + 2) % 3];
+
+    // Live (non-revoked) devices as of this round; the campaign targets
+    // the whole fleet snapshot, revoked members included (the engine
+    // must keep reporting them as revoked, never retry them).
+    std::vector<fleet::DeviceId> all = registry.AllDevices();
+    std::vector<fleet::DeviceId> live;
+    for (fleet::DeviceId id : all) {
+      auto info = registry.Lookup(id);
+      if (info.ok() && info->status == fleet::DeviceStatus::kEnrolled) {
+        live.push_back(id);
+      }
+    }
+    if (live.empty()) break;
+
+    // Deterministic chaos arming: one device power-cuts mid-apply at a
+    // random phase, another fails its next post-flip self-test. This
+    // guarantees every soak run exercises crash recovery and rollback
+    // even if the probabilistic injection draws unluckily.
+    const auto crash_victim = live[rng.NextBounded(live.size())];
+    (void)registry.ArmAgentCrash(
+        crash_victim,
+        static_cast<agent::CrashPoint>(1 + rng.NextBounded(4)));
+    const auto health_victim = live[rng.NextBounded(live.size())];
+    (void)registry.ArmAgentHealthFailures(health_victim, 1);
+
+    const size_t fault_index = rng.NextBounded(6);
+    summary.fault = kFaultNames[fault_index];
+    summary.fault_rate =
+        fault_index == 0 ? 0.0 : 0.05 + 0.25 * rng.NextDouble();
+
+    fleet::CampaignConfig campaign;
+    campaign.source = target;
+    campaign.policy = core::EncryptionPolicy::PartialRandom(0.5);
+    campaign.devices = all;
+    campaign.workers = profile.workers;
+    campaign.max_attempts = profile.attempts;
+    campaign.channel.fault = kFaults[fault_index];
+    campaign.fault_rate = summary.fault_rate;
+    campaign.campaign_seed = seed ^ (0x50AC0000ull + round);
+    campaign.delta = summary.delta;
+    if (summary.delta) campaign.delta_base_source = base;
+
+    // Concurrent chaos: every other round rotates a random group's key
+    // epoch (and redeploys it) WHILE the fleet-wide campaign runs, and a
+    // churn thread enrolls/revokes devices under both.
+    const bool rotate = (round % 2) == 1;
+    summary.rotation_ran = rotate;
+    summary.rotated_group =
+        rotate ? group_ids[rng.NextBounded(group_ids.size())]
+               : fleet::kNoGroup;
+    const uint64_t churn_births = rng.NextBounded(3);
+    const bool churn_revoke =
+        rng.NextDouble() < 0.2 && revoked_total + 1 < all.size() / 3;
+    const auto churn_revoke_target =
+        live[rng.NextBounded(live.size())];
+    const uint64_t churn_group_pick = rng.NextBounded(group_ids.size());
+
+    Result<fleet::RotationReport> rotation_result =
+        Status(ErrorCode::kUnsupported, "rotation not run this round");
+    std::thread rotator;
+    if (rotate) {
+      rotator = std::thread([&] {
+        fleet::RotationConfig rotation_config;
+        rotation_config.group = summary.rotated_group;
+        rotation_config.campaign.source = target;
+        rotation_config.campaign.policy =
+            core::EncryptionPolicy::PartialRandom(0.5);
+        rotation_config.campaign.workers = 2;
+        rotation_config.campaign.max_attempts = profile.attempts;
+        rotation_config.campaign.campaign_seed =
+            seed ^ (0x40CA0000ull + round);
+        fleet::RotationCampaign rotation(engine, registry, cache);
+        rotation_result = rotation.Run(rotation_config);
+      });
+    }
+    std::thread churner([&] {
+      for (uint64_t b = 0; b < churn_births; ++b) {
+        auto enrolled = registry.Enroll(
+            0x50AD0000ull + enrolled_total + b,
+            group_ids[churn_group_pick]);
+        if (enrolled.ok()) ++summary.enrolled;
+      }
+      if (churn_revoke && registry.Revoke(churn_revoke_target).ok()) {
+        ++summary.revoked_now;
+      }
+    });
+
+    auto report = engine.Run(campaign);
+    churner.join();
+    if (rotator.joinable()) rotator.join();
+    enrolled_total += summary.enrolled;
+    revoked_total += summary.revoked_now;
+
+    if (!report.ok()) {
+      violations.push_back(SoakFormat("round %zu: campaign failed: %s",
+                                      round,
+                                      report.status().ToString().c_str()));
+    } else {
+      summary.deploy = std::move(*report);
+      const auto& r = summary.deploy;
+      // Accounting identities: every target lands in exactly one bucket,
+      // and the wire totals decompose by package kind.
+      if (r.succeeded + r.failed + r.revoked + r.skipped != r.targets) {
+        violations.push_back(SoakFormat(
+            "round %zu: outcome buckets do not partition targets "
+            "(%llu+%llu+%llu+%llu != %llu)",
+            round, static_cast<unsigned long long>(r.succeeded),
+            static_cast<unsigned long long>(r.failed),
+            static_cast<unsigned long long>(r.revoked),
+            static_cast<unsigned long long>(r.skipped),
+            static_cast<unsigned long long>(r.targets)));
+      }
+      if (r.delta_deliveries + r.full_deliveries != r.deliveries) {
+        violations.push_back(SoakFormat(
+            "round %zu: deliveries do not decompose by package kind",
+            round));
+      }
+    }
+    if (rotate) {
+      if (rotation_result.ok()) {
+        summary.rotation_succeeded = rotation_result->rollout.succeeded;
+        summary.rotation_failed = rotation_result->rollout.failed;
+        summary.rotation_new_epoch = rotation_result->new_epoch;
+      } else {
+        violations.push_back(SoakFormat(
+            "round %zu: rotation campaign failed: %s", round,
+            rotation_result.status().ToString().c_str()));
+      }
+    }
+
+    SoakSweepFleet(registry, round, &violations);
+
+    std::printf(
+        "soak round %zu/%zu: fault=%s rate=%.2f delta=%d rotate=%s "
+        "+%llu devices -%llu | %llu ok / %llu failed / %llu revoked, "
+        "%llu rollbacks, %llu health rejections, violations so far: %zu\n",
+        round + 1, profile.rounds, summary.fault, summary.fault_rate,
+        summary.delta ? 1 : 0,
+        rotate ? std::to_string(summary.rotated_group).c_str() : "no",
+        static_cast<unsigned long long>(summary.enrolled),
+        static_cast<unsigned long long>(summary.revoked_now),
+        static_cast<unsigned long long>(summary.deploy.succeeded),
+        static_cast<unsigned long long>(summary.deploy.failed),
+        static_cast<unsigned long long>(summary.deploy.revoked),
+        static_cast<unsigned long long>(summary.deploy.rollbacks),
+        static_cast<unsigned long long>(summary.deploy.health_failures),
+        violations.size());
+    rounds.push_back(std::move(summary));
+  }
+
+  // Final sweep + fleet-wide agent history. The armed crash/health
+  // victims make these counters deterministic lower bounds: a soak that
+  // never recovered a crash or never rolled a flip back tested nothing.
+  SoakSweepFleet(registry, profile.rounds, &violations);
+  agent::AgentCounters totals;
+  for (fleet::DeviceId id : registry.AllDevices()) {
+    auto inspection = registry.InspectAgent(id);
+    if (!inspection.ok()) continue;
+    const auto& c = inspection->state.counters;
+    totals.applies += c.applies;
+    totals.rollbacks += c.rollbacks;
+    totals.health_failures += c.health_failures;
+    totals.crash_recoveries += c.crash_recoveries;
+    totals.persist_failures += c.persist_failures;
+  }
+  if (!rounds.empty() && totals.crash_recoveries == 0) {
+    violations.push_back(
+        "soak never exercised crash recovery (armed crashes were lost)");
+  }
+  if (!rounds.empty() && totals.rollbacks == 0) {
+    violations.push_back(
+        "soak never exercised rollback (armed health failures were lost)");
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  for (const auto& violation : violations) {
+    std::fprintf(stderr, "soak VIOLATION: %s\n", violation.c_str());
+  }
+  std::printf(
+      "soak agents: %llu applies, %llu rollbacks, %llu health failures, "
+      "%llu crash recoveries, %llu persist failures\n",
+      static_cast<unsigned long long>(totals.applies),
+      static_cast<unsigned long long>(totals.rollbacks),
+      static_cast<unsigned long long>(totals.health_failures),
+      static_cast<unsigned long long>(totals.crash_recoveries),
+      static_cast<unsigned long long>(totals.persist_failures));
+
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Field("tool", "eric_fleetd");
+    json.Field("soak", true);
+    json.Field("profile", profile.name);
+    json.Field("seed", seed);
+    json.Field("fleet_devices", fleet_devices);
+    json.Field("final_devices", registry.AllDevices().size());
+    json.Field("rounds_run", rounds.size());
+    json.Field("enrolled_during_soak", enrolled_total);
+    json.Field("revoked_during_soak", revoked_total);
+    json.Field("wall_ms", wall_ms);
+    json.Key("rounds");
+    json.BeginArray();
+    for (const auto& r : rounds) {
+      json.BeginObject();
+      json.Field("round", r.round);
+      json.Field("fault", r.fault);
+      json.Field("fault_rate", r.fault_rate);
+      json.Field("delta", r.delta);
+      json.Field("targets", r.deploy.targets);
+      json.Field("succeeded", r.deploy.succeeded);
+      json.Field("failed", r.deploy.failed);
+      json.Field("revoked", r.deploy.revoked);
+      json.Field("deliveries", r.deploy.deliveries);
+      json.Field("retries", r.deploy.retries);
+      json.Field("delta_deliveries", r.deploy.delta_deliveries);
+      json.Field("delta_fallbacks", r.deploy.delta_fallbacks);
+      json.Field("rollbacks", r.deploy.rollbacks);
+      json.Field("health_failures", r.deploy.health_failures);
+      json.Field("rotation_ran", r.rotation_ran);
+      json.Field("rotated_group", r.rotated_group);
+      json.Field("rotation_succeeded", r.rotation_succeeded);
+      json.Field("rotation_failed", r.rotation_failed);
+      json.Field("rotation_new_epoch", r.rotation_new_epoch);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("agents");
+    json.BeginObject();
+    json.Field("applies", totals.applies);
+    json.Field("rollbacks", totals.rollbacks);
+    json.Field("health_failures", totals.health_failures);
+    json.Field("crash_recoveries", totals.crash_recoveries);
+    json.Field("persist_failures", totals.persist_failures);
+    json.EndObject();
+    json.Key("violations");
+    json.BeginArray();
+    for (const auto& violation : violations) json.Value(violation);
+    json.EndArray();
+    json.Field("pass", violations.empty());
+    WriteTelemetryJson(json);
+    json.EndObject();
+    if (!json.WriteFile(json_path.c_str())) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (violations.empty()) {
+    std::printf("soak: PASS (%zu rounds, %.1f ms)\n", rounds.size(),
+                wall_ms);
+    return 0;
+  }
+  std::printf("soak: FAIL (%zu violations over %zu rounds)\n",
+              violations.size(), rounds.size());
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -320,6 +769,10 @@ int main(int argc, char** argv) {
   // Telemetry export knobs (-1: interval not set, derived below).
   std::string metrics_out, trace_out;
   double metrics_interval = -1.0;
+  // Chaos-soak knobs.
+  bool soak = false;
+  std::string soak_profile_name = "short";
+  uint64_t soak_seed = 0x50A4CA05;
 
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* name) {
@@ -363,9 +816,40 @@ int main(int argc, char** argv) {
     else if (arg("--metrics-out")) metrics_out = argv[++i];
     else if (arg("--metrics-interval")) metrics_interval = std::atof(argv[++i]);
     else if (arg("--trace-out")) trace_out = argv[++i];
+    else if (std::strcmp(argv[i], "--soak") == 0) soak = true;
+    else if (arg("--soak-profile")) soak_profile_name = argv[++i];
+    else if (arg("--soak-seed"))
+      soak_seed = std::strtoull(argv[++i], nullptr, 0);
     else if (arg("--json")) json_path = argv[++i];
     else if (std::strcmp(argv[i], "--verbose") == 0) verbose = true;
     else { Usage(); return 2; }
+  }
+  const SoakProfile* soak_profile = nullptr;
+  if (soak) {
+    if (soak_profile_name == "short") soak_profile = &kSoakShort;
+    else if (soak_profile_name == "long") soak_profile = &kSoakLong;
+    else {
+      std::fprintf(stderr, "--soak-profile must be short or long\n");
+      Usage();
+      return 2;
+    }
+    if (state_dir.empty()) {
+      // The soak exists to prove the durable fleet + slot manifests
+      // survive chaos; a memory-only soak would test a different system.
+      std::fprintf(stderr, "--soak requires --state-dir DIR\n");
+      Usage();
+      return 2;
+    }
+    if (resume || rotate_group != 0 || delta) {
+      std::fprintf(stderr,
+                   "--soak drives its own campaigns; drop --resume/"
+                   "--rotate-epoch/--delta\n");
+      Usage();
+      return 2;
+    }
+    // --devices/--groups still override the profile's fleet size.
+    if (devices == 0) devices = soak_profile->devices;
+    if (groups == 1) groups = soak_profile->groups;
   }
   if (devices == 0 || groups == 0) { Usage(); return 2; }
   if (state_dir.empty() && (resume || snapshot_every > 0)) {
@@ -571,6 +1055,16 @@ int main(int argc, char** argv) {
               "(stripe balance %zu..%zu), %zu revoked\n",
               stats.devices, stats.groups, stats.shards, stats.min_shard,
               stats.max_shard, revoked_count);
+
+  // --- Chaos soak path ------------------------------------------------------
+  if (soak) {
+    std::printf("soak: profile=%s seed=0x%llx (%zu rounds)\n",
+                soak_profile->name,
+                static_cast<unsigned long long>(soak_seed),
+                soak_profile->rounds);
+    return RunSoak(registry, *soak_profile, soak_seed, stats.devices,
+                   json_path);
+  }
 
   // --- Campaign -------------------------------------------------------------
   fleet::PackageCache cache;
@@ -981,6 +1475,12 @@ int main(int argc, char** argv) {
   std::printf("wire:   %llu deliveries (%llu retries)\n",
               static_cast<unsigned long long>(report->deliveries),
               static_cast<unsigned long long>(report->retries));
+  if (report->rollbacks > 0 || report->health_failures > 0) {
+    std::printf("agent:  %llu targets rolled back, %llu health "
+                "rejections\n",
+                static_cast<unsigned long long>(report->rollbacks),
+                static_cast<unsigned long long>(report->health_failures));
+  }
   if (delta) {
     const double ratio =
         report->bytes_full_equivalent == 0
@@ -1033,6 +1533,8 @@ int main(int argc, char** argv) {
     json.Field("bytes_shipped", report->bytes_shipped);
     json.Field("bytes_full_equivalent", report->bytes_full_equivalent);
     json.Field("manifest_update_failures", report->manifest_update_failures);
+    json.Field("rollbacks", report->rollbacks);
+    json.Field("health_failures", report->health_failures);
     json.Field("manifest_current",
                CountManifestsAt(registry, manifest_targets, target_version));
     json.Field("trace_id", report->trace_id);
