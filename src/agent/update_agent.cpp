@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <type_traits>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "store/fs_util.h"
@@ -305,6 +306,10 @@ bool UpdateAgent::RecoverLocked() {
     counters_.rollbacks++;
     AgentMetrics::Get().rollbacks.Add(1);
     AgentMetrics::Get().rollback_us.Record(MicrosecondsSince(start));
+    obs::EmitEvent(obs::EventSeverity::kError, "agent",
+                   "crash-recovery rollback: flip was durable but the "
+                   "health verdict never arrived",
+                   device_id_, obs::CurrentTraceId());
   } else if (staged_slot_ >= 0) {
     // Stage or verify never completed: discard the half-applied image;
     // the active slot was never touched.
@@ -419,6 +424,10 @@ Status UpdateAgent::Apply(std::span<const uint8_t> image, uint64_t version,
     counters_.rollbacks++;
     AgentMetrics::Get().health_failures.Add(1);
     AgentMetrics::Get().rollbacks.Add(1);
+    obs::EmitEvent(obs::EventSeverity::kError, "agent",
+                   "post-apply health check failed, rolled back: " +
+                       healthy.message(),
+                   device_id_, obs::CurrentTraceId());
     slots_[target].present = false;
     active_slot_ = previous_slot_;
     previous_slot_ = -1;

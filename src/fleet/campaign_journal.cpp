@@ -1,8 +1,10 @@
 #include "fleet/campaign_journal.h"
 
 #include <algorithm>
+#include <bit>
 #include <filesystem>
 
+#include "obs/events.h"
 #include "store/record_io.h"
 
 namespace eric::fleet {
@@ -20,6 +22,16 @@ constexpr uint8_t kRecBeginRotation = 4;
 /// u8 form}. Written for every checkpoint since the delta path landed;
 /// kRecOutcome still replays (pre-delta journals resume form-less).
 constexpr uint8_t kRecOutcomeForm = 5;
+/// Watchdog stop: {u8 action, u64 observed-bits, u64 threshold-bits,
+/// u64 burn-bits, str slo_name}. Doubles travel as IEEE-754 bit
+/// patterns so replay reproduces the breach report exactly. Appended by
+/// the health watchdog when an SLO breach pauses or aborts the campaign;
+/// cleared by the next begin/end, never by outcome records (targets that
+/// finished before the pause stay checkpointed).
+constexpr uint8_t kRecWatchdog = 6;
+
+constexpr uint8_t kActionPause = 1;
+constexpr uint8_t kActionAbort = 2;
 
 constexpr uint8_t kKindDelivered = 1;
 constexpr uint8_t kKindFailed = 2;
@@ -116,8 +128,30 @@ Status CampaignJournal::Open(const std::string& state_dir,
             }
             return Status::Ok();
           }
+          case kRecWatchdog: {
+            uint8_t action = 0;
+            uint64_t observed = 0;
+            uint64_t threshold = 0;
+            uint64_t burn = 0;
+            std::string slo;
+            if (!rec.U8(&action) || !rec.U64(&observed) ||
+                !rec.U64(&threshold) || !rec.U64(&burn) || !rec.Str(&slo)) {
+              return Status(ErrorCode::kCorruptPackage,
+                            "campaign watchdog record damaged");
+            }
+            recovered_.watchdog = true;
+            recovered_.watchdog_abort = (action == kActionAbort);
+            recovered_.watchdog_slo = std::move(slo);
+            recovered_.watchdog_observed = std::bit_cast<double>(observed);
+            recovered_.watchdog_threshold = std::bit_cast<double>(threshold);
+            recovered_.watchdog_burn = std::bit_cast<double>(burn);
+            return Status::Ok();
+          }
           case kRecEnd:
             recovered_.active = false;
+            recovered_.watchdog = false;
+            recovered_.watchdog_abort = false;
+            recovered_.watchdog_slo.clear();
             return Status::Ok();
           default:
             return Status(ErrorCode::kCorruptPackage,
@@ -199,11 +233,34 @@ void CampaignJournal::OnTargetCheckpoint(const TargetCheckpoint& checkpoint) {
       std::lock_guard lock(error_mutex_);
       if (first_error_.ok()) first_error_ = appended;
     }
+    obs::EmitEvent(obs::EventSeverity::kFatal, "journal",
+                   "campaign checkpoint append failed: " + appended.message(),
+                   checkpoint.device);
     // Stop the campaign: a delivery whose outcome cannot be made
     // durable will be re-delivered on resume anyway, so continuing only
     // widens the redelivery window.
     if (control_ != nullptr) control_->Cancel();
   }
+}
+
+Status CampaignJournal::NoteWatchdog(std::string_view slo_name, bool abort,
+                                     double observed, double threshold,
+                                     double burn_rate) {
+  if (!wal_.is_open()) {
+    return Status(ErrorCode::kFailedPrecondition, "journal not open");
+  }
+  if (!campaign_open_) {
+    return Status(ErrorCode::kFailedPrecondition, "no campaign in flight");
+  }
+  store::RecordWriter rec;
+  rec.U8(abort ? kActionAbort : kActionPause);
+  rec.U64(std::bit_cast<uint64_t>(observed));
+  rec.U64(std::bit_cast<uint64_t>(threshold));
+  rec.U64(std::bit_cast<uint64_t>(burn_rate));
+  rec.Str(slo_name);
+  // Wal::Append serializes internally, so this is safe against workers
+  // checkpointing outcomes on other threads.
+  return wal_.Append(kRecWatchdog, rec.bytes());
 }
 
 Status CampaignJournal::Complete() {

@@ -66,6 +66,19 @@ struct CampaignResumeState {
   uint64_t failed = 0;     ///< checkpointed as failed out of retries
   uint64_t revoked = 0;    ///< checkpointed as skipped-revoked
 
+  /// True when the campaign was stopped by the health watchdog (an SLO
+  /// breach journaled through NoteWatchdog) rather than by a crash. A
+  /// resume must surface the breach to the operator instead of silently
+  /// re-running the remaining targets.
+  bool watchdog = false;
+  /// True when the breach policy was abort (the campaign is dead, not
+  /// paused); false means pause (resumable after operator ack).
+  bool watchdog_abort = false;
+  std::string watchdog_slo;        ///< name of the breached SLO
+  double watchdog_observed = 0;    ///< observed value at breach time
+  double watchdog_threshold = 0;   ///< the SLO threshold it crossed
+  double watchdog_burn = 0;        ///< error-budget burn rate (observed/threshold)
+
   /// The original target order minus every completed target — the
   /// exactly-once resume set.
   std::vector<DeviceId> RemainingTargets() const;
@@ -120,6 +133,14 @@ class CampaignJournal : public CampaignCheckpointSink {
   /// Append failures are sticky, surfaced through last_error(), and
   /// cancel the campaign when a control block is attached.
   void OnTargetCheckpoint(const TargetCheckpoint& checkpoint) override;
+
+  /// Records an SLO-watchdog stop (pause or abort) against the in-flight
+  /// campaign. The record is durable before the call returns, so a
+  /// daemon killed immediately after the watchdog acted still resumes
+  /// into a paused-by-watchdog state instead of blindly re-running.
+  /// Safe to call from the watchdog thread while workers checkpoint.
+  Status NoteWatchdog(std::string_view slo_name, bool abort, double observed,
+                      double threshold, double burn_rate);
 
   /// Marks the campaign finished (end record). After this, recovery
   /// reports nothing active.

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "fleet/dispatch_governor.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/stopwatch.h"
@@ -25,6 +26,12 @@ struct EngineMetrics {
   obs::Counter& campaigns;
   obs::Counter& deliveries;
   obs::Counter& retries;
+  // Live per-attempt counters, bumped inside deliver_once rather than
+  // folded from the finished report: the health watchdog evaluates its
+  // windows *during* the campaign, and the end-of-run fold would leave
+  // its failure-ratio SLOs blind until the campaign was already over.
+  obs::Counter& delivery_attempts;
+  obs::Counter& delivery_failures;
   obs::Counter& delta_deliveries;
   obs::Counter& full_deliveries;
   obs::Counter& delta_fallbacks;
@@ -42,6 +49,8 @@ struct EngineMetrics {
         registry.GetCounter("fleet_campaigns"),
         registry.GetCounter("fleet_deliveries"),
         registry.GetCounter("fleet_retries"),
+        registry.GetCounter("fleet_delivery_attempts"),
+        registry.GetCounter("fleet_delivery_failures"),
         registry.GetCounter("fleet_delta_deliveries"),
         registry.GetCounter("fleet_full_deliveries"),
         registry.GetCounter("fleet_delta_fallbacks"),
@@ -292,7 +301,10 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
     outcome.rolled_back |= meta.rolled_back;
     outcome.health_failed |= meta.health_failed;
     last_health_failed = meta.health_failed;
-    EngineMetrics::Get().delivery_us.Record(MicrosecondsSince(attempt_start));
+    EngineMetrics& metrics = EngineMetrics::Get();
+    metrics.delivery_us.Record(MicrosecondsSince(attempt_start));
+    metrics.delivery_attempts.Add();
+    if (!run.ok()) metrics.delivery_failures.Add();
     span.set_ok(run.ok());
     return run;
   };
@@ -440,6 +452,11 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
   report.targets = targets.size();
   report.outcomes.resize(targets.size());
 
+  obs::EmitEvent(obs::EventSeverity::kInfo, "engine",
+                 "campaign started: " + std::to_string(targets.size()) +
+                     " targets",
+                 0, trace_id);
+
   // Work-stealing by atomic cursor: each worker claims the next target.
   // Outcomes land at the target's own index, so no result lock is needed.
   std::atomic<size_t> cursor{0};
@@ -465,6 +482,18 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
         // Revoked/skipped targets are policy outcomes, not failures.
         target_span.set_ok(outcome.ok || outcome.revoked ||
                            outcome.skipped || outcome.cancelled);
+      }
+      if (outcome.delta_fallback) {
+        obs::EmitEvent(obs::EventSeverity::kWarn, "engine",
+                       "delta fell back to full package", outcome.device,
+                       trace_id);
+      }
+      if (!outcome.ok && !outcome.revoked && !outcome.skipped &&
+          !outcome.cancelled) {
+        obs::EmitEvent(
+            obs::EventSeverity::kError, "engine",
+            "target failed out of retries: " + outcome.last_status.message(),
+            outcome.device, trace_id);
       }
       if (config.governor != nullptr) {
         TargetCheckpoint checkpoint;
@@ -561,6 +590,14 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
   metrics.targets_revoked.Add(report.revoked);
   metrics.bytes_shipped.Add(report.bytes_shipped);
   metrics.manifest_update_failures.Add(report.manifest_update_failures);
+
+  obs::EmitEvent(report.failed == 0 ? obs::EventSeverity::kInfo
+                                    : obs::EventSeverity::kWarn,
+                 "engine",
+                 "campaign finished: " + std::to_string(report.succeeded) +
+                     " ok, " + std::to_string(report.failed) + " failed, " +
+                     std::to_string(report.skipped) + " skipped",
+                 0, trace_id);
 
   if (trace_id != 0) {
     obs::SpanRecord root;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/stopwatch.h"
@@ -118,7 +119,14 @@ std::vector<uint8_t> Channel::Deliver(std::vector<uint8_t> bytes) {
   record.bytes_out = bytes.size();
   ChannelMetrics& metrics = ChannelMetrics::Get();
   metrics.deliveries.Add();
-  if (record.mutations > 0) metrics.faults.Add();
+  if (record.mutations > 0) {
+    metrics.faults.Add();
+    obs::EmitEvent(obs::EventSeverity::kWarn, "net",
+                   "channel fault " + std::string(ChannelFaultName(record.fault)) +
+                       " mutated " + std::to_string(record.mutations) +
+                       " unit(s) in flight",
+                   0, obs::CurrentTraceId());
+  }
   metrics.bytes_in.Add(record.bytes_in);
   metrics.bytes_out.Add(record.bytes_out);
   metrics.rtt_us.Record(MicrosecondsSince(wire_start));

@@ -6,14 +6,14 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/events.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "store/fs_util.h"
 #include "support/bench_json.h"
 
 namespace eric::obs {
-
-namespace {
 
 // tmp + fsync + rename: the snapshot file is always absent or a
 // complete document, whatever kills the writer.
@@ -43,19 +43,29 @@ Status WriteFileAtomic(const std::string& path, const std::string& body) {
   return Status::Ok();
 }
 
-}  // namespace
+void WriteSnapshotJson(JsonWriter& json) {
+  json.BeginObject();
+  MetricsRegistry::Global().WriteJsonSections(json);
+  json.Key("events");
+  EventLog& events = EventLog::Global();
+  WriteEventsJson(json, events.Snap(kSnapshotMaxEvents), events.capacity());
+  json.Key("health");
+  WriteGlobalHealthJson(json);
+  json.EndObject();
+}
 
 Status WriteMetricsSnapshot(const std::string& json_path,
                             const std::string& prom_path) {
-  MetricsRegistry& registry = MetricsRegistry::Global();
   if (!json_path.empty()) {
     JsonWriter json;
-    registry.WriteJson(json);
+    WriteSnapshotJson(json);
     Status status = WriteFileAtomic(json_path, json.str() + "\n");
     if (!status.ok()) return status;
   }
   if (!prom_path.empty()) {
-    Status status = WriteFileAtomic(prom_path, registry.PrometheusText());
+    Status status =
+        WriteFileAtomic(prom_path, MetricsRegistry::Global().PrometheusText() +
+                                       GlobalHealthPrometheusText());
     if (!status.ok()) return status;
   }
   return Status::Ok();

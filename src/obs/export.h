@@ -16,11 +16,33 @@
 
 #include "support/status.h"
 
+namespace eric {
+class JsonWriter;
+}  // namespace eric
+
 namespace eric::obs {
+
+/// Atomically replaces `path` with `body` (tmp + fsync + rename +
+/// parent-dir fsync): readers see the old file or the new one, never a
+/// torn hybrid. Shared by the exporter and the flight recorder.
+Status WriteFileAtomic(const std::string& path, const std::string& body);
+
+/// Most recent events included in a snapshot's `events` section (the
+/// ring may hold more; the flight record dumps everything readable).
+inline constexpr size_t kSnapshotMaxEvents = 256;
+
+/// Writes the composed telemetry snapshot object into `json`: the
+/// registry's `eric.metrics.v1` sections plus the `events` section
+/// (global EventLog, capped at kSnapshotMaxEvents) and the `health`
+/// section (the installed HealthMonitor, empty when none). This is the
+/// one writer behind the exporter file, the flight path, and the
+/// `telemetry` block in fleetd reports.
+void WriteSnapshotJson(JsonWriter& json);
 
 /// Writes one metrics snapshot of the global registry to `json_path`
 /// atomically; when `prom_path` is non-empty, also writes the
-/// Prometheus text rendering there (same atomicity).
+/// Prometheus text rendering there (same atomicity), with the
+/// installed health monitor's SLO gauges appended.
 Status WriteMetricsSnapshot(const std::string& json_path,
                             const std::string& prom_path = std::string());
 

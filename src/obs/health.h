@@ -1,0 +1,294 @@
+// Fleet health watchdog: SLO specs evaluated as rolling-window burn
+// rates over the metrics registry, with a breach action that feeds
+// back into campaign control.
+//
+// The layer splits in two so the math is testable without threads:
+//
+//   SloWindow      the deterministic core. Callers feed it timestamped
+//                  *cumulative* readings (counter totals, histogram
+//                  bucket arrays); it maintains the rolling window,
+//                  tolerates counter resets (a restarted process makes
+//                  totals go backwards), and reports the windowed
+//                  observation, its error-budget burn rate, and
+//                  whether the SLO is breached. Oracle tests drive it
+//                  with hand-computed sequences.
+//
+//   HealthMonitor  the background thread. Every interval it samples
+//                  the global MetricsRegistry into each SloWindow,
+//                  emits a structured event on a breach transition,
+//                  and invokes the registered breach action exactly
+//                  once per SLO (latched) — eric_fleetd wires that
+//                  action to CampaignControl::Pause()/Cancel() and the
+//                  campaign journal, closing the telemetry->control
+//                  loop. EvaluateNow() runs one tick deterministically
+//                  for tests.
+//
+// SLO spec grammar (ParseSloSpec, also the `eric_fleetd --slo` flag):
+//
+//   [NAME=]KIND(METRIC[,DENOMINATOR])<THRESHOLD@WINDOWs[:POLICY][;min=N]
+//
+//   ratio(fleet_delivery_failures,fleet_delivery_attempts)<0.05@30s:pause
+//   rate(agent_rollbacks)<2.5@30s:abort
+//   p99(fleet_delivery_us)<50000@30s:log
+//
+// KIND is `ratio` (failure fraction: numerator/denominator counter
+// deltas), `rate` (counter delta per second), or `pNN` (windowed
+// quantile of a histogram, in the histogram's microsecond units). An
+// SLO breaches when the windowed observation exceeds THRESHOLD with at
+// least `min` denominator events (or samples) in the window; POLICY is
+// `log` (default), `pause`, or `abort`.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "support/status.h"
+
+namespace eric {
+class JsonWriter;
+}  // namespace eric
+
+namespace eric::obs {
+
+/// How an SLO observes the registry.
+enum class SloKind : uint8_t {
+  kRatio = 0,     ///< numerator/denominator counter deltas in the window
+  kRate = 1,      ///< counter delta per second over the window
+  kQuantile = 2,  ///< windowed quantile of a histogram (microseconds)
+};
+
+/// What a breach does to the running campaign.
+enum class BreachPolicy : uint8_t {
+  kLog = 0,    ///< record the breach (event + snapshot) and keep going
+  kPause = 1,  ///< pause the campaign via CampaignControl
+  kAbort = 2,  ///< cancel the campaign via CampaignControl
+};
+
+/// Stable lowercase name of an SloKind ("ratio", "rate", "quantile").
+std::string_view SloKindName(SloKind kind);
+
+/// Stable lowercase name of a BreachPolicy ("log", "pause", "abort").
+std::string_view BreachPolicyName(BreachPolicy policy);
+
+/// One service-level objective: what to watch, over which window, and
+/// what a breach does.
+struct SloSpec {
+  /// Unique handle used in reports, events, and Prometheus labels.
+  /// Defaults to `<metric>_<kind>` when the spec text names none.
+  std::string name;
+  /// Observation kind (see SloKind).
+  SloKind kind = SloKind::kRatio;
+  /// Numerator counter (kRatio), rate counter (kRate), or histogram
+  /// (kQuantile).
+  std::string metric;
+  /// Denominator counter; only meaningful for kRatio.
+  std::string denominator;
+  /// Quantile in (0, 1); only meaningful for kQuantile.
+  double quantile = 0.99;
+  /// Breach threshold: the SLO is breached while the windowed
+  /// observation exceeds this. Must be > 0 (the burn-rate divisor).
+  double threshold = 0.0;
+  /// Rolling window length in seconds.
+  double window_seconds = 30.0;
+  /// Minimum denominator events (kRatio), counted events (kRate), or
+  /// histogram samples (kQuantile) in the window before a breach can be
+  /// declared — a one-delivery campaign must not trip a 5% ratio.
+  uint64_t min_count = 1;
+  /// What the breach does (see BreachPolicy).
+  BreachPolicy policy = BreachPolicy::kLog;
+};
+
+/// Parses the `--slo` grammar documented in the file comment. Returns
+/// kParseError with a message naming the defect on malformed input.
+Result<SloSpec> ParseSloSpec(std::string_view text);
+
+/// Renders `spec` back into canonical grammar form (parseable by
+/// ParseSloSpec; used in reports and docs).
+std::string FormatSloSpec(const SloSpec& spec);
+
+/// The windowed evaluation result of one SLO at one instant.
+struct SloState {
+  /// The windowed observation: failure fraction, events/second, or the
+  /// quantile in microseconds.
+  double observed = 0.0;
+  /// Error-budget burn rate: observed / threshold. 1.0 = exactly at
+  /// budget; 2.0 = burning budget twice as fast as allowed.
+  double burn_rate = 0.0;
+  /// Denominator events / counted events / samples in the window.
+  uint64_t window_count = 0;
+  /// True while observed > threshold with min_count satisfied.
+  bool breached = false;
+};
+
+/// Deterministic rolling-window evaluator for one SLO. Not
+/// thread-safe; HealthMonitor serializes access, tests drive it
+/// directly with hand-fed cumulative readings.
+class SloWindow {
+ public:
+  /// Wraps `spec`; the spec's kind fixes which Update overload applies.
+  explicit SloWindow(SloSpec spec);
+
+  /// The spec this window evaluates.
+  const SloSpec& spec() const { return spec_; }
+
+  /// Feeds one cumulative counter reading at time `t_seconds`
+  /// (monotonic, caller-supplied): the numerator total, and for kRatio
+  /// the denominator total. Samples older than the window fall off; a
+  /// total that moved backwards (process restart) resets the window to
+  /// this sample. Returns the updated state.
+  SloState Update(double t_seconds, double numerator_total,
+                  double denominator_total = 0.0);
+
+  /// kQuantile flavor: feeds the histogram's cumulative per-bucket
+  /// counts (power-of-two-nanosecond buckets, as Histogram::Snapshot
+  /// returns them). The windowed quantile interpolates inside the
+  /// bucket-count *delta* across the window.
+  SloState UpdateBuckets(double t_seconds,
+                         const std::vector<uint64_t>& buckets_total);
+
+  /// State as of the last Update call.
+  const SloState& state() const { return state_; }
+
+ private:
+  struct Sample {
+    double t = 0.0;
+    double num = 0.0;
+    double den = 0.0;
+    std::vector<uint64_t> buckets;
+  };
+
+  SloState Evaluate();
+  void Push(Sample sample);
+
+  SloSpec spec_;
+  std::deque<Sample> samples_;
+  SloState state_;
+};
+
+/// What the breach action receives: the SLO's identity and the state
+/// that tripped it, safe to copy across threads.
+struct BreachInfo {
+  std::string slo_name;      ///< SloSpec::name
+  SloKind kind = SloKind::kRatio;        ///< SloSpec::kind
+  BreachPolicy policy = BreachPolicy::kLog;  ///< SloSpec::policy
+  std::string metric;        ///< SloSpec::metric
+  double observed = 0.0;     ///< windowed observation at the breach
+  double threshold = 0.0;    ///< the budget it exceeded
+  double burn_rate = 0.0;    ///< observed / threshold
+  uint64_t window_count = 0; ///< window population at the breach
+};
+
+/// Background watchdog over the global MetricsRegistry. Add SLOs, set
+/// the breach action, Start(); or drive EvaluateNow() directly in
+/// tests. Thread-safe.
+class HealthMonitor {
+ public:
+  HealthMonitor() = default;
+  /// Stops the thread and uninstalls this monitor if it is the global
+  /// one.
+  ~HealthMonitor();
+  /// Non-copyable: the object owns a thread.
+  HealthMonitor(const HealthMonitor&) = delete;
+  /// Non-copyable: the object owns a thread.
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Registers one SLO. Fails on an invalid spec or a duplicate name.
+  Status AddSlo(SloSpec spec);
+
+  /// Registers the breach action, invoked (outside the monitor's lock)
+  /// at most once per SLO, on its first breach transition.
+  void SetBreachAction(std::function<void(const BreachInfo&)> action);
+
+  /// Starts the evaluation thread ticking every `interval_seconds`
+  /// (clamped to >= 0.01). Seeds every window with an initial sample
+  /// first, so the first real tick already has a baseline. Fails if
+  /// running or if no SLOs are registered.
+  Status Start(double interval_seconds = 1.0);
+
+  /// Stops the thread after one final evaluation (a campaign shorter
+  /// than the interval still gets judged). Safe to call twice.
+  void Stop();
+
+  /// True between a successful Start() and Stop().
+  bool running() const { return running_; }
+
+  /// Runs one evaluation pass over the global registry now. The
+  /// deterministic entry point tests and Stop() use; also safe while
+  /// the thread runs.
+  void EvaluateNow();
+
+  /// One SLO's spec, current state, and whether its breach action
+  /// already fired.
+  struct SloReport {
+    SloSpec spec;          ///< the registered objective
+    SloState state;        ///< its windowed evaluation as of the snapshot
+    bool latched = false;  ///< breach action consumed
+  };
+
+  /// Snapshot of every registered SLO.
+  std::vector<SloReport> Report() const;
+
+  /// Evaluation passes completed so far.
+  uint64_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+
+  /// Writes the `health` snapshot section:
+  /// `{"evaluations":N,"slos":[{name,kind,metric,...,observed,
+  /// burn_rate,window_count,breached,latched},...]}`.
+  void WriteJson(JsonWriter& json) const;
+
+  /// Renders per-SLO gauges (`eric_slo_burn_rate{slo="..."}`,
+  /// `eric_slo_observed`, `eric_slo_breached`) in Prometheus text
+  /// form, label values escaped.
+  std::string PrometheusText() const;
+
+ private:
+  struct Tracked {
+    SloWindow window;
+    bool latched = false;
+    explicit Tracked(SloSpec spec) : window(std::move(spec)) {}
+  };
+
+  /// Samples the registry into every window; returns the breaches that
+  /// transitioned on this pass (actions are invoked by the caller,
+  /// outside mutex_).
+  std::vector<BreachInfo> EvaluateLocked();
+
+  mutable std::mutex mutex_;
+  std::vector<Tracked> slos_;
+  std::function<void(const BreachInfo&)> action_;
+  std::atomic<uint64_t> evaluations_{0};
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+
+  std::thread thread_;
+  bool running_ = false;
+  std::mutex stop_mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+};
+
+/// Installs `monitor` as the process-global watchdog that snapshot
+/// writers render; nullptr uninstalls. The monitor's destructor
+/// uninstalls itself, so the global pointer never dangles.
+void SetGlobalHealthMonitor(HealthMonitor* monitor);
+
+/// Writes the installed monitor's `health` section into `json`; with
+/// no monitor installed writes `{"evaluations":0,"slos":[]}` so the
+/// section is always present and schema-stable.
+void WriteGlobalHealthJson(JsonWriter& json);
+
+/// The installed monitor's Prometheus lines ("" when none installed).
+std::string GlobalHealthPrometheusText();
+
+}  // namespace eric::obs

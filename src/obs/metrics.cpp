@@ -189,8 +189,13 @@ std::vector<std::string> MetricsRegistry::HistogramNames() const {
 }
 
 void MetricsRegistry::WriteJson(JsonWriter& json) {
-  std::shared_lock lock(mutex_);
   json.BeginObject();
+  WriteJsonSections(json);
+  json.EndObject();
+}
+
+void MetricsRegistry::WriteJsonSections(JsonWriter& json) {
+  std::shared_lock lock(mutex_);
   json.Field("schema", "eric.metrics.v1");
   json.Field("sequence",
              sequence_.fetch_add(1, std::memory_order_relaxed) + 1);
@@ -234,7 +239,6 @@ void MetricsRegistry::WriteJson(JsonWriter& json) {
     json.EndArray();
     json.EndObject();
   }
-  json.EndObject();
   json.EndObject();
 }
 

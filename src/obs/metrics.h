@@ -151,6 +151,12 @@ class MetricsRegistry {
   /// tell two snapshots apart.
   void WriteJson(JsonWriter& json);
 
+  /// Writes the same snapshot as bare fields into an object the caller
+  /// has already opened (no Begin/EndObject) — so a composing writer
+  /// (the exporter) can append sibling sections like `events` and
+  /// `health` to the same document.
+  void WriteJsonSections(JsonWriter& json);
+
   /// Renders the snapshot in Prometheus text exposition format.
   /// Histograms surface as `<name>_count`, `<name>_sum`, and
   /// `<name>{quantile="..."}` summary lines.

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "store/fs_util.h"
@@ -200,7 +201,7 @@ Status Wal::Append(uint8_t type, std::span<const uint8_t> payload) {
       // even that fails the tail is unknown: refuse all further appends.
       if (::ftruncate(fd_, static_cast<off_t>(end_offset_)) != 0 ||
           ::lseek(fd_, 0, SEEK_END) < 0) {
-        poisoned_.store(true, std::memory_order_release);
+        Poison();
       }
       span.set_ok(false);
       return wrote;
@@ -247,7 +248,14 @@ void Wal::Poison() {
   // spuriously succeed because the kernel already consumed the error);
   // recovery replays whatever proves durable, and idempotent client
   // replay absorbs a record whose failure was reported to the caller.
-  poisoned_.store(true, std::memory_order_release);
+  if (!poisoned_.exchange(true, std::memory_order_release)) {
+    // First transition only: storage durability just died, which is
+    // flight-record material — every snapshot and the crash dump must
+    // show it.
+    obs::EmitEvent(obs::EventSeverity::kFatal, "store",
+                   "wal poisoned: on-disk tail unknowable after a failed "
+                   "write/fsync; refusing further appends");
+  }
 }
 
 Status Wal::SyncLocked(uint64_t my_seq) {

@@ -1,11 +1,13 @@
-// The one JSON string escaper. Every piece of code that emits JSON —
-// JsonWriter (bench results, fleetd reports), the metrics exporter, the
-// trace JSONL writer — routes string data through AppendJsonEscaped, so
-// a device name with an embedded quote or a control byte can never
-// produce an unparseable document.
+// The one JSON string escaper — plus its Prometheus sibling. Every
+// piece of code that emits JSON — JsonWriter (bench results, fleetd
+// reports), the metrics exporter, the trace JSONL writer — routes
+// string data through AppendJsonEscaped, so a device name with an
+// embedded quote or a control byte can never produce an unparseable
+// document. Label values in the Prometheus text exposition go through
+// AppendPromLabelEscaped for the same reason.
 //
-// Escapes per RFC 8259: ", \, and the short forms \b \f \n \r \t; any
-// other byte below 0x20 becomes \u00XX. Bytes >= 0x20 pass through
+// JSON escapes per RFC 8259: ", \, and the short forms \b \f \n \r \t;
+// any other byte below 0x20 becomes \u00XX. Bytes >= 0x20 pass through
 // untouched (UTF-8 sequences survive byte-for-byte).
 #pragma once
 
@@ -49,6 +51,32 @@ inline std::string JsonQuoted(std::string_view text) {
   out.reserve(text.size() + 2);
   out += '"';
   AppendJsonEscaped(out, text);
+  out += '"';
+  return out;
+}
+
+/// Escapes `text` as a Prometheus label *value* (text exposition
+/// format): backslash, double quote, and newline get backslash-escaped;
+/// every other byte passes through (the format is otherwise opaque
+/// bytes). Label values are the only place the exposition format needs
+/// escaping — metric and label *names* are charset-validated instead.
+inline void AppendPromLabelEscaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+/// Returns `text` escaped as a Prometheus label value, in quotes.
+inline std::string PromLabelQuoted(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  AppendPromLabelEscaped(out, text);
   out += '"';
   return out;
 }

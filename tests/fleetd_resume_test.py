@@ -45,6 +45,18 @@ Chaos soak:
      match their recorded CRC) or mid-apply (phase idle) — the A/B
      agent's crash-safety, proven from outside the process
 
+Watchdog pause:
+  1. start a campaign whose channel corrupts every delivery, with an
+     --slo failure-ratio watchdog (pause policy) evaluating every 100ms
+  2. wait for the watchdog record (type 6) to land durably in
+     campaign.wal — proof the breach paused a LIVE campaign — then
+     kill -9 the stalled daemon
+  3. restart with --resume and assert it refuses (exit 3) with a
+     watchdog report naming the breached SLO, without dispatching a
+     single target
+  4. restart with --resume --ack-watchdog over a clean channel and
+     assert the campaign completes the remaining targets exactly once
+
 Telemetry export:
   1. run the plain-campaign crash scenario with --metrics-out: every
      snapshot observed while the daemon runs must be complete, schema-
@@ -92,6 +104,8 @@ WAL_HEADER_SIZE = 8 + 8     # "ERICWAL1" magic + u64 fingerprint
 # Outcome record types: 2 = pre-delta {device, kind, attempts}, 5 = with
 # the delivery form appended. Both count as a durable checkpoint.
 OUTCOME_RECORD_TYPES = (2, 5)
+# Health-watchdog stop record (breach paused/aborted the campaign).
+WATCHDOG_RECORD_TYPE = 6
 
 TINY_PROGRAM = """
 fn main() {
@@ -108,8 +122,8 @@ def fail(message):
     sys.exit(1)
 
 
-def count_outcome_records(journal_path):
-    """Counts durably framed outcome records in a campaign.wal.
+def count_records(journal_path, types):
+    """Counts durably framed records of the given types in a campaign.wal.
 
     Parses the WAL frame layout (u32 payload_len | u8 type | u32 crc |
     payload) rather than assuming record sizes, so the count stays right
@@ -120,7 +134,7 @@ def count_outcome_records(journal_path):
             data = f.read()
     except OSError:
         return 0
-    outcomes = 0
+    matches = 0
     pos = WAL_HEADER_SIZE
     while pos + 9 <= len(data):
         (length,) = struct.unpack_from("<I", data, pos)
@@ -128,10 +142,14 @@ def count_outcome_records(journal_path):
         end = pos + 9 + length
         if end > len(data):
             break  # torn / still-being-written tail
-        if rec_type in OUTCOME_RECORD_TYPES:
-            outcomes += 1
+        if rec_type in types:
+            matches += 1
         pos = end
-    return outcomes
+    return matches
+
+
+def count_outcome_records(journal_path):
+    return count_records(journal_path, OUTCOME_RECORD_TYPES)
 
 
 def validate_snapshot(path, label, require=False):
@@ -496,6 +514,122 @@ def delta_attempt(fleetd, workdir, attempt):
     return prior
 
 
+WATCHDOG_SLO = ("ratio(fleet_delivery_failures,fleet_delivery_attempts)"
+                "<0.05@10s:pause;min=3")
+WATCHDOG_SLO_NAME = "fleet_delivery_failures_ratio"
+
+
+def watchdog_attempt(fleetd, workdir, attempt):
+    state_dir = os.path.join(workdir, "wd-state-%d" % attempt)
+    source = os.path.join(workdir, "tiny.eric")
+    with open(source, "w") as f:
+        f.write(TINY_PROGRAM)
+    journal = os.path.join(state_dir, "campaign.wal")
+
+    # The channel shape is part of the campaign fingerprint, so every
+    # invocation below — including the resumes — repeats it. Every
+    # delivery is corrupted: the failure ratio pins at 1.0 and the
+    # pause-policy SLO breaches as soon as min=3 attempts are in the
+    # window. The paused daemon then just sits on the dispatch gate.
+    base = [
+        fleetd, "--devices", str(DEVICES), "--groups", str(GROUPS),
+        "--source", source, "--state-dir", state_dir,
+        "--latency-us", str(LATENCY_US), "--attempts", "1",
+        "--fault", "bitflips", "--fault-rate", "1.0",
+    ]
+    faulty = base + [
+        "--workers", "1",
+        "--slo", WATCHDOG_SLO, "--slo-interval", "0.1",
+    ]
+    proc = subprocess.Popen(faulty, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    try:
+        deadline = time.time() + DEADLINE_S
+        stalled = False
+        while time.time() < deadline:
+            if proc.poll() is not None:
+                # The campaign outran the watchdog (it should not: the
+                # ratio breaches within the first few deliveries).
+                return None
+            if count_records(journal, (WATCHDOG_RECORD_TYPE,)) >= 1 and \
+                    count_outcome_records(journal) >= 1:
+                # The breach is durable and at least one target outcome
+                # checkpointed around the pause. Cut the power on the
+                # stalled daemon.
+                proc.send_signal(signal.SIGKILL)
+                proc.wait()
+                stalled = True
+                break
+            time.sleep(POLL_S)
+        if not stalled:
+            fail("watchdog never journaled a breach within %ds" % DEADLINE_S)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    # A bare --resume must refuse: exit 3, a watchdog report naming the
+    # breached SLO, and not a single dispatched target.
+    refused_json = os.path.join(workdir, "wd-refused-%d.json" % attempt)
+    refused = subprocess.run(base + ["--resume", "--json", refused_json],
+                             stdout=subprocess.PIPE,
+                             stderr=subprocess.STDOUT, text=True,
+                             timeout=DEADLINE_S)
+    if refused.returncode != 3:
+        fail("resume of a watchdog-paused campaign exited %d, want 3:\n%s" %
+             (refused.returncode, refused.stdout))
+    with open(refused_json) as f:
+        gate = json.load(f)
+    if not gate.get("watchdog_stopped") or gate.get("watchdog_aborted"):
+        fail("watchdog gate report wrong: %s" % gate)
+    if gate["slo"] != WATCHDOG_SLO_NAME:
+        fail("gate names SLO %r, want %r" % (gate["slo"], WATCHDOG_SLO_NAME))
+    if gate["observed"] <= gate["threshold"]:
+        fail("gate replayed a non-breach: observed %s <= threshold %s" %
+             (gate["observed"], gate["threshold"]))
+    if gate["original_targets"] != DEVICES or gate["remaining"] < 1:
+        fail("gate arithmetic wrong: %s" % gate)
+    # previously_completed is every checkpointed outcome; on the all-
+    # corrupting channel each of them is a failure.
+    prior = gate["previously_completed"]
+    if gate["previously_failed"] != prior:
+        fail("faulty channel checkpointed a success? %s" % gate)
+    if prior + gate["remaining"] != DEVICES:
+        fail("gate remaining does not partition the target set: %s" % gate)
+    if count_records(journal, (WATCHDOG_RECORD_TYPE,)) < 1:
+        fail("refused resume consumed the durable watchdog record")
+
+    # Acknowledged resume completes the remaining targets exactly once.
+    # The channel is still all-corrupting (it is fingerprinted into the
+    # campaign identity), so every resumed target fails and the daemon
+    # exits 1 — but it RAN them, which is the point of the ack.
+    acked_json = os.path.join(workdir, "wd-acked-%d.json" % attempt)
+    acked = subprocess.run(base + ["--resume", "--ack-watchdog",
+                                   "--workers", "2", "--json", acked_json],
+                           stdout=subprocess.PIPE,
+                           stderr=subprocess.STDOUT, text=True,
+                           timeout=DEADLINE_S)
+    if acked.returncode != 1:
+        fail("acked resume over the faulty channel exited %d, want 1 "
+             "(all targets fail):\n%s" % (acked.returncode, acked.stdout))
+    with open(acked_json) as f:
+        report = json.load(f)
+    if not report["resumed"]:
+        fail("acknowledged resume did not report resumed=true")
+    if report["previously_completed"] != prior:
+        fail("acknowledged resume sees %d prior outcomes, gate saw %d" %
+             (report["previously_completed"], prior))
+    if report["previously_completed"] + report["devices"] != DEVICES:
+        fail("acknowledged resume re-ran checkpointed targets: %s" % report)
+    if report["deliveries"] != report["devices"]:
+        fail("acked resume delivered %d times for %d remaining targets" %
+             (report["deliveries"], report["devices"]))
+    if report["failed"] != report["devices"]:
+        fail("all-corrupting channel: %d of %d targets failed" %
+             (report["failed"], report["devices"]))
+    return prior
+
+
 # Agent slot-manifest framing (src/agent/update_agent.cpp): 24-byte
 # header "ERICSLT1" | u64 device | u32 crc32(payload) | u32 payload_len,
 # then a RecordWriter payload. 0xFF encodes "no slot".
@@ -662,6 +796,8 @@ def main():
     workdir = tempfile.mkdtemp(prefix="eric-fleetd-resume-")
     try:
         run_scenario("plain campaign", plain_attempt, fleetd, workdir,
+                     DEVICES)
+        run_scenario("watchdog pause", watchdog_attempt, fleetd, workdir,
                      DEVICES)
         run_scenario("telemetry export", metrics_attempt, fleetd, workdir,
                      DEVICES)

@@ -69,6 +69,22 @@
 // WAL timings stitched under each campaign's trace id. Every --json
 // report additionally embeds the end-of-run registry under "telemetry".
 //
+// --slo SPEC (repeatable) arms the fleet health watchdog: each SPEC is
+// an SLO in the grammar documented in obs/health.h, e.g.
+// `ratio(fleet_delivery_failures,fleet_delivery_attempts)<0.05@30s:pause`.
+// A background monitor evaluates every --slo-interval seconds (default
+// 1) over rolling windows of the live metrics registry; a breach emits
+// a structured event and applies the spec's policy to the running
+// campaign: log (report only), pause (freeze dispatch via campaign
+// control), or abort (cancel the campaign). With --state-dir the breach
+// is journaled before the control action, so a daemon killed -9 right
+// after the watchdog acted still resumes into a paused-by-watchdog
+// campaign: --resume reports the breach and exits 3 until the operator
+// acknowledges it with --resume --ack-watchdog. Fatal events (WAL
+// poison, checkpoint-append failure) additionally dump the event ring
+// as a flight record to DIR/flight-record.json (or FILE.flight next to
+// --metrics-out when no state dir is configured).
+//
 // --soak runs the cross-layer chaos harness instead of a single
 // campaign: a seeded, hours-compressed sequence of rounds that mixes
 // enroll/revoke churn, concurrent key-epoch rotation and delta
@@ -98,7 +114,9 @@
 #include "fleet/deployment_engine.h"
 #include "fleet/package_cache.h"
 #include "fleet/rotation_campaign.h"
+#include "obs/events.h"
 #include "obs/export.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "store/record_io.h"
@@ -127,6 +145,8 @@ void Usage() {
       "                   [--delta --base-workload NAME]\n"
       "                   [--metrics-out FILE] [--metrics-interval SEC]\n"
       "                   [--trace-out FILE]\n"
+      "                   [--slo SPEC]... [--slo-interval SEC]\n"
+      "                   [--ack-watchdog]\n"
       "                   [--soak [--soak-profile short|long] "
       "[--soak-seed N]]\n");
 }
@@ -219,12 +239,14 @@ void WriteCommonJson(JsonWriter& json, const ReportContext& context) {
   json.Field("fleet_devices", context.fleet_devices);
 }
 
-/// End-of-run registry snapshot embedded in every --json report, so one
-/// file carries both the campaign's outcome and the telemetry (latency
-/// histograms, cache/WAL/channel counters) that explains it.
+/// End-of-run telemetry snapshot embedded in every --json report, so
+/// one file carries the campaign's outcome and the telemetry that
+/// explains it: the metrics registry plus the structured event ring and
+/// the health watchdog's SLO report (the same composed document the
+/// live exporter writes).
 void WriteTelemetryJson(JsonWriter& json) {
   json.Key("telemetry");
-  obs::MetricsRegistry::Global().WriteJson(json);
+  obs::WriteSnapshotJson(json);
 }
 
 void PrintScheduledReport(const fleet::ScheduledReport& report) {
@@ -769,6 +791,10 @@ int main(int argc, char** argv) {
   // Telemetry export knobs (-1: interval not set, derived below).
   std::string metrics_out, trace_out;
   double metrics_interval = -1.0;
+  // Health-watchdog knobs (-1: interval not set, derived below).
+  std::vector<std::string> slo_texts;
+  double slo_interval = -1.0;
+  bool ack_watchdog = false;
   // Chaos-soak knobs.
   bool soak = false;
   std::string soak_profile_name = "short";
@@ -816,6 +842,9 @@ int main(int argc, char** argv) {
     else if (arg("--metrics-out")) metrics_out = argv[++i];
     else if (arg("--metrics-interval")) metrics_interval = std::atof(argv[++i]);
     else if (arg("--trace-out")) trace_out = argv[++i];
+    else if (arg("--slo")) slo_texts.push_back(argv[++i]);
+    else if (arg("--slo-interval")) slo_interval = std::atof(argv[++i]);
+    else if (std::strcmp(argv[i], "--ack-watchdog") == 0) ack_watchdog = true;
     else if (std::strcmp(argv[i], "--soak") == 0) soak = true;
     else if (arg("--soak-profile")) soak_profile_name = argv[++i];
     else if (arg("--soak-seed"))
@@ -889,6 +918,40 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (metrics_interval < 0) metrics_interval = 1.0;
+
+  // --slo validation mirrors the telemetry flags: modifiers without an
+  // activating flag are refused, and a malformed spec fails fast with
+  // the parser's diagnosis instead of arming a watchdog that watches
+  // nothing.
+  std::vector<obs::SloSpec> slo_specs;
+  for (const auto& text : slo_texts) {
+    auto parsed = obs::ParseSloSpec(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--slo %s: %s\n", text.c_str(),
+                   parsed.status().ToString().c_str());
+      Usage();
+      return 2;
+    }
+    slo_specs.push_back(std::move(*parsed));
+  }
+  if (slo_specs.empty() && slo_interval >= 0) {
+    std::fprintf(stderr, "--slo-interval requires at least one --slo SPEC\n");
+    Usage();
+    return 2;
+  }
+  if (slo_interval < 0) slo_interval = 1.0;
+  if (!slo_specs.empty() && soak) {
+    // The soak drives its own campaign sequence; there is no single
+    // campaign control for a breach policy to act on.
+    std::fprintf(stderr, "--slo cannot be combined with --soak\n");
+    Usage();
+    return 2;
+  }
+  if (ack_watchdog && !resume) {
+    std::fprintf(stderr, "--ack-watchdog requires --resume\n");
+    Usage();
+    return 2;
+  }
 
   // Program to deploy (and, for --delta, the release it patches from).
   const auto load_program = [](const std::string& path,
@@ -1003,6 +1066,17 @@ int main(int argc, char** argv) {
     } else {
       std::printf("state: fresh state dir %s\n", state_dir.c_str());
     }
+  }
+
+  // Flight recorder: any fatal event (WAL poison, checkpoint-append
+  // failure) dumps the whole event ring here. Prefer the durable state
+  // dir (it exists by now — OpenStorage created it); fall back to a
+  // sibling of the metrics snapshot.
+  std::string flight_path;
+  if (!state_dir.empty()) flight_path = state_dir + "/flight-record.json";
+  else if (!metrics_out.empty()) flight_path = metrics_out + ".flight";
+  if (!flight_path.empty()) {
+    obs::EventLog::Global().SetFlightRecorderPath(flight_path);
   }
 
   std::vector<fleet::DeviceId> all_devices;
@@ -1180,6 +1254,47 @@ int main(int argc, char** argv) {
                   original_targets,
                   static_cast<unsigned long long>(previously_failed),
                   campaign.devices.size());
+      if (recovered.watchdog) {
+        const char* verb = recovered.watchdog_abort ? "aborted" : "paused";
+        std::printf(
+            "resume: campaign was %s by the health watchdog: SLO %s "
+            "observed %.6g > %.6g (burn %.2fx)\n",
+            verb, recovered.watchdog_slo.c_str(),
+            recovered.watchdog_observed, recovered.watchdog_threshold,
+            recovered.watchdog_burn);
+        if (!ack_watchdog) {
+          std::fprintf(stderr,
+                       "refusing to resume a watchdog-%s campaign; rerun "
+                       "with --resume --ack-watchdog to acknowledge the "
+                       "breach and continue\n",
+                       verb);
+          if (!json_path.empty()) {
+            JsonWriter json;
+            json.BeginObject();
+            json.Field("tool", "eric_fleetd");
+            json.Field("watchdog_stopped", true);
+            json.Field("watchdog_aborted", recovered.watchdog_abort);
+            json.Field("slo", recovered.watchdog_slo);
+            json.Field("observed", recovered.watchdog_observed);
+            json.Field("threshold", recovered.watchdog_threshold);
+            json.Field("burn_rate", recovered.watchdog_burn);
+            json.Field("previously_completed", previously_completed);
+            json.Field("previously_failed", previously_failed);
+            json.Field("original_targets", original_targets);
+            json.Field("remaining", campaign.devices.size());
+            json.EndObject();
+            if (!json.WriteFile(json_path.c_str())) {
+              std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            } else {
+              std::printf("wrote %s\n", json_path.c_str());
+            }
+          }
+          return 3;
+        }
+        std::printf("resume: watchdog %s acknowledged; continuing over "
+                    "the remaining targets\n",
+                    recovered.watchdog_abort ? "abort" : "pause");
+      }
     } else {
       if (resume) {
         std::printf("resume: no interrupted campaign in %s; starting "
@@ -1241,6 +1356,75 @@ int main(int argc, char** argv) {
               program_name.c_str(), mode.c_str(), workers, attempts,
               fault_name.c_str(), fault_rate);
 
+  // --- Health watchdog ------------------------------------------------------
+  // One control block shared by every campaign path below, so the
+  // watchdog's breach action can pause or cancel whichever path runs.
+  // Declaration order is the safety argument: the watchdog (and the
+  // shutdown guard after it) is declared after the journal and the
+  // control, so its breach action can never fire against a destroyed
+  // journal or control block.
+  fleet::CampaignControl control;
+  obs::HealthMonitor watchdog;
+  if (!slo_specs.empty()) {
+    for (const auto& spec : slo_specs) {
+      auto added = watchdog.AddSlo(spec);
+      if (!added.ok()) {
+        std::fprintf(stderr, "--slo %s: %s\n",
+                     obs::FormatSloSpec(spec).c_str(),
+                     added.ToString().c_str());
+        return 2;
+      }
+      std::printf("watchdog: %s\n", obs::FormatSloSpec(spec).c_str());
+    }
+    watchdog.SetBreachAction([&](const obs::BreachInfo& breach) {
+      std::fprintf(stderr,
+                   "watchdog: SLO %s breached: observed %.6g > %.6g "
+                   "(burn %.2fx, n=%llu) -> %s\n",
+                   breach.slo_name.c_str(), breach.observed,
+                   breach.threshold, breach.burn_rate,
+                   static_cast<unsigned long long>(breach.window_count),
+                   std::string(obs::BreachPolicyName(breach.policy))
+                       .c_str());
+      if (breach.policy == obs::BreachPolicy::kLog) return;
+      const bool abort = breach.policy == obs::BreachPolicy::kAbort;
+      // Journal before control: a kill -9 landing between the two still
+      // resumes into a watchdog-stopped campaign, never a silently
+      // half-paused one.
+      if (journal_active) {
+        auto noted = journal.NoteWatchdog(breach.slo_name, abort,
+                                          breach.observed, breach.threshold,
+                                          breach.burn_rate);
+        if (!noted.ok()) {
+          std::fprintf(stderr, "watchdog: cannot journal the breach: %s\n",
+                       noted.ToString().c_str());
+        }
+      }
+      if (abort) {
+        control.Cancel();
+      } else {
+        control.Pause();
+      }
+    });
+    obs::SetGlobalHealthMonitor(&watchdog);
+    auto started = watchdog.Start(slo_interval);
+    if (!started.ok()) {
+      std::fprintf(stderr, "cannot start health watchdog: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+  }
+  // Stops the watchdog (one final evaluation) and then the exporter
+  // (one final snapshot) on every exit path below — in that order, so
+  // the final snapshot's health section carries the final verdict.
+  struct TelemetryShutdown {
+    obs::HealthMonitor* watchdog;
+    obs::MetricsExporter* exporter;
+    ~TelemetryShutdown() {
+      watchdog->Stop();
+      exporter->Stop();
+    }
+  } telemetry_shutdown{&watchdog, &exporter};
+
   // --- Key-epoch rotation campaign path -------------------------------------
   if (rotate_group != 0) {
     if (canary_threshold < 0) canary_threshold = 0.1;
@@ -1260,7 +1444,6 @@ int main(int argc, char** argv) {
     rotation_config.campaign = campaign;
     rotation_config.rollout = rollout;
 
-    fleet::CampaignControl control;
     if (journal_active) {
       control.AttachCheckpointSink(&journal);
       journal.CancelCampaignOnError(&control);
@@ -1358,7 +1541,6 @@ int main(int argc, char** argv) {
                 canary, canary_threshold, wave_size, rate, group_concurrency);
 
     fleet::CampaignScheduler scheduler(engine, registry);
-    fleet::CampaignControl control;
     if (journal_active) {
       control.AttachCheckpointSink(&journal);
       journal.CancelCampaignOnError(&control);
@@ -1429,14 +1611,16 @@ int main(int argc, char** argv) {
   }
 
   // --- Flat (unscheduled) campaign path -------------------------------------
-  // With a journal attached the flat path still needs a (limitless)
-  // governor: it is the conduit that carries each target's final outcome
-  // to the durable checkpoint sink.
-  fleet::CampaignControl flat_control;
-  fleet::DispatchGovernor flat_governor({}, &flat_control);
+  // With a journal or a watchdog attached the flat path still needs a
+  // (limitless) governor: it is the conduit that carries each target's
+  // final outcome to the durable checkpoint sink, and the lever the
+  // watchdog's pause/cancel acts through.
+  fleet::DispatchGovernor flat_governor({}, &control);
   if (journal_active) {
-    flat_control.AttachCheckpointSink(&journal);
-    journal.CancelCampaignOnError(&flat_control);
+    control.AttachCheckpointSink(&journal);
+    journal.CancelCampaignOnError(&control);
+  }
+  if (journal_active || watchdog.running()) {
     campaign.governor = &flat_governor;
   }
   auto report = engine.Run(campaign);

@@ -10,9 +10,18 @@ and sparse bucket lists whose counts sum exactly to the histogram
 count. CI runs this against a live snapshot from a real campaign so a
 malformed exporter fails the build, not a dashboard at 3am.
 
+The `events` and `health` sections (the structured event ring and the
+SLO watchdog report) are validated whenever present: severities must be
+in the enum, event sequence numbers strictly increasing, the ring's
+appended/dropped arithmetic coherent, and every SLO entry must carry a
+complete spec + state with a non-negative burn rate. `--require-slo`
+and `--require-event` turn their absence into a failure, which is how
+CI pins the live faulty-campaign snapshot.
+
 Usage:
   validate_metrics.py SNAPSHOT.json [more.json ...]
       [--require-counter NAME ...] [--require-histogram NAME ...]
+      [--require-slo NAME ...] [--require-event SUBSYSTEM ...]
 
 A file whose top level is a campaign report (has a "telemetry" key) is
 validated on that section, so both `--metrics-out` snapshots and
@@ -126,7 +135,135 @@ def validate_histogram(name, hist):
                 f"below min_us * count")
 
 
-def validate_snapshot(doc, require_counters, require_histograms):
+EVENT_SEVERITIES = ("info", "warn", "error", "fatal")
+EVENT_FIELDS = ("seq", "uptime_us", "severity", "subsystem", "device",
+                "campaign", "message")
+SLO_KINDS = ("ratio", "rate", "quantile")
+SLO_POLICIES = ("log", "pause", "abort")
+SLO_FIELDS = ("name", "kind", "metric", "threshold", "window_seconds",
+              "min_count", "policy", "observed", "burn_rate",
+              "window_count", "breached", "latched")
+
+
+def validate_events(events):
+    """The structured event ring: loss accounting must be coherent and
+    every retained record complete, enum-valid, and in emit order."""
+    if not isinstance(events, dict):
+        problem("'events' is not an object")
+        return
+    for field in ("ring_capacity", "appended", "dropped", "recent"):
+        if field not in events:
+            problem(f"events: missing field {field!r}")
+            return
+    for field in ("ring_capacity", "appended", "dropped"):
+        if not is_int(events[field]) or events[field] < 0:
+            problem(f"events: {field} {events[field]!r} is not a "
+                    "non-negative integer")
+            return
+    recent = events["recent"]
+    if not isinstance(recent, list):
+        problem("events: 'recent' is not a list")
+        return
+    if len(recent) + events["dropped"] > events["appended"]:
+        problem(f"events: {len(recent)} retained + {events['dropped']} "
+                f"dropped exceeds {events['appended']} appended")
+    prev_seq = 0
+    for entry in recent:
+        if not isinstance(entry, dict):
+            problem(f"events: recent entry {entry!r} is not an object")
+            return
+        for field in EVENT_FIELDS:
+            if field not in entry:
+                problem(f"events: entry seq={entry.get('seq')!r} missing "
+                        f"field {field!r}")
+                return
+        if not is_int(entry["seq"]) or entry["seq"] <= prev_seq:
+            problem(f"events: seq {entry['seq']!r} is not strictly "
+                    f"increasing after {prev_seq}")
+        prev_seq = entry["seq"] if is_int(entry["seq"]) else prev_seq
+        if entry["severity"] not in EVENT_SEVERITIES:
+            problem(f"events: seq={entry['seq']}: severity "
+                    f"{entry['severity']!r} not in {EVENT_SEVERITIES}")
+        if not isinstance(entry["subsystem"], str) or not entry["subsystem"]:
+            problem(f"events: seq={entry['seq']}: empty subsystem")
+        if not isinstance(entry["message"], str):
+            problem(f"events: seq={entry['seq']}: message is not a string")
+        if not is_num(entry["uptime_us"]) or entry["uptime_us"] < 0:
+            problem(f"events: seq={entry['seq']}: bad uptime_us "
+                    f"{entry['uptime_us']!r}")
+        for field in ("device", "campaign"):
+            if not is_int(entry[field]) or entry[field] < 0:
+                problem(f"events: seq={entry['seq']}: {field} "
+                        f"{entry[field]!r} is not a non-negative integer")
+
+
+def validate_health(health):
+    """The watchdog report: every SLO entry carries its full spec and
+    windowed state, with enum-valid kind/policy and sane numbers."""
+    if not isinstance(health, dict):
+        problem("'health' is not an object")
+        return
+    if not is_int(health.get("evaluations")) or health["evaluations"] < 0:
+        problem(f"health: evaluations {health.get('evaluations')!r} is not "
+                "a non-negative integer")
+    slos = health.get("slos")
+    if not isinstance(slos, list):
+        problem("health: 'slos' is not a list")
+        return
+    seen = set()
+    for slo in slos:
+        if not isinstance(slo, dict):
+            problem(f"health: slo entry {slo!r} is not an object")
+            return
+        for field in SLO_FIELDS:
+            if field not in slo:
+                problem(f"health: slo {slo.get('name')!r} missing field "
+                        f"{field!r}")
+                return
+        name = slo["name"]
+        if not isinstance(name, str) or not name:
+            problem(f"health: slo name {name!r} is not a non-empty string")
+            continue
+        if name in seen:
+            problem(f"health: duplicate slo name {name!r}")
+        seen.add(name)
+        if slo["kind"] not in SLO_KINDS:
+            problem(f"health: slo {name!r}: kind {slo['kind']!r} not in "
+                    f"{SLO_KINDS}")
+        if slo["kind"] == "ratio" and "denominator" not in slo:
+            problem(f"health: ratio slo {name!r} lacks a denominator")
+        if slo["kind"] == "quantile" and not is_num(slo.get("quantile")):
+            problem(f"health: quantile slo {name!r} lacks a quantile")
+        if slo["policy"] not in SLO_POLICIES:
+            problem(f"health: slo {name!r}: policy {slo['policy']!r} not in "
+                    f"{SLO_POLICIES}")
+        check_name("slo metric", slo["metric"])
+        if not is_num(slo["threshold"]) or slo["threshold"] <= 0:
+            problem(f"health: slo {name!r}: threshold {slo['threshold']!r} "
+                    "is not positive")
+        if not is_num(slo["window_seconds"]) or slo["window_seconds"] <= 0:
+            problem(f"health: slo {name!r}: window_seconds "
+                    f"{slo['window_seconds']!r} is not positive")
+        if not is_int(slo["min_count"]) or slo["min_count"] < 1:
+            problem(f"health: slo {name!r}: min_count {slo['min_count']!r} "
+                    "is not a positive integer")
+        for field in ("observed", "burn_rate"):
+            if not is_num(slo[field]) or slo[field] < 0:
+                problem(f"health: slo {name!r}: {field} {slo[field]!r} is "
+                        "not a non-negative number")
+        if not is_int(slo["window_count"]) or slo["window_count"] < 0:
+            problem(f"health: slo {name!r}: window_count "
+                    f"{slo['window_count']!r} is not a non-negative integer")
+        for field in ("breached", "latched"):
+            if not isinstance(slo[field], bool):
+                problem(f"health: slo {name!r}: {field} is not a boolean")
+        if slo["breached"] and not slo["latched"]:
+            problem(f"health: slo {name!r}: breached but not latched "
+                    "(the latch must stick while the breach holds)")
+
+
+def validate_snapshot(doc, require_counters, require_histograms,
+                      require_slos=(), require_events=()):
     if not isinstance(doc, dict):
         problem("top level is not an object")
         return
@@ -144,6 +281,14 @@ def validate_snapshot(doc, require_counters, require_histograms):
     validate_gauges(doc["gauges"])
     for name, hist in doc["histograms"].items():
         validate_histogram(name, hist)
+    if "events" in doc:
+        validate_events(doc["events"])
+    elif require_events:
+        problem("snapshot has no 'events' section but events are required")
+    if "health" in doc:
+        validate_health(doc["health"])
+    elif require_slos:
+        problem("snapshot has no 'health' section but SLOs are required")
     for name in require_counters:
         if name not in doc["counters"]:
             problem(f"required counter {name!r} is absent")
@@ -153,9 +298,24 @@ def validate_snapshot(doc, require_counters, require_histograms):
             problem(f"required histogram {name!r} is absent")
         elif hist.get("count") == 0:
             problem(f"required histogram {name!r} has no samples")
+    slos = doc.get("health", {}).get("slos", []) \
+        if isinstance(doc.get("health"), dict) else []
+    slo_names = {s.get("name") for s in slos if isinstance(s, dict)}
+    for name in require_slos:
+        if name not in slo_names:
+            problem(f"required slo {name!r} is absent from the health "
+                    "section")
+    recent = doc.get("events", {}).get("recent", []) \
+        if isinstance(doc.get("events"), dict) else []
+    subsystems = {e.get("subsystem") for e in recent if isinstance(e, dict)}
+    for name in require_events:
+        if name not in subsystems:
+            problem(f"no event from required subsystem {name!r} in the "
+                    "events section")
 
 
-def validate_file(path, require_counters, require_histograms):
+def validate_file(path, require_counters, require_histograms,
+                  require_slos=(), require_events=()):
     global _problems
     _problems = []
     try:
@@ -167,7 +327,8 @@ def validate_file(path, require_counters, require_histograms):
         return [f"not valid JSON (torn write?): {err}"]
     if isinstance(doc, dict) and "telemetry" in doc:
         doc = doc["telemetry"]  # campaign report: validate its section
-    validate_snapshot(doc, require_counters, require_histograms)
+    validate_snapshot(doc, require_counters, require_histograms,
+                      require_slos, require_events)
     return _problems
 
 
@@ -181,12 +342,20 @@ def main():
     parser.add_argument("--require-histogram", action="append", default=[],
                         metavar="NAME",
                         help="fail unless this histogram has samples")
+    parser.add_argument("--require-slo", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless the health section tracks this SLO")
+    parser.add_argument("--require-event", action="append", default=[],
+                        metavar="SUBSYSTEM",
+                        help="fail unless an event from this subsystem is "
+                             "in the ring")
     args = parser.parse_args()
 
     failed = False
     for path in args.files:
         problems = validate_file(path, args.require_counter,
-                                 args.require_histogram)
+                                 args.require_histogram,
+                                 args.require_slo, args.require_event)
         if problems:
             failed = True
             print(f"FAIL {path}")
