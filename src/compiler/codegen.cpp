@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "isa/encoder.h"
+#include "isa/isa_backend.h"
 
 namespace eric::compiler {
 namespace {
@@ -22,6 +23,9 @@ using isa::Op;
 constexpr uint8_t kT0 = 5, kT1 = 6, kT2 = 7;
 constexpr uint8_t kSp = 2, kRa = 1, kZero = 0;
 constexpr uint8_t kA0 = 10;
+// Extra scratch used only inside the RV32 mul/div helper routines (never
+// by the slot machine itself, so helpers cannot clobber live state).
+constexpr uint8_t kA5 = 15, kA6 = 16, kA7 = 17, kT3 = 28;
 
 // MMIO device page (see sim/soc.h): 0x1000'0000 = lui 0x10000.
 constexpr int64_t kDevicePageHi = 0x10000;
@@ -52,7 +56,11 @@ struct MInstr {
 class ModuleEmitter {
  public:
   ModuleEmitter(const IrModule& module, const CodegenOptions& options)
-      : module_(module), options_(options) {}
+      : module_(module),
+        options_(options),
+        backend_(isa::BackendFor(options.isa)),
+        word_(static_cast<int64_t>(backend_.word_bytes())),
+        compress_(options.compress && backend_.supports_compressed()) {}
 
   Result<CompiledProgram> Run() {
     LayoutGlobals();
@@ -61,6 +69,8 @@ class ModuleEmitter {
       function_entries_[fn.name] = instrs_.size();
       ERIC_RETURN_IF_ERROR(EmitFunction(fn));
     }
+    EmitMulDivHelpers();
+    if (!error_.ok()) return error_;  // deferred EmitLoadImm failures
     ERIC_RETURN_IF_ERROR(ResolveCalls());
     Peephole();
     return Layout();
@@ -94,7 +104,21 @@ class ModuleEmitter {
   }
 
   /// Materializes an arbitrary 64-bit constant into `rd`.
+  ///
+  /// On RV32 a constant must fit a 32-bit register: values in
+  /// [INT32_MIN, UINT32_MAX] materialize as their 32-bit two's-complement
+  /// pattern (lui+addi), anything wider is a 64-bit-only construct and
+  /// fails the compile (recorded in `error_`; checked in Run).
   void EmitLoadImm(uint8_t rd, int64_t value) {
+    if (rv32()) {
+      if (value < INT32_MIN || value > static_cast<int64_t>(UINT32_MAX)) {
+        SetError(Status(ErrorCode::kInvalidArgument,
+                        "rv32i: constant " + std::to_string(value) +
+                            " does not fit in 32 bits"));
+        return;
+      }
+      value = static_cast<int32_t>(value);  // canonical 32-bit pattern
+    }
     if (value >= -2048 && value <= 2047) {
       Emit(MakeI(Op::kAddi, rd, kZero, value));
       return;
@@ -106,7 +130,9 @@ class ModuleEmitter {
       // bits and sign-extends, which is exactly RV64 semantics.
       Emit(MakeLui(rd, static_cast<int64_t>(static_cast<int32_t>(hi << 12)) >>
                            12));
-      if (lo != 0) Emit(MakeI(Op::kAddiw, rd, rd, lo));
+      // addiw sign-extends from bit 31 on RV64; plain addi is the same
+      // operation when XLEN is 32.
+      if (lo != 0) Emit(MakeI(rv32() ? Op::kAddi : Op::kAddiw, rd, rd, lo));
       return;
     }
     // 64-bit: materialize the high 32 bits, then shift in the low 32 in
@@ -121,11 +147,22 @@ class ModuleEmitter {
     Emit(MakeI(Op::kOri, rd, rd, value & 0x3FF));
   }
 
+  bool rv32() const { return backend_.xlen() == 32; }
+
+  /// Word-sized load/store ops for the current backend (stack slots,
+  /// globals, and the MMIO exit register are all word-granular).
+  Op WordLoadOp() const { return rv32() ? Op::kLw : Op::kLd; }
+  Op WordStoreOp() const { return rv32() ? Op::kSw : Op::kSd; }
+
+  void SetError(Status status) {
+    if (error_.ok()) error_ = std::move(status);
+  }
+
   // Stack slot of a vreg (bytes from sp). Slot 0 holds ra.
-  static int64_t SlotOf(VReg reg) { return 8 + int64_t{8} * (reg - 1); }
+  int64_t SlotOf(VReg reg) const { return word_ + word_ * (reg - 1); }
 
   int64_t FrameBytes(const IrFunction& fn) const {
-    const int64_t raw = 8 + int64_t{8} * (fn.next_vreg - 1);
+    const int64_t raw = word_ + word_ * (fn.next_vreg - 1);
     return (raw + 15) & ~int64_t{15};
   }
 
@@ -133,11 +170,11 @@ class ModuleEmitter {
   void EmitSlotLoad(uint8_t rd, VReg reg) {
     const int64_t slot = SlotOf(reg);
     if (slot <= 2047) {
-      Emit(MakeLoad(Op::kLd, rd, kSp, slot));
+      Emit(MakeLoad(WordLoadOp(), rd, kSp, slot));
     } else {
       EmitLoadImm(kT2, slot);
       Emit(MakeR(Op::kAdd, kT2, kSp, kT2));
-      Emit(MakeLoad(Op::kLd, rd, kT2, 0));
+      Emit(MakeLoad(WordLoadOp(), rd, kT2, 0));
     }
   }
 
@@ -145,11 +182,11 @@ class ModuleEmitter {
   void EmitSlotStore(uint8_t rs, VReg reg) {
     const int64_t slot = SlotOf(reg);
     if (slot <= 2047) {
-      Emit(MakeStore(Op::kSd, rs, kSp, slot));
+      Emit(MakeStore(WordStoreOp(), rs, kSp, slot));
     } else {
       EmitLoadImm(kT2, slot);
       Emit(MakeR(Op::kAdd, kT2, kSp, kT2));
-      Emit(MakeStore(Op::kSd, rs, kT2, 0));
+      Emit(MakeStore(WordStoreOp(), rs, kT2, 0));
     }
   }
 
@@ -185,13 +222,13 @@ class ModuleEmitter {
     for (const IrGlobal& g : module_.globals) {
       if (g.init_values.empty()) continue;
       global_offsets_[g.name] = offset;
-      offset += g.size_elems * 8;
+      offset += g.size_elems * word_;
     }
     data_bytes_ = static_cast<size_t>(offset);
     for (const IrGlobal& g : module_.globals) {
       if (!g.init_values.empty()) continue;
       global_offsets_[g.name] = offset;
-      offset += g.size_elems * 8;
+      offset += g.size_elems * word_;
     }
   }
 
@@ -199,7 +236,7 @@ class ModuleEmitter {
     // _start: call main, write a0 to the exit device, spin.
     EmitCall("main");
     Emit(MakeLui(kT0, kDevicePageHi));
-    Emit(MakeStore(Op::kSd, kA0, kT0, kExitOffset));
+    Emit(MakeStore(WordStoreOp(), kA0, kT0, kExitOffset));
     const size_t spin = Emit(MakeJal(kZero, 0));
     instrs_[spin].fixup = FixupKind::kJump;
     instrs_[spin].target = static_cast<int>(spin);  // safety self-loop
@@ -214,7 +251,7 @@ class ModuleEmitter {
       EmitLoadImm(kT2, frame);
       Emit(MakeR(Op::kSub, kSp, kSp, kT2));
     }
-    Emit(MakeStore(Op::kSd, kRa, kSp, 0));
+    Emit(MakeStore(WordStoreOp(), kRa, kSp, 0));
     for (int i = 0; i < fn.num_params; ++i) {
       EmitSlotStore(static_cast<uint8_t>(kA0 + i), static_cast<VReg>(i + 1));
     }
@@ -253,7 +290,7 @@ class ModuleEmitter {
 
   /// Emits the inline epilogue + ret.
   void EmitEpilogue(int64_t frame) {
-    Emit(MakeLoad(Op::kLd, kRa, kSp, 0));
+    Emit(MakeLoad(WordLoadOp(), kRa, kSp, 0));
     if (frame <= 2047) {
       Emit(MakeI(Op::kAddi, kSp, kSp, frame));
     } else {
@@ -301,10 +338,10 @@ class ModuleEmitter {
         EmitGlobalAddress(kT0, instr.symbol, 0);
         if (instr.index != kNoVReg) {
           EmitSlotLoad(kT1, instr.index);
-          Emit(MakeI(Op::kSlli, kT1, kT1, 3));
+          Emit(MakeI(Op::kSlli, kT1, kT1, rv32() ? 2 : 3));
           Emit(MakeR(Op::kAdd, kT0, kT0, kT1));
         }
-        Emit(MakeLoad(Op::kLd, kT0, kT0, 0));
+        Emit(MakeLoad(WordLoadOp(), kT0, kT0, 0));
         EmitSlotStore(kT0, instr.dst);
         return Status::Ok();
       }
@@ -312,11 +349,11 @@ class ModuleEmitter {
         EmitGlobalAddress(kT0, instr.symbol, 0);
         if (instr.index != kNoVReg) {
           EmitSlotLoad(kT1, instr.index);
-          Emit(MakeI(Op::kSlli, kT1, kT1, 3));
+          Emit(MakeI(Op::kSlli, kT1, kT1, rv32() ? 2 : 3));
           Emit(MakeR(Op::kAdd, kT0, kT0, kT1));
         }
         EmitSlotLoad(kT1, instr.lhs);
-        Emit(MakeStore(Op::kSd, kT1, kT0, 0));
+        Emit(MakeStore(WordStoreOp(), kT1, kT0, 0));
         return Status::Ok();
       }
       case IrInstr::Kind::kCall: {
@@ -341,7 +378,7 @@ class ModuleEmitter {
           }
           EmitSlotLoad(kT0, instr.args[0]);
           Emit(MakeLui(kT1, kDevicePageHi));
-          Emit(MakeStore(Op::kSd, kT0, kT1, kExitOffset));
+          Emit(MakeStore(WordStoreOp(), kT0, kT1, kExitOffset));
           return Status::Ok();
         }
         // Regular call: args -> a0..a7, jal, a0 -> dst.
@@ -386,9 +423,34 @@ class ModuleEmitter {
     switch (op) {
       case IrBinOp::kAdd: Emit(MakeR(Op::kAdd, kT0, kT0, kT1)); break;
       case IrBinOp::kSub: Emit(MakeR(Op::kSub, kT0, kT0, kT1)); break;
-      case IrBinOp::kMul: Emit(MakeR(Op::kMul, kT0, kT0, kT1)); break;
-      case IrBinOp::kDiv: Emit(MakeR(Op::kDiv, kT0, kT0, kT1)); break;
-      case IrBinOp::kRem: Emit(MakeR(Op::kRem, kT0, kT0, kT1)); break;
+      // RV32I carries no M extension: multiply/divide lower to calls into
+      // base-ISA helper routines synthesized after the user functions
+      // (operands t0/t1, result t0 — the slot machine's own convention;
+      // ra is frame-saved, so a mid-body call is safe).
+      case IrBinOp::kMul:
+        if (rv32()) {
+          needs_mul_ = true;
+          EmitCall(kMulHelper);
+        } else {
+          Emit(MakeR(Op::kMul, kT0, kT0, kT1));
+        }
+        break;
+      case IrBinOp::kDiv:
+        if (rv32()) {
+          needs_div_ = true;
+          EmitCall(kDivHelper);
+        } else {
+          Emit(MakeR(Op::kDiv, kT0, kT0, kT1));
+        }
+        break;
+      case IrBinOp::kRem:
+        if (rv32()) {
+          needs_rem_ = true;
+          EmitCall(kRemHelper);
+        } else {
+          Emit(MakeR(Op::kRem, kT0, kT0, kT1));
+        }
+        break;
       case IrBinOp::kAnd: Emit(MakeR(Op::kAnd, kT0, kT0, kT1)); break;
       case IrBinOp::kOr: Emit(MakeR(Op::kOr, kT0, kT0, kT1)); break;
       case IrBinOp::kXor: Emit(MakeR(Op::kXor, kT0, kT0, kT1)); break;
@@ -413,6 +475,130 @@ class ModuleEmitter {
         Emit(MakeI(Op::kXori, kT0, kT0, 1));
         break;
     }
+  }
+
+  // --- RV32 multiply/divide helper synthesis ------------------------------
+  //
+  // RV32I has no M extension, so kMul/kDiv/kRem lower to calls into these
+  // routines, emitted (only when used) after the user functions and
+  // resolved through the normal call fixup machinery. Calling convention:
+  // operands in t0/t1, result in t0; clobbers t2/t3/a5/a6/a7 and ra —
+  // all dead between IR instructions (values live in stack slots, and the
+  // caller's ra is frame-saved). The routines touch neither sp nor
+  // memory, so they need no frame of their own.
+
+  /// Conditional branch to an absolute instruction index (helpers span a
+  /// few dozen uncompressed instructions, far inside the B-type range).
+  void EmitHelperBranch(Op op, uint8_t rs1, uint8_t rs2, size_t target) {
+    MInstr m;
+    m.instr = MakeBranch(op, rs1, rs2, 0);
+    m.fixup = FixupKind::kBranch;
+    m.target = static_cast<int>(target);
+    instrs_.push_back(std::move(m));
+  }
+
+  void EmitHelperJump(size_t target) {
+    MInstr m;
+    m.instr = MakeJal(kZero, 0);
+    m.fixup = FixupKind::kJump;
+    m.target = static_cast<int>(target);
+    instrs_.push_back(std::move(m));
+  }
+
+  void EmitMulDivHelpers() {
+    if (!rv32()) return;
+    if (needs_mul_) {
+      function_entries_[kMulHelper] = instrs_.size();
+      EmitMulHelper();
+    }
+    if (needs_div_) {
+      function_entries_[kDivHelper] = instrs_.size();
+      EmitDivRemHelper(/*want_remainder=*/false);
+    }
+    if (needs_rem_) {
+      function_entries_[kRemHelper] = instrs_.size();
+      EmitDivRemHelper(/*want_remainder=*/true);
+    }
+  }
+
+  /// t0 = low 32 bits of t0 * t1 (shift-add; correct for signed and
+  /// unsigned operands alike, exactly like the M extension's `mul`).
+  void EmitMulHelper() {
+    const size_t e = instrs_.size();
+    Emit(MakeI(Op::kAddi, kA5, kZero, 0));        // e+0  acc = 0
+    Emit(MakeI(Op::kAddi, kA6, kT0, 0));          // e+1  multiplicand
+    Emit(MakeI(Op::kAddi, kA7, kT1, 0));          // e+2  multiplier
+    EmitHelperBranch(Op::kBeq, kA7, kZero, e + 10);  // e+3  loop: done?
+    Emit(MakeI(Op::kAndi, kT2, kA7, 1));          // e+4
+    EmitHelperBranch(Op::kBeq, kT2, kZero, e + 7);   // e+5  bit clear
+    Emit(MakeR(Op::kAdd, kA5, kA5, kA6));         // e+6
+    Emit(MakeI(Op::kSlli, kA6, kA6, 1));          // e+7  skip:
+    Emit(MakeI(Op::kSrli, kA7, kA7, 1));          // e+8
+    EmitHelperJump(e + 3);                        // e+9
+    Emit(MakeI(Op::kAddi, kT0, kA5, 0));          // e+10 done:
+    Emit(MakeJalr(kZero, kRa, 0));                // e+11
+    assert(instrs_.size() == e + 12);
+  }
+
+  /// t0 = t0 / t1 (or t0 % t1): signed 32-bit restoring division with the
+  /// M extension's edge semantics — x/0 = -1, x%0 = x, INT_MIN/-1 =
+  /// INT_MIN with remainder 0 (the unsigned core makes these fall out).
+  void EmitDivRemHelper(bool want_remainder) {
+    const size_t e = instrs_.size();
+    if (want_remainder) {
+      EmitHelperBranch(Op::kBne, kT1, kZero, e + 2);  // e+0
+      Emit(MakeJalr(kZero, kRa, 0));                  // e+1  x%0 = x
+      Emit(MakeR(Op::kSlt, kA7, kT0, kZero));         // e+2  nz: sign = n<0
+      EmitHelperBranch(Op::kBeq, kA7, kZero, e + 5);  // e+3
+      Emit(MakeR(Op::kSub, kT0, kZero, kT0));         // e+4  n = -n
+      Emit(MakeR(Op::kSlt, kA6, kT1, kZero));         // e+5  posn:
+      EmitHelperBranch(Op::kBeq, kA6, kZero, e + 8);  // e+6
+      Emit(MakeR(Op::kSub, kT1, kZero, kT1));         // e+7  d = -d
+      Emit(MakeI(Op::kAddi, kA6, kZero, 0));          // e+8  posd: r = 0
+      Emit(MakeI(Op::kAddi, kT2, kZero, 32));         // e+9  i = 32
+      Emit(MakeI(Op::kSlli, kA6, kA6, 1));            // e+10 loop: r <<= 1
+      Emit(MakeI(Op::kSrli, kT3, kT0, 31));           // e+11
+      Emit(MakeR(Op::kOr, kA6, kA6, kT3));            // e+12 r |= msb(n)
+      Emit(MakeI(Op::kSlli, kT0, kT0, 1));            // e+13 n <<= 1
+      EmitHelperBranch(Op::kBltu, kA6, kT1, e + 16);  // e+14 r < d?
+      Emit(MakeR(Op::kSub, kA6, kA6, kT1));           // e+15 r -= d
+      Emit(MakeI(Op::kAddi, kT2, kT2, -1));           // e+16 skip:
+      EmitHelperBranch(Op::kBne, kT2, kZero, e + 10); // e+17
+      EmitHelperBranch(Op::kBeq, kA7, kZero, e + 20); // e+18 sign fixup
+      Emit(MakeR(Op::kSub, kA6, kZero, kA6));         // e+19
+      Emit(MakeI(Op::kAddi, kT0, kA6, 0));            // e+20 posr:
+      Emit(MakeJalr(kZero, kRa, 0));                  // e+21
+      assert(instrs_.size() == e + 22);
+      return;
+    }
+    EmitHelperBranch(Op::kBne, kT1, kZero, e + 3);    // e+0
+    Emit(MakeI(Op::kAddi, kT0, kZero, -1));           // e+1  x/0 = -1
+    Emit(MakeJalr(kZero, kRa, 0));                    // e+2
+    Emit(MakeR(Op::kSlt, kA5, kT0, kZero));           // e+3  nz: n < 0
+    Emit(MakeR(Op::kSlt, kA6, kT1, kZero));           // e+4  d < 0
+    Emit(MakeR(Op::kXor, kA7, kA5, kA6));             // e+5  quotient sign
+    EmitHelperBranch(Op::kBeq, kA5, kZero, e + 8);    // e+6
+    Emit(MakeR(Op::kSub, kT0, kZero, kT0));           // e+7  n = -n
+    EmitHelperBranch(Op::kBeq, kA6, kZero, e + 10);   // e+8  posn:
+    Emit(MakeR(Op::kSub, kT1, kZero, kT1));           // e+9  d = -d
+    Emit(MakeI(Op::kAddi, kA5, kZero, 0));            // e+10 posd: q = 0
+    Emit(MakeI(Op::kAddi, kA6, kZero, 0));            // e+11 r = 0
+    Emit(MakeI(Op::kAddi, kT2, kZero, 32));           // e+12 i = 32
+    Emit(MakeI(Op::kSlli, kA6, kA6, 1));              // e+13 loop: r <<= 1
+    Emit(MakeI(Op::kSrli, kT3, kT0, 31));             // e+14
+    Emit(MakeR(Op::kOr, kA6, kA6, kT3));              // e+15 r |= msb(n)
+    Emit(MakeI(Op::kSlli, kT0, kT0, 1));              // e+16 n <<= 1
+    Emit(MakeI(Op::kSlli, kA5, kA5, 1));              // e+17 q <<= 1
+    EmitHelperBranch(Op::kBltu, kA6, kT1, e + 21);    // e+18 r < d?
+    Emit(MakeR(Op::kSub, kA6, kA6, kT1));             // e+19 r -= d
+    Emit(MakeI(Op::kOri, kA5, kA5, 1));               // e+20 q |= 1
+    Emit(MakeI(Op::kAddi, kT2, kT2, -1));             // e+21 skip:
+    EmitHelperBranch(Op::kBne, kT2, kZero, e + 13);   // e+22
+    EmitHelperBranch(Op::kBeq, kA7, kZero, e + 25);   // e+23 sign fixup
+    Emit(MakeR(Op::kSub, kA5, kZero, kA5));           // e+24
+    Emit(MakeI(Op::kAddi, kT0, kA5, 0));              // e+25 posq:
+    Emit(MakeJalr(kZero, kRa, 0));                    // e+26
+    assert(instrs_.size() == e + 27);
   }
 
   Status ResolveCalls() {
@@ -458,7 +644,9 @@ class ModuleEmitter {
           load.fixup != FixupKind::kNone || is_target[i + 1]) {
         continue;
       }
-      if (store.instr.op != Op::kSd || load.instr.op != Op::kLd) continue;
+      if (store.instr.op != WordStoreOp() || load.instr.op != WordLoadOp()) {
+        continue;
+      }
       if (store.instr.rs1 != kSp || load.instr.rs1 != kSp) continue;
       if (store.instr.imm != load.instr.imm) continue;
       if (load.instr.rd == store.instr.rs2) {
@@ -503,22 +691,24 @@ class ModuleEmitter {
     std::vector<int> sizes(n, 4);
     std::vector<bool> forced4(n, false);
 
-    // Initial optimistic sizing.
+    // Initial optimistic sizing (no-op on backends without C).
     for (size_t i = 0; i < n; ++i) {
-      if (options_.compress &&
-          isa::TryEncodeCompressed(instrs_[i].instr).has_value()) {
+      if (compress_ &&
+          backend_.EncodeCompressed(instrs_[i].instr).has_value()) {
         sizes[i] = 2;
       }
     }
 
     std::vector<int64_t> offsets(n + 1, 0);
+    const int64_t align = word_ - 1;
     for (int iteration = 0; iteration < 64; ++iteration) {
-      // Offsets from current sizes; data section follows text, 8-aligned.
+      // Offsets from current sizes; data section follows text,
+      // word-aligned for the target ISA.
       for (size_t i = 0; i < n; ++i) {
         offsets[i + 1] = offsets[i] + sizes[i];
       }
       const int64_t text_end = offsets[n];
-      const int64_t data_base = (text_end + 7) & ~int64_t{7};
+      const int64_t data_base = (text_end + align) & ~align;
 
       // Patch immediates.
       for (size_t i = 0; i < n; ++i) {
@@ -560,8 +750,8 @@ class ModuleEmitter {
       for (size_t i = 0; i < n; ++i) {
         if (sizes[i] == 4) continue;
         const bool compressible =
-            options_.compress &&
-            isa::TryEncodeCompressed(instrs_[i].instr).has_value();
+            compress_ &&
+            backend_.EncodeCompressed(instrs_[i].instr).has_value();
         if (!compressible) {
           sizes[i] = 4;
           forced4[i] = true;
@@ -576,11 +766,12 @@ class ModuleEmitter {
 
     // Final encode.
     CompiledProgram out;
+    out.isa = backend_.id();
     out.instructions.reserve(n);
     for (size_t i = 0; i < n; ++i) {
       const Instr& instr = instrs_[i].instr;
       if (sizes[i] == 2) {
-        const auto c16 = isa::TryEncodeCompressed(instr);
+        const auto c16 = backend_.EncodeCompressed(instr);
         assert(c16.has_value());
         out.image.push_back(static_cast<uint8_t>(*c16 & 0xFF));
         out.image.push_back(static_cast<uint8_t>(*c16 >> 8));
@@ -590,7 +781,10 @@ class ModuleEmitter {
         out.instructions.push_back(final_instr);
         ++out.stats.compressed_instructions;
       } else {
-        Result<uint32_t> word = isa::Encode32(instr);
+        // Encoding through the backend is the second fail-closed layer:
+        // an op this ISA lacks cannot reach the image even if emission
+        // let it through.
+        Result<uint32_t> word = backend_.Encode(instr);
         if (!word.ok()) {
           return Status(word.status().code(),
                         "encoding instruction " + std::to_string(i) + " (" +
@@ -609,15 +803,25 @@ class ModuleEmitter {
     }
     out.text_bytes = out.image.size();
 
-    // Data section: zero padding to 8-byte alignment, then initializers.
-    while (out.image.size() % 8 != 0) out.image.push_back(0);
+    // Data section: zero padding to word alignment, then initializers
+    // (word-sized elements; on RV32 an initializer outside 32 bits is a
+    // 64-bit-only construct and fails the compile).
+    const size_t word_bytes = static_cast<size_t>(word_);
+    while (out.image.size() % word_bytes != 0) out.image.push_back(0);
     std::vector<uint8_t> data(data_bytes_, 0);
     for (const IrGlobal& g : module_.globals) {
       const int64_t base = global_offsets_.at(g.name);
       for (size_t e = 0; e < g.init_values.size(); ++e) {
+        if (rv32() &&
+            (g.init_values[e] < INT32_MIN ||
+             g.init_values[e] > static_cast<int64_t>(UINT32_MAX))) {
+          return Status(ErrorCode::kInvalidArgument,
+                        "rv32i: initializer of global '" + g.name +
+                            "' does not fit in 32 bits");
+        }
         const uint64_t v = static_cast<uint64_t>(g.init_values[e]);
-        for (int b = 0; b < 8; ++b) {
-          data[static_cast<size_t>(base) + e * 8 + static_cast<size_t>(b)] =
+        for (size_t b = 0; b < word_bytes; ++b) {
+          data[static_cast<size_t>(base) + e * word_bytes + b] =
               static_cast<uint8_t>(v >> (8 * b));
         }
       }
@@ -640,8 +844,17 @@ class ModuleEmitter {
     return out;
   }
 
+  static constexpr const char* kMulHelper = "__mul32";
+  static constexpr const char* kDivHelper = "__div32";
+  static constexpr const char* kRemHelper = "__rem32";
+
   const IrModule& module_;
   CodegenOptions options_;
+  const isa::IsaBackend& backend_;
+  const int64_t word_;     ///< stack-slot / global element stride (bytes)
+  const bool compress_;    ///< options.compress gated on backend support
+  Status error_;           ///< first deferred emission failure (rv32 imms)
+  bool needs_mul_ = false, needs_div_ = false, needs_rem_ = false;
   std::vector<MInstr> instrs_;
   std::map<std::string, size_t> function_entries_;
   std::map<std::string, int64_t> global_offsets_;

@@ -1,4 +1,5 @@
-// IR -> RV64IMAC code generation, layout, and image building.
+// IR -> machine code generation, layout, and image building, for any
+// registered `isa::IsaBackend` (RV64IMAC with RVC, or plain RV32I).
 //
 // The backend is a classic slot-machine: every virtual register lives in a
 // stack slot and each IR operation loads its operands into scratch
@@ -21,6 +22,7 @@
 
 #include "compiler/ir.h"
 #include "isa/instruction.h"
+#include "isa/isa_backend.h"
 #include "support/status.h"
 
 namespace eric::compiler {
@@ -54,12 +56,23 @@ struct CompiledProgram {
   /// Function name -> byte offset of its first instruction.
   std::map<std::string, size_t> function_offsets;
 
+  /// The ISA this image was encoded for. Travels with the program into
+  /// the package wire format so a device can reject foreign images.
+  isa::IsaId isa = isa::IsaId::kRv64Gc;
+
   CodegenStats stats;
 };
 
 /// Code generation options.
 struct CodegenOptions {
   bool compress = true;  ///< emit RVC forms where possible (rv64gc-style)
+
+  /// Target ISA backend. On `kRv32I` the slot machine runs in 32-bit
+  /// mode: 4-byte stack slots and globals, no compressed forms,
+  /// multiply/divide lowered to RV32I software helper routines, and
+  /// genuinely 64-bit-only constructs (constants or global initializers
+  /// outside 32 bits) rejected fail-closed at compile time.
+  isa::IsaId isa = isa::IsaId::kRv64Gc;
 };
 
 /// Generates, lays out, and encodes the module.

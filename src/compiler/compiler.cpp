@@ -68,6 +68,7 @@ Result<CompileResult> Compile(std::string_view source,
 
   CodegenOptions cg;
   cg.compress = options.compress;
+  cg.isa = options.isa;
   auto program =
       clock.Time("codegen", [&] { return GenerateCode(*ir, cg); });
   if (!program.ok()) return program.status();

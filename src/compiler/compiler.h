@@ -27,6 +27,11 @@ struct CompileOptions {
   bool optimize = true;   ///< run the IR pass pipeline
   bool compress = true;   ///< emit RVC instructions (rv64gc-style)
   int opt_rounds = 2;     ///< fold/reduce/dce repetitions
+
+  /// Target ISA (see CodegenOptions::isa). Part of a program's cache
+  /// identity in the fleet layer: the same source compiled for two ISAs
+  /// is two different programs.
+  isa::IsaId isa = isa::IsaId::kRv64Gc;
 };
 
 /// Compilation output: the program plus stage timings.

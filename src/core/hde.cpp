@@ -11,11 +11,12 @@ namespace eric::core {
 
 HardwareDecryptionEngine::HardwareDecryptionEngine(
     uint64_t device_seed, const crypto::KeyConfig& key_config,
-    CipherKind cipher, const HdeCycleParams& params)
+    CipherKind cipher, const HdeCycleParams& params, isa::IsaId isa)
     : pkg_(device_seed),
       key_config_(key_config),
       cipher_(cipher),
       params_(params),
+      isa_(isa),
       measurement_rng_(device_seed ^ 0x4EA54E11ull) {}
 
 crypto::Key256 HardwareDecryptionEngine::EnrollAndShareKey() {
@@ -114,6 +115,16 @@ Result<HdeOutput> HardwareDecryptionEngine::Process(
                   "package key epoch " + std::to_string(package.key_epoch) +
                       " does not match device epoch " +
                       std::to_string(key_config_.epoch));
+  }
+  // ISA gate: an image encoded for a foreign ISA would decrypt fine (the
+  // cipher doesn't care) and then execute as garbage or subtly-wrong
+  // instructions, so the device refuses before any crypto work.
+  if (package.isa != isa_) {
+    return Status(ErrorCode::kAuthenticationFailed,
+                  std::string("package targets ") +
+                      std::string(isa::IsaName(package.isa)) +
+                      " but this device executes " +
+                      std::string(isa::IsaName(isa_)));
   }
 
   HdeOutput out;

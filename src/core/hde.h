@@ -66,11 +66,14 @@ struct HdeOutput {
 class HardwareDecryptionEngine {
  public:
   /// `device_seed` selects the simulated silicon (see puf::ArbiterPuf);
-  /// `key_config` must match what the software source used.
+  /// `key_config` must match what the software source used. `isa` is the
+  /// ISA this device executes: packages encoded for any other ISA are
+  /// rejected before decryption (fail closed).
   HardwareDecryptionEngine(uint64_t device_seed,
                            const crypto::KeyConfig& key_config,
                            CipherKind cipher = CipherKind::kXor,
-                           const HdeCycleParams& params = {});
+                           const HdeCycleParams& params = {},
+                           isa::IsaId isa = isa::IsaId::kRv64Gc);
 
   /// Enrolls the device: generates helper data and returns the PUF-based
   /// key for the software-source handshake. Call once ("in the fab").
@@ -113,6 +116,7 @@ class HardwareDecryptionEngine {
   crypto::KeyConfig key_config_;
   CipherKind cipher_;
   HdeCycleParams params_;
+  isa::IsaId isa_;
   crypto::Key256 puf_based_key_{};
   crypto::Key256 conversion_mask_{};  ///< all-zero = identity mapping
   Xoshiro256 measurement_rng_;

@@ -96,6 +96,7 @@ Result<PackagingResult> SoftwareSource::BuildPackage(
   PackagingResult out;
   pkg::Package& p = out.package;
   p.mode = policy.mode;
+  p.isa = program.isa;
   p.key_epoch = key_config_.epoch;
   p.instr_count = static_cast<uint32_t>(program.instructions.size());
   p.text = program.image;

@@ -4,8 +4,11 @@ namespace eric::core {
 
 TrustedDevice::TrustedDevice(uint64_t device_seed,
                              const crypto::KeyConfig& key_config,
-                             CipherKind cipher, const sim::CpuTiming& timing)
-    : hde_(device_seed, key_config, cipher), timing_(timing) {}
+                             CipherKind cipher, const sim::CpuTiming& timing,
+                             isa::IsaId isa)
+    : hde_(device_seed, key_config, cipher, HdeCycleParams{}, isa),
+      timing_(timing),
+      isa_(isa) {}
 
 Result<TrustedRunResult> TrustedDevice::ReceiveAndRun(
     std::span<const uint8_t> wire_bytes, uint64_t arg0, uint64_t arg1,
@@ -14,7 +17,7 @@ Result<TrustedRunResult> TrustedDevice::ReceiveAndRun(
   if (!validated.ok()) return validated.status();
 
   // Only now does the program enter the trusted zone (main memory).
-  sim::Soc soc(timing_);
+  sim::Soc soc(timing_, isa_);
   soc.LoadProgram(validated->image);
   TrustedRunResult out;
   out.hde_cycles = validated->cycles;
@@ -26,7 +29,7 @@ Result<TrustedRunResult> TrustedDevice::ReceiveAndRun(
 TrustedRunResult TrustedDevice::RunPlaintext(std::span<const uint8_t> image,
                                              uint64_t arg0, uint64_t arg1,
                                              const sim::ExecLimits& limits) {
-  sim::Soc soc(timing_);
+  sim::Soc soc(timing_, isa_);
   soc.LoadProgram(image);
   TrustedRunResult out;
   out.exec = soc.Run(sim::kRamBase, arg0, arg1, limits);

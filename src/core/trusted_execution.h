@@ -28,12 +28,15 @@ struct TrustedRunResult {
   uint64_t total_cycles() const { return hde_cycles.total() + exec.cycles; }
 };
 
-/// A device: one SoC with an attached HDE.
+/// A device: one SoC with an attached HDE. `isa` selects the core's
+/// execution mode and the HDE's package gate: a kRv32I device runs a
+/// 32-bit core and refuses RV64GC images, and vice versa.
 class TrustedDevice {
  public:
   TrustedDevice(uint64_t device_seed, const crypto::KeyConfig& key_config,
                 CipherKind cipher = CipherKind::kXor,
-                const sim::CpuTiming& timing = {});
+                const sim::CpuTiming& timing = {},
+                isa::IsaId isa = isa::IsaId::kRv64Gc);
 
   /// Fab-time enrollment; returns the PUF-based key for the handshake
   /// with software sources.
@@ -52,10 +55,12 @@ class TrustedDevice {
                                 const sim::ExecLimits& limits = {});
 
   HardwareDecryptionEngine& hde() { return hde_; }
+  isa::IsaId isa() const { return isa_; }
 
  private:
   HardwareDecryptionEngine hde_;
   sim::CpuTiming timing_;
+  isa::IsaId isa_;
 };
 
 }  // namespace eric::core

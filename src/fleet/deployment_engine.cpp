@@ -85,7 +85,11 @@ struct DeploymentEngine::ArtifactMemo {
     std::shared_ptr<const CachedArtifact> delta;
   };
   std::mutex mutex;
-  std::map<crypto::Key256, std::shared_ptr<Slot>> by_key;
+  /// Keyed by (deployment key, target ISA): a mixed group shares one
+  /// deployment key but needs one sealed artifact per ISA, so the key
+  /// alone no longer identifies the build.
+  std::map<std::pair<crypto::Key256, isa::IsaId>, std::shared_ptr<Slot>>
+      by_key;
   /// Key-independent version identities, fixed by Run before workers
   /// start: what successful deliveries record in device manifests and
   /// what the delta path requires a manifest to match.
@@ -104,6 +108,11 @@ struct DeploymentEngine::ArtifactMemo {
   std::atomic<uint64_t> bytes_shipped{0};
   std::atomic<uint64_t> bytes_full_equivalent{0};
   std::atomic<uint64_t> manifest_failures{0};
+  /// Per-ISA build attribution (indexed by IsaId): how many seal and
+  /// compile runs each ISA cost this campaign. Delivery/byte slices come
+  /// from the outcomes instead — they are per target, not per build.
+  std::array<std::atomic<uint64_t>, isa::kNumIsaIds> seal_builds{};
+  std::array<std::atomic<uint64_t>, isa::kNumIsaIds> compile_builds{};
 };
 
 uint64_t DeliverySeed(uint64_t campaign_seed, DeviceId device,
@@ -150,12 +159,20 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
     outcome.last_status = info.status();
     return outcome;
   }
+  outcome.isa = info->isa;
   if (info->status == DeviceStatus::kRevoked) {
     outcome.revoked = true;
     outcome.last_status =
         Status(ErrorCode::kFailedPrecondition, "device revoked");
     return outcome;
   }
+
+  // The campaign's compile options, retargeted at this device's ISA.
+  // The ISA is a property of the enrolled silicon, never of the
+  // campaign config — a mixed fleet gets per-ISA images from one
+  // config, and the cache keys on the ISA so they can never alias.
+  compiler::CompileOptions compile_options = config.compile_options;
+  compile_options.isa = info->isa;
 
   // Seal (or fetch) the artifact for this device's deployment key and
   // its effective KDF config — per device, not registry-wide, because a
@@ -171,7 +188,7 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
   std::unique_lock<std::mutex> build_lock;
   {
     std::lock_guard lock(memo.mutex);
-    auto& entry = memo.by_key[sealing->key];
+    auto& entry = memo.by_key[{sealing->key, info->isa}];
     if (entry == nullptr) {
       entry = std::make_shared<ArtifactMemo::Slot>();
       // Claim the build while still holding the map lock so racers can
@@ -186,13 +203,18 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
     auto artifact = cache_.GetOrBuild(config.source, sealing->key,
                                       sealing->config, config.policy,
                                       registry_.cipher(),
-                                      config.compile_options, &call_stats);
+                                      compile_options, &call_stats);
     memo.artifact_hits.fetch_add(call_stats.artifact_hits,
                                  std::memory_order_relaxed);
     memo.artifact_misses.fetch_add(call_stats.artifact_misses,
                                    std::memory_order_relaxed);
     memo.compile_misses.fetch_add(call_stats.compile_misses,
                                   std::memory_order_relaxed);
+    const auto isa_index = static_cast<size_t>(info->isa);
+    memo.seal_builds[isa_index].fetch_add(call_stats.artifact_misses,
+                                          std::memory_order_relaxed);
+    memo.compile_builds[isa_index].fetch_add(call_stats.compile_misses,
+                                             std::memory_order_relaxed);
     if (artifact.ok()) {
       slot->artifact = *artifact;
     } else {
@@ -218,12 +240,18 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
   // the campaign's base version AND the key the campaign seals under
   // right now — a key-epoch rotation since the base was delivered makes
   // the retained image undecryptable, so the fingerprint mismatch
-  // forces a full package before any wire bytes are wasted.
+  // forces a full package before any wire bytes are wasted. The
+  // manifest must also name the device's own ISA: a base image encoded
+  // for a foreign ISA can never patch into this device's target (the
+  // version fingerprint is deliberately ISA-independent, so the version
+  // check alone cannot catch this), and the mismatch forces a full
+  // delivery fail-closed.
   std::shared_ptr<const CachedArtifact> delta_entry;
   if (config.delta) {
     auto manifest = registry_.DeliveredVersion(device);
     if (manifest.ok() && manifest->version == memo.base_version &&
-        manifest->key_fingerprint == artifact_entry->key_fingerprint) {
+        manifest->key_fingerprint == artifact_entry->key_fingerprint &&
+        manifest->isa == info->isa) {
       std::lock_guard lock(slot->mutex);
       if (!slot->delta_evaluated) {
         slot->delta_evaluated = true;
@@ -231,7 +259,7 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
         auto base = cache_.GetOrBuild(config.delta_base_source, sealing->key,
                                       sealing->config, config.policy,
                                       registry_.cipher(),
-                                      config.compile_options, &delta_stats);
+                                      compile_options, &delta_stats);
         if (base.ok()) {
           auto delta = cache_.GetOrBuildDelta(**base, *artifact_entry,
                                               &delta_stats);
@@ -250,6 +278,11 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
                                        std::memory_order_relaxed);
         memo.compile_misses.fetch_add(delta_stats.compile_misses,
                                       std::memory_order_relaxed);
+        const auto isa_index = static_cast<size_t>(info->isa);
+        memo.seal_builds[isa_index].fetch_add(delta_stats.artifact_misses,
+                                              std::memory_order_relaxed);
+        memo.compile_builds[isa_index].fetch_add(delta_stats.compile_misses,
+                                                 std::memory_order_relaxed);
       }
       delta_entry = slot->delta;
     }
@@ -380,7 +413,8 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
       // a checkpointed target with a stale manifest. A failed update
       // only costs that device a full package next time.
       Status recorded = registry_.RecordDelivery(
-          device, memo.target_version, artifact_entry->key_fingerprint);
+          device, memo.target_version, artifact_entry->key_fingerprint,
+          info->isa);
       if (!recorded.ok()) {
         memo.manifest_failures.fetch_add(1, std::memory_order_relaxed);
       }
@@ -527,6 +561,11 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
   report.wall_ms = MillisecondsSince(start);
   size_t delivered_to = 0;  // devices that saw at least one delivery
   for (const auto& outcome : report.outcomes) {
+    CampaignIsaStats& slice = report.by_isa[static_cast<size_t>(outcome.isa)];
+    ++slice.targets;
+    if (outcome.ok) ++slice.succeeded;
+    slice.deliveries += outcome.attempts;
+    slice.bytes_shipped += outcome.bytes_shipped;
     if (outcome.ok) {
       ++report.succeeded;
     } else if (outcome.revoked) {
@@ -572,6 +611,12 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
       memo.bytes_full_equivalent.load(std::memory_order_relaxed);
   report.manifest_update_failures =
       memo.manifest_failures.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < isa::kNumIsaIds; ++i) {
+    report.by_isa[i].seal_builds =
+        memo.seal_builds[i].load(std::memory_order_relaxed);
+    report.by_isa[i].compile_builds =
+        memo.compile_builds[i].load(std::memory_order_relaxed);
+  }
   if (config.governor != nullptr) {
     report.peak_in_flight = config.governor->peak_in_flight();
   }
@@ -590,6 +635,26 @@ Result<CampaignReport> DeploymentEngine::Run(const CampaignConfig& config) {
   metrics.targets_revoked.Add(report.revoked);
   metrics.bytes_shipped.Add(report.bytes_shipped);
   metrics.manifest_update_failures.Add(report.manifest_update_failures);
+  // Per-ISA counters are registered by name on first use rather than
+  // captured in EngineMetrics: only ISAs a campaign actually targeted
+  // ever appear in the registry, so a homogeneous fleet's export stays
+  // free of all-zero foreign-ISA rows.
+  for (size_t i = 0; i < isa::kNumIsaIds; ++i) {
+    const CampaignIsaStats& slice = report.by_isa[i];
+    if (slice.targets == 0 && slice.seal_builds == 0 &&
+        slice.compile_builds == 0) {
+      continue;
+    }
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    const std::string prefix =
+        "fleet_isa_" + std::string(isa::IsaName(static_cast<isa::IsaId>(i)));
+    registry.GetCounter(prefix + "_targets").Add(slice.targets);
+    registry.GetCounter(prefix + "_targets_succeeded").Add(slice.succeeded);
+    registry.GetCounter(prefix + "_deliveries").Add(slice.deliveries);
+    registry.GetCounter(prefix + "_bytes_shipped").Add(slice.bytes_shipped);
+    registry.GetCounter(prefix + "_seal_builds").Add(slice.seal_builds);
+    registry.GetCounter(prefix + "_compile_builds").Add(slice.compile_builds);
+  }
 
   obs::EmitEvent(report.failed == 0 ? obs::EventSeverity::kInfo
                                     : obs::EventSeverity::kWarn,

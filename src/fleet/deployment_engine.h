@@ -9,6 +9,7 @@
 // delivery is either retried or reported failed, never silently executed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -117,6 +118,24 @@ struct DeviceOutcome {
   /// Wall time across delivery attempts (excludes artifact build/fetch,
   /// so the first device of a fresh campaign is not an outlier).
   double latency_us = 0;
+  /// The target's ISA, as enrolled in the registry. Targets whose
+  /// registry lookup failed keep the default (there is no record to
+  /// read an ISA from).
+  isa::IsaId isa = isa::IsaId::kRv64Gc;
+};
+
+/// One ISA's slice of a campaign. A heterogeneous campaign compiles and
+/// seals once per (deployment key, ISA) rather than once per key, so
+/// the per-ISA build counts are what the mixed-fleet cost model needs:
+/// a 1000-device group split RV64GC/RV32I compiles twice, not 1000
+/// times and not once.
+struct CampaignIsaStats {
+  uint64_t targets = 0;         ///< campaign targets enrolled as this ISA
+  uint64_t succeeded = 0;       ///< targets that ran the program
+  uint64_t deliveries = 0;      ///< channel deliveries (incl. retries)
+  uint64_t bytes_shipped = 0;   ///< wire bytes shipped to this ISA's targets
+  uint64_t seal_builds = 0;     ///< sign+encrypt+package runs for this ISA
+  uint64_t compile_builds = 0;  ///< compilations performed for this ISA
 };
 
 /// Campaign-level aggregates. Every count is uint64_t (not size_t) so
@@ -176,6 +195,11 @@ struct CampaignReport {
   /// campaign's governor (0 when the campaign ran ungoverned). A governor
   /// shared across waves reports its lifetime peak.
   uint64_t peak_in_flight = 0;
+
+  /// Per-ISA breakdown, indexed by IsaId. Homogeneous campaigns leave
+  /// every slice but one zero; mixed campaigns show each ISA's share of
+  /// targets, wire bytes, and (crucially) compile/seal builds.
+  std::array<CampaignIsaStats, isa::kNumIsaIds> by_isa{};
 };
 
 /// Resolves a campaign's target list: `config.devices` verbatim when

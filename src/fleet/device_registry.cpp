@@ -20,12 +20,20 @@ constexpr uint8_t kWalEpochBump = 2;    ///< {u64 group, u64 epoch}
 constexpr uint8_t kWalEnroll = 1;    ///< {u64 id, u64 seed, u64 group}
 constexpr uint8_t kWalRevoke = 2;    ///< {u64 id}
 constexpr uint8_t kWalManifest = 3;  ///< {u64 id, u64 version, bytes keyfp}
+/// {u64 id, u64 seed, u64 group, u8 isa}. Written for every new
+/// enrollment; type-1 records (pre-ISA logs) replay as kRv64Gc.
+constexpr uint8_t kWalEnrollIsa = 4;
+/// {u64 id, u64 version, bytes keyfp, u8 isa}. Written for every new
+/// delivery; type-3 records replay as kRv64Gc.
+constexpr uint8_t kWalManifestIsa = 5;
 
 // Snapshot schema: v2 adds a per-group key epoch after the label; v3
-// adds an optional delivery manifest per device. Older files load with
-// the fields they lack defaulted — v1 groups sit at the base epoch, v2
-// devices carry no manifest — which is exactly what they were.
-constexpr uint32_t kSnapshotVersion = 3;
+// adds an optional delivery manifest per device; v4 adds the device and
+// manifest ISA bytes. Older files load with the fields they lack
+// defaulted — v1 groups sit at the base epoch, v2 devices carry no
+// manifest, v3 devices are kRv64Gc — which is exactly what they were.
+constexpr uint32_t kSnapshotVersion = 4;
+constexpr uint32_t kSnapshotVersionNoIsa = 3;
 constexpr uint32_t kSnapshotVersionNoManifests = 2;
 constexpr uint32_t kSnapshotVersionNoEpochs = 1;
 constexpr const char* kSnapshotPrefix = "registry";
@@ -136,7 +144,8 @@ void DeviceRegistry::ApplyGroupCreate(GroupId id, std::string label) {
 }
 
 Status DeviceRegistry::ApplyEnroll(DeviceId id, uint64_t device_seed,
-                                   GroupId group, DeviceStatus status) {
+                                   GroupId group, DeviceStatus status,
+                                   isa::IsaId isa) {
   // A grouped device enrolls at its group's *current* epoch: key and
   // effective KDF config are read under one lock so a concurrent
   // rotation cannot hand out a new key with an old epoch (or vice
@@ -162,7 +171,8 @@ Status DeviceRegistry::ApplyEnroll(DeviceId id, uint64_t device_seed,
     auto it = shard.records.find(id);
     if (it != shard.records.end()) {
       if (it->second->info.device_seed != device_seed ||
-          it->second->info.group != group) {
+          it->second->info.group != group ||
+          it->second->info.isa != isa) {
         return Status(ErrorCode::kCorruptPackage,
                       "replayed enrollment conflicts with existing device");
       }
@@ -174,13 +184,14 @@ Status DeviceRegistry::ApplyEnroll(DeviceId id, uint64_t device_seed,
   // runs outside every lock.
   auto record = std::make_unique<DeviceRecord>();
   record->endpoint = std::make_unique<core::TrustedDevice>(
-      device_seed, device_config, config_.cipher);
+      device_seed, device_config, config_.cipher, sim::CpuTiming{}, isa);
   const crypto::Key256 device_key = record->endpoint->Enroll();
 
   record->info.id = id;
   record->info.device_seed = device_seed;
   record->info.group = group;
   record->info.status = status;
+  record->info.isa = isa;
   if (group != kNoGroup) {
     record->info.conversion_mask =
         core::ApplyConversionMask(device_key, group_key);
@@ -263,19 +274,21 @@ Status DeviceRegistry::ApplyEnroll(DeviceId id, uint64_t device_seed,
   return Status::Ok();
 }
 
-Result<DeviceId> DeviceRegistry::Enroll(uint64_t device_seed, GroupId group) {
+Result<DeviceId> DeviceRegistry::Enroll(uint64_t device_seed, GroupId group,
+                                        isa::IsaId isa) {
   std::shared_lock<std::shared_mutex> storage_lock;
   if (storage_ != nullptr) {
     storage_lock = std::shared_lock(storage_->mutation_mutex);
   }
   const DeviceId id = next_device_id_.fetch_add(1, std::memory_order_relaxed);
   ERIC_RETURN_IF_ERROR(ApplyEnroll(id, device_seed, group,
-                                   DeviceStatus::kEnrolled));
+                                   DeviceStatus::kEnrolled, isa));
   if (storage_ != nullptr) {
     store::RecordWriter rec;
     rec.U64(id);
     rec.U64(device_seed);
     rec.U64(group);
+    rec.U8(static_cast<uint8_t>(isa));
     // Write-ahead contract: the enrollment is only acknowledged (the id
     // returned) once its record is durable per the sync policy. A failed
     // append rolls the enrollment back by parking the record revoked —
@@ -289,7 +302,7 @@ Result<DeviceId> DeviceRegistry::Enroll(uint64_t device_seed, GroupId group) {
     // standard lost-commit-ack ambiguity, and re-enrolling the seed
     // under a fresh id coexists with the ghost by design.)
     Status logged = LogMutation(*storage_->shard_wals[ShardIndex(id)],
-                                kWalEnroll, rec.bytes(), storage_lock);
+                                kWalEnrollIsa, rec.bytes(), storage_lock);
     if (!logged.ok()) {
       Shard& shard = ShardFor(id);
       std::unique_lock lock(shard.mutex);
@@ -749,7 +762,7 @@ Result<DeliveryManifest> DeviceRegistry::DeliveredVersion(DeviceId id) const {
 
 Status DeviceRegistry::ApplyManifest(
     DeviceId id, uint64_t version,
-    const crypto::Sha256Digest& key_fingerprint) {
+    const crypto::Sha256Digest& key_fingerprint, isa::IsaId isa) {
   Shard& shard = ShardFor(id);
   std::unique_lock lock(shard.mutex);
   auto it = shard.records.find(id);
@@ -759,13 +772,14 @@ Status DeviceRegistry::ApplyManifest(
   }
   it->second->manifest.version = version;  // last write wins
   it->second->manifest.key_fingerprint = key_fingerprint;
+  it->second->manifest.isa = isa;
   it->second->has_manifest = true;
   return Status::Ok();
 }
 
 Status DeviceRegistry::RecordDelivery(
     DeviceId id, uint64_t version,
-    const crypto::Sha256Digest& key_fingerprint) {
+    const crypto::Sha256Digest& key_fingerprint, isa::IsaId isa) {
   std::shared_lock<std::shared_mutex> storage_lock;
   if (storage_ != nullptr) {
     storage_lock = std::shared_lock(storage_->mutation_mutex);
@@ -789,10 +803,11 @@ Status DeviceRegistry::RecordDelivery(
     rec.U64(id);
     rec.U64(version);
     rec.Bytes(key_fingerprint);
+    rec.U8(static_cast<uint8_t>(isa));
     ERIC_RETURN_IF_ERROR(storage_->shard_wals[ShardIndex(id)]->Append(
-        kWalManifest, rec.bytes()));
+        kWalManifestIsa, rec.bytes()));
   }
-  ERIC_RETURN_IF_ERROR(ApplyManifest(id, version, key_fingerprint));
+  ERIC_RETURN_IF_ERROR(ApplyManifest(id, version, key_fingerprint, isa));
   if (storage_ != nullptr) MaybeAutoSnapshot(storage_lock);
   return Status::Ok();
 }
@@ -928,12 +943,27 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
           !rec.U8(&status)) {
         return Status(ErrorCode::kCorruptPackage, "snapshot device damaged");
       }
+      // v4 adds the device ISA; pre-ISA snapshots hold RV64GC fleets.
+      isa::IsaId device_isa = isa::IsaId::kRv64Gc;
+      if (version >= kSnapshotVersion) {
+        uint8_t isa_byte = 0;
+        if (!rec.U8(&isa_byte)) {
+          return Status(ErrorCode::kCorruptPackage, "snapshot device damaged");
+        }
+        const auto parsed_isa = isa::IsaFromWire(isa_byte);
+        if (!parsed_isa) {
+          return Status(ErrorCode::kCorruptPackage,
+                        "snapshot device names an unknown isa");
+        }
+        device_isa = *parsed_isa;
+      }
       ERIC_RETURN_IF_ERROR(
           ApplyEnroll(id, seed, group,
                       status == static_cast<uint8_t>(DeviceStatus::kRevoked)
                           ? DeviceStatus::kRevoked
-                          : DeviceStatus::kEnrolled));
-      if (version >= kSnapshotVersion) {
+                          : DeviceStatus::kEnrolled,
+                      device_isa));
+      if (version >= kSnapshotVersionNoIsa) {
         uint8_t has_manifest = 0;
         if (!rec.U8(&has_manifest)) {
           return Status(ErrorCode::kCorruptPackage, "snapshot device damaged");
@@ -946,9 +976,24 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
             return Status(ErrorCode::kCorruptPackage,
                           "snapshot manifest damaged");
           }
+          isa::IsaId manifest_isa = isa::IsaId::kRv64Gc;
+          if (version >= kSnapshotVersion) {
+            uint8_t isa_byte = 0;
+            if (!rec.U8(&isa_byte)) {
+              return Status(ErrorCode::kCorruptPackage,
+                            "snapshot manifest damaged");
+            }
+            const auto parsed_isa = isa::IsaFromWire(isa_byte);
+            if (!parsed_isa) {
+              return Status(ErrorCode::kCorruptPackage,
+                            "snapshot manifest names an unknown isa");
+            }
+            manifest_isa = *parsed_isa;
+          }
           crypto::Sha256Digest digest{};
           std::copy(fingerprint.begin(), fingerprint.end(), digest.begin());
-          ERIC_RETURN_IF_ERROR(ApplyManifest(id, manifest_version, digest));
+          ERIC_RETURN_IF_ERROR(
+              ApplyManifest(id, manifest_version, digest, manifest_isa));
         }
       }
     }
@@ -1014,6 +1059,7 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
     DeviceId id = 0;
     uint64_t version = 0;
     crypto::Sha256Digest key_fingerprint{};
+    isa::IsaId isa = isa::IsaId::kRv64Gc;
   };
   std::vector<DeferredManifest> deferred_manifests;
   for (size_t shard = 0; shard < shards_.size(); ++shard) {
@@ -1022,14 +1068,29 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
         [this, &info, &deferred_revokes,
          &deferred_manifests](const store::WalRecord& record) -> Status {
           store::RecordReader rec(record.payload);
-          if (record.type == kWalEnroll) {
+          if (record.type == kWalEnroll || record.type == kWalEnrollIsa) {
             uint64_t id = 0, seed = 0, group = 0;
             if (!rec.U64(&id) || !rec.U64(&seed) || !rec.U64(&group)) {
               return Status(ErrorCode::kCorruptPackage,
                             "enroll record damaged");
             }
+            // Type-1 records predate heterogeneous fleets: RV64GC.
+            isa::IsaId isa = isa::IsaId::kRv64Gc;
+            if (record.type == kWalEnrollIsa) {
+              uint8_t isa_byte = 0;
+              if (!rec.U8(&isa_byte)) {
+                return Status(ErrorCode::kCorruptPackage,
+                              "enroll record damaged");
+              }
+              const auto parsed_isa = isa::IsaFromWire(isa_byte);
+              if (!parsed_isa) {
+                return Status(ErrorCode::kCorruptPackage,
+                              "enroll record names an unknown isa");
+              }
+              isa = *parsed_isa;
+            }
             Status applied = ApplyEnroll(id, seed, group,
-                                         DeviceStatus::kEnrolled);
+                                         DeviceStatus::kEnrolled, isa);
             if (applied.code() == ErrorCode::kNotFound &&
                 group != kNoGroup) {
               // The enrollment outlived its group-create record (torn
@@ -1041,7 +1102,8 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
               // cosmetic loss.
               ApplyGroupCreate(group,
                                "recovered-group-" + std::to_string(group));
-              applied = ApplyEnroll(id, seed, group, DeviceStatus::kEnrolled);
+              applied =
+                  ApplyEnroll(id, seed, group, DeviceStatus::kEnrolled, isa);
             }
             return applied;
           }
@@ -1055,7 +1117,8 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
             if (!applied.ok()) deferred_revokes.push_back(id);
             return Status::Ok();
           }
-          if (record.type == kWalManifest) {
+          if (record.type == kWalManifest ||
+              record.type == kWalManifestIsa) {
             uint64_t id = 0, version = 0;
             std::vector<uint8_t> fingerprint;
             if (!rec.U64(&id) || !rec.U64(&version) ||
@@ -1064,13 +1127,28 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
               return Status(ErrorCode::kCorruptPackage,
                             "manifest record damaged");
             }
-            ++info.manifest_records_replayed;
             DeferredManifest manifest;
+            if (record.type == kWalManifestIsa) {
+              uint8_t isa_byte = 0;
+              if (!rec.U8(&isa_byte)) {
+                return Status(ErrorCode::kCorruptPackage,
+                              "manifest record damaged");
+              }
+              const auto parsed_isa = isa::IsaFromWire(isa_byte);
+              if (!parsed_isa) {
+                return Status(ErrorCode::kCorruptPackage,
+                              "manifest record names an unknown isa");
+              }
+              manifest.isa = *parsed_isa;
+            }
+            ++info.manifest_records_replayed;
             manifest.id = id;
             manifest.version = version;
             std::copy(fingerprint.begin(), fingerprint.end(),
                       manifest.key_fingerprint.begin());
-            if (!ApplyManifest(id, version, manifest.key_fingerprint).ok()) {
+            if (!ApplyManifest(id, version, manifest.key_fingerprint,
+                               manifest.isa)
+                     .ok()) {
               deferred_manifests.push_back(manifest);
             }
             return Status::Ok();
@@ -1094,7 +1172,8 @@ Status DeviceRegistry::OpenStorage(const std::string& state_dir,
   // Same for manifests: one that still names an unknown device records a
   // delivery to an enrollment that never durably existed — a no-op.
   for (const auto& manifest : deferred_manifests) {
-    if (!ApplyManifest(manifest.id, manifest.version, manifest.key_fingerprint)
+    if (!ApplyManifest(manifest.id, manifest.version, manifest.key_fingerprint,
+                       manifest.isa)
              .ok()) {
       ++info.orphan_manifests_dropped;
     }
@@ -1188,10 +1267,12 @@ std::vector<uint8_t> DeviceRegistry::SerializeSnapshotLocked() const {
       rec.U64(record->info.device_seed);
       rec.U64(record->info.group);
       rec.U8(static_cast<uint8_t>(record->info.status));
+      rec.U8(static_cast<uint8_t>(record->info.isa));
       rec.U8(record->has_manifest ? 1 : 0);
       if (record->has_manifest) {
         rec.U64(record->manifest.version);
         rec.Bytes(record->manifest.key_fingerprint);
+        rec.U8(static_cast<uint8_t>(record->manifest.isa));
       }
     }
   }

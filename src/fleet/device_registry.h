@@ -60,6 +60,11 @@ struct DeviceInfo {
   uint64_t device_seed = 0;   ///< fab-time PUF process seed
   GroupId group = kNoGroup;   ///< owning group (kNoGroup when solo)
   DeviceStatus status = DeviceStatus::kEnrolled;  ///< lifecycle state
+  /// ISA the device's core executes, fixed at enrollment (it is
+  /// silicon). Campaigns compile per ISA; the HDE rejects foreign
+  /// images. Persisted with the enrollment; devices enrolled before the
+  /// field existed recover as kRv64Gc.
+  isa::IsaId isa = isa::IsaId::kRv64Gc;
   /// Public KMU conversion mask (all-zero for ungrouped devices).
   crypto::Key256 conversion_mask{};
 };
@@ -78,6 +83,10 @@ struct DeliveryManifest {
   /// SHA-256 fingerprint of the deployment key the build was sealed
   /// under when it was delivered.
   crypto::Sha256Digest key_fingerprint{};
+  /// ISA the delivered image was encoded for. A delta base is only
+  /// usable by a device of the same ISA; manifests recorded before the
+  /// field existed recover as kRv64Gc.
+  isa::IsaId isa = isa::IsaId::kRv64Gc;
 };
 
 /// Per-dispatch metadata between the deployment engine and the device's
@@ -231,8 +240,10 @@ class DeviceRegistry {
 
   /// Enrolls a device: simulates the fab step (PUF enrollment, helper-data
   /// generation) and, when `group` is not kNoGroup, provisions the KMU
-  /// conversion mask binding the device onto the group key.
-  Result<DeviceId> Enroll(uint64_t device_seed, GroupId group = kNoGroup);
+  /// conversion mask binding the device onto the group key. `isa` is the
+  /// device's execution ISA (silicon property, immutable after enroll).
+  Result<DeviceId> Enroll(uint64_t device_seed, GroupId group = kNoGroup,
+                          isa::IsaId isa = isa::IsaId::kRv64Gc);
 
   /// Public view of one device. kNotFound for unknown ids.
   Result<DeviceInfo> Lookup(DeviceId id) const;
@@ -350,12 +361,14 @@ class DeviceRegistry {
   Result<DeliveryManifest> DeliveredVersion(DeviceId id) const;
 
   /// Records that `version`, sealed under the key whose SHA-256 is
-  /// `key_fingerprint`, was delivered to and ran on `id`. When storage
-  /// is attached the manifest is write-ahead logged before it becomes
-  /// visible (the revoke discipline), so a recovered fleet diffs against
-  /// manifests that were durably true. Last write wins.
+  /// `key_fingerprint` and encoded for `isa`, was delivered to and ran
+  /// on `id`. When storage is attached the manifest is write-ahead
+  /// logged before it becomes visible (the revoke discipline), so a
+  /// recovered fleet diffs against manifests that were durably true.
+  /// Last write wins.
   Status RecordDelivery(DeviceId id, uint64_t version,
-                        const crypto::Sha256Digest& key_fingerprint);
+                        const crypto::Sha256Digest& key_fingerprint,
+                        isa::IsaId isa = isa::IsaId::kRv64Gc);
 
   /// Aggregate counters (devices, revocations, stripe balance).
   RegistryStats Stats() const;
@@ -445,7 +458,7 @@ class DeviceRegistry {
   /// touches the WAL. Idempotent across replay: an id already present is
   /// verified against (seed, group) and otherwise left alone.
   Status ApplyEnroll(DeviceId id, uint64_t device_seed, GroupId group,
-                     DeviceStatus status);
+                     DeviceStatus status, isa::IsaId isa);
   /// Recreates a group at a fixed id (recovery replay). Idempotent.
   void ApplyGroupCreate(GroupId id, std::string label);
   /// Marks a device revoked (recovery replay; idempotent).
@@ -453,7 +466,8 @@ class DeviceRegistry {
   /// Installs a delivery manifest on a device record (RecordDelivery
   /// body and recovery replay; idempotent, last write wins).
   Status ApplyManifest(DeviceId id, uint64_t version,
-                       const crypto::Sha256Digest& key_fingerprint);
+                       const crypto::Sha256Digest& key_fingerprint,
+                       isa::IsaId isa);
   /// Advances a group to `target_epoch` and re-provisions its members —
   /// the shared body of RotateGroupEpochTo and of recovery replay. Never
   /// touches the WAL. Idempotent: a target at or below the current epoch

@@ -137,13 +137,18 @@ Result<std::shared_ptr<const CachedArtifact>> PackageCache::GetOrBuild(
     const crypto::KeyConfig& key_config, const core::EncryptionPolicy& policy,
     core::CipherKind cipher, const compiler::CompileOptions& options,
     PackageCacheStats* call_stats) {
-  // Level-1 address: the plaintext program identity.
+  // Level-1 address: the plaintext program identity. The target ISA is
+  // part of it — the same source compiled for RV64GC and RV32I yields
+  // two different programs, and (through the program digest) two
+  // different artifact addresses, so a mixed fleet can never be served
+  // a cross-ISA image from cache.
   crypto::Sha256 program_hasher;
   Sha256AbsorbString(program_hasher, "eric.fleet.program.v1");
   Sha256AbsorbString(program_hasher, source);
   Sha256AbsorbU64(program_hasher, options.optimize ? 1 : 0);
   Sha256AbsorbU64(program_hasher, options.compress ? 1 : 0);
   Sha256AbsorbU64(program_hasher, static_cast<uint64_t>(options.opt_rounds));
+  Sha256AbsorbU64(program_hasher, static_cast<uint64_t>(options.isa));
   const Digest program_digest = program_hasher.Finish();
 
   // Level-2 address: program x key fingerprint x policy x cipher. The raw
@@ -213,6 +218,7 @@ Result<std::shared_ptr<const CachedArtifact>> PackageCache::GetOrBuild(
   artifact->compile_microseconds = compile_us;
   artifact->seal_microseconds = MicrosecondsSince(seal_start);
   artifact->key_fingerprint = key_fingerprint;
+  artifact->isa = options.isa;
   metrics.seal_us.Record(artifact->seal_microseconds);
 
   if (call_stats != nullptr) ++call_stats->artifact_misses;
@@ -231,6 +237,13 @@ Result<std::shared_ptr<const CachedArtifact>> PackageCache::GetOrBuildDelta(
   if (!(base.key_fingerprint == target.key_fingerprint)) {
     return Status(ErrorCode::kInvalidArgument,
                   "delta endpoints sealed under different keys");
+  }
+  // Delta bases never cross ISAs: a patch computed between images of
+  // different ISAs would pass delta CRCs yet hand a device an image it
+  // cannot execute. Refuse at encode time, not just at apply time.
+  if (base.isa != target.isa) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "delta endpoints encoded for different isas");
   }
   // Address by the exact wire content of both sides: a delta is only
   // reusable against byte-identical endpoints, and hashing the wires
@@ -258,6 +271,7 @@ Result<std::shared_ptr<const CachedArtifact>> PackageCache::GetOrBuildDelta(
   entry->instr_count = target.instr_count;
   entry->seal_microseconds = MicrosecondsSince(start);
   entry->key_fingerprint = target.key_fingerprint;
+  entry->isa = target.isa;
   metrics.delta_encode_us.Record(entry->seal_microseconds);
 
   if (call_stats != nullptr) ++call_stats->delta_misses;

@@ -56,6 +56,10 @@ struct CachedArtifact {
   /// targeted-invalidation address a key-epoch rotation uses to drop
   /// exactly this key's artifacts (see InvalidateKeyFingerprint).
   crypto::Sha256Digest key_fingerprint{};
+  /// ISA the sealed text was encoded for. Part of the cache address (via
+  /// the compile options), recorded here so delta endpoints can be
+  /// checked and campaign stats attributed without re-parsing the wire.
+  isa::IsaId isa = isa::IsaId::kRv64Gc;
 };
 
 /// Cache counters. Hit/miss/eviction counts are monotonic (sample before

@@ -66,7 +66,11 @@ std::vector<uint8_t> Serialize(const Package& package) {
   out.reserve(package.WireSize());
   out.insert(out.end(), kMagic, kMagic + 8);
   PutU32(out, kVersion);
-  uint32_t flags = static_cast<uint32_t>(package.mode);
+  // Byte 0: encryption mode; byte 1: target ISA. Old parsers reject
+  // non-zero ISA bytes as "bad mode flags", so an RV32I package can
+  // never be misread as RV64GC by a stale device.
+  const uint32_t flags = static_cast<uint32_t>(package.mode) |
+                         (static_cast<uint32_t>(package.isa) << 8);
   PutU32(out, flags);
   PutU32(out, static_cast<uint32_t>(package.text.size()));
   PutU32(out, package.instr_count);
@@ -98,11 +102,17 @@ Result<Package> Parse(std::span<const uint8_t> bytes) {
     return Corrupt("unsupported version " + std::to_string(version));
   }
   const uint32_t flags = GetU32(bytes, 12);
-  if (flags > static_cast<uint32_t>(EncryptionMode::kField)) {
+  const uint32_t mode_bits = flags & 0xFF;
+  const uint32_t isa_bits = (flags >> 8) & 0xFF;
+  if (mode_bits > static_cast<uint32_t>(EncryptionMode::kField) ||
+      (flags >> 16) != 0) {
     return Corrupt("bad mode flags");
   }
+  const auto isa = isa::IsaFromWire(static_cast<uint8_t>(isa_bits));
+  if (!isa) return Corrupt("unknown target isa " + std::to_string(isa_bits));
   Package p;
-  p.mode = static_cast<EncryptionMode>(flags);
+  p.mode = static_cast<EncryptionMode>(mode_bits);
+  p.isa = *isa;
   const uint32_t text_size = GetU32(bytes, 16);
   p.instr_count = GetU32(bytes, 20);
   const uint32_t field_spec_count = GetU32(bytes, 24);

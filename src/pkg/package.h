@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "crypto/sha256.h"
+#include "isa/isa_backend.h"
 #include "support/bitvector.h"
 #include "support/status.h"
 
@@ -54,6 +55,12 @@ struct FieldSpec {
 /// per `mode`); `signature` is the encrypted SHA-256 of the plaintext.
 struct Package {
   EncryptionMode mode = EncryptionMode::kNone;
+  /// Target ISA the text section was encoded for. Travels in byte 1 of
+  /// the header flags word; a device rejects packages built for a
+  /// foreign ISA before any decryption work (fail closed). Packages
+  /// serialized before this field existed carry zero there and parse as
+  /// kRv64Gc.
+  isa::IsaId isa = isa::IsaId::kRv64Gc;
   uint32_t instr_count = 0;
   /// Cipher-stream domain separators baked at encryption time.
   uint64_t key_epoch = 0;

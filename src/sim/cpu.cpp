@@ -6,16 +6,28 @@ using isa::Instr;
 using isa::Op;
 using isa::OpClass;
 
-Cpu::Cpu(Memory& memory, const CpuTiming& timing)
+namespace {
+
+/// Canonical RV32 register value: the low 32 bits sign-extended to 64.
+inline uint64_t SignExtend32(uint64_t value) {
+  return static_cast<uint64_t>(static_cast<int64_t>(
+      static_cast<int32_t>(static_cast<uint32_t>(value))));
+}
+
+}  // namespace
+
+Cpu::Cpu(Memory& memory, const CpuTiming& timing, isa::IsaId isa)
     : memory_(memory),
       timing_(timing),
+      backend_(isa::BackendFor(isa)),
+      rv32_(backend_.xlen() == 32),
       icache_(timing.icache),
       dcache_(timing.dcache) {}
 
 void Cpu::Reset(uint64_t entry_pc, uint64_t stack_pointer) {
   regs_.fill(0);
-  regs_[2] = stack_pointer;
-  pc_ = entry_pc;
+  regs_[2] = rv32_ ? SignExtend32(stack_pointer) : stack_pointer;
+  pc_ = rv32_ ? (entry_pc & 0xFFFFFFFF) : entry_pc;
   halt_ = HaltReason::kNone;
   exit_code_ = 0;
   icache_.Flush();
@@ -78,9 +90,11 @@ bool Cpu::Step(ExecStats& stats) {
   Instr in;
   if (isa::IsWide(half)) {
     const uint32_t word = static_cast<uint32_t>(memory_.Read(pc_, 4));
-    in = isa::Decode32(word);
+    in = backend_.Decode(word);
   } else {
-    in = isa::DecodeCompressed(half);
+    // On ISAs without the C extension this yields kInvalid: a compressed
+    // encoding halts the core instead of executing as something else.
+    in = backend_.DecodeCompressed(half);
   }
 
   if (in.op == Op::kInvalid) {
@@ -97,8 +111,17 @@ bool Cpu::Step(ExecStats& stats) {
 
   auto rs1 = [&] { return regs_[in.rs1]; };
   auto rs2 = [&] { return regs_[in.rs2]; };
+  // RV32 writebacks re-canonicalize to the sign-extended-32 invariant:
+  // 64-bit arithmetic then truncation is exactly arithmetic mod 2^32, and
+  // sign-extended operands preserve both signed and unsigned ordering, so
+  // the comparison ops need no special casing.
   auto wb = [&](uint64_t value) {
+    if (rv32_) value = SignExtend32(value);
     if (in.rd != 0) regs_[in.rd] = value;
+  };
+  // Effective data address (RV32: 32-bit address space).
+  auto ea = [&](uint64_t addr) {
+    return rv32_ ? (addr & 0xFFFFFFFF) : addr;
   };
 
   switch (in.op) {
@@ -144,7 +167,7 @@ bool Cpu::Step(ExecStats& stats) {
     case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLd:
     case Op::kLbu: case Op::kLhu: case Op::kLwu: {
       ++stats.loads;
-      const uint64_t addr = rs1() + static_cast<uint64_t>(in.imm);
+      const uint64_t addr = ea(rs1() + static_cast<uint64_t>(in.imm));
       const int size = LoadSize(in.op);
       uint64_t value = 0;
       if (mmio_.load && mmio_.load(addr, &value, size)) {
@@ -159,7 +182,7 @@ bool Cpu::Step(ExecStats& stats) {
     }
     case Op::kSb: case Op::kSh: case Op::kSw: case Op::kSd: {
       ++stats.stores;
-      const uint64_t addr = rs1() + static_cast<uint64_t>(in.imm);
+      const uint64_t addr = ea(rs1() + static_cast<uint64_t>(in.imm));
       const int size = StoreSize(in.op);
       if (mmio_.store && mmio_.store(addr, rs2(), size)) {
         stats.cycles += timing_.dcache.miss_cycles;
@@ -179,23 +202,68 @@ bool Cpu::Step(ExecStats& stats) {
     case Op::kXori: wb(rs1() ^ static_cast<uint64_t>(in.imm)); break;
     case Op::kOri: wb(rs1() | static_cast<uint64_t>(in.imm)); break;
     case Op::kAndi: wb(rs1() & static_cast<uint64_t>(in.imm)); break;
-    case Op::kSlli: wb(rs1() << (in.imm & 63)); break;
-    case Op::kSrli: wb(rs1() >> (in.imm & 63)); break;
+    // Shifts are the one ALU family where 64-bit arithmetic plus
+    // truncation is NOT mod-2^32 correct (bits shift in from above), so
+    // RV32 takes explicit 32-bit paths with 5-bit shift amounts.
+    case Op::kSlli:
+      if (rv32_) {
+        wb(static_cast<uint64_t>(static_cast<uint32_t>(rs1())
+                                 << (in.imm & 31)));
+      } else {
+        wb(rs1() << (in.imm & 63));
+      }
+      break;
+    case Op::kSrli:
+      if (rv32_) {
+        wb(static_cast<uint64_t>(static_cast<uint32_t>(rs1()) >>
+                                 (in.imm & 31)));
+      } else {
+        wb(rs1() >> (in.imm & 63));
+      }
+      break;
     case Op::kSrai:
-      wb(static_cast<uint64_t>(static_cast<int64_t>(rs1()) >> (in.imm & 63)));
+      if (rv32_) {
+        wb(static_cast<uint64_t>(
+            static_cast<int32_t>(static_cast<uint32_t>(rs1())) >>
+            (in.imm & 31)));
+      } else {
+        wb(static_cast<uint64_t>(static_cast<int64_t>(rs1()) >>
+                                 (in.imm & 63)));
+      }
       break;
 
     case Op::kAdd: wb(rs1() + rs2()); break;
     case Op::kSub: wb(rs1() - rs2()); break;
-    case Op::kSll: wb(rs1() << (rs2() & 63)); break;
+    case Op::kSll:
+      if (rv32_) {
+        wb(static_cast<uint64_t>(static_cast<uint32_t>(rs1())
+                                 << (rs2() & 31)));
+      } else {
+        wb(rs1() << (rs2() & 63));
+      }
+      break;
     case Op::kSlt:
       wb(static_cast<int64_t>(rs1()) < static_cast<int64_t>(rs2()) ? 1 : 0);
       break;
     case Op::kSltu: wb(rs1() < rs2() ? 1 : 0); break;
     case Op::kXor: wb(rs1() ^ rs2()); break;
-    case Op::kSrl: wb(rs1() >> (rs2() & 63)); break;
+    case Op::kSrl:
+      if (rv32_) {
+        wb(static_cast<uint64_t>(static_cast<uint32_t>(rs1()) >>
+                                 (rs2() & 31)));
+      } else {
+        wb(rs1() >> (rs2() & 63));
+      }
+      break;
     case Op::kSra:
-      wb(static_cast<uint64_t>(static_cast<int64_t>(rs1()) >> (rs2() & 63)));
+      if (rv32_) {
+        wb(static_cast<uint64_t>(
+            static_cast<int32_t>(static_cast<uint32_t>(rs1())) >>
+            (rs2() & 31)));
+      } else {
+        wb(static_cast<uint64_t>(static_cast<int64_t>(rs1()) >>
+                                 (rs2() & 63)));
+      }
       break;
     case Op::kOr: wb(rs1() | rs2()); break;
     case Op::kAnd: wb(rs1() & rs2()); break;
@@ -455,7 +523,9 @@ bool Cpu::Step(ExecStats& stats) {
 
   if (redirected) {
     stats.cycles += timing_.taken_branch_penalty;
-    pc_ = redirect;
+    // RV32: jalr targets come from sign-extended registers; masking
+    // recovers the true 32-bit address.
+    pc_ = rv32_ ? (redirect & 0xFFFFFFFF) : redirect;
   } else {
     pc_ = next_pc;
   }

@@ -14,6 +14,7 @@
 
 #include "isa/decoder.h"
 #include "isa/instruction.h"
+#include "isa/isa_backend.h"
 #include "sim/cache.h"
 #include "sim/memory.h"
 #include "support/status.h"
@@ -77,9 +78,16 @@ struct MmioHandlers {
 };
 
 /// The core.
+///
+/// The execution mode follows the ISA backend: on `kRv32I` registers keep
+/// a sign-extended-32 invariant (every writeback re-canonicalizes),
+/// addresses and the pc are truncated to 32 bits, shift amounts are
+/// 5-bit, and compressed or RV64-only encodings halt the core with
+/// kInvalidInstruction instead of silently executing.
 class Cpu {
  public:
-  Cpu(Memory& memory, const CpuTiming& timing = {});
+  Cpu(Memory& memory, const CpuTiming& timing = {},
+      isa::IsaId isa = isa::IsaId::kRv64Gc);
 
   /// Installs device handlers (optional).
   void set_mmio(MmioHandlers handlers) { mmio_ = std::move(handlers); }
@@ -110,6 +118,8 @@ class Cpu {
 
   Memory& memory_;
   CpuTiming timing_;
+  const isa::IsaBackend& backend_;
+  const bool rv32_;
   Cache icache_;
   Cache dcache_;
   MmioHandlers mmio_;

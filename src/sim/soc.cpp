@@ -2,7 +2,8 @@
 
 namespace eric::sim {
 
-Soc::Soc(const CpuTiming& timing) : cpu_(memory_, timing) {
+Soc::Soc(const CpuTiming& timing, isa::IsaId isa)
+    : cpu_(memory_, timing, isa) {
   MmioHandlers handlers;
   handlers.store = [this](uint64_t addr, uint64_t value, int size) {
     (void)size;

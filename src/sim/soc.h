@@ -28,7 +28,8 @@ inline constexpr double kClockHz = 25e6;
 /// A Rocket-like SoC instance.
 class Soc {
  public:
-  explicit Soc(const CpuTiming& timing = {});
+  explicit Soc(const CpuTiming& timing = {},
+               isa::IsaId isa = isa::IsaId::kRv64Gc);
 
   /// Copies a program image into RAM at `address` (default kRamBase).
   void LoadProgram(std::span<const uint8_t> image, uint64_t address = kRamBase);

@@ -376,5 +376,109 @@ TEST(PassTest, IrDumpIsReadable) {
   EXPECT_NE(dump.find("load g"), std::string::npos);
 }
 
+// --- RV32I code generation --------------------------------------------------
+
+// Compiles for RV32I and runs on an RV32I core; returns the exit code.
+int64_t CompileAndRunRv32(const std::string& source) {
+  CompileOptions options;
+  options.isa = isa::IsaId::kRv32I;
+  auto compiled = Compile(source, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  if (!compiled.ok()) return INT64_MIN;
+  EXPECT_EQ(compiled->program.isa, isa::IsaId::kRv32I);
+  sim::Soc soc({}, isa::IsaId::kRv32I);
+  soc.LoadProgram(compiled->program.image);
+  const sim::ExecStats stats = soc.Run();
+  EXPECT_EQ(stats.halt_reason, sim::HaltReason::kExit)
+      << "final pc " << stats.final_pc;
+  return stats.exit_code;
+}
+
+TEST(Rv32CodegenTest, BasicPrograms) {
+  EXPECT_EQ(CompileAndRunRv32("fn main() { return 42; }"), 42);
+  EXPECT_EQ(CompileAndRunRv32("fn main() { return 5 + -5; }"), 0);
+  EXPECT_EQ(CompileAndRunRv32("fn main() { return 0xF0 & 0x3C; }"), 0x30);
+  EXPECT_EQ(CompileAndRunRv32("fn main() { return 1 << 10; }"), 1024);
+  EXPECT_EQ(CompileAndRunRv32("fn main() { return 3 < 5; }"), 1);
+}
+
+TEST(Rv32CodegenTest, SoftwareMultiplyDivideHelpers) {
+  // RV32I has no M extension: mul/div/rem lower to synthesized helper
+  // routines. The results must match the hardware instructions bit for
+  // bit within 32-bit range.
+  EXPECT_EQ(CompileAndRunRv32("fn main() { return 6 * 7; }"), 42);
+  EXPECT_EQ(CompileAndRunRv32("fn main() { return 12345 * 6789; }"),
+            12345 * 6789);
+  EXPECT_EQ(CompileAndRunRv32("fn main() { return (100 - 16) / 2; }"), 42);
+  EXPECT_EQ(CompileAndRunRv32("fn main() { return 142 % 100; }"), 42);
+  EXPECT_EQ(CompileAndRunRv32("fn main() { return 1000000 / 7; }"),
+            1000000 / 7);
+  EXPECT_EQ(CompileAndRunRv32("fn main() { return 1000000 % 7; }"),
+            1000000 % 7);
+  // Division with a variable divisor (no strength reduction possible).
+  EXPECT_EQ(CompileAndRunRv32(R"(
+    fn main() {
+      var d = 13;
+      return 400 / d + 400 % d;
+    }
+  )"),
+            400 / 13 + 400 % 13);
+}
+
+TEST(Rv32CodegenTest, LoopsAndCallsMatchRv64) {
+  // 32-bit-clean code must compute identical results on both targets.
+  const std::string source = R"(
+    fn sum(n) {
+      var total = 0;
+      while (n > 0) {
+        total = total + n;
+        n = n - 1;
+      }
+      return total;
+    }
+    fn main() { return sum(100); }
+  )";
+  EXPECT_EQ(CompileAndRun(source), 5050);
+  EXPECT_EQ(CompileAndRunRv32(source), 5050);
+}
+
+TEST(Rv32CodegenTest, GlobalsUseFourByteWords) {
+  // Global arrays stride by the ISA's word size; an RV32 image must
+  // load back what it stored through 4-byte slots.
+  EXPECT_EQ(CompileAndRunRv32(R"(
+    var g[4];
+    fn main() {
+      g[0] = 11;
+      g[1] = 22;
+      g[3] = 33;
+      return g[0] + g[1] + g[3];
+    }
+  )"),
+            66);
+}
+
+TEST(Rv32CodegenTest, RejectsSixtyFourBitConstants) {
+  // A constant outside the 32-bit range cannot be materialized on
+  // RV32I: codegen must refuse (fail closed), not truncate.
+  CompileOptions options;
+  options.isa = isa::IsaId::kRv32I;
+  auto compiled = Compile("fn main() { return 0x123456789; }", options);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), ErrorCode::kInvalidArgument);
+  // The same source compiles fine for the 64-bit target.
+  EXPECT_TRUE(Compile("fn main() { return 0x123456789; }").ok());
+}
+
+TEST(Rv32CodegenTest, ImagesAreUncompressed) {
+  // RV32I has no C extension, so even with compression requested every
+  // instruction must be 4 bytes (compressed_instructions == 0).
+  CompileOptions options;
+  options.isa = isa::IsaId::kRv32I;
+  options.compress = true;
+  auto compiled = Compile("fn main() { return 6 * 7; }", options);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_EQ(compiled->program.stats.compressed_instructions, 0u);
+}
+
 }  // namespace
 }  // namespace eric::compiler

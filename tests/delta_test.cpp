@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "core/hde.h"
+#include "core/software_source.h"
 #include "pkg/delta.h"
 #include "store/record_io.h"
 #include "store/wal.h"
@@ -374,6 +376,43 @@ TEST(DeltaCorruptionTest, ReconstructionCrcBackstopsTamperedLiterals) {
   forge.Op(2, wrong).End();
   EXPECT_EQ(ApplyDelta(base, forge.bytes()).status().code(),
             ErrorCode::kCorruptPackage);
+}
+
+TEST(DeltaCorruptionTest, CrossIsaBaseFailsClosed) {
+  // Seal the same two releases for both ISAs under one deployment key —
+  // exactly what the mixed-fleet package cache produces — then apply the
+  // RV64GC v1->v2 patch against the RV32I v1 wire. The base images differ
+  // (different encodings, different flags byte), so the base CRC must
+  // reject with kCorruptPackage: never a crash, never a silently wrong
+  // image handed to the device. This is the regression test behind the
+  // engine's delta-base-never-crosses-ISAs rule.
+  crypto::KeyConfig config;
+  core::HardwareDecryptionEngine hde(0x15A, config);
+  const crypto::Key256 key = hde.EnrollAndShareKey();
+  core::SoftwareSource source(key, config);
+  const auto build = [&](const char* program, isa::IsaId isa) {
+    compiler::CompileOptions options;
+    options.isa = isa;
+    auto built = source.CompileAndPackage(
+        program, core::EncryptionPolicy::Full(), options);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    return Serialize(built->packaging.package);
+  };
+  const char* v1 = "fn main() { return 1; }";
+  const char* v2 = "fn main() { return 2; }";
+  const auto v1_rv64 = build(v1, isa::IsaId::kRv64Gc);
+  const auto v2_rv64 = build(v2, isa::IsaId::kRv64Gc);
+  const auto v1_rv32 = build(v1, isa::IsaId::kRv32I);
+  ASSERT_NE(v1_rv64, v1_rv32);
+
+  const auto delta = EncodeDelta(v1_rv64, v2_rv64);
+  auto cross = ApplyDelta(v1_rv32, delta);
+  ASSERT_FALSE(cross.ok());
+  EXPECT_EQ(cross.status().code(), ErrorCode::kCorruptPackage);
+  // The matching base still round-trips.
+  auto applied = ApplyDelta(v1_rv64, delta);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, v2_rv64);
 }
 
 }  // namespace

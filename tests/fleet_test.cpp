@@ -1617,5 +1617,227 @@ TEST(AgentFleetTest, HealthFailureOnFullPathConsumesBudgetAsRetry) {
   EXPECT_EQ(retried->outcomes[0].attempts, 2u);
 }
 
+// --- Heterogeneous fleets (per-device ISA) ----------------------------------
+
+TEST(DeviceRegistryTest, EnrollmentRecordsDeviceIsa) {
+  DeviceRegistry registry;
+  const GroupId group = registry.CreateGroup("mixed");
+  auto rv64 = registry.Enroll(0x15A64, group);
+  auto rv32 = registry.Enroll(0x15A32, group, isa::IsaId::kRv32I);
+  ASSERT_TRUE(rv64.ok());
+  ASSERT_TRUE(rv32.ok());
+  auto info64 = registry.Lookup(*rv64);
+  auto info32 = registry.Lookup(*rv32);
+  ASSERT_TRUE(info64.ok());
+  ASSERT_TRUE(info32.ok());
+  EXPECT_EQ(info64->isa, isa::IsaId::kRv64Gc);  // the default
+  EXPECT_EQ(info32->isa, isa::IsaId::kRv32I);
+}
+
+TEST(PackageCacheTest, IsaIsPartOfTheArtifactAddress) {
+  DeviceRegistry registry;
+  const GroupId group = registry.CreateGroup("g");
+  ASSERT_TRUE(registry.Enroll(0xCA, group).ok());
+  auto key = registry.GroupKey(group);
+  ASSERT_TRUE(key.ok());
+  const auto policy = core::EncryptionPolicy::Full();
+
+  PackageCache cache;
+  compiler::CompileOptions rv64_options;
+  compiler::CompileOptions rv32_options;
+  rv32_options.isa = isa::IsaId::kRv32I;
+  auto rv64_artifact = cache.GetOrBuild(kTinyProgram, *key,
+                                        registry.key_config(), policy,
+                                        core::CipherKind::kXor, rv64_options);
+  auto rv32_artifact = cache.GetOrBuild(kTinyProgram, *key,
+                                        registry.key_config(), policy,
+                                        core::CipherKind::kXor, rv32_options);
+  ASSERT_TRUE(rv64_artifact.ok());
+  ASSERT_TRUE(rv32_artifact.ok());
+  // Same source, same key, same policy — but different silicon, so the
+  // cache must hold two distinct artifacts and never serve one for the
+  // other.
+  EXPECT_NE(rv64_artifact->get(), rv32_artifact->get());
+  EXPECT_NE((*rv64_artifact)->wire, (*rv32_artifact)->wire);
+  EXPECT_EQ((*rv64_artifact)->isa, isa::IsaId::kRv64Gc);
+  EXPECT_EQ((*rv32_artifact)->isa, isa::IsaId::kRv32I);
+  EXPECT_EQ(cache.Stats().artifact_misses, 2u);
+  EXPECT_EQ(cache.Stats().compile_misses, 2u);
+
+  // Repeating either request hits its own ISA's entry.
+  auto again = cache.GetOrBuild(kTinyProgram, *key, registry.key_config(),
+                                policy, core::CipherKind::kXor, rv32_options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->get(), rv32_artifact->get());
+  EXPECT_EQ(cache.Stats().artifact_hits, 1u);
+}
+
+TEST(PackageCacheTest, RefusesCrossIsaDeltaEndpoints) {
+  DeviceRegistry registry;
+  const GroupId group = registry.CreateGroup("g");
+  ASSERT_TRUE(registry.Enroll(0xCB, group).ok());
+  auto key = registry.GroupKey(group);
+  ASSERT_TRUE(key.ok());
+  const auto policy = core::EncryptionPolicy::Full();
+
+  PackageCache cache;
+  compiler::CompileOptions rv32_options;
+  rv32_options.isa = isa::IsaId::kRv32I;
+  auto base = cache.GetOrBuild(kTinyProgram, *key, registry.key_config(),
+                               policy);
+  auto target = cache.GetOrBuild(kTinyProgram, *key, registry.key_config(),
+                                 policy, core::CipherKind::kXor, rv32_options);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(target.ok());
+  // A delta between differently-encoded images is never valid: refuse at
+  // the cache boundary rather than ship a patch that can only corrupt.
+  auto delta = cache.GetOrBuildDelta(**base, **target);
+  ASSERT_FALSE(delta.ok());
+  EXPECT_EQ(delta.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(DeploymentEngineTest, MixedIsaCampaignCompilesPerIsaAndRunsEverywhere) {
+  DeviceRegistry registry;
+  PackageCache cache;
+  const GroupId group = registry.CreateGroup("mixed");
+  std::vector<DeviceId> rv64_devices;
+  std::vector<DeviceId> rv32_devices;
+  for (uint64_t i = 0; i < 4; ++i) {
+    auto id = registry.Enroll(0xA64000 + i, group);
+    ASSERT_TRUE(id.ok());
+    rv64_devices.push_back(*id);
+  }
+  for (uint64_t i = 0; i < 2; ++i) {
+    auto id = registry.Enroll(0xA32000 + i, group, isa::IsaId::kRv32I);
+    ASSERT_TRUE(id.ok());
+    rv32_devices.push_back(*id);
+  }
+
+  DeploymentEngine engine(registry, cache);
+  CampaignConfig campaign;
+  campaign.source = kTinyProgram;
+  campaign.group = group;
+  campaign.workers = 3;
+  auto report = engine.Run(campaign);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->targets, 6u);
+  EXPECT_EQ(report->succeeded, 6u);
+  EXPECT_EQ(report->failed, 0u);
+  // The workload is 32-bit clean, so every device — either ISA — computes
+  // the same answer from its own ISA's image.
+  for (const auto& outcome : report->outcomes) {
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.exit_code, kTinyProgramResult);
+    auto info = registry.Lookup(outcome.device);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(outcome.isa, info->isa);
+  }
+  // Encrypt-once still holds per ISA: one compile and one seal each.
+  const auto& rv64_stats =
+      report->by_isa[static_cast<size_t>(isa::IsaId::kRv64Gc)];
+  const auto& rv32_stats =
+      report->by_isa[static_cast<size_t>(isa::IsaId::kRv32I)];
+  EXPECT_EQ(rv64_stats.targets, 4u);
+  EXPECT_EQ(rv64_stats.succeeded, 4u);
+  EXPECT_EQ(rv64_stats.compile_builds, 1u);
+  EXPECT_EQ(rv64_stats.seal_builds, 1u);
+  EXPECT_EQ(rv32_stats.targets, 2u);
+  EXPECT_EQ(rv32_stats.succeeded, 2u);
+  EXPECT_EQ(rv32_stats.compile_builds, 1u);
+  EXPECT_EQ(rv32_stats.seal_builds, 1u);
+  EXPECT_EQ(report->cache_compile_misses, 2u);
+  EXPECT_EQ(report->cache_artifact_misses, 2u);
+  EXPECT_EQ(report->cache_artifact_hits, 4u);
+  // Each manifest records the ISA of the image that actually landed.
+  for (DeviceId id : rv32_devices) {
+    auto manifest = registry.DeliveredVersion(id);
+    ASSERT_TRUE(manifest.ok());
+    EXPECT_EQ(manifest->isa, isa::IsaId::kRv32I);
+  }
+  for (DeviceId id : rv64_devices) {
+    auto manifest = registry.DeliveredVersion(id);
+    ASSERT_TRUE(manifest.ok());
+    EXPECT_EQ(manifest->isa, isa::IsaId::kRv64Gc);
+  }
+}
+
+TEST(DeltaCampaignTest, PerIsaDeltasInAMixedFleet) {
+  DeltaFleet fleet;
+  auto rv32 = fleet.registry.Enroll(0xDE17A320, fleet.group,
+                                    isa::IsaId::kRv32I);
+  ASSERT_TRUE(rv32.ok());
+  fleet.devices.push_back(*rv32);
+
+  auto first = fleet.engine.Run(fleet.V1Campaign());
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->succeeded, fleet.devices.size());
+
+  // The rv32 device's retained base is rv32-encoded and its manifest says
+  // so, so the v2 delta campaign can diff within that ISA: everyone gets
+  // a delta, each encoded against their own ISA's base image.
+  auto second = fleet.engine.Run(fleet.V2DeltaCampaign());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->succeeded, fleet.devices.size());
+  EXPECT_EQ(second->delta_deliveries, fleet.devices.size());
+  EXPECT_EQ(second->full_deliveries, 0u);
+  EXPECT_EQ(second->delta_fallbacks, 0u);
+  for (const auto& outcome : second->outcomes) {
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_TRUE(outcome.delta);
+  }
+}
+
+TEST(DeltaCampaignTest, CrossIsaManifestBaseFallsBackToFullDelivery) {
+  DeltaFleet fleet;
+  auto rv32 = fleet.registry.Enroll(0xDE17A321, fleet.group,
+                                    isa::IsaId::kRv32I);
+  ASSERT_TRUE(rv32.ok());
+  fleet.devices.push_back(*rv32);
+
+  const CampaignConfig v1 = fleet.V1Campaign();
+  auto first = fleet.engine.Run(v1);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->succeeded, fleet.devices.size());
+
+  // Rewrite the rv32 device's manifest to claim its retained image is
+  // rv64-encoded (a control plane that predates per-device ISAs would
+  // have recorded exactly this). Version and key fingerprint still
+  // match, so only the ISA check stands between this device and a
+  // corrupting patch.
+  const uint64_t v1_version =
+      ProgramVersionFingerprint(fleet.v1_source, v1.policy,
+                                v1.compile_options);
+  const crypto::Sha256Digest key_fp =
+      FingerprintKey(*fleet.registry.GroupKey(fleet.group));
+  ASSERT_TRUE(fleet.registry
+                  .RecordDelivery(*rv32, v1_version, key_fp,
+                                  isa::IsaId::kRv64Gc)
+                  .ok());
+
+  auto second = fleet.engine.Run(fleet.V2DeltaCampaign());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->succeeded, fleet.devices.size());
+  // The mismatched device silently gets a full package on the first
+  // attempt — fail-closed, not a fallback after a failed delta, so no
+  // retry budget is consumed.
+  EXPECT_EQ(second->full_deliveries, 1u);
+  EXPECT_EQ(second->delta_deliveries, fleet.devices.size() - 1);
+  EXPECT_EQ(second->delta_fallbacks, 0u);
+  for (const auto& outcome : second->outcomes) {
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.attempts, 1u);
+    if (outcome.device == *rv32) {
+      EXPECT_FALSE(outcome.delta);
+      EXPECT_FALSE(outcome.delta_fallback);
+    } else {
+      EXPECT_TRUE(outcome.delta);
+    }
+  }
+  // After the full delivery the manifest is honest again: rv32-encoded.
+  auto manifest = fleet.registry.DeliveredVersion(*rv32);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->isa, isa::IsaId::kRv32I);
+}
+
 }  // namespace
 }  // namespace eric::fleet

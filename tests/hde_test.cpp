@@ -219,5 +219,28 @@ TEST(CipherWalkTest, EncryptDecryptIsIdentityAcrossModes) {
   EXPECT_EQ(image, original);
 }
 
+TEST(HdeTest, RejectsPackageTargetingForeignIsa) {
+  Rig rig;
+  compiler::CompileOptions options;
+  options.isa = isa::IsaId::kRv32I;
+  const auto package =
+      BuildFor(rig, kTinyProgram, EncryptionPolicy::Full(), options);
+  EXPECT_EQ(package.isa, isa::IsaId::kRv32I);
+  // The default rig is an RV64GC device: an RV32I package would decrypt
+  // and authenticate fine (same key, same signature scheme) and then
+  // execute as garbage, so the HDE must refuse it before any crypto
+  // work — the same error class as a key mismatch.
+  auto rejected = rig.hde.Process(package);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), ErrorCode::kAuthenticationFailed);
+  // An RV32I device with the same PUF seed regenerates the same key and
+  // accepts the same bytes: the gate is about the ISA, not the key.
+  HardwareDecryptionEngine hde32(kSeed, rig.config, CipherKind::kXor,
+                                 HdeCycleParams{}, isa::IsaId::kRv32I);
+  EXPECT_EQ(hde32.EnrollAndShareKey(), rig.key);  // same PUF seed, same key
+  auto accepted = hde32.Process(package);
+  EXPECT_TRUE(accepted.ok()) << accepted.status().ToString();
+}
+
 }  // namespace
 }  // namespace eric::core

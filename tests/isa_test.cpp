@@ -6,6 +6,7 @@
 #include "isa/decoder.h"
 #include "isa/disassembler.h"
 #include "isa/encoder.h"
+#include "isa/isa_backend.h"
 #include "support/hex.h"
 #include "support/rng.h"
 
@@ -406,6 +407,158 @@ TEST(PropertyTest, RandomBranchRoundtrip) {
                                  static_cast<uint8_t>(rng.NextBounded(32)),
                                  static_cast<uint8_t>(rng.NextBounded(32)),
                                  imm));
+  }
+}
+
+// --- ISA backends -----------------------------------------------------------
+
+TEST(IsaBackendTest, Identity) {
+  const IsaBackend& rv64 = BackendFor(IsaId::kRv64Gc);
+  EXPECT_EQ(rv64.id(), IsaId::kRv64Gc);
+  EXPECT_EQ(rv64.name(), "rv64gc");
+  EXPECT_EQ(rv64.xlen(), 64u);
+  EXPECT_EQ(rv64.word_bytes(), 8u);
+  EXPECT_TRUE(rv64.supports_compressed());
+
+  const IsaBackend& rv32 = BackendFor(IsaId::kRv32I);
+  EXPECT_EQ(rv32.id(), IsaId::kRv32I);
+  EXPECT_EQ(rv32.name(), "rv32i");
+  EXPECT_EQ(rv32.xlen(), 32u);
+  EXPECT_EQ(rv32.word_bytes(), 4u);
+  EXPECT_FALSE(rv32.supports_compressed());
+
+  // Singletons: repeated lookups hand back the same object.
+  EXPECT_EQ(&BackendFor(IsaId::kRv32I), &rv32);
+  EXPECT_EQ(&BackendFor(IsaId::kRv64Gc), &rv64);
+}
+
+TEST(IsaBackendTest, NamesRoundtrip) {
+  EXPECT_EQ(IsaName(IsaId::kRv64Gc), "rv64gc");
+  EXPECT_EQ(IsaName(IsaId::kRv32I), "rv32i");
+  ASSERT_TRUE(ParseIsaName("rv64gc").has_value());
+  EXPECT_EQ(*ParseIsaName("rv64gc"), IsaId::kRv64Gc);
+  ASSERT_TRUE(ParseIsaName("rv32i").has_value());
+  EXPECT_EQ(*ParseIsaName("rv32i"), IsaId::kRv32I);
+  EXPECT_FALSE(ParseIsaName("rv128").has_value());
+  EXPECT_FALSE(ParseIsaName("").has_value());
+}
+
+TEST(IsaBackendTest, WireValidation) {
+  ASSERT_TRUE(IsaFromWire(0).has_value());
+  EXPECT_EQ(*IsaFromWire(0), IsaId::kRv64Gc);
+  ASSERT_TRUE(IsaFromWire(1).has_value());
+  EXPECT_EQ(*IsaFromWire(1), IsaId::kRv32I);
+  // Every other byte value is unclaimed and must fail validation —
+  // this is what keeps a corrupted snapshot or package flag byte from
+  // silently becoming an ISA.
+  for (int value = 2; value < 256; ++value) {
+    EXPECT_FALSE(IsaFromWire(static_cast<uint8_t>(value)).has_value())
+        << value;
+  }
+}
+
+TEST(IsaBackendTest, Rv64FullOpCoverage) {
+  const IsaBackend& rv64 = BackendFor(IsaId::kRv64Gc);
+  for (Op op : {Op::kLd, Op::kSd, Op::kLwu, Op::kAddw, Op::kMul, Op::kDivu,
+                Op::kAmoAddW, Op::kLrD}) {
+    EXPECT_TRUE(rv64.SupportsOp(op)) << OpName(op);
+  }
+  EXPECT_FALSE(rv64.SupportsOp(Op::kInvalid));
+  // The backend is a strict delegate of the existing codec.
+  const Instr ld = MakeLoad(Op::kLd, 10, 2, 8);
+  auto direct = Encode32(ld);
+  auto via_backend = rv64.Encode(ld);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_backend.ok());
+  EXPECT_EQ(*direct, *via_backend);
+  EXPECT_EQ(rv64.Decode(*direct).op, Op::kLd);
+}
+
+TEST(IsaBackendTest, Rv32RejectsSixtyFourBitOnlyOps) {
+  const IsaBackend& rv32 = BackendFor(IsaId::kRv32I);
+  // 64-bit-only loads/stores, W forms, M, and A must all be refused at
+  // encode time (kInvalidArgument, fail closed) and be unsupported.
+  for (Op op : {Op::kLd, Op::kLwu, Op::kAddw, Op::kSubw, Op::kSllw,
+                Op::kMul, Op::kMulh, Op::kDiv, Op::kDivu, Op::kRem,
+                Op::kRemu, Op::kMulw, Op::kAmoAddW, Op::kAmoSwapW,
+                Op::kLrW, Op::kScW}) {
+    EXPECT_FALSE(rv32.SupportsOp(op)) << OpName(op);
+    auto encoded = op == Op::kLd || op == Op::kLwu
+                       ? rv32.Encode(MakeLoad(op, 10, 2, 0))
+                       : rv32.Encode(MakeR(op, 10, 11, 12));
+    ASSERT_FALSE(encoded.ok()) << OpName(op);
+    EXPECT_EQ(encoded.status().code(), ErrorCode::kInvalidArgument)
+        << OpName(op);
+  }
+  ASSERT_FALSE(rv32.Encode(MakeStore(Op::kSd, 10, 2, 0)).ok());
+}
+
+TEST(IsaBackendTest, Rv32DecodesForeignEncodingsAsInvalid) {
+  const IsaBackend& rv64 = BackendFor(IsaId::kRv64Gc);
+  const IsaBackend& rv32 = BackendFor(IsaId::kRv32I);
+  // Valid RV64 bit patterns that name 64-bit-only operations must decode
+  // to kInvalid on RV32 — never to a silently different operation.
+  for (const Instr& in :
+       {MakeLoad(Op::kLd, 10, 2, 8), MakeStore(Op::kSd, 10, 2, 8),
+        MakeR(Op::kMul, 10, 11, 12), MakeR(Op::kAddw, 10, 11, 12)}) {
+    auto word = rv64.Encode(in);
+    ASSERT_TRUE(word.ok()) << OpName(in.op);
+    const Instr out = rv32.Decode(*word);
+    EXPECT_EQ(out.op, Op::kInvalid) << OpName(in.op);
+    EXPECT_EQ(out.raw, *word) << OpName(in.op);
+  }
+}
+
+TEST(IsaBackendTest, Rv32ShiftAmountFailsClosedBothDirections) {
+  const IsaBackend& rv64 = BackendFor(IsaId::kRv64Gc);
+  const IsaBackend& rv32 = BackendFor(IsaId::kRv32I);
+  for (Op op : {Op::kSlli, Op::kSrli, Op::kSrai}) {
+    // shamt 31 is the RV32 maximum and must round-trip.
+    auto ok31 = rv32.Encode(MakeI(op, 7, 7, 31));
+    ASSERT_TRUE(ok31.ok()) << OpName(op);
+    EXPECT_EQ(rv32.Decode(*ok31).imm, 31) << OpName(op);
+    // shamt 32..63 encodes on RV64 (6-bit field) but is an illegal
+    // encoding on RV32: refused at encode, kInvalid at decode — never a
+    // silent mod-32 shift.
+    auto rejected = rv32.Encode(MakeI(op, 7, 7, 32));
+    ASSERT_FALSE(rejected.ok()) << OpName(op);
+    EXPECT_EQ(rejected.status().code(), ErrorCode::kInvalidArgument);
+    auto wide = rv64.Encode(MakeI(op, 7, 7, 33));
+    ASSERT_TRUE(wide.ok()) << OpName(op);
+    EXPECT_EQ(rv32.Decode(*wide).op, Op::kInvalid) << OpName(op);
+  }
+}
+
+TEST(IsaBackendTest, Rv32HasNoCompressedForms) {
+  const IsaBackend& rv64 = BackendFor(IsaId::kRv64Gc);
+  const IsaBackend& rv32 = BackendFor(IsaId::kRv32I);
+  // An instruction RV64 happily compresses must stay 4 bytes on RV32.
+  const Instr addi = MakeI(Op::kAddi, 10, 10, 4);
+  EXPECT_TRUE(rv64.EncodeCompressed(addi).has_value());
+  EXPECT_FALSE(rv32.EncodeCompressed(addi).has_value());
+  // And a compressed half-word never decodes to anything executable.
+  const auto half = *rv64.EncodeCompressed(addi);
+  EXPECT_NE(rv64.DecodeCompressed(half).op, Op::kInvalid);
+  EXPECT_EQ(rv32.DecodeCompressed(half).op, Op::kInvalid);
+}
+
+TEST(IsaBackendTest, Rv32SupportedOpsRoundtripThroughBackend) {
+  const IsaBackend& rv32 = BackendFor(IsaId::kRv32I);
+  for (const Instr& in :
+       {MakeI(Op::kAddi, 10, 11, -2048), MakeR(Op::kSub, 1, 2, 3),
+        MakeR(Op::kSltu, 4, 5, 6), MakeLoad(Op::kLw, 10, 2, 2047),
+        MakeStore(Op::kSw, 10, 2, -2048), MakeBranch(Op::kBltu, 1, 2, -4096),
+        MakeJal(1, 2048), MakeJalr(1, 5, -4), MakeLui(10, 0x7FFFF),
+        MakeI(Op::kSrai, 7, 7, 31)}) {
+    auto word = rv32.Encode(in);
+    ASSERT_TRUE(word.ok()) << OpName(in.op) << ": "
+                           << word.status().ToString();
+    const Instr out = rv32.Decode(*word);
+    EXPECT_EQ(out.op, in.op) << Disassemble(in);
+    EXPECT_EQ(out.rd, in.rd) << Disassemble(in);
+    EXPECT_EQ(out.rs1, in.rs1) << Disassemble(in);
+    EXPECT_EQ(out.rs2, in.rs2) << Disassemble(in);
+    EXPECT_EQ(out.imm, in.imm) << Disassemble(in);
   }
 }
 

@@ -153,5 +153,36 @@ TEST(ModeNameTest, AllNamed) {
   EXPECT_EQ(EncryptionModeName(EncryptionMode::kField), "field");
 }
 
+// --- Target ISA in the header flags word ------------------------------------
+
+TEST(IsaWireTest, IsaRoundtripsThroughFlagsByte) {
+  Package p = SamplePackage(EncryptionMode::kFull);
+  p.isa = isa::IsaId::kRv32I;
+  const auto wire = Serialize(p);
+  // The ISA travels in byte 1 of the little-endian flags word at
+  // offset 12 (byte 0 carries the mode).
+  EXPECT_EQ(wire[13], 1);
+  auto parsed = Parse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->isa, isa::IsaId::kRv32I);
+}
+
+TEST(IsaWireTest, ZeroIsaByteParsesAsRv64Gc) {
+  // Packages serialized before the ISA field existed carry zero in
+  // flags byte 1 and must keep parsing as the original target.
+  const auto wire = Serialize(SamplePackage(EncryptionMode::kFull));
+  EXPECT_EQ(wire[13], 0);
+  auto parsed = Parse(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->isa, isa::IsaId::kRv64Gc);
+}
+
+TEST(IsaWireTest, RejectsUnknownIsaByte) {
+  // A flags byte no backend claims must fail closed, never default.
+  auto wire = Serialize(SamplePackage(EncryptionMode::kFull));
+  wire[13] = 7;
+  EXPECT_EQ(Parse(wire).status().code(), ErrorCode::kCorruptPackage);
+}
+
 }  // namespace
 }  // namespace eric::pkg

@@ -399,5 +399,148 @@ TEST(TimingTest, ColdDcacheMissesThenHits) {
   EXPECT_EQ(stats.dcache.hits, 63u);
 }
 
+// --- RV32I execution mode ---------------------------------------------------
+
+// Assembles and runs a program on an RV32I core. Programs are encoded
+// uncompressed (RV32I has no C extension); the base-format encodings are
+// shared with RV64, so the plain encoder produces valid RV32 words for
+// RV32-legal instructions.
+ExecStats RunAsmRv32(const std::string& source, uint64_t arg0 = 0,
+                     uint64_t arg1 = 0) {
+  auto assembled = Assemble(source);
+  EXPECT_TRUE(assembled.ok()) << assembled.status().ToString();
+  std::vector<uint8_t> bytes;
+  auto offsets =
+      EncodeProgram(assembled->instructions, /*compress=*/false, bytes);
+  EXPECT_TRUE(offsets.ok()) << offsets.status().ToString();
+  Soc soc({}, isa::IsaId::kRv32I);
+  soc.LoadProgram(bytes);
+  return soc.Run(kRamBase, arg0, arg1);
+}
+
+TEST(Rv32ExecTest, ArithmeticWrapsAtThirtyTwoBits) {
+  // -2^31 + -2^31 = -2^32, which is 0 mod 2^32. A 64-bit core would
+  // return -2^32; the RV32 core must re-canonicalize to 0.
+  const ExecStats stats = RunAsmRv32(R"(
+    lui a0, -0x80000
+    add a0, a0, a0
+    ecall
+  )");
+  EXPECT_EQ(stats.halt_reason, HaltReason::kExit);
+  EXPECT_EQ(stats.exit_code, 0);
+}
+
+TEST(Rv32ExecTest, RegistersHoldSignExtendedThirtyTwoBitValues) {
+  // lui -0x80000 loads INT32_MIN; srai by 31 smears the sign bit.
+  const ExecStats stats = RunAsmRv32(R"(
+    lui a0, -0x80000
+    srai a0, a0, 31
+    ecall
+  )");
+  EXPECT_EQ(stats.halt_reason, HaltReason::kExit);
+  EXPECT_EQ(stats.exit_code, -1);
+}
+
+TEST(Rv32ExecTest, LogicalShiftRightIsThirtyTwoBitWide) {
+  // 0xFFFFFFFF >> 4 must be 0x0FFFFFFF on a 32-bit core. The 64-bit
+  // shift-then-truncate shortcut would produce 0xFFFFFFFF (the high
+  // sign-extension bits shifting back in), so this pins the explicit
+  // 32-bit path.
+  const ExecStats stats = RunAsmRv32(R"(
+    li a0, -1
+    srli a0, a0, 4
+    ecall
+  )");
+  EXPECT_EQ(stats.halt_reason, HaltReason::kExit);
+  EXPECT_EQ(stats.exit_code, 0x0FFFFFFF);
+}
+
+TEST(Rv32ExecTest, UnsignedCompareSeesThirtyTwoBitOrdering) {
+  // On RV32, -1 is the largest unsigned value; sltu must agree even
+  // though registers hold the sign-extended 64-bit pattern internally.
+  const ExecStats stats = RunAsmRv32(R"(
+    li t0, -1
+    li t1, 1
+    sltu a0, t1, t0
+    ecall
+  )");
+  EXPECT_EQ(stats.halt_reason, HaltReason::kExit);
+  EXPECT_EQ(stats.exit_code, 1);
+}
+
+TEST(Rv32ExecTest, WordLoadStoreRoundtrip) {
+  const ExecStats stats = RunAsmRv32(R"(
+    li t0, 0x20000
+    lui t1, 0x12345
+    addi t1, t1, 0x678
+    sw t1, 0(t0)
+    lw a0, 0(t0)
+    ecall
+  )");
+  EXPECT_EQ(stats.halt_reason, HaltReason::kExit);
+  EXPECT_EQ(stats.exit_code, 0x12345678);
+}
+
+TEST(Rv32ExecTest, SixtyFourBitOnlyInstructionHaltsCore) {
+  // `ld` is a valid RV64 encoding but illegal on RV32I: the core must
+  // halt fail-closed, never misread it as a different width.
+  const ExecStats stats = RunAsmRv32(R"(
+    li t1, 0x20000
+    ld a0, 0(t1)
+    ecall
+  )");
+  EXPECT_EQ(stats.halt_reason, HaltReason::kInvalidInstruction);
+}
+
+TEST(Rv32ExecTest, MultiplyInstructionHaltsCore) {
+  // RV32I carries no M extension; a stray `mul` encoding is illegal.
+  const ExecStats stats = RunAsmRv32(R"(
+    li t0, 6
+    li t1, 7
+    mul a0, t0, t1
+    ecall
+  )");
+  EXPECT_EQ(stats.halt_reason, HaltReason::kInvalidInstruction);
+}
+
+TEST(Rv32ExecTest, CompressedEncodingsHaltCore) {
+  // The same program compressed for RV64GC must refuse to execute on an
+  // RV32I core (no C extension): fail closed at the first 16-bit word.
+  auto assembled = Assemble(R"(
+    li a0, 7
+    ecall
+  )");
+  ASSERT_TRUE(assembled.ok());
+  std::vector<uint8_t> bytes;
+  auto offsets =
+      EncodeProgram(assembled->instructions, /*compress=*/true, bytes);
+  ASSERT_TRUE(offsets.ok());
+  Soc soc({}, isa::IsaId::kRv32I);
+  soc.LoadProgram(bytes);
+  const ExecStats stats = soc.Run(kRamBase, 0, 0);
+  EXPECT_EQ(stats.halt_reason, HaltReason::kInvalidInstruction);
+}
+
+TEST(Rv32ExecTest, SameProgramMatchesRv64ForThirtyTwoBitCleanCode) {
+  // A 32-bit-clean loop (sum 1..100) must compute the identical result
+  // on both cores — the heterogeneity contract the mixed-fleet e2e
+  // relies on.
+  const std::string source = R"(
+    li a0, 0
+    li t0, 100
+  loop:
+    add a0, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    ecall
+  )";
+  const ExecStats rv64 = RunAsm(source);
+  const ExecStats rv32 = RunAsmRv32(source);
+  EXPECT_EQ(rv64.halt_reason, HaltReason::kExit);
+  EXPECT_EQ(rv32.halt_reason, HaltReason::kExit);
+  EXPECT_EQ(rv64.exit_code, 5050);
+  EXPECT_EQ(rv32.exit_code, 5050);
+}
+
 }  // namespace
 }  // namespace eric::sim

@@ -1068,5 +1068,157 @@ TEST(CampaignJournalTest, OutcomeFormSurvivesReplay) {
             (std::vector<fleet::DeviceId>{33}));
 }
 
+// --- Per-device ISA persistence ----------------------------------------------
+
+TEST(RegistryPersistenceTest, DeviceIsaSurvivesRestartViaWalReplay) {
+  const std::string dir = MakeTempDir("reg-isa-wal");
+  fleet::DeviceId rv64 = 0, rv32 = 0;
+  crypto::Sha256Digest fingerprint{};
+  fingerprint[3] = 0x32;
+  {
+    fleet::DeviceRegistry registry(TestRegistryConfig());
+    ASSERT_TRUE(registry.OpenStorage(dir).ok());
+    const auto group = registry.CreateGroup("mixed");
+    rv64 = *registry.Enroll(0x15AA64, group);
+    rv32 = *registry.Enroll(0x15AA32, group, isa::IsaId::kRv32I);
+    ASSERT_TRUE(registry
+                    .RecordDelivery(rv32, 0x44, fingerprint,
+                                    isa::IsaId::kRv32I)
+                    .ok());
+  }  // daemon dies before any snapshot: recovery is pure WAL replay
+
+  fleet::DeviceRegistry recovered(TestRegistryConfig());
+  ASSERT_TRUE(recovered.OpenStorage(dir).ok());
+  EXPECT_EQ(recovered.Lookup(rv64)->isa, isa::IsaId::kRv64Gc);
+  EXPECT_EQ(recovered.Lookup(rv32)->isa, isa::IsaId::kRv32I);
+  auto manifest = recovered.DeliveredVersion(rv32);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->version, 0x44u);
+  EXPECT_EQ(manifest->isa, isa::IsaId::kRv32I);
+}
+
+TEST(RegistryPersistenceTest, DeviceIsaSurvivesSnapshotCompaction) {
+  const std::string dir = MakeTempDir("reg-isa-snap");
+  fleet::DeviceId rv32 = 0;
+  {
+    fleet::DeviceRegistry registry(TestRegistryConfig());
+    ASSERT_TRUE(registry.OpenStorage(dir).ok());
+    rv32 = *registry.Enroll(0x15AB32, fleet::kNoGroup, isa::IsaId::kRv32I);
+    ASSERT_TRUE(registry
+                    .RecordDelivery(rv32, 0x55, {}, isa::IsaId::kRv32I)
+                    .ok());
+    // Compaction truncates the WALs: the ISA must ride the snapshot's
+    // v4 device and manifest fields.
+    ASSERT_TRUE(registry.Snapshot().ok());
+  }
+  fleet::DeviceRegistry recovered(TestRegistryConfig());
+  ASSERT_TRUE(recovered.OpenStorage(dir).ok());
+  const auto info = recovered.storage_info();
+  EXPECT_TRUE(info.snapshot_loaded);
+  EXPECT_EQ(info.manifest_records_replayed, 0u);  // the WAL was compacted
+  EXPECT_EQ(recovered.Lookup(rv32)->isa, isa::IsaId::kRv32I);
+  EXPECT_EQ(recovered.DeliveredVersion(rv32)->isa, isa::IsaId::kRv32I);
+}
+
+TEST(RegistryPersistenceTest, SnapshotV3WithoutIsaStillLoads) {
+  // Back-compat: a state dir snapshotted before per-device ISAs
+  // (v3: devices end at the manifest, no isa bytes anywhere) must load
+  // as an all-RV64GC fleet — that is the only ISA that existed then.
+  const std::string dir = MakeTempDir("reg-snap-v3");
+  const fleet::RegistryConfig config = TestRegistryConfig();
+
+  store::RecordWriter fp;
+  fp.U64(config.shard_count);
+  fp.U64(config.secret_seed);
+  fp.U64(config.key_config.epoch);
+  fp.U64(config.key_config.environment_binding);
+  fp.Str(config.key_config.domain);
+  fp.U8(static_cast<uint8_t>(config.cipher));
+  const uint64_t fingerprint = store::Fnv1a64(fp.bytes());
+
+  // A v3 snapshot: one group, one manifest-less device, one device with
+  // a delivery manifest.
+  crypto::Sha256Digest keyfp{};
+  keyfp[9] = 0x99;
+  store::RecordWriter snap;
+  snap.U32(3);  // schema version: manifests yes, ISAs no
+  snap.U64(1);  // group count
+  snap.U64(1);
+  snap.Str("line-a");
+  snap.U64(1);  // group epoch
+  snap.U64(2);  // device count
+  snap.U64(1);
+  snap.U64(0x5EED1);
+  snap.U64(1);  // group 1
+  snap.U8(0);   // enrolled
+  snap.U8(0);   // no manifest
+  snap.U64(2);
+  snap.U64(0x5EED2);
+  snap.U64(1);
+  snap.U8(0);
+  snap.U8(1);  // has manifest
+  snap.U64(0x77);
+  snap.Bytes(std::vector<uint8_t>(keyfp.begin(), keyfp.end()));
+  ASSERT_TRUE(
+      store::WriteSnapshot(dir, "registry", 1, fingerprint, snap.bytes())
+          .ok());
+
+  fleet::DeviceRegistry recovered(config);
+  ASSERT_TRUE(recovered.OpenStorage(dir).ok());
+  EXPECT_TRUE(recovered.storage_info().snapshot_loaded);
+  EXPECT_EQ(recovered.Stats().devices, 2u);
+  EXPECT_EQ(recovered.Lookup(1)->isa, isa::IsaId::kRv64Gc);
+  EXPECT_EQ(recovered.Lookup(2)->isa, isa::IsaId::kRv64Gc);
+  auto manifest = recovered.DeliveredVersion(2);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->version, 0x77u);
+  EXPECT_EQ(manifest->key_fingerprint, keyfp);
+  EXPECT_EQ(manifest->isa, isa::IsaId::kRv64Gc);
+
+  // A fresh rv32 enrollment on the recovered fleet round-trips through
+  // the new v4 snapshot alongside the migrated devices.
+  const auto rv32 = recovered.Enroll(0x5EED3, 1, isa::IsaId::kRv32I);
+  ASSERT_TRUE(rv32.ok());
+  ASSERT_TRUE(recovered.Snapshot().ok());
+  fleet::DeviceRegistry again(config);
+  ASSERT_TRUE(again.OpenStorage(dir).ok());
+  EXPECT_EQ(again.Lookup(*rv32)->isa, isa::IsaId::kRv32I);
+  EXPECT_EQ(again.Lookup(1)->isa, isa::IsaId::kRv64Gc);
+  EXPECT_EQ(again.DeliveredVersion(2)->version, 0x77u);
+}
+
+TEST(RegistryPersistenceTest, SnapshotNamingUnknownIsaFailsClosed) {
+  // A v4 snapshot whose device claims an ISA no backend implements must
+  // refuse to load — defaulting would dispatch wrong-ISA images forever.
+  const std::string dir = MakeTempDir("reg-snap-bad-isa");
+  const fleet::RegistryConfig config = TestRegistryConfig();
+
+  store::RecordWriter fp;
+  fp.U64(config.shard_count);
+  fp.U64(config.secret_seed);
+  fp.U64(config.key_config.epoch);
+  fp.U64(config.key_config.environment_binding);
+  fp.Str(config.key_config.domain);
+  fp.U8(static_cast<uint8_t>(config.cipher));
+  const uint64_t fingerprint = store::Fnv1a64(fp.bytes());
+
+  store::RecordWriter snap;
+  snap.U32(4);  // current schema
+  snap.U64(0);  // no groups
+  snap.U64(1);  // one device
+  snap.U64(1);
+  snap.U64(0x5EED9);
+  snap.U64(0);  // kNoGroup
+  snap.U8(0);   // enrolled
+  snap.U8(9);   // ISA byte no backend claims
+  snap.U8(0);   // no manifest
+  ASSERT_TRUE(
+      store::WriteSnapshot(dir, "registry", 1, fingerprint, snap.bytes())
+          .ok());
+
+  fleet::DeviceRegistry recovered(config);
+  EXPECT_EQ(recovered.OpenStorage(dir).code(), ErrorCode::kCorruptPackage);
+}
+
 }  // namespace
 }  // namespace eric

@@ -53,6 +53,15 @@ METRICS = [
     # timing-noisy, so it gets the generous threshold.
     ("BENCH_agent.json", "manifest.overhead_ratio", "lower", 10.0),
     ("BENCH_agent.json", "rollback.vs_apply_ratio", "lower", 60.0),
+    # Per-ISA table: simulator cycle counts and image byte counts are
+    # fully deterministic (same sources, same backends on every host),
+    # so all three gates are tight. The code-size ratio catches rv32i
+    # codegen bloat (it has no compressed forms to hide behind); the
+    # bench's own pass bit additionally enforces full rv64gc coverage
+    # and a non-empty 32-bit-clean rv32i subset.
+    ("BENCH_isa.json", "rv64gc.average_overhead_pct", "lower", 25.0),
+    ("BENCH_isa.json", "rv32i.average_overhead_pct", "lower", 25.0),
+    ("BENCH_isa.json", "rv32_image_bytes_vs_rv64gc_pct", "lower", 10.0),
     # Observability: absolute ns/op varies per host, but the ratio of a
     # histogram record to a counter add is machine-portable (~3x: same
     # memory system, a few extra arithmetic ops). The end-to-end

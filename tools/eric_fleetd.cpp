@@ -132,6 +132,7 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: eric_fleetd --devices N [--groups G] [--workers W]\n"
+      "                   [--rv32-every K]\n"
       "                   [--attempts K] [--fault KIND] [--fault-rate P]\n"
       "                   [--latency-us U] [--mode M] [--fraction F]\n"
       "                   [--revoke K] [--source FILE] [--workload NAME]\n"
@@ -249,6 +250,34 @@ void WriteTelemetryJson(JsonWriter& json) {
   obs::WriteSnapshotJson(json);
 }
 
+/// Per-ISA campaign slices as a JSON object keyed by ISA name. ISAs
+/// the campaign never touched are omitted, so homogeneous-fleet
+/// reports carry exactly one entry and pre-heterogeneity consumers
+/// that ignore unknown fields keep working.
+void WriteIsaJson(
+    JsonWriter& json,
+    const std::array<fleet::CampaignIsaStats, isa::kNumIsaIds>& by_isa) {
+  json.Key("by_isa");
+  json.BeginObject();
+  for (size_t i = 0; i < isa::kNumIsaIds; ++i) {
+    const fleet::CampaignIsaStats& slice = by_isa[i];
+    if (slice.targets == 0 && slice.seal_builds == 0 &&
+        slice.compile_builds == 0) {
+      continue;
+    }
+    json.Key(isa::IsaName(static_cast<isa::IsaId>(i)));
+    json.BeginObject();
+    json.Field("targets", slice.targets);
+    json.Field("succeeded", slice.succeeded);
+    json.Field("deliveries", slice.deliveries);
+    json.Field("bytes_shipped", slice.bytes_shipped);
+    json.Field("seal_builds", slice.seal_builds);
+    json.Field("compile_builds", slice.compile_builds);
+    json.EndObject();
+  }
+  json.EndObject();
+}
+
 void PrintScheduledReport(const fleet::ScheduledReport& report) {
   for (const auto& wave : report.waves) {
     std::printf("  wave %zu%s: %llu targets, %llu ok / %llu failed / %llu "
@@ -293,6 +322,22 @@ void WriteScheduledJson(JsonWriter& json, const fleet::ScheduledReport& report) 
   json.Field("manifest_update_failures", report.manifest_update_failures);
   json.Field("peak_in_flight", report.peak_in_flight);
   json.Field("wall_ms", report.wall_ms);
+  // Per-ISA slices summed across waves: wave boundaries are a rollout
+  // policy, not an ISA property, so the report-level breakdown is the
+  // useful one.
+  std::array<fleet::CampaignIsaStats, isa::kNumIsaIds> by_isa{};
+  for (const auto& wave : report.waves) {
+    for (size_t i = 0; i < isa::kNumIsaIds; ++i) {
+      const fleet::CampaignIsaStats& slice = wave.report.by_isa[i];
+      by_isa[i].targets += slice.targets;
+      by_isa[i].succeeded += slice.succeeded;
+      by_isa[i].deliveries += slice.deliveries;
+      by_isa[i].bytes_shipped += slice.bytes_shipped;
+      by_isa[i].seal_builds += slice.seal_builds;
+      by_isa[i].compile_builds += slice.compile_builds;
+    }
+  }
+  WriteIsaJson(json, by_isa);
   json.Key("waves");
   json.BeginArray();
   for (const auto& wave : report.waves) {
@@ -765,6 +810,10 @@ int RunSoak(fleet::DeviceRegistry& registry, const SoakProfile& profile,
 
 int main(int argc, char** argv) {
   size_t devices = 0, groups = 1, workers = 4, revoke_every = 0;
+  // Every K-th device enrolls as RV32I (0 = homogeneous RV64GC fleet).
+  // Like --revoke, this shapes the *initial* enrollment only: a
+  // device's ISA is a silicon property the durable registry remembers.
+  size_t rv32_every = 0;
   uint32_t attempts = 1, latency_us = 0;
   double fault_rate = -1.0, fraction = 0.5;  // -1: not set, derived below
   std::string fault_name = "none", mode = "partial";
@@ -816,6 +865,8 @@ int main(int argc, char** argv) {
     else if (arg("--mode")) mode = argv[++i];
     else if (arg("--fraction")) fraction = std::atof(argv[++i]);
     else if (arg("--revoke")) revoke_every = std::strtoull(argv[++i], nullptr, 0);
+    else if (arg("--rv32-every"))
+      rv32_every = std::strtoull(argv[++i], nullptr, 0);
     else if (arg("--source")) source_path = argv[++i];
     else if (arg("--workload")) workload_name = argv[++i];
     else if (arg("--canary")) canary = std::strtoull(argv[++i], nullptr, 0);
@@ -1093,13 +1144,21 @@ int main(int argc, char** argv) {
       std::printf("state: fleet recovered from disk; --revoke only "
                   "shapes the initial enrollment (ignored)\n");
     }
+    if (rv32_every > 0) {
+      std::printf("state: fleet recovered from disk; --rv32-every only "
+                  "shapes the initial enrollment (ignored)\n");
+    }
   } else {
     std::vector<fleet::GroupId> group_ids;
     for (size_t g = 0; g < groups; ++g) {
       group_ids.push_back(registry.CreateGroup("group-" + std::to_string(g)));
     }
     for (size_t i = 0; i < devices; ++i) {
-      auto id = registry.Enroll(0xF1EED000 + i, group_ids[i % groups]);
+      const isa::IsaId device_isa =
+          rv32_every > 0 && (i + 1) % rv32_every == 0 ? isa::IsaId::kRv32I
+                                                      : isa::IsaId::kRv64Gc;
+      auto id =
+          registry.Enroll(0xF1EED000 + i, group_ids[i % groups], device_isa);
       if (!id.ok()) {
         std::fprintf(stderr, "enroll failed: %s\n",
                      id.status().ToString().c_str());
@@ -1129,6 +1188,28 @@ int main(int argc, char** argv) {
               "(stripe balance %zu..%zu), %zu revoked\n",
               stats.devices, stats.groups, stats.shards, stats.min_shard,
               stats.max_shard, revoked_count);
+  // Per-ISA fleet composition, from the registry (the authority for
+  // both fresh enrollments and recovered fleets). Printed only for
+  // heterogeneous fleets so homogeneous runs keep their exact output.
+  std::array<size_t, isa::kNumIsaIds> fleet_isa_counts{};
+  for (fleet::DeviceId id : all_devices) {
+    auto info = registry.Lookup(id);
+    if (info.ok()) ++fleet_isa_counts[static_cast<size_t>(info->isa)];
+  }
+  if (fleet_isa_counts[static_cast<size_t>(isa::IsaId::kRv64Gc)] !=
+      all_devices.size()) {
+    std::printf("isa:   ");
+    bool first = true;
+    for (size_t i = 0; i < isa::kNumIsaIds; ++i) {
+      if (fleet_isa_counts[i] == 0) continue;
+      std::printf("%s%s %zu", first ? "" : ", ",
+                  std::string(isa::IsaName(static_cast<isa::IsaId>(i)))
+                      .c_str(),
+                  fleet_isa_counts[i]);
+      first = false;
+    }
+    std::printf("\n");
+  }
 
   // --- Chaos soak path ------------------------------------------------------
   if (soak) {
@@ -1688,6 +1769,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report->cache_artifact_hits),
               static_cast<unsigned long long>(report->cache_artifact_misses),
               static_cast<unsigned long long>(report->cache_compile_misses));
+  {
+    size_t active_isas = 0;
+    for (const auto& slice : report->by_isa) {
+      if (slice.targets > 0) ++active_isas;
+    }
+    if (active_isas > 1) {
+      for (size_t i = 0; i < isa::kNumIsaIds; ++i) {
+        const fleet::CampaignIsaStats& slice = report->by_isa[i];
+        if (slice.targets == 0) continue;
+        std::printf(
+            "isa:    %s: %llu ok of %llu targets, %llu deliveries, "
+            "%llu bytes (%llu compiles, %llu seals)\n",
+            std::string(isa::IsaName(static_cast<isa::IsaId>(i))).c_str(),
+            static_cast<unsigned long long>(slice.succeeded),
+            static_cast<unsigned long long>(slice.targets),
+            static_cast<unsigned long long>(slice.deliveries),
+            static_cast<unsigned long long>(slice.bytes_shipped),
+            static_cast<unsigned long long>(slice.compile_builds),
+            static_cast<unsigned long long>(slice.seal_builds));
+      }
+    }
+  }
 
   if (!json_path.empty()) {
     ReportContext context{&program_name, &mode, resumed,
@@ -1722,6 +1825,7 @@ int main(int argc, char** argv) {
     json.Field("manifest_current",
                CountManifestsAt(registry, manifest_targets, target_version));
     json.Field("trace_id", report->trace_id);
+    WriteIsaJson(json, report->by_isa);
     WriteTelemetryJson(json);
     json.EndObject();
     if (!json.WriteFile(json_path.c_str())) {

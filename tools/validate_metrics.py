@@ -68,6 +68,50 @@ def validate_counters(counters):
                     "non-negative integer")
 
 
+# Per-ISA campaign counters: fleet_isa_<isa>_<stat>, registered by the
+# deployment engine only for ISAs a campaign actually touched.
+KNOWN_ISAS = ("rv64gc", "rv32i")
+ISA_STATS = ("targets", "targets_succeeded", "deliveries",
+             "bytes_shipped", "seal_builds", "compile_builds")
+# Stats whose per-ISA slices must never exceed the fleet-wide total.
+# (Equality is not required: fleet_deliveries also counts delta-fallback
+# re-deliveries, which the per-ISA slices attribute to attempts.)
+ISA_SUM_BOUNDS = {
+    "targets_succeeded": "fleet_targets_succeeded",
+    "deliveries": "fleet_deliveries",
+    "bytes_shipped": "fleet_bytes_shipped",
+}
+
+
+def validate_isa_counters(counters):
+    """The fleet_isa_* family: the ISA must be one a backend implements,
+    the stat one the engine folds, and the slices must sum to no more
+    than their fleet-wide counterparts."""
+    sums = {}
+    for name, value in counters.items():
+        if not name.startswith("fleet_isa_") or not is_int(value):
+            continue
+        rest = name[len("fleet_isa_"):]
+        for isa in KNOWN_ISAS:
+            if rest.startswith(isa + "_"):
+                stat = rest[len(isa) + 1:]
+                if stat not in ISA_STATS:
+                    problem(f"counter {name!r}: {stat!r} is not a per-ISA "
+                            f"stat the engine folds {ISA_STATS}")
+                else:
+                    sums[stat] = sums.get(stat, 0) + value
+                break
+        else:
+            problem(f"counter {name!r}: names an ISA no backend "
+                    f"implements (known: {KNOWN_ISAS})")
+    for stat, total_name in ISA_SUM_BOUNDS.items():
+        if stat in sums and total_name in counters \
+                and is_int(counters[total_name]) \
+                and sums[stat] > counters[total_name]:
+            problem(f"per-ISA {stat} slices sum to {sums[stat]}, more "
+                    f"than {total_name} = {counters[total_name]}")
+
+
 def validate_gauges(gauges):
     if not isinstance(gauges, dict):
         problem("'gauges' is not an object")
@@ -278,6 +322,8 @@ def validate_snapshot(doc, require_counters, require_histograms,
             problem(f"missing section {section!r}")
             return
     validate_counters(doc["counters"])
+    if isinstance(doc["counters"], dict):
+        validate_isa_counters(doc["counters"])
     validate_gauges(doc["gauges"])
     for name, hist in doc["histograms"].items():
         validate_histogram(name, hist)
