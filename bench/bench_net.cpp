@@ -1,0 +1,267 @@
+// Wire transport bench: frame codec throughput and delivery scaling.
+//
+// Part 1 — frame codec. Encode and decode throughput for dispatch-sized
+// payloads, plus the deterministic framing overhead ratio (header +
+// CRC trailer over total wire bytes). The ratio is pure arithmetic —
+// identical on every host — so bench_compare gates it tightly; the
+// MB/s numbers are informational.
+//
+// Part 2 — delivery scaling. A real FleetServer and SimClientFleet on
+// loopback: fixed-size deliveries fanned out from engine-style worker
+// threads while the event loop holds first a small and then a large
+// connection count. Reported per point: throughput and p50/p99 RTT.
+// The scaling ratio (large-fleet throughput over small-fleet) shows
+// what idle connections cost the hot path; it should hover near 1.
+//
+// Emits BENCH_net.json for the perf-trajectory tooling.
+//
+//   bench_net [--quick] [--out FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "net/sim_client.h"
+#include "support/bench_json.h"
+#include "support/stopwatch.h"
+
+using namespace eric;
+
+namespace {
+
+std::vector<uint8_t> MakePayload(size_t n) {
+  std::vector<uint8_t> payload(n);
+  for (size_t i = 0; i < n; ++i) {
+    payload[i] = static_cast<uint8_t>((i * 131) ^ (i >> 8));
+  }
+  return payload;
+}
+
+double Percentile(std::vector<double>& sorted_us, double pct) {
+  if (sorted_us.empty()) return 0.0;
+  size_t index = static_cast<size_t>(sorted_us.size() * pct / 100.0);
+  index = std::min(index, sorted_us.size() - 1);
+  return sorted_us[index];
+}
+
+struct DeliveryPoint {
+  size_t connections = 0;
+  size_t deliveries = 0;
+  size_t failures = 0;
+  double wall_ms = 0;
+  double throughput_per_s = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+/// One scaling point: `connections` handshaken devices held by a sim
+/// fleet while `workers` threads push `deliveries` round-robin over the
+/// first `targets` of them.
+DeliveryPoint RunDeliveryPoint(size_t connections, size_t targets,
+                               size_t deliveries, size_t workers,
+                               const std::vector<uint8_t>& payload) {
+  DeliveryPoint point;
+  point.connections = connections;
+
+  net::FleetServer server;
+  auto started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    point.failures = deliveries;
+    return point;
+  }
+  net::SimClientFleetConfig fleet_config;
+  fleet_config.port = server.port();
+  for (size_t i = 0; i < connections; ++i) {
+    fleet_config.devices.push_back(0xBE9C0000 + i);
+  }
+  net::SimClientFleet fleet(std::move(fleet_config));
+  auto fleet_up = fleet.Start();
+  if (!fleet_up.ok() || !server.WaitForDevices(connections, 60'000)) {
+    std::fprintf(stderr, "sim fleet failed to handshake %zu connections\n",
+                 connections);
+    point.failures = deliveries;
+    return point;
+  }
+
+  const net::ChannelConfig clean;  // no fault process on the bench path
+  std::vector<std::vector<double>> rtts(workers);
+  std::vector<size_t> failed(workers, 0);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      rtts[w].reserve(deliveries / workers + 1);
+      for (size_t i = w; i < deliveries; i += workers) {
+        const uint64_t device = 0xBE9C0000 + (i % targets);
+        const auto sent = std::chrono::steady_clock::now();
+        auto echoed = server.Deliver(device, payload, clean);
+        if (echoed.ok() && echoed->size() == payload.size()) {
+          rtts[w].push_back(MicrosecondsSince(sent));
+        } else {
+          ++failed[w];
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  point.wall_ms = MillisecondsSince(start);
+
+  std::vector<double> all;
+  for (auto& slice : rtts) {
+    all.insert(all.end(), slice.begin(), slice.end());
+  }
+  std::sort(all.begin(), all.end());
+  point.deliveries = all.size();
+  point.failures = std::accumulate(failed.begin(), failed.end(), size_t{0});
+  point.throughput_per_s = all.size() / (point.wall_ms / 1000.0);
+  point.p50_us = Percentile(all, 50.0);
+  point.p99_us = Percentile(all, 99.0);
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t codec_frames = 50'000;
+  size_t small_fleet = 64;
+  size_t large_fleet = 1024;
+  size_t deliveries = 2'000;
+  const char* out_path = "BENCH_net.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      codec_frames = 10'000;
+      small_fleet = 16;
+      large_fleet = 256;
+      deliveries = 500;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_net [--quick] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  // --- Part 1: frame codec --------------------------------------------------
+  const size_t payload_bytes = 4096;
+  const auto payload = MakePayload(payload_bytes);
+  std::printf("PART 1: frame codec, %zu frames of %zu-byte payloads\n",
+              codec_frames, payload_bytes);
+
+  std::vector<uint8_t> stream;
+  stream.reserve(codec_frames * (payload_bytes + net::kFrameOverheadBytes));
+  const auto encode_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < codec_frames; ++i) {
+    net::AppendFrame(stream, net::FrameType::kDispatch,
+                     static_cast<uint32_t>(i), payload);
+  }
+  const double encode_ms = MillisecondsSince(encode_start);
+  const double stream_mb = stream.size() / (1024.0 * 1024.0);
+  const double encode_mb_s = stream_mb / (encode_ms / 1000.0);
+
+  net::FrameDecoder decoder;
+  const size_t chunk = 64 * 1024;
+  size_t decoded = 0;
+  const auto decode_start = std::chrono::steady_clock::now();
+  for (size_t offset = 0; offset < stream.size(); offset += chunk) {
+    const size_t n = std::min(chunk, stream.size() - offset);
+    decoder.Feed({stream.data() + offset, n});
+    while (decoder.Next().has_value()) ++decoded;
+  }
+  const double decode_ms = MillisecondsSince(decode_start);
+  const double decode_mb_s = stream_mb / (decode_ms / 1000.0);
+
+  // Pure arithmetic — the same on every host, so the perf gate on it is
+  // tight: it only moves if the wire format itself grows.
+  const double overhead_ratio =
+      static_cast<double>(net::kFrameOverheadBytes) /
+      static_cast<double>(payload_bytes + net::kFrameOverheadBytes);
+  const bool codec_ok = decoded == codec_frames &&
+                        decoder.crc_errors() == 0 && decoder.resyncs() == 0;
+
+  std::printf("  encode: %8.1f ms  %7.0f MB/s\n", encode_ms, encode_mb_s);
+  std::printf("  decode: %8.1f ms  %7.0f MB/s  (%zu frames, clean: %s)\n",
+              decode_ms, decode_mb_s, decoded, codec_ok ? "yes" : "NO");
+  std::printf("  overhead: %zu bytes/frame (ratio %.4f)\n\n",
+              net::kFrameOverheadBytes, overhead_ratio);
+
+  // --- Part 2: delivery scaling vs connection count -------------------------
+  const size_t workers = 8;
+  const size_t targets = small_fleet;  // same hot set at both points
+  std::printf("PART 2: %zu deliveries of %zu bytes, %zu workers, "
+              "%zu hot devices\n",
+              deliveries, payload_bytes, workers, targets);
+
+  std::vector<DeliveryPoint> points;
+  for (size_t connections : {small_fleet, large_fleet}) {
+    auto point =
+        RunDeliveryPoint(connections, targets, deliveries, workers, payload);
+    std::printf("  connections=%-5zu %6zu ok / %zu failed  %8.1f ms  "
+                "%7.0f deliveries/s  p50 %6.0f us  p99 %6.0f us\n",
+                point.connections, point.deliveries, point.failures,
+                point.wall_ms, point.throughput_per_s, point.p50_us,
+                point.p99_us);
+    points.push_back(std::move(point));
+  }
+  // Large-fleet throughput over small-fleet: what ~1000 mostly idle
+  // connections cost the delivery hot path. Near 1 when the event loop
+  // scales; the pass floor is deliberately loose for noisy CI hosts.
+  const double throughput_ratio =
+      points.back().throughput_per_s / points.front().throughput_per_s;
+  const bool scaling_ok = points.front().failures == 0 &&
+                          points.back().failures == 0 &&
+                          throughput_ratio >= 0.3;
+  std::printf("  throughput ratio (%zu conns / %zu conns): %.2f %s "
+              "(floor 0.3)\n\n",
+              large_fleet, small_fleet, throughput_ratio,
+              scaling_ok ? "PASS" : "FAIL");
+
+  const bool pass = codec_ok && scaling_ok;
+
+  // --- JSON -----------------------------------------------------------------
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "net");
+  json.Key("frame");
+  json.BeginObject();
+  json.Field("payload_bytes", payload_bytes);
+  json.Field("frames", codec_frames);
+  json.Field("encode_mb_s", encode_mb_s);
+  json.Field("decode_mb_s", decode_mb_s);
+  json.Field("overhead_ratio", overhead_ratio);
+  json.EndObject();
+  json.Key("delivery");
+  json.BeginArray();
+  for (const auto& point : points) {
+    json.BeginObject();
+    json.Field("connections", point.connections);
+    json.Field("deliveries", point.deliveries);
+    json.Field("failures", point.failures);
+    json.Field("wall_ms", point.wall_ms);
+    json.Field("throughput_per_s", point.throughput_per_s);
+    json.Field("p50_us", point.p50_us);
+    json.Field("p99_us", point.p99_us);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("scaling");
+  json.BeginObject();
+  json.Field("throughput_ratio", throughput_ratio);
+  json.EndObject();
+  json.Field("pass", pass);
+  json.EndObject();
+  if (!json.WriteFile(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
+
+  return pass ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "fleet/dispatch_governor.h"
+#include "net/transport.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -311,8 +312,18 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
     if (fault_draw.NextDouble() >= config.fault_rate) {
       channel_config.fault = net::ChannelFault::kNone;
     }
-    net::Channel channel(channel_config);
-    auto delivered = channel.Deliver(payload.wire);
+    // The wire hop: in-process Channel by default, or the installed
+    // transport (real sockets) — which applies the same channel_config
+    // at its sending edge, so both paths draw identical fault processes
+    // from the campaign seed.
+    Result<std::vector<uint8_t>> delivered = std::vector<uint8_t>();
+    if (config.transport != nullptr) {
+      delivered =
+          config.transport->Deliver(device, payload.wire, channel_config);
+    } else {
+      net::Channel channel(channel_config);
+      delivered = channel.Deliver(payload.wire);
+    }
     if (config.delivery_latency_us > 0) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(config.delivery_latency_us));
@@ -323,17 +334,25 @@ DeviceOutcome DeploymentEngine::DeployOne(const CampaignConfig& config,
                                  std::memory_order_relaxed);
     (as_delta ? memo.delta_deliveries : memo.full_deliveries)
         .fetch_add(1, std::memory_order_relaxed);
-    DispatchMeta meta;
-    meta.version = memo.target_version;
-    meta.key_fingerprint = artifact_entry->key_fingerprint;
-    Result<core::TrustedRunResult> run =
-        as_delta ? registry_.DispatchDelta(device, delivered, config.arg0,
-                                           config.arg1, &meta)
-                 : registry_.Dispatch(device, delivered, config.arg0,
-                                      config.arg1, &meta);
-    outcome.rolled_back |= meta.rolled_back;
-    outcome.health_failed |= meta.health_failed;
-    last_health_failed = meta.health_failed;
+    Result<core::TrustedRunResult> run = Status(
+        ErrorCode::kUnavailable, "delivery never reached the device");
+    last_health_failed = false;
+    if (delivered.ok()) {
+      DispatchMeta meta;
+      meta.version = memo.target_version;
+      meta.key_fingerprint = artifact_entry->key_fingerprint;
+      run = as_delta ? registry_.DispatchDelta(device, *delivered,
+                                               config.arg0, config.arg1, &meta)
+                     : registry_.Dispatch(device, *delivered, config.arg0,
+                                          config.arg1, &meta);
+      outcome.rolled_back |= meta.rolled_back;
+      outcome.health_failed |= meta.health_failed;
+      last_health_failed = meta.health_failed;
+    } else {
+      // Transport-level failure (timeout, disconnect, backpressure):
+      // the attempt is spent, the retry loop decides what happens next.
+      run = delivered.status();
+    }
     EngineMetrics& metrics = EngineMetrics::Get();
     metrics.delivery_us.Record(MicrosecondsSince(attempt_start));
     metrics.delivery_attempts.Add();

@@ -18,6 +18,10 @@
 #include "fleet/package_cache.h"
 #include "net/channel.h"
 
+namespace eric::net {
+class DeliveryTransport;
+}  // namespace eric::net
+
 namespace eric::fleet {
 
 class DispatchGovernor;
@@ -63,6 +67,15 @@ struct CampaignConfig {
   /// CampaignScheduler, null for unthrottled campaigns. Workers bracket
   /// every delivery with AdmitDelivery / CompleteDelivery.
   DispatchGovernor* governor = nullptr;
+
+  /// Optional wire transport. Null (the default) delivers through the
+  /// in-process net::Channel; non-null routes every delivery over the
+  /// transport's real sockets (eric_fleetd --listen installs the epoll
+  /// net::FleetServer here). The transport applies the same resolved
+  /// per-delivery ChannelConfig at its sending edge, so fault injection
+  /// stays deterministic in `campaign_seed` on both paths. Non-owning;
+  /// must outlive the campaign.
+  net::DeliveryTransport* transport = nullptr;
 
   /// Deliver deltas where possible: a device whose delivery manifest
   /// matches `delta_base_source`'s version under its current sealing

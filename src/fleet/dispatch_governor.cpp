@@ -13,7 +13,16 @@ namespace eric::fleet {
 // --- CampaignControl ---------------------------------------------------------
 
 void CampaignControl::Pause() {
-  paused_.store(true, std::memory_order_release);
+  {
+    std::lock_guard lock(mutex_);
+    paused_.store(true, std::memory_order_release);
+  }
+  // AwaitRunnable waiters only need waking on Resume/Cancel, but
+  // external wait points (the governor's group-budget cv) park on
+  // predicates that must observe a pause promptly — without this, a
+  // worker waiting on a full budget sits until an unrelated delivery
+  // completes before it notices the campaign was paused.
+  NotifyWakeups();
 }
 
 void CampaignControl::Resume() {
@@ -22,6 +31,7 @@ void CampaignControl::Resume() {
     paused_.store(false, std::memory_order_release);
   }
   cv_.notify_all();
+  NotifyWakeups();
 }
 
 void CampaignControl::Cancel() {
@@ -30,6 +40,32 @@ void CampaignControl::Cancel() {
     cancelled_.store(true, std::memory_order_release);
   }
   cv_.notify_all();
+  NotifyWakeups();
+}
+
+void CampaignControl::RegisterWakeup(std::mutex* mutex,
+                                     std::condition_variable* cv) {
+  std::lock_guard lock(wakeups_mutex_);
+  wakeups_.emplace_back(mutex, cv);
+}
+
+void CampaignControl::UnregisterWakeup(const std::condition_variable* cv) {
+  std::lock_guard lock(wakeups_mutex_);
+  std::erase_if(wakeups_, [cv](const auto& entry) {
+    return entry.second == cv;
+  });
+}
+
+void CampaignControl::NotifyWakeups() {
+  std::lock_guard lock(wakeups_mutex_);
+  for (const auto& [mutex, cv] : wakeups_) {
+    // Take (and immediately drop) the waiter's mutex before notifying:
+    // a waiter that checked its predicate but has not yet parked is
+    // inside this critical section, so the notify cannot slip between
+    // its check and its wait.
+    { std::lock_guard waiter_lock(*mutex); }
+    cv->notify_all();
+  }
 }
 
 bool CampaignControl::AwaitRunnable() const {
@@ -111,7 +147,17 @@ DispatchGovernor::DispatchGovernor(const Limits& limits,
                                    CampaignControl* control)
     : control_(control),
       limits_(limits),
-      bucket_(limits.dispatch_rate, limits.dispatch_burst) {}
+      bucket_(limits.dispatch_rate, limits.dispatch_burst) {
+  if (control_ != nullptr) {
+    control_->RegisterWakeup(&group_mutex_, &group_cv_);
+  }
+}
+
+DispatchGovernor::~DispatchGovernor() {
+  if (control_ != nullptr) {
+    control_->UnregisterWakeup(&group_cv_);
+  }
+}
 
 bool DispatchGovernor::AdmitDelivery(GroupId group) {
   // Queue-wait telemetry: how long a worker sat on pause gates, group

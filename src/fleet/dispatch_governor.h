@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "fleet/device_registry.h"
 
@@ -121,7 +123,22 @@ class CampaignControl {
     checkpoint_sink_ = sink;
   }
 
+  /// Registers an external wait point to be notified on every Pause /
+  /// Resume / Cancel transition: `cv` is notified with `mutex` briefly
+  /// held, so a waiter whose predicate re-checks the control flags can
+  /// never miss the transition. Used by DispatchGovernor so workers
+  /// parked on a full group-concurrency budget observe a pause or
+  /// cancel immediately instead of waiting for an unrelated delivery to
+  /// complete. Both pointers are non-owning; the caller must
+  /// UnregisterWakeup before the mutex/cv are destroyed.
+  void RegisterWakeup(std::mutex* mutex, std::condition_variable* cv);
+  /// Removes a wait point registered with RegisterWakeup.
+  void UnregisterWakeup(const std::condition_variable* cv);
+
  private:
+  /// Notifies every registered external wait point (see RegisterWakeup).
+  void NotifyWakeups();
+
   CampaignCheckpointSink* checkpoint_sink_ = nullptr;
   std::atomic<bool> paused_{false};
   std::atomic<bool> cancelled_{false};
@@ -132,6 +149,9 @@ class CampaignControl {
   /// Wakes workers parked in AwaitRunnable on Resume/Cancel.
   mutable std::mutex mutex_;
   mutable std::condition_variable cv_;
+  /// External wait points to notify on pause/resume/cancel.
+  mutable std::mutex wakeups_mutex_;
+  std::vector<std::pair<std::mutex*, std::condition_variable*>> wakeups_;
 };
 
 /// Token-bucket rate limiter for delivery dispatch.
@@ -177,9 +197,16 @@ class DispatchGovernor {
   };
 
   /// Builds a governor with `limits`; `control` may be null (no pause /
-  /// cancel, throttling only).
+  /// cancel, throttling only). A non-null control must outlive the
+  /// governor: the governor registers its budget wait point with the
+  /// control so Pause/Cancel wake budget-parked workers immediately.
   explicit DispatchGovernor(const Limits& limits,
                             CampaignControl* control = nullptr);
+  /// Unregisters the budget wait point from the control block.
+  ~DispatchGovernor();
+
+  DispatchGovernor(const DispatchGovernor&) = delete;
+  DispatchGovernor& operator=(const DispatchGovernor&) = delete;
 
   /// Blocks until a delivery into `group` may start. A pause arriving
   /// while the caller waits on the budget or the rate limiter re-parks

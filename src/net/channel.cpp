@@ -81,14 +81,14 @@ std::vector<uint8_t> Channel::Deliver(std::vector<uint8_t> bytes) {
         for (size_t i = 0; i < window; ++i) {
           bytes[config_.patch_offset + i] = config_.patch_value;
         }
-        record.mutations = static_cast<uint32_t>(window);
+        record.mutations = window;
       }
       break;
     }
     case ChannelFault::kTruncate: {
       const size_t drop = std::min(config_.truncate_bytes, bytes.size());
       bytes.resize(bytes.size() - drop);
-      record.mutations = static_cast<uint32_t>(drop);
+      record.mutations = drop;
       break;
     }
     case ChannelFault::kInstructionPatch: {
@@ -104,15 +104,22 @@ std::vector<uint8_t> Channel::Deliver(std::vector<uint8_t> bytes) {
         for (size_t i = 0; i < window; ++i) {
           bytes[config_.patch_offset + i] = injected[i];
         }
-        record.mutations = static_cast<uint32_t>(window);
+        record.mutations = window;
       }
       break;
     }
     case ChannelFault::kDuplicate: {
+      // Build the doubled body in a fresh buffer: inserting a vector's
+      // own iterator range into itself leans on the reserve() staying
+      // exact, which is a reallocation-use-after-free the moment that
+      // contract slips.
       const size_t n = bytes.size();
-      bytes.reserve(2 * n);
-      bytes.insert(bytes.end(), bytes.begin(), bytes.begin() + n);
-      record.mutations = static_cast<uint32_t>(n);
+      std::vector<uint8_t> doubled;
+      doubled.reserve(2 * n);
+      doubled.insert(doubled.end(), bytes.begin(), bytes.end());
+      doubled.insert(doubled.end(), bytes.begin(), bytes.end());
+      bytes = std::move(doubled);
+      record.mutations = n;
       break;
     }
   }
@@ -130,6 +137,18 @@ std::vector<uint8_t> Channel::Deliver(std::vector<uint8_t> bytes) {
   metrics.bytes_in.Add(record.bytes_in);
   metrics.bytes_out.Add(record.bytes_out);
   metrics.rtt_us.Record(MicrosecondsSince(wire_start));
+  totals_.deliveries += 1;
+  if (record.mutations > 0) totals_.faulted += 1;
+  totals_.bytes_in += record.bytes_in;
+  totals_.bytes_out += record.bytes_out;
+  totals_.mutations += record.mutations;
+  if (log_.size() == kLogCapacity) {
+    // Bounded ring: evict the oldest record (the cap is small, so the
+    // erase is a trivial memmove) instead of growing for the lifetime
+    // of a long-lived daemon. totals_ keeps the evicted accounting.
+    log_.erase(log_.begin());
+    ++dropped_records_;
+  }
   log_.push_back(record);
   return bytes;
 }

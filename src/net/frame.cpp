@@ -1,0 +1,119 @@
+#include "net/frame.h"
+
+#include "store/record_io.h"
+#include "store/wal.h"
+
+namespace eric::net {
+
+std::string_view FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kHelloAck: return "hello-ack";
+    case FrameType::kDispatch: return "dispatch";
+    case FrameType::kDelivered: return "delivered";
+    case FrameType::kNak: return "nak";
+    case FrameType::kPing: return "ping";
+    case FrameType::kPong: return "pong";
+  }
+  return "unknown";
+}
+
+bool FrameTypeKnown(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(FrameType::kHello) &&
+         raw <= static_cast<uint8_t>(FrameType::kPong);
+}
+
+void AppendFrame(std::vector<uint8_t>& out, FrameType type, uint32_t seq,
+                 std::span<const uint8_t> payload) {
+  const size_t start = out.size();
+  out.reserve(start + kFrameOverheadBytes + payload.size());
+  out.push_back(kFrameMagic0);
+  out.push_back(kFrameMagic1);
+  out.push_back(kFrameVersion);
+  out.push_back(static_cast<uint8_t>(type));
+  uint8_t le[4];
+  store::StoreLe32(seq, le);
+  out.insert(out.end(), le, le + 4);
+  store::StoreLe32(static_cast<uint32_t>(payload.size()), le);
+  out.insert(out.end(), le, le + 4);
+  out.insert(out.end(), payload.begin(), payload.end());
+  // CRC covers version..payload — everything the receiver acts on; the
+  // magic is only a scan anchor and corrupting it already loses the
+  // frame to resync.
+  const uint32_t crc = store::Crc32(
+      std::span<const uint8_t>(out.data() + start + 2,
+                               kFrameHeaderBytes - 2 + payload.size()));
+  store::StoreLe32(crc, le);
+  out.insert(out.end(), le, le + 4);
+}
+
+std::vector<uint8_t> EncodeFrame(FrameType type, uint32_t seq,
+                                 std::span<const uint8_t> payload) {
+  std::vector<uint8_t> out;
+  AppendFrame(out, type, seq, payload);
+  return out;
+}
+
+void FrameDecoder::Feed(std::span<const uint8_t> bytes) {
+  // Compact before growing: once Next() has consumed more than half of
+  // a non-trivial buffer, slide the live tail down so the buffer does
+  // not grow monotonically over a long-lived connection.
+  if (pos_ > 4096 && pos_ > buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(pos_));
+    pos_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void FrameDecoder::SkipByte() {
+  ++pos_;
+  ++bytes_discarded_;
+  if (!in_resync_) {
+    in_resync_ = true;
+    ++resyncs_;
+  }
+}
+
+std::optional<Frame> FrameDecoder::Next() {
+  for (;;) {
+    const size_t available = buffer_.size() - pos_;
+    if (available < kFrameHeaderBytes) return std::nullopt;
+    const uint8_t* head = buffer_.data() + pos_;
+    if (head[0] != kFrameMagic0 || head[1] != kFrameMagic1) {
+      SkipByte();
+      continue;
+    }
+    // Sanity-check the header before trusting its length: an unknown
+    // version/type or an insane length means this magic was a payload
+    // coincidence or the header itself is corrupt — waiting for
+    // `length` more bytes would stall the stream on garbage.
+    const uint32_t length = store::LoadLe32(head + 8);
+    if (head[2] != kFrameVersion || !FrameTypeKnown(head[3]) ||
+        length > kMaxFramePayload) {
+      SkipByte();
+      continue;
+    }
+    const size_t total = kFrameHeaderBytes + length + kFrameTrailerBytes;
+    if (available < total) return std::nullopt;
+    const uint32_t stored_crc =
+        store::LoadLe32(head + kFrameHeaderBytes + length);
+    const uint32_t computed_crc = store::Crc32(std::span<const uint8_t>(
+        head + 2, kFrameHeaderBytes - 2 + length));
+    if (stored_crc != computed_crc) {
+      ++crc_errors_;
+      SkipByte();
+      continue;
+    }
+    Frame frame;
+    frame.type = static_cast<FrameType>(head[3]);
+    frame.seq = store::LoadLe32(head + 4);
+    frame.payload.assign(head + kFrameHeaderBytes,
+                         head + kFrameHeaderBytes + length);
+    pos_ += total;
+    ++frames_decoded_;
+    in_resync_ = false;
+    return frame;
+  }
+}
+
+}  // namespace eric::net

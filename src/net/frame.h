@@ -1,0 +1,124 @@
+// Framed binary wire protocol for the fleet transport.
+//
+// Every message on a fleet socket is one length-prefixed, CRC32-guarded
+// frame — the same framing discipline as the durable store's WAL records
+// (store/record_io.h), applied to a byte stream instead of a file. The
+// layout is fixed little-endian:
+//
+//   offset  size  field
+//   0       2     magic 0xE5 0x1C
+//   2       1     protocol version (kFrameVersion)
+//   3       1     frame type (FrameType)
+//   4       4     sequence number, u32 LE
+//   8       4     payload length, u32 LE (<= kMaxFramePayload)
+//   12      n     payload
+//   12+n    4     CRC32 over bytes [2, 12+n) — everything but the magic
+//
+// The decoder is incremental and self-healing: bytes arrive in arbitrary
+// chunks, and any corruption (bad magic, unknown version/type, insane
+// length, CRC mismatch) makes it slide forward one byte at a time until
+// the next plausible frame boundary, counting what it discarded. A torn
+// or truncated frame therefore costs exactly the bytes it occupied — the
+// connection resynchronizes on the next intact frame instead of dying.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace eric::net {
+
+/// First magic byte of every frame.
+inline constexpr uint8_t kFrameMagic0 = 0xE5;
+/// Second magic byte of every frame.
+inline constexpr uint8_t kFrameMagic1 = 0x1C;
+/// Wire protocol version this build speaks.
+inline constexpr uint8_t kFrameVersion = 1;
+/// Bytes before the payload (magic + version + type + seq + length).
+inline constexpr size_t kFrameHeaderBytes = 12;
+/// Bytes after the payload (the CRC32 trailer).
+inline constexpr size_t kFrameTrailerBytes = 4;
+/// Total framing overhead per message.
+inline constexpr size_t kFrameOverheadBytes =
+    kFrameHeaderBytes + kFrameTrailerBytes;
+/// Largest payload a frame may carry; a header claiming more is treated
+/// as corruption and resynchronized over rather than buffered for.
+inline constexpr size_t kMaxFramePayload = 64u * 1024 * 1024;
+
+/// Message types of the fleet dispatch protocol.
+enum class FrameType : uint8_t {
+  kHello = 1,     ///< device -> daemon: identify (u64 device id payload)
+  kHelloAck = 2,  ///< daemon -> device: handshake accepted (echoes id)
+  kDispatch = 3,  ///< daemon -> device: sealed package wire bytes
+  kDelivered = 4, ///< device -> daemon: payload as received, echoed back
+  kNak = 5,       ///< device -> daemon: current request failed device-side
+  kPing = 6,      ///< either side: liveness probe
+  kPong = 7,      ///< reply to kPing
+};
+
+/// Stable display name of a FrameType ("hello", "dispatch", ...).
+std::string_view FrameTypeName(FrameType type);
+
+/// True when `raw` is one of the FrameType values this build speaks.
+bool FrameTypeKnown(uint8_t raw);
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kPing;  ///< message type
+  uint32_t seq = 0;                   ///< sequence number
+  std::vector<uint8_t> payload;       ///< payload bytes (may be empty)
+};
+
+/// Appends one encoded frame to `out` (header, payload, CRC trailer).
+void AppendFrame(std::vector<uint8_t>& out, FrameType type, uint32_t seq,
+                 std::span<const uint8_t> payload);
+
+/// Encodes one frame into a fresh buffer.
+std::vector<uint8_t> EncodeFrame(FrameType type, uint32_t seq,
+                                 std::span<const uint8_t> payload);
+
+/// Incremental, resynchronizing frame decoder for one byte stream.
+///
+/// Feed() appends whatever the socket produced; Next() pops complete
+/// frames until it returns nullopt (meaning: the buffer holds no
+/// complete frame — feed more bytes). Corrupt regions are skipped
+/// byte-by-byte and accounted in the counters below.
+class FrameDecoder {
+ public:
+  /// Appends raw stream bytes to the decode buffer.
+  void Feed(std::span<const uint8_t> bytes);
+
+  /// Pops the next complete frame, or nullopt when more bytes are
+  /// needed. Skips over any corrupt prefix first.
+  std::optional<Frame> Next();
+
+  /// Frames decoded successfully over the decoder's lifetime.
+  uint64_t frames_decoded() const { return frames_decoded_; }
+  /// Frames rejected because their CRC trailer did not match.
+  uint64_t crc_errors() const { return crc_errors_; }
+  /// Resynchronization episodes: contiguous corrupt regions skipped
+  /// (one bad frame or garbage run counts once, however long).
+  uint64_t resyncs() const { return resyncs_; }
+  /// Total bytes discarded while resynchronizing.
+  uint64_t bytes_discarded() const { return bytes_discarded_; }
+  /// Bytes currently buffered and not yet consumed by Next().
+  size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  /// Discards one byte at `pos_`, folding it into the current resync
+  /// episode (or opening a new one).
+  void SkipByte();
+
+  std::vector<uint8_t> buffer_;
+  size_t pos_ = 0;
+  bool in_resync_ = false;
+  uint64_t frames_decoded_ = 0;
+  uint64_t crc_errors_ = 0;
+  uint64_t resyncs_ = 0;
+  uint64_t bytes_discarded_ = 0;
+};
+
+}  // namespace eric::net

@@ -1,0 +1,577 @@
+#include "net/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "store/record_io.h"
+#include "support/stopwatch.h"
+
+namespace eric::net {
+
+namespace {
+
+// Process-wide transport telemetry. Everything the wire does lands here
+// (the obs registry), never on ad-hoc struct counters.
+struct TransportMetrics {
+  obs::Counter& connections_accepted;
+  obs::Counter& connections_closed;
+  obs::Gauge& connections_open;
+  obs::Counter& handshakes;
+  obs::Counter& frames_sent;
+  obs::Counter& frames_received;
+  obs::Counter& bytes_sent;
+  obs::Counter& bytes_received;
+  obs::Counter& crc_errors;
+  obs::Counter& resyncs;
+  obs::Counter& deliveries_ok;
+  obs::Counter& delivery_timeouts;
+  obs::Counter& delivery_failures;
+  obs::Counter& backpressure_stalls;
+  obs::Counter& late_responses;
+  obs::Counter& naks;
+  obs::Counter& idle_closes;
+  obs::Histogram& delivery_rtt_us;
+
+  static TransportMetrics& Get() {
+    static auto& registry = obs::MetricsRegistry::Global();
+    static TransportMetrics metrics{
+        registry.GetCounter("net_connections_accepted"),
+        registry.GetCounter("net_connections_closed"),
+        registry.GetGauge("net_connections_open"),
+        registry.GetCounter("net_handshakes"),
+        registry.GetCounter("net_frames_sent"),
+        registry.GetCounter("net_frames_received"),
+        registry.GetCounter("net_bytes_sent"),
+        registry.GetCounter("net_bytes_received"),
+        registry.GetCounter("net_frame_crc_errors"),
+        registry.GetCounter("net_frame_resyncs"),
+        registry.GetCounter("net_deliveries_ok"),
+        registry.GetCounter("net_delivery_timeouts"),
+        registry.GetCounter("net_delivery_failures"),
+        registry.GetCounter("net_backpressure_stalls"),
+        registry.GetCounter("net_late_responses"),
+        registry.GetCounter("net_naks"),
+        registry.GetCounter("net_idle_closes"),
+        registry.GetHistogram("net_delivery_rtt_us"),
+    };
+    return metrics;
+  }
+};
+
+// Raise the soft RLIMIT_NOFILE toward the hard limit: a thousand-device
+// fleet needs ~2 fds per device (server + in-process sim client) and
+// the common 1024 soft default dies mid-accept. Best-effort.
+void EnsureFdLimit() {
+  struct rlimit limit;
+  if (getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  const rlim_t want = 1u << 16;
+  if (limit.rlim_cur >= want) return;
+  struct rlimit raised = limit;
+  raised.rlim_cur = limit.rlim_max == RLIM_INFINITY
+                        ? want
+                        : std::min<rlim_t>(want, limit.rlim_max);
+  if (raised.rlim_cur > limit.rlim_cur) setrlimit(RLIMIT_NOFILE, &raised);
+}
+
+}  // namespace
+
+// One accepted socket. All fields are guarded by FleetServer::state_mutex_.
+struct FleetServer::Connection {
+  int fd = -1;
+  uint64_t device = 0;
+  bool handshaken = false;
+  FrameDecoder decoder;
+  /// Decoder counters already folded into the registry (deltas only).
+  uint64_t seen_crc_errors = 0;
+  uint64_t seen_resyncs = 0;
+  std::deque<std::vector<uint8_t>> write_queue;
+  size_t write_offset = 0;   ///< bytes of write_queue.front() already sent
+  size_t queued_bytes = 0;
+  bool epollout_armed = false;
+  std::chrono::steady_clock::time_point last_activity;
+  uint32_t inflight_seq = 0;
+  std::shared_ptr<PendingDelivery> inflight;
+};
+
+// The rendezvous between a Deliver() caller and the event loop. Locking
+// order is always state_mutex_ -> PendingDelivery::mutex, never the
+// reverse.
+struct FleetServer::PendingDelivery {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  std::vector<uint8_t> payload;
+  std::chrono::steady_clock::time_point sent_at;
+};
+
+FleetServer::FleetServer(const FleetServerConfig& config) : config_(config) {}
+
+FleetServer::~FleetServer() { Stop(); }
+
+Status FleetServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status(ErrorCode::kFailedPrecondition, "server already running");
+  }
+  EnsureFdLimit();
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status(ErrorCode::kInternal,
+                  std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(listen_fd_, config_.listen_backlog) != 0) {
+    const Status failed(ErrorCode::kInternal,
+                        std::string("bind/listen: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return failed;
+  }
+  socklen_t addr_len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Stop();
+    return Status(ErrorCode::kInternal, "epoll/eventfd setup failed");
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &event);
+  event.data.fd = wake_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event);
+
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread([this] { LoopMain(); });
+  obs::EmitEvent(obs::EventSeverity::kInfo, "net",
+                 "fleet server listening on port " + std::to_string(port_), 0,
+                 0);
+  return Status::Ok();
+}
+
+void FleetServer::Stop() {
+  running_.store(false, std::memory_order_release);
+  if (loop_.joinable()) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+    loop_.join();
+  }
+  {
+    std::lock_guard lock(state_mutex_);
+    for (auto& [fd, conn] : connections_) {
+      FailInflightLocked(fd, ErrorCode::kUnavailable, "server stopped");
+      close(fd);
+    }
+    TransportMetrics::Get().connections_open.Add(
+        -static_cast<int64_t>(connections_.size()));
+    connections_.clear();
+    device_to_fd_.clear();
+    dirty_.clear();
+  }
+  handshake_cv_.notify_all();
+  drain_cv_.notify_all();
+  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+    if (*fd >= 0) {
+      close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+size_t FleetServer::connected_devices() const {
+  std::lock_guard lock(state_mutex_);
+  return device_to_fd_.size();
+}
+
+bool FleetServer::WaitForDevices(size_t count, uint32_t timeout_ms) const {
+  std::unique_lock lock(state_mutex_);
+  return handshake_cv_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms),
+      [&] { return device_to_fd_.size() >= count; });
+}
+
+Result<std::vector<uint8_t>> FleetServer::Deliver(
+    uint64_t device, std::span<const uint8_t> wire_bytes,
+    const ChannelConfig& fault) {
+  TransportMetrics& metrics = TransportMetrics::Get();
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status(ErrorCode::kFailedPrecondition, "server not running");
+  }
+  // The adversarial hop happens at the sending edge: the same Channel
+  // the in-process path uses mutates the payload before framing, so a
+  // faulted body rides an *intact* frame to the device and the
+  // fail-closed rejection stays the HDE's job, exactly as it is off
+  // the wire. Frame-level corruption is a different failure class and
+  // is exercised by the decoder's resync path.
+  Channel channel(fault);
+  std::vector<uint8_t> mutated =
+      channel.Deliver(std::vector<uint8_t>(wire_bytes.begin(),
+                                           wire_bytes.end()));
+
+  std::shared_ptr<PendingDelivery> pending;
+  {
+    std::unique_lock lock(state_mutex_);
+    const auto backpressure_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(config_.backpressure_timeout_ms);
+    bool stalled = false;
+    for (;;) {
+      if (!running_.load(std::memory_order_acquire)) {
+        return Status(ErrorCode::kFailedPrecondition, "server not running");
+      }
+      auto it = device_to_fd_.find(device);
+      if (it == device_to_fd_.end()) {
+        metrics.delivery_failures.Add();
+        return Status(ErrorCode::kUnavailable, "device not connected");
+      }
+      Connection* conn = connections_.at(it->second).get();
+      const bool queue_full = conn->queued_bytes >= config_.write_high_water;
+      if (conn->inflight == nullptr && !queue_full) break;
+      if (queue_full && !stalled) {
+        stalled = true;
+        metrics.backpressure_stalls.Add();
+      }
+      if (drain_cv_.wait_until(lock, backpressure_deadline) ==
+          std::cv_status::timeout) {
+        metrics.delivery_failures.Add();
+        return Status(ErrorCode::kResourceExhausted,
+                      queue_full ? "write queue over high-water mark"
+                                 : "device busy with another delivery");
+      }
+    }
+    const int fd = device_to_fd_.at(device);
+    Connection* conn = connections_.at(fd).get();
+    const uint32_t seq = next_seq_++;
+    if (next_seq_ == 0) next_seq_ = 1;  // seq 0 is reserved for NAK-any
+    pending = std::make_shared<PendingDelivery>();
+    pending->sent_at = std::chrono::steady_clock::now();
+    conn->inflight = pending;
+    conn->inflight_seq = seq;
+    EnqueueLocked(fd, EncodeFrame(FrameType::kDispatch, seq, mutated));
+  }
+  // Wake the loop to flush the queue we just filled.
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+
+  const auto deadline =
+      pending->sent_at + std::chrono::milliseconds(config_.response_timeout_ms);
+  std::unique_lock wait_lock(pending->mutex);
+  if (!pending->cv.wait_until(wait_lock, deadline,
+                              [&] { return pending->done; })) {
+    // Deadline passed: detach the delivery under the state mutex. If the
+    // loop got there first the pending is already detached and its done
+    // flag is imminent — wait for it instead of reporting a timeout.
+    wait_lock.unlock();
+    bool detached_by_us = false;
+    {
+      std::lock_guard lock(state_mutex_);
+      auto it = device_to_fd_.find(device);
+      if (it != device_to_fd_.end()) {
+        Connection* conn = connections_.at(it->second).get();
+        if (conn->inflight == pending) {
+          conn->inflight = nullptr;
+          conn->inflight_seq = 0;
+          detached_by_us = true;
+          drain_cv_.notify_all();
+        }
+      } else {
+        // Connection gone: CloseConnection already failed the pending.
+      }
+    }
+    wait_lock.lock();
+    if (detached_by_us) {
+      metrics.delivery_timeouts.Add();
+      return Status(ErrorCode::kTimeout, "delivery response timeout");
+    }
+    pending->cv.wait(wait_lock, [&] { return pending->done; });
+  }
+  if (!pending->status.ok()) {
+    metrics.delivery_failures.Add();
+    return pending->status;
+  }
+  metrics.deliveries_ok.Add();
+  metrics.delivery_rtt_us.Record(MicrosecondsSince(pending->sent_at));
+  return std::move(pending->payload);
+}
+
+void FleetServer::EnqueueLocked(int fd, std::vector<uint8_t> frame_bytes) {
+  Connection* conn = connections_.at(fd).get();
+  conn->queued_bytes += frame_bytes.size();
+  conn->write_queue.push_back(std::move(frame_bytes));
+  dirty_.push_back(fd);
+}
+
+void FleetServer::FailInflightLocked(int fd, ErrorCode code,
+                                     const char* message) {
+  Connection* conn = connections_.at(fd).get();
+  if (conn->inflight == nullptr) return;
+  std::shared_ptr<PendingDelivery> pending = std::move(conn->inflight);
+  conn->inflight = nullptr;
+  conn->inflight_seq = 0;
+  std::lock_guard pending_lock(pending->mutex);
+  pending->status = Status(code, message);
+  pending->done = true;
+  pending->cv.notify_all();
+}
+
+void FleetServer::LoopMain() {
+  epoll_event events[128];
+  while (running_.load(std::memory_order_acquire)) {
+    int timeout_ms = 100;
+    if (config_.idle_timeout_ms > 0) {
+      timeout_ms = std::min<int>(
+          timeout_ms, std::max<int>(1, config_.idle_timeout_ms / 4));
+    }
+    const int ready = epoll_wait(epoll_fd_, events, 128, timeout_ms);
+    if (ready < 0 && errno != EINTR) break;
+    std::unique_lock lock(state_mutex_);
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptReady();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        [[maybe_unused]] ssize_t ignored =
+            read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      if (connections_.find(fd) == connections_.end()) continue;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(fd, "socket error/hangup");
+        continue;
+      }
+      if (events[i].events & EPOLLIN) ReadReady(fd);
+      if (connections_.find(fd) != connections_.end() &&
+          (events[i].events & EPOLLOUT)) {
+        WriteReady(fd);
+      }
+    }
+    FlushDirty();
+    ReapIdle();
+  }
+}
+
+void FleetServer::AcceptReady() {
+  TransportMetrics& metrics = TransportMetrics::Get();
+  for (;;) {
+    const int fd =
+        accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // EMFILE etc.: drop the attempt, keep serving
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->last_activity = std::chrono::steady_clock::now();
+    connections_.emplace(fd, std::move(conn));
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = fd;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event);
+    metrics.connections_accepted.Add();
+    metrics.connections_open.Add(1);
+  }
+}
+
+void FleetServer::ReadReady(int fd) {
+  TransportMetrics& metrics = TransportMetrics::Get();
+  Connection* conn = connections_.at(fd).get();
+  uint8_t buffer[64 * 1024];
+  for (;;) {
+    const ssize_t got = read(fd, buffer, sizeof(buffer));
+    if (got > 0) {
+      metrics.bytes_received.Add(static_cast<uint64_t>(got));
+      conn->decoder.Feed(
+          std::span<const uint8_t>(buffer, static_cast<size_t>(got)));
+      conn->last_activity = std::chrono::steady_clock::now();
+      if (static_cast<size_t>(got) < sizeof(buffer)) break;
+      continue;
+    }
+    if (got == 0) {
+      CloseConnection(fd, "peer closed");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(fd, "read error");
+    return;
+  }
+  while (auto frame = conn->decoder.Next()) {
+    metrics.frames_received.Add();
+    HandleFrame(fd, std::move(*frame));
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return;  // frame handling closed it
+    conn = it->second.get();
+  }
+  metrics.crc_errors.Add(conn->decoder.crc_errors() - conn->seen_crc_errors);
+  metrics.resyncs.Add(conn->decoder.resyncs() - conn->seen_resyncs);
+  conn->seen_crc_errors = conn->decoder.crc_errors();
+  conn->seen_resyncs = conn->decoder.resyncs();
+}
+
+void FleetServer::HandleFrame(int fd, Frame frame) {
+  TransportMetrics& metrics = TransportMetrics::Get();
+  Connection* conn = connections_.at(fd).get();
+  switch (frame.type) {
+    case FrameType::kHello: {
+      store::RecordReader reader(frame.payload);
+      uint64_t device = 0;
+      if (!reader.U64(&device)) return;  // malformed hello: ignore
+      auto existing = device_to_fd_.find(device);
+      if (existing != device_to_fd_.end() && existing->second != fd) {
+        // A reconnecting device supersedes its old (stale) connection.
+        CloseConnection(existing->second, "superseded by reconnect");
+        conn = connections_.at(fd).get();
+      }
+      conn->device = device;
+      conn->handshaken = true;
+      device_to_fd_[device] = fd;
+      metrics.handshakes.Add();
+      EnqueueLocked(fd,
+                    EncodeFrame(FrameType::kHelloAck, frame.seq, frame.payload));
+      handshake_cv_.notify_all();
+      break;
+    }
+    case FrameType::kDelivered: {
+      if (conn->inflight != nullptr && frame.seq == conn->inflight_seq) {
+        std::shared_ptr<PendingDelivery> pending = std::move(conn->inflight);
+        conn->inflight = nullptr;
+        conn->inflight_seq = 0;
+        drain_cv_.notify_all();
+        std::lock_guard pending_lock(pending->mutex);
+        pending->payload = std::move(frame.payload);
+        pending->done = true;
+        pending->cv.notify_all();
+      } else {
+        metrics.late_responses.Add();
+      }
+      break;
+    }
+    case FrameType::kNak: {
+      metrics.naks.Add();
+      if (conn->inflight != nullptr &&
+          (frame.seq == conn->inflight_seq || frame.seq == 0)) {
+        FailInflightLocked(fd, ErrorCode::kUnavailable,
+                           "device rejected the request frame");
+        drain_cv_.notify_all();
+      }
+      break;
+    }
+    case FrameType::kPing:
+      EnqueueLocked(fd,
+                    EncodeFrame(FrameType::kPong, frame.seq, frame.payload));
+      break;
+    case FrameType::kHelloAck:
+    case FrameType::kDispatch:
+    case FrameType::kPong:
+      break;  // not meaningful daemon-side; ignore
+  }
+}
+
+void FleetServer::WriteReady(int fd) {
+  TransportMetrics& metrics = TransportMetrics::Get();
+  Connection* conn = connections_.at(fd).get();
+  while (!conn->write_queue.empty()) {
+    const std::vector<uint8_t>& front = conn->write_queue.front();
+    const ssize_t sent = write(fd, front.data() + conn->write_offset,
+                               front.size() - conn->write_offset);
+    if (sent >= 0) {
+      metrics.bytes_sent.Add(static_cast<uint64_t>(sent));
+      conn->write_offset += static_cast<size_t>(sent);
+      conn->queued_bytes -= static_cast<size_t>(sent);
+      conn->last_activity = std::chrono::steady_clock::now();
+      if (conn->write_offset == front.size()) {
+        conn->write_queue.pop_front();
+        conn->write_offset = 0;
+        metrics.frames_sent.Add();
+      }
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(fd, "write error");
+    return;
+  }
+  const bool want_out = !conn->write_queue.empty();
+  if (want_out != conn->epollout_armed) {
+    epoll_event event{};
+    event.events = EPOLLIN | (want_out ? EPOLLOUT : 0u);
+    event.data.fd = fd;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event);
+    conn->epollout_armed = want_out;
+  }
+  if (conn->queued_bytes <= config_.write_high_water / 2) {
+    drain_cv_.notify_all();
+  }
+}
+
+void FleetServer::FlushDirty() {
+  std::vector<int> dirty;
+  dirty.swap(dirty_);
+  for (const int fd : dirty) {
+    if (connections_.find(fd) != connections_.end()) WriteReady(fd);
+  }
+}
+
+void FleetServer::ReapIdle() {
+  if (config_.idle_timeout_ms == 0) return;
+  TransportMetrics& metrics = TransportMetrics::Get();
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::milliseconds(config_.idle_timeout_ms);
+  std::vector<int> idle;
+  for (const auto& [fd, conn] : connections_) {
+    if (now - conn->last_activity > limit) idle.push_back(fd);
+  }
+  for (const int fd : idle) {
+    metrics.idle_closes.Add();
+    CloseConnection(fd, "idle timeout");
+  }
+}
+
+void FleetServer::CloseConnection(int fd, const char* why) {
+  TransportMetrics& metrics = TransportMetrics::Get();
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  FailInflightLocked(fd, ErrorCode::kUnavailable, why);
+  Connection* conn = it->second.get();
+  auto mapped = device_to_fd_.find(conn->device);
+  if (conn->handshaken && mapped != device_to_fd_.end() &&
+      mapped->second == fd) {
+    device_to_fd_.erase(mapped);
+  }
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  close(fd);
+  connections_.erase(it);
+  metrics.connections_closed.Add();
+  metrics.connections_open.Add(-1);
+  handshake_cv_.notify_all();
+  drain_cv_.notify_all();
+}
+
+}  // namespace eric::net

@@ -1,0 +1,315 @@
+#include "net/sim_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+
+#include "store/record_io.h"
+
+namespace eric::net {
+
+// One simulated device connection. Owned and touched only by the loop
+// thread (external observers read the fleet-level atomics).
+struct SimClientFleet::Peer {
+  uint64_t device = 0;
+  int fd = -1;
+  enum class State : uint8_t {
+    kConnecting,  ///< non-blocking connect in flight
+    kHelloSent,   ///< connected, waiting for kHelloAck
+    kReady,       ///< handshaken, serving dispatches
+    kDead,        ///< gave up
+  } state = State::kConnecting;
+  FrameDecoder decoder;
+  std::deque<std::vector<uint8_t>> write_queue;
+  size_t write_offset = 0;
+  bool epollout_armed = false;
+  bool epollin_armed = true;
+  std::chrono::steady_clock::time_point connect_started;
+};
+
+SimClientFleet::SimClientFleet(SimClientFleetConfig config)
+    : config_(std::move(config)) {}
+
+SimClientFleet::~SimClientFleet() { Stop(); }
+
+Status SimClientFleet::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status(ErrorCode::kFailedPrecondition, "sim fleet already running");
+  }
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    return Status(ErrorCode::kInternal, "epoll/eventfd setup failed");
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = wake_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event);
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread([this] { LoopMain(); });
+  return Status::Ok();
+}
+
+void SimClientFleet::Stop() {
+  running_.store(false, std::memory_order_release);
+  if (loop_.joinable()) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+    loop_.join();
+  }
+  for (auto& peer : peers_) {
+    if (peer->fd >= 0) {
+      close(peer->fd);
+      peer->fd = -1;
+    }
+  }
+  peers_.clear();
+  by_fd_.clear();
+  for (int* fd : {&epoll_fd_, &wake_fd_}) {
+    if (*fd >= 0) {
+      close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+bool SimClientFleet::WaitForHandshakes(uint32_t timeout_ms) const {
+  std::unique_lock lock(wait_mutex_);
+  return wait_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    return handshaken_.load(std::memory_order_acquire) >=
+           config_.devices.size();
+  });
+}
+
+void SimClientFleet::ConnectPeer(Peer* peer) {
+  peer->fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (peer->fd < 0) {
+    peer->state = Peer::State::kDead;
+    return;
+  }
+  const int one = 1;
+  setsockopt(peer->fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    close(peer->fd);
+    peer->fd = -1;
+    peer->state = Peer::State::kDead;
+    return;
+  }
+  peer->state = Peer::State::kConnecting;
+  peer->epollin_armed = true;
+  peer->epollout_armed = true;  // connect completion reports as writable
+  const int rc = connect(peer->fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    // Refused right away (listener backlog burst): retry until the
+    // connect window closes.
+    close(peer->fd);
+    peer->fd = -1;
+    return;
+  }
+  epoll_event event{};
+  event.events = EPOLLIN | EPOLLOUT;
+  event.data.fd = peer->fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, peer->fd, &event);
+  by_fd_[peer->fd] = peer;
+}
+
+void SimClientFleet::LoopMain() {
+  const auto start = std::chrono::steady_clock::now();
+  peers_.reserve(config_.devices.size());
+  for (const uint64_t device : config_.devices) {
+    auto peer = std::make_unique<Peer>();
+    peer->device = device;
+    peer->connect_started = start;
+    ConnectPeer(peer.get());
+    peers_.push_back(std::move(peer));
+  }
+  epoll_event events[128];
+  while (running_.load(std::memory_order_acquire)) {
+    const int ready = epoll_wait(epoll_fd_, events, 128, 50);
+    if (ready < 0 && errno != EINTR) break;
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        [[maybe_unused]] ssize_t ignored =
+            read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      auto it = by_fd_.find(fd);
+      if (it == by_fd_.end()) continue;
+      Peer* peer = it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        ClosePeer(peer, /*reconnect=*/peer->state == Peer::State::kConnecting);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) WriteReady(peer);
+      if (peer->fd >= 0 && (events[i].events & EPOLLIN)) ReadReady(peer);
+    }
+    // Retry refused connects (closed fds with non-dead peers) until the
+    // window closes.
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& peer : peers_) {
+      if (peer->fd >= 0 || peer->state == Peer::State::kReady) continue;
+      if (peer->state == Peer::State::kDead) continue;
+      if (now - peer->connect_started >
+          std::chrono::milliseconds(config_.connect_timeout_ms)) {
+        peer->state = Peer::State::kDead;
+        continue;
+      }
+      ConnectPeer(peer.get());
+    }
+  }
+}
+
+void SimClientFleet::UpdateInterest(Peer* peer) {
+  const bool want_out = !peer->write_queue.empty() ||
+                        peer->state == Peer::State::kConnecting;
+  bool want_in = true;
+  if (peer->state == Peer::State::kReady && !config_.read_after_handshake) {
+    want_in = false;
+  }
+  if (want_out == peer->epollout_armed && want_in == peer->epollin_armed) {
+    return;
+  }
+  epoll_event event{};
+  event.events = (want_in ? EPOLLIN : 0u) | (want_out ? EPOLLOUT : 0u);
+  event.data.fd = peer->fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, peer->fd, &event);
+  peer->epollout_armed = want_out;
+  peer->epollin_armed = want_in;
+}
+
+void SimClientFleet::WriteReady(Peer* peer) {
+  if (peer->state == Peer::State::kConnecting) {
+    int error = 0;
+    socklen_t len = sizeof(error);
+    getsockopt(peer->fd, SOL_SOCKET, SO_ERROR, &error, &len);
+    if (error != 0) {
+      ClosePeer(peer, /*reconnect=*/true);
+      return;
+    }
+    // Connected: identify. The hello payload is a record_io record so
+    // the daemon's parse failure modes match the store's.
+    store::RecordWriter hello;
+    hello.U64(peer->device);
+    peer->write_queue.push_back(
+        EncodeFrame(FrameType::kHello, 0, hello.bytes()));
+    peer->state = Peer::State::kHelloSent;
+  }
+  while (!peer->write_queue.empty()) {
+    const std::vector<uint8_t>& front = peer->write_queue.front();
+    const ssize_t sent = write(peer->fd, front.data() + peer->write_offset,
+                               front.size() - peer->write_offset);
+    if (sent >= 0) {
+      peer->write_offset += static_cast<size_t>(sent);
+      if (peer->write_offset == front.size()) {
+        peer->write_queue.pop_front();
+        peer->write_offset = 0;
+      }
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    ClosePeer(peer, /*reconnect=*/false);
+    return;
+  }
+  UpdateInterest(peer);
+}
+
+void SimClientFleet::ReadReady(Peer* peer) {
+  uint8_t buffer[64 * 1024];
+  for (;;) {
+    const ssize_t got = read(peer->fd, buffer, sizeof(buffer));
+    if (got > 0) {
+      peer->decoder.Feed(
+          std::span<const uint8_t>(buffer, static_cast<size_t>(got)));
+      if (static_cast<size_t>(got) < sizeof(buffer)) break;
+      continue;
+    }
+    if (got == 0) {
+      ClosePeer(peer, /*reconnect=*/false);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    ClosePeer(peer, /*reconnect=*/false);
+    return;
+  }
+  while (auto frame = peer->decoder.Next()) {
+    HandleFrame(peer, std::move(*frame));
+    if (peer->fd < 0) return;
+  }
+  if (!peer->write_queue.empty()) {
+    WriteReady(peer);  // flush responses now instead of next epoll cycle
+  } else {
+    UpdateInterest(peer);
+  }
+}
+
+void SimClientFleet::HandleFrame(Peer* peer, Frame frame) {
+  switch (frame.type) {
+    case FrameType::kHelloAck: {
+      if (peer->state == Peer::State::kHelloSent) {
+        peer->state = Peer::State::kReady;
+        handshaken_.fetch_add(1, std::memory_order_acq_rel);
+        {
+          std::lock_guard lock(wait_mutex_);
+        }
+        wait_cv_.notify_all();
+      }
+      break;
+    }
+    case FrameType::kDispatch: {
+      dispatches_.fetch_add(1, std::memory_order_acq_rel);
+      if (config_.respond) {
+        // The device endpoint's whole job: echo what arrived, same seq.
+        peer->write_queue.push_back(
+            EncodeFrame(FrameType::kDelivered, frame.seq, frame.payload));
+      }
+      break;
+    }
+    case FrameType::kPing:
+      peer->write_queue.push_back(
+          EncodeFrame(FrameType::kPong, frame.seq, frame.payload));
+      break;
+    case FrameType::kHello:
+    case FrameType::kDelivered:
+    case FrameType::kNak:
+    case FrameType::kPong:
+      break;  // not meaningful device-side; ignore
+  }
+}
+
+void SimClientFleet::ClosePeer(Peer* peer, bool reconnect) {
+  if (peer->fd >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, peer->fd, nullptr);
+    by_fd_.erase(peer->fd);
+    close(peer->fd);
+    peer->fd = -1;
+  }
+  if (peer->state == Peer::State::kReady) {
+    handshaken_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  peer->write_queue.clear();
+  peer->write_offset = 0;
+  peer->epollout_armed = false;
+  peer->epollin_armed = false;
+  peer->decoder = FrameDecoder();
+  peer->state =
+      reconnect ? Peer::State::kConnecting : Peer::State::kDead;
+}
+
+}  // namespace eric::net

@@ -1,0 +1,107 @@
+// Simulated device fleet: the client side of the framed wire protocol.
+//
+// One epoll loop thread holds N concurrent non-blocking connections to a
+// FleetServer — thousands against one daemon — and plays each device's
+// network endpoint: connect, identify with kHello, then echo every
+// kDispatch payload back as kDelivered. The device-side *semantics*
+// (HDE validation, execution) stay with the registry in the daemon; the
+// sim client exists to make the wire hop real, at scale.
+//
+// Test hooks: `respond = false` black-holes dispatches (drives the
+// server's response timeout), `read_after_handshake = false` stops
+// reading once handshaken (fills the server's write queue and drives
+// backpressure).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.h"
+#include "support/status.h"
+
+namespace eric::net {
+
+/// Sim-fleet connection settings.
+struct SimClientFleetConfig {
+  /// Server host (the FleetServer binds loopback).
+  std::string host = "127.0.0.1";
+  /// Server TCP port.
+  uint16_t port = 0;
+  /// One connection per device id.
+  std::vector<uint64_t> devices;
+  /// Echo kDispatch payloads back as kDelivered (false: never respond,
+  /// so every dispatch to this fleet times out server-side).
+  bool respond = true;
+  /// Keep reading after the handshake (false: stop reading once
+  /// handshaken, so the server's write queue backs up).
+  bool read_after_handshake = true;
+  /// Give up on connections not handshaken within this window.
+  uint32_t connect_timeout_ms = 30'000;
+};
+
+/// The simulated device fleet. Start() spawns one event-loop thread
+/// owning every connection; Stop() (or destruction) tears it down.
+class SimClientFleet {
+ public:
+  /// Builds a stopped fleet for `config`'s devices.
+  explicit SimClientFleet(SimClientFleetConfig config);
+  /// Stops the loop and closes every connection.
+  ~SimClientFleet();
+
+  SimClientFleet(const SimClientFleet&) = delete;
+  SimClientFleet& operator=(const SimClientFleet&) = delete;
+
+  /// Starts the loop thread and begins connecting every device.
+  Status Start();
+
+  /// Closes every connection and joins the loop. Idempotent.
+  void Stop();
+
+  /// Devices whose kHello has been acknowledged by the server.
+  size_t handshaken() const {
+    return handshaken_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until every device is handshaken or `timeout_ms` elapses;
+  /// returns whether the full fleet connected.
+  bool WaitForHandshakes(uint32_t timeout_ms) const;
+
+  /// kDispatch frames served (echoed) across the fleet's lifetime.
+  uint64_t dispatches_served() const {
+    return dispatches_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Peer;
+
+  void LoopMain();
+  void ConnectPeer(Peer* peer);
+  void ReadReady(Peer* peer);
+  void WriteReady(Peer* peer);
+  void HandleFrame(Peer* peer, Frame frame);
+  void ClosePeer(Peer* peer, bool reconnect);
+  void UpdateInterest(Peer* peer);
+
+  SimClientFleetConfig config_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<size_t> handshaken_{0};
+  std::atomic<uint64_t> dispatches_{0};
+  /// Signals handshake-count changes to WaitForHandshakes.
+  mutable std::mutex wait_mutex_;
+  mutable std::condition_variable wait_cv_;
+  /// Owned by the loop thread after Start().
+  std::vector<std::unique_ptr<Peer>> peers_;
+  std::unordered_map<int, Peer*> by_fd_;
+};
+
+}  // namespace eric::net

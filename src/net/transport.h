@@ -1,0 +1,43 @@
+// Delivery transport abstraction between the fleet engine and the wire.
+//
+// The deployment engine hands every delivery to one of two hops: the
+// in-process net::Channel (the default — a synchronous function call
+// that models the adversarial network), or an implementation of this
+// interface that moves the bytes over real sockets (net::FleetServer,
+// installed by `eric_fleetd --listen`). Either way the same per-delivery
+// ChannelConfig fault process applies, so the end-to-end fail-closed
+// property is exercised identically on both paths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/channel.h"
+#include "support/status.h"
+
+namespace eric::net {
+
+/// Moves one sealed package to one device and returns the bytes the
+/// device reported receiving.
+///
+/// Implementations must be thread-safe: engine workers call Deliver
+/// concurrently for distinct devices. `fault` is the fully resolved
+/// per-delivery channel configuration (fault process + RNG seed); the
+/// transport applies it at its sending edge so wire-level fault
+/// injection stays deterministic in the campaign seed.
+class DeliveryTransport {
+ public:
+  /// Virtual base destructor (transports are held by non-owning pointer).
+  virtual ~DeliveryTransport() = default;
+
+  /// Delivers `wire_bytes` to `device` under the `fault` process.
+  /// Returns the round-tripped bytes on success; a failed Status
+  /// (timeout, disconnect, backpressure overflow) when the delivery
+  /// never produced a device-side receipt.
+  virtual Result<std::vector<uint8_t>> Deliver(
+      uint64_t device, std::span<const uint8_t> wire_bytes,
+      const ChannelConfig& fault) = 0;
+};
+
+}  // namespace eric::net

@@ -15,6 +15,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kCorruptPackage: return "CORRUPT_PACKAGE";
     case ErrorCode::kUnsupported: return "UNSUPPORTED";
     case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
     case ErrorCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

@@ -25,6 +25,8 @@ enum class ErrorCode {
   kCorruptPackage,     ///< Program package is structurally damaged.
   kUnsupported,        ///< Feature/encoding not supported.
   kResourceExhausted,  ///< A limit (memory, map size, ...) was exceeded.
+  kTimeout,            ///< Operation did not complete within its deadline.
+  kUnavailable,        ///< Peer unreachable / connection lost; retryable.
   kInternal,           ///< Invariant violation inside the library.
 };
 

@@ -1090,6 +1090,43 @@ TEST(CampaignSchedulerTest, GroupConcurrencyBudgetCapsInFlight) {
   EXPECT_LE(report->peak_in_flight, 2u);
 }
 
+TEST(DispatchGovernorTest, PauseAndCancelWakeBudgetParkedWorkers) {
+  // Regression: Pause()/Cancel() only notified AwaitRunnable's own cv,
+  // never the governor's group-budget cv — a worker parked on a full
+  // group-concurrency budget slept through the transition until some
+  // unrelated delivery released a slot. With every slot held and the
+  // campaign cancelled, that worker hung forever.
+  CampaignControl control;
+  DispatchGovernor::Limits limits;
+  limits.group_concurrency = 1;
+  DispatchGovernor governor(limits, &control);
+
+  const GroupId group = 5;
+  ASSERT_TRUE(governor.AdmitDelivery(group));  // hold the only slot
+
+  std::atomic<bool> returned{false};
+  bool admitted = true;
+  std::thread waiter([&] {
+    admitted = governor.AdmitDelivery(group);  // parks on the full budget
+    returned.store(true, std::memory_order_release);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(returned.load(std::memory_order_acquire));
+
+  // Pause reaches the parked waiter (it re-parks on AwaitRunnable), and
+  // the cancel must then unwind it promptly — the held slot is never
+  // released, so only the notification path can wake it.
+  control.Pause();
+  control.Cancel();
+  const auto start = std::chrono::steady_clock::now();
+  waiter.join();
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(admitted);
+  EXPECT_LT(waited, std::chrono::seconds(2));
+  governor.CompleteDelivery(group);
+}
+
 TEST(CampaignSchedulerTest, CancelSkipsRemainingWaves) {
   GroupId group;
   FleetFixture fleet(9, &group);

@@ -32,6 +32,16 @@ Delta campaign:
      already advanced to v2) ships a full package instead, and at most
      one rolls through the delta fallback — never the whole fleet.
 
+Listen-mode campaign:
+  1. start a --listen campaign: the daemon serves dispatches over real
+     loopback sockets to an in-process simulated device fleet, one
+     framed connection per device
+  2. kill -9 mid-campaign (sockets die with the process; no shutdown
+     handshake ran) and restart with --resume --listen
+  3. the restarted daemon re-binds, the sim fleet re-handshakes, and
+     the campaign completes the remaining targets exactly once — the
+     durable checkpoint story is transport-independent
+
 Chaos soak:
   1. start the seeded short-profile --soak (enroll/revoke churn,
      concurrent rotation + delta campaigns, channel faults, agent
@@ -298,6 +308,34 @@ def plain_attempt(fleetd, workdir, attempt):
     if idle_report["resumed"] or idle_report["previously_completed"] != 0:
         fail("completed campaign still resumable: %s" % idle_report)
     return prior
+
+
+def listen_attempt(fleetd, workdir, attempt):
+    state_dir = os.path.join(workdir, "listen-state-%d" % attempt)
+    source = os.path.join(workdir, "tiny.eric")
+    with open(source, "w") as f:
+        f.write(TINY_PROGRAM)
+    journal = os.path.join(state_dir, "campaign.wal")
+    json_out = os.path.join(workdir, "listen-resume-%d.json" % attempt)
+
+    # --listen 0 binds an ephemeral port each run, so the restarted
+    # daemon never races the killed one's lingering socket. The
+    # transport is not part of the campaign fingerprint (it shapes the
+    # delivery path, never the bytes), so the resume matches.
+    base = [
+        fleetd, "--devices", str(DEVICES), "--groups", str(GROUPS),
+        "--source", source, "--state-dir", state_dir, "--listen", "0",
+    ]
+    killed_at = run_until_killed(
+        base + ["--workers", "1", "--latency-us", str(LATENCY_US)],
+        journal, min_outcomes=2, max_outcomes=DEVICES - 2)
+    if killed_at is None:
+        return None  # campaign outran the kill; caller retries
+
+    report = run_json(base + ["--workers", "2", "--resume",
+                              "--json", json_out],
+                      json_out, "listen resume")
+    return check_resume_report(report, DEVICES, "listen resume")
 
 
 def metrics_attempt(fleetd, workdir, attempt):
@@ -876,6 +914,8 @@ def main():
                      workdir, DEVICES)
         run_scenario("watchdog pause", watchdog_attempt, fleetd, workdir,
                      DEVICES)
+        run_scenario("listen-mode campaign", listen_attempt, fleetd,
+                     workdir, DEVICES)
         run_scenario("telemetry export", metrics_attempt, fleetd, workdir,
                      DEVICES)
         run_scenario("epoch rotation", rotation_attempt, fleetd, workdir,

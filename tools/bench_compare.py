@@ -72,6 +72,15 @@ METRICS = [
     # event adds a clock read and two bounded copies), so the ratio
     # travels across hosts the way the absolute ns/op does not.
     ("BENCH_obs.json", "instruments.event_vs_count_ratio", "lower", 60.0),
+    # Wire transport: the framing overhead ratio is pure arithmetic
+    # (16 bytes over payload + 16 on every host), so its gate is tight —
+    # it only moves if the wire format itself grows. The scaling ratio
+    # (large-fleet throughput over small-fleet) is thread/loopback
+    # timing on a shared runner, so it gets the generous threshold; the
+    # bench's own pass bit separately enforces zero failed deliveries
+    # and a 0.3 floor on the ratio.
+    ("BENCH_net.json", "frame.overhead_ratio", "lower", 10.0),
+    ("BENCH_net.json", "scaling.throughput_ratio", "higher", 60.0),
     # A health evaluation samples the whole registry under a mutex —
     # orders of magnitude above a histogram record, but the ratio only
     # moves when the evaluation path itself grows (it runs once per

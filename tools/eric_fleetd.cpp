@@ -104,6 +104,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -114,6 +115,8 @@
 #include "fleet/deployment_engine.h"
 #include "fleet/package_cache.h"
 #include "fleet/rotation_campaign.h"
+#include "net/server.h"
+#include "net/sim_client.h"
 #include "obs/events.h"
 #include "obs/export.h"
 #include "obs/health.h"
@@ -148,6 +151,7 @@ void Usage() {
       "                   [--trace-out FILE]\n"
       "                   [--slo SPEC]... [--slo-interval SEC]\n"
       "                   [--ack-watchdog]\n"
+      "                   [--listen PORT [--sim-clients N]]\n"
       "                   [--soak [--soak-profile short|long] "
       "[--soak-seed N]]\n");
 }
@@ -848,6 +852,11 @@ int main(int argc, char** argv) {
   bool soak = false;
   std::string soak_profile_name = "short";
   uint64_t soak_seed = 0x50A4CA05;
+  // Wire-transport knobs (-1: in-process channel, no sockets; 0 = bind an
+  // ephemeral port). --sim-clients 0 means one connection per enrolled
+  // device; larger values add idle connections on top.
+  int64_t listen_port = -1;
+  size_t sim_clients = 0;
 
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* name) {
@@ -900,6 +909,9 @@ int main(int argc, char** argv) {
     else if (arg("--soak-profile")) soak_profile_name = argv[++i];
     else if (arg("--soak-seed"))
       soak_seed = std::strtoull(argv[++i], nullptr, 0);
+    else if (arg("--listen")) listen_port = std::strtoll(argv[++i], nullptr, 0);
+    else if (arg("--sim-clients"))
+      sim_clients = std::strtoull(argv[++i], nullptr, 0);
     else if (arg("--json")) json_path = argv[++i];
     else if (std::strcmp(argv[i], "--verbose") == 0) verbose = true;
     else { Usage(); return 2; }
@@ -1000,6 +1012,23 @@ int main(int argc, char** argv) {
   }
   if (ack_watchdog && !resume) {
     std::fprintf(stderr, "--ack-watchdog requires --resume\n");
+    Usage();
+    return 2;
+  }
+  if (listen_port >= 0 && soak) {
+    // The soak drives its own in-process campaign sequence; its chaos
+    // model (kill points, slot corruption) has no wire leg to attach to.
+    std::fprintf(stderr, "--listen cannot be combined with --soak\n");
+    Usage();
+    return 2;
+  }
+  if (listen_port > 65535) {
+    std::fprintf(stderr, "--listen PORT must be 0..65535 (0 = ephemeral)\n");
+    Usage();
+    return 2;
+  }
+  if (sim_clients > 0 && listen_port < 0) {
+    std::fprintf(stderr, "--sim-clients requires --listen PORT\n");
     Usage();
     return 2;
   }
@@ -1237,6 +1266,66 @@ int main(int argc, char** argv) {
   campaign.delivery_latency_us = latency_us;
   campaign.delta = delta;
   campaign.delta_base_source = base_source;
+
+  // --- Wire transport (--listen) --------------------------------------------
+  // The server and the simulated device fleet outlive every campaign
+  // path below; campaign.transport routes each delivery over their
+  // sockets instead of the in-process channel. Transport choice shapes
+  // only the delivery path, never the bytes, so it stays out of the
+  // campaign fingerprint and a --listen run can resume a plain one.
+  std::unique_ptr<net::FleetServer> listen_server;
+  std::unique_ptr<net::SimClientFleet> sim_fleet;
+  if (listen_port >= 0) {
+    net::FleetServerConfig server_config;
+    server_config.port = static_cast<uint16_t>(listen_port);
+    listen_server = std::make_unique<net::FleetServer>(server_config);
+    auto started = listen_server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "cannot start fleet server: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    size_t want_clients = sim_clients == 0 ? all_devices.size() : sim_clients;
+    if (want_clients < all_devices.size()) {
+      std::fprintf(stderr,
+                   "--sim-clients %zu is smaller than the enrolled fleet "
+                   "(%zu devices); every campaign target needs a "
+                   "connection\n",
+                   sim_clients, all_devices.size());
+      return 2;
+    }
+    net::SimClientFleetConfig fleet_config;
+    fleet_config.port = listen_server->port();
+    fleet_config.devices.assign(all_devices.begin(), all_devices.end());
+    // Extra connections beyond the enrolled fleet handshake and idle:
+    // they load the event loop without joining the campaign.
+    uint64_t synthetic = 0;
+    for (fleet::DeviceId id : all_devices) {
+      synthetic = std::max<uint64_t>(synthetic, id);
+    }
+    for (size_t extra = all_devices.size(); extra < want_clients; ++extra) {
+      fleet_config.devices.push_back(++synthetic);
+    }
+    sim_fleet = std::make_unique<net::SimClientFleet>(std::move(fleet_config));
+    auto fleet_up = sim_fleet->Start();
+    if (!fleet_up.ok()) {
+      std::fprintf(stderr, "cannot start sim client fleet: %s\n",
+                   fleet_up.ToString().c_str());
+      return 1;
+    }
+    if (!listen_server->WaitForDevices(want_clients, 60'000)) {
+      std::fprintf(stderr,
+                   "sim fleet incomplete: %zu of %zu connections "
+                   "handshaken within 60 s\n",
+                   listen_server->connected_devices(), want_clients);
+      return 1;
+    }
+    std::printf("listen: 127.0.0.1:%u, %zu device connections handshaken "
+                "(%zu campaign targets)\n",
+                listen_server->port(), listen_server->connected_devices(),
+                all_devices.size());
+    campaign.transport = listen_server.get();
+  }
 
   // Version identities: what manifests record, what resume matches on.
   const uint64_t target_version = fleet::ProgramVersionFingerprint(

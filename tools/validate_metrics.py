@@ -112,6 +112,75 @@ def validate_isa_counters(counters):
                     f"than {total_name} = {counters[total_name]}")
 
 
+# The wire transport's metric family (net/server.cpp, net/channel.cpp).
+# Every net_-prefixed counter must be one of these — a typo'd or ad-hoc
+# name in the transport fails validation the same way an unknown ISA
+# slice does.
+NET_COUNTERS = (
+    "net_connections_accepted", "net_connections_closed",
+    "net_handshakes", "net_frames_sent", "net_frames_received",
+    "net_bytes_sent", "net_bytes_received", "net_frame_crc_errors",
+    "net_frame_resyncs", "net_deliveries_ok", "net_delivery_timeouts",
+    "net_delivery_failures", "net_backpressure_stalls",
+    "net_late_responses", "net_naks", "net_idle_closes",
+    # The fault-injecting channel (shared by the in-process and wire
+    # delivery paths).
+    "net_channel_deliveries", "net_channel_faults",
+    "net_channel_bytes_in", "net_channel_bytes_out",
+)
+NET_GAUGES = ("net_connections_open",)
+NET_HISTOGRAMS = ("net_delivery_rtt_us", "net_channel_rtt_us")
+# Per-frame overhead the wire format promises (net/frame.h): header +
+# CRC trailer. Every counted frame carries at least this many bytes.
+NET_FRAME_OVERHEAD = 16
+
+
+def validate_net_family(counters, gauges, histograms):
+    """The net_* family: names must be ones the transport registers, and
+    the counters must satisfy the arithmetic the server promises — a
+    handshake needs an accepted connection, a close needs an accept, an
+    OK delivery needs a sent frame, and byte totals can never undercut
+    the framing overhead of the frames they carried."""
+    for name in counters:
+        if name.startswith("net_") and name not in NET_COUNTERS:
+            problem(f"counter {name!r}: not a counter the transport "
+                    "registers (stale validator or typo'd metric?)")
+    for name in gauges if isinstance(gauges, dict) else ():
+        if name.startswith("net_") and name not in NET_GAUGES:
+            problem(f"gauge {name!r}: not a gauge the transport registers")
+    for name in histograms if isinstance(histograms, dict) else ():
+        if name.startswith("net_") and name not in NET_HISTOGRAMS:
+            problem(f"histogram {name!r}: not a histogram the transport "
+                    "registers")
+
+    def count(name):
+        value = counters.get(name, 0)
+        return value if is_int(value) else 0
+
+    accepted = count("net_connections_accepted")
+    for name in ("net_handshakes", "net_connections_closed",
+                 "net_idle_closes"):
+        if count(name) > accepted:
+            problem(f"counter {name!r} = {count(name)} exceeds "
+                    f"net_connections_accepted = {accepted}")
+    if count("net_deliveries_ok") > count("net_frames_sent"):
+        problem(f"net_deliveries_ok = {count('net_deliveries_ok')} exceeds "
+                f"net_frames_sent = {count('net_frames_sent')} (every OK "
+                "delivery sends at least its dispatch frame)")
+    for frames, byte_total in (("net_frames_sent", "net_bytes_sent"),
+                               ("net_frames_received",
+                                "net_bytes_received")):
+        if count(byte_total) < count(frames) * NET_FRAME_OVERHEAD:
+            problem(f"{byte_total} = {count(byte_total)} is below "
+                    f"{frames} * {NET_FRAME_OVERHEAD}-byte framing "
+                    f"overhead ({count(frames)} frames)")
+    open_conns = gauges.get("net_connections_open") \
+        if isinstance(gauges, dict) else None
+    if is_num(open_conns) and not 0 <= open_conns <= accepted:
+        problem(f"gauge net_connections_open = {open_conns} is outside "
+                f"[0, net_connections_accepted = {accepted}]")
+
+
 def validate_gauges(gauges):
     if not isinstance(gauges, dict):
         problem("'gauges' is not an object")
@@ -324,6 +393,8 @@ def validate_snapshot(doc, require_counters, require_histograms,
     validate_counters(doc["counters"])
     if isinstance(doc["counters"], dict):
         validate_isa_counters(doc["counters"])
+        validate_net_family(doc["counters"], doc["gauges"],
+                            doc["histograms"])
     validate_gauges(doc["gauges"])
     for name, hist in doc["histograms"].items():
         validate_histogram(name, hist)
